@@ -1,0 +1,47 @@
+// Shared helpers for the experiment harnesses.
+
+#ifndef FUTURERAND_BENCH_BENCH_COMMON_H_
+#define FUTURERAND_BENCH_BENCH_COMMON_H_
+
+#include <cstdint>
+#include <cstdio>
+
+#include "futurerand/common/macros.h"
+#include "futurerand/core/config.h"
+#include "futurerand/sim/runner.h"
+#include "futurerand/sim/workload.h"
+
+namespace futurerand::bench {
+
+inline core::ProtocolConfig MakeConfig(int64_t d, int64_t k, double eps) {
+  core::ProtocolConfig config;
+  config.num_periods = d;
+  config.max_changes = k;
+  config.epsilon = eps;
+  return config;
+}
+
+inline sim::WorkloadConfig MakeWorkload(sim::WorkloadKind kind, int64_t n,
+                                        int64_t d, int64_t k) {
+  sim::WorkloadConfig config;
+  config.kind = kind;
+  config.num_users = n;
+  config.num_periods = d;
+  config.max_changes = k;
+  return config;
+}
+
+/// Mean max-error over `reps` repetitions (fresh workload + protocol seeds).
+inline double MeanMaxError(sim::ProtocolKind protocol,
+                           const core::ProtocolConfig& config,
+                           const sim::WorkloadConfig& workload, int reps,
+                           uint64_t seed, ThreadPool* pool) {
+  auto stats =
+      sim::RunRepeated(protocol, config, workload, reps, seed, pool);
+  FR_CHECK_OK(stats.status());
+  return stats->max_abs_error.mean();
+}
+
+}  // namespace futurerand::bench
+
+#endif  // FUTURERAND_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,61 @@
+// E3 — error vs the number of time periods d (Theorem 4.1: polylog in d).
+
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.h"
+#include "futurerand/analysis/theory.h"
+#include "futurerand/common/table_printer.h"
+#include "futurerand/common/threadpool.h"
+#include "futurerand/randomizer/randomizer.h"
+
+int main() {
+  using namespace futurerand;
+  using namespace futurerand::bench;
+
+  const int64_t n = 10000;
+  const int64_t k = 8;
+  const double eps = 1.0;
+  const int reps = 2;
+  ThreadPool pool(ThreadPool::DefaultThreadCount());
+
+  std::printf(
+      "E3: max error vs d   (n=%lld, k=%lld, eps=%.2f, uniform workload, "
+      "%d reps)\n\n",
+      static_cast<long long>(n), static_cast<long long>(k), eps, reps);
+
+  TablePrinter table(
+      {"d", "future_rand", "erlingsson", "ours/log2(d)", "bound46_ours"});
+  for (int64_t d : {16, 32, 64, 128, 256, 512, 1024}) {
+    const auto config = MakeConfig(d, k, eps);
+    const auto workload =
+        MakeWorkload(sim::WorkloadKind::kUniformChanges, n, d, k);
+    const double ours = MeanMaxError(sim::ProtocolKind::kFutureRand, config,
+                                     workload, reps, 100 + d, &pool);
+    const double erlingsson =
+        MeanMaxError(sim::ProtocolKind::kErlingsson, config, workload, reps,
+                     200 + d, &pool);
+    analysis::BoundParams params;
+    params.n = static_cast<double>(n);
+    params.d = static_cast<double>(d);
+    params.k = static_cast<double>(k);
+    params.epsilon = eps;
+    params.beta = 0.05;
+    const double our_gap =
+        rand::ExactCGap(rand::RandomizerKind::kFutureRand, k, eps)
+            .ValueOrDie();
+    table.AddRow(
+        {std::to_string(d), TablePrinter::FormatDouble(ours),
+         TablePrinter::FormatDouble(erlingsson),
+         TablePrinter::FormatDouble(ours / std::log2(static_cast<double>(d)),
+                                    4),
+         TablePrinter::FormatDouble(
+             analysis::HoeffdingProtocolBound(params, our_gap))});
+  }
+  table.Print(std::cout);
+  std::printf(
+      "\nExpected shape: 'ours/log2(d)' roughly flat (error polylog in d);\n"
+      "a 64x growth in d should raise the error by only a small factor.\n");
+  return 0;
+}

@@ -1,0 +1,60 @@
+// E4 — error vs the privacy budget eps (Theorem 4.1: error ~ 1/eps).
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.h"
+#include "futurerand/analysis/theory.h"
+#include "futurerand/common/table_printer.h"
+#include "futurerand/common/threadpool.h"
+#include "futurerand/randomizer/randomizer.h"
+
+int main() {
+  using namespace futurerand;
+  using namespace futurerand::bench;
+
+  const int64_t n = 20000;
+  const int64_t d = 128;
+  const int64_t k = 8;
+  const int reps = 3;
+  ThreadPool pool(ThreadPool::DefaultThreadCount());
+
+  std::printf(
+      "E4: max error vs eps   (n=%lld, d=%lld, k=%lld, uniform workload, "
+      "%d reps)\n\n",
+      static_cast<long long>(n), static_cast<long long>(d),
+      static_cast<long long>(k), reps);
+
+  TablePrinter table(
+      {"eps", "future_rand", "erlingsson", "ours*eps", "bound46_ours"});
+  for (double eps : {0.1, 0.2, 0.4, 0.6, 0.8, 1.0}) {
+    const auto config = MakeConfig(d, k, eps);
+    const auto workload =
+        MakeWorkload(sim::WorkloadKind::kUniformChanges, n, d, k);
+    const double ours =
+        MeanMaxError(sim::ProtocolKind::kFutureRand, config, workload, reps,
+                     static_cast<uint64_t>(eps * 1000), &pool);
+    const double erlingsson =
+        MeanMaxError(sim::ProtocolKind::kErlingsson, config, workload, reps,
+                     static_cast<uint64_t>(eps * 2000), &pool);
+    analysis::BoundParams params;
+    params.n = static_cast<double>(n);
+    params.d = static_cast<double>(d);
+    params.k = static_cast<double>(k);
+    params.epsilon = eps;
+    params.beta = 0.05;
+    const double our_gap =
+        rand::ExactCGap(rand::RandomizerKind::kFutureRand, k, eps)
+            .ValueOrDie();
+    table.AddRow(
+        {TablePrinter::FormatDouble(eps, 3), TablePrinter::FormatDouble(ours),
+         TablePrinter::FormatDouble(erlingsson),
+         TablePrinter::FormatDouble(ours * eps, 4),
+         TablePrinter::FormatDouble(
+             analysis::HoeffdingProtocolBound(params, our_gap))});
+  }
+  table.Print(std::cout);
+  std::printf(
+      "\nExpected shape: 'ours*eps' roughly constant (error ~ 1/eps).\n");
+  return 0;
+}

@@ -1,0 +1,61 @@
+// E5 — error vs the population size n (Theorem 4.1: error ~ sqrt(n); the
+// relative error therefore vanishes as 1/sqrt(n)). Also checks the
+// measured error against the explicit Lemma 4.6 Hoeffding bound.
+
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.h"
+#include "futurerand/analysis/theory.h"
+#include "futurerand/common/table_printer.h"
+#include "futurerand/common/threadpool.h"
+#include "futurerand/randomizer/randomizer.h"
+
+int main() {
+  using namespace futurerand;
+  using namespace futurerand::bench;
+
+  const int64_t d = 256;
+  const int64_t k = 8;
+  const double eps = 1.0;
+  const int reps = 2;
+  ThreadPool pool(ThreadPool::DefaultThreadCount());
+
+  const double c_gap =
+      rand::ExactCGap(rand::RandomizerKind::kFutureRand, k, eps).ValueOrDie();
+
+  std::printf(
+      "E5: max error vs n   (d=%lld, k=%lld, eps=%.2f, uniform workload, "
+      "%d reps)\n\n",
+      static_cast<long long>(d), static_cast<long long>(k), eps, reps);
+
+  TablePrinter table({"n", "future_rand", "ours/sqrt(n)", "lemma4.6_bound",
+                      "within_bound"});
+  for (int64_t n : {1000, 2000, 4000, 8000, 16000, 32000, 64000, 128000}) {
+    const auto config = MakeConfig(d, k, eps);
+    const auto workload =
+        MakeWorkload(sim::WorkloadKind::kUniformChanges, n, d, k);
+    const double ours = MeanMaxError(sim::ProtocolKind::kFutureRand, config,
+                                     workload, reps,
+                                     static_cast<uint64_t>(n), &pool);
+    analysis::BoundParams params;
+    params.n = static_cast<double>(n);
+    params.d = static_cast<double>(d);
+    params.k = static_cast<double>(k);
+    params.epsilon = eps;
+    params.beta = 0.05;
+    const double bound = analysis::HoeffdingProtocolBound(params, c_gap);
+    table.AddRow(
+        {TablePrinter::FormatCount(n), TablePrinter::FormatDouble(ours),
+         TablePrinter::FormatDouble(ours / std::sqrt(static_cast<double>(n)),
+                                    4),
+         TablePrinter::FormatDouble(bound),
+         ours <= bound ? "yes" : "NO"});
+  }
+  table.Print(std::cout);
+  std::printf(
+      "\nExpected shape: 'ours/sqrt(n)' roughly constant; every row within\n"
+      "the Lemma 4.6 bound.\n");
+  return 0;
+}

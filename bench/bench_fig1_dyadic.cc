@@ -1,0 +1,102 @@
+// E1 — regenerates Figure 1: the dyadic interval hierarchy on [d=4], the
+// decomposition C(3), and the partial sums of the running example
+// X_u = (0,1,0,-1) (Examples 3.3 and 3.5). Asserts the paper's worked
+// values and prints the figure's content as text.
+
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "futurerand/common/macros.h"
+#include "futurerand/common/table_printer.h"
+#include "futurerand/dyadic/decomposition.h"
+#include "futurerand/dyadic/interval.h"
+#include "futurerand/dyadic/tree.h"
+
+namespace {
+
+using futurerand::TablePrinter;
+using futurerand::dyadic::DecomposePrefix;
+using futurerand::dyadic::DyadicInterval;
+using futurerand::dyadic::DyadicTree;
+using futurerand::dyadic::NumIntervalsAtOrder;
+using futurerand::dyadic::NumOrders;
+
+}  // namespace
+
+int main() {
+  constexpr int64_t kD = 4;
+  std::printf("=== Figure 1 (left): all dyadic intervals on [d=%lld] ===\n",
+              static_cast<long long>(kD));
+  TablePrinter intervals({"order h", "index j", "interval"});
+  for (int h = 0; h < NumOrders(kD); ++h) {
+    for (int64_t j = 1; j <= NumIntervalsAtOrder(kD, h); ++j) {
+      const DyadicInterval interval{h, j};
+      char range[32];
+      std::snprintf(range, sizeof(range), "[%lld..%lld]",
+                    static_cast<long long>(interval.begin()),
+                    static_cast<long long>(interval.end()));
+      intervals.AddRow({std::to_string(h), std::to_string(j), range});
+    }
+  }
+  intervals.Print(std::cout);
+
+  std::printf("\nDyadic decomposition C(t) for every prefix [t]:\n");
+  TablePrinter decompositions({"t", "C(t)"});
+  for (int64_t t = 1; t <= kD; ++t) {
+    std::string cell;
+    for (const DyadicInterval& interval : DecomposePrefix(t)) {
+      if (!cell.empty()) {
+        cell += ", ";
+      }
+      cell += interval.ToString();
+    }
+    decompositions.AddRow({std::to_string(t), cell});
+  }
+  decompositions.Print(std::cout);
+
+  // C(3) = {I(1,1), I(0,3)} — the purple nodes in Figure 1.
+  const std::vector<DyadicInterval> c3 = DecomposePrefix(3);
+  FR_CHECK(c3.size() == 2);
+  FR_CHECK((c3[0] == DyadicInterval{1, 1}));
+  FR_CHECK((c3[1] == DyadicInterval{0, 3}));
+
+  std::printf(
+      "\n=== Figure 1 (right): partial sums of X_u = (0,1,0,-1) "
+      "(st_u = (0,1,1,0)) ===\n");
+  DyadicTree<int64_t> sums(kD);
+  const std::vector<int8_t> derivative = {0, 1, 0, -1};
+  for (int64_t t = 1; t <= kD; ++t) {
+    const int8_t x = derivative[static_cast<size_t>(t - 1)];
+    if (x != 0) {
+      sums.AddAtTime(t, x);
+    }
+  }
+  TablePrinter partials({"interval", "S_u(I)"});
+  for (int h = 0; h < NumOrders(kD); ++h) {
+    for (int64_t j = 1; j <= NumIntervalsAtOrder(kD, h); ++j) {
+      partials.AddRow({DyadicInterval{h, j}.ToString(),
+                       std::to_string(sums.At(h, j))});
+    }
+  }
+  partials.Print(std::cout);
+
+  // Example 3.5's values.
+  FR_CHECK(sums.At(0, 1) == 0);
+  FR_CHECK(sums.At(0, 2) == 1);
+  FR_CHECK(sums.At(0, 3) == 0);
+  FR_CHECK(sums.At(0, 4) == -1);
+  FR_CHECK(sums.At(1, 1) == 1);
+  FR_CHECK(sums.At(1, 2) == -1);
+  FR_CHECK(sums.At(2, 1) == 0);
+
+  std::printf(
+      "\nst_u[3] via C(3): S(I(1,1)) + S(I(0,3)) = %lld + %lld = %lld "
+      "(expected 1)\n",
+      static_cast<long long>(sums.At(1, 1)),
+      static_cast<long long>(sums.At(0, 3)),
+      static_cast<long long>(sums.PrefixSum(3)));
+  FR_CHECK(sums.PrefixSum(3) == 1);
+  std::printf("\nAll Figure 1 / Example 3.3 / Example 3.5 values verified.\n");
+  return 0;
+}

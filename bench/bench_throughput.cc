@@ -1,0 +1,156 @@
+// E11 — engineering micro-benchmarks (google-benchmark): the per-operation
+// costs that make the protocol deployable at telemetry scale. Client
+// feeding is O(1) per period amortized; server ingestion O(1) per report;
+// queries O(log d).
+
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "futurerand/common/macros.h"
+#include "futurerand/common/random.h"
+#include "futurerand/common/sign_vector.h"
+#include "futurerand/core/client.h"
+#include "futurerand/core/config.h"
+#include "futurerand/core/server.h"
+#include "futurerand/randomizer/annulus.h"
+#include "futurerand/randomizer/composed.h"
+#include "futurerand/randomizer/randomizer.h"
+
+namespace {
+
+using futurerand::Rng;
+using futurerand::SignVector;
+
+futurerand::core::ProtocolConfig Config(int64_t d, int64_t k) {
+  futurerand::core::ProtocolConfig config;
+  config.num_periods = d;
+  config.max_changes = k;
+  config.epsilon = 1.0;
+  return config;
+}
+
+// Cost of FutureRand's init-time pre-computation (annulus + b~ = R~(1^k)).
+void BM_FutureRandInit(benchmark::State& state) {
+  const int64_t k = state.range(0);
+  uint64_t seed = 1;
+  for (auto _ : state) {
+    auto randomizer = futurerand::rand::MakeSequenceRandomizer(
+        futurerand::rand::RandomizerKind::kFutureRand, 1024, k, 1.0, seed++);
+    FR_CHECK(randomizer.ok());
+    benchmark::DoNotOptimize(randomizer);
+  }
+}
+BENCHMARK(BM_FutureRandInit)->Arg(16)->Arg(256)->Arg(4096);
+
+// Per-input cost of the online randomizer.
+void BM_FutureRandRandomize(benchmark::State& state) {
+  auto randomizer = futurerand::rand::MakeSequenceRandomizer(
+                        futurerand::rand::RandomizerKind::kFutureRand,
+                        int64_t{1} << 40, 64, 1.0, 7)
+                        .ValueOrDie();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(randomizer->Randomize(0));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FutureRandRandomize);
+
+// One application of the composed randomizer R~ (k coordinate flips plus
+// the annulus check / resample).
+void BM_ComposedApply(benchmark::State& state) {
+  const int64_t k = state.range(0);
+  const auto spec =
+      futurerand::rand::MakeFutureRandSpec(k, 1.0).ValueOrDie();
+  auto composed =
+      futurerand::rand::ComposedRandomizer::Create(spec).ValueOrDie();
+  Rng rng(3);
+  const SignVector input(k);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(composed.Apply(input, &rng));
+  }
+  state.SetItemsProcessed(state.iterations() * k);
+}
+BENCHMARK(BM_ComposedApply)->Arg(64)->Arg(1024)->Arg(16384);
+
+// Client-side: one full d-period streaming pass (the steady-state cost a
+// device pays).
+void BM_ClientFullStream(benchmark::State& state) {
+  const int64_t d = state.range(0);
+  const auto config = Config(d, 8);
+  uint64_t seed = 1;
+  for (auto _ : state) {
+    auto client = futurerand::core::Client::Create(config, seed++);
+    FR_CHECK(client.ok());
+    for (int64_t t = 1; t <= d; ++t) {
+      benchmark::DoNotOptimize(
+          client->ObserveState(static_cast<int8_t>((t >> 3) & 1)));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * d);
+}
+BENCHMARK(BM_ClientFullStream)->Arg(256)->Arg(4096);
+
+// Server-side: per-report ingestion cost. Reports per client must advance
+// in time, so a fresh client id is registered after each d-period sweep.
+void BM_ServerSubmitReport(benchmark::State& state) {
+  const int64_t d = 1024;
+  auto server =
+      futurerand::core::Server::ForProtocol(Config(d, 8)).ValueOrDie();
+  int64_t client_id = 0;
+  FR_CHECK_OK(server.RegisterClient(client_id, 0));
+  int64_t t = 0;
+  for (auto _ : state) {
+    if (t == d) {
+      ++client_id;
+      FR_CHECK_OK(server.RegisterClient(client_id, 0));
+      t = 0;
+    }
+    ++t;
+    benchmark::DoNotOptimize(server.SubmitReport(client_id, t, 1));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ServerSubmitReport);
+
+// Server-side: online estimate query, O(log d).
+void BM_ServerEstimateAt(benchmark::State& state) {
+  const int64_t d = state.range(0);
+  auto server =
+      futurerand::core::Server::ForProtocol(Config(d, 8)).ValueOrDie();
+  FR_CHECK_OK(server.RegisterClient(0, 0));
+  for (int64_t t = 1; t <= d; ++t) {
+    FR_CHECK_OK(server.SubmitReport(0, t, (t & 1) ? 1 : -1));
+  }
+  int64_t t = 0;
+  for (auto _ : state) {
+    t = t % d + 1;
+    benchmark::DoNotOptimize(server.EstimateAt(t));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ServerEstimateAt)->Arg(256)->Arg(4096)->Arg(65536);
+
+// Annulus parameter computation (exact c_gap, P*_out, privacy extremes).
+void BM_AnnulusSpec(benchmark::State& state) {
+  const int64_t k = state.range(0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(futurerand::rand::MakeFutureRandSpec(k, 1.0));
+  }
+}
+BENCHMARK(BM_AnnulusSpec)->Arg(64)->Arg(1024)->Arg(65536);
+
+// PRNG baseline for context.
+void BM_RngNextDouble(benchmark::State& state) {
+  Rng rng(9);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.NextDouble());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RngNextDouble);
+
+}  // namespace
+
+BENCHMARK_MAIN();

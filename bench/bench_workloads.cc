@@ -1,0 +1,56 @@
+// E10 — robustness of the sqrt(k) win across data shapes: the protocol's
+// guarantees are worst-case over any k-change workload, so the comparison
+// should hold whether changes are uniform, bursty, periodic, trending,
+// static or adversarially synchronized.
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.h"
+#include "futurerand/common/table_printer.h"
+#include "futurerand/common/threadpool.h"
+
+int main() {
+  using namespace futurerand;
+  using namespace futurerand::bench;
+
+  const int64_t n = 10000;
+  const int64_t d = 128;
+  const int64_t k = 32;
+  const double eps = 1.0;
+  const int reps = 3;
+  ThreadPool pool(ThreadPool::DefaultThreadCount());
+
+  std::printf(
+      "E10: workload ablation   (n=%lld, d=%lld, k=%lld, eps=%.2f, %d "
+      "reps)\n\n",
+      static_cast<long long>(n), static_cast<long long>(d),
+      static_cast<long long>(k), eps, reps);
+
+  TablePrinter table({"workload", "future_rand", "erlingsson", "independent",
+                      "erl/ours"});
+  for (sim::WorkloadKind kind :
+       {sim::WorkloadKind::kUniformChanges, sim::WorkloadKind::kBursty,
+        sim::WorkloadKind::kPeriodic, sim::WorkloadKind::kTrend,
+        sim::WorkloadKind::kStatic, sim::WorkloadKind::kAdversarial}) {
+    const auto config = MakeConfig(d, k, eps);
+    const auto workload = MakeWorkload(kind, n, d, k);
+    const double ours = MeanMaxError(sim::ProtocolKind::kFutureRand, config,
+                                     workload, reps, 17, &pool);
+    const double erlingsson = MeanMaxError(sim::ProtocolKind::kErlingsson,
+                                           config, workload, reps, 18, &pool);
+    const double independent =
+        MeanMaxError(sim::ProtocolKind::kIndependent, config, workload, reps,
+                     19, &pool);
+    table.AddRow({sim::WorkloadKindToString(kind),
+                  TablePrinter::FormatDouble(ours),
+                  TablePrinter::FormatDouble(erlingsson),
+                  TablePrinter::FormatDouble(independent),
+                  TablePrinter::FormatDouble(erlingsson / ours, 3)});
+  }
+  table.Print(std::cout);
+  std::printf(
+      "\nExpected shape: ours wins on every row — the noise floor depends\n"
+      "on (n, d, k, eps), not on where the changes fall.\n");
+  return 0;
+}

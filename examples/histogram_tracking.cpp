@@ -1,0 +1,92 @@
+// Richer-domain extension: longitudinal histogram over a categorical
+// domain via the one-hot + coordinate-sampling reduction (the adaptation
+// the paper points to for frequency estimation beyond Boolean data).
+//
+// Scenario: 80k users each have a "default search engine" among 8 options;
+// a browser vendor tracks the market share over 64 weeks while a
+// competitor's campaign shifts users between options.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "futurerand/common/macros.h"
+#include "futurerand/common/random.h"
+#include "futurerand/domain/histogram.h"
+
+int main() {
+  using namespace futurerand;
+
+  domain::HistogramConfig config;
+  config.domain_size = 8;
+  config.boolean_config.num_periods = 64;
+  config.boolean_config.max_changes = 3;  // incl. the initial selection
+  config.boolean_config.epsilon = 1.0;
+  config.boolean_config.randomizer = rand::RandomizerKind::kAdaptive;
+
+  domain::HistogramServer server =
+      domain::HistogramServer::Create(config).ValueOrDie();
+
+  constexpr int64_t kUsers = 80000;
+  constexpr int64_t kWeeks = 64;
+  Rng rng(555);
+
+  // Truth: everyone starts on engine 0..7 (zipf-ish); between weeks 24 and
+  // 40, 30% of engine-0 users migrate to engine 3.
+  std::vector<std::vector<int64_t>> user_items(
+      kUsers, std::vector<int64_t>(kWeeks + 1, 0));
+  std::vector<std::vector<int64_t>> truth(
+      kWeeks + 1, std::vector<int64_t>(config.domain_size, 0));
+  for (int64_t u = 0; u < kUsers; ++u) {
+    const int64_t initial = static_cast<int64_t>(rng.NextInt(16)) % 8;
+    const bool migrates = initial == 0 && rng.NextBernoulli(0.3);
+    const int64_t migration_week =
+        24 + static_cast<int64_t>(rng.NextInt(16));
+    for (int64_t t = 1; t <= kWeeks; ++t) {
+      const int64_t item =
+          (migrates && t >= migration_week) ? 3 : initial;
+      user_items[static_cast<size_t>(u)][static_cast<size_t>(t)] = item;
+      ++truth[static_cast<size_t>(t)][static_cast<size_t>(item)];
+    }
+  }
+
+  // Run the protocol: one histogram client per user.
+  for (int64_t u = 0; u < kUsers; ++u) {
+    domain::HistogramClient client =
+        domain::HistogramClient::Create(config,
+                                        static_cast<uint64_t>(u) + 1)
+            .ValueOrDie();
+    FR_CHECK_OK(
+        server.RegisterClient(u, client.coordinate(), client.level()));
+    for (int64_t t = 1; t <= kWeeks; ++t) {
+      const auto report = client.ObserveItem(
+          user_items[static_cast<size_t>(u)][static_cast<size_t>(t)]);
+      FR_CHECK_OK(report.status());
+      if (report->has_value()) {
+        FR_CHECK_OK(server.SubmitReport(u, t, **report));
+      }
+    }
+  }
+
+  for (int64_t week : {int64_t{8}, int64_t{32}, int64_t{64}}) {
+    const std::vector<double> histogram =
+        server.EstimateHistogramAt(week).ValueOrDie();
+    std::printf("Week %2lld market share (true -> estimated):\n",
+                static_cast<long long>(week));
+    for (int64_t item = 0; item < config.domain_size; ++item) {
+      std::printf("  engine %lld : %6lld -> %8.0f\n",
+                  static_cast<long long>(item),
+                  static_cast<long long>(
+                      truth[static_cast<size_t>(week)]
+                           [static_cast<size_t>(item)]),
+                  histogram[static_cast<size_t>(item)]);
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "The engine-0 decline and engine-3 rise between weeks 8 and 64 are\n"
+      "visible in the private estimates; each user sent one Boolean report\n"
+      "stream and spent eps=%.1f total.\n",
+      config.boolean_config.epsilon);
+  return 0;
+}

@@ -1,0 +1,74 @@
+// App-telemetry scenario (the Microsoft/Ding-et-al. setting cited in the
+// paper): a vendor tracks how many installations have a feature enabled,
+// every hour over a 512-hour window. Rollouts happen in bursts (a staged
+// deployment), so user values change rarely but in a correlated window —
+// exactly the k-sparse longitudinal regime. The example also demonstrates
+// the privacy accountant: our protocol charges each device once, while the
+// naive hourly randomized response exhausts the same budget after the
+// first hours if charged per report at a fixed one-shot rate.
+
+#include <cstdio>
+
+#include "futurerand/common/macros.h"
+#include "futurerand/core/accountant.h"
+#include "futurerand/sim/runner.h"
+#include "futurerand/sim/workload.h"
+
+int main() {
+  using namespace futurerand;
+
+  sim::WorkloadConfig population;
+  population.kind = sim::WorkloadKind::kBursty;
+  population.num_users = 40000;
+  population.num_periods = 512;
+  population.max_changes = 4;
+  population.param = 0.0625;  // rollout window: 32 hours
+  const sim::Workload workload =
+      sim::Workload::Generate(population, 99).ValueOrDie();
+
+  core::ProtocolConfig config;
+  config.num_periods = population.num_periods;
+  config.max_changes = population.max_changes;
+  config.epsilon = 0.5;
+  // Small k: let the library pick the best certified randomizer.
+  config.randomizer = rand::RandomizerKind::kAdaptive;
+
+  const sim::RunResult adaptive =
+      sim::RunProtocol(sim::ProtocolKind::kAdaptive, config, workload, 11)
+          .ValueOrDie();
+  const sim::RunResult naive =
+      sim::RunProtocol(sim::ProtocolKind::kNaiveRR, config, workload, 11)
+          .ValueOrDie();
+
+  std::printf("Feature-flag tracking, %lld devices, %lld hours, eps=%.2f:\n",
+              static_cast<long long>(population.num_users),
+              static_cast<long long>(population.num_periods), config.epsilon);
+  std::printf("  adaptive hierarchical protocol : %s\n",
+              adaptive.metrics.ToString().c_str());
+  std::printf("  naive hourly RR (eps/d each)   : %s\n",
+              naive.metrics.ToString().c_str());
+  std::printf("  -> %.1fx lower worst-hour error\n\n",
+              naive.metrics.max_abs / adaptive.metrics.max_abs);
+
+  // Privacy accounting for one device under both policies.
+  core::PrivacyAccountant accountant(config.epsilon);
+  FR_CHECK_OK(accountant.Charge(/*user_id=*/1, config.epsilon));
+  std::printf(
+      "Accountant, hierarchical policy: one charge of eps=%.2f for the\n"
+      "whole window; remaining budget %.2f.\n",
+      config.epsilon, accountant.Remaining(1));
+
+  core::PrivacyAccountant per_report_accountant(config.epsilon);
+  const double one_shot_rate = config.epsilon / 16.0;  // a "reasonable"
+  int hours_until_exhausted = 0;                       // per-report spend
+  while (per_report_accountant.Charge(2, one_shot_rate).ok()) {
+    ++hours_until_exhausted;
+  }
+  std::printf(
+      "Accountant, per-report policy at eps/16 per hour: budget exhausted\n"
+      "after %d hours of a %lld-hour window — the decay the paper's\n"
+      "introduction warns about.\n",
+      hours_until_exhausted,
+      static_cast<long long>(population.num_periods));
+  return 0;
+}

@@ -1,0 +1,88 @@
+// Scenario from the paper's introduction: a search-engine provider tracks
+// how many users have a given URL in their frequently-visited list, day by
+// day, without learning any individual's browsing. A news event makes the
+// URL trend; the server watches the trend rise and fade through the
+// LDP estimates, and we compare against the Erlingsson et al. baseline on
+// the identical population.
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+
+#include "futurerand/common/macros.h"
+#include "futurerand/common/threadpool.h"
+#include "futurerand/sim/metrics.h"
+#include "futurerand/sim/runner.h"
+#include "futurerand/sim/workload.h"
+
+namespace {
+
+// Crude console sparkline: one row per sampled day.
+void PrintSeries(const char* label, const std::vector<double>& series,
+                 double max_value) {
+  std::printf("%s\n", label);
+  for (size_t t = 0; t < series.size(); t += 8) {
+    const int width = std::max(
+        0, static_cast<int>(series[t] / max_value * 60.0));
+    std::printf("  day %3zu | %-60s | %8.0f\n", t + 1,
+                std::string(static_cast<size_t>(width), '#').c_str(),
+                series[t]);
+  }
+}
+
+}  // namespace
+
+int main() {
+  using namespace futurerand;
+
+  // 256 days, 200k users; the URL enters/leaves "frequent" lists at most 6
+  // times per user (lists churn slowly — the sparsity the paper exploits).
+  sim::WorkloadConfig population;
+  population.kind = sim::WorkloadKind::kTrend;  // shared news events
+  population.num_users = 200000;
+  population.num_periods = 256;
+  population.max_changes = 6;
+  population.param = 0.55;  // adoption probability per event
+  const sim::Workload workload =
+      sim::Workload::Generate(population, 2024).ValueOrDie();
+
+  core::ProtocolConfig config;
+  config.num_periods = population.num_periods;
+  config.max_changes = population.max_changes;
+  config.epsilon = 1.0;
+  ThreadPool pool(ThreadPool::DefaultThreadCount());
+  // k = 6 sits below the FutureRand/independent crossover; the adaptive
+  // protocol picks the better certified construction automatically.
+  const sim::RunResult ours =
+      sim::RunProtocol(sim::ProtocolKind::kAdaptive, config, workload, 7,
+                       &pool)
+          .ValueOrDie();
+  const sim::RunResult baseline =
+      sim::RunProtocol(sim::ProtocolKind::kErlingsson, config, workload, 7,
+                       &pool)
+          .ValueOrDie();
+
+  std::vector<double> truth;
+  truth.reserve(workload.ground_truth().size());
+  double peak = 1.0;
+  for (int64_t value : workload.ground_truth()) {
+    truth.push_back(static_cast<double>(value));
+    peak = std::max(peak, static_cast<double>(value));
+  }
+
+  PrintSeries("True number of users with the URL in their frequent list:",
+              truth, peak);
+  PrintSeries("\nLDP estimate (adaptive hierarchical protocol, eps = 1):",
+              ours.estimates, peak);
+
+  std::printf("\nAccuracy over all 256 days (n=%lld users):\n",
+              static_cast<long long>(population.num_users));
+  std::printf("  ours       : %s\n", ours.metrics.ToString().c_str());
+  std::printf("  Erlingsson : %s\n", baseline.metrics.ToString().c_str());
+  std::printf(
+      "  -> max-error improvement over the baseline: %.2fx at k=%lld\n",
+      baseline.metrics.max_abs / ours.metrics.max_abs,
+      static_cast<long long>(population.max_changes));
+  FR_CHECK(ours.metrics.max_abs > 0.0);
+  return 0;
+}

@@ -1,0 +1,80 @@
+#include "futurerand/analysis/cgap_estimator.h"
+
+#include <cmath>
+
+#include "futurerand/common/macros.h"
+#include "futurerand/common/random.h"
+#include "futurerand/common/sign_vector.h"
+#include "futurerand/randomizer/annulus.h"
+#include "futurerand/randomizer/basic.h"
+#include "futurerand/randomizer/composed.h"
+
+namespace futurerand::analysis {
+
+Result<CGapEstimate> EstimateCGapMonteCarlo(rand::RandomizerKind kind,
+                                            int64_t max_support,
+                                            double epsilon, int64_t samples,
+                                            uint64_t seed, double confidence) {
+  if (samples < 1) {
+    return Status::InvalidArgument("samples must be >= 1");
+  }
+  if (!(confidence > 0.0) || !(confidence < 1.0)) {
+    return Status::InvalidArgument("confidence must lie in (0,1)");
+  }
+
+  Rng rng(seed);
+  const SignVector all_ones(max_support);
+  double sum = 0.0;
+
+  switch (kind) {
+    case rand::RandomizerKind::kFutureRand:
+    case rand::RandomizerKind::kBun: {
+      Result<rand::AnnulusSpec> spec_result =
+          kind == rand::RandomizerKind::kFutureRand
+              ? rand::MakeFutureRandSpec(max_support, epsilon)
+              : rand::MakeBunSpec(max_support, epsilon);
+      if (!spec_result.ok()) {
+        return spec_result.status();
+      }
+      FR_ASSIGN_OR_RETURN(rand::ComposedRandomizer composed,
+                          rand::ComposedRandomizer::Create(*spec_result));
+      for (int64_t s = 0; s < samples; ++s) {
+        const SignVector b_tilde = composed.Apply(all_ones, &rng);
+        // Per-sample agreement average: (k - 2*dist)/k, expectation c_gap.
+        const int64_t negatives = b_tilde.CountNegative();
+        sum += static_cast<double>(max_support - 2 * negatives) /
+               static_cast<double>(max_support);
+      }
+      break;
+    }
+    case rand::RandomizerKind::kIndependent: {
+      FR_ASSIGN_OR_RETURN(
+          rand::BasicRandomizer basic,
+          rand::BasicRandomizer::Create(
+              epsilon / static_cast<double>(max_support)));
+      for (int64_t s = 0; s < samples; ++s) {
+        int64_t agreement = 0;
+        for (int64_t i = 0; i < max_support; ++i) {
+          agreement += basic.Apply(1, &rng);
+        }
+        sum += static_cast<double>(agreement) /
+               static_cast<double>(max_support);
+      }
+      break;
+    }
+    case rand::RandomizerKind::kAdaptive:
+      return Status::InvalidArgument(
+          "estimate the adaptive choice's underlying construction instead");
+  }
+
+  CGapEstimate estimate;
+  estimate.samples = samples;
+  estimate.estimate = sum / static_cast<double>(samples);
+  // Hoeffding for means of [-1,1]-valued variables:
+  // half-width = sqrt(2 ln(2/(1-confidence)) / samples).
+  estimate.half_width = std::sqrt(2.0 * std::log(2.0 / (1.0 - confidence)) /
+                                  static_cast<double>(samples));
+  return estimate;
+}
+
+}  // namespace futurerand::analysis

@@ -1,0 +1,72 @@
+#include "futurerand/analysis/theory.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "futurerand/common/macros.h"
+
+namespace futurerand::analysis {
+
+namespace {
+
+double Log2(double x) { return std::log2(x); }
+
+void CheckParams(const BoundParams& p) {
+  FR_CHECK(p.n > 0 && p.d >= 2 && p.k >= 1 && p.epsilon > 0 && p.beta > 0 &&
+           p.beta < 1);
+}
+
+double BasicGap(double eps_tilde) {
+  return (std::exp(eps_tilde) - 1.0) / (std::exp(eps_tilde) + 1.0);
+}
+
+}  // namespace
+
+double FutureRandBound(const BoundParams& p) {
+  CheckParams(p);
+  return (1.0 / p.epsilon) * Log2(p.d) *
+         std::sqrt(p.k * p.n * std::log(p.d / p.beta));
+}
+
+double HoeffdingProtocolBound(const BoundParams& p, double c_gap) {
+  CheckParams(p);
+  FR_CHECK(c_gap > 0);
+  return (1.0 + Log2(p.d)) / c_gap *
+         std::sqrt(2.0 * p.n * std::log(2.0 * p.d / p.beta));
+}
+
+double ErlingssonBound(const BoundParams& p) {
+  CheckParams(p);
+  return (1.0 / p.epsilon) * std::pow(Log2(p.d), 1.5) * p.k *
+         std::sqrt(p.n * std::log(p.d / p.beta));
+}
+
+double LowerBound(const BoundParams& p) {
+  CheckParams(p);
+  const double log_term = std::max(std::log(2.0), std::log(p.d / p.k));
+  return (1.0 / p.epsilon) * std::sqrt(p.k * p.n * log_term);
+}
+
+double ZhouOfflineBound(const BoundParams& p) {
+  CheckParams(p);
+  return (1.0 / p.epsilon) *
+         std::sqrt(p.k * std::log(p.n / p.beta) * p.n *
+                   std::log(p.d / p.beta));
+}
+
+double NaiveRRBound(const BoundParams& p) {
+  CheckParams(p);
+  const double gap = BasicGap(p.epsilon / p.d);
+  // Estimate is (sum/gap + n)/2; Hoeffding deviation of the +/-1 report sum
+  // is sqrt(2 n ln(2/beta')), beta' = beta/d; halve and divide by the gap.
+  return std::sqrt(2.0 * p.n * std::log(2.0 * p.d / p.beta)) / (2.0 * gap);
+}
+
+double CentralTreeBound(const BoundParams& p) {
+  CheckParams(p);
+  const double orders = 1.0 + Log2(p.d);
+  const double scale = p.k * orders / p.epsilon;
+  return orders * scale * std::log(orders * p.d / p.beta);
+}
+
+}  // namespace futurerand::analysis

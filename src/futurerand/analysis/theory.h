@@ -1,0 +1,56 @@
+// Closed-form error bounds from the paper and its comparators, used as
+// reference lines by the experiment harness and as oracles by the tests.
+// All bounds are on the l_inf error max_t |a_hat[t] - a[t]| with failure
+// probability beta, natural logs throughout.
+
+#ifndef FUTURERAND_ANALYSIS_THEORY_H_
+#define FUTURERAND_ANALYSIS_THEORY_H_
+
+#include <cstdint>
+
+namespace futurerand::analysis {
+
+/// Common parameter bundle for the bound formulas.
+struct BoundParams {
+  double n = 0;      // number of users
+  double d = 0;      // time periods (power of two)
+  double k = 0;      // change budget
+  double epsilon = 0;
+  double beta = 0;   // failure probability
+};
+
+/// Theorem 4.1 (this paper, asymptotic form, constant 1):
+/// (1/eps) * log2(d) * sqrt(k * n * ln(d/beta)).
+double FutureRandBound(const BoundParams& p);
+
+/// Lemma 4.6 with beta' = beta/d — the exact Hoeffding form
+/// (1 + log2 d) * c_gap^{-1} * sqrt(2 n ln(2d/beta)), given the exact c_gap
+/// of the deployed randomizer. Measured max errors must fall below this
+/// with probability 1 - beta; the tests enforce it.
+double HoeffdingProtocolBound(const BoundParams& p, double c_gap);
+
+/// Erlingsson et al. 2020 (abstract): (1/eps) * (log2 d)^{3/2} * k *
+/// sqrt(n * ln(d/beta)).
+double ErlingssonBound(const BoundParams& p);
+
+/// The lower bound of Zhou et al. 2021 quoted in Section 1:
+/// (1/eps) * sqrt(k * n * ln(d/k)) (ln clamped below at ln 2).
+double LowerBound(const BoundParams& p);
+
+/// Zhou et al. 2021 offline protocol (Section 6):
+/// (1/eps) * sqrt(k * ln(n/beta) * n * ln(d/beta)).
+double ZhouOfflineBound(const BoundParams& p);
+
+/// Naive repeated randomized response at eps/d: per-time Hoeffding with the
+/// debias factor, union-bounded over d:
+/// sqrt(n ln(2d/beta) / 2) / c_gap(eps/d), c_gap(x) = (e^x-1)/(e^x+1).
+double NaiveRRBound(const BoundParams& p);
+
+/// Central-model binary-tree mechanism with user-level sensitivity k
+/// (Section 6 reference): (1+log2 d) * (k (1+log2 d)/eps) * ln((1+log2 d)/
+/// (beta/d)), union-bounded over d queries.
+double CentralTreeBound(const BoundParams& p);
+
+}  // namespace futurerand::analysis
+
+#endif  // FUTURERAND_ANALYSIS_THEORY_H_

@@ -1,0 +1,29 @@
+#include "futurerand/central/laplace.h"
+
+#include <cmath>
+
+#include "futurerand/common/macros.h"
+
+namespace futurerand::central {
+
+Result<LaplaceMechanism> LaplaceMechanism::Create(double sensitivity,
+                                                  double epsilon) {
+  if (!(sensitivity > 0.0) || !std::isfinite(sensitivity)) {
+    return Status::InvalidArgument("sensitivity must be positive");
+  }
+  if (!(epsilon > 0.0) || !std::isfinite(epsilon)) {
+    return Status::InvalidArgument("epsilon must be positive");
+  }
+  return LaplaceMechanism(sensitivity / epsilon);
+}
+
+double LaplaceMechanism::Release(double exact_value, Rng* rng) const {
+  return exact_value + rng->NextLaplace(scale_);
+}
+
+double LaplaceMechanism::TailBound(double beta) const {
+  FR_CHECK(beta > 0.0 && beta < 1.0);
+  return scale_ * std::log(1.0 / beta);
+}
+
+}  // namespace futurerand::central

@@ -1,0 +1,38 @@
+// The Laplace mechanism in the central model of differential privacy —
+// the substrate for the continual-counting reference point of Section 6
+// ("Central Model").
+
+#ifndef FUTURERAND_CENTRAL_LAPLACE_H_
+#define FUTURERAND_CENTRAL_LAPLACE_H_
+
+#include "futurerand/common/random.h"
+#include "futurerand/common/result.h"
+
+namespace futurerand::central {
+
+/// Adds Laplace(sensitivity/epsilon) noise to exact query answers.
+class LaplaceMechanism {
+ public:
+  /// `sensitivity` is the L1 sensitivity of the protected quantity;
+  /// `epsilon` the budget. Both must be positive.
+  static Result<LaplaceMechanism> Create(double sensitivity, double epsilon);
+
+  /// exact_value + Laplace(0, scale).
+  double Release(double exact_value, Rng* rng) const;
+
+  /// The noise scale b = sensitivity / epsilon.
+  double scale() const { return scale_; }
+
+  /// With probability >= 1 - beta a single release deviates by at most
+  /// scale * ln(1/beta).
+  double TailBound(double beta) const;
+
+ private:
+  explicit LaplaceMechanism(double scale) : scale_(scale) {}
+
+  double scale_;
+};
+
+}  // namespace futurerand::central
+
+#endif  // FUTURERAND_CENTRAL_LAPLACE_H_

@@ -1,0 +1,84 @@
+#include "futurerand/central/tree_mechanism.h"
+
+#include <cmath>
+
+#include "futurerand/common/macros.h"
+#include "futurerand/common/math.h"
+#include "futurerand/dyadic/decomposition.h"
+
+namespace futurerand::central {
+
+TreeMechanism::TreeMechanism(int64_t num_periods, double noise_scale,
+                             uint64_t seed)
+    : noise_scale_(noise_scale), exact_(num_periods), noise_(num_periods) {
+  Rng rng(seed);
+  for (int h = 0; h < noise_.num_orders(); ++h) {
+    const int64_t count = dyadic::NumIntervalsAtOrder(num_periods, h);
+    for (int64_t j = 1; j <= count; ++j) {
+      noise_.At(h, j) = rng.NextLaplace(noise_scale_);
+    }
+  }
+}
+
+Result<TreeMechanism> TreeMechanism::Create(int64_t num_periods,
+                                            int64_t max_changes_per_user,
+                                            double epsilon, uint64_t seed) {
+  if (num_periods < 1 || !IsPowerOfTwo(static_cast<uint64_t>(num_periods))) {
+    return Status::InvalidArgument("num_periods must be a power of two");
+  }
+  if (max_changes_per_user < 1) {
+    return Status::InvalidArgument("max_changes_per_user must be >= 1");
+  }
+  if (!(epsilon > 0.0)) {
+    return Status::InvalidArgument("epsilon must be positive");
+  }
+  const int orders = dyadic::NumOrders(num_periods);
+  // One user moves up to k leaf derivatives by 1 each; each leaf change
+  // shifts one node per order. L1 sensitivity of the node vector:
+  // k * (1 + log d).
+  const double sensitivity = static_cast<double>(max_changes_per_user) *
+                             static_cast<double>(orders);
+  const double scale = sensitivity / epsilon;
+  return TreeMechanism(num_periods, scale, seed);
+}
+
+Status TreeMechanism::ObserveAggregateDerivative(int64_t t, int64_t delta) {
+  if (t < 1 || t > exact_.domain_size()) {
+    return Status::OutOfRange("time outside [1..d]");
+  }
+  if (delta != 0) {
+    exact_.AddAtTime(t, delta);
+  }
+  return Status::OK();
+}
+
+Result<double> TreeMechanism::EstimateAt(int64_t t) const {
+  if (t < 1 || t > exact_.domain_size()) {
+    return Status::OutOfRange("query time outside [1..d]");
+  }
+  double estimate = 0.0;
+  for (const dyadic::DyadicInterval& interval : dyadic::DecomposePrefix(t)) {
+    estimate += static_cast<double>(exact_.At(interval)) + noise_.At(interval);
+  }
+  return estimate;
+}
+
+Result<std::vector<double>> TreeMechanism::EstimateAll() const {
+  std::vector<double> estimates;
+  estimates.reserve(static_cast<size_t>(exact_.domain_size()));
+  for (int64_t t = 1; t <= exact_.domain_size(); ++t) {
+    FR_ASSIGN_OR_RETURN(double estimate, EstimateAt(t));
+    estimates.push_back(estimate);
+  }
+  return estimates;
+}
+
+double TreeMechanism::ErrorBound(double beta) const {
+  FR_CHECK(beta > 0.0 && beta < 1.0);
+  const auto orders = static_cast<double>(exact_.num_orders());
+  // Union bound over the <= (1+log d) nodes of one query, each a Laplace
+  // tail at level beta / orders.
+  return orders * noise_scale_ * std::log(orders / beta);
+}
+
+}  // namespace futurerand::central

@@ -1,0 +1,103 @@
+#include "futurerand/common/alias_table.h"
+
+#include <cmath>
+#include <limits>
+
+#include "futurerand/common/macros.h"
+#include "futurerand/common/math.h"
+
+namespace futurerand {
+
+Result<AliasTable> AliasTable::FromWeights(const std::vector<double>& weights) {
+  if (weights.empty()) {
+    return Status::InvalidArgument("alias table needs at least one weight");
+  }
+  double total = 0.0;
+  for (double w : weights) {
+    if (!(w >= 0.0) || !std::isfinite(w)) {
+      return Status::InvalidArgument("alias table weights must be finite and non-negative");
+    }
+    total += w;
+  }
+  if (total <= 0.0) {
+    return Status::InvalidArgument("alias table needs positive total weight");
+  }
+
+  const auto n = static_cast<int64_t>(weights.size());
+  AliasTable table;
+  table.normalized_.resize(weights.size());
+  for (size_t i = 0; i < weights.size(); ++i) {
+    table.normalized_[i] = weights[i] / total;
+  }
+
+  // Vose's stable construction: partition scaled probabilities into columns
+  // below/above 1, then pair each small column with a large one.
+  std::vector<double> scaled(weights.size());
+  for (size_t i = 0; i < weights.size(); ++i) {
+    scaled[i] = table.normalized_[i] * static_cast<double>(n);
+  }
+  table.prob_.assign(weights.size(), 0.0);
+  table.alias_.assign(weights.size(), 0);
+
+  std::vector<int64_t> small;
+  std::vector<int64_t> large;
+  small.reserve(weights.size());
+  large.reserve(weights.size());
+  for (int64_t i = 0; i < n; ++i) {
+    (scaled[static_cast<size_t>(i)] < 1.0 ? small : large).push_back(i);
+  }
+  while (!small.empty() && !large.empty()) {
+    const int64_t s = small.back();
+    small.pop_back();
+    const int64_t l = large.back();
+    large.pop_back();
+    table.prob_[static_cast<size_t>(s)] = scaled[static_cast<size_t>(s)];
+    table.alias_[static_cast<size_t>(s)] = l;
+    scaled[static_cast<size_t>(l)] =
+        (scaled[static_cast<size_t>(l)] + scaled[static_cast<size_t>(s)]) - 1.0;
+    (scaled[static_cast<size_t>(l)] < 1.0 ? small : large).push_back(l);
+  }
+  // Leftovers are 1 up to rounding.
+  for (int64_t i : large) {
+    table.prob_[static_cast<size_t>(i)] = 1.0;
+    table.alias_[static_cast<size_t>(i)] = i;
+  }
+  for (int64_t i : small) {
+    table.prob_[static_cast<size_t>(i)] = 1.0;
+    table.alias_[static_cast<size_t>(i)] = i;
+  }
+  return table;
+}
+
+Result<AliasTable> AliasTable::FromLogWeights(
+    const std::vector<double>& log_weights) {
+  if (log_weights.empty()) {
+    return Status::InvalidArgument("alias table needs at least one weight");
+  }
+  const double log_total = LogSumExp(log_weights);
+  if (log_total == -std::numeric_limits<double>::infinity()) {
+    return Status::InvalidArgument("alias table needs positive total weight");
+  }
+  std::vector<double> weights(log_weights.size());
+  for (size_t i = 0; i < log_weights.size(); ++i) {
+    weights[i] = std::exp(log_weights[i] - log_total);
+  }
+  return FromWeights(weights);
+}
+
+int64_t AliasTable::Sample(Rng* rng) const {
+  FR_DCHECK(!prob_.empty());
+  const auto column =
+      static_cast<int64_t>(rng->NextInt(static_cast<uint64_t>(size())));
+  const double u = rng->NextDouble();
+  return u < prob_[static_cast<size_t>(column)]
+             ? column
+             : alias_[static_cast<size_t>(column)];
+}
+
+double AliasTable::Probability(int64_t i) const {
+  FR_CHECK(i >= 0 && i < size());
+  return normalized_[static_cast<size_t>(i)];
+}
+
+}  // namespace futurerand

@@ -1,0 +1,51 @@
+// Walker alias tables: O(1) sampling from a fixed discrete distribution.
+//
+// The composed randomizer resamples a Hamming distance from the annulus
+// complement on every out-of-annulus event; the distribution is fixed at
+// init time, so an alias table makes each draw two random numbers and one
+// comparison. Weights may be supplied in natural-log space, which is how the
+// annulus code produces them.
+
+#ifndef FUTURERAND_COMMON_ALIAS_TABLE_H_
+#define FUTURERAND_COMMON_ALIAS_TABLE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "futurerand/common/random.h"
+#include "futurerand/common/result.h"
+
+namespace futurerand {
+
+/// A sampled-in-O(1) discrete distribution over {0, ..., n-1}.
+class AliasTable {
+ public:
+  /// Builds from non-negative weights (not necessarily normalized). At least
+  /// one weight must be positive.
+  static Result<AliasTable> FromWeights(const std::vector<double>& weights);
+
+  /// Builds from natural-log weights (useful when raw weights would
+  /// underflow). Entries of -infinity denote weight zero.
+  static Result<AliasTable> FromLogWeights(
+      const std::vector<double>& log_weights);
+
+  /// Number of categories.
+  int64_t size() const { return static_cast<int64_t>(prob_.size()); }
+
+  /// Draws one category.
+  int64_t Sample(Rng* rng) const;
+
+  /// The normalized probability of category `i` (for testing / display).
+  double Probability(int64_t i) const;
+
+ private:
+  AliasTable() = default;
+
+  std::vector<double> prob_;       // acceptance threshold per column
+  std::vector<int64_t> alias_;     // alias target per column
+  std::vector<double> normalized_; // normalized input distribution
+};
+
+}  // namespace futurerand
+
+#endif  // FUTURERAND_COMMON_ALIAS_TABLE_H_

@@ -1,0 +1,71 @@
+#include "futurerand/common/csv.h"
+
+#include <cstdio>
+
+namespace futurerand {
+
+Status CsvWriter::Open(const std::string& path) {
+  out_.open(path, std::ios::out | std::ios::trunc);
+  if (!out_.is_open()) {
+    return Status::IoError("cannot open for writing: " + path);
+  }
+  return Status::OK();
+}
+
+Status CsvWriter::WriteRow(const std::vector<std::string>& fields) {
+  if (!out_.is_open()) {
+    return Status::FailedPrecondition("CsvWriter is not open");
+  }
+  for (size_t i = 0; i < fields.size(); ++i) {
+    if (i > 0) {
+      out_ << ',';
+    }
+    out_ << EscapeField(fields[i]);
+  }
+  out_ << '\n';
+  if (!out_.good()) {
+    return Status::IoError("write failed");
+  }
+  return Status::OK();
+}
+
+Status CsvWriter::WriteNumericRow(const std::vector<double>& fields) {
+  std::vector<std::string> text;
+  text.reserve(fields.size());
+  char buffer[64];
+  for (double value : fields) {
+    std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+    text.emplace_back(buffer);
+  }
+  return WriteRow(text);
+}
+
+Status CsvWriter::Close() {
+  if (out_.is_open()) {
+    out_.close();
+    if (out_.fail()) {
+      return Status::IoError("close failed");
+    }
+  }
+  return Status::OK();
+}
+
+std::string CsvWriter::EscapeField(const std::string& field) {
+  const bool needs_quoting =
+      field.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quoting) {
+    return field;
+  }
+  std::string quoted = "\"";
+  for (char c : field) {
+    if (c == '"') {
+      quoted += "\"\"";
+    } else {
+      quoted += c;
+    }
+  }
+  quoted += '"';
+  return quoted;
+}
+
+}  // namespace futurerand

@@ -1,0 +1,43 @@
+// CSV output for experiment traces.
+
+#ifndef FUTURERAND_COMMON_CSV_H_
+#define FUTURERAND_COMMON_CSV_H_
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "futurerand/common/status.h"
+
+namespace futurerand {
+
+/// Writes rows of comma-separated values to a file. Fields containing commas,
+/// quotes or newlines are quoted per RFC 4180.
+class CsvWriter {
+ public:
+  CsvWriter() = default;
+
+  /// Opens (truncates) `path` for writing.
+  Status Open(const std::string& path);
+
+  /// True once Open succeeded.
+  bool is_open() const { return out_.is_open(); }
+
+  /// Writes one row of string fields.
+  Status WriteRow(const std::vector<std::string>& fields);
+
+  /// Writes one row of numeric fields with full double precision.
+  Status WriteNumericRow(const std::vector<double>& fields);
+
+  /// Flushes and closes the file.
+  Status Close();
+
+ private:
+  static std::string EscapeField(const std::string& field);
+
+  std::ofstream out_;
+};
+
+}  // namespace futurerand
+
+#endif  // FUTURERAND_COMMON_CSV_H_

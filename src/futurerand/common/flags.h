@@ -1,0 +1,70 @@
+// A minimal command-line flag parser for the tools and harnesses.
+//
+// Supports --name=value and --name value forms, plus bare --bool_flag.
+// Unknown flags and malformed values are errors (tools should not silently
+// ignore typos in experiment parameters).
+
+#ifndef FUTURERAND_COMMON_FLAGS_H_
+#define FUTURERAND_COMMON_FLAGS_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "futurerand/common/status.h"
+
+namespace futurerand {
+
+/// Registry of typed flags bound to caller-owned variables.
+class FlagParser {
+ public:
+  FlagParser() = default;
+
+  FlagParser(const FlagParser&) = delete;
+  FlagParser& operator=(const FlagParser&) = delete;
+
+  /// Registers flags. `target` keeps its current value as the default and
+  /// must outlive Parse(). Names must be unique and non-empty.
+  void AddInt64(const std::string& name, int64_t* target,
+                const std::string& help);
+  void AddDouble(const std::string& name, double* target,
+                 const std::string& help);
+  void AddString(const std::string& name, std::string* target,
+                 const std::string& help);
+  /// Accepts --name, --name=true/false/1/0.
+  void AddBool(const std::string& name, bool* target, const std::string& help);
+
+  /// Parses argv[1..argc-1]. On success the bound variables are updated and
+  /// positional (non-flag) arguments are available via positional_args().
+  Status Parse(int argc, const char* const* argv);
+
+  /// Non-flag arguments in order of appearance.
+  const std::vector<std::string>& positional_args() const {
+    return positional_args_;
+  }
+
+  /// A formatted help string listing every flag with its default and help
+  /// text.
+  std::string Usage(const std::string& program_name) const;
+
+ private:
+  struct Flag {
+    std::string help;
+    std::string default_value;
+    bool is_bool = false;
+    // Parses the value text into the bound variable; empty text means the
+    // bare --flag form (bool only).
+    std::function<Status(const std::string&)> setter;
+  };
+
+  void Register(const std::string& name, Flag flag);
+
+  std::map<std::string, Flag> flags_;
+  std::vector<std::string> positional_args_;
+};
+
+}  // namespace futurerand
+
+#endif  // FUTURERAND_COMMON_FLAGS_H_

@@ -1,0 +1,58 @@
+#include "futurerand/common/logging.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+
+namespace futurerand {
+namespace {
+
+std::atomic<int> g_threshold{static_cast<int>(LogSeverity::kWarning)};
+
+const char* SeverityTag(LogSeverity severity) {
+  switch (severity) {
+    case LogSeverity::kDebug:
+      return "DEBUG";
+    case LogSeverity::kInfo:
+      return "INFO";
+    case LogSeverity::kWarning:
+      return "WARN";
+    case LogSeverity::kError:
+      return "ERROR";
+  }
+  return "?";
+}
+
+// Basename of a path without allocating.
+const char* Basename(const char* path) {
+  const char* slash = std::strrchr(path, '/');
+  return slash != nullptr ? slash + 1 : path;
+}
+
+}  // namespace
+
+void SetLogThreshold(LogSeverity severity) {
+  g_threshold.store(static_cast<int>(severity), std::memory_order_relaxed);
+}
+
+LogSeverity GetLogThreshold() {
+  return static_cast<LogSeverity>(g_threshold.load(std::memory_order_relaxed));
+}
+
+namespace internal_logging {
+
+LogMessage::LogMessage(LogSeverity severity, const char* file, int line)
+    : severity_(severity), file_(file), line_(line) {}
+
+LogMessage::~LogMessage() {
+  if (static_cast<int>(severity_) <
+      g_threshold.load(std::memory_order_relaxed)) {
+    return;
+  }
+  // One fprintf call keeps concurrent log lines from interleaving mid-line.
+  std::fprintf(stderr, "[%s %s:%d] %s\n", SeverityTag(severity_),
+               Basename(file_), line_, stream_.str().c_str());
+}
+
+}  // namespace internal_logging
+}  // namespace futurerand

@@ -1,0 +1,61 @@
+// Minimal leveled logging to stderr.
+//
+//   FR_LOG(INFO) << "built annulus for k=" << k;
+//
+// The global threshold defaults to WARNING so that library code stays quiet
+// inside tests and benches; harnesses raise it explicitly.
+
+#ifndef FUTURERAND_COMMON_LOGGING_H_
+#define FUTURERAND_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace futurerand {
+
+enum class LogSeverity : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+};
+
+/// Sets the minimum severity that is emitted. Thread-safe.
+void SetLogThreshold(LogSeverity severity);
+
+/// Returns the current minimum emitted severity.
+LogSeverity GetLogThreshold();
+
+namespace internal_logging {
+
+/// Accumulates one log line and emits it (with severity tag and location) on
+/// destruction. Created only by the FR_LOG macro.
+class LogMessage {
+ public:
+  LogMessage(LogSeverity severity, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogSeverity severity_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_logging
+}  // namespace futurerand
+
+#define FR_LOG(severity)                                         \
+  ::futurerand::internal_logging::LogMessage(                    \
+      ::futurerand::LogSeverity::k##severity, __FILE__, __LINE__)
+
+#endif  // FUTURERAND_COMMON_LOGGING_H_

@@ -1,0 +1,59 @@
+// Core assertion and utility macros used across the library.
+//
+// FR_CHECK aborts the process on violated invariants (programming errors);
+// recoverable errors are reported through Status/Result instead.
+
+#ifndef FUTURERAND_COMMON_MACROS_H_
+#define FUTURERAND_COMMON_MACROS_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+#define FR_PREDICT_FALSE(x) (__builtin_expect(!!(x), 0))
+#define FR_PREDICT_TRUE(x) (__builtin_expect(!!(x), 1))
+
+/// Aborts with a diagnostic if `condition` is false. Enabled in all builds:
+/// invariant violations in a privacy library must never be silently ignored.
+#define FR_CHECK(condition)                                                  \
+  do {                                                                       \
+    if (FR_PREDICT_FALSE(!(condition))) {                                    \
+      std::fprintf(stderr, "FR_CHECK failed at %s:%d: %s\n", __FILE__,       \
+                   __LINE__, #condition);                                    \
+      std::abort();                                                          \
+    }                                                                        \
+  } while (false)
+
+/// FR_CHECK with an explanatory message.
+#define FR_CHECK_MSG(condition, msg)                                         \
+  do {                                                                       \
+    if (FR_PREDICT_FALSE(!(condition))) {                                    \
+      std::fprintf(stderr, "FR_CHECK failed at %s:%d: %s (%s)\n", __FILE__,  \
+                   __LINE__, #condition, msg);                               \
+      std::abort();                                                          \
+    }                                                                        \
+  } while (false)
+
+/// Debug-only check; compiled out in release builds.
+#ifdef NDEBUG
+#define FR_DCHECK(condition) \
+  do {                       \
+  } while (false)
+#else
+#define FR_DCHECK(condition) FR_CHECK(condition)
+#endif
+
+/// Aborts if a Status-returning expression is not OK.
+#define FR_CHECK_OK(expr)                                                   \
+  do {                                                                      \
+    const ::futurerand::Status& _fr_check_status = (expr);                  \
+    if (FR_PREDICT_FALSE(!_fr_check_status.ok())) {                         \
+      std::fprintf(stderr, "FR_CHECK_OK failed at %s:%d: %s\n", __FILE__,   \
+                   __LINE__, _fr_check_status.ToString().c_str());          \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (false)
+
+#define FR_CONCAT_IMPL(a, b) a##b
+#define FR_CONCAT(a, b) FR_CONCAT_IMPL(a, b)
+
+#endif  // FUTURERAND_COMMON_MACROS_H_

@@ -1,0 +1,45 @@
+// Numeric helpers: power-of-two utilities and log-space probability math.
+//
+// The randomizer analysis manipulates quantities like p^i (1-p)^{k-i} and
+// binomial tails for k up to millions; everything here works on natural logs
+// so nothing under- or overflows.
+
+#ifndef FUTURERAND_COMMON_MATH_H_
+#define FUTURERAND_COMMON_MATH_H_
+
+#include <cstdint>
+#include <span>
+
+namespace futurerand {
+
+/// True iff `x` is a positive power of two.
+bool IsPowerOfTwo(uint64_t x);
+
+/// floor(log2(x)); requires x > 0.
+int Log2Floor(uint64_t x);
+
+/// log2(x) for x an exact power of two; aborts otherwise.
+int Log2Exact(uint64_t x);
+
+/// ln C(n, i) computed via lgamma. Exact for small n, accurate to ~1e-12
+/// relative error for large n. Requires 0 <= i <= n.
+double LogBinomial(int64_t n, int64_t i);
+
+/// ln(e^a + e^b) without overflow.
+double LogAddExp(double a, double b);
+
+/// ln(sum_i e^{x_i}) without overflow. Returns -inf for an empty span.
+double LogSumExp(std::span<const double> xs);
+
+/// ln Pr[Binomial(k, p) = i] given ln p and ln(1-p):
+/// LogBinomial(k, i) + i*log_p + (k-i)*log_1mp.
+double BinomialLogPmf(int64_t k, int64_t i, double log_p, double log_1mp);
+
+/// The two-sided Hoeffding deviation bound for a sum of n independent
+/// variables each confined to [-c, c]: with probability >= 1 - beta,
+/// |sum - E[sum]| <= c * sqrt(2 n ln(2/beta)).
+double HoeffdingDeviation(double c, double n, double beta);
+
+}  // namespace futurerand
+
+#endif  // FUTURERAND_COMMON_MATH_H_

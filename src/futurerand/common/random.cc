@@ -1,0 +1,154 @@
+#include "futurerand/common/random.h"
+
+#include <cmath>
+
+#include "futurerand/common/macros.h"
+
+namespace futurerand {
+
+uint64_t SplitMix64Next(uint64_t* state) {
+  uint64_t z = (*state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+namespace {
+
+inline uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Xoshiro256pp::Xoshiro256pp(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& word : state_) {
+    word = SplitMix64Next(&sm);
+  }
+}
+
+Xoshiro256pp::result_type Xoshiro256pp::operator()() {
+  const uint64_t result = Rotl(state_[0] + state_[3], 23) + state_[0];
+  const uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = Rotl(state_[3], 45);
+  return result;
+}
+
+void Xoshiro256pp::Jump() {
+  static constexpr uint64_t kJump[] = {0x180ec6d33cfd0abaULL,
+                                       0xd5a61266f0c9392cULL,
+                                       0xa9582618e03fc9aaULL,
+                                       0x39abdc4529b1661cULL};
+  uint64_t s0 = 0, s1 = 0, s2 = 0, s3 = 0;
+  for (uint64_t jump : kJump) {
+    for (int b = 0; b < 64; ++b) {
+      if (jump & (uint64_t{1} << b)) {
+        s0 ^= state_[0];
+        s1 ^= state_[1];
+        s2 ^= state_[2];
+        s3 ^= state_[3];
+      }
+      (*this)();
+    }
+  }
+  state_ = {s0, s1, s2, s3};
+}
+
+Rng::Rng(uint64_t seed) : seed_(seed), gen_(seed) {}
+
+uint64_t Rng::NextUint64() { return gen_(); }
+
+double Rng::NextDouble() {
+  // Top 53 bits give a uniform dyadic rational in [0, 1).
+  return static_cast<double>(gen_() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::NextBernoulli(double p) {
+  if (p <= 0.0) {
+    return false;
+  }
+  if (p >= 1.0) {
+    return true;
+  }
+  return NextDouble() < p;
+}
+
+uint64_t Rng::NextInt(uint64_t bound) {
+  FR_CHECK(bound > 0);
+  // Lemire's method: multiply-shift with rejection in the biased zone.
+  uint64_t x = gen_();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  auto lo = static_cast<uint64_t>(m);
+  if (lo < bound) {
+    const uint64_t threshold = (0 - bound) % bound;
+    while (lo < threshold) {
+      x = gen_();
+      m = static_cast<__uint128_t>(x) * bound;
+      lo = static_cast<uint64_t>(m);
+    }
+  }
+  return static_cast<uint64_t>(m >> 64);
+}
+
+int8_t Rng::NextSign() {
+  return (gen_() >> 63) ? int8_t{1} : int8_t{-1};
+}
+
+double Rng::NextLaplace(double scale) {
+  // Inverse CDF: u uniform in (-1/2, 1/2], x = -scale * sgn(u) * ln(1-2|u|).
+  const double u = NextDouble() - 0.5;
+  const double magnitude = -scale * std::log(1.0 - 2.0 * std::abs(u));
+  return u >= 0 ? magnitude : -magnitude;
+}
+
+double Rng::NextGaussian() {
+  if (has_cached_gaussian_) {
+    has_cached_gaussian_ = false;
+    return cached_gaussian_;
+  }
+  double u, v, s;
+  do {
+    u = 2.0 * NextDouble() - 1.0;
+    v = 2.0 * NextDouble() - 1.0;
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  const double factor = std::sqrt(-2.0 * std::log(s) / s);
+  cached_gaussian_ = v * factor;
+  has_cached_gaussian_ = true;
+  return u * factor;
+}
+
+void Rng::SampleWithoutReplacement(uint64_t n, uint64_t m, uint64_t* out) {
+  FR_CHECK(m <= n);
+  // Floyd's algorithm: O(m) time, O(m) extra space via linear membership
+  // check on the output buffer (m is small in all library uses; for large m
+  // callers should shuffle instead).
+  for (uint64_t i = n - m; i < n; ++i) {
+    const uint64_t t = NextInt(i + 1);
+    bool seen = false;
+    const uint64_t count = i - (n - m);
+    for (uint64_t j = 0; j < count; ++j) {
+      if (out[j] == t) {
+        seen = true;
+        break;
+      }
+    }
+    out[count] = seen ? i : t;
+  }
+}
+
+Rng Rng::Fork(uint64_t stream_id) const {
+  // Hash (seed, stream_id) into a fresh seed. Two rounds of SplitMix64 over
+  // the concatenated words gives full avalanche between streams.
+  uint64_t state = seed_ ^ 0x6a09e667f3bcc909ULL;
+  (void)SplitMix64Next(&state);
+  state ^= stream_id + 0x9e3779b97f4a7c15ULL;
+  const uint64_t derived = SplitMix64Next(&state);
+  return Rng(derived);
+}
+
+}  // namespace futurerand

@@ -1,0 +1,97 @@
+// Deterministic pseudo-random number generation.
+//
+// Every randomized component in the library draws through Rng, which wraps a
+// xoshiro256++ generator seeded via SplitMix64. This keeps experiments
+// bit-for-bit reproducible across platforms (std:: distributions are not
+// portable) and lets simulations derive independent per-user streams with
+// Rng::Fork.
+
+#ifndef FUTURERAND_COMMON_RANDOM_H_
+#define FUTURERAND_COMMON_RANDOM_H_
+
+#include <array>
+#include <cstdint>
+
+namespace futurerand {
+
+/// Advances a SplitMix64 state and returns the next output. Used for seeding
+/// and for hashing stream ids into independent seeds.
+uint64_t SplitMix64Next(uint64_t* state);
+
+/// xoshiro256++ 1.0 (Blackman & Vigna). Satisfies UniformRandomBitGenerator.
+class Xoshiro256pp {
+ public:
+  using result_type = uint64_t;
+
+  /// Seeds all 256 bits of state from `seed` through SplitMix64, as the
+  /// reference implementation recommends.
+  explicit Xoshiro256pp(uint64_t seed);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~uint64_t{0}; }
+
+  result_type operator()();
+
+  /// Advances the generator by 2^128 steps; used to derive long-range
+  /// non-overlapping substreams.
+  void Jump();
+
+ private:
+  std::array<uint64_t, 4> state_;
+};
+
+/// Facade over Xoshiro256pp with the distributions the library needs.
+///
+/// All sampling is branch-light and allocation-free. Methods mutate internal
+/// state and are not thread-safe; use Fork() to create per-thread or per-user
+/// generators.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  /// A uniformly random 64-bit word.
+  uint64_t NextUint64();
+
+  /// A double uniform in [0, 1) with 53 random bits.
+  double NextDouble();
+
+  /// True with probability `p` (clamped to [0, 1]).
+  bool NextBernoulli(double p);
+
+  /// A uniform integer in [0, bound); `bound` must be positive. Uses Lemire's
+  /// nearly-divisionless unbiased method.
+  uint64_t NextInt(uint64_t bound);
+
+  /// −1 or +1 with equal probability.
+  int8_t NextSign();
+
+  /// Laplace(0, scale) via inverse CDF.
+  double NextLaplace(double scale);
+
+  /// Standard normal via the polar (Marsaglia) method.
+  double NextGaussian();
+
+  /// Samples `m` distinct values from [0, n) uniformly (partial
+  /// Fisher–Yates). Caller provides `out` with space for `m` entries.
+  /// Requires m <= n.
+  void SampleWithoutReplacement(uint64_t n, uint64_t m, uint64_t* out);
+
+  /// Derives an independent generator for the given stream id. Two forks of
+  /// the same Rng with different ids produce statistically independent
+  /// streams; forking is deterministic in (seed, stream_id).
+  Rng Fork(uint64_t stream_id) const;
+
+  /// The seed this Rng was constructed with (used by Fork).
+  uint64_t seed() const { return seed_; }
+
+ private:
+  uint64_t seed_;
+  Xoshiro256pp gen_;
+  // Cached second output of the polar method.
+  double cached_gaussian_ = 0.0;
+  bool has_cached_gaussian_ = false;
+};
+
+}  // namespace futurerand
+
+#endif  // FUTURERAND_COMMON_RANDOM_H_

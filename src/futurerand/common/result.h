@@ -1,0 +1,82 @@
+// Result<T>: value-or-Status, the return type for fallible constructors and
+// computations (Arrow's arrow::Result idiom).
+
+#ifndef FUTURERAND_COMMON_RESULT_H_
+#define FUTURERAND_COMMON_RESULT_H_
+
+#include <utility>
+#include <variant>
+
+#include "futurerand/common/macros.h"
+#include "futurerand/common/status.h"
+
+namespace futurerand {
+
+/// Holds either a successfully produced T or the Status explaining why it
+/// could not be produced. A Result never holds an OK Status.
+template <typename T>
+class Result {
+ public:
+  /// Constructs from a value (implicit, to allow `return value;`).
+  Result(T value) : repr_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Constructs from a non-OK status (implicit, to allow `return status;`).
+  Result(Status status) : repr_(std::move(status)) {  // NOLINT
+    FR_CHECK_MSG(!std::get<Status>(repr_).ok(),
+                 "Result constructed from an OK Status");
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) = default;
+  Result& operator=(Result&&) = default;
+
+  /// True iff a value is held.
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  /// The error status, or OK if a value is held.
+  Status status() const {
+    if (ok()) {
+      return Status::OK();
+    }
+    return std::get<Status>(repr_);
+  }
+
+  /// Returns the held value; aborts if this Result holds an error.
+  const T& ValueOrDie() const& {
+    FR_CHECK_MSG(ok(), status().ToString().c_str());
+    return std::get<T>(repr_);
+  }
+  T& ValueOrDie() & {
+    FR_CHECK_MSG(ok(), status().ToString().c_str());
+    return std::get<T>(repr_);
+  }
+  T&& ValueOrDie() && {
+    FR_CHECK_MSG(ok(), status().ToString().c_str());
+    return std::move(std::get<T>(repr_));
+  }
+
+  const T& operator*() const& { return ValueOrDie(); }
+  T& operator*() & { return ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+  T* operator->() { return &ValueOrDie(); }
+
+ private:
+  std::variant<T, Status> repr_;
+};
+
+}  // namespace futurerand
+
+/// Evaluates a Result<T>-returning expression; on success binds the value to
+/// `lhs`, otherwise returns the error Status from the enclosing function.
+#define FR_ASSIGN_OR_RETURN(lhs, rexpr)                                   \
+  FR_ASSIGN_OR_RETURN_IMPL(FR_CONCAT(_fr_result_, __LINE__), lhs, rexpr)
+
+#define FR_ASSIGN_OR_RETURN_IMPL(result_name, lhs, rexpr) \
+  auto result_name = (rexpr);                             \
+  if (FR_PREDICT_FALSE(!result_name.ok())) {              \
+    return result_name.status();                          \
+  }                                                       \
+  lhs = std::move(result_name).ValueOrDie()
+
+#endif  // FUTURERAND_COMMON_RESULT_H_

@@ -1,0 +1,77 @@
+#include "futurerand/common/sign_vector.h"
+
+#include "futurerand/common/macros.h"
+
+namespace futurerand {
+
+SignVector::SignVector(int64_t size) : size_(size) {
+  FR_CHECK(size >= 0);
+  words_.resize(static_cast<size_t>((size + 63) / 64), 0);
+}
+
+SignVector SignVector::FromValues(const std::vector<int8_t>& values) {
+  SignVector result(static_cast<int64_t>(values.size()));
+  for (size_t i = 0; i < values.size(); ++i) {
+    result.Set(static_cast<int64_t>(i), values[i]);
+  }
+  return result;
+}
+
+int8_t SignVector::Get(int64_t i) const {
+  FR_DCHECK(i >= 0 && i < size_);
+  const uint64_t word = words_[static_cast<size_t>(i >> 6)];
+  return (word >> (i & 63)) & 1 ? int8_t{-1} : int8_t{1};
+}
+
+void SignVector::Set(int64_t i, int8_t value) {
+  FR_DCHECK(i >= 0 && i < size_);
+  FR_CHECK_MSG(value == -1 || value == 1, "SignVector values must be +/-1");
+  const uint64_t mask = uint64_t{1} << (i & 63);
+  uint64_t& word = words_[static_cast<size_t>(i >> 6)];
+  if (value == -1) {
+    word |= mask;
+  } else {
+    word &= ~mask;
+  }
+}
+
+void SignVector::Flip(int64_t i) {
+  FR_DCHECK(i >= 0 && i < size_);
+  words_[static_cast<size_t>(i >> 6)] ^= uint64_t{1} << (i & 63);
+}
+
+int64_t SignVector::HammingDistance(const SignVector& other) const {
+  FR_CHECK(size_ == other.size_);
+  int64_t distance = 0;
+  for (size_t w = 0; w < words_.size(); ++w) {
+    distance += __builtin_popcountll(words_[w] ^ other.words_[w]);
+  }
+  return distance;
+}
+
+int64_t SignVector::CountNegative() const {
+  int64_t count = 0;
+  for (uint64_t word : words_) {
+    count += __builtin_popcountll(word);
+  }
+  return count;
+}
+
+std::vector<int8_t> SignVector::ToValues() const {
+  std::vector<int8_t> values(static_cast<size_t>(size_));
+  for (int64_t i = 0; i < size_; ++i) {
+    values[static_cast<size_t>(i)] = Get(i);
+  }
+  return values;
+}
+
+std::string SignVector::ToString() const {
+  std::string repr;
+  repr.reserve(static_cast<size_t>(size_));
+  for (int64_t i = 0; i < size_; ++i) {
+    repr.push_back(Get(i) == 1 ? '+' : '-');
+  }
+  return repr;
+}
+
+}  // namespace futurerand

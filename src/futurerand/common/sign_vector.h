@@ -1,0 +1,61 @@
+// SignVector: a packed vector of {-1, +1} values.
+//
+// The composed randomizer operates on sequences b in {-1,+1}^k; packing them
+// into 64-bit words makes the Hamming-distance and flip operations used by
+// the annulus machinery cheap (popcount / xor).
+
+#ifndef FUTURERAND_COMMON_SIGN_VECTOR_H_
+#define FUTURERAND_COMMON_SIGN_VECTOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace futurerand {
+
+/// A fixed-length sequence over {-1, +1}, bit-packed (bit set <=> value -1).
+/// A default-constructed element is +1.
+class SignVector {
+ public:
+  /// Creates a vector of `size` entries, all +1.
+  explicit SignVector(int64_t size);
+
+  /// Creates a vector from explicit values; every entry must be -1 or +1.
+  static SignVector FromValues(const std::vector<int8_t>& values);
+
+  int64_t size() const { return size_; }
+
+  /// The value at `i`: -1 or +1.
+  int8_t Get(int64_t i) const;
+
+  /// Sets entry `i` to `value` (must be -1 or +1).
+  void Set(int64_t i, int8_t value);
+
+  /// Multiplies entry `i` by -1.
+  void Flip(int64_t i);
+
+  /// Number of coordinates where `*this` and `other` differ (the l0 distance
+  /// used by the annulus Ann(b)). Requires equal sizes.
+  int64_t HammingDistance(const SignVector& other) const;
+
+  /// Number of -1 entries.
+  int64_t CountNegative() const;
+
+  /// Entries as a vector of int8_t in {-1, +1}.
+  std::vector<int8_t> ToValues() const;
+
+  /// Compact display, e.g. "+-++".
+  std::string ToString() const;
+
+  friend bool operator==(const SignVector& a, const SignVector& b) {
+    return a.size_ == b.size_ && a.words_ == b.words_;
+  }
+
+ private:
+  int64_t size_;
+  std::vector<uint64_t> words_;
+};
+
+}  // namespace futurerand
+
+#endif  // FUTURERAND_COMMON_SIGN_VECTOR_H_

@@ -1,0 +1,44 @@
+// Streaming statistics and quantile helpers used by the experiment harness.
+
+#ifndef FUTURERAND_COMMON_STATS_H_
+#define FUTURERAND_COMMON_STATS_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace futurerand {
+
+/// Single-pass mean/variance/min/max accumulator (Welford's algorithm).
+class RunningStat {
+ public:
+  RunningStat() = default;
+
+  /// Incorporates one observation.
+  void Add(double x);
+
+  /// Merges another accumulator into this one (parallel reduction).
+  void Merge(const RunningStat& other);
+
+  int64_t count() const { return count_; }
+  double mean() const;
+  /// Unbiased sample variance; 0 when fewer than two observations.
+  double variance() const;
+  double stddev() const;
+  double min() const;
+  double max() const;
+
+ private:
+  int64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// The q-quantile (0 <= q <= 1) of `values` by linear interpolation between
+/// order statistics. Copies and sorts; intended for end-of-run reporting.
+double Quantile(std::vector<double> values, double q);
+
+}  // namespace futurerand
+
+#endif  // FUTURERAND_COMMON_STATS_H_

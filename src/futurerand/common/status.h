@@ -1,0 +1,101 @@
+// Status: lightweight error propagation without exceptions, in the style of
+// Arrow / RocksDB. Functions that can fail return Status (or Result<T>).
+
+#ifndef FUTURERAND_COMMON_STATUS_H_
+#define FUTURERAND_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+
+namespace futurerand {
+
+/// Machine-readable error category of a Status.
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kOutOfRange = 2,
+  kFailedPrecondition = 3,
+  kNotImplemented = 4,
+  kAlreadyExists = 5,
+  kNotFound = 6,
+  kIoError = 7,
+  kInternal = 8,
+};
+
+/// Returns a stable human-readable name for `code` (e.g. "InvalidArgument").
+const char* StatusCodeToString(StatusCode code);
+
+/// The outcome of an operation: OK, or an error code plus message.
+///
+/// Status is cheap to copy for the OK case and small (two words) otherwise.
+/// Use the static factories (`Status::InvalidArgument(...)`) to construct
+/// errors, and the FR_RETURN_NOT_OK macro to propagate them.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  /// True iff the operation succeeded.
+  bool ok() const { return code_ == StatusCode::kOk; }
+
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+}  // namespace futurerand
+
+/// Propagates a non-OK Status to the caller.
+#define FR_RETURN_NOT_OK(expr)                      \
+  do {                                              \
+    ::futurerand::Status _fr_status = (expr);       \
+    if (FR_PREDICT_FALSE(!_fr_status.ok())) {       \
+      return _fr_status;                            \
+    }                                               \
+  } while (false)
+
+#endif  // FUTURERAND_COMMON_STATUS_H_

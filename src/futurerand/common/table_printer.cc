@@ -1,0 +1,74 @@
+#include "futurerand/common/table_printer.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace futurerand {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void TablePrinter::AddRow(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void TablePrinter::Print(std::ostream& out) const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  auto print_row = [&](const std::vector<std::string>& cells) {
+    for (size_t c = 0; c < cells.size(); ++c) {
+      if (c > 0) {
+        out << "  ";
+      }
+      // Right-justify: numeric tables read best column-aligned at the right.
+      const size_t pad = widths[c] - cells[c].size();
+      out << std::string(pad, ' ') << cells[c];
+    }
+    out << '\n';
+  };
+
+  print_row(headers_);
+  size_t rule_width = 0;
+  for (size_t c = 0; c < widths.size(); ++c) {
+    rule_width += widths[c] + (c > 0 ? 2 : 0);
+  }
+  out << std::string(rule_width, '-') << '\n';
+  for (const auto& row : rows_) {
+    print_row(row);
+  }
+}
+
+std::string TablePrinter::FormatDouble(double value, int precision) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.*g", precision, value);
+  return buffer;
+}
+
+std::string TablePrinter::FormatCount(int64_t value) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%lld",
+                static_cast<long long>(value));
+  std::string digits = buffer;
+  std::string grouped;
+  const bool negative = !digits.empty() && digits[0] == '-';
+  const size_t start = negative ? 1 : 0;
+  const size_t len = digits.size() - start;
+  for (size_t i = 0; i < len; ++i) {
+    if (i > 0 && (len - i) % 3 == 0) {
+      grouped += ',';
+    }
+    grouped += digits[start + i];
+  }
+  return negative ? "-" + grouped : grouped;
+}
+
+}  // namespace futurerand

@@ -1,0 +1,42 @@
+// Aligned console tables: the benchmark harnesses print paper-style result
+// tables through this.
+
+#ifndef FUTURERAND_COMMON_TABLE_PRINTER_H_
+#define FUTURERAND_COMMON_TABLE_PRINTER_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace futurerand {
+
+/// Collects rows of string cells and prints them with column-aligned,
+/// right-justified formatting and a header rule.
+class TablePrinter {
+ public:
+  /// Creates a table with the given column headers.
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Appends a row; missing trailing cells are rendered empty, extra cells
+  /// are dropped.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Renders the table to `out`.
+  void Print(std::ostream& out) const;
+
+  /// Formats a double with `precision` significant digits (trailing-zero
+  /// trimmed "%.*g").
+  static std::string FormatDouble(double value, int precision = 4);
+
+  /// Formats an integer with thousands grouping, e.g. 1'048'576 -> "1048576"
+  /// is instead rendered "1,048,576".
+  static std::string FormatCount(int64_t value);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace futurerand
+
+#endif  // FUTURERAND_COMMON_TABLE_PRINTER_H_

@@ -1,0 +1,36 @@
+#include "futurerand/core/accountant.h"
+
+#include "futurerand/common/macros.h"
+
+namespace futurerand::core {
+
+PrivacyAccountant::PrivacyAccountant(double budget) : budget_(budget) {
+  FR_CHECK_MSG(budget > 0.0, "privacy budget must be positive");
+}
+
+Status PrivacyAccountant::Charge(int64_t user_id, double epsilon) {
+  if (!(epsilon > 0.0)) {
+    return Status::InvalidArgument("charge must be positive");
+  }
+  // Tolerate float round-off when exactly exhausting the budget (e.g. d
+  // charges of eps/d).
+  constexpr double kSlack = 1e-9;
+  double& spent = spent_[user_id];
+  if (spent + epsilon > budget_ * (1.0 + kSlack)) {
+    return Status::FailedPrecondition("privacy budget exhausted");
+  }
+  spent += epsilon;
+  return Status::OK();
+}
+
+double PrivacyAccountant::Spent(int64_t user_id) const {
+  const auto it = spent_.find(user_id);
+  return it == spent_.end() ? 0.0 : it->second;
+}
+
+double PrivacyAccountant::Remaining(int64_t user_id) const {
+  const double remaining = budget_ - Spent(user_id);
+  return remaining > 0.0 ? remaining : 0.0;
+}
+
+}  // namespace futurerand::core

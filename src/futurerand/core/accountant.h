@@ -1,0 +1,49 @@
+// A pure-DP privacy accountant under sequential composition.
+//
+// Our protocol charges each user's whole report sequence a single eps (the
+// FutureRand certificate covers the entire sequence jointly); the naive
+// baseline charges eps/d per period, d times. The accountant makes these
+// policies explicit and refuses charges that would exceed the budget —
+// the library-level embodiment of the introduction's "naive repetition
+// exhausts the budget" observation.
+
+#ifndef FUTURERAND_CORE_ACCOUNTANT_H_
+#define FUTURERAND_CORE_ACCOUNTANT_H_
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "futurerand/common/status.h"
+
+namespace futurerand::core {
+
+/// Tracks per-user cumulative privacy loss against a fixed budget.
+class PrivacyAccountant {
+ public:
+  /// `budget` is the total eps each user may spend; must be positive.
+  explicit PrivacyAccountant(double budget);
+
+  /// Attempts to spend `epsilon` for `user_id`. Fails with
+  /// FailedPrecondition (and records nothing) if the budget would be
+  /// exceeded; epsilon must be positive.
+  Status Charge(int64_t user_id, double epsilon);
+
+  /// Total spent so far by `user_id` (0 if never charged).
+  double Spent(int64_t user_id) const;
+
+  /// Remaining budget for `user_id`.
+  double Remaining(int64_t user_id) const;
+
+  double budget() const { return budget_; }
+
+  /// Number of users with at least one successful charge.
+  int64_t num_users() const { return static_cast<int64_t>(spent_.size()); }
+
+ private:
+  double budget_;
+  std::unordered_map<int64_t, double> spent_;
+};
+
+}  // namespace futurerand::core
+
+#endif  // FUTURERAND_CORE_ACCOUNTANT_H_

@@ -1,0 +1,72 @@
+#include "futurerand/core/client.h"
+
+#include <utility>
+
+#include "futurerand/common/macros.h"
+#include "futurerand/common/random.h"
+
+namespace futurerand::core {
+
+Client::Client(const ProtocolConfig& config, int level,
+               std::unique_ptr<rand::SequenceRandomizer> randomizer)
+    : config_(config),
+      level_(level),
+      interval_length_(int64_t{1} << level),
+      randomizer_(std::move(randomizer)) {}
+
+Result<Client> Client::Create(const ProtocolConfig& config, uint64_t seed) {
+  FR_RETURN_NOT_OK(config.Validate());
+  Rng rng(seed);
+  // Algorithm 1 line 1: h_u uniform over [0..log d].
+  const int level =
+      static_cast<int>(rng.NextInt(static_cast<uint64_t>(config.num_orders())));
+  const int64_t length = config.num_periods >> level;  // L = d / 2^{h_u}
+  // Paper-faithful mode passes the global k (M.init(L, k, eps), Algorithm 1
+  // line 3); the per-level extension shrinks it to min(k, L).
+  const int64_t support = config.SupportAtLevel(level);
+  FR_ASSIGN_OR_RETURN(
+      std::unique_ptr<rand::SequenceRandomizer> randomizer,
+      rand::MakeSequenceRandomizer(config.randomizer, length, support,
+                                   config.epsilon, rng.NextUint64()));
+  return Client(config, level, std::move(randomizer));
+}
+
+Result<std::optional<int8_t>> Client::ObserveState(int8_t state) {
+  if (state != 0 && state != 1) {
+    return Status::InvalidArgument("state must be 0 or 1");
+  }
+  if (time_ >= config_.num_periods) {
+    return Status::OutOfRange("all d time periods already ingested");
+  }
+  ++time_;
+  if (state != current_state_) {
+    ++changes_seen_;
+  }
+  current_state_ = state;
+
+  // Algorithm 1 line 5: report exactly when 2^{h_u} divides t.
+  if (time_ % interval_length_ != 0) {
+    return std::optional<int8_t>(std::nullopt);
+  }
+  // Observation 3.7: the partial sum over the interval ending at t is
+  // st_u[t] - st_u[t - 2^{h_u}], both of which the client has retained.
+  const auto partial_sum =
+      static_cast<int8_t>(current_state_ - boundary_state_);
+  boundary_state_ = current_state_;
+  ++reports_sent_;
+  return std::optional<int8_t>(randomizer_->Randomize(partial_sum));
+}
+
+Result<std::optional<int8_t>> Client::ObserveDerivative(int8_t derivative) {
+  if (derivative != -1 && derivative != 0 && derivative != 1) {
+    return Status::InvalidArgument("derivative must be in {-1,0,+1}");
+  }
+  const int8_t next_state = static_cast<int8_t>(current_state_ + derivative);
+  if (next_state != 0 && next_state != 1) {
+    return Status::InvalidArgument(
+        "derivative would move the Boolean state outside {0,1}");
+  }
+  return ObserveState(next_state);
+}
+
+}  // namespace futurerand::core

@@ -1,0 +1,47 @@
+#include "futurerand/core/config.h"
+
+#include <cstdio>
+
+#include "futurerand/common/math.h"
+
+namespace futurerand::core {
+
+Status ProtocolConfig::Validate() const {
+  if (num_periods < 1 || !IsPowerOfTwo(static_cast<uint64_t>(num_periods))) {
+    return Status::InvalidArgument(
+        "num_periods (d) must be a positive power of two");
+  }
+  if (max_changes < 1 || max_changes > num_periods) {
+    return Status::InvalidArgument(
+        "max_changes (k) must satisfy 1 <= k <= d");
+  }
+  if (!(epsilon > 0.0) || !(epsilon <= 1.0)) {
+    return Status::InvalidArgument(
+        "epsilon must lie in (0, 1], the analyzed regime");
+  }
+  return Status::OK();
+}
+
+int ProtocolConfig::num_orders() const {
+  return Log2Exact(static_cast<uint64_t>(num_periods)) + 1;
+}
+
+int64_t ProtocolConfig::SupportAtLevel(int level) const {
+  const int64_t length = num_periods >> level;
+  if (adapt_support_per_level && length < max_changes) {
+    return length;
+  }
+  return max_changes;
+}
+
+std::string ProtocolConfig::ToString() const {
+  char buffer[160];
+  std::snprintf(buffer, sizeof(buffer),
+                "ProtocolConfig{d=%lld k=%lld eps=%.4g randomizer=%s}",
+                static_cast<long long>(num_periods),
+                static_cast<long long>(max_changes), epsilon,
+                rand::RandomizerKindToString(randomizer));
+  return buffer;
+}
+
+}  // namespace futurerand::core

@@ -1,0 +1,61 @@
+// Protocol-level configuration shared by clients and the server.
+
+#ifndef FUTURERAND_CORE_CONFIG_H_
+#define FUTURERAND_CORE_CONFIG_H_
+
+#include <cstdint>
+#include <string>
+
+#include "futurerand/common/status.h"
+#include "futurerand/randomizer/randomizer.h"
+
+namespace futurerand::core {
+
+/// Parameters of one longitudinal tracking deployment (Problem 2.3).
+struct ProtocolConfig {
+  /// Number of time periods d; must be a power of two (Section 2).
+  int64_t num_periods = 0;
+
+  /// Sparsity budget k: each user's Boolean value changes at most k times
+  /// across the d periods (counting the change from the convention
+  /// st_u[0] = 0 to st_u[1], per Definition 3.1).
+  int64_t max_changes = 0;
+
+  /// Local privacy budget; the analysis covers 0 < epsilon <= 1.
+  double epsilon = 0.0;
+
+  /// Which sequence randomizer clients use (Section 4.2 / Section 5).
+  rand::RandomizerKind randomizer = rand::RandomizerKind::kFutureRand;
+
+  /// Extension beyond the paper (default off = paper-faithful): a client at
+  /// level h emits only L = d/2^h reports, so its non-zero partial sums are
+  /// bounded by min(k, L); parameterizing its randomizer with that smaller
+  /// budget yields a larger c_gap at high levels with the identical privacy
+  /// certificate. The server compensates with per-level debiasing scales.
+  bool adapt_support_per_level = false;
+
+  /// The sparsity budget used by a client at level h: min(k, d/2^h) when
+  /// adapt_support_per_level is set, otherwise k.
+  int64_t SupportAtLevel(int level) const;
+
+  /// Extension beyond the paper (default off): after all reports are in,
+  /// post-process the per-interval estimates with GLS tree consistency
+  /// (see core/consistency.h) before forming prefix sums. Offline mode
+  /// only; pure post-processing, so privacy is unchanged.
+  bool consistent_estimation = false;
+
+  /// OK iff num_periods is a power of two, 1 <= max_changes <= num_periods,
+  /// and 0 < epsilon <= 1.
+  Status Validate() const;
+
+  /// 1 + log2(d): the number of dyadic orders, and the support size of the
+  /// level distribution h_u.
+  int num_orders() const;
+
+  /// Human-readable parameter summary.
+  std::string ToString() const;
+};
+
+}  // namespace futurerand::core
+
+#endif  // FUTURERAND_CORE_CONFIG_H_

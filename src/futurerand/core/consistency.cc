@@ -1,0 +1,106 @@
+#include "futurerand/core/consistency.h"
+
+#include <cmath>
+#include <vector>
+
+#include "futurerand/dyadic/interval.h"
+
+namespace futurerand::core {
+
+namespace {
+
+Status ValidateVariances(std::span<const double> level_variances,
+                         int num_orders) {
+  if (static_cast<int>(level_variances.size()) != num_orders) {
+    return Status::InvalidArgument("need one variance per dyadic order");
+  }
+  for (double variance : level_variances) {
+    if (!(variance > 0.0) || !std::isfinite(variance)) {
+      return Status::InvalidArgument("variances must be positive and finite");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status EnforceTreeConsistency(std::span<const double> level_variances,
+                              dyadic::DyadicTree<double>* estimates) {
+  const int orders = estimates->num_orders();
+  FR_RETURN_NOT_OK(ValidateVariances(level_variances, orders));
+  const int64_t d = estimates->domain_size();
+
+  // Upward sweep: z(I), V(I) = best unbiased estimate of S(I) from the
+  // subtree below (and including) I, by inverse-variance weighting of the
+  // node's own observation with its children's combined estimate.
+  dyadic::DyadicTree<double> z(d);
+  dyadic::DyadicTree<double> subtree_variance(d);
+  for (int h = 0; h < orders; ++h) {
+    const int64_t count = dyadic::NumIntervalsAtOrder(d, h);
+    const double own_variance = level_variances[static_cast<size_t>(h)];
+    for (int64_t j = 1; j <= count; ++j) {
+      const double own = estimates->At(h, j);
+      if (h == 0) {
+        z.At(h, j) = own;
+        subtree_variance.At(h, j) = own_variance;
+        continue;
+      }
+      const dyadic::DyadicInterval node{h, j};
+      const dyadic::DyadicInterval left = node.LeftChild();
+      const dyadic::DyadicInterval right = node.RightChild();
+      const double children = z.At(left) + z.At(right);
+      const double children_variance =
+          subtree_variance.At(left) + subtree_variance.At(right);
+      const double own_weight = 1.0 / own_variance;
+      const double child_weight = 1.0 / children_variance;
+      z.At(h, j) =
+          (own_weight * own + child_weight * children) /
+          (own_weight + child_weight);
+      subtree_variance.At(h, j) = 1.0 / (own_weight + child_weight);
+    }
+  }
+
+  // Downward sweep: fix x(root) = z(root); at each internal node the final
+  // value x(I) is authoritative, and the children absorb the residual
+  // x(I) - (z(L) + z(R)) in proportion to their subtree variances (the
+  // lower-variance child moves less).
+  estimates->At(orders - 1, 1) = z.At(orders - 1, 1);
+  for (int h = orders - 1; h >= 1; --h) {
+    const int64_t count = dyadic::NumIntervalsAtOrder(d, h);
+    for (int64_t j = 1; j <= count; ++j) {
+      const dyadic::DyadicInterval node{h, j};
+      const dyadic::DyadicInterval left = node.LeftChild();
+      const dyadic::DyadicInterval right = node.RightChild();
+      const double residual =
+          estimates->At(node) - (z.At(left) + z.At(right));
+      const double left_variance = subtree_variance.At(left);
+      const double right_variance = subtree_variance.At(right);
+      const double total_variance = left_variance + right_variance;
+      estimates->At(left) = z.At(left) + residual * left_variance /
+                                             total_variance;
+      estimates->At(right) = z.At(right) + residual * right_variance /
+                                               total_variance;
+    }
+  }
+  return Status::OK();
+}
+
+Result<double> ConsistentRootVariance(
+    std::span<const double> level_variances, int64_t num_periods) {
+  if (num_periods < 1 || !IsPowerOfTwo(static_cast<uint64_t>(num_periods))) {
+    return Status::InvalidArgument("num_periods must be a power of two");
+  }
+  const int orders = dyadic::NumOrders(num_periods);
+  FR_RETURN_NOT_OK(ValidateVariances(level_variances, orders));
+  // The subtree variance depends only on the level; run the upward
+  // recursion on scalars.
+  double variance = level_variances[0];
+  for (int h = 1; h < orders; ++h) {
+    const double children_variance = 2.0 * variance;
+    const double own_variance = level_variances[static_cast<size_t>(h)];
+    variance = 1.0 / (1.0 / own_variance + 1.0 / children_variance);
+  }
+  return variance;
+}
+
+}  // namespace futurerand::core

@@ -1,0 +1,47 @@
+// Consistency post-processing for hierarchical estimates (an offline-mode
+// extension in the spirit of Hay et al., VLDB 2010, generalized to
+// level-dependent variances).
+//
+// The server holds an independent unbiased estimate y(I) of the partial sum
+// S(I) for EVERY dyadic interval (each level is fed by its own user
+// cohort), but the raw estimates ignore the tree identity
+// S(parent) = S(left) + S(right). Generalized least squares over that
+// constraint system strictly reduces variance and keeps unbiasedness —
+// post-processing is free under differential privacy.
+//
+// The GLS solution is computed exactly in two sweeps:
+//   upward   z(I)  = inverse-variance combination of y(I) with
+//                    z(left) + z(right)
+//   downward x(root) = z(root); the residual x(I) − z(left) − z(right) is
+//                    split between the children proportionally to their
+//                    subtree variances.
+// The result satisfies every tree constraint exactly.
+
+#ifndef FUTURERAND_CORE_CONSISTENCY_H_
+#define FUTURERAND_CORE_CONSISTENCY_H_
+
+#include <cstdint>
+#include <span>
+
+#include "futurerand/common/result.h"
+#include "futurerand/dyadic/tree.h"
+
+namespace futurerand::core {
+
+/// Replaces `estimates` (one unbiased value per dyadic interval) with the
+/// GLS-consistent estimates. `level_variances[h]` is the variance of every
+/// level-h estimate and must be positive and finite (one entry per order).
+/// After the call, At(parent) == At(left) + At(right) for every internal
+/// node (up to float round-off).
+Status EnforceTreeConsistency(std::span<const double> level_variances,
+                              dyadic::DyadicTree<double>* estimates);
+
+/// The variance of the GLS estimate at the root, as computed by the upward
+/// sweep — callers can compare it against level_variances.back() to see
+/// the gain. Input constraints as above.
+Result<double> ConsistentRootVariance(
+    std::span<const double> level_variances, int64_t num_periods);
+
+}  // namespace futurerand::core
+
+#endif  // FUTURERAND_CORE_CONSISTENCY_H_

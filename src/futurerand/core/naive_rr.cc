@@ -1,0 +1,91 @@
+#include "futurerand/core/naive_rr.h"
+
+#include <cmath>
+
+#include "futurerand/common/macros.h"
+
+namespace futurerand::core {
+
+NaiveRRClient::NaiveRRClient(const ProtocolConfig& config,
+                             rand::BasicRandomizer basic, Rng rng)
+    : config_(config), basic_(basic), rng_(rng) {}
+
+Result<NaiveRRClient> NaiveRRClient::Create(const ProtocolConfig& config,
+                                            uint64_t seed) {
+  FR_RETURN_NOT_OK(config.Validate());
+  // Sequential composition across d releases: eps_0 = eps / d each.
+  FR_ASSIGN_OR_RETURN(
+      rand::BasicRandomizer basic,
+      rand::BasicRandomizer::Create(config.epsilon /
+                                    static_cast<double>(config.num_periods)));
+  return NaiveRRClient(config, basic, Rng(seed));
+}
+
+Result<int8_t> NaiveRRClient::ObserveState(int8_t state) {
+  if (state != 0 && state != 1) {
+    return Status::InvalidArgument("state must be 0 or 1");
+  }
+  if (time_ >= config_.num_periods) {
+    return Status::OutOfRange("all d time periods already ingested");
+  }
+  ++time_;
+  const int8_t encoded = state == 1 ? int8_t{1} : int8_t{-1};
+  return basic_.Apply(encoded, &rng_);
+}
+
+NaiveRRServer::NaiveRRServer(int64_t num_periods, double c_gap)
+    : c_gap_(c_gap), report_sums_(static_cast<size_t>(num_periods), 0) {}
+
+Result<NaiveRRServer> NaiveRRServer::Create(const ProtocolConfig& config) {
+  FR_RETURN_NOT_OK(config.Validate());
+  const double eps0 =
+      config.epsilon / static_cast<double>(config.num_periods);
+  const double c_gap = (std::exp(eps0) - 1.0) / (std::exp(eps0) + 1.0);
+  return NaiveRRServer(config.num_periods, c_gap);
+}
+
+Status NaiveRRServer::SubmitReport(int64_t time, int8_t report) {
+  if (report != -1 && report != 1) {
+    return Status::InvalidArgument("reports must be -1 or +1");
+  }
+  if (time < 1 || time > static_cast<int64_t>(report_sums_.size())) {
+    return Status::OutOfRange("report time outside [1..d]");
+  }
+  report_sums_[static_cast<size_t>(time - 1)] += report;
+  return Status::OK();
+}
+
+Result<double> NaiveRRServer::EstimateAt(int64_t t) const {
+  if (t < 1 || t > static_cast<int64_t>(report_sums_.size())) {
+    return Status::OutOfRange("query time outside [1..d]");
+  }
+  // E[report] = c_gap * (2 st - 1), so
+  // a_hat = (sum / c_gap + n) / 2 is unbiased for sum_u st_u[t].
+  const auto sum =
+      static_cast<double>(report_sums_[static_cast<size_t>(t - 1)]);
+  return (sum / c_gap_ + static_cast<double>(num_clients_)) / 2.0;
+}
+
+Status NaiveRRServer::Merge(const NaiveRRServer& other) {
+  if (other.report_sums_.size() != report_sums_.size() ||
+      other.c_gap_ != c_gap_) {
+    return Status::InvalidArgument("cannot merge servers of different shape");
+  }
+  for (size_t i = 0; i < report_sums_.size(); ++i) {
+    report_sums_[i] += other.report_sums_[i];
+  }
+  num_clients_ += other.num_clients_;
+  return Status::OK();
+}
+
+Result<std::vector<double>> NaiveRRServer::EstimateAll() const {
+  std::vector<double> estimates;
+  estimates.reserve(report_sums_.size());
+  for (int64_t t = 1; t <= static_cast<int64_t>(report_sums_.size()); ++t) {
+    FR_ASSIGN_OR_RETURN(double estimate, EstimateAt(t));
+    estimates.push_back(estimate);
+  }
+  return estimates;
+}
+
+}  // namespace futurerand::core

@@ -1,0 +1,89 @@
+// The naive repeated-randomized-response strawman from the introduction:
+// invoking a one-shot eps-LDP protocol at every time period forces a budget
+// split eps_0 = eps/d under pure sequential composition, so the per-report
+// signal (and hence the estimate) degrades linearly with d. Implemented to
+// regenerate the motivating comparison (experiment E9).
+
+#ifndef FUTURERAND_CORE_NAIVE_RR_H_
+#define FUTURERAND_CORE_NAIVE_RR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "futurerand/common/random.h"
+#include "futurerand/common/result.h"
+#include "futurerand/core/config.h"
+#include "futurerand/randomizer/basic.h"
+
+namespace futurerand::core {
+
+/// Client reporting RR(st_u[t]) with budget eps/d at every period.
+class NaiveRRClient {
+ public:
+  /// config.max_changes and config.randomizer are ignored; every period
+  /// costs eps/d.
+  static Result<NaiveRRClient> Create(const ProtocolConfig& config,
+                                      uint64_t seed);
+
+  NaiveRRClient(NaiveRRClient&&) = default;
+  NaiveRRClient& operator=(NaiveRRClient&&) = default;
+  NaiveRRClient(const NaiveRRClient&) = delete;
+  NaiveRRClient& operator=(const NaiveRRClient&) = delete;
+
+  /// Ingests st_u[t] for the next period and always returns a report in
+  /// {-1,+1} (the +/-1 encoding of the randomized Boolean).
+  Result<int8_t> ObserveState(int8_t state);
+
+  int64_t current_time() const { return time_; }
+
+  /// Per-report gap (e^{eps/d}-1)/(e^{eps/d}+1).
+  double c_gap() const { return basic_.c_gap(); }
+
+ private:
+  NaiveRRClient(const ProtocolConfig& config, rand::BasicRandomizer basic,
+                Rng rng);
+
+  ProtocolConfig config_;
+  rand::BasicRandomizer basic_;
+  Rng rng_;
+  int64_t time_ = 0;
+};
+
+/// Debiasing aggregator for the naive protocol.
+class NaiveRRServer {
+ public:
+  static Result<NaiveRRServer> Create(const ProtocolConfig& config);
+
+  NaiveRRServer(NaiveRRServer&&) = default;
+  NaiveRRServer& operator=(NaiveRRServer&&) = default;
+  NaiveRRServer(const NaiveRRServer&) = delete;
+  NaiveRRServer& operator=(const NaiveRRServer&) = delete;
+
+  /// Accumulates one report for time t.
+  Status SubmitReport(int64_t time, int8_t report);
+
+  /// Records that one more client participates (used for debiasing).
+  void RegisterClient() { ++num_clients_; }
+
+  /// a_hat[t] = (sum of reports / c_gap + n) / 2, the unbiased inverse of
+  /// E[report] = c_gap * (2 st - 1).
+  Result<double> EstimateAt(int64_t t) const;
+
+  Result<std::vector<double>> EstimateAll() const;
+
+  /// Adds the accumulators of `other` (same shape) into this server.
+  Status Merge(const NaiveRRServer& other);
+
+  int64_t num_clients() const { return num_clients_; }
+
+ private:
+  NaiveRRServer(int64_t num_periods, double c_gap);
+
+  double c_gap_;
+  int64_t num_clients_ = 0;
+  std::vector<int64_t> report_sums_;  // indexed by t-1
+};
+
+}  // namespace futurerand::core
+
+#endif  // FUTURERAND_CORE_NAIVE_RR_H_

@@ -1,0 +1,37 @@
+#include "futurerand/core/reference.h"
+
+#include "futurerand/common/math.h"
+
+namespace futurerand::core {
+
+ReferenceAggregator::ReferenceAggregator(int64_t num_periods)
+    : sums_(num_periods) {}
+
+Result<ReferenceAggregator> ReferenceAggregator::Create(int64_t num_periods) {
+  if (num_periods < 1 || !IsPowerOfTwo(static_cast<uint64_t>(num_periods))) {
+    return Status::InvalidArgument("num_periods must be a power of two");
+  }
+  return ReferenceAggregator(num_periods);
+}
+
+Status ReferenceAggregator::ObserveDerivative(int64_t t, int8_t derivative) {
+  if (t < 1 || t > sums_.domain_size()) {
+    return Status::OutOfRange("time outside [1..d]");
+  }
+  if (derivative != -1 && derivative != 0 && derivative != 1) {
+    return Status::InvalidArgument("derivative must be in {-1,0,+1}");
+  }
+  if (derivative != 0) {
+    sums_.AddAtTime(t, static_cast<int64_t>(derivative));
+  }
+  return Status::OK();
+}
+
+Result<int64_t> ReferenceAggregator::CountAt(int64_t t) const {
+  if (t < 1 || t > sums_.domain_size()) {
+    return Status::OutOfRange("time outside [1..d]");
+  }
+  return sums_.PrefixSum(t);
+}
+
+}  // namespace futurerand::core

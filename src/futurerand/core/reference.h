@@ -1,0 +1,40 @@
+// The non-private reference pipeline: the "naive protocol" of Section 4.1 in
+// which every user reports every partial sum exactly. It recovers a[t]
+// with zero error and is used to validate the dyadic plumbing end-to-end
+// (and as the ground-truth oracle in the simulator).
+
+#ifndef FUTURERAND_CORE_REFERENCE_H_
+#define FUTURERAND_CORE_REFERENCE_H_
+
+#include <cstdint>
+
+#include "futurerand/common/result.h"
+#include "futurerand/dyadic/tree.h"
+
+namespace futurerand::core {
+
+/// Exact (non-private) aggregator over user derivatives.
+class ReferenceAggregator {
+ public:
+  /// Domain size d must be a power of two.
+  static Result<ReferenceAggregator> Create(int64_t num_periods);
+
+  /// Ingests one user's derivative X_u[t] in {-1,0,+1} at time t; internally
+  /// adds it to the partial sum of every dyadic interval containing t
+  /// (equivalently, the user "reports" each S_u(I_{h,j}) exactly).
+  Status ObserveDerivative(int64_t t, int8_t derivative);
+
+  /// The exact count a[t] = sum over C(t) of S(I) (Observation 3.9).
+  Result<int64_t> CountAt(int64_t t) const;
+
+  int64_t num_periods() const { return sums_.domain_size(); }
+
+ private:
+  explicit ReferenceAggregator(int64_t num_periods);
+
+  dyadic::DyadicTree<int64_t> sums_;
+};
+
+}  // namespace futurerand::core
+
+#endif  // FUTURERAND_CORE_REFERENCE_H_

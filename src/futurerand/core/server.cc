@@ -1,0 +1,184 @@
+#include "futurerand/core/server.h"
+
+#include <utility>
+
+#include <algorithm>
+
+#include "futurerand/common/macros.h"
+#include "futurerand/common/math.h"
+#include "futurerand/core/consistency.h"
+#include "futurerand/dyadic/decomposition.h"
+
+namespace futurerand::core {
+
+Server::Server(int64_t num_periods, std::vector<double> level_scales)
+    : level_scales_(std::move(level_scales)),
+      sums_(num_periods),
+      level_counts_(level_scales_.size(), 0) {}
+
+Result<Server> Server::ForProtocol(const ProtocolConfig& config) {
+  FR_RETURN_NOT_OK(config.Validate());
+  const int orders = config.num_orders();
+  std::vector<double> scales(static_cast<size_t>(orders));
+  for (int h = 0; h < orders; ++h) {
+    // Algorithm 2 line 5: (1 + log d) * c_gap^{-1}. The c_gap must match the
+    // randomizer the level-h clients instantiated.
+    FR_ASSIGN_OR_RETURN(
+        double c_gap,
+        rand::ExactCGap(config.randomizer, config.SupportAtLevel(h),
+                        config.epsilon));
+    scales[static_cast<size_t>(h)] =
+        static_cast<double>(orders) / c_gap;
+  }
+  return Server(config.num_periods, std::move(scales));
+}
+
+Result<Server> Server::WithScales(int64_t num_periods,
+                                  std::vector<double> level_scales) {
+  if (num_periods < 1 || !IsPowerOfTwo(static_cast<uint64_t>(num_periods))) {
+    return Status::InvalidArgument("num_periods must be a power of two");
+  }
+  const auto expected =
+      static_cast<size_t>(Log2Exact(static_cast<uint64_t>(num_periods)) + 1);
+  if (level_scales.size() != expected) {
+    return Status::InvalidArgument("need one scale per dyadic order");
+  }
+  return Server(num_periods, std::move(level_scales));
+}
+
+Status Server::RegisterClient(int64_t client_id, int level) {
+  if (level < 0 || level >= static_cast<int>(level_scales_.size())) {
+    return Status::InvalidArgument("level out of range");
+  }
+  const auto [it, inserted] = client_levels_.emplace(client_id, level);
+  (void)it;
+  if (!inserted) {
+    return Status::AlreadyExists("client already registered");
+  }
+  ++level_counts_[static_cast<size_t>(level)];
+  return Status::OK();
+}
+
+Status Server::SubmitReport(int64_t client_id, int64_t time, int8_t report) {
+  if (report != -1 && report != 1) {
+    return Status::InvalidArgument("reports must be -1 or +1");
+  }
+  const auto level_it = client_levels_.find(client_id);
+  if (level_it == client_levels_.end()) {
+    return Status::NotFound("client not registered");
+  }
+  const int level = level_it->second;
+  const int64_t interval_length = int64_t{1} << level;
+  if (time < 1 || time > sums_.domain_size()) {
+    return Status::OutOfRange("report time outside [1..d]");
+  }
+  if (time % interval_length != 0) {
+    return Status::InvalidArgument(
+        "level-h clients report only at multiples of 2^h");
+  }
+  auto& last_time = last_report_time_[client_id];
+  if (time <= last_time) {
+    return Status::InvalidArgument("duplicate or out-of-order report");
+  }
+  last_time = time;
+  sums_.At(level, time >> level) += report;
+  return Status::OK();
+}
+
+Result<double> Server::EstimateAt(int64_t t) const {
+  if (t < 1 || t > sums_.domain_size()) {
+    return Status::OutOfRange("query time outside [1..d]");
+  }
+  double estimate = 0.0;
+  for (const dyadic::DyadicInterval& interval : dyadic::DecomposePrefix(t)) {
+    estimate += level_scales_[static_cast<size_t>(interval.order)] *
+                static_cast<double>(sums_.At(interval));
+  }
+  return estimate;
+}
+
+Result<double> Server::EstimateWindowDelta(int64_t l, int64_t r) const {
+  if (l < 1 || l > r || r > sums_.domain_size()) {
+    return Status::OutOfRange("window outside [1..d]");
+  }
+  // Each interval's partial sum telescopes to st[end] - st[begin-1], so the
+  // decomposition of [l..r] sums to a[r] - a[l-1] (Observation 3.7).
+  double estimate = 0.0;
+  for (const dyadic::DyadicInterval& interval : dyadic::DecomposeRange(l, r)) {
+    estimate += level_scales_[static_cast<size_t>(interval.order)] *
+                static_cast<double>(sums_.At(interval));
+  }
+  return estimate;
+}
+
+Result<std::vector<double>> Server::EstimateAll() const {
+  std::vector<double> estimates;
+  estimates.reserve(static_cast<size_t>(sums_.domain_size()));
+  for (int64_t t = 1; t <= sums_.domain_size(); ++t) {
+    FR_ASSIGN_OR_RETURN(double estimate, EstimateAt(t));
+    estimates.push_back(estimate);
+  }
+  return estimates;
+}
+
+Result<std::vector<double>> Server::EstimateAllConsistent() const {
+  const int64_t d = sums_.domain_size();
+  const int orders = sums_.num_orders();
+  dyadic::DyadicTree<double> estimates(d);
+  std::vector<double> level_variances(static_cast<size_t>(orders));
+  for (int h = 0; h < orders; ++h) {
+    const double scale = level_scales_[static_cast<size_t>(h)];
+    const int64_t count = dyadic::NumIntervalsAtOrder(d, h);
+    for (int64_t j = 1; j <= count; ++j) {
+      estimates.At(h, j) = scale * static_cast<double>(sums_.At(h, j));
+    }
+    // Var(S_hat(I_{h,j})) ~ n_h * scale_h^2 (each of the ~n/(1+log d)
+    // level-h reporters contributes one +/-1 of variance ~1, scaled).
+    // A floor of one reporter keeps empty levels from being treated as
+    // infinitely trustworthy zeros.
+    const auto reporters =
+        std::max<int64_t>(level_counts_[static_cast<size_t>(h)], 1);
+    level_variances[static_cast<size_t>(h)] =
+        static_cast<double>(reporters) * scale * scale;
+  }
+  FR_RETURN_NOT_OK(EnforceTreeConsistency(level_variances, &estimates));
+  std::vector<double> results;
+  results.reserve(static_cast<size_t>(d));
+  for (int64_t t = 1; t <= d; ++t) {
+    results.push_back(estimates.PrefixSum(t));
+  }
+  return results;
+}
+
+Status Server::Merge(const Server& other) {
+  if (other.sums_.domain_size() != sums_.domain_size() ||
+      other.level_scales_ != level_scales_) {
+    return Status::InvalidArgument("cannot merge servers of different shape");
+  }
+  for (const auto& [client_id, level] : other.client_levels_) {
+    FR_RETURN_NOT_OK(RegisterClient(client_id, level));
+    const auto last_it = other.last_report_time_.find(client_id);
+    if (last_it != other.last_report_time_.end()) {
+      last_report_time_[client_id] = last_it->second;
+    }
+  }
+  for (int h = 0; h < sums_.num_orders(); ++h) {
+    const int64_t count = dyadic::NumIntervalsAtOrder(sums_.domain_size(), h);
+    for (int64_t j = 1; j <= count; ++j) {
+      sums_.At(h, j) += other.sums_.At(h, j);
+    }
+  }
+  return Status::OK();
+}
+
+int64_t Server::ClientCountAtLevel(int level) const {
+  FR_CHECK(level >= 0 && level < static_cast<int>(level_counts_.size()));
+  return level_counts_[static_cast<size_t>(level)];
+}
+
+double Server::ScaleAtLevel(int level) const {
+  FR_CHECK(level >= 0 && level < static_cast<int>(level_scales_.size()));
+  return level_scales_[static_cast<size_t>(level)];
+}
+
+}  // namespace futurerand::core

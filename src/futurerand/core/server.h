@@ -1,0 +1,103 @@
+// The server-side algorithm A_svr (Algorithm 2).
+//
+// The server partitions clients by their reported level h_u, accumulates the
+// raw +/-1 reports per dyadic interval, and answers online queries
+//   a_hat[t] = sum_{I_{h,j} in C(t)} scale_h * raw_sum(I_{h,j})
+// where scale_h = (1 + log d) / c_gap(h) debiases the level-sampling and the
+// randomizer (Observation 4.3 / Equation 12). In paper-faithful mode
+// c_gap(h) is the same for every level.
+
+#ifndef FUTURERAND_CORE_SERVER_H_
+#define FUTURERAND_CORE_SERVER_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "futurerand/common/result.h"
+#include "futurerand/core/config.h"
+#include "futurerand/dyadic/tree.h"
+
+namespace futurerand::core {
+
+/// Aggregates client reports and produces the online estimates a_hat[t].
+/// Move-only. Report submission is not thread-safe; the simulation runner
+/// shards servers per thread and merges.
+class Server {
+ public:
+  /// Builds a server for the protocol configuration; computes the exact
+  /// per-level debiasing scales from the randomizer kind.
+  static Result<Server> ForProtocol(const ProtocolConfig& config);
+
+  /// Builds a server with externally supplied per-level report scales
+  /// (scales[h] multiplies each raw report of a level-h client). Used by
+  /// baseline protocols whose estimators carry extra factors.
+  static Result<Server> WithScales(int64_t num_periods,
+                                   std::vector<double> level_scales);
+
+  Server(Server&&) = default;
+  Server& operator=(Server&&) = default;
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Registers a client with its sampled level h in [0..log d]. Errors on
+  /// duplicate ids or out-of-range levels.
+  Status RegisterClient(int64_t client_id, int level);
+
+  /// Ingests the report a level-h client emitted at time t (which must be a
+  /// multiple of 2^h, strictly later than the client's previous report).
+  Status SubmitReport(int64_t client_id, int64_t time, int8_t report);
+
+  /// The online estimate a_hat[t] (Algorithm 2 line 6), valid as soon as
+  /// every report for time <= t has been submitted. Requires 1 <= t <= d.
+  Result<double> EstimateAt(int64_t t) const;
+
+  /// Estimates for every t in [1..d].
+  Result<std::vector<double>> EstimateAll() const;
+
+  /// Offline-mode estimates with GLS consistency post-processing (see
+  /// consistency.h): every dyadic interval's estimate is refined using the
+  /// redundant estimates of its ancestors/descendants before the prefix
+  /// sums are formed. Free under DP (pure post-processing); strictly
+  /// reduces variance. Requires all reports to have been submitted —
+  /// hence "offline": unlike EstimateAt, later reports change earlier
+  /// answers.
+  Result<std::vector<double>> EstimateAllConsistent() const;
+
+  /// Estimates the net population change over the window [l..r]
+  /// (1 <= l <= r <= d), i.e. a[r] - a[l-1]: how many more users hold 1 at
+  /// the end of the window than just before it. Uses the minimal dyadic
+  /// decomposition of [l..r] directly — at most 2*ceil(log2(r-l+2)) noisy
+  /// terms instead of the up-to-2*(1+log d) terms of
+  /// EstimateAt(r) - EstimateAt(l-1), so short windows are strictly less
+  /// noisy. Valid once all reports for times <= r are in.
+  Result<double> EstimateWindowDelta(int64_t l, int64_t r) const;
+
+  /// Merges the accumulators of `other` (same shape) into this server;
+  /// client registrations are combined. Supports sharded ingestion.
+  Status Merge(const Server& other);
+
+  int64_t num_periods() const { return sums_.domain_size(); }
+  int64_t num_clients() const {
+    return static_cast<int64_t>(client_levels_.size());
+  }
+
+  /// Number of registered clients at level h.
+  int64_t ClientCountAtLevel(int level) const;
+
+  /// The debiasing scale applied to level-h reports.
+  double ScaleAtLevel(int level) const;
+
+ private:
+  Server(int64_t num_periods, std::vector<double> level_scales);
+
+  std::vector<double> level_scales_;
+  dyadic::DyadicTree<int64_t> sums_;  // raw sum of +/-1 reports per interval
+  std::unordered_map<int64_t, int> client_levels_;
+  std::unordered_map<int64_t, int64_t> last_report_time_;
+  std::vector<int64_t> level_counts_;
+};
+
+}  // namespace futurerand::core
+
+#endif  // FUTURERAND_CORE_SERVER_H_

@@ -1,0 +1,176 @@
+#include "futurerand/core/wire.h"
+
+namespace futurerand::core {
+
+namespace wire_internal {
+
+void PutVarint64(uint64_t value, std::string* out) {
+  while (value >= 0x80) {
+    out->push_back(static_cast<char>((value & 0x7f) | 0x80));
+    value >>= 7;
+  }
+  out->push_back(static_cast<char>(value));
+}
+
+Result<uint64_t> GetVarint64(std::string_view* bytes) {
+  uint64_t value = 0;
+  int shift = 0;
+  for (int i = 0; i < 10; ++i) {
+    if (bytes->empty()) {
+      return Status::InvalidArgument("truncated varint");
+    }
+    const auto byte = static_cast<uint8_t>(bytes->front());
+    bytes->remove_prefix(1);
+    value |= static_cast<uint64_t>(byte & 0x7f) << shift;
+    if ((byte & 0x80) == 0) {
+      return value;
+    }
+    shift += 7;
+  }
+  return Status::InvalidArgument("overlong varint");
+}
+
+uint64_t ZigZagEncode(int64_t value) {
+  return (static_cast<uint64_t>(value) << 1) ^
+         static_cast<uint64_t>(value >> 63);
+}
+
+int64_t ZigZagDecode(uint64_t value) {
+  return static_cast<int64_t>(value >> 1) ^
+         -static_cast<int64_t>(value & 1);
+}
+
+}  // namespace wire_internal
+
+namespace {
+
+using wire_internal::GetVarint64;
+using wire_internal::PutVarint64;
+using wire_internal::ZigZagDecode;
+using wire_internal::ZigZagEncode;
+
+constexpr char kMagic0 = 'F';
+constexpr char kMagic1 = 'R';
+constexpr char kMagic2 = 'W';
+constexpr char kVersion = 1;
+constexpr char kKindRegistration = 1;
+constexpr char kKindReport = 2;
+
+void AppendHeader(char kind, size_t count, std::string* out) {
+  out->push_back(kMagic0);
+  out->push_back(kMagic1);
+  out->push_back(kMagic2);
+  out->push_back(kVersion);
+  out->push_back(kind);
+  PutVarint64(count, out);
+}
+
+// Validates the fixed header and returns the record count.
+Result<uint64_t> ConsumeHeader(char expected_kind, std::string_view* bytes) {
+  if (bytes->size() < 5) {
+    return Status::InvalidArgument("batch shorter than its header");
+  }
+  if ((*bytes)[0] != kMagic0 || (*bytes)[1] != kMagic1 ||
+      (*bytes)[2] != kMagic2) {
+    return Status::InvalidArgument("bad magic");
+  }
+  if ((*bytes)[3] != kVersion) {
+    return Status::InvalidArgument("unsupported wire version");
+  }
+  if ((*bytes)[4] != expected_kind) {
+    return Status::InvalidArgument("unexpected batch kind");
+  }
+  bytes->remove_prefix(5);
+  return GetVarint64(bytes);
+}
+
+}  // namespace
+
+std::string EncodeRegistrationBatch(
+    const std::vector<RegistrationMessage>& batch) {
+  std::string out;
+  AppendHeader(kKindRegistration, batch.size(), &out);
+  int64_t previous_id = 0;
+  for (const RegistrationMessage& message : batch) {
+    PutVarint64(ZigZagEncode(message.client_id - previous_id), &out);
+    PutVarint64(static_cast<uint64_t>(message.level), &out);
+    previous_id = message.client_id;
+  }
+  return out;
+}
+
+Result<std::vector<RegistrationMessage>> DecodeRegistrationBatch(
+    std::string_view bytes) {
+  FR_ASSIGN_OR_RETURN(uint64_t count,
+                      ConsumeHeader(kKindRegistration, &bytes));
+  std::vector<RegistrationMessage> batch;
+  batch.reserve(count);
+  int64_t previous_id = 0;
+  for (uint64_t i = 0; i < count; ++i) {
+    FR_ASSIGN_OR_RETURN(uint64_t id_delta, GetVarint64(&bytes));
+    FR_ASSIGN_OR_RETURN(uint64_t level, GetVarint64(&bytes));
+    if (level > 62) {
+      return Status::InvalidArgument("implausible level");
+    }
+    RegistrationMessage message;
+    message.client_id = previous_id + ZigZagDecode(id_delta);
+    message.level = static_cast<int>(level);
+    previous_id = message.client_id;
+    batch.push_back(message);
+  }
+  if (!bytes.empty()) {
+    return Status::InvalidArgument("trailing bytes after batch");
+  }
+  return batch;
+}
+
+Result<std::string> EncodeReportBatch(
+    const std::vector<ReportMessage>& batch) {
+  std::string out;
+  AppendHeader(kKindReport, batch.size(), &out);
+  int64_t previous_id = 0;
+  int64_t previous_time = 0;
+  for (const ReportMessage& message : batch) {
+    if (message.value != -1 && message.value != 1) {
+      return Status::InvalidArgument("report values must be -1 or +1");
+    }
+    if (message.time < 1) {
+      return Status::InvalidArgument("report times are 1-based");
+    }
+    PutVarint64(ZigZagEncode(message.client_id - previous_id), &out);
+    // Pack the sign into the low bit of the zigzagged time delta.
+    const uint64_t time_delta = ZigZagEncode(message.time - previous_time);
+    PutVarint64(time_delta << 1 | (message.value == 1 ? 1u : 0u), &out);
+    previous_id = message.client_id;
+    previous_time = message.time;
+  }
+  return out;
+}
+
+Result<std::vector<ReportMessage>> DecodeReportBatch(std::string_view bytes) {
+  FR_ASSIGN_OR_RETURN(uint64_t count, ConsumeHeader(kKindReport, &bytes));
+  std::vector<ReportMessage> batch;
+  batch.reserve(count);
+  int64_t previous_id = 0;
+  int64_t previous_time = 0;
+  for (uint64_t i = 0; i < count; ++i) {
+    FR_ASSIGN_OR_RETURN(uint64_t id_delta, GetVarint64(&bytes));
+    FR_ASSIGN_OR_RETURN(uint64_t packed_time, GetVarint64(&bytes));
+    ReportMessage message;
+    message.client_id = previous_id + ZigZagDecode(id_delta);
+    message.value = (packed_time & 1) ? int8_t{1} : int8_t{-1};
+    message.time = previous_time + ZigZagDecode(packed_time >> 1);
+    if (message.time < 1) {
+      return Status::InvalidArgument("decoded non-positive report time");
+    }
+    previous_id = message.client_id;
+    previous_time = message.time;
+    batch.push_back(message);
+  }
+  if (!bytes.empty()) {
+    return Status::InvalidArgument("trailing bytes after batch");
+  }
+  return batch;
+}
+
+}  // namespace futurerand::core

@@ -1,0 +1,77 @@
+// Wire format for client -> server transport.
+//
+// A deployment ships registrations (client id, level) once and then one-bit
+// reports at dyadic boundaries. This module defines a compact, versioned,
+// validated binary encoding for batches of both message types:
+//
+//   [magic 'F','R','W'][version 1][kind][varint count][records...]
+//
+// Records are delta-encoded: client ids and times are sorted-friendly
+// (consecutive ids/time steps cost one byte each), values pack into the
+// time varint's low bit. Decoding rejects wrong magic/version/kind,
+// truncated input, overlong varints and trailing bytes — malformed network
+// input must never reach the aggregation logic.
+
+#ifndef FUTURERAND_CORE_WIRE_H_
+#define FUTURERAND_CORE_WIRE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "futurerand/common/result.h"
+
+namespace futurerand::core {
+
+/// One client registration (sent once, before any report).
+struct RegistrationMessage {
+  int64_t client_id = 0;
+  int level = 0;
+
+  friend bool operator==(const RegistrationMessage&,
+                         const RegistrationMessage&) = default;
+};
+
+/// One perturbed report: the bit a client emitted at a dyadic boundary.
+struct ReportMessage {
+  int64_t client_id = 0;
+  int64_t time = 0;     // 1-based period, a multiple of 2^level
+  int8_t value = 1;     // -1 or +1
+
+  friend bool operator==(const ReportMessage&, const ReportMessage&) = default;
+};
+
+/// Serializes a registration batch. Any ordering is accepted; batches
+/// sorted by client id encode smallest.
+std::string EncodeRegistrationBatch(
+    const std::vector<RegistrationMessage>& batch);
+
+/// Parses a registration batch; rejects malformed input.
+Result<std::vector<RegistrationMessage>> DecodeRegistrationBatch(
+    std::string_view bytes);
+
+/// Serializes a report batch. Values must be -1 or +1 (checked).
+Result<std::string> EncodeReportBatch(
+    const std::vector<ReportMessage>& batch);
+
+/// Parses a report batch; rejects malformed input.
+Result<std::vector<ReportMessage>> DecodeReportBatch(std::string_view bytes);
+
+namespace wire_internal {
+
+/// Appends an unsigned LEB128 varint.
+void PutVarint64(uint64_t value, std::string* out);
+
+/// Reads a varint from the front of `bytes`, advancing it. Fails on
+/// truncation or encodings longer than 10 bytes.
+Result<uint64_t> GetVarint64(std::string_view* bytes);
+
+/// ZigZag transforms for signed deltas.
+uint64_t ZigZagEncode(int64_t value);
+int64_t ZigZagDecode(uint64_t value);
+
+}  // namespace wire_internal
+}  // namespace futurerand::core
+
+#endif  // FUTURERAND_CORE_WIRE_H_

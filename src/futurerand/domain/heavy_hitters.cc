@@ -1,0 +1,71 @@
+#include "futurerand/domain/heavy_hitters.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "futurerand/common/macros.h"
+
+namespace futurerand::domain {
+
+HeavyHitterTracker::HeavyHitterTracker(const HistogramServer* server)
+    : server_(server) {
+  FR_CHECK(server != nullptr);
+}
+
+Result<std::vector<HeavyHitter>> HeavyHitterTracker::ItemsAbove(
+    double min_count, int64_t t) const {
+  FR_ASSIGN_OR_RETURN(std::vector<double> histogram,
+                      server_->EstimateHistogramAt(t));
+  std::vector<HeavyHitter> hitters;
+  for (int64_t item = 0; item < server_->domain_size(); ++item) {
+    const double count = histogram[static_cast<size_t>(item)];
+    if (count >= min_count) {
+      hitters.push_back({item, count});
+    }
+  }
+  std::sort(hitters.begin(), hitters.end(),
+            [](const HeavyHitter& a, const HeavyHitter& b) {
+              if (a.estimated_count != b.estimated_count) {
+                return a.estimated_count > b.estimated_count;
+              }
+              return a.item < b.item;
+            });
+  return hitters;
+}
+
+Result<std::vector<HeavyHitter>> HeavyHitterTracker::TopItems(
+    int64_t limit, int64_t t) const {
+  if (limit < 1) {
+    return Status::InvalidArgument("limit must be >= 1");
+  }
+  FR_ASSIGN_OR_RETURN(std::vector<HeavyHitter> all,
+                      ItemsAbove(-std::numeric_limits<double>::infinity(), t));
+  if (static_cast<int64_t>(all.size()) > limit) {
+    all.resize(static_cast<size_t>(limit));
+  }
+  return all;
+}
+
+Result<std::vector<int64_t>> HeavyHitterTracker::CrossingTimes(
+    int64_t item, double min_count) const {
+  if (item < 0 || item >= server_->domain_size()) {
+    return Status::InvalidArgument("item out of range");
+  }
+  std::vector<int64_t> crossings;
+  bool above = false;
+  // Probe every period; EstimateItemCount validates t internally.
+  for (int64_t t = 1;; ++t) {
+    const Result<double> count = server_->EstimateItemCount(item, t);
+    if (!count.ok()) {
+      break;  // past the final period
+    }
+    const bool now_above = *count >= min_count;
+    if (now_above != above) {
+      crossings.push_back(t);
+      above = now_above;
+    }
+  }
+  return crossings;
+}
+
+}  // namespace futurerand::domain

@@ -1,0 +1,55 @@
+// Longitudinal heavy hitters over a categorical domain: the items whose
+// estimated user count exceeds a threshold at a given time period, with the
+// threshold expressed either absolutely or as a population fraction. This
+// is the "heavy hitter problem in richer domains" application the paper's
+// introduction points to, layered on the histogram reduction.
+
+#ifndef FUTURERAND_DOMAIN_HEAVY_HITTERS_H_
+#define FUTURERAND_DOMAIN_HEAVY_HITTERS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "futurerand/common/result.h"
+#include "futurerand/domain/histogram.h"
+
+namespace futurerand::domain {
+
+/// One reported heavy hitter.
+struct HeavyHitter {
+  int64_t item = 0;
+  double estimated_count = 0.0;
+
+  friend bool operator==(const HeavyHitter&, const HeavyHitter&) = default;
+};
+
+/// Query helper over a populated HistogramServer.
+class HeavyHitterTracker {
+ public:
+  /// The tracker borrows `server`, which must outlive it and have received
+  /// all reports for the queried periods.
+  explicit HeavyHitterTracker(const HistogramServer* server);
+
+  /// Items whose estimated count at time t is >= `min_count`, sorted by
+  /// estimated count descending (ties by item id ascending).
+  Result<std::vector<HeavyHitter>> ItemsAbove(double min_count,
+                                              int64_t t) const;
+
+  /// The top-`limit` items at time t by estimated count (limit >= 1),
+  /// sorted descending.
+  Result<std::vector<HeavyHitter>> TopItems(int64_t limit, int64_t t) const;
+
+  /// Time periods (within [1..d]) at which `item`'s estimated count first
+  /// rises to >= min_count and, if it does, first falls back below —
+  /// a simple change-point view of a trending item. Returns an empty
+  /// vector when the item never crosses the threshold.
+  Result<std::vector<int64_t>> CrossingTimes(int64_t item,
+                                             double min_count) const;
+
+ private:
+  const HistogramServer* server_;
+};
+
+}  // namespace futurerand::domain
+
+#endif  // FUTURERAND_DOMAIN_HEAVY_HITTERS_H_

@@ -1,0 +1,102 @@
+#include "futurerand/domain/histogram.h"
+
+#include <utility>
+
+#include "futurerand/common/random.h"
+
+namespace futurerand::domain {
+
+Status HistogramConfig::Validate() const {
+  if (domain_size < 2) {
+    return Status::InvalidArgument("domain_size must be >= 2");
+  }
+  return boolean_config.Validate();
+}
+
+HistogramClient::HistogramClient(int64_t coordinate, core::Client client)
+    : coordinate_(coordinate), client_(std::move(client)) {}
+
+Result<HistogramClient> HistogramClient::Create(const HistogramConfig& config,
+                                                uint64_t seed) {
+  FR_RETURN_NOT_OK(config.Validate());
+  Rng rng(seed);
+  const auto coordinate = static_cast<int64_t>(
+      rng.NextInt(static_cast<uint64_t>(config.domain_size)));
+  FR_ASSIGN_OR_RETURN(
+      core::Client client,
+      core::Client::Create(config.boolean_config, rng.NextUint64()));
+  return HistogramClient(coordinate, std::move(client));
+}
+
+Result<std::optional<int8_t>> HistogramClient::ObserveItem(int64_t item) {
+  if (item != kNoItem && (item < 0)) {
+    return Status::InvalidArgument("item must be kNoItem or >= 0");
+  }
+  const int8_t indicator = item == coordinate_ ? int8_t{1} : int8_t{0};
+  return client_.ObserveState(indicator);
+}
+
+HistogramServer::HistogramServer(const HistogramConfig& config,
+                                 std::vector<core::Server> coordinate_servers)
+    : config_(config), coordinate_servers_(std::move(coordinate_servers)) {}
+
+Result<HistogramServer> HistogramServer::Create(const HistogramConfig& config) {
+  FR_RETURN_NOT_OK(config.Validate());
+  std::vector<core::Server> servers;
+  servers.reserve(static_cast<size_t>(config.domain_size));
+  for (int64_t c = 0; c < config.domain_size; ++c) {
+    FR_ASSIGN_OR_RETURN(core::Server server,
+                        core::Server::ForProtocol(config.boolean_config));
+    servers.push_back(std::move(server));
+  }
+  return HistogramServer(config, std::move(servers));
+}
+
+Status HistogramServer::RegisterClient(int64_t client_id, int64_t coordinate,
+                                       int level) {
+  if (coordinate < 0 || coordinate >= domain_size()) {
+    return Status::InvalidArgument("coordinate out of range");
+  }
+  const auto [it, inserted] = client_coordinates_.emplace(client_id, coordinate);
+  (void)it;
+  if (!inserted) {
+    return Status::AlreadyExists("client already registered");
+  }
+  return coordinate_servers_[static_cast<size_t>(coordinate)].RegisterClient(
+      client_id, level);
+}
+
+Status HistogramServer::SubmitReport(int64_t client_id, int64_t time,
+                                     int8_t report) {
+  const auto it = client_coordinates_.find(client_id);
+  if (it == client_coordinates_.end()) {
+    return Status::NotFound("client not registered");
+  }
+  return coordinate_servers_[static_cast<size_t>(it->second)].SubmitReport(
+      client_id, time, report);
+}
+
+Result<double> HistogramServer::EstimateItemCount(int64_t item,
+                                                  int64_t t) const {
+  if (item < 0 || item >= domain_size()) {
+    return Status::InvalidArgument("item out of range");
+  }
+  FR_ASSIGN_OR_RETURN(
+      double boolean_estimate,
+      coordinate_servers_[static_cast<size_t>(item)].EstimateAt(t));
+  // Undo the 1/D coordinate sampling.
+  return static_cast<double>(config_.domain_size) * boolean_estimate;
+}
+
+Result<std::vector<double>> HistogramServer::EstimateHistogramAt(
+    int64_t t) const {
+  std::vector<double> histogram;
+  histogram.reserve(static_cast<size_t>(domain_size()));
+  for (int64_t item = 0; item < domain_size(); ++item) {
+    FR_ASSIGN_OR_RETURN(double estimate, EstimateItemCount(item, t));
+    histogram.push_back(estimate);
+  }
+  return histogram;
+}
+
+}  // namespace futurerand::domain

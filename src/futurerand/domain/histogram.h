@@ -1,0 +1,117 @@
+// Longitudinal frequency estimation over a categorical domain [D] — the
+// "richer domains via existing techniques" adaptation the paper points to
+// (Section 1, citing the standard one-hot + coordinate-sampling reduction).
+//
+// Each user holds an item in {0..D-1} (or no item, kNoItem) that changes at
+// most k times (counting the initial selection, mirroring the Boolean
+// convention st_u[0] = 0). The client samples one coordinate c uniformly
+// from [D] and runs the Boolean protocol of Algorithm 1 on the indicator
+// 1[item_t == c]; for any fixed c that indicator changes at most as often as
+// the item does, so the Boolean sparsity contract carries over. The server
+// runs one Boolean aggregator per coordinate and multiplies by D to undo the
+// coordinate sampling, giving an unbiased estimate of every item's count at
+// every time period. Privacy is exactly the Boolean protocol's epsilon: the
+// coordinate draw is data-independent and each user sends one Boolean
+// report stream.
+
+#ifndef FUTURERAND_DOMAIN_HISTOGRAM_H_
+#define FUTURERAND_DOMAIN_HISTOGRAM_H_
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "futurerand/common/result.h"
+#include "futurerand/core/client.h"
+#include "futurerand/core/config.h"
+#include "futurerand/core/server.h"
+
+namespace futurerand::domain {
+
+/// Sentinel for "user holds no item".
+inline constexpr int64_t kNoItem = -1;
+
+/// Configuration of a longitudinal histogram deployment.
+struct HistogramConfig {
+  /// Domain size D >= 2.
+  int64_t domain_size = 0;
+
+  /// The underlying Boolean protocol parameters. max_changes bounds the
+  /// user's item changes (including the initial selection).
+  core::ProtocolConfig boolean_config;
+
+  Status Validate() const;
+};
+
+/// Client-side: tracks one user's item stream.
+class HistogramClient {
+ public:
+  /// Samples the coordinate and the Boolean client's level/randomizer from
+  /// `seed`.
+  static Result<HistogramClient> Create(const HistogramConfig& config,
+                                        uint64_t seed);
+
+  HistogramClient(HistogramClient&&) = default;
+  HistogramClient& operator=(HistogramClient&&) = default;
+  HistogramClient(const HistogramClient&) = delete;
+  HistogramClient& operator=(const HistogramClient&) = delete;
+
+  /// The sampled coordinate c in [0..D-1] (data-independent; sent in the
+  /// clear with the registration, like the level).
+  int64_t coordinate() const { return coordinate_; }
+
+  /// The Boolean client's level h_u.
+  int level() const { return client_.level(); }
+
+  /// Ingests the user's item for the next time period (kNoItem allowed);
+  /// returns a report when the Boolean client emits one.
+  Result<std::optional<int8_t>> ObserveItem(int64_t item);
+
+ private:
+  HistogramClient(int64_t coordinate, core::Client client);
+
+  int64_t coordinate_;
+  core::Client client_;
+};
+
+/// Server-side: one Boolean aggregator per coordinate.
+class HistogramServer {
+ public:
+  static Result<HistogramServer> Create(const HistogramConfig& config);
+
+  HistogramServer(HistogramServer&&) = default;
+  HistogramServer& operator=(HistogramServer&&) = default;
+  HistogramServer(const HistogramServer&) = delete;
+  HistogramServer& operator=(const HistogramServer&) = delete;
+
+  /// Registers a client under its sampled coordinate and level.
+  Status RegisterClient(int64_t client_id, int64_t coordinate, int level);
+
+  /// Ingests one report (routed to the client's coordinate aggregator).
+  Status SubmitReport(int64_t client_id, int64_t time, int8_t report);
+
+  /// Estimated number of users holding `item` at time t: D times the
+  /// Boolean estimate of the coordinate sub-population.
+  Result<double> EstimateItemCount(int64_t item, int64_t t) const;
+
+  /// The full histogram estimate at time t (one entry per item).
+  Result<std::vector<double>> EstimateHistogramAt(int64_t t) const;
+
+  int64_t domain_size() const {
+    return static_cast<int64_t>(coordinate_servers_.size());
+  }
+
+ private:
+  HistogramServer(const HistogramConfig& config,
+                  std::vector<core::Server> coordinate_servers);
+
+  HistogramConfig config_;
+  std::vector<core::Server> coordinate_servers_;
+  // client id -> sampled coordinate (levels live in the inner servers).
+  std::unordered_map<int64_t, int64_t> client_coordinates_;
+};
+
+}  // namespace futurerand::domain
+
+#endif  // FUTURERAND_DOMAIN_HISTOGRAM_H_

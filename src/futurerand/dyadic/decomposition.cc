@@ -1,0 +1,74 @@
+#include "futurerand/dyadic/decomposition.h"
+
+#include "futurerand/common/macros.h"
+#include "futurerand/common/math.h"
+
+namespace futurerand::dyadic {
+
+std::vector<DyadicInterval> DecomposePrefix(int64_t t) {
+  FR_CHECK(t >= 1);
+  std::vector<DyadicInterval> intervals;
+  // Walk the set bits of t from the most significant down: each bit 2^h
+  // contributes the next interval of length 2^h after the prefix consumed
+  // so far.
+  int64_t prefix = 0;
+  for (int h = Log2Floor(static_cast<uint64_t>(t)); h >= 0; --h) {
+    const int64_t bit = int64_t{1} << h;
+    if (t & bit) {
+      intervals.push_back(DyadicInterval{h, prefix / bit + 1});
+      prefix += bit;
+    }
+  }
+  return intervals;
+}
+
+std::vector<DyadicInterval> DecomposeRange(int64_t l, int64_t r) {
+  FR_CHECK(1 <= l && l <= r);
+  std::vector<DyadicInterval> left_side;   // built left-to-right
+  std::vector<DyadicInterval> right_side;  // built right-to-left
+  // Greedy two-pointer sweep: repeatedly take the largest dyadic interval
+  // aligned at l that fits, and symmetrically the largest ending at r.
+  while (l <= r) {
+    // Largest order h such that l-1 is a multiple of 2^h and l+2^h-1 <= r.
+    int h_left = (l == 1) ? 62 : __builtin_ctzll(static_cast<uint64_t>(l - 1));
+    while (h_left > 0 &&
+           (h_left >= 63 || l + (int64_t{1} << h_left) - 1 > r)) {
+      --h_left;
+    }
+    const int64_t left_len = int64_t{1} << h_left;
+    if (l + left_len - 1 == r) {
+      left_side.push_back(DyadicInterval{h_left, (l - 1) / left_len + 1});
+      break;
+    }
+    // Largest order g such that r is a multiple of 2^g and r-2^g+1 >= l.
+    int h_right = __builtin_ctzll(static_cast<uint64_t>(r));
+    while (h_right > 0 && r - (int64_t{1} << h_right) + 1 < l) {
+      --h_right;
+    }
+    const int64_t right_len = int64_t{1} << h_right;
+    left_side.push_back(DyadicInterval{h_left, (l - 1) / left_len + 1});
+    right_side.push_back(DyadicInterval{h_right, r / right_len});
+    l += left_len;
+    r -= right_len;
+    if (l > r) {
+      break;
+    }
+  }
+  for (auto it = right_side.rbegin(); it != right_side.rend(); ++it) {
+    left_side.push_back(*it);
+  }
+  return left_side;
+}
+
+std::vector<DyadicInterval> CoveringIntervals(int64_t t, int64_t d) {
+  FR_CHECK(1 <= t && t <= d);
+  const int orders = NumOrders(d);
+  std::vector<DyadicInterval> covering;
+  covering.reserve(static_cast<size_t>(orders));
+  for (int h = 0; h < orders; ++h) {
+    covering.push_back(IntervalContaining(t, h));
+  }
+  return covering;
+}
+
+}  // namespace futurerand::dyadic

@@ -1,0 +1,36 @@
+// Dyadic decompositions (paper Fact 3.8).
+//
+// DecomposePrefix(t) produces the collection C(t): the minimum set of
+// disjoint dyadic intervals, with pairwise distinct orders, whose union is
+// [1..t]. The server reconstructs a[t] by summing the estimated partial sums
+// over exactly these intervals (Observation 3.9).
+
+#ifndef FUTURERAND_DYADIC_DECOMPOSITION_H_
+#define FUTURERAND_DYADIC_DECOMPOSITION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "futurerand/dyadic/interval.h"
+
+namespace futurerand::dyadic {
+
+/// The dyadic decomposition C(t) of the prefix [1..t], ordered from the
+/// highest order (leftmost interval) to the lowest. Contains one interval per
+/// set bit of t, so at most ceil(log2(t+1)) intervals, with distinct orders.
+/// Requires t >= 1.
+std::vector<DyadicInterval> DecomposePrefix(int64_t t);
+
+/// A minimal dyadic decomposition of the general range [l..r] (1-indexed,
+/// inclusive), segment-tree style: at most 2*ceil(log2(r-l+2)) intervals,
+/// disjoint, covering exactly [l..r]; orders may repeat (paper remark after
+/// Fact 3.8). Requires 1 <= l <= r.
+std::vector<DyadicInterval> DecomposeRange(int64_t l, int64_t r);
+
+/// All dyadic intervals containing time t in a domain of size d (one per
+/// order), from order 0 up to log2(d). Requires 1 <= t <= d, d a power of 2.
+std::vector<DyadicInterval> CoveringIntervals(int64_t t, int64_t d);
+
+}  // namespace futurerand::dyadic
+
+#endif  // FUTURERAND_DYADIC_DECOMPOSITION_H_

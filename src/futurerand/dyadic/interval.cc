@@ -1,0 +1,39 @@
+#include "futurerand/dyadic/interval.h"
+
+#include <cstdio>
+
+#include "futurerand/common/macros.h"
+#include "futurerand/common/math.h"
+
+namespace futurerand::dyadic {
+
+std::string DyadicInterval::ToString() const {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "I(%d,%lld)=[%lld..%lld]", order,
+                static_cast<long long>(index), static_cast<long long>(begin()),
+                static_cast<long long>(end()));
+  return buffer;
+}
+
+int NumOrders(int64_t d) {
+  FR_CHECK(d > 0);
+  return Log2Exact(static_cast<uint64_t>(d)) + 1;
+}
+
+int64_t NumIntervalsAtOrder(int64_t d, int order) {
+  FR_CHECK(order >= 0 && order < NumOrders(d));
+  return d >> order;
+}
+
+DyadicInterval IntervalContaining(int64_t t, int order) {
+  FR_CHECK(t >= 1);
+  FR_CHECK(order >= 0);
+  return {order, ((t - 1) >> order) + 1};
+}
+
+int64_t TotalIntervalCount(int64_t d) {
+  FR_CHECK(d > 0 && IsPowerOfTwo(static_cast<uint64_t>(d)));
+  return 2 * d - 1;
+}
+
+}  // namespace futurerand::dyadic

@@ -1,0 +1,64 @@
+// Dyadic intervals I_{h,j} over the 1-indexed time domain [1..d]
+// (paper Definition 3.2).
+//
+// I_{h,j} = {(j-1)*2^h + 1, ..., j*2^h}; h is the "order" of the interval.
+// For a domain of size d (a power of two) the orders run over [0..log2 d]
+// and order h has d / 2^h intervals.
+
+#ifndef FUTURERAND_DYADIC_INTERVAL_H_
+#define FUTURERAND_DYADIC_INTERVAL_H_
+
+#include <cstdint>
+#include <string>
+
+namespace futurerand::dyadic {
+
+/// One dyadic interval, identified by (order, index) with index >= 1.
+struct DyadicInterval {
+  int order = 0;      // h in the paper
+  int64_t index = 1;  // j in the paper, 1-based
+
+  /// First time period covered: (j-1)*2^h + 1.
+  int64_t begin() const { return (index - 1) * (int64_t{1} << order) + 1; }
+
+  /// Last time period covered: j*2^h.
+  int64_t end() const { return index * (int64_t{1} << order); }
+
+  /// Number of time periods covered: 2^h.
+  int64_t length() const { return int64_t{1} << order; }
+
+  /// True iff time period t lies in this interval.
+  bool Contains(int64_t t) const { return t >= begin() && t <= end(); }
+
+  /// The order-(h+1) interval containing this one.
+  DyadicInterval Parent() const { return {order + 1, (index + 1) / 2}; }
+
+  /// The left / right halves (requires order >= 1).
+  DyadicInterval LeftChild() const { return {order - 1, 2 * index - 1}; }
+  DyadicInterval RightChild() const { return {order - 1, 2 * index}; }
+
+  /// e.g. "I(1,2)=[3..4]".
+  std::string ToString() const;
+
+  friend bool operator==(const DyadicInterval& a, const DyadicInterval& b) {
+    return a.order == b.order && a.index == b.index;
+  }
+};
+
+/// Number of distinct orders for a domain of size d: 1 + log2(d).
+/// Requires d to be a power of two.
+int NumOrders(int64_t d);
+
+/// Number of intervals of order h in a domain of size d: d / 2^h.
+/// Requires 0 <= h <= log2(d).
+int64_t NumIntervalsAtOrder(int64_t d, int order);
+
+/// The unique order-h interval containing time t (1 <= t <= d).
+DyadicInterval IntervalContaining(int64_t t, int order);
+
+/// Total number of dyadic intervals in a domain of size d: 2d - 1.
+int64_t TotalIntervalCount(int64_t d);
+
+}  // namespace futurerand::dyadic
+
+#endif  // FUTURERAND_DYADIC_INTERVAL_H_

@@ -1,0 +1,14 @@
+#include "futurerand/dyadic/tree.h"
+
+namespace futurerand::dyadic {
+
+std::vector<int64_t> LevelSizes(int64_t d) {
+  const int orders = NumOrders(d);
+  std::vector<int64_t> sizes(static_cast<size_t>(orders));
+  for (int h = 0; h < orders; ++h) {
+    sizes[static_cast<size_t>(h)] = NumIntervalsAtOrder(d, h);
+  }
+  return sizes;
+}
+
+}  // namespace futurerand::dyadic

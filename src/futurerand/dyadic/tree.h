@@ -1,0 +1,92 @@
+// DyadicTree<T>: a complete binary aggregation tree over [1..d], stored as
+// one contiguous array per order. The LDP server keeps its per-interval
+// report accumulators in one of these; the central-model binary-tree
+// mechanism keeps its noisy node counts in another.
+
+#ifndef FUTURERAND_DYADIC_TREE_H_
+#define FUTURERAND_DYADIC_TREE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "futurerand/common/macros.h"
+#include "futurerand/common/math.h"
+#include "futurerand/dyadic/decomposition.h"
+#include "futurerand/dyadic/interval.h"
+
+namespace futurerand::dyadic {
+
+/// Per-order storage sizes for a domain of size d (d a power of two):
+/// sizes[h] == d / 2^h.
+std::vector<int64_t> LevelSizes(int64_t d);
+
+/// A value of type T per dyadic interval of a size-d domain.
+///
+/// T must be default-constructible and additive (operator+=). All node
+/// accessors use the paper's (order h, 1-based index j) coordinates.
+template <typename T>
+class DyadicTree {
+ public:
+  /// Creates a tree over [1..d] with all nodes value-initialized.
+  /// d must be a power of two.
+  explicit DyadicTree(int64_t d) : d_(d) {
+    FR_CHECK_MSG(d > 0 && IsPowerOfTwo(static_cast<uint64_t>(d)),
+                 "domain size must be a power of two");
+    const int orders = NumOrders(d);
+    levels_.resize(static_cast<size_t>(orders));
+    for (int h = 0; h < orders; ++h) {
+      levels_[static_cast<size_t>(h)].assign(
+          static_cast<size_t>(NumIntervalsAtOrder(d, h)), T{});
+    }
+  }
+
+  int64_t domain_size() const { return d_; }
+  int num_orders() const { return static_cast<int>(levels_.size()); }
+
+  /// Mutable access to the node for interval I_{h,j}.
+  T& At(int order, int64_t index) {
+    FR_DCHECK(order >= 0 && order < num_orders());
+    FR_DCHECK(index >= 1 &&
+              index <= static_cast<int64_t>(levels_[order].size()));
+    return levels_[static_cast<size_t>(order)][static_cast<size_t>(index - 1)];
+  }
+
+  const T& At(int order, int64_t index) const {
+    return const_cast<DyadicTree*>(this)->At(order, index);
+  }
+
+  T& At(const DyadicInterval& interval) {
+    return At(interval.order, interval.index);
+  }
+  const T& At(const DyadicInterval& interval) const {
+    return At(interval.order, interval.index);
+  }
+
+  /// Adds `delta` to every node whose interval contains time t (one node per
+  /// order). This is how a unit event at time t propagates up the hierarchy.
+  void AddAtTime(int64_t t, const T& delta) {
+    FR_CHECK(t >= 1 && t <= d_);
+    for (int h = 0; h < num_orders(); ++h) {
+      At(IntervalContaining(t, h)) += delta;
+    }
+  }
+
+  /// Sum of node values over the dyadic decomposition C(t) of the prefix
+  /// [1..t]; with AddAtTime this realizes prefix aggregation in O(log d).
+  T PrefixSum(int64_t t) const {
+    FR_CHECK(t >= 1 && t <= d_);
+    T total{};
+    for (const DyadicInterval& interval : DecomposePrefix(t)) {
+      total += At(interval);
+    }
+    return total;
+  }
+
+ private:
+  int64_t d_;
+  std::vector<std::vector<T>> levels_;
+};
+
+}  // namespace futurerand::dyadic
+
+#endif  // FUTURERAND_DYADIC_TREE_H_

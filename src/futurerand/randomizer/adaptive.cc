@@ -1,0 +1,31 @@
+#include "futurerand/randomizer/adaptive.h"
+
+#include <utility>
+
+#include "futurerand/randomizer/annulus.h"
+#include "futurerand/randomizer/future_rand.h"
+#include "futurerand/randomizer/independent.h"
+
+namespace futurerand::rand {
+
+Result<std::unique_ptr<AdaptiveRandomizer>> AdaptiveRandomizer::Create(
+    int64_t length, int64_t max_support, double epsilon, uint64_t seed) {
+  FR_ASSIGN_OR_RETURN(double future_gap,
+                      ExactCGap(RandomizerKind::kFutureRand, max_support,
+                                epsilon));
+  FR_ASSIGN_OR_RETURN(double independent_gap,
+                      ExactCGap(RandomizerKind::kIndependent, max_support,
+                                epsilon));
+  std::unique_ptr<SequenceRandomizer> inner;
+  if (future_gap >= independent_gap) {
+    FR_ASSIGN_OR_RETURN(inner, FutureRandRandomizer::Create(
+                                   length, max_support, epsilon, seed));
+  } else {
+    FR_ASSIGN_OR_RETURN(inner, IndependentRandomizer::Create(
+                                   length, max_support, epsilon, seed));
+  }
+  return std::unique_ptr<AdaptiveRandomizer>(
+      new AdaptiveRandomizer(std::move(inner)));
+}
+
+}  // namespace futurerand::rand

@@ -1,0 +1,26 @@
+#include "futurerand/randomizer/basic.h"
+
+#include <cmath>
+
+#include "futurerand/common/macros.h"
+
+namespace futurerand::rand {
+
+BasicRandomizer::BasicRandomizer(double eps_tilde)
+    : eps_tilde_(eps_tilde),
+      flip_probability_(1.0 / (std::exp(eps_tilde) + 1.0)) {}
+
+Result<BasicRandomizer> BasicRandomizer::Create(double eps_tilde) {
+  if (!(eps_tilde > 0.0) || !std::isfinite(eps_tilde)) {
+    return Status::InvalidArgument("basic randomizer requires eps~ > 0");
+  }
+  return BasicRandomizer(eps_tilde);
+}
+
+int8_t BasicRandomizer::Apply(int8_t value, Rng* rng) const {
+  FR_DCHECK(value == -1 || value == 1);
+  return rng->NextBernoulli(flip_probability_) ? static_cast<int8_t>(-value)
+                                               : value;
+}
+
+}  // namespace futurerand::rand

@@ -1,0 +1,38 @@
+// Warner's basic randomizer R (Equation 14): keep the input bit with
+// probability e^{eps~}/(e^{eps~}+1), flip it otherwise.
+
+#ifndef FUTURERAND_RANDOMIZER_BASIC_H_
+#define FUTURERAND_RANDOMIZER_BASIC_H_
+
+#include "futurerand/common/random.h"
+#include "futurerand/common/result.h"
+
+namespace futurerand::rand {
+
+/// Stateless randomized response over {-1, +1}.
+class BasicRandomizer {
+ public:
+  /// Requires eps_tilde > 0.
+  static Result<BasicRandomizer> Create(double eps_tilde);
+
+  /// Applies R to one value in {-1, +1}.
+  int8_t Apply(int8_t value, Rng* rng) const;
+
+  /// Flip probability p = 1/(e^{eps~}+1).
+  double flip_probability() const { return flip_probability_; }
+
+  /// The gap Pr[keep] - Pr[flip] = (e^{eps~}-1)/(e^{eps~}+1) = 1 - 2p.
+  double c_gap() const { return 1.0 - 2.0 * flip_probability_; }
+
+  double eps_tilde() const { return eps_tilde_; }
+
+ private:
+  explicit BasicRandomizer(double eps_tilde);
+
+  double eps_tilde_;
+  double flip_probability_;
+};
+
+}  // namespace futurerand::rand
+
+#endif  // FUTURERAND_RANDOMIZER_BASIC_H_

@@ -1,0 +1,86 @@
+#include "futurerand/randomizer/exact_dist.h"
+
+#include <cmath>
+
+#include "futurerand/common/macros.h"
+#include "futurerand/common/math.h"
+
+namespace futurerand::rand {
+
+double LogComposedProbability(const AnnulusSpec& spec, const SignVector& input,
+                              const SignVector& output) {
+  FR_CHECK(input.size() == spec.k && output.size() == spec.k);
+  return spec.LogProbabilityAtDistance(input.HammingDistance(output));
+}
+
+std::vector<double> DistanceMasses(const AnnulusSpec& spec) {
+  std::vector<double> masses(static_cast<size_t>(spec.k) + 1);
+  for (int64_t i = 0; i <= spec.k; ++i) {
+    masses[static_cast<size_t>(i)] =
+        std::exp(LogBinomial(spec.k, i) + spec.LogProbabilityAtDistance(i));
+  }
+  return masses;
+}
+
+double TotalMass(const AnnulusSpec& spec) {
+  double total = 0.0;
+  for (double mass : DistanceMasses(spec)) {
+    total += mass;
+  }
+  return total;
+}
+
+Result<double> LogOnlineOutputProbability(const AnnulusSpec& spec,
+                                          std::span<const int8_t> input,
+                                          std::span<const int8_t> output) {
+  if (input.size() != output.size()) {
+    return Status::InvalidArgument("input/output length mismatch");
+  }
+  const auto length = static_cast<int64_t>(input.size());
+
+  // Walk the sequence once: count zero coordinates and, at each non-zero
+  // coordinate j_i, the required noise bit s_i = output_j / input_j. Only
+  // the number of -1 bits among the s_i matters by distance symmetry.
+  int64_t support = 0;
+  int64_t required_negatives = 0;
+  for (int64_t j = 0; j < length; ++j) {
+    const int8_t in = input[static_cast<size_t>(j)];
+    const int8_t out = output[static_cast<size_t>(j)];
+    if (in != -1 && in != 0 && in != 1) {
+      return Status::InvalidArgument("input values must be in {-1,0,+1}");
+    }
+    if (out != -1 && out != 1) {
+      return Status::InvalidArgument("output values must be in {-1,+1}");
+    }
+    if (in == 0) {
+      continue;
+    }
+    ++support;
+    if (in != out) {
+      ++required_negatives;  // s_i = -1
+    }
+  }
+  if (support > spec.k) {
+    return Status::InvalidArgument(
+        "input has more non-zero entries than the sparsity budget k");
+  }
+
+  // Pr[first `support` bits of b~ match] summed over all completions of the
+  // remaining k - support bits. A completion flipping `extra` of them lands
+  // at total distance required_negatives + extra from 1^k.
+  std::vector<double> log_terms;
+  log_terms.reserve(static_cast<size_t>(spec.k - support) + 1);
+  for (int64_t extra = 0; extra <= spec.k - support; ++extra) {
+    log_terms.push_back(
+        LogBinomial(spec.k - support, extra) +
+        spec.LogProbabilityAtDistance(required_negatives + extra));
+  }
+  const double log_prefix_probability = LogSumExp(log_terms);
+
+  // Zero coordinates are independent uniform signs: factor 2^{-(L-m)}.
+  const double log_zero_factor =
+      -static_cast<double>(length - support) * std::log(2.0);
+  return log_prefix_probability + log_zero_factor;
+}
+
+}  // namespace futurerand::rand

@@ -1,0 +1,52 @@
+// Exact output laws of the composed randomizer and of the full online
+// FutureRand client — the machinery behind machine-checked privacy audits.
+//
+// By symmetry, Pr[R~(b) = s] depends on s only through ||b - s||_0, so the
+// whole 2^k-point distribution is described by k+1 numbers. For the online
+// randomizer, Section 5.4's analysis gives the exact probability of any
+// length-L output sequence for any (at most k)-sparse input, again in
+// closed form over Hamming distances.
+
+#ifndef FUTURERAND_RANDOMIZER_EXACT_DIST_H_
+#define FUTURERAND_RANDOMIZER_EXACT_DIST_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "futurerand/common/result.h"
+#include "futurerand/common/sign_vector.h"
+#include "futurerand/randomizer/annulus.h"
+
+namespace futurerand::rand {
+
+/// ln Pr[R~(input) = output] for a finalized spec; both vectors must have
+/// size spec.k.
+double LogComposedProbability(const AnnulusSpec& spec, const SignVector& input,
+                              const SignVector& output);
+
+/// Total probability mass assigned at each Hamming distance i from the
+/// input: masses[i] = C(k,i) * Pr[specific sequence at distance i].
+/// Sums to 1 (up to float error) — the normalization check of the audit.
+std::vector<double> DistanceMasses(const AnnulusSpec& spec);
+
+/// Sum of DistanceMasses (should be 1; exposed so tests and the audit can
+/// assert the law is properly normalized).
+double TotalMass(const AnnulusSpec& spec);
+
+/// ln Pr[the online randomizer with pre-computed noise b~ ~ R~(1^k) emits
+/// `output` on `input`], for a length-L input over {-1,0,+1} with at most
+/// spec.k non-zero entries and output over {-1,+1}.
+///
+/// Follows Section 5.4 exactly: zero coordinates contribute 2^{-(L-m)}
+/// (m = |supp(input)|); the non-zero coordinates require the first m bits of
+/// b~ to equal s_i = output_{j_i} / input_{j_i}, an event whose probability
+/// is a sum over the 2^{k-m} completions, collapsed by distance symmetry to
+/// at most k-m+1 binomial terms.
+Result<double> LogOnlineOutputProbability(const AnnulusSpec& spec,
+                                          std::span<const int8_t> input,
+                                          std::span<const int8_t> output);
+
+}  // namespace futurerand::rand
+
+#endif  // FUTURERAND_RANDOMIZER_EXACT_DIST_H_

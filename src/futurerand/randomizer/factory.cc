@@ -1,0 +1,98 @@
+#include <algorithm>
+#include <cmath>
+
+#include "futurerand/randomizer/adaptive.h"
+#include "futurerand/randomizer/annulus.h"
+#include "futurerand/randomizer/bun.h"
+#include "futurerand/randomizer/future_rand.h"
+#include "futurerand/randomizer/independent.h"
+#include "futurerand/randomizer/randomizer.h"
+
+namespace futurerand::rand {
+
+const char* RandomizerKindToString(RandomizerKind kind) {
+  switch (kind) {
+    case RandomizerKind::kFutureRand:
+      return "future_rand";
+    case RandomizerKind::kIndependent:
+      return "independent";
+    case RandomizerKind::kBun:
+      return "bun";
+    case RandomizerKind::kAdaptive:
+      return "adaptive";
+  }
+  return "unknown";
+}
+
+Result<std::unique_ptr<SequenceRandomizer>> MakeSequenceRandomizer(
+    RandomizerKind kind, int64_t length, int64_t max_support, double epsilon,
+    uint64_t seed) {
+  switch (kind) {
+    case RandomizerKind::kFutureRand: {
+      FR_ASSIGN_OR_RETURN(std::unique_ptr<SequenceRandomizer> randomizer,
+                          FutureRandRandomizer::Create(length, max_support,
+                                                       epsilon, seed));
+      return randomizer;
+    }
+    case RandomizerKind::kIndependent: {
+      FR_ASSIGN_OR_RETURN(std::unique_ptr<SequenceRandomizer> randomizer,
+                          IndependentRandomizer::Create(length, max_support,
+                                                        epsilon, seed));
+      return randomizer;
+    }
+    case RandomizerKind::kBun: {
+      FR_ASSIGN_OR_RETURN(std::unique_ptr<SequenceRandomizer> randomizer,
+                          BunRandomizer::Create(length, max_support, epsilon,
+                                                seed));
+      return randomizer;
+    }
+    case RandomizerKind::kAdaptive: {
+      FR_ASSIGN_OR_RETURN(std::unique_ptr<SequenceRandomizer> randomizer,
+                          AdaptiveRandomizer::Create(length, max_support,
+                                                     epsilon, seed));
+      return randomizer;
+    }
+  }
+  return Status::InvalidArgument("unknown randomizer kind");
+}
+
+Result<double> ExactCGap(RandomizerKind kind, int64_t max_support,
+                         double epsilon) {
+  switch (kind) {
+    case RandomizerKind::kFutureRand: {
+      FR_ASSIGN_OR_RETURN(AnnulusSpec spec,
+                          MakeFutureRandSpec(max_support, epsilon));
+      return spec.c_gap;
+    }
+    case RandomizerKind::kIndependent: {
+      if (max_support < 1) {
+        return Status::InvalidArgument("require k >= 1");
+      }
+      if (!(epsilon > 0.0) || !(epsilon <= 1.0)) {
+        return Status::InvalidArgument("require 0 < epsilon <= 1");
+      }
+      // Written exactly as BasicRandomizer computes it (1 - 2p with
+      // p = 1/(e^x+1)) so the factory constant and the instance's c_gap()
+      // are bit-identical; the server's debiasing relies on that.
+      const double per_coordinate =
+          epsilon / static_cast<double>(max_support);
+      return 1.0 - 2.0 / (std::exp(per_coordinate) + 1.0);
+    }
+    case RandomizerKind::kBun: {
+      FR_ASSIGN_OR_RETURN(AnnulusSpec spec, MakeBunSpec(max_support, epsilon));
+      return spec.c_gap;
+    }
+    case RandomizerKind::kAdaptive: {
+      FR_ASSIGN_OR_RETURN(double future_gap,
+                          ExactCGap(RandomizerKind::kFutureRand, max_support,
+                                    epsilon));
+      FR_ASSIGN_OR_RETURN(double independent_gap,
+                          ExactCGap(RandomizerKind::kIndependent, max_support,
+                                    epsilon));
+      return std::max(future_gap, independent_gap);
+    }
+  }
+  return Status::InvalidArgument("unknown randomizer kind");
+}
+
+}  // namespace futurerand::rand

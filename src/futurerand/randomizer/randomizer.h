@@ -1,0 +1,97 @@
+// The sequence-randomizer interface M of Section 4.2.
+//
+// A SequenceRandomizer perturbs a length-L sequence v_1..v_L over {-1,0,+1}
+// with at most k non-zero entries, emitting one output in {-1,+1} per input
+// as it arrives (online). Implementations must satisfy the paper's three
+// properties:
+//
+//   Property I   (privacy): every output sequence w in {-1,+1}^L has
+//                probability in [p_min, p_max] with p_max <= e^eps * p_min,
+//                for every k-sparse input.
+//   Property II  (signal):  Pr[out = v_j] - Pr[out = -v_j] = c_gap for every
+//                non-zero v_j, with a common gap c_gap.
+//   Property III (zeros):   zero inputs map to uniform +/-1.
+//
+// c_gap() must return the exact gap so the server's debiasing
+// (1+log d) * c_gap^{-1} * omega is exactly unbiased (Observation 4.3).
+
+#ifndef FUTURERAND_RANDOMIZER_RANDOMIZER_H_
+#define FUTURERAND_RANDOMIZER_RANDOMIZER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "futurerand/common/random.h"
+#include "futurerand/common/result.h"
+
+namespace futurerand::rand {
+
+/// Online randomizer for one user's report sequence. Not thread-safe; each
+/// client owns one instance per tracked sequence.
+class SequenceRandomizer {
+ public:
+  virtual ~SequenceRandomizer() = default;
+
+  /// Perturbs the j-th input (j advances by one per call; at most length()
+  /// calls). `value` must be -1, 0 or +1; the result is -1 or +1.
+  ///
+  /// Implementations clamp over-budget inputs: once max_support() non-zero
+  /// values have been randomized, further non-zero values are treated as
+  /// zeros (uniform output) so the privacy certificate never degrades;
+  /// support_overflow_count() reports how many inputs were clamped.
+  virtual int8_t Randomize(int8_t value) = 0;
+
+  /// Exact common gap Pr[keep] - Pr[flip] for non-zero inputs (Property II).
+  virtual double c_gap() const = 0;
+
+  /// Sequence length L this randomizer was initialized for.
+  virtual int64_t length() const = 0;
+
+  /// Sparsity budget k.
+  virtual int64_t max_support() const = 0;
+
+  /// Privacy budget epsilon the construction certifies.
+  virtual double epsilon() const = 0;
+
+  /// Number of inputs consumed so far.
+  virtual int64_t position() const = 0;
+
+  /// Non-zero inputs randomized so far (capped at max_support()).
+  virtual int64_t support_used() const = 0;
+
+  /// Non-zero inputs that arrived after the support budget was exhausted and
+  /// were clamped to uniform output.
+  virtual int64_t support_overflow_count() const = 0;
+
+  /// Short identifier, e.g. "future_rand".
+  virtual std::string name() const = 0;
+};
+
+/// Which sequence-randomizer construction to instantiate.
+enum class RandomizerKind {
+  kFutureRand,   // Section 5 (Algorithm 3): composed + pre-computation
+  kIndependent,  // Example 4.2: per-coordinate RR(eps/k)
+  kBun,          // Appendix A.2: Bun et al. composed randomizer
+  kAdaptive,     // max-c_gap choice among certified constructions
+};
+
+/// Stable display name for a RandomizerKind.
+const char* RandomizerKindToString(RandomizerKind kind);
+
+/// Creates a randomizer of the given kind for a length-L sequence with at
+/// most k non-zero entries under budget epsilon (0 < epsilon <= 1, the
+/// paper's regime). `seed` determines all of the instance's randomness.
+Result<std::unique_ptr<SequenceRandomizer>> MakeSequenceRandomizer(
+    RandomizerKind kind, int64_t length, int64_t max_support, double epsilon,
+    uint64_t seed);
+
+/// Exact c_gap the given construction achieves for (k, epsilon), without
+/// instantiating a randomizer. Used by the server for debiasing and by the
+/// c_gap comparison experiment (E6).
+Result<double> ExactCGap(RandomizerKind kind, int64_t max_support,
+                         double epsilon);
+
+}  // namespace futurerand::rand
+
+#endif  // FUTURERAND_RANDOMIZER_RANDOMIZER_H_

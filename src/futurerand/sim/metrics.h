@@ -1,0 +1,28 @@
+// Error metrics between an estimate series and the exact counts.
+
+#ifndef FUTURERAND_SIM_METRICS_H_
+#define FUTURERAND_SIM_METRICS_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+namespace futurerand::sim {
+
+/// Summary of |estimate - truth| over all d time periods.
+struct ErrorMetrics {
+  double max_abs = 0.0;   // the paper's l_inf accuracy metric (Def. 2.1)
+  double mean_abs = 0.0;
+  double rmse = 0.0;
+  int64_t argmax_time = 0;  // 1-based t attaining max_abs
+
+  std::string ToString() const;
+};
+
+/// Computes the metrics; the spans must be non-empty and equal length.
+ErrorMetrics ComputeErrorMetrics(std::span<const double> estimates,
+                                 std::span<const int64_t> truth);
+
+}  // namespace futurerand::sim
+
+#endif  // FUTURERAND_SIM_METRICS_H_

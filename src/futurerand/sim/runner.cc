@@ -1,0 +1,451 @@
+#include "futurerand/sim/runner.h"
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+#include <optional>
+#include <utility>
+
+#include "futurerand/central/tree_mechanism.h"
+#include "futurerand/common/macros.h"
+#include "futurerand/common/random.h"
+#include "futurerand/common/timer.h"
+#include "futurerand/core/client.h"
+#include "futurerand/core/erlingsson.h"
+#include "futurerand/core/naive_rr.h"
+#include "futurerand/core/reference.h"
+#include "futurerand/core/server.h"
+
+namespace futurerand::sim {
+
+namespace {
+
+// Users are processed in contiguous chunks, one server shard per chunk, and
+// the shards merged at the end. Chunk boundaries do not affect results:
+// every user's randomness is forked from the base seed by user id.
+struct UserRange {
+  int64_t begin = 0;
+  int64_t end = 0;
+};
+
+std::vector<UserRange> SplitUsers(int64_t num_users, int num_chunks) {
+  std::vector<UserRange> ranges;
+  const int64_t chunk =
+      (num_users + num_chunks - 1) / static_cast<int64_t>(num_chunks);
+  for (int64_t begin = 0; begin < num_users; begin += chunk) {
+    ranges.push_back({begin, std::min(begin + chunk, num_users)});
+  }
+  return ranges;
+}
+
+// Runs Algorithms 1+2 with the sequence randomizer selected in `config`.
+Result<RunResult> RunHierarchical(const core::ProtocolConfig& config,
+                                  const Workload& workload, uint64_t seed,
+                                  ThreadPool* pool) {
+  const int num_chunks = pool != nullptr ? pool->num_threads() : 1;
+  const std::vector<UserRange> ranges =
+      SplitUsers(workload.num_users(), num_chunks);
+
+  std::vector<core::Server> shards;
+  shards.reserve(ranges.size());
+  for (size_t i = 0; i < ranges.size(); ++i) {
+    FR_ASSIGN_OR_RETURN(core::Server shard,
+                        core::Server::ForProtocol(config));
+    shards.push_back(std::move(shard));
+  }
+
+  const Rng base(seed);
+  std::atomic<int64_t> reports{0};
+  std::atomic<bool> failed{false};
+  auto process_range = [&](size_t shard_index) {
+    core::Server& server = shards[shard_index];
+    const UserRange range = ranges[shard_index];
+    int64_t local_reports = 0;
+    for (int64_t u = range.begin; u < range.end && !failed.load(); ++u) {
+      auto client_result =
+          core::Client::Create(config, base.Fork(static_cast<uint64_t>(u))
+                                           .NextUint64());
+      if (!client_result.ok()) {
+        failed.store(true);
+        return;
+      }
+      core::Client client = std::move(client_result).ValueOrDie();
+      if (!server.RegisterClient(u, client.level()).ok()) {
+        failed.store(true);
+        return;
+      }
+      const UserTrace& trace = workload.trace(u);
+      size_t next_change = 0;
+      int8_t state = 0;
+      for (int64_t t = 1; t <= config.num_periods; ++t) {
+        if (next_change < trace.change_times.size() &&
+            trace.change_times[next_change] == t) {
+          state = static_cast<int8_t>(1 - state);
+          ++next_change;
+        }
+        auto report_result = client.ObserveState(state);
+        if (!report_result.ok()) {
+          failed.store(true);
+          return;
+        }
+        const std::optional<int8_t>& report = *report_result;
+        if (report.has_value()) {
+          if (!server.SubmitReport(u, t, *report).ok()) {
+            failed.store(true);
+            return;
+          }
+          ++local_reports;
+        }
+      }
+    }
+    reports.fetch_add(local_reports);
+  };
+
+  if (pool != nullptr && ranges.size() > 1) {
+    for (size_t i = 0; i < ranges.size(); ++i) {
+      pool->Submit([&process_range, i] { process_range(i); });
+    }
+    pool->Wait();
+  } else {
+    for (size_t i = 0; i < ranges.size(); ++i) {
+      process_range(i);
+    }
+  }
+  if (failed.load()) {
+    return Status::Internal("a client or shard failed during the run");
+  }
+
+  core::Server& combined = shards.front();
+  for (size_t i = 1; i < shards.size(); ++i) {
+    FR_RETURN_NOT_OK(combined.Merge(shards[i]));
+  }
+
+  RunResult result;
+  if (config.consistent_estimation) {
+    FR_ASSIGN_OR_RETURN(result.estimates, combined.EstimateAllConsistent());
+  } else {
+    FR_ASSIGN_OR_RETURN(result.estimates, combined.EstimateAll());
+  }
+  result.reports_submitted = reports.load();
+  return result;
+}
+
+Result<RunResult> RunErlingsson(const core::ProtocolConfig& config,
+                                const Workload& workload, uint64_t seed,
+                                ThreadPool* pool) {
+  const int num_chunks = pool != nullptr ? pool->num_threads() : 1;
+  const std::vector<UserRange> ranges =
+      SplitUsers(workload.num_users(), num_chunks);
+
+  std::vector<core::Server> shards;
+  shards.reserve(ranges.size());
+  for (size_t i = 0; i < ranges.size(); ++i) {
+    FR_ASSIGN_OR_RETURN(core::Server shard,
+                        core::MakeErlingssonServer(config));
+    shards.push_back(std::move(shard));
+  }
+
+  const Rng base(seed);
+  std::atomic<int64_t> reports{0};
+  std::atomic<bool> failed{false};
+  auto process_range = [&](size_t shard_index) {
+    core::Server& server = shards[shard_index];
+    const UserRange range = ranges[shard_index];
+    int64_t local_reports = 0;
+    for (int64_t u = range.begin; u < range.end && !failed.load(); ++u) {
+      auto client_result = core::ErlingssonClient::Create(
+          config, base.Fork(static_cast<uint64_t>(u)).NextUint64());
+      if (!client_result.ok()) {
+        failed.store(true);
+        return;
+      }
+      core::ErlingssonClient client = std::move(client_result).ValueOrDie();
+      if (!server.RegisterClient(u, client.level()).ok()) {
+        failed.store(true);
+        return;
+      }
+      const UserTrace& trace = workload.trace(u);
+      size_t next_change = 0;
+      int8_t state = 0;
+      for (int64_t t = 1; t <= config.num_periods; ++t) {
+        if (next_change < trace.change_times.size() &&
+            trace.change_times[next_change] == t) {
+          state = static_cast<int8_t>(1 - state);
+          ++next_change;
+        }
+        auto report_result = client.ObserveState(state);
+        if (!report_result.ok()) {
+          failed.store(true);
+          return;
+        }
+        if (report_result->has_value()) {
+          if (!server.SubmitReport(u, t, **report_result).ok()) {
+            failed.store(true);
+            return;
+          }
+          ++local_reports;
+        }
+      }
+    }
+    reports.fetch_add(local_reports);
+  };
+
+  if (pool != nullptr && ranges.size() > 1) {
+    for (size_t i = 0; i < ranges.size(); ++i) {
+      pool->Submit([&process_range, i] { process_range(i); });
+    }
+    pool->Wait();
+  } else {
+    for (size_t i = 0; i < ranges.size(); ++i) {
+      process_range(i);
+    }
+  }
+  if (failed.load()) {
+    return Status::Internal("a client or shard failed during the run");
+  }
+
+  core::Server& combined = shards.front();
+  for (size_t i = 1; i < shards.size(); ++i) {
+    FR_RETURN_NOT_OK(combined.Merge(shards[i]));
+  }
+
+  RunResult result;
+  FR_ASSIGN_OR_RETURN(result.estimates, combined.EstimateAll());
+  result.reports_submitted = reports.load();
+  return result;
+}
+
+Result<RunResult> RunNaiveRR(const core::ProtocolConfig& config,
+                             const Workload& workload, uint64_t seed,
+                             ThreadPool* pool) {
+  const int num_chunks = pool != nullptr ? pool->num_threads() : 1;
+  const std::vector<UserRange> ranges =
+      SplitUsers(workload.num_users(), num_chunks);
+
+  std::vector<core::NaiveRRServer> shards;
+  shards.reserve(ranges.size());
+  for (size_t i = 0; i < ranges.size(); ++i) {
+    FR_ASSIGN_OR_RETURN(core::NaiveRRServer shard,
+                        core::NaiveRRServer::Create(config));
+    shards.push_back(std::move(shard));
+  }
+
+  const Rng base(seed);
+  std::atomic<int64_t> reports{0};
+  std::atomic<bool> failed{false};
+  auto process_range = [&](size_t shard_index) {
+    core::NaiveRRServer& server = shards[shard_index];
+    const UserRange range = ranges[shard_index];
+    int64_t local_reports = 0;
+    for (int64_t u = range.begin; u < range.end && !failed.load(); ++u) {
+      auto client_result = core::NaiveRRClient::Create(
+          config, base.Fork(static_cast<uint64_t>(u)).NextUint64());
+      if (!client_result.ok()) {
+        failed.store(true);
+        return;
+      }
+      core::NaiveRRClient client = std::move(client_result).ValueOrDie();
+      server.RegisterClient();
+      const UserTrace& trace = workload.trace(u);
+      size_t next_change = 0;
+      int8_t state = 0;
+      for (int64_t t = 1; t <= config.num_periods; ++t) {
+        if (next_change < trace.change_times.size() &&
+            trace.change_times[next_change] == t) {
+          state = static_cast<int8_t>(1 - state);
+          ++next_change;
+        }
+        auto report_result = client.ObserveState(state);
+        if (!report_result.ok()) {
+          failed.store(true);
+          return;
+        }
+        if (!server.SubmitReport(t, *report_result).ok()) {
+          failed.store(true);
+          return;
+        }
+        ++local_reports;
+      }
+    }
+    reports.fetch_add(local_reports);
+  };
+
+  if (pool != nullptr && ranges.size() > 1) {
+    for (size_t i = 0; i < ranges.size(); ++i) {
+      pool->Submit([&process_range, i] { process_range(i); });
+    }
+    pool->Wait();
+  } else {
+    for (size_t i = 0; i < ranges.size(); ++i) {
+      process_range(i);
+    }
+  }
+  if (failed.load()) {
+    return Status::Internal("a client or shard failed during the run");
+  }
+
+  core::NaiveRRServer& combined = shards.front();
+  for (size_t i = 1; i < shards.size(); ++i) {
+    FR_RETURN_NOT_OK(combined.Merge(shards[i]));
+  }
+
+  RunResult result;
+  FR_ASSIGN_OR_RETURN(result.estimates, combined.EstimateAll());
+  result.reports_submitted = reports.load();
+  return result;
+}
+
+Result<RunResult> RunCentralTree(const core::ProtocolConfig& config,
+                                 const Workload& workload, uint64_t seed) {
+  FR_ASSIGN_OR_RETURN(
+      central::TreeMechanism mechanism,
+      central::TreeMechanism::Create(config.num_periods, config.max_changes,
+                                     config.epsilon, seed));
+  // The trusted curator sees the exact aggregate derivative.
+  const std::vector<int64_t>& truth = workload.ground_truth();
+  int64_t previous = 0;
+  for (int64_t t = 1; t <= config.num_periods; ++t) {
+    const int64_t current = truth[static_cast<size_t>(t - 1)];
+    FR_RETURN_NOT_OK(
+        mechanism.ObserveAggregateDerivative(t, current - previous));
+    previous = current;
+  }
+  RunResult result;
+  FR_ASSIGN_OR_RETURN(result.estimates, mechanism.EstimateAll());
+  result.reports_submitted = config.num_periods;
+  return result;
+}
+
+Result<RunResult> RunNonPrivate(const core::ProtocolConfig& config,
+                                const Workload& workload) {
+  FR_ASSIGN_OR_RETURN(core::ReferenceAggregator aggregator,
+                      core::ReferenceAggregator::Create(config.num_periods));
+  for (int64_t u = 0; u < workload.num_users(); ++u) {
+    const UserTrace& trace = workload.trace(u);
+    for (size_t i = 0; i < trace.change_times.size(); ++i) {
+      FR_RETURN_NOT_OK(aggregator.ObserveDerivative(
+          trace.change_times[i], (i % 2 == 0) ? int8_t{1} : int8_t{-1}));
+    }
+  }
+  RunResult result;
+  result.estimates.reserve(static_cast<size_t>(config.num_periods));
+  for (int64_t t = 1; t <= config.num_periods; ++t) {
+    FR_ASSIGN_OR_RETURN(int64_t count, aggregator.CountAt(t));
+    result.estimates.push_back(static_cast<double>(count));
+  }
+  result.reports_submitted = 0;
+  return result;
+}
+
+}  // namespace
+
+const char* ProtocolKindToString(ProtocolKind kind) {
+  switch (kind) {
+    case ProtocolKind::kFutureRand:
+      return "future_rand";
+    case ProtocolKind::kIndependent:
+      return "independent";
+    case ProtocolKind::kBun:
+      return "bun";
+    case ProtocolKind::kAdaptive:
+      return "adaptive";
+    case ProtocolKind::kErlingsson:
+      return "erlingsson";
+    case ProtocolKind::kNaiveRR:
+      return "naive_rr";
+    case ProtocolKind::kCentralTree:
+      return "central_tree";
+    case ProtocolKind::kNonPrivate:
+      return "non_private";
+  }
+  return "unknown";
+}
+
+Result<RunResult> RunProtocol(ProtocolKind kind,
+                              const core::ProtocolConfig& config,
+                              const Workload& workload, uint64_t seed,
+                              ThreadPool* pool) {
+  FR_RETURN_NOT_OK(config.Validate());
+  if (workload.config().num_periods != config.num_periods) {
+    return Status::InvalidArgument("workload/config num_periods mismatch");
+  }
+
+  core::ProtocolConfig effective = config;
+  switch (kind) {
+    case ProtocolKind::kFutureRand:
+      effective.randomizer = rand::RandomizerKind::kFutureRand;
+      break;
+    case ProtocolKind::kIndependent:
+      effective.randomizer = rand::RandomizerKind::kIndependent;
+      break;
+    case ProtocolKind::kBun:
+      effective.randomizer = rand::RandomizerKind::kBun;
+      break;
+    case ProtocolKind::kAdaptive:
+      effective.randomizer = rand::RandomizerKind::kAdaptive;
+      break;
+    default:
+      break;
+  }
+
+  WallTimer timer;
+  Result<RunResult> outcome = Status::Internal("unreachable");
+  switch (kind) {
+    case ProtocolKind::kFutureRand:
+    case ProtocolKind::kIndependent:
+    case ProtocolKind::kBun:
+    case ProtocolKind::kAdaptive:
+      outcome = RunHierarchical(effective, workload, seed, pool);
+      break;
+    case ProtocolKind::kErlingsson:
+      outcome = RunErlingsson(effective, workload, seed, pool);
+      break;
+    case ProtocolKind::kNaiveRR:
+      outcome = RunNaiveRR(effective, workload, seed, pool);
+      break;
+    case ProtocolKind::kCentralTree:
+      outcome = RunCentralTree(effective, workload, seed);
+      break;
+    case ProtocolKind::kNonPrivate:
+      outcome = RunNonPrivate(effective, workload);
+      break;
+  }
+  if (!outcome.ok()) {
+    return outcome.status();
+  }
+  RunResult result = std::move(outcome).ValueOrDie();
+  result.wall_seconds = timer.ElapsedSeconds();
+  result.metrics =
+      ComputeErrorMetrics(result.estimates, workload.ground_truth());
+  return result;
+}
+
+Result<RepeatedRunStats> RunRepeated(ProtocolKind kind,
+                                     const core::ProtocolConfig& config,
+                                     const WorkloadConfig& workload_config,
+                                     int repetitions, uint64_t base_seed,
+                                     ThreadPool* pool) {
+  if (repetitions < 1) {
+    return Status::InvalidArgument("repetitions must be >= 1");
+  }
+  RepeatedRunStats stats;
+  for (int r = 0; r < repetitions; ++r) {
+    const uint64_t workload_seed =
+        base_seed + 2 * static_cast<uint64_t>(r) + 1;
+    const uint64_t protocol_seed =
+        base_seed + 2 * static_cast<uint64_t>(r) + 2;
+    FR_ASSIGN_OR_RETURN(Workload workload,
+                        Workload::Generate(workload_config, workload_seed));
+    FR_ASSIGN_OR_RETURN(
+        RunResult run,
+        RunProtocol(kind, config, workload, protocol_seed, pool));
+    stats.max_abs_error.Add(run.metrics.max_abs);
+    stats.mean_abs_error.Add(run.metrics.mean_abs);
+    stats.rmse.Add(run.metrics.rmse);
+    stats.total_wall_seconds += run.wall_seconds;
+    ++stats.repetitions;
+  }
+  return stats;
+}
+
+}  // namespace futurerand::sim

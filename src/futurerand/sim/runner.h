@@ -1,0 +1,74 @@
+// End-to-end experiment runner: plays a workload through a chosen protocol
+// and reports the estimate series plus error metrics. Client-side work is
+// embarrassingly parallel across users, so the runner shards users over a
+// thread pool, one server shard per chunk, and merges.
+
+#ifndef FUTURERAND_SIM_RUNNER_H_
+#define FUTURERAND_SIM_RUNNER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "futurerand/common/result.h"
+#include "futurerand/common/stats.h"
+#include "futurerand/common/threadpool.h"
+#include "futurerand/core/config.h"
+#include "futurerand/sim/metrics.h"
+#include "futurerand/sim/workload.h"
+
+namespace futurerand::sim {
+
+/// Every end-to-end pipeline the harness can run.
+enum class ProtocolKind {
+  kFutureRand,   // Algorithms 1+2 with the Section 5 randomizer
+  kIndependent,  // Algorithms 1+2 with the Example 4.2 randomizer
+  kBun,          // Algorithms 1+2 with the Appendix A.2 randomizer
+  kAdaptive,     // Algorithms 1+2 with the max-c_gap randomizer (extension)
+  kErlingsson,   // the Section 6 online baseline
+  kNaiveRR,      // repeated randomized response at eps/d (intro strawman)
+  kCentralTree,  // central-model binary-tree mechanism (Section 6 reference)
+  kNonPrivate,   // exact dyadic pipeline (sanity reference)
+};
+
+const char* ProtocolKindToString(ProtocolKind kind);
+
+/// The outcome of one protocol run on one workload.
+struct RunResult {
+  std::vector<double> estimates;  // a_hat[t], t = 1..d
+  ErrorMetrics metrics;           // vs the workload's exact ground truth
+  double wall_seconds = 0.0;
+  int64_t reports_submitted = 0;
+};
+
+/// Runs `kind` over `workload`. `config.randomizer` is overridden to match
+/// `kind` where applicable; `seed` drives all protocol randomness (clients
+/// fork per-user streams from it). `pool` may be null for single-threaded
+/// execution.
+Result<RunResult> RunProtocol(ProtocolKind kind,
+                              const core::ProtocolConfig& config,
+                              const Workload& workload, uint64_t seed,
+                              ThreadPool* pool = nullptr);
+
+/// Aggregated error statistics over repeated runs with fresh workload and
+/// protocol randomness per repetition.
+struct RepeatedRunStats {
+  RunningStat max_abs_error;
+  RunningStat mean_abs_error;
+  RunningStat rmse;
+  double total_wall_seconds = 0.0;
+  int64_t repetitions = 0;
+};
+
+/// Runs `repetitions` independent (workload, protocol) pairs and aggregates
+/// the error metrics. Repetition r uses workload seed base_seed*2r+1 and
+/// protocol seed base_seed*2r+2 (all derived deterministically).
+Result<RepeatedRunStats> RunRepeated(ProtocolKind kind,
+                                     const core::ProtocolConfig& config,
+                                     const WorkloadConfig& workload_config,
+                                     int repetitions, uint64_t base_seed,
+                                     ThreadPool* pool = nullptr);
+
+}  // namespace futurerand::sim
+
+#endif  // FUTURERAND_SIM_RUNNER_H_

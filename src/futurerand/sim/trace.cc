@@ -1,0 +1,27 @@
+#include "futurerand/sim/trace.h"
+
+#include <cmath>
+
+#include "futurerand/common/csv.h"
+
+namespace futurerand::sim {
+
+Status WriteRunCsv(const std::string& path, const RunResult& result,
+                   const Workload& workload) {
+  if (result.estimates.size() != workload.ground_truth().size()) {
+    return Status::InvalidArgument("result/workload length mismatch");
+  }
+  CsvWriter writer;
+  FR_RETURN_NOT_OK(writer.Open(path));
+  FR_RETURN_NOT_OK(writer.WriteRow({"t", "truth", "estimate", "abs_error"}));
+  for (size_t i = 0; i < result.estimates.size(); ++i) {
+    const auto truth = static_cast<double>(workload.ground_truth()[i]);
+    const double estimate = result.estimates[i];
+    FR_RETURN_NOT_OK(writer.WriteNumericRow(
+        {static_cast<double>(i + 1), truth, estimate,
+         std::abs(estimate - truth)}));
+  }
+  return writer.Close();
+}
+
+}  // namespace futurerand::sim

@@ -1,0 +1,20 @@
+// CSV export of run results, for plotting outside the harness.
+
+#ifndef FUTURERAND_SIM_TRACE_H_
+#define FUTURERAND_SIM_TRACE_H_
+
+#include <string>
+
+#include "futurerand/common/status.h"
+#include "futurerand/sim/runner.h"
+#include "futurerand/sim/workload.h"
+
+namespace futurerand::sim {
+
+/// Writes columns t,truth,estimate,abs_error for every time period.
+Status WriteRunCsv(const std::string& path, const RunResult& result,
+                   const Workload& workload);
+
+}  // namespace futurerand::sim
+
+#endif  // FUTURERAND_SIM_TRACE_H_

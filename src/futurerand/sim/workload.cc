@@ -1,0 +1,230 @@
+#include "futurerand/sim/workload.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "futurerand/common/macros.h"
+#include "futurerand/common/math.h"
+#include "futurerand/common/random.h"
+
+namespace futurerand::sim {
+
+int8_t UserTrace::StateAt(int64_t t) const {
+  // Parity of |{c in change_times : c <= t}|; change_times is sorted.
+  const auto it =
+      std::upper_bound(change_times.begin(), change_times.end(), t);
+  const auto count = static_cast<int64_t>(it - change_times.begin());
+  return static_cast<int8_t>(count & 1);
+}
+
+int8_t UserTrace::DerivativeAt(int64_t t) const {
+  if (!std::binary_search(change_times.begin(), change_times.end(), t)) {
+    return 0;
+  }
+  // The i-th change (1-indexed) flips 0->1 when i is odd, 1->0 when even.
+  const auto it =
+      std::lower_bound(change_times.begin(), change_times.end(), t);
+  const auto index = static_cast<int64_t>(it - change_times.begin()) + 1;
+  return (index & 1) ? int8_t{1} : int8_t{-1};
+}
+
+const char* WorkloadKindToString(WorkloadKind kind) {
+  switch (kind) {
+    case WorkloadKind::kUniformChanges:
+      return "uniform";
+    case WorkloadKind::kBursty:
+      return "bursty";
+    case WorkloadKind::kPeriodic:
+      return "periodic";
+    case WorkloadKind::kTrend:
+      return "trend";
+    case WorkloadKind::kStatic:
+      return "static";
+    case WorkloadKind::kAdversarial:
+      return "adversarial";
+  }
+  return "unknown";
+}
+
+Status WorkloadConfig::Validate() const {
+  if (num_users < 1) {
+    return Status::InvalidArgument("num_users must be >= 1");
+  }
+  if (num_periods < 1 || !IsPowerOfTwo(static_cast<uint64_t>(num_periods))) {
+    return Status::InvalidArgument("num_periods must be a power of two");
+  }
+  if (max_changes < 1 || max_changes > num_periods) {
+    return Status::InvalidArgument("require 1 <= max_changes <= num_periods");
+  }
+  return Status::OK();
+}
+
+namespace {
+
+// Draws `count` distinct change times uniformly from [1..d].
+std::vector<int64_t> UniformChangeTimes(int64_t d, int64_t count, Rng* rng) {
+  std::vector<uint64_t> raw(static_cast<size_t>(count));
+  rng->SampleWithoutReplacement(static_cast<uint64_t>(d),
+                                static_cast<uint64_t>(count), raw.data());
+  std::vector<int64_t> times(raw.size());
+  for (size_t i = 0; i < raw.size(); ++i) {
+    times[i] = static_cast<int64_t>(raw[i]) + 1;
+  }
+  std::sort(times.begin(), times.end());
+  return times;
+}
+
+UserTrace GenerateUniform(const WorkloadConfig& config, Rng* rng) {
+  // Change count uniform over [0..k]: populations mix quiet and busy users.
+  const auto count = static_cast<int64_t>(
+      rng->NextInt(static_cast<uint64_t>(config.max_changes) + 1));
+  UserTrace trace;
+  trace.change_times = UniformChangeTimes(config.num_periods, count, rng);
+  return trace;
+}
+
+UserTrace GenerateBursty(const WorkloadConfig& config, Rng* rng) {
+  const double fraction = config.param > 0.0 ? config.param : 0.125;
+  const int64_t width = std::max<int64_t>(
+      1, static_cast<int64_t>(static_cast<double>(config.num_periods) *
+                              fraction));
+  const auto start = static_cast<int64_t>(rng->NextInt(
+      static_cast<uint64_t>(config.num_periods - width + 1))) + 1;
+  const int64_t count = std::min<int64_t>(
+      config.max_changes,
+      static_cast<int64_t>(rng->NextInt(static_cast<uint64_t>(width) + 1)));
+  std::vector<uint64_t> raw(static_cast<size_t>(count));
+  rng->SampleWithoutReplacement(static_cast<uint64_t>(width),
+                                static_cast<uint64_t>(count), raw.data());
+  UserTrace trace;
+  trace.change_times.resize(raw.size());
+  for (size_t i = 0; i < raw.size(); ++i) {
+    trace.change_times[i] = start + static_cast<int64_t>(raw[i]);
+  }
+  std::sort(trace.change_times.begin(), trace.change_times.end());
+  return trace;
+}
+
+UserTrace GeneratePeriodic(const WorkloadConfig& config, Rng* rng) {
+  // Up to k changes evenly spaced; random phase and per-user count.
+  const auto count = static_cast<int64_t>(rng->NextInt(
+      static_cast<uint64_t>(config.max_changes))) + 1;
+  const int64_t stride = std::max<int64_t>(1, config.num_periods / count);
+  const auto phase =
+      static_cast<int64_t>(rng->NextInt(static_cast<uint64_t>(stride))) + 1;
+  UserTrace trace;
+  for (int64_t c = 0; c < count; ++c) {
+    const int64_t t = phase + c * stride;
+    if (t > config.num_periods) {
+      break;
+    }
+    trace.change_times.push_back(t);
+  }
+  return trace;
+}
+
+std::vector<int64_t> TrendEventTimes(const WorkloadConfig& config, Rng* rng) {
+  return UniformChangeTimes(config.num_periods, config.max_changes, rng);
+}
+
+UserTrace GenerateTrend(const WorkloadConfig& config,
+                        const std::vector<int64_t>& events, Rng* rng) {
+  const double adopt = config.param > 0.0 ? config.param : 0.6;
+  UserTrace trace;
+  for (int64_t event_time : events) {
+    if (rng->NextBernoulli(adopt)) {
+      trace.change_times.push_back(event_time);
+    }
+  }
+  return trace;
+}
+
+UserTrace GenerateStatic(const WorkloadConfig& config, Rng* rng) {
+  const double ones_fraction = config.param > 0.0 ? config.param : 0.3;
+  UserTrace trace;
+  if (rng->NextBernoulli(ones_fraction)) {
+    trace.change_times.push_back(1);  // 0 -> 1 at the first period
+  }
+  return trace;
+}
+
+UserTrace GenerateAdversarial(const std::vector<int64_t>& shared_times) {
+  UserTrace trace;
+  trace.change_times = shared_times;
+  return trace;
+}
+
+}  // namespace
+
+Workload::Workload(WorkloadConfig config, std::vector<UserTrace> traces)
+    : config_(config), traces_(std::move(traces)) {
+  // Ground truth by sweeping the derivative: the i-th change of any user
+  // contributes +1 (odd i) or -1 (even i) to a[t] for all t >= change time.
+  std::vector<int64_t> delta(static_cast<size_t>(config_.num_periods) + 1, 0);
+  for (const UserTrace& trace : traces_) {
+    for (size_t i = 0; i < trace.change_times.size(); ++i) {
+      const auto t = static_cast<size_t>(trace.change_times[i]);
+      delta[t] += (i % 2 == 0) ? 1 : -1;
+    }
+  }
+  ground_truth_.resize(static_cast<size_t>(config_.num_periods));
+  int64_t running = 0;
+  for (int64_t t = 1; t <= config_.num_periods; ++t) {
+    running += delta[static_cast<size_t>(t)];
+    ground_truth_[static_cast<size_t>(t - 1)] = running;
+  }
+}
+
+Result<Workload> Workload::Generate(const WorkloadConfig& config,
+                                    uint64_t seed) {
+  FR_RETURN_NOT_OK(config.Validate());
+  Rng base(seed);
+
+  // Population-level randomness (shared event times) uses stream 0;
+  // user u uses stream u+1.
+  Rng population_rng = base.Fork(0);
+  std::vector<int64_t> shared_times;
+  if (config.kind == WorkloadKind::kTrend ||
+      config.kind == WorkloadKind::kAdversarial) {
+    shared_times = TrendEventTimes(config, &population_rng);
+  }
+
+  std::vector<UserTrace> traces;
+  traces.reserve(static_cast<size_t>(config.num_users));
+  for (int64_t u = 0; u < config.num_users; ++u) {
+    Rng rng = base.Fork(static_cast<uint64_t>(u) + 1);
+    switch (config.kind) {
+      case WorkloadKind::kUniformChanges:
+        traces.push_back(GenerateUniform(config, &rng));
+        break;
+      case WorkloadKind::kBursty:
+        traces.push_back(GenerateBursty(config, &rng));
+        break;
+      case WorkloadKind::kPeriodic:
+        traces.push_back(GeneratePeriodic(config, &rng));
+        break;
+      case WorkloadKind::kTrend:
+        traces.push_back(GenerateTrend(config, shared_times, &rng));
+        break;
+      case WorkloadKind::kStatic:
+        traces.push_back(GenerateStatic(config, &rng));
+        break;
+      case WorkloadKind::kAdversarial:
+        traces.push_back(GenerateAdversarial(shared_times));
+        break;
+    }
+    FR_CHECK_MSG(traces.back().NumChanges() <= config.max_changes,
+                 "generator exceeded the change budget");
+  }
+  return Workload(config, std::move(traces));
+}
+
+int64_t Workload::MaxChangesUsed() const {
+  int64_t max_changes = 0;
+  for (const UserTrace& trace : traces_) {
+    max_changes = std::max(max_changes, trace.NumChanges());
+  }
+  return max_changes;
+}
+
+}  // namespace futurerand::sim

@@ -1,0 +1,96 @@
+// Synthetic longitudinal Boolean workloads with a controlled change budget.
+//
+// These stand in for the deployed telemetry populations that motivate the
+// paper (frequently-visited URLs, feature flags, ...): what the protocol's
+// behavior depends on is only (n, d, k) and the *shape* of the change
+// process, which each generator controls exactly. Every generated user
+// changes value at most `max_changes` times under the paper's convention
+// st_u[0] = 0 (so "starting at 1" costs one change at t = 1).
+
+#ifndef FUTURERAND_SIM_WORKLOAD_H_
+#define FUTURERAND_SIM_WORKLOAD_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "futurerand/common/result.h"
+
+namespace futurerand::sim {
+
+/// One user's trajectory, stored as the sorted times at which the Boolean
+/// value flips (starting from 0 before time 1).
+struct UserTrace {
+  /// Strictly increasing change times in [1..d].
+  std::vector<int64_t> change_times;
+
+  /// st_u[t]: the parity of the number of changes at times <= t.
+  int8_t StateAt(int64_t t) const;
+
+  /// The discrete derivative X_u[t] in {-1,0,+1} (Definition 3.1).
+  int8_t DerivativeAt(int64_t t) const;
+
+  /// Number of changes (must be <= the workload's max_changes).
+  int64_t NumChanges() const {
+    return static_cast<int64_t>(change_times.size());
+  }
+};
+
+/// The change-process shapes the generators produce.
+enum class WorkloadKind {
+  kUniformChanges,  // change times uniform without replacement in [1..d]
+  kBursty,          // all of a user's changes cluster in one short window
+  kPeriodic,        // evenly spaced changes from a random phase
+  kTrend,           // k global "news events"; users adopt each with prob. q
+  kStatic,          // a fraction of users sit at 1, the rest at 0, no churn
+  kAdversarial,     // every user flips at the same k times (worst case)
+};
+
+const char* WorkloadKindToString(WorkloadKind kind);
+
+/// Parameters for workload generation.
+struct WorkloadConfig {
+  WorkloadKind kind = WorkloadKind::kUniformChanges;
+  int64_t num_users = 0;
+  int64_t num_periods = 0;  // d, power of two
+  int64_t max_changes = 0;  // k
+
+  /// Shape knob, per kind: kBursty — window width as a fraction of d
+  /// (default 1/8); kTrend — per-event adoption probability (default 0.6);
+  /// kStatic — fraction of users at 1 (default 0.3). Ignored elsewhere.
+  double param = -1.0;
+
+  Status Validate() const;
+};
+
+/// A generated population plus its exact ground truth.
+class Workload {
+ public:
+  /// Deterministically generates traces from `seed`.
+  static Result<Workload> Generate(const WorkloadConfig& config,
+                                   uint64_t seed);
+
+  const WorkloadConfig& config() const { return config_; }
+  const std::vector<UserTrace>& traces() const { return traces_; }
+  const UserTrace& trace(int64_t user) const {
+    return traces_[static_cast<size_t>(user)];
+  }
+  int64_t num_users() const { return static_cast<int64_t>(traces_.size()); }
+
+  /// The exact counts a[t] = sum_u st_u[t] for t = 1..d (Equation 1).
+  const std::vector<int64_t>& ground_truth() const { return ground_truth_; }
+
+  /// Largest number of changes any generated user has.
+  int64_t MaxChangesUsed() const;
+
+ private:
+  Workload(WorkloadConfig config, std::vector<UserTrace> traces);
+
+  WorkloadConfig config_;
+  std::vector<UserTrace> traces_;
+  std::vector<int64_t> ground_truth_;
+};
+
+}  // namespace futurerand::sim
+
+#endif  // FUTURERAND_SIM_WORKLOAD_H_

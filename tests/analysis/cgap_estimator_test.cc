@@ -1,0 +1,72 @@
+#include "futurerand/analysis/cgap_estimator.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "futurerand/randomizer/randomizer.h"
+
+namespace futurerand::analysis {
+namespace {
+
+TEST(CGapEstimatorTest, RejectsInvalidArguments) {
+  EXPECT_FALSE(EstimateCGapMonteCarlo(rand::RandomizerKind::kFutureRand, 4,
+                                      1.0, 0, 1)
+                   .ok());
+  EXPECT_FALSE(EstimateCGapMonteCarlo(rand::RandomizerKind::kFutureRand, 4,
+                                      1.0, 100, 1, 1.5)
+                   .ok());
+  EXPECT_FALSE(EstimateCGapMonteCarlo(rand::RandomizerKind::kAdaptive, 4,
+                                      1.0, 100, 1)
+                   .ok());
+}
+
+TEST(CGapEstimatorTest, HalfWidthShrinksWithSamples) {
+  const CGapEstimate coarse =
+      EstimateCGapMonteCarlo(rand::RandomizerKind::kFutureRand, 8, 1.0, 1000,
+                             1)
+          .ValueOrDie();
+  const CGapEstimate fine =
+      EstimateCGapMonteCarlo(rand::RandomizerKind::kFutureRand, 8, 1.0, 16000,
+                             1)
+          .ValueOrDie();
+  EXPECT_NEAR(coarse.half_width / fine.half_width, 4.0, 1e-9);
+}
+
+class CGapAgreementTest
+    : public ::testing::TestWithParam<rand::RandomizerKind> {};
+
+TEST_P(CGapAgreementTest, MonteCarloMatchesClosedForm) {
+  // The empirical Property-II gap must agree with the exact c_gap used for
+  // server debiasing — the cross-check that sampling and analysis describe
+  // the same randomizer.
+  for (int64_t k : {1, 4, 16, 64}) {
+    const double exact = rand::ExactCGap(GetParam(), k, 1.0).ValueOrDie();
+    const CGapEstimate estimate =
+        EstimateCGapMonteCarlo(GetParam(), k, 1.0, 60000, 42).ValueOrDie();
+    EXPECT_NEAR(estimate.estimate, exact, estimate.half_width)
+        << rand::RandomizerKindToString(GetParam()) << " k=" << k;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Kinds, CGapAgreementTest,
+                         ::testing::Values(rand::RandomizerKind::kFutureRand,
+                                           rand::RandomizerKind::kIndependent,
+                                           rand::RandomizerKind::kBun),
+                         [](const ::testing::TestParamInfo<
+                             rand::RandomizerKind>& info) {
+                           return rand::RandomizerKindToString(info.param);
+                         });
+
+TEST(CGapEstimatorTest, DeterministicForSameSeed) {
+  const CGapEstimate a =
+      EstimateCGapMonteCarlo(rand::RandomizerKind::kBun, 8, 0.5, 5000, 7)
+          .ValueOrDie();
+  const CGapEstimate b =
+      EstimateCGapMonteCarlo(rand::RandomizerKind::kBun, 8, 0.5, 5000, 7)
+          .ValueOrDie();
+  EXPECT_DOUBLE_EQ(a.estimate, b.estimate);
+}
+
+}  // namespace
+}  // namespace futurerand::analysis

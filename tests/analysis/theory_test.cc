@@ -1,0 +1,115 @@
+#include "futurerand/analysis/theory.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace futurerand::analysis {
+namespace {
+
+BoundParams Base() {
+  BoundParams params;
+  params.n = 100000;
+  params.d = 256;
+  params.k = 16;
+  params.epsilon = 1.0;
+  params.beta = 0.05;
+  return params;
+}
+
+TEST(TheoryTest, FutureRandBoundFormula) {
+  const BoundParams p = Base();
+  const double expected =
+      (1.0 / p.epsilon) * std::log2(p.d) *
+      std::sqrt(p.k * p.n * std::log(p.d / p.beta));
+  EXPECT_DOUBLE_EQ(FutureRandBound(p), expected);
+}
+
+TEST(TheoryTest, FutureRandScalesSqrtK) {
+  BoundParams p = Base();
+  const double base = FutureRandBound(p);
+  p.k = 64;  // 4x
+  EXPECT_NEAR(FutureRandBound(p) / base, 2.0, 1e-9);
+}
+
+TEST(TheoryTest, ErlingssonScalesLinearlyInK) {
+  BoundParams p = Base();
+  const double base = ErlingssonBound(p);
+  p.k = 64;
+  EXPECT_NEAR(ErlingssonBound(p) / base, 4.0, 1e-9);
+}
+
+TEST(TheoryTest, OursBeatsErlingssonAndRespectsLowerBound) {
+  const BoundParams p = Base();
+  EXPECT_LT(FutureRandBound(p), ErlingssonBound(p));
+  EXPECT_GT(FutureRandBound(p), LowerBound(p));
+}
+
+TEST(TheoryTest, BothScaleSqrtN) {
+  BoundParams p = Base();
+  const double ours = FutureRandBound(p);
+  const double theirs = ErlingssonBound(p);
+  p.n *= 4;
+  EXPECT_NEAR(FutureRandBound(p) / ours, 2.0, 1e-9);
+  EXPECT_NEAR(ErlingssonBound(p) / theirs, 2.0, 1e-9);
+}
+
+TEST(TheoryTest, BothScaleInverseEpsilon) {
+  BoundParams p = Base();
+  const double ours = FutureRandBound(p);
+  p.epsilon = 0.5;
+  EXPECT_NEAR(FutureRandBound(p) / ours, 2.0, 1e-9);
+}
+
+TEST(TheoryTest, HoeffdingBoundMatchesLemma46Form) {
+  const BoundParams p = Base();
+  const double c_gap = 0.01;
+  const double expected =
+      (1.0 + std::log2(p.d)) / c_gap *
+      std::sqrt(2.0 * p.n * std::log(2.0 * p.d / p.beta));
+  EXPECT_DOUBLE_EQ(HoeffdingProtocolBound(p, c_gap), expected);
+}
+
+TEST(TheoryTest, LowerBoundClampsLogTerm) {
+  BoundParams p = Base();
+  p.k = p.d;  // log(d/k) = 0 would zero the bound without the clamp
+  EXPECT_GT(LowerBound(p), 0.0);
+}
+
+TEST(TheoryTest, NaiveRRBoundExplodesWithD) {
+  BoundParams p = Base();
+  const double base = NaiveRRBound(p);
+  p.d = 4096;  // 16x periods
+  // c_gap(eps/d) ~ eps/(2d), so the bound grows nearly linearly in d.
+  EXPECT_GT(NaiveRRBound(p) / base, 8.0);
+}
+
+TEST(TheoryTest, CentralTreeBoundIndependentOfN) {
+  BoundParams p = Base();
+  const double base = CentralTreeBound(p);
+  p.n *= 100;
+  EXPECT_DOUBLE_EQ(CentralTreeBound(p), base);
+}
+
+TEST(TheoryTest, CentralBeatsLocalForLargeN) {
+  // The central-vs-local separation: the LDP bound grows with sqrt(n), the
+  // central bound does not.
+  BoundParams p = Base();
+  p.n = 1e8;
+  EXPECT_LT(CentralTreeBound(p), FutureRandBound(p));
+}
+
+TEST(TheoryTest, ZhouOfflineBetweenLowerAndErlingsson) {
+  const BoundParams p = Base();
+  EXPECT_GT(ZhouOfflineBound(p), LowerBound(p));
+  EXPECT_LT(ZhouOfflineBound(p), ErlingssonBound(p));
+}
+
+TEST(TheoryTest, InvalidParamsDie) {
+  BoundParams p = Base();
+  p.beta = 0.0;
+  EXPECT_DEATH({ (void)FutureRandBound(p); }, "");
+}
+
+}  // namespace
+}  // namespace futurerand::analysis

@@ -1,0 +1,61 @@
+#include "futurerand/central/laplace.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "futurerand/common/random.h"
+
+namespace futurerand::central {
+namespace {
+
+TEST(LaplaceMechanismTest, RejectsInvalidParameters) {
+  EXPECT_FALSE(LaplaceMechanism::Create(0.0, 1.0).ok());
+  EXPECT_FALSE(LaplaceMechanism::Create(1.0, 0.0).ok());
+  EXPECT_FALSE(LaplaceMechanism::Create(-1.0, 1.0).ok());
+}
+
+TEST(LaplaceMechanismTest, ScaleIsSensitivityOverEpsilon) {
+  const auto mechanism = LaplaceMechanism::Create(3.0, 0.5).ValueOrDie();
+  EXPECT_DOUBLE_EQ(mechanism.scale(), 6.0);
+}
+
+TEST(LaplaceMechanismTest, ReleaseIsUnbiased) {
+  const auto mechanism = LaplaceMechanism::Create(1.0, 1.0).ValueOrDie();
+  Rng rng(31);
+  constexpr int kSamples = 200000;
+  double sum = 0.0;
+  for (int i = 0; i < kSamples; ++i) {
+    sum += mechanism.Release(10.0, &rng);
+  }
+  EXPECT_NEAR(sum / kSamples, 10.0, 0.05);
+}
+
+TEST(LaplaceMechanismTest, NoiseVarianceMatchesTwoScaleSquared) {
+  const auto mechanism = LaplaceMechanism::Create(2.0, 1.0).ValueOrDie();
+  Rng rng(32);
+  constexpr int kSamples = 200000;
+  double square_sum = 0.0;
+  for (int i = 0; i < kSamples; ++i) {
+    const double noise = mechanism.Release(0.0, &rng);
+    square_sum += noise * noise;
+  }
+  EXPECT_NEAR(square_sum / kSamples, 2.0 * 4.0, 0.5);
+}
+
+TEST(LaplaceMechanismTest, TailBoundHoldsEmpirically) {
+  const auto mechanism = LaplaceMechanism::Create(1.0, 0.5).ValueOrDie();
+  const double beta = 0.05;
+  const double bound = mechanism.TailBound(beta);
+  Rng rng(33);
+  constexpr int kSamples = 100000;
+  int exceedances = 0;
+  for (int i = 0; i < kSamples; ++i) {
+    exceedances += std::abs(mechanism.Release(0.0, &rng)) > bound ? 1 : 0;
+  }
+  // One-sided slack: Pr[|X| > scale ln(1/beta)] = beta exactly for Laplace.
+  EXPECT_NEAR(static_cast<double>(exceedances) / kSamples, beta, 0.01);
+}
+
+}  // namespace
+}  // namespace futurerand::central

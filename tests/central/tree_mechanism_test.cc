@@ -1,0 +1,91 @@
+#include "futurerand/central/tree_mechanism.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace futurerand::central {
+namespace {
+
+TEST(TreeMechanismTest, RejectsInvalidParameters) {
+  EXPECT_FALSE(TreeMechanism::Create(6, 1, 1.0, 1).ok());
+  EXPECT_FALSE(TreeMechanism::Create(8, 0, 1.0, 1).ok());
+  EXPECT_FALSE(TreeMechanism::Create(8, 1, 0.0, 1).ok());
+}
+
+TEST(TreeMechanismTest, NoiseScaleIsKTimesOrdersOverEps) {
+  const auto mechanism = TreeMechanism::Create(8, 3, 0.5, 1).ValueOrDie();
+  // k (1 + log2 d) / eps = 3 * 4 / 0.5.
+  EXPECT_DOUBLE_EQ(mechanism.noise_scale(), 24.0);
+}
+
+TEST(TreeMechanismTest, ObservationValidation) {
+  auto mechanism = TreeMechanism::Create(8, 1, 1.0, 1).ValueOrDie();
+  EXPECT_FALSE(mechanism.ObserveAggregateDerivative(0, 1).ok());
+  EXPECT_FALSE(mechanism.ObserveAggregateDerivative(9, 1).ok());
+  EXPECT_TRUE(mechanism.ObserveAggregateDerivative(8, -5).ok());
+}
+
+TEST(TreeMechanismTest, EstimatesAreConsistentAcrossQueries) {
+  // Pre-drawn node noise means repeated queries agree exactly.
+  auto mechanism = TreeMechanism::Create(16, 2, 1.0, 7).ValueOrDie();
+  ASSERT_TRUE(mechanism.ObserveAggregateDerivative(3, 10).ok());
+  const double first = mechanism.EstimateAt(5).ValueOrDie();
+  const double second = mechanism.EstimateAt(5).ValueOrDie();
+  EXPECT_DOUBLE_EQ(first, second);
+}
+
+TEST(TreeMechanismTest, EstimateTracksTrueCountWithinBound) {
+  constexpr int64_t kD = 64;
+  auto mechanism = TreeMechanism::Create(kD, 1, 1.0, 11).ValueOrDie();
+  std::vector<int64_t> truth(kD + 1, 0);
+  int64_t running = 0;
+  for (int64_t t = 1; t <= kD; ++t) {
+    const int64_t delta = (t % 3 == 0) ? 50 : -10;
+    ASSERT_TRUE(mechanism.ObserveAggregateDerivative(t, delta).ok());
+    running += delta;
+    truth[static_cast<size_t>(t)] = running;
+  }
+  const double bound = mechanism.ErrorBound(0.01);
+  for (int64_t t = 1; t <= kD; ++t) {
+    EXPECT_NEAR(mechanism.EstimateAt(t).ValueOrDie(),
+                static_cast<double>(truth[static_cast<size_t>(t)]), bound)
+        << "t=" << t;
+  }
+}
+
+TEST(TreeMechanismTest, EstimateIsUnbiasedAcrossSeeds) {
+  constexpr int kRuns = 2000;
+  double sum = 0.0;
+  for (uint64_t seed = 0; seed < kRuns; ++seed) {
+    auto mechanism = TreeMechanism::Create(8, 1, 1.0, seed).ValueOrDie();
+    ASSERT_TRUE(mechanism.ObserveAggregateDerivative(1, 100).ok());
+    sum += mechanism.EstimateAt(5).ValueOrDie();
+  }
+  // Mean of Laplace noise is 0; stderr ~ scale * sqrt(2 * orders / kRuns).
+  EXPECT_NEAR(sum / kRuns, 100.0, 2.0);
+}
+
+TEST(TreeMechanismTest, ErrorBoundGrowsWithKAndShrinksWithEps) {
+  const auto small_k = TreeMechanism::Create(64, 1, 1.0, 1).ValueOrDie();
+  const auto large_k = TreeMechanism::Create(64, 8, 1.0, 1).ValueOrDie();
+  EXPECT_LT(small_k.ErrorBound(0.05), large_k.ErrorBound(0.05));
+
+  const auto loose_eps = TreeMechanism::Create(64, 1, 0.1, 1).ValueOrDie();
+  EXPECT_LT(small_k.ErrorBound(0.05), loose_eps.ErrorBound(0.05));
+}
+
+TEST(TreeMechanismTest, EstimateAllMatchesPointQueries) {
+  auto mechanism = TreeMechanism::Create(8, 1, 1.0, 3).ValueOrDie();
+  ASSERT_TRUE(mechanism.ObserveAggregateDerivative(2, 5).ok());
+  const auto all = mechanism.EstimateAll().ValueOrDie();
+  ASSERT_EQ(all.size(), 8u);
+  for (int64_t t = 1; t <= 8; ++t) {
+    EXPECT_DOUBLE_EQ(all[static_cast<size_t>(t - 1)],
+                     mechanism.EstimateAt(t).ValueOrDie());
+  }
+}
+
+}  // namespace
+}  // namespace futurerand::central

@@ -1,0 +1,125 @@
+#include "futurerand/common/alias_table.h"
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "futurerand/common/random.h"
+
+namespace futurerand {
+namespace {
+
+TEST(AliasTableTest, RejectsEmptyWeights) {
+  EXPECT_FALSE(AliasTable::FromWeights({}).ok());
+}
+
+TEST(AliasTableTest, RejectsNegativeWeights) {
+  EXPECT_FALSE(AliasTable::FromWeights({1.0, -0.5}).ok());
+}
+
+TEST(AliasTableTest, RejectsAllZeroWeights) {
+  EXPECT_FALSE(AliasTable::FromWeights({0.0, 0.0}).ok());
+}
+
+TEST(AliasTableTest, RejectsNonFiniteWeights) {
+  EXPECT_FALSE(
+      AliasTable::FromWeights({1.0, std::numeric_limits<double>::infinity()})
+          .ok());
+  EXPECT_FALSE(
+      AliasTable::FromWeights({std::numeric_limits<double>::quiet_NaN()})
+          .ok());
+}
+
+TEST(AliasTableTest, NormalizesProbabilities) {
+  auto table = AliasTable::FromWeights({1.0, 3.0}).ValueOrDie();
+  EXPECT_NEAR(table.Probability(0), 0.25, 1e-12);
+  EXPECT_NEAR(table.Probability(1), 0.75, 1e-12);
+}
+
+TEST(AliasTableTest, SingleCategoryAlwaysSampled) {
+  auto table = AliasTable::FromWeights({2.5}).ValueOrDie();
+  Rng rng(1);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(table.Sample(&rng), 0);
+  }
+}
+
+TEST(AliasTableTest, ZeroWeightCategoryNeverSampled) {
+  auto table = AliasTable::FromWeights({1.0, 0.0, 1.0}).ValueOrDie();
+  Rng rng(2);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_NE(table.Sample(&rng), 1);
+  }
+}
+
+TEST(AliasTableTest, EmpiricalFrequenciesMatchWeights) {
+  const std::vector<double> weights = {1.0, 2.0, 3.0, 4.0};
+  auto table = AliasTable::FromWeights(weights).ValueOrDie();
+  Rng rng(3);
+  constexpr int kSamples = 400000;
+  std::vector<int> counts(weights.size(), 0);
+  for (int i = 0; i < kSamples; ++i) {
+    ++counts[static_cast<size_t>(table.Sample(&rng))];
+  }
+  for (size_t i = 0; i < weights.size(); ++i) {
+    const double expected = weights[i] / 10.0;
+    EXPECT_NEAR(static_cast<double>(counts[i]) / kSamples, expected, 0.005)
+        << "category " << i;
+  }
+}
+
+TEST(AliasTableTest, FromLogWeightsMatchesFromWeights) {
+  const std::vector<double> weights = {0.5, 1.5, 8.0};
+  std::vector<double> log_weights;
+  for (double w : weights) {
+    log_weights.push_back(std::log(w));
+  }
+  auto direct = AliasTable::FromWeights(weights).ValueOrDie();
+  auto via_log = AliasTable::FromLogWeights(log_weights).ValueOrDie();
+  for (int64_t i = 0; i < direct.size(); ++i) {
+    EXPECT_NEAR(direct.Probability(i), via_log.Probability(i), 1e-12);
+  }
+}
+
+TEST(AliasTableTest, FromLogWeightsHandlesExtremeUnderflow) {
+  // Raw weights exp(-2000) and exp(-2001) both underflow to 0.0 but their
+  // ratio must be preserved: p0/p1 = e.
+  auto table = AliasTable::FromLogWeights({-2000.0, -2001.0}).ValueOrDie();
+  EXPECT_NEAR(table.Probability(0) / table.Probability(1), std::exp(1.0),
+              1e-9);
+}
+
+TEST(AliasTableTest, FromLogWeightsWithNegInfinity) {
+  const double neg_inf = -std::numeric_limits<double>::infinity();
+  auto table = AliasTable::FromLogWeights({0.0, neg_inf}).ValueOrDie();
+  EXPECT_NEAR(table.Probability(0), 1.0, 1e-12);
+  EXPECT_NEAR(table.Probability(1), 0.0, 1e-12);
+}
+
+TEST(AliasTableTest, FromLogWeightsAllNegInfinityRejected) {
+  const double neg_inf = -std::numeric_limits<double>::infinity();
+  EXPECT_FALSE(AliasTable::FromLogWeights({neg_inf, neg_inf}).ok());
+}
+
+TEST(AliasTableTest, LargeSkewedDistribution) {
+  // 1000 categories with geometric weights; verify the head frequencies.
+  std::vector<double> log_weights;
+  for (int i = 0; i < 1000; ++i) {
+    log_weights.push_back(-0.5 * i);
+  }
+  auto table = AliasTable::FromLogWeights(log_weights).ValueOrDie();
+  Rng rng(4);
+  constexpr int kSamples = 200000;
+  std::vector<int> counts(1000, 0);
+  for (int i = 0; i < kSamples; ++i) {
+    ++counts[static_cast<size_t>(table.Sample(&rng))];
+  }
+  // p0 = (1 - e^{-1/2}) for a geometric series with ratio e^{-1/2}.
+  const double p0 = 1.0 - std::exp(-0.5);
+  EXPECT_NEAR(static_cast<double>(counts[0]) / kSamples, p0, 0.01);
+}
+
+}  // namespace
+}  // namespace futurerand

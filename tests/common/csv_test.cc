@@ -1,0 +1,99 @@
+#include "futurerand/common/csv.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace futurerand {
+namespace {
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream contents;
+  contents << in.rdbuf();
+  return contents.str();
+}
+
+class CsvTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = ::testing::TempDir() + "/csv_test_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name() +
+            ".csv";
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+
+  std::string path_;
+};
+
+TEST_F(CsvTest, WritesPlainRows) {
+  CsvWriter writer;
+  ASSERT_TRUE(writer.Open(path_).ok());
+  ASSERT_TRUE(writer.WriteRow({"a", "b", "c"}).ok());
+  ASSERT_TRUE(writer.WriteRow({"1", "2", "3"}).ok());
+  ASSERT_TRUE(writer.Close().ok());
+  EXPECT_EQ(ReadFile(path_), "a,b,c\n1,2,3\n");
+}
+
+TEST_F(CsvTest, QuotesFieldsWithCommas) {
+  CsvWriter writer;
+  ASSERT_TRUE(writer.Open(path_).ok());
+  ASSERT_TRUE(writer.WriteRow({"x,y", "plain"}).ok());
+  ASSERT_TRUE(writer.Close().ok());
+  EXPECT_EQ(ReadFile(path_), "\"x,y\",plain\n");
+}
+
+TEST_F(CsvTest, EscapesEmbeddedQuotes) {
+  CsvWriter writer;
+  ASSERT_TRUE(writer.Open(path_).ok());
+  ASSERT_TRUE(writer.WriteRow({"say \"hi\""}).ok());
+  ASSERT_TRUE(writer.Close().ok());
+  EXPECT_EQ(ReadFile(path_), "\"say \"\"hi\"\"\"\n");
+}
+
+TEST_F(CsvTest, QuotesNewlines) {
+  CsvWriter writer;
+  ASSERT_TRUE(writer.Open(path_).ok());
+  ASSERT_TRUE(writer.WriteRow({"line1\nline2"}).ok());
+  ASSERT_TRUE(writer.Close().ok());
+  EXPECT_EQ(ReadFile(path_), "\"line1\nline2\"\n");
+}
+
+TEST_F(CsvTest, NumericRowRoundTripsExactDoubles) {
+  CsvWriter writer;
+  ASSERT_TRUE(writer.Open(path_).ok());
+  ASSERT_TRUE(writer.WriteNumericRow({1.5, -0.25, 3.0}).ok());
+  ASSERT_TRUE(writer.Close().ok());
+  EXPECT_EQ(ReadFile(path_), "1.5,-0.25,3\n");
+}
+
+TEST_F(CsvTest, WriteBeforeOpenFails) {
+  CsvWriter writer;
+  const Status status = writer.WriteRow({"x"});
+  EXPECT_EQ(status.code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(CsvTest, OpenOnBadPathFails) {
+  CsvWriter writer;
+  EXPECT_EQ(writer.Open("/nonexistent_dir_zzz/file.csv").code(),
+            StatusCode::kIoError);
+}
+
+TEST_F(CsvTest, CloseWithoutOpenIsOk) {
+  CsvWriter writer;
+  EXPECT_TRUE(writer.Close().ok());
+}
+
+TEST_F(CsvTest, EmptyRowProducesEmptyLine) {
+  CsvWriter writer;
+  ASSERT_TRUE(writer.Open(path_).ok());
+  ASSERT_TRUE(writer.WriteRow({}).ok());
+  ASSERT_TRUE(writer.Close().ok());
+  EXPECT_EQ(ReadFile(path_), "\n");
+}
+
+}  // namespace
+}  // namespace futurerand

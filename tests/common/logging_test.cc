@@ -1,0 +1,42 @@
+#include "futurerand/common/logging.h"
+
+#include <gtest/gtest.h>
+
+namespace futurerand {
+namespace {
+
+TEST(LoggingTest, DefaultThresholdIsWarning) {
+  EXPECT_EQ(GetLogThreshold(), LogSeverity::kWarning);
+}
+
+TEST(LoggingTest, ThresholdRoundTrips) {
+  const LogSeverity original = GetLogThreshold();
+  SetLogThreshold(LogSeverity::kDebug);
+  EXPECT_EQ(GetLogThreshold(), LogSeverity::kDebug);
+  SetLogThreshold(LogSeverity::kError);
+  EXPECT_EQ(GetLogThreshold(), LogSeverity::kError);
+  SetLogThreshold(original);
+}
+
+TEST(LoggingTest, SuppressedMessagesDoNotCrash) {
+  const LogSeverity original = GetLogThreshold();
+  SetLogThreshold(LogSeverity::kError);
+  FR_LOG(Debug) << "below threshold " << 1;
+  FR_LOG(Info) << "also below " << 2.5;
+  SetLogThreshold(original);
+}
+
+TEST(LoggingTest, EmittedMessagesDoNotCrash) {
+  const LogSeverity original = GetLogThreshold();
+  SetLogThreshold(LogSeverity::kDebug);
+  FR_LOG(Warning) << "emitted " << "message";
+  SetLogThreshold(original);
+}
+
+TEST(LoggingTest, StreamsMixedTypes) {
+  // Compile-and-run check for the operator<< template.
+  FR_LOG(Error) << "int=" << 3 << " double=" << 1.5 << " bool=" << true;
+}
+
+}  // namespace
+}  // namespace futurerand

@@ -1,0 +1,130 @@
+#include "futurerand/common/math.h"
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace futurerand {
+namespace {
+
+TEST(MathTest, IsPowerOfTwo) {
+  EXPECT_FALSE(IsPowerOfTwo(0));
+  EXPECT_TRUE(IsPowerOfTwo(1));
+  EXPECT_TRUE(IsPowerOfTwo(2));
+  EXPECT_FALSE(IsPowerOfTwo(3));
+  EXPECT_TRUE(IsPowerOfTwo(1024));
+  EXPECT_FALSE(IsPowerOfTwo(1023));
+  EXPECT_TRUE(IsPowerOfTwo(uint64_t{1} << 63));
+}
+
+TEST(MathTest, Log2Floor) {
+  EXPECT_EQ(Log2Floor(1), 0);
+  EXPECT_EQ(Log2Floor(2), 1);
+  EXPECT_EQ(Log2Floor(3), 1);
+  EXPECT_EQ(Log2Floor(4), 2);
+  EXPECT_EQ(Log2Floor(1023), 9);
+  EXPECT_EQ(Log2Floor(1024), 10);
+}
+
+TEST(MathTest, Log2Exact) {
+  EXPECT_EQ(Log2Exact(1), 0);
+  EXPECT_EQ(Log2Exact(256), 8);
+  EXPECT_DEATH({ (void)Log2Exact(3); }, "power of two");
+}
+
+TEST(MathTest, LogBinomialMatchesSmallExactValues) {
+  // C(5,2) = 10, C(10,3) = 120, C(20,10) = 184756.
+  EXPECT_NEAR(LogBinomial(5, 2), std::log(10.0), 1e-12);
+  EXPECT_NEAR(LogBinomial(10, 3), std::log(120.0), 1e-12);
+  EXPECT_NEAR(LogBinomial(20, 10), std::log(184756.0), 1e-10);
+}
+
+TEST(MathTest, LogBinomialBoundaries) {
+  EXPECT_EQ(LogBinomial(7, 0), 0.0);
+  EXPECT_EQ(LogBinomial(7, 7), 0.0);
+  EXPECT_EQ(LogBinomial(0, 0), 0.0);
+}
+
+TEST(MathTest, LogBinomialSymmetry) {
+  for (int64_t n : {10, 100, 1000}) {
+    for (int64_t i = 0; i <= n; i += n / 5) {
+      EXPECT_NEAR(LogBinomial(n, i), LogBinomial(n, n - i), 1e-9)
+          << "n=" << n << " i=" << i;
+    }
+  }
+}
+
+TEST(MathTest, LogBinomialRowSumsToNLog2) {
+  // sum_i C(n,i) = 2^n, checked in log space for a large n where the raw
+  // values would overflow.
+  const int64_t n = 500;
+  std::vector<double> logs;
+  for (int64_t i = 0; i <= n; ++i) {
+    logs.push_back(LogBinomial(n, i));
+  }
+  EXPECT_NEAR(LogSumExp(logs), static_cast<double>(n) * std::log(2.0), 1e-8);
+}
+
+TEST(MathTest, LogAddExpBasic) {
+  EXPECT_NEAR(LogAddExp(std::log(2.0), std::log(3.0)), std::log(5.0), 1e-12);
+}
+
+TEST(MathTest, LogAddExpWithInfinities) {
+  const double neg_inf = -std::numeric_limits<double>::infinity();
+  EXPECT_EQ(LogAddExp(neg_inf, 1.5), 1.5);
+  EXPECT_EQ(LogAddExp(1.5, neg_inf), 1.5);
+  EXPECT_EQ(LogAddExp(neg_inf, neg_inf), neg_inf);
+}
+
+TEST(MathTest, LogAddExpExtremeMagnitudes) {
+  // exp(-1000) is below double range but the log-space sum must not lose
+  // the dominant term.
+  EXPECT_NEAR(LogAddExp(0.0, -1000.0), 0.0, 1e-12);
+  EXPECT_NEAR(LogAddExp(-1000.0, -1000.0), -1000.0 + std::log(2.0), 1e-9);
+}
+
+TEST(MathTest, LogSumExpEmptyIsNegInfinity) {
+  EXPECT_EQ(LogSumExp({}),
+            -std::numeric_limits<double>::infinity());
+}
+
+TEST(MathTest, LogSumExpMatchesDirectComputation) {
+  const std::vector<double> xs = {std::log(1.0), std::log(2.0),
+                                  std::log(3.0), std::log(4.0)};
+  EXPECT_NEAR(LogSumExp(xs), std::log(10.0), 1e-12);
+}
+
+TEST(MathTest, BinomialLogPmfSumsToOne) {
+  const int64_t k = 40;
+  const double p = 0.3;
+  std::vector<double> logs;
+  for (int64_t i = 0; i <= k; ++i) {
+    logs.push_back(BinomialLogPmf(k, i, std::log(p), std::log(1 - p)));
+  }
+  EXPECT_NEAR(LogSumExp(logs), 0.0, 1e-10);
+}
+
+TEST(MathTest, BinomialLogPmfMatchesDirectSmallCase) {
+  // Binomial(4, 0.5) at i=2: C(4,2)/16 = 6/16.
+  EXPECT_NEAR(BinomialLogPmf(4, 2, std::log(0.5), std::log(0.5)),
+              std::log(6.0 / 16.0), 1e-12);
+}
+
+TEST(MathTest, HoeffdingDeviationFormula) {
+  // c * sqrt(2 n ln(2/beta)).
+  EXPECT_NEAR(HoeffdingDeviation(1.0, 100.0, 0.05),
+              std::sqrt(2.0 * 100.0 * std::log(40.0)), 1e-12);
+  EXPECT_NEAR(HoeffdingDeviation(2.5, 100.0, 0.05),
+              2.5 * HoeffdingDeviation(1.0, 100.0, 0.05), 1e-12);
+}
+
+TEST(MathTest, HoeffdingDeviationGrowsWithSqrtN) {
+  const double base = HoeffdingDeviation(1.0, 1000.0, 0.01);
+  const double quadrupled = HoeffdingDeviation(1.0, 4000.0, 0.01);
+  EXPECT_NEAR(quadrupled / base, 2.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace futurerand

@@ -1,0 +1,225 @@
+#include "futurerand/common/random.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace futurerand {
+namespace {
+
+TEST(SplitMix64Test, MatchesReferenceVector) {
+  // Reference outputs for seed 0 from the canonical SplitMix64
+  // implementation (Steele, Lea, Flood 2014).
+  uint64_t state = 0;
+  EXPECT_EQ(SplitMix64Next(&state), 0xe220a8397b1dcdafULL);
+  EXPECT_EQ(SplitMix64Next(&state), 0x6e789e6aa1b965f4ULL);
+  EXPECT_EQ(SplitMix64Next(&state), 0x06c45d188009454fULL);
+}
+
+TEST(Xoshiro256ppTest, DeterministicForSameSeed) {
+  Xoshiro256pp a(123);
+  Xoshiro256pp b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a(), b());
+  }
+}
+
+TEST(Xoshiro256ppTest, DifferentSeedsDiverge) {
+  Xoshiro256pp a(1);
+  Xoshiro256pp b(2);
+  int differences = 0;
+  for (int i = 0; i < 64; ++i) {
+    differences += (a() != b()) ? 1 : 0;
+  }
+  EXPECT_GT(differences, 60);
+}
+
+TEST(Xoshiro256ppTest, JumpChangesStream) {
+  Xoshiro256pp a(7);
+  Xoshiro256pp b(7);
+  b.Jump();
+  int differences = 0;
+  for (int i = 0; i < 64; ++i) {
+    differences += (a() != b()) ? 1 : 0;
+  }
+  EXPECT_GT(differences, 60);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(42);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.NextDouble();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(RngTest, NextDoubleMeanNearHalf) {
+  Rng rng(43);
+  double sum = 0.0;
+  constexpr int kSamples = 100000;
+  for (int i = 0; i < kSamples; ++i) {
+    sum += rng.NextDouble();
+  }
+  EXPECT_NEAR(sum / kSamples, 0.5, 0.01);
+}
+
+TEST(RngTest, BernoulliEdgeCases) {
+  Rng rng(44);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.NextBernoulli(0.0));
+    EXPECT_TRUE(rng.NextBernoulli(1.0));
+    EXPECT_FALSE(rng.NextBernoulli(-0.5));
+    EXPECT_TRUE(rng.NextBernoulli(1.5));
+  }
+}
+
+TEST(RngTest, BernoulliFrequencyMatchesP) {
+  Rng rng(45);
+  constexpr int kSamples = 200000;
+  int hits = 0;
+  for (int i = 0; i < kSamples; ++i) {
+    hits += rng.NextBernoulli(0.3) ? 1 : 0;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / kSamples, 0.3, 0.005);
+}
+
+TEST(RngTest, NextIntRespectsBound) {
+  Rng rng(46);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.NextInt(7), 7u);
+  }
+}
+
+TEST(RngTest, NextIntCoversAllValuesRoughlyUniformly) {
+  Rng rng(47);
+  constexpr uint64_t kBound = 10;
+  constexpr int kSamples = 100000;
+  std::vector<int> counts(kBound, 0);
+  for (int i = 0; i < kSamples; ++i) {
+    ++counts[rng.NextInt(kBound)];
+  }
+  for (uint64_t v = 0; v < kBound; ++v) {
+    EXPECT_NEAR(static_cast<double>(counts[v]) / kSamples, 0.1, 0.01);
+  }
+}
+
+TEST(RngTest, NextSignIsBalanced) {
+  Rng rng(48);
+  constexpr int kSamples = 100000;
+  int64_t sum = 0;
+  for (int i = 0; i < kSamples; ++i) {
+    const int8_t sign = rng.NextSign();
+    ASSERT_TRUE(sign == 1 || sign == -1);
+    sum += sign;
+  }
+  EXPECT_LT(std::abs(sum), 2000);
+}
+
+TEST(RngTest, LaplaceMeanZeroVarianceTwoScaleSquared) {
+  Rng rng(49);
+  constexpr int kSamples = 200000;
+  const double scale = 3.0;
+  double sum = 0.0;
+  double square_sum = 0.0;
+  for (int i = 0; i < kSamples; ++i) {
+    const double x = rng.NextLaplace(scale);
+    sum += x;
+    square_sum += x * x;
+  }
+  EXPECT_NEAR(sum / kSamples, 0.0, 0.1);
+  EXPECT_NEAR(square_sum / kSamples, 2.0 * scale * scale, 0.5);
+}
+
+TEST(RngTest, GaussianMomentsMatchStandardNormal) {
+  Rng rng(50);
+  constexpr int kSamples = 200000;
+  double sum = 0.0;
+  double square_sum = 0.0;
+  for (int i = 0; i < kSamples; ++i) {
+    const double x = rng.NextGaussian();
+    sum += x;
+    square_sum += x * x;
+  }
+  EXPECT_NEAR(sum / kSamples, 0.0, 0.02);
+  EXPECT_NEAR(square_sum / kSamples, 1.0, 0.02);
+}
+
+TEST(RngTest, SampleWithoutReplacementProducesDistinctValuesInRange) {
+  Rng rng(51);
+  constexpr uint64_t kN = 100;
+  constexpr uint64_t kM = 20;
+  std::vector<uint64_t> out(kM);
+  for (int round = 0; round < 100; ++round) {
+    rng.SampleWithoutReplacement(kN, kM, out.data());
+    std::set<uint64_t> distinct(out.begin(), out.end());
+    EXPECT_EQ(distinct.size(), kM);
+    for (uint64_t v : out) {
+      EXPECT_LT(v, kN);
+    }
+  }
+}
+
+TEST(RngTest, SampleWithoutReplacementFullSet) {
+  Rng rng(52);
+  constexpr uint64_t kN = 16;
+  std::vector<uint64_t> out(kN);
+  rng.SampleWithoutReplacement(kN, kN, out.data());
+  std::set<uint64_t> distinct(out.begin(), out.end());
+  EXPECT_EQ(distinct.size(), kN);
+}
+
+TEST(RngTest, SampleWithoutReplacementIsRoughlyUniform) {
+  Rng rng(53);
+  constexpr uint64_t kN = 10;
+  constexpr uint64_t kM = 3;
+  constexpr int kRounds = 60000;
+  std::vector<int> counts(kN, 0);
+  std::vector<uint64_t> out(kM);
+  for (int round = 0; round < kRounds; ++round) {
+    rng.SampleWithoutReplacement(kN, kM, out.data());
+    for (uint64_t v : out) {
+      ++counts[v];
+    }
+  }
+  // Each element appears with probability m/n = 0.3 per round.
+  for (uint64_t v = 0; v < kN; ++v) {
+    EXPECT_NEAR(static_cast<double>(counts[v]) / kRounds, 0.3, 0.015);
+  }
+}
+
+TEST(RngTest, ForkIsDeterministic) {
+  Rng a(99);
+  Rng b(99);
+  Rng fork_a = a.Fork(5);
+  Rng fork_b = b.Fork(5);
+  for (int i = 0; i < 32; ++i) {
+    EXPECT_EQ(fork_a.NextUint64(), fork_b.NextUint64());
+  }
+}
+
+TEST(RngTest, ForksWithDifferentIdsAreIndependentStreams) {
+  Rng base(99);
+  Rng fork_1 = base.Fork(1);
+  Rng fork_2 = base.Fork(2);
+  int differences = 0;
+  for (int i = 0; i < 64; ++i) {
+    differences += (fork_1.NextUint64() != fork_2.NextUint64()) ? 1 : 0;
+  }
+  EXPECT_GT(differences, 60);
+}
+
+TEST(RngTest, ForkDoesNotPerturbParentState) {
+  Rng a(7);
+  Rng b(7);
+  (void)a.Fork(123);
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_EQ(a.NextUint64(), b.NextUint64());
+  }
+}
+
+}  // namespace
+}  // namespace futurerand

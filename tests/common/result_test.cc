@@ -1,0 +1,83 @@
+#include "futurerand/common/result.h"
+
+#include <memory>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace futurerand {
+namespace {
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> result(42);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(*result, 42);
+  EXPECT_TRUE(result.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> result(Status::NotFound("gone"));
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ResultTest, ImplicitConstructionFromValue) {
+  auto make = []() -> Result<std::string> { return std::string("hello"); };
+  ASSERT_TRUE(make().ok());
+  EXPECT_EQ(*make(), "hello");
+}
+
+TEST(ResultTest, ImplicitConstructionFromStatus) {
+  auto make = []() -> Result<std::string> {
+    return Status::Internal("broken");
+  };
+  EXPECT_FALSE(make().ok());
+}
+
+TEST(ResultTest, MoveOnlyValueSupport) {
+  Result<std::unique_ptr<int>> result(std::make_unique<int>(7));
+  ASSERT_TRUE(result.ok());
+  std::unique_ptr<int> value = std::move(result).ValueOrDie();
+  EXPECT_EQ(*value, 7);
+}
+
+TEST(ResultTest, ArrowOperatorReachesMembers) {
+  Result<std::string> result(std::string("abc"));
+  EXPECT_EQ(result->size(), 3u);
+}
+
+TEST(ResultTest, ValueOrDieAbortsOnError) {
+  Result<int> result(Status::Internal("boom"));
+  EXPECT_DEATH({ (void)result.ValueOrDie(); }, "boom");
+}
+
+TEST(ResultTest, ConstructingFromOkStatusAborts) {
+  EXPECT_DEATH({ Result<int> bad{Status::OK()}; }, "OK Status");
+}
+
+Result<int> HalveEven(int x) {
+  if (x % 2 != 0) {
+    return Status::InvalidArgument("odd");
+  }
+  return x / 2;
+}
+
+Result<int> QuarterViaMacro(int x) {
+  FR_ASSIGN_OR_RETURN(int half, HalveEven(x));
+  FR_ASSIGN_OR_RETURN(int quarter, HalveEven(half));
+  return quarter;
+}
+
+TEST(ResultTest, AssignOrReturnChainsSuccesses) {
+  Result<int> result = QuarterViaMacro(8);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(*result, 2);
+}
+
+TEST(ResultTest, AssignOrReturnPropagatesFirstError) {
+  EXPECT_EQ(QuarterViaMacro(5).status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(QuarterViaMacro(6).status().code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace futurerand

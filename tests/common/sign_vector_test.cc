@@ -1,0 +1,106 @@
+#include "futurerand/common/sign_vector.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace futurerand {
+namespace {
+
+TEST(SignVectorTest, DefaultsToAllPlusOne) {
+  SignVector v(100);
+  EXPECT_EQ(v.size(), 100);
+  for (int64_t i = 0; i < 100; ++i) {
+    EXPECT_EQ(v.Get(i), 1);
+  }
+  EXPECT_EQ(v.CountNegative(), 0);
+}
+
+TEST(SignVectorTest, SetAndGetRoundTrip) {
+  SignVector v(70);  // spans two words
+  v.Set(0, -1);
+  v.Set(63, -1);
+  v.Set(64, -1);
+  v.Set(69, -1);
+  EXPECT_EQ(v.Get(0), -1);
+  EXPECT_EQ(v.Get(1), 1);
+  EXPECT_EQ(v.Get(63), -1);
+  EXPECT_EQ(v.Get(64), -1);
+  EXPECT_EQ(v.Get(69), -1);
+  EXPECT_EQ(v.CountNegative(), 4);
+}
+
+TEST(SignVectorTest, SetPlusOneClearsNegative) {
+  SignVector v(8);
+  v.Set(3, -1);
+  v.Set(3, 1);
+  EXPECT_EQ(v.Get(3), 1);
+  EXPECT_EQ(v.CountNegative(), 0);
+}
+
+TEST(SignVectorTest, SetRejectsInvalidValue) {
+  SignVector v(4);
+  EXPECT_DEATH({ v.Set(0, 0); }, "values must be");
+}
+
+TEST(SignVectorTest, FlipTogglesValues) {
+  SignVector v(10);
+  v.Flip(4);
+  EXPECT_EQ(v.Get(4), -1);
+  v.Flip(4);
+  EXPECT_EQ(v.Get(4), 1);
+}
+
+TEST(SignVectorTest, FromValuesAndToValuesRoundTrip) {
+  const std::vector<int8_t> values = {1, -1, -1, 1, -1};
+  const SignVector v = SignVector::FromValues(values);
+  EXPECT_EQ(v.ToValues(), values);
+}
+
+TEST(SignVectorTest, HammingDistanceCountsDifferences) {
+  SignVector a(130);
+  SignVector b(130);
+  EXPECT_EQ(a.HammingDistance(b), 0);
+  b.Flip(0);
+  b.Flip(64);
+  b.Flip(129);
+  EXPECT_EQ(a.HammingDistance(b), 3);
+  EXPECT_EQ(b.HammingDistance(a), 3);
+  a.Flip(0);
+  EXPECT_EQ(a.HammingDistance(b), 2);
+}
+
+TEST(SignVectorTest, HammingDistanceEqualsCountNegativeAgainstOnes) {
+  SignVector ones(50);
+  SignVector v(50);
+  v.Flip(3);
+  v.Flip(17);
+  v.Flip(49);
+  EXPECT_EQ(ones.HammingDistance(v), v.CountNegative());
+}
+
+TEST(SignVectorTest, EqualityComparesContent) {
+  SignVector a(12);
+  SignVector b(12);
+  EXPECT_TRUE(a == b);
+  b.Flip(7);
+  EXPECT_FALSE(a == b);
+  b.Flip(7);
+  EXPECT_TRUE(a == b);
+}
+
+TEST(SignVectorTest, ToStringUsesPlusMinusGlyphs) {
+  SignVector v(4);
+  v.Set(1, -1);
+  EXPECT_EQ(v.ToString(), "+-++");
+}
+
+TEST(SignVectorTest, ZeroLengthVector) {
+  SignVector v(0);
+  EXPECT_EQ(v.size(), 0);
+  EXPECT_EQ(v.CountNegative(), 0);
+  EXPECT_EQ(v.ToString(), "");
+}
+
+}  // namespace
+}  // namespace futurerand

@@ -1,0 +1,101 @@
+#include "futurerand/common/stats.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace futurerand {
+namespace {
+
+TEST(RunningStatTest, EmptyAccumulator) {
+  RunningStat stat;
+  EXPECT_EQ(stat.count(), 0);
+  EXPECT_EQ(stat.mean(), 0.0);
+  EXPECT_EQ(stat.variance(), 0.0);
+}
+
+TEST(RunningStatTest, SingleValue) {
+  RunningStat stat;
+  stat.Add(5.0);
+  EXPECT_EQ(stat.count(), 1);
+  EXPECT_EQ(stat.mean(), 5.0);
+  EXPECT_EQ(stat.variance(), 0.0);
+  EXPECT_EQ(stat.min(), 5.0);
+  EXPECT_EQ(stat.max(), 5.0);
+}
+
+TEST(RunningStatTest, KnownMeanAndVariance) {
+  RunningStat stat;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
+    stat.Add(x);
+  }
+  EXPECT_NEAR(stat.mean(), 5.0, 1e-12);
+  // Sample variance of this classic data set is 32/7.
+  EXPECT_NEAR(stat.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_EQ(stat.min(), 2.0);
+  EXPECT_EQ(stat.max(), 9.0);
+}
+
+TEST(RunningStatTest, StddevIsSqrtVariance) {
+  RunningStat stat;
+  stat.Add(1.0);
+  stat.Add(3.0);
+  EXPECT_NEAR(stat.stddev(), std::sqrt(stat.variance()), 1e-15);
+}
+
+TEST(RunningStatTest, MergeMatchesSequentialAccumulation) {
+  RunningStat all;
+  RunningStat left;
+  RunningStat right;
+  const std::vector<double> values = {1.5, -2.0, 3.25, 8.0, -1.0, 0.5, 12.0};
+  for (size_t i = 0; i < values.size(); ++i) {
+    all.Add(values[i]);
+    (i < 3 ? left : right).Add(values[i]);
+  }
+  left.Merge(right);
+  EXPECT_EQ(left.count(), all.count());
+  EXPECT_NEAR(left.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(left.variance(), all.variance(), 1e-12);
+  EXPECT_EQ(left.min(), all.min());
+  EXPECT_EQ(left.max(), all.max());
+}
+
+TEST(RunningStatTest, MergeWithEmptySides) {
+  RunningStat filled;
+  filled.Add(2.0);
+  filled.Add(4.0);
+
+  RunningStat empty;
+  RunningStat copy = filled;
+  copy.Merge(empty);
+  EXPECT_EQ(copy.count(), 2);
+  EXPECT_NEAR(copy.mean(), 3.0, 1e-12);
+
+  RunningStat target;
+  target.Merge(filled);
+  EXPECT_EQ(target.count(), 2);
+  EXPECT_NEAR(target.mean(), 3.0, 1e-12);
+}
+
+TEST(QuantileTest, MedianOfOddCount) {
+  EXPECT_EQ(Quantile({3.0, 1.0, 2.0}, 0.5), 2.0);
+}
+
+TEST(QuantileTest, InterpolatesBetweenOrderStatistics) {
+  // Sorted: 1,2,3,4; q=0.5 -> position 1.5 -> 2.5.
+  EXPECT_NEAR(Quantile({4.0, 1.0, 3.0, 2.0}, 0.5), 2.5, 1e-12);
+}
+
+TEST(QuantileTest, Extremes) {
+  const std::vector<double> values = {5.0, -1.0, 3.0};
+  EXPECT_EQ(Quantile(values, 0.0), -1.0);
+  EXPECT_EQ(Quantile(values, 1.0), 5.0);
+}
+
+TEST(QuantileTest, SingleElement) {
+  EXPECT_EQ(Quantile({7.0}, 0.25), 7.0);
+}
+
+}  // namespace
+}  // namespace futurerand

@@ -1,0 +1,84 @@
+#include "futurerand/common/status.h"
+
+#include <gtest/gtest.h>
+
+#include "futurerand/common/macros.h"
+
+namespace futurerand {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status status;
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kOk);
+  EXPECT_EQ(status.ToString(), "OK");
+}
+
+TEST(StatusTest, OkFactory) {
+  EXPECT_TRUE(Status::OK().ok());
+}
+
+TEST(StatusTest, ErrorFactoriesSetCodeAndMessage) {
+  const Status status = Status::InvalidArgument("bad k");
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(status.message(), "bad k");
+}
+
+TEST(StatusTest, ToStringIncludesCodeNameAndMessage) {
+  EXPECT_EQ(Status::OutOfRange("t=9").ToString(), "OutOfRange: t=9");
+  EXPECT_EQ(Status::Internal("x").ToString(), "Internal: x");
+}
+
+TEST(StatusTest, AllCodesHaveDistinctNames) {
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kOk), "OK");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kInvalidArgument),
+               "InvalidArgument");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kOutOfRange), "OutOfRange");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kFailedPrecondition),
+               "FailedPrecondition");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kNotImplemented),
+               "NotImplemented");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kAlreadyExists),
+               "AlreadyExists");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kNotFound), "NotFound");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kIoError), "IoError");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kInternal), "Internal");
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::NotFound("x"), Status::NotFound("x"));
+  EXPECT_FALSE(Status::NotFound("x") == Status::NotFound("y"));
+  EXPECT_FALSE(Status::NotFound("x") == Status::Internal("x"));
+  EXPECT_EQ(Status::OK(), Status());
+}
+
+TEST(StatusTest, CopyPreservesState) {
+  const Status original = Status::IoError("disk");
+  const Status copy = original;  // NOLINT(performance-unnecessary-copy...)
+  EXPECT_EQ(copy, original);
+}
+
+Status FailingOperation() { return Status::FailedPrecondition("nope"); }
+
+Status PropagatesThroughMacro() {
+  FR_RETURN_NOT_OK(FailingOperation());
+  return Status::Internal("should not reach");
+}
+
+TEST(StatusTest, ReturnNotOkMacroPropagatesError) {
+  const Status status = PropagatesThroughMacro();
+  EXPECT_EQ(status.code(), StatusCode::kFailedPrecondition);
+}
+
+Status SucceedingChain() {
+  FR_RETURN_NOT_OK(Status::OK());
+  return Status::OK();
+}
+
+TEST(StatusTest, ReturnNotOkMacroPassesThroughOk) {
+  EXPECT_TRUE(SucceedingChain().ok());
+}
+
+}  // namespace
+}  // namespace futurerand

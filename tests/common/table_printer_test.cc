@@ -1,0 +1,77 @@
+#include "futurerand/common/table_printer.h"
+
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace futurerand {
+namespace {
+
+TEST(TablePrinterTest, AlignsColumnsRight) {
+  TablePrinter table({"k", "error"});
+  table.AddRow({"1", "10.5"});
+  table.AddRow({"128", "3.2"});
+  std::ostringstream out;
+  table.Print(out);
+  const std::string expected =
+      "  k  error\n"
+      "----------\n"
+      "  1   10.5\n"
+      "128    3.2\n";
+  EXPECT_EQ(out.str(), expected);
+}
+
+TEST(TablePrinterTest, MissingCellsRenderEmpty) {
+  TablePrinter table({"a", "b", "c"});
+  table.AddRow({"1"});
+  std::ostringstream out;
+  table.Print(out);
+  EXPECT_NE(out.str().find("1"), std::string::npos);
+  // Three header columns, one rule, one data row.
+  int newlines = 0;
+  for (char c : out.str()) {
+    newlines += (c == '\n') ? 1 : 0;
+  }
+  EXPECT_EQ(newlines, 3);
+}
+
+TEST(TablePrinterTest, ExtraCellsAreDropped) {
+  TablePrinter table({"only"});
+  table.AddRow({"1", "overflow"});
+  std::ostringstream out;
+  table.Print(out);
+  EXPECT_EQ(out.str().find("overflow"), std::string::npos);
+}
+
+TEST(TablePrinterTest, HeaderWiderThanData) {
+  TablePrinter table({"very_wide_header"});
+  table.AddRow({"x"});
+  std::ostringstream out;
+  table.Print(out);
+  // Every line must have the same width as the header line.
+  std::istringstream lines(out.str());
+  std::string first;
+  std::getline(lines, first);
+  std::string line;
+  while (std::getline(lines, line)) {
+    EXPECT_EQ(line.size(), first.size());
+  }
+}
+
+TEST(TablePrinterTest, FormatDoubleTrimsPrecision) {
+  EXPECT_EQ(TablePrinter::FormatDouble(3.14159265, 3), "3.14");
+  EXPECT_EQ(TablePrinter::FormatDouble(1000000.0, 4), "1e+06");
+  EXPECT_EQ(TablePrinter::FormatDouble(2.0, 4), "2");
+}
+
+TEST(TablePrinterTest, FormatCountGroupsThousands) {
+  EXPECT_EQ(TablePrinter::FormatCount(0), "0");
+  EXPECT_EQ(TablePrinter::FormatCount(999), "999");
+  EXPECT_EQ(TablePrinter::FormatCount(1000), "1,000");
+  EXPECT_EQ(TablePrinter::FormatCount(1048576), "1,048,576");
+  EXPECT_EQ(TablePrinter::FormatCount(-12345), "-12,345");
+}
+
+}  // namespace
+}  // namespace futurerand

@@ -1,0 +1,97 @@
+#include "futurerand/common/threadpool.h"
+
+#include <atomic>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace futurerand {
+namespace {
+
+TEST(ThreadPoolTest, RunsSubmittedTasks) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, WaitOnIdlePoolReturnsImmediately) {
+  ThreadPool pool(2);
+  pool.Wait();  // must not hang
+}
+
+TEST(ThreadPoolTest, SingleThreadPoolStillCompletes) {
+  ThreadPool pool(1);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 50; ++i) {
+    pool.Submit([&counter] { counter.fetch_add(2); });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr int64_t kN = 10000;
+  std::vector<std::atomic<int>> touched(kN);
+  pool.ParallelFor(kN, [&touched](int64_t begin, int64_t end) {
+    for (int64_t i = begin; i < end; ++i) {
+      touched[static_cast<size_t>(i)].fetch_add(1);
+    }
+  });
+  for (int64_t i = 0; i < kN; ++i) {
+    EXPECT_EQ(touched[static_cast<size_t>(i)].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForZeroAndNegativeAreNoOps) {
+  ThreadPool pool(2);
+  int calls = 0;
+  pool.ParallelFor(0, [&calls](int64_t, int64_t) { ++calls; });
+  pool.ParallelFor(-5, [&calls](int64_t, int64_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(ThreadPoolTest, ParallelForSmallerThanThreadCount) {
+  ThreadPool pool(8);
+  std::atomic<int64_t> sum{0};
+  pool.ParallelFor(3, [&sum](int64_t begin, int64_t end) {
+    for (int64_t i = begin; i < end; ++i) {
+      sum.fetch_add(i);
+    }
+  });
+  EXPECT_EQ(sum.load(), 0 + 1 + 2);
+}
+
+TEST(ThreadPoolTest, TasksSubmittedFromTasksComplete) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  pool.Submit([&pool, &counter] {
+    counter.fetch_add(1);
+    pool.Submit([&counter] { counter.fetch_add(10); });
+  });
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 11);
+}
+
+TEST(ThreadPoolTest, DestructorDrainsOutstandingWork) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 32; ++i) {
+      pool.Submit([&counter] { counter.fetch_add(1); });
+    }
+    // No Wait(): the destructor must still run everything.
+  }
+  EXPECT_EQ(counter.load(), 32);
+}
+
+TEST(ThreadPoolTest, DefaultThreadCountPositive) {
+  EXPECT_GE(ThreadPool::DefaultThreadCount(), 1);
+}
+
+}  // namespace
+}  // namespace futurerand

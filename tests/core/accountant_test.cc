@@ -1,0 +1,61 @@
+#include "futurerand/core/accountant.h"
+
+#include <gtest/gtest.h>
+
+namespace futurerand::core {
+namespace {
+
+TEST(PrivacyAccountantTest, RejectsNonPositiveBudgetAtConstruction) {
+  EXPECT_DEATH({ PrivacyAccountant accountant(0.0); }, "positive");
+}
+
+TEST(PrivacyAccountantTest, ChargesAccumulate) {
+  PrivacyAccountant accountant(1.0);
+  EXPECT_TRUE(accountant.Charge(1, 0.25).ok());
+  EXPECT_TRUE(accountant.Charge(1, 0.25).ok());
+  EXPECT_DOUBLE_EQ(accountant.Spent(1), 0.5);
+  EXPECT_DOUBLE_EQ(accountant.Remaining(1), 0.5);
+}
+
+TEST(PrivacyAccountantTest, RefusesOverBudgetCharge) {
+  PrivacyAccountant accountant(1.0);
+  EXPECT_TRUE(accountant.Charge(1, 0.9).ok());
+  const Status status = accountant.Charge(1, 0.2);
+  EXPECT_EQ(status.code(), StatusCode::kFailedPrecondition);
+  // A refused charge records nothing.
+  EXPECT_DOUBLE_EQ(accountant.Spent(1), 0.9);
+}
+
+TEST(PrivacyAccountantTest, ExactExhaustionAllowedDespiteFloatNoise) {
+  // The naive protocol charges eps/d exactly d times.
+  PrivacyAccountant accountant(1.0);
+  const double per_step = 1.0 / 1024.0;
+  for (int i = 0; i < 1024; ++i) {
+    ASSERT_TRUE(accountant.Charge(7, per_step).ok()) << "step " << i;
+  }
+  EXPECT_NEAR(accountant.Spent(7), 1.0, 1e-9);
+  EXPECT_FALSE(accountant.Charge(7, per_step).ok());
+}
+
+TEST(PrivacyAccountantTest, UsersAreIndependent) {
+  PrivacyAccountant accountant(0.5);
+  EXPECT_TRUE(accountant.Charge(1, 0.5).ok());
+  EXPECT_TRUE(accountant.Charge(2, 0.5).ok());
+  EXPECT_FALSE(accountant.Charge(1, 0.1).ok());
+  EXPECT_EQ(accountant.num_users(), 2);
+}
+
+TEST(PrivacyAccountantTest, RejectsNonPositiveCharge) {
+  PrivacyAccountant accountant(1.0);
+  EXPECT_FALSE(accountant.Charge(1, 0.0).ok());
+  EXPECT_FALSE(accountant.Charge(1, -0.5).ok());
+}
+
+TEST(PrivacyAccountantTest, UnknownUserHasFullBudget) {
+  PrivacyAccountant accountant(0.75);
+  EXPECT_DOUBLE_EQ(accountant.Spent(42), 0.0);
+  EXPECT_DOUBLE_EQ(accountant.Remaining(42), 0.75);
+}
+
+}  // namespace
+}  // namespace futurerand::core

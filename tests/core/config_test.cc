@@ -1,0 +1,84 @@
+#include "futurerand/core/config.h"
+
+#include <gtest/gtest.h>
+
+namespace futurerand::core {
+namespace {
+
+ProtocolConfig ValidConfig() {
+  ProtocolConfig config;
+  config.num_periods = 64;
+  config.max_changes = 4;
+  config.epsilon = 1.0;
+  return config;
+}
+
+TEST(ProtocolConfigTest, ValidConfigPasses) {
+  EXPECT_TRUE(ValidConfig().Validate().ok());
+}
+
+TEST(ProtocolConfigTest, RejectsNonPowerOfTwoPeriods) {
+  ProtocolConfig config = ValidConfig();
+  config.num_periods = 100;
+  EXPECT_FALSE(config.Validate().ok());
+  config.num_periods = 0;
+  EXPECT_FALSE(config.Validate().ok());
+  config.num_periods = -8;
+  EXPECT_FALSE(config.Validate().ok());
+}
+
+TEST(ProtocolConfigTest, RejectsBadChangeBudget) {
+  ProtocolConfig config = ValidConfig();
+  config.max_changes = 0;
+  EXPECT_FALSE(config.Validate().ok());
+  config.max_changes = 65;  // > d
+  EXPECT_FALSE(config.Validate().ok());
+  config.max_changes = 64;  // == d is allowed
+  EXPECT_TRUE(config.Validate().ok());
+}
+
+TEST(ProtocolConfigTest, RejectsEpsilonOutsideUnitInterval) {
+  ProtocolConfig config = ValidConfig();
+  config.epsilon = 0.0;
+  EXPECT_FALSE(config.Validate().ok());
+  config.epsilon = 1.0001;
+  EXPECT_FALSE(config.Validate().ok());
+  config.epsilon = 1.0;
+  EXPECT_TRUE(config.Validate().ok());
+}
+
+TEST(ProtocolConfigTest, NumOrders) {
+  ProtocolConfig config = ValidConfig();
+  EXPECT_EQ(config.num_orders(), 7);  // 1 + log2(64)
+  config.num_periods = 1;
+  EXPECT_EQ(config.num_orders(), 1);
+}
+
+TEST(ProtocolConfigTest, SupportAtLevelPaperFaithfulIsConstantK) {
+  ProtocolConfig config = ValidConfig();
+  config.max_changes = 16;
+  for (int h = 0; h < config.num_orders(); ++h) {
+    EXPECT_EQ(config.SupportAtLevel(h), 16);
+  }
+}
+
+TEST(ProtocolConfigTest, SupportAtLevelAdaptsWhenEnabled) {
+  ProtocolConfig config = ValidConfig();
+  config.max_changes = 16;
+  config.adapt_support_per_level = true;
+  // d=64: L = 64,32,16,8,4,2,1 at h = 0..6.
+  EXPECT_EQ(config.SupportAtLevel(0), 16);
+  EXPECT_EQ(config.SupportAtLevel(2), 16);
+  EXPECT_EQ(config.SupportAtLevel(3), 8);
+  EXPECT_EQ(config.SupportAtLevel(6), 1);
+}
+
+TEST(ProtocolConfigTest, ToStringMentionsParameters) {
+  const std::string text = ValidConfig().ToString();
+  EXPECT_NE(text.find("d=64"), std::string::npos);
+  EXPECT_NE(text.find("k=4"), std::string::npos);
+  EXPECT_NE(text.find("future_rand"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace futurerand::core

@@ -1,0 +1,195 @@
+#include "futurerand/core/consistency.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "futurerand/common/random.h"
+#include "futurerand/common/stats.h"
+#include "futurerand/dyadic/interval.h"
+#include "futurerand/dyadic/tree.h"
+
+namespace futurerand::core {
+namespace {
+
+using dyadic::DyadicInterval;
+using dyadic::DyadicTree;
+using dyadic::NumIntervalsAtOrder;
+
+TEST(ConsistencyTest, ValidatesVariances) {
+  DyadicTree<double> tree(4);
+  const std::vector<double> too_few = {1.0, 1.0};
+  EXPECT_FALSE(EnforceTreeConsistency(too_few, &tree).ok());
+  const std::vector<double> non_positive = {1.0, 0.0, 1.0};
+  EXPECT_FALSE(EnforceTreeConsistency(non_positive, &tree).ok());
+  const std::vector<double> valid = {1.0, 2.0, 4.0};
+  EXPECT_TRUE(EnforceTreeConsistency(valid, &tree).ok());
+}
+
+TEST(ConsistencyTest, AlreadyConsistentTreeIsUnchanged) {
+  // Estimates derived from true leaves satisfy all constraints; GLS must
+  // return them untouched.
+  DyadicTree<double> tree(8);
+  const std::vector<double> leaves = {1, -2, 3, 0, 5, -1, 2, 2};
+  for (int64_t t = 1; t <= 8; ++t) {
+    tree.At(0, t) = leaves[static_cast<size_t>(t - 1)];
+  }
+  for (int h = 1; h < 4; ++h) {
+    for (int64_t j = 1; j <= NumIntervalsAtOrder(8, h); ++j) {
+      const DyadicInterval node{h, j};
+      tree.At(node) =
+          tree.At(node.LeftChild()) + tree.At(node.RightChild());
+    }
+  }
+  DyadicTree<double> original = tree;
+  const std::vector<double> variances = {1.0, 3.0, 2.0, 5.0};
+  ASSERT_TRUE(EnforceTreeConsistency(variances, &tree).ok());
+  for (int h = 0; h < 4; ++h) {
+    for (int64_t j = 1; j <= NumIntervalsAtOrder(8, h); ++j) {
+      EXPECT_NEAR(tree.At(h, j), original.At(h, j), 1e-9)
+          << "h=" << h << " j=" << j;
+    }
+  }
+}
+
+TEST(ConsistencyTest, OutputSatisfiesTreeConstraintsExactly) {
+  DyadicTree<double> tree(16);
+  Rng rng(5);
+  for (int h = 0; h < 5; ++h) {
+    for (int64_t j = 1; j <= NumIntervalsAtOrder(16, h); ++j) {
+      tree.At(h, j) = rng.NextGaussian() * 10.0;
+    }
+  }
+  const std::vector<double> variances = {1.0, 1.5, 2.0, 2.5, 3.0};
+  ASSERT_TRUE(EnforceTreeConsistency(variances, &tree).ok());
+  for (int h = 1; h < 5; ++h) {
+    for (int64_t j = 1; j <= NumIntervalsAtOrder(16, h); ++j) {
+      const DyadicInterval node{h, j};
+      EXPECT_NEAR(tree.At(node),
+                  tree.At(node.LeftChild()) + tree.At(node.RightChild()),
+                  1e-9)
+          << node.ToString();
+    }
+  }
+}
+
+TEST(ConsistencyTest, MatchesDirectGlsSolveOnDomainTwo) {
+  // d = 2: observations y_l, y_r (leaves, variance v0) and y_p (root,
+  // variance v1); parameters x_l, x_r. Normal equations:
+  //   x minimizes (y_l-x_l)^2/v0 + (y_r-x_r)^2/v0 + (y_p-x_l-x_r)^2/v1.
+  // Solve directly and compare.
+  const double y_l = 3.0, y_r = -1.0, y_p = 4.0;
+  const double v0 = 2.0, v1 = 0.5;
+  // Gradient equations:
+  //  (x_l - y_l)/v0 + (x_l + x_r - y_p)/v1 = 0
+  //  (x_r - y_r)/v0 + (x_l + x_r - y_p)/v1 = 0
+  // => x_l - x_r = y_l - y_r, and summing:
+  //  (s - (y_l+y_r))/v0 + 2 (s - y_p)/v1 = 0 with s = x_l + x_r.
+  const double s =
+      ((y_l + y_r) / v0 + 2.0 * y_p / v1) / (1.0 / v0 + 2.0 / v1);
+  const double x_l = (s + (y_l - y_r)) / 2.0;
+  const double x_r = (s - (y_l - y_r)) / 2.0;
+
+  DyadicTree<double> tree(2);
+  tree.At(0, 1) = y_l;
+  tree.At(0, 2) = y_r;
+  tree.At(1, 1) = y_p;
+  const std::vector<double> variances = {v0, v1};
+  ASSERT_TRUE(EnforceTreeConsistency(variances, &tree).ok());
+  EXPECT_NEAR(tree.At(0, 1), x_l, 1e-12);
+  EXPECT_NEAR(tree.At(0, 2), x_r, 1e-12);
+  EXPECT_NEAR(tree.At(1, 1), s, 1e-12);
+}
+
+TEST(ConsistencyTest, HighVarianceRootDefersToChildren) {
+  // With a nearly-useless root observation the consistent root must be
+  // close to the children's sum, not the root's own estimate.
+  DyadicTree<double> tree(2);
+  tree.At(0, 1) = 10.0;
+  tree.At(0, 2) = 20.0;
+  tree.At(1, 1) = -1000.0;
+  const std::vector<double> variances = {1.0, 1e12};
+  ASSERT_TRUE(EnforceTreeConsistency(variances, &tree).ok());
+  EXPECT_NEAR(tree.At(1, 1), 30.0, 0.01);
+}
+
+TEST(ConsistencyTest, PreservesUnbiasednessAndReducesVariance) {
+  // Truth: fixed leaves. Observations: truth + independent noise per node
+  // with level variance v_h. Repeated GLS estimates of the root must
+  // average to the true root and have lower variance than the raw root.
+  constexpr int64_t kD = 8;
+  const std::vector<double> leaves = {4, 1, -2, 3, 7, 0, 1, -1};
+  DyadicTree<double> truth(kD);
+  for (int64_t t = 1; t <= kD; ++t) {
+    truth.At(0, t) = leaves[static_cast<size_t>(t - 1)];
+  }
+  for (int h = 1; h < 4; ++h) {
+    for (int64_t j = 1; j <= NumIntervalsAtOrder(kD, h); ++j) {
+      const DyadicInterval node{h, j};
+      truth.At(node) =
+          truth.At(node.LeftChild()) + truth.At(node.RightChild());
+    }
+  }
+  const std::vector<double> variances = {4.0, 4.0, 4.0, 4.0};
+
+  Rng rng(11);
+  RunningStat raw_root;
+  RunningStat consistent_root;
+  constexpr int kTrials = 4000;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    DyadicTree<double> noisy(kD);
+    for (int h = 0; h < 4; ++h) {
+      for (int64_t j = 1; j <= NumIntervalsAtOrder(kD, h); ++j) {
+        noisy.At(h, j) =
+            truth.At(h, j) +
+            rng.NextGaussian() * std::sqrt(variances[static_cast<size_t>(h)]);
+      }
+    }
+    raw_root.Add(noisy.At(3, 1));
+    ASSERT_TRUE(EnforceTreeConsistency(variances, &noisy).ok());
+    consistent_root.Add(noisy.At(3, 1));
+  }
+  EXPECT_NEAR(consistent_root.mean(), truth.At(3, 1), 0.15);
+  // Root combines its own observation with 3 levels of redundancy; the
+  // theoretical variance is ConsistentRootVariance.
+  const double predicted =
+      ConsistentRootVariance(variances, kD).ValueOrDie();
+  EXPECT_LT(predicted, variances[3]);
+  EXPECT_NEAR(consistent_root.variance(), predicted, 0.35 * predicted);
+  EXPECT_LT(consistent_root.variance(), raw_root.variance());
+}
+
+TEST(ConsistentRootVarianceTest, UniformVarianceClosedForm) {
+  // With equal level variances v, the recursion gives
+  // V_{h} = 1/(1/v + 1/(2 V_{h-1})), V_0 = v.
+  const std::vector<double> variances = {3.0, 3.0, 3.0};
+  double expected = 3.0;
+  for (int h = 1; h < 3; ++h) {
+    expected = 1.0 / (1.0 / 3.0 + 1.0 / (2.0 * expected));
+  }
+  EXPECT_NEAR(ConsistentRootVariance(variances, 4).ValueOrDie(), expected,
+              1e-12);
+}
+
+TEST(ConsistentRootVarianceTest, ValidatesInputs) {
+  const std::vector<double> variances = {1.0, 1.0};
+  EXPECT_FALSE(ConsistentRootVariance(variances, 3).ok());
+  EXPECT_FALSE(ConsistentRootVariance(variances, 4).ok());  // needs 3
+}
+
+TEST(ConsistentRootVarianceTest, AlwaysAtMostOwnVariance) {
+  for (int64_t d : {2, 16, 256}) {
+    const int orders = dyadic::NumOrders(d);
+    std::vector<double> variances;
+    for (int h = 0; h < orders; ++h) {
+      variances.push_back(1.0 + h);
+    }
+    const double consistent =
+        ConsistentRootVariance(variances, d).ValueOrDie();
+    EXPECT_LT(consistent, variances.back());
+  }
+}
+
+}  // namespace
+}  // namespace futurerand::core

@@ -1,0 +1,109 @@
+#include "futurerand/core/erlingsson.h"
+
+#include <cmath>
+#include <optional>
+
+#include <gtest/gtest.h>
+
+namespace futurerand::core {
+namespace {
+
+ProtocolConfig TestConfig(int64_t d = 16, int64_t k = 4, double eps = 1.0) {
+  ProtocolConfig config;
+  config.num_periods = d;
+  config.max_changes = k;
+  config.epsilon = eps;
+  return config;
+}
+
+TEST(ErlingssonClientTest, CreateRejectsInvalidConfig) {
+  ProtocolConfig config = TestConfig();
+  config.num_periods = 5;
+  EXPECT_FALSE(ErlingssonClient::Create(config, 1).ok());
+}
+
+TEST(ErlingssonClientTest, CGapUsesEpsOverTwo) {
+  ErlingssonClient client =
+      ErlingssonClient::Create(TestConfig(16, 4, 1.0), 1).ValueOrDie();
+  EXPECT_NEAR(client.c_gap(), (std::exp(0.5) - 1.0) / (std::exp(0.5) + 1.0),
+              1e-12);
+}
+
+TEST(ErlingssonClientTest, ReportsAtLevelMultiplesOnly) {
+  ErlingssonClient client =
+      ErlingssonClient::Create(TestConfig(16), 5).ValueOrDie();
+  const int64_t stride = int64_t{1} << client.level();
+  for (int64_t t = 1; t <= 16; ++t) {
+    const auto report = client.ObserveState(0).ValueOrDie();
+    EXPECT_EQ(report.has_value(), t % stride == 0);
+    if (report.has_value()) {
+      EXPECT_TRUE(*report == 1 || *report == -1);
+    }
+  }
+}
+
+TEST(ErlingssonClientTest, RejectsInvalidStateAndOverrun) {
+  ErlingssonClient client =
+      ErlingssonClient::Create(TestConfig(4, 2), 3).ValueOrDie();
+  EXPECT_FALSE(client.ObserveState(5).ok());
+  for (int64_t t = 1; t <= 4; ++t) {
+    ASSERT_TRUE(client.ObserveState(1).ok());
+  }
+  EXPECT_FALSE(client.ObserveState(1).ok());
+}
+
+TEST(ErlingssonClientTest, SignalSurvivesSparsification) {
+  // With k=1 the single change is always retained, so a level-0 client's
+  // report at the change time must be biased toward the true derivative.
+  ProtocolConfig config = TestConfig(2, 1, 1.0);
+  int agree = 0;
+  int total = 0;
+  for (uint64_t seed = 0; seed < 40000 && total < 8000; ++seed) {
+    ErlingssonClient client =
+        ErlingssonClient::Create(config, seed).ValueOrDie();
+    if (client.level() != 0) {
+      continue;
+    }
+    // One change at t=1: derivative +1.
+    const auto report = client.ObserveState(1).ValueOrDie();
+    ASSERT_TRUE(report.has_value());
+    agree += (*report == 1) ? 1 : 0;
+    ++total;
+  }
+  ASSERT_GT(total, 1000);
+  const double keep_rate = static_cast<double>(agree) / total;
+  const double expected = std::exp(0.5) / (std::exp(0.5) + 1.0);
+  EXPECT_NEAR(keep_rate, expected, 0.02);
+}
+
+TEST(ErlingssonClientTest, ZeroIntervalsAreUniform) {
+  // A user who never changes produces pure coin flips.
+  ProtocolConfig config = TestConfig(2, 1, 1.0);
+  int64_t sum = 0;
+  int total = 0;
+  for (uint64_t seed = 0; seed < 40000 && total < 8000; ++seed) {
+    ErlingssonClient client =
+        ErlingssonClient::Create(config, seed).ValueOrDie();
+    if (client.level() != 0) {
+      continue;
+    }
+    const auto report = client.ObserveState(0).ValueOrDie();
+    ASSERT_TRUE(report.has_value());
+    sum += *report;
+    ++total;
+  }
+  ASSERT_GT(total, 1000);
+  EXPECT_LT(std::abs(sum), total / 10);
+}
+
+TEST(ErlingssonServerTest, ScaleCarriesFactorK) {
+  const ProtocolConfig config = TestConfig(8, 4, 1.0);
+  Server server = MakeErlingssonServer(config).ValueOrDie();
+  const double c_gap = (std::exp(0.5) - 1.0) / (std::exp(0.5) + 1.0);
+  // (1 + log2 8) * k / c_gap = 4 * 4 / c_gap.
+  EXPECT_NEAR(server.ScaleAtLevel(0), 16.0 / c_gap, 1e-9);
+  EXPECT_NEAR(server.ScaleAtLevel(3), 16.0 / c_gap, 1e-9);
+}
+
+}  // namespace
+}  // namespace futurerand::core

@@ -1,0 +1,103 @@
+#include "futurerand/core/naive_rr.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace futurerand::core {
+namespace {
+
+ProtocolConfig TestConfig(int64_t d = 8, double eps = 1.0) {
+  ProtocolConfig config;
+  config.num_periods = d;
+  config.max_changes = 1;
+  config.epsilon = eps;
+  return config;
+}
+
+TEST(NaiveRRClientTest, BudgetSplitsAcrossPeriods) {
+  NaiveRRClient client = NaiveRRClient::Create(TestConfig(8, 1.0), 1)
+                             .ValueOrDie();
+  const double eps0 = 1.0 / 8.0;
+  EXPECT_NEAR(client.c_gap(), (std::exp(eps0) - 1.0) / (std::exp(eps0) + 1.0),
+              1e-12);
+}
+
+TEST(NaiveRRClientTest, ReportsEveryPeriod) {
+  NaiveRRClient client = NaiveRRClient::Create(TestConfig(4), 2).ValueOrDie();
+  for (int64_t t = 1; t <= 4; ++t) {
+    const int8_t report = client.ObserveState(1).ValueOrDie();
+    EXPECT_TRUE(report == 1 || report == -1);
+  }
+  EXPECT_FALSE(client.ObserveState(1).ok());  // d exhausted
+}
+
+TEST(NaiveRRClientTest, RejectsInvalidState) {
+  NaiveRRClient client = NaiveRRClient::Create(TestConfig(), 3).ValueOrDie();
+  EXPECT_FALSE(client.ObserveState(2).ok());
+}
+
+TEST(NaiveRRServerTest, ValidatesReports) {
+  NaiveRRServer server = NaiveRRServer::Create(TestConfig(4)).ValueOrDie();
+  EXPECT_FALSE(server.SubmitReport(0, 1).ok());
+  EXPECT_FALSE(server.SubmitReport(5, 1).ok());
+  EXPECT_FALSE(server.SubmitReport(1, 0).ok());
+  EXPECT_TRUE(server.SubmitReport(1, 1).ok());
+}
+
+TEST(NaiveRRServerTest, DebiasingIsUnbiasedInExpectation) {
+  // Empirical check of the inverse estimator: with n clients all at state
+  // 1, the estimate at each t should concentrate near n.
+  const ProtocolConfig config = TestConfig(4, 1.0);
+  NaiveRRServer server = NaiveRRServer::Create(config).ValueOrDie();
+  constexpr int kClients = 40000;
+  for (int u = 0; u < kClients; ++u) {
+    NaiveRRClient client =
+        NaiveRRClient::Create(config, static_cast<uint64_t>(u)).ValueOrDie();
+    server.RegisterClient();
+    for (int64_t t = 1; t <= 4; ++t) {
+      ASSERT_TRUE(
+          server.SubmitReport(t, client.ObserveState(1).ValueOrDie()).ok());
+    }
+  }
+  // c_gap(1/4) ~ 0.125; stddev of the estimate ~ sqrt(n)/(2 c_gap) ~ 800.
+  for (int64_t t = 1; t <= 4; ++t) {
+    EXPECT_NEAR(server.EstimateAt(t).ValueOrDie(), kClients, 4000.0);
+  }
+}
+
+TEST(NaiveRRServerTest, EstimateAllMatchesPointQueries) {
+  NaiveRRServer server = NaiveRRServer::Create(TestConfig(4)).ValueOrDie();
+  server.RegisterClient();
+  ASSERT_TRUE(server.SubmitReport(2, 1).ok());
+  const auto all = server.EstimateAll().ValueOrDie();
+  ASSERT_EQ(all.size(), 4u);
+  for (int64_t t = 1; t <= 4; ++t) {
+    EXPECT_DOUBLE_EQ(all[static_cast<size_t>(t - 1)],
+                     server.EstimateAt(t).ValueOrDie());
+  }
+}
+
+TEST(NaiveRRServerTest, MergeAddsSumsAndClients) {
+  NaiveRRServer a = NaiveRRServer::Create(TestConfig(4)).ValueOrDie();
+  NaiveRRServer b = NaiveRRServer::Create(TestConfig(4)).ValueOrDie();
+  a.RegisterClient();
+  b.RegisterClient();
+  ASSERT_TRUE(a.SubmitReport(1, 1).ok());
+  ASSERT_TRUE(b.SubmitReport(1, 1).ok());
+  ASSERT_TRUE(a.Merge(b).ok());
+  EXPECT_EQ(a.num_clients(), 2);
+  // sum=2, c_gap = c, estimate = (2/c + 2)/2 = 1/c + 1.
+  const double c_gap =
+      (std::exp(0.25) - 1.0) / (std::exp(0.25) + 1.0);
+  EXPECT_NEAR(a.EstimateAt(1).ValueOrDie(), 1.0 / c_gap + 1.0, 1e-9);
+}
+
+TEST(NaiveRRServerTest, MergeRejectsDifferentShape) {
+  NaiveRRServer a = NaiveRRServer::Create(TestConfig(4)).ValueOrDie();
+  NaiveRRServer b = NaiveRRServer::Create(TestConfig(8)).ValueOrDie();
+  EXPECT_FALSE(a.Merge(b).ok());
+}
+
+}  // namespace
+}  // namespace futurerand::core

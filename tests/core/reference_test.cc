@@ -1,0 +1,73 @@
+#include "futurerand/core/reference.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "futurerand/common/random.h"
+
+namespace futurerand::core {
+namespace {
+
+TEST(ReferenceAggregatorTest, RejectsNonPowerOfTwoDomain) {
+  EXPECT_FALSE(ReferenceAggregator::Create(6).ok());
+  EXPECT_FALSE(ReferenceAggregator::Create(0).ok());
+}
+
+TEST(ReferenceAggregatorTest, ValidatesObservationArguments) {
+  ReferenceAggregator aggregator = ReferenceAggregator::Create(8).ValueOrDie();
+  EXPECT_FALSE(aggregator.ObserveDerivative(0, 1).ok());
+  EXPECT_FALSE(aggregator.ObserveDerivative(9, 1).ok());
+  EXPECT_FALSE(aggregator.ObserveDerivative(3, 2).ok());
+  EXPECT_TRUE(aggregator.ObserveDerivative(3, 0).ok());
+}
+
+TEST(ReferenceAggregatorTest, CountValidatesRange) {
+  ReferenceAggregator aggregator = ReferenceAggregator::Create(4).ValueOrDie();
+  EXPECT_FALSE(aggregator.CountAt(0).ok());
+  EXPECT_FALSE(aggregator.CountAt(5).ok());
+}
+
+TEST(ReferenceAggregatorTest, PaperExampleSequence) {
+  // st_u = (0,1,1,0) -> X_u = (0,1,0,-1); counts are 0,1,1,0.
+  ReferenceAggregator aggregator = ReferenceAggregator::Create(4).ValueOrDie();
+  ASSERT_TRUE(aggregator.ObserveDerivative(2, 1).ok());
+  ASSERT_TRUE(aggregator.ObserveDerivative(4, -1).ok());
+  EXPECT_EQ(aggregator.CountAt(1).ValueOrDie(), 0);
+  EXPECT_EQ(aggregator.CountAt(2).ValueOrDie(), 1);
+  EXPECT_EQ(aggregator.CountAt(3).ValueOrDie(), 1);
+  EXPECT_EQ(aggregator.CountAt(4).ValueOrDie(), 0);
+}
+
+TEST(ReferenceAggregatorTest, ExactForRandomPopulations) {
+  // The naive protocol of Section 4.1 recovers a[t] with zero error:
+  // aggregate random user derivative streams and compare against a direct
+  // state simulation.
+  constexpr int64_t kD = 64;
+  constexpr int kUsers = 50;
+  ReferenceAggregator aggregator =
+      ReferenceAggregator::Create(kD).ValueOrDie();
+  std::vector<int64_t> direct_counts(kD + 1, 0);
+  Rng rng(21);
+  for (int u = 0; u < kUsers; ++u) {
+    int8_t state = 0;
+    for (int64_t t = 1; t <= kD; ++t) {
+      // Flip with probability 1/8.
+      const int8_t next =
+          rng.NextBernoulli(0.125) ? static_cast<int8_t>(1 - state) : state;
+      ASSERT_TRUE(
+          aggregator.ObserveDerivative(t, static_cast<int8_t>(next - state))
+              .ok());
+      state = next;
+      direct_counts[static_cast<size_t>(t)] += state;
+    }
+  }
+  for (int64_t t = 1; t <= kD; ++t) {
+    EXPECT_EQ(aggregator.CountAt(t).ValueOrDie(),
+              direct_counts[static_cast<size_t>(t)])
+        << "t=" << t;
+  }
+}
+
+}  // namespace
+}  // namespace futurerand::core

@@ -1,0 +1,197 @@
+#include "futurerand/core/server.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "futurerand/randomizer/randomizer.h"
+
+namespace futurerand::core {
+namespace {
+
+ProtocolConfig TestConfig(int64_t d = 8, int64_t k = 2, double eps = 1.0) {
+  ProtocolConfig config;
+  config.num_periods = d;
+  config.max_changes = k;
+  config.epsilon = eps;
+  return config;
+}
+
+// A server whose scale is 1 at every level turns report sums into plain
+// (unscaled) interval sums — convenient for exact aggregation checks.
+Server UnitServer(int64_t d) {
+  const auto orders = static_cast<size_t>(Log2Exact(
+                          static_cast<uint64_t>(d))) + 1;
+  return Server::WithScales(d, std::vector<double>(orders, 1.0)).ValueOrDie();
+}
+
+TEST(ServerTest, ForProtocolComputesScaleFromCGap) {
+  const ProtocolConfig config = TestConfig(8, 2, 1.0);
+  Server server = Server::ForProtocol(config).ValueOrDie();
+  const double c_gap =
+      rand::ExactCGap(config.randomizer, 2, 1.0).ValueOrDie();
+  for (int h = 0; h < config.num_orders(); ++h) {
+    EXPECT_NEAR(server.ScaleAtLevel(h), 4.0 / c_gap, 1e-12);  // (1+log2 8)=4
+  }
+}
+
+TEST(ServerTest, PerLevelScalesDifferWithAdaptiveSupport) {
+  ProtocolConfig config = TestConfig(16, 8, 1.0);
+  config.adapt_support_per_level = true;
+  Server server = Server::ForProtocol(config).ValueOrDie();
+  // At h=4 (L=1) support shrinks to 1 -> larger c_gap -> smaller scale.
+  EXPECT_LT(server.ScaleAtLevel(4), server.ScaleAtLevel(0));
+}
+
+TEST(ServerTest, WithScalesValidatesShape) {
+  EXPECT_FALSE(Server::WithScales(6, {1.0, 1.0}).ok());
+  EXPECT_FALSE(Server::WithScales(8, {1.0, 1.0}).ok());  // needs 4 scales
+  EXPECT_TRUE(Server::WithScales(8, {1.0, 1.0, 1.0, 1.0}).ok());
+}
+
+TEST(ServerTest, RegisterRejectsDuplicatesAndBadLevels) {
+  Server server = UnitServer(8);
+  EXPECT_TRUE(server.RegisterClient(1, 0).ok());
+  EXPECT_EQ(server.RegisterClient(1, 1).code(), StatusCode::kAlreadyExists);
+  EXPECT_FALSE(server.RegisterClient(2, -1).ok());
+  EXPECT_FALSE(server.RegisterClient(2, 4).ok());
+  EXPECT_EQ(server.num_clients(), 1);
+  EXPECT_EQ(server.ClientCountAtLevel(0), 1);
+}
+
+TEST(ServerTest, SubmitValidation) {
+  Server server = UnitServer(8);
+  ASSERT_TRUE(server.RegisterClient(1, 1).ok());
+  EXPECT_EQ(server.SubmitReport(99, 2, 1).code(), StatusCode::kNotFound);
+  EXPECT_FALSE(server.SubmitReport(1, 2, 0).ok());   // bad report value
+  EXPECT_FALSE(server.SubmitReport(1, 3, 1).ok());   // 2 does not divide 3
+  EXPECT_FALSE(server.SubmitReport(1, 0, 1).ok());   // out of range
+  EXPECT_FALSE(server.SubmitReport(1, 10, 1).ok());  // out of range
+  EXPECT_TRUE(server.SubmitReport(1, 2, 1).ok());
+  // Duplicate / out-of-order for the same client.
+  EXPECT_FALSE(server.SubmitReport(1, 2, 1).ok());
+  EXPECT_TRUE(server.SubmitReport(1, 4, -1).ok());
+  EXPECT_FALSE(server.SubmitReport(1, 2, 1).ok());
+}
+
+TEST(ServerTest, EstimateUsesDyadicDecomposition) {
+  // Unit scales: estimate at t is the plain sum of reports over C(t).
+  Server server = UnitServer(8);
+  ASSERT_TRUE(server.RegisterClient(1, 0).ok());  // reports every period
+  ASSERT_TRUE(server.RegisterClient(2, 1).ok());  // reports at 2,4,6,8
+  ASSERT_TRUE(server.SubmitReport(1, 1, 1).ok());
+  ASSERT_TRUE(server.SubmitReport(1, 2, 1).ok());
+  ASSERT_TRUE(server.SubmitReport(1, 3, -1).ok());
+  ASSERT_TRUE(server.SubmitReport(2, 2, 1).ok());
+  // C(1) = {I(0,1)} -> 1.
+  EXPECT_DOUBLE_EQ(server.EstimateAt(1).ValueOrDie(), 1.0);
+  // C(2) = {I(1,1)} -> only the level-1 client's report at t=2 -> 1.
+  EXPECT_DOUBLE_EQ(server.EstimateAt(2).ValueOrDie(), 1.0);
+  // C(3) = {I(1,1), I(0,3)} -> 1 + (-1) = 0.
+  EXPECT_DOUBLE_EQ(server.EstimateAt(3).ValueOrDie(), 0.0);
+}
+
+TEST(ServerTest, EstimateAtValidatesRange) {
+  Server server = UnitServer(4);
+  EXPECT_FALSE(server.EstimateAt(0).ok());
+  EXPECT_FALSE(server.EstimateAt(5).ok());
+  EXPECT_TRUE(server.EstimateAt(4).ok());
+}
+
+TEST(ServerTest, EstimateAllMatchesPointQueries) {
+  Server server = UnitServer(8);
+  ASSERT_TRUE(server.RegisterClient(1, 0).ok());
+  for (int64_t t = 1; t <= 8; ++t) {
+    ASSERT_TRUE(server.SubmitReport(1, t, (t % 2 == 0) ? 1 : -1).ok());
+  }
+  const std::vector<double> all = server.EstimateAll().ValueOrDie();
+  ASSERT_EQ(all.size(), 8u);
+  for (int64_t t = 1; t <= 8; ++t) {
+    EXPECT_DOUBLE_EQ(all[static_cast<size_t>(t - 1)],
+                     server.EstimateAt(t).ValueOrDie());
+  }
+}
+
+TEST(ServerTest, MergeCombinesSumsAndClients) {
+  Server a = UnitServer(4);
+  Server b = UnitServer(4);
+  ASSERT_TRUE(a.RegisterClient(1, 0).ok());
+  ASSERT_TRUE(b.RegisterClient(2, 0).ok());
+  ASSERT_TRUE(a.SubmitReport(1, 1, 1).ok());
+  ASSERT_TRUE(b.SubmitReport(2, 1, 1).ok());
+  ASSERT_TRUE(a.Merge(b).ok());
+  EXPECT_EQ(a.num_clients(), 2);
+  EXPECT_DOUBLE_EQ(a.EstimateAt(1).ValueOrDie(), 2.0);
+}
+
+TEST(ServerTest, MergeRejectsDifferentShapes) {
+  Server a = UnitServer(4);
+  Server b = UnitServer(8);
+  EXPECT_FALSE(a.Merge(b).ok());
+  Server c = Server::WithScales(4, {2.0, 2.0, 2.0}).ValueOrDie();
+  EXPECT_FALSE(a.Merge(c).ok());
+}
+
+TEST(ServerTest, MergeRejectsDuplicateClientIds) {
+  Server a = UnitServer(4);
+  Server b = UnitServer(4);
+  ASSERT_TRUE(a.RegisterClient(1, 0).ok());
+  ASSERT_TRUE(b.RegisterClient(1, 0).ok());
+  EXPECT_FALSE(a.Merge(b).ok());
+}
+
+TEST(ServerTest, WindowDeltaValidatesRange) {
+  Server server = UnitServer(8);
+  EXPECT_FALSE(server.EstimateWindowDelta(0, 4).ok());
+  EXPECT_FALSE(server.EstimateWindowDelta(5, 4).ok());
+  EXPECT_FALSE(server.EstimateWindowDelta(1, 9).ok());
+  EXPECT_TRUE(server.EstimateWindowDelta(1, 8).ok());
+  EXPECT_TRUE(server.EstimateWindowDelta(3, 3).ok());
+}
+
+TEST(ServerTest, WindowDeltaSumsDecompositionTerms) {
+  // Unit scales: the window estimate is the plain sum of raw report sums
+  // over DecomposeRange(l, r). [2..3] = {I(0,2), I(0,3)}.
+  Server server = UnitServer(8);
+  ASSERT_TRUE(server.RegisterClient(1, 0).ok());
+  ASSERT_TRUE(server.SubmitReport(1, 2, 1).ok());
+  ASSERT_TRUE(server.SubmitReport(1, 3, 1).ok());
+  ASSERT_TRUE(server.SubmitReport(1, 4, -1).ok());
+  EXPECT_DOUBLE_EQ(server.EstimateWindowDelta(2, 3).ValueOrDie(), 2.0);
+  // [2..4] = {I(0,2), I(0,3), I(0,4)} -> 1 + 1 - 1.
+  EXPECT_DOUBLE_EQ(server.EstimateWindowDelta(2, 4).ValueOrDie(), 1.0);
+  // An aligned window collapses to one higher-order node, which only a
+  // level-1 client would feed; none did, so the estimate is 0.
+  EXPECT_DOUBLE_EQ(server.EstimateWindowDelta(3, 4).ValueOrDie(), 0.0);
+}
+
+TEST(ServerTest, WindowDeltaOfFullDomainEqualsPrefixEstimate) {
+  // DecomposeRange(1, d) == DecomposePrefix(d), so the two query paths
+  // agree exactly.
+  Server server = UnitServer(8);
+  ASSERT_TRUE(server.RegisterClient(1, 3).ok());
+  ASSERT_TRUE(server.SubmitReport(1, 8, 1).ok());
+  EXPECT_DOUBLE_EQ(server.EstimateWindowDelta(1, 8).ValueOrDie(),
+                   server.EstimateAt(8).ValueOrDie());
+}
+
+TEST(ServerTest, UnbiasedUnderFakeUniformReports) {
+  // With scale (1+log d) and truthful "randomizer" c_gap = 1 (reports equal
+  // true partial sums in sign form), a population whose partial sums are
+  // all +1 yields E[estimate] = true count when levels are uniform. Here we
+  // check the deterministic part: a level-h client's report at time t=2^h
+  // contributes scale * report to the top-level estimate.
+  const auto orders = 3;  // d = 4
+  Server server =
+      Server::WithScales(4, std::vector<double>(orders, 3.0)).ValueOrDie();
+  ASSERT_TRUE(server.RegisterClient(7, 2).ok());
+  ASSERT_TRUE(server.SubmitReport(7, 4, 1).ok());
+  // C(4) = {I(2,1)}: estimate = 3 * 1.
+  EXPECT_DOUBLE_EQ(server.EstimateAt(4).ValueOrDie(), 3.0);
+  // C(2) = {I(1,1)}: untouched by the level-2 report.
+  EXPECT_DOUBLE_EQ(server.EstimateAt(2).ValueOrDie(), 0.0);
+}
+
+}  // namespace
+}  // namespace futurerand::core

@@ -1,0 +1,120 @@
+#include "futurerand/domain/heavy_hitters.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "futurerand/common/random.h"
+
+namespace futurerand::domain {
+namespace {
+
+// Builds a populated server: `shares` users per item (each holding the item
+// from t=1), n large enough that estimates separate cleanly.
+struct Fixture {
+  HistogramConfig config;
+  HistogramServer server;
+  std::vector<int64_t> truth;
+};
+
+Fixture MakeFixture(const std::vector<int64_t>& users_per_item) {
+  HistogramConfig config;
+  config.domain_size = static_cast<int64_t>(users_per_item.size());
+  config.boolean_config.num_periods = 8;
+  config.boolean_config.max_changes = 1;
+  config.boolean_config.epsilon = 1.0;
+  config.boolean_config.randomizer = rand::RandomizerKind::kAdaptive;
+  HistogramServer server = HistogramServer::Create(config).ValueOrDie();
+
+  int64_t client_id = 0;
+  for (size_t item = 0; item < users_per_item.size(); ++item) {
+    for (int64_t u = 0; u < users_per_item[item]; ++u) {
+      HistogramClient client =
+          HistogramClient::Create(config,
+                                  static_cast<uint64_t>(client_id) * 7 + 1)
+              .ValueOrDie();
+      FR_CHECK_OK(server.RegisterClient(client_id, client.coordinate(),
+                                        client.level()));
+      for (int64_t t = 1; t <= 8; ++t) {
+        const auto report =
+            client.ObserveItem(static_cast<int64_t>(item)).ValueOrDie();
+        if (report.has_value()) {
+          FR_CHECK_OK(server.SubmitReport(client_id, t, *report));
+        }
+      }
+      ++client_id;
+    }
+  }
+  return Fixture{config, std::move(server), users_per_item};
+}
+
+TEST(HeavyHitterTrackerTest, TopItemsOrderedByCount) {
+  // 20k/12k/4k/0 users on items 0..3: separation ~8k vs noise std ~2k.
+  Fixture fixture = MakeFixture({20000, 12000, 4000, 0});
+  HeavyHitterTracker tracker(&fixture.server);
+  const auto top = tracker.TopItems(2, 8).ValueOrDie();
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0].item, 0);
+  EXPECT_EQ(top[1].item, 1);
+  EXPECT_GT(top[0].estimated_count, top[1].estimated_count);
+}
+
+TEST(HeavyHitterTrackerTest, ItemsAboveThreshold) {
+  Fixture fixture = MakeFixture({20000, 12000, 4000, 0});
+  HeavyHitterTracker tracker(&fixture.server);
+  const auto hitters = tracker.ItemsAbove(8000.0, 8).ValueOrDie();
+  // Items 0 and 1 must clear the threshold; item 3 (zero users) must not.
+  ASSERT_GE(hitters.size(), 2u);
+  EXPECT_EQ(hitters[0].item, 0);
+  EXPECT_EQ(hitters[1].item, 1);
+  for (const HeavyHitter& hitter : hitters) {
+    EXPECT_NE(hitter.item, 3);
+  }
+}
+
+TEST(HeavyHitterTrackerTest, TopItemsValidatesLimit) {
+  Fixture fixture = MakeFixture({100, 100});
+  HeavyHitterTracker tracker(&fixture.server);
+  EXPECT_FALSE(tracker.TopItems(0, 1).ok());
+}
+
+TEST(HeavyHitterTrackerTest, TopItemsLargerThanDomainReturnsAll) {
+  Fixture fixture = MakeFixture({100, 100});
+  HeavyHitterTracker tracker(&fixture.server);
+  const auto top = tracker.TopItems(10, 1).ValueOrDie();
+  EXPECT_EQ(top.size(), 2u);
+}
+
+TEST(HeavyHitterTrackerTest, CrossingTimesValidatesItem) {
+  Fixture fixture = MakeFixture({100, 100});
+  HeavyHitterTracker tracker(&fixture.server);
+  EXPECT_FALSE(tracker.CrossingTimes(-1, 10.0).ok());
+  EXPECT_FALSE(tracker.CrossingTimes(2, 10.0).ok());
+}
+
+TEST(HeavyHitterTrackerTest, CrossingTimesDetectsRise) {
+  // All of item 0's users hold it from t=1, so its estimate should sit
+  // above a low threshold from the first period: one upward crossing at
+  // t=1 and no fall.
+  Fixture fixture = MakeFixture({20000, 0});
+  HeavyHitterTracker tracker(&fixture.server);
+  const auto crossings = tracker.CrossingTimes(0, 5000.0).ValueOrDie();
+  ASSERT_FALSE(crossings.empty());
+  EXPECT_EQ(crossings[0], 1);
+  EXPECT_EQ(crossings.size() % 2, 1u);  // ends above the threshold
+}
+
+TEST(HeavyHitterTrackerTest, NeverCrossingItemGivesEmpty) {
+  Fixture fixture = MakeFixture({20000, 0});
+  HeavyHitterTracker tracker(&fixture.server);
+  // Item 1 has zero users; a huge threshold is never crossed.
+  const auto crossings = tracker.CrossingTimes(1, 1e7).ValueOrDie();
+  EXPECT_TRUE(crossings.empty());
+}
+
+TEST(HeavyHitterTrackerTest, NullServerDies) {
+  EXPECT_DEATH({ HeavyHitterTracker tracker(nullptr); }, "");
+}
+
+}  // namespace
+}  // namespace futurerand::domain

@@ -1,0 +1,138 @@
+#include "futurerand/domain/histogram.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "futurerand/common/random.h"
+
+namespace futurerand::domain {
+namespace {
+
+HistogramConfig TestConfig(int64_t domain = 4, int64_t d = 8, int64_t k = 2,
+                           double eps = 1.0) {
+  HistogramConfig config;
+  config.domain_size = domain;
+  config.boolean_config.num_periods = d;
+  config.boolean_config.max_changes = k;
+  config.boolean_config.epsilon = eps;
+  return config;
+}
+
+TEST(HistogramConfigTest, Validation) {
+  EXPECT_TRUE(TestConfig().Validate().ok());
+  HistogramConfig config = TestConfig();
+  config.domain_size = 1;
+  EXPECT_FALSE(config.Validate().ok());
+  config = TestConfig();
+  config.boolean_config.epsilon = 0.0;
+  EXPECT_FALSE(config.Validate().ok());
+}
+
+TEST(HistogramClientTest, CoordinateInRange) {
+  const HistogramConfig config = TestConfig(5);
+  for (uint64_t seed = 0; seed < 100; ++seed) {
+    HistogramClient client =
+        HistogramClient::Create(config, seed).ValueOrDie();
+    EXPECT_GE(client.coordinate(), 0);
+    EXPECT_LT(client.coordinate(), 5);
+  }
+}
+
+TEST(HistogramClientTest, CoordinatesRoughlyUniform) {
+  const HistogramConfig config = TestConfig(4);
+  std::vector<int> counts(4, 0);
+  constexpr int kClients = 20000;
+  for (uint64_t seed = 0; seed < kClients; ++seed) {
+    ++counts[static_cast<size_t>(
+        HistogramClient::Create(config, seed).ValueOrDie().coordinate())];
+  }
+  for (int c = 0; c < 4; ++c) {
+    EXPECT_NEAR(static_cast<double>(counts[static_cast<size_t>(c)]) /
+                    kClients,
+                0.25, 0.02);
+  }
+}
+
+TEST(HistogramClientTest, ObserveItemValidation) {
+  HistogramClient client =
+      HistogramClient::Create(TestConfig(), 1).ValueOrDie();
+  EXPECT_FALSE(client.ObserveItem(-7).ok());
+  EXPECT_TRUE(client.ObserveItem(kNoItem).ok());
+  EXPECT_TRUE(client.ObserveItem(2).ok());
+  // Items outside the domain are fine client-side: the indicator is just 0.
+  EXPECT_TRUE(client.ObserveItem(1000).ok());
+}
+
+TEST(HistogramServerTest, RegistrationAndRouting) {
+  HistogramServer server = HistogramServer::Create(TestConfig()).ValueOrDie();
+  EXPECT_TRUE(server.RegisterClient(1, 2, 0).ok());
+  EXPECT_EQ(server.RegisterClient(1, 2, 0).code(),
+            StatusCode::kAlreadyExists);
+  EXPECT_FALSE(server.RegisterClient(2, 9, 0).ok());  // bad coordinate
+  EXPECT_EQ(server.SubmitReport(99, 1, 1).code(), StatusCode::kNotFound);
+  EXPECT_TRUE(server.SubmitReport(1, 1, 1).ok());
+}
+
+TEST(HistogramServerTest, EstimateValidation) {
+  HistogramServer server = HistogramServer::Create(TestConfig()).ValueOrDie();
+  EXPECT_FALSE(server.EstimateItemCount(-1, 1).ok());
+  EXPECT_FALSE(server.EstimateItemCount(4, 1).ok());
+  EXPECT_TRUE(server.EstimateItemCount(0, 1).ok());
+}
+
+TEST(HistogramEndToEndTest, RecoversStableHistogramShape) {
+  // n users each hold a fixed item (one change at t=1); the estimated
+  // histogram at the final period must recover the popularity ranking.
+  // k=1 with the adaptive randomizer keeps the per-item noise std at
+  // roughly 4 * (1+log d)/c_gap * sqrt(n/D) ~ 4300 users here.
+  const int64_t domain = 4;
+  HistogramConfig config = TestConfig(domain, 8, 1, 1.0);
+  config.boolean_config.randomizer = rand::RandomizerKind::kAdaptive;
+  HistogramServer server = HistogramServer::Create(config).ValueOrDie();
+  // Popularity weights: item i held by proportional share of users.
+  const std::vector<double> popularity = {0.55, 0.25, 0.15, 0.05};
+  constexpr int kUsers = 60000;
+  Rng rng(77);
+  std::vector<int64_t> truth(static_cast<size_t>(domain), 0);
+  for (int64_t u = 0; u < kUsers; ++u) {
+    const double roll = rng.NextDouble();
+    int64_t item = 0;
+    double cumulative = 0.0;
+    for (int64_t i = 0; i < domain; ++i) {
+      cumulative += popularity[static_cast<size_t>(i)];
+      if (roll < cumulative) {
+        item = i;
+        break;
+      }
+    }
+    ++truth[static_cast<size_t>(item)];
+    HistogramClient client =
+        HistogramClient::Create(config, static_cast<uint64_t>(u) + 1)
+            .ValueOrDie();
+    ASSERT_TRUE(
+        server.RegisterClient(u, client.coordinate(), client.level()).ok());
+    for (int64_t t = 1; t <= 8; ++t) {
+      const auto report = client.ObserveItem(item).ValueOrDie();
+      if (report.has_value()) {
+        ASSERT_TRUE(server.SubmitReport(u, t, *report).ok());
+      }
+    }
+  }
+  const std::vector<double> histogram =
+      server.EstimateHistogramAt(8).ValueOrDie();
+  ASSERT_EQ(histogram.size(), static_cast<size_t>(domain));
+  // Noise per item ~ D * (protocol noise over n/D users); generous margin.
+  for (int64_t i = 0; i < domain; ++i) {
+    EXPECT_NEAR(histogram[static_cast<size_t>(i)],
+                static_cast<double>(truth[static_cast<size_t>(i)]),
+                0.3 * kUsers)
+        << "item " << i;
+  }
+  // The most popular item must clearly beat the least popular one.
+  EXPECT_GT(histogram[0], histogram[3]);
+}
+
+}  // namespace
+}  // namespace futurerand::domain

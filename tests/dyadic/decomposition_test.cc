@@ -1,0 +1,143 @@
+#include "futurerand/dyadic/decomposition.h"
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace futurerand::dyadic {
+namespace {
+
+// Checks that `intervals` are disjoint and cover exactly [l..r].
+void ExpectExactCover(const std::vector<DyadicInterval>& intervals, int64_t l,
+                      int64_t r) {
+  std::set<int64_t> covered;
+  for (const DyadicInterval& interval : intervals) {
+    for (int64_t t = interval.begin(); t <= interval.end(); ++t) {
+      EXPECT_TRUE(covered.insert(t).second)
+          << "time " << t << " covered twice";
+    }
+  }
+  ASSERT_EQ(covered.size(), static_cast<size_t>(r - l + 1));
+  EXPECT_EQ(*covered.begin(), l);
+  EXPECT_EQ(*covered.rbegin(), r);
+}
+
+TEST(DecomposePrefixTest, PaperExampleC3) {
+  // Figure 1 / text: C(3) = {{1,2}, {3}}.
+  const std::vector<DyadicInterval> c3 = DecomposePrefix(3);
+  ASSERT_EQ(c3.size(), 2u);
+  EXPECT_EQ(c3[0], (DyadicInterval{1, 1}));  // [1..2]
+  EXPECT_EQ(c3[1], (DyadicInterval{0, 3}));  // [3..3]
+}
+
+TEST(DecomposePrefixTest, PowerOfTwoIsSingleInterval) {
+  for (int h = 0; h <= 10; ++h) {
+    const int64_t t = int64_t{1} << h;
+    const std::vector<DyadicInterval> c = DecomposePrefix(t);
+    ASSERT_EQ(c.size(), 1u) << "t=" << t;
+    EXPECT_EQ(c[0].order, h);
+    EXPECT_EQ(c[0].index, 1);
+  }
+}
+
+TEST(DecomposePrefixTest, IntervalCountEqualsPopcount) {
+  for (int64_t t = 1; t <= 4096; ++t) {
+    EXPECT_EQ(DecomposePrefix(t).size(),
+              static_cast<size_t>(__builtin_popcountll(
+                  static_cast<uint64_t>(t))))
+        << "t=" << t;
+  }
+}
+
+class DecomposePrefixPropertyTest : public ::testing::TestWithParam<int64_t> {
+};
+
+TEST_P(DecomposePrefixPropertyTest, CoversExactlyPrefix) {
+  const int64_t t = GetParam();
+  ExpectExactCover(DecomposePrefix(t), 1, t);
+}
+
+TEST_P(DecomposePrefixPropertyTest, OrdersAreDistinctAndDecreasing) {
+  const int64_t t = GetParam();
+  const std::vector<DyadicInterval> intervals = DecomposePrefix(t);
+  for (size_t i = 1; i < intervals.size(); ++i) {
+    EXPECT_GT(intervals[i - 1].order, intervals[i].order);
+  }
+}
+
+TEST_P(DecomposePrefixPropertyTest, SizeWithinLogBound) {
+  const int64_t t = GetParam();
+  // Fact 3.8: at most ceil(log2 t) intervals (and at least 1).
+  const auto bound = static_cast<size_t>(
+      std::ceil(std::log2(static_cast<double>(t))) + 1e-9);
+  EXPECT_LE(DecomposePrefix(t).size(), std::max<size_t>(bound, 1));
+}
+
+INSTANTIATE_TEST_SUITE_P(SweepT, DecomposePrefixPropertyTest,
+                         ::testing::Values(1, 2, 3, 5, 7, 8, 15, 16, 17, 31,
+                                           63, 64, 100, 255, 256, 511, 1000,
+                                           1023, 1024));
+
+TEST(DecomposeRangeTest, PaperExampleRange2To3) {
+  // Text after Fact 3.8: [2..3] decomposes into {{2},{3}} (orders repeat).
+  const std::vector<DyadicInterval> decomposition = DecomposeRange(2, 3);
+  ASSERT_EQ(decomposition.size(), 2u);
+  EXPECT_EQ(decomposition[0], (DyadicInterval{0, 2}));
+  EXPECT_EQ(decomposition[1], (DyadicInterval{0, 3}));
+}
+
+TEST(DecomposeRangeTest, FullAlignedRangeIsOneInterval) {
+  const std::vector<DyadicInterval> decomposition = DecomposeRange(1, 64);
+  ASSERT_EQ(decomposition.size(), 1u);
+  EXPECT_EQ(decomposition[0], (DyadicInterval{6, 1}));
+}
+
+TEST(DecomposeRangeTest, SingletonRange) {
+  const std::vector<DyadicInterval> decomposition = DecomposeRange(9, 9);
+  ASSERT_EQ(decomposition.size(), 1u);
+  EXPECT_EQ(decomposition[0], (DyadicInterval{0, 9}));
+}
+
+TEST(DecomposeRangeTest, ExhaustiveCoverageOverSmallDomain) {
+  constexpr int64_t kD = 64;
+  for (int64_t l = 1; l <= kD; ++l) {
+    for (int64_t r = l; r <= kD; ++r) {
+      ExpectExactCover(DecomposeRange(l, r), l, r);
+    }
+  }
+}
+
+TEST(DecomposeRangeTest, SizeWithinTwoLogBound) {
+  constexpr int64_t kD = 256;
+  for (int64_t l = 1; l <= kD; l += 3) {
+    for (int64_t r = l; r <= kD; r += 5) {
+      const double len = static_cast<double>(r - l + 1);
+      const auto bound =
+          static_cast<size_t>(std::ceil(2.0 * std::log2(len + 1)) + 1);
+      EXPECT_LE(DecomposeRange(l, r).size(), bound)
+          << "l=" << l << " r=" << r;
+    }
+  }
+}
+
+TEST(CoveringIntervalsTest, OnePerOrderEachContainingT) {
+  constexpr int64_t kD = 32;
+  for (int64_t t = 1; t <= kD; ++t) {
+    const std::vector<DyadicInterval> covering = CoveringIntervals(t, kD);
+    ASSERT_EQ(covering.size(), static_cast<size_t>(NumOrders(kD)));
+    for (int h = 0; h < NumOrders(kD); ++h) {
+      EXPECT_EQ(covering[static_cast<size_t>(h)].order, h);
+      EXPECT_TRUE(covering[static_cast<size_t>(h)].Contains(t));
+    }
+  }
+}
+
+TEST(CoveringIntervalsTest, TopIntervalIsWholeDomain) {
+  const std::vector<DyadicInterval> covering = CoveringIntervals(5, 16);
+  EXPECT_EQ(covering.back(), (DyadicInterval{4, 1}));
+}
+
+}  // namespace
+}  // namespace futurerand::dyadic

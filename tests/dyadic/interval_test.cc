@@ -1,0 +1,98 @@
+#include "futurerand/dyadic/interval.h"
+
+#include <gtest/gtest.h>
+
+namespace futurerand::dyadic {
+namespace {
+
+TEST(DyadicIntervalTest, BeginEndLength) {
+  // Example 3.3: I(1,2) = {3,4} for d = 4.
+  const DyadicInterval interval{1, 2};
+  EXPECT_EQ(interval.begin(), 3);
+  EXPECT_EQ(interval.end(), 4);
+  EXPECT_EQ(interval.length(), 2);
+}
+
+TEST(DyadicIntervalTest, OrderZeroIsSingleton) {
+  const DyadicInterval interval{0, 5};
+  EXPECT_EQ(interval.begin(), 5);
+  EXPECT_EQ(interval.end(), 5);
+  EXPECT_EQ(interval.length(), 1);
+}
+
+TEST(DyadicIntervalTest, Example33EnumeratesAllIntervalsOfDomain4) {
+  // All dyadic intervals on [4] from Example 3.3.
+  EXPECT_EQ((DyadicInterval{0, 1}.begin()), 1);
+  EXPECT_EQ((DyadicInterval{0, 4}.end()), 4);
+  EXPECT_EQ((DyadicInterval{1, 1}.begin()), 1);
+  EXPECT_EQ((DyadicInterval{1, 1}.end()), 2);
+  EXPECT_EQ((DyadicInterval{1, 2}.begin()), 3);
+  EXPECT_EQ((DyadicInterval{1, 2}.end()), 4);
+  EXPECT_EQ((DyadicInterval{2, 1}.begin()), 1);
+  EXPECT_EQ((DyadicInterval{2, 1}.end()), 4);
+}
+
+TEST(DyadicIntervalTest, Contains) {
+  const DyadicInterval interval{2, 2};  // [5..8]
+  EXPECT_FALSE(interval.Contains(4));
+  EXPECT_TRUE(interval.Contains(5));
+  EXPECT_TRUE(interval.Contains(8));
+  EXPECT_FALSE(interval.Contains(9));
+}
+
+TEST(DyadicIntervalTest, ParentMergesSiblings) {
+  EXPECT_EQ((DyadicInterval{0, 1}.Parent()), (DyadicInterval{1, 1}));
+  EXPECT_EQ((DyadicInterval{0, 2}.Parent()), (DyadicInterval{1, 1}));
+  EXPECT_EQ((DyadicInterval{0, 3}.Parent()), (DyadicInterval{1, 2}));
+  EXPECT_EQ((DyadicInterval{1, 2}.Parent()), (DyadicInterval{2, 1}));
+}
+
+TEST(DyadicIntervalTest, ChildrenPartitionParent) {
+  const DyadicInterval parent{3, 2};  // [9..16]
+  const DyadicInterval left = parent.LeftChild();
+  const DyadicInterval right = parent.RightChild();
+  EXPECT_EQ(left.begin(), parent.begin());
+  EXPECT_EQ(left.end() + 1, right.begin());
+  EXPECT_EQ(right.end(), parent.end());
+  EXPECT_EQ(left.Parent(), parent);
+  EXPECT_EQ(right.Parent(), parent);
+}
+
+TEST(DyadicIntervalTest, ToStringFormat) {
+  EXPECT_EQ((DyadicInterval{1, 2}.ToString()), "I(1,2)=[3..4]");
+}
+
+TEST(IntervalHelpersTest, NumOrders) {
+  EXPECT_EQ(NumOrders(1), 1);
+  EXPECT_EQ(NumOrders(4), 3);
+  EXPECT_EQ(NumOrders(1024), 11);
+  EXPECT_DEATH({ (void)NumOrders(6); }, "power of two");
+}
+
+TEST(IntervalHelpersTest, NumIntervalsAtOrder) {
+  EXPECT_EQ(NumIntervalsAtOrder(8, 0), 8);
+  EXPECT_EQ(NumIntervalsAtOrder(8, 1), 4);
+  EXPECT_EQ(NumIntervalsAtOrder(8, 3), 1);
+}
+
+TEST(IntervalHelpersTest, IntervalContainingIsConsistent) {
+  for (int64_t d : {8, 64}) {
+    for (int64_t t = 1; t <= d; ++t) {
+      for (int h = 0; h < NumOrders(d); ++h) {
+        const DyadicInterval interval = IntervalContaining(t, h);
+        EXPECT_EQ(interval.order, h);
+        EXPECT_TRUE(interval.Contains(t))
+            << "t=" << t << " h=" << h << " got " << interval.ToString();
+      }
+    }
+  }
+}
+
+TEST(IntervalHelpersTest, TotalIntervalCount) {
+  EXPECT_EQ(TotalIntervalCount(1), 1);
+  EXPECT_EQ(TotalIntervalCount(4), 7);
+  EXPECT_EQ(TotalIntervalCount(256), 511);
+}
+
+}  // namespace
+}  // namespace futurerand::dyadic

@@ -1,0 +1,102 @@
+#include "futurerand/dyadic/tree.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "futurerand/common/random.h"
+
+namespace futurerand::dyadic {
+namespace {
+
+TEST(DyadicTreeTest, ConstructionZeroInitializes) {
+  DyadicTree<int64_t> tree(8);
+  EXPECT_EQ(tree.domain_size(), 8);
+  EXPECT_EQ(tree.num_orders(), 4);
+  for (int h = 0; h < tree.num_orders(); ++h) {
+    for (int64_t j = 1; j <= NumIntervalsAtOrder(8, h); ++j) {
+      EXPECT_EQ(tree.At(h, j), 0);
+    }
+  }
+}
+
+TEST(DyadicTreeTest, RejectsNonPowerOfTwoDomain) {
+  EXPECT_DEATH({ DyadicTree<int> tree(6); }, "power of two");
+}
+
+TEST(DyadicTreeTest, AtIsWritable) {
+  DyadicTree<double> tree(4);
+  tree.At(1, 2) = 2.5;
+  EXPECT_EQ(tree.At(1, 2), 2.5);
+  EXPECT_EQ(tree.At(DyadicInterval{1, 2}), 2.5);
+}
+
+TEST(DyadicTreeTest, AddAtTimeTouchesOneNodePerOrder) {
+  DyadicTree<int64_t> tree(8);
+  tree.AddAtTime(3, 1);
+  // t=3 lies in I(0,3), I(1,2), I(2,1), I(3,1).
+  EXPECT_EQ(tree.At(0, 3), 1);
+  EXPECT_EQ(tree.At(1, 2), 1);
+  EXPECT_EQ(tree.At(2, 1), 1);
+  EXPECT_EQ(tree.At(3, 1), 1);
+  // Everything else untouched.
+  EXPECT_EQ(tree.At(0, 2), 0);
+  EXPECT_EQ(tree.At(1, 1), 0);
+  EXPECT_EQ(tree.At(2, 2), 0);
+}
+
+TEST(DyadicTreeTest, PrefixSumEqualsSumOfLeafUpdates) {
+  constexpr int64_t kD = 64;
+  DyadicTree<int64_t> tree(kD);
+  std::vector<int64_t> leaves(kD + 1, 0);
+  Rng rng(11);
+  for (int round = 0; round < 200; ++round) {
+    const auto t =
+        static_cast<int64_t>(rng.NextInt(static_cast<uint64_t>(kD))) + 1;
+    const int64_t delta =
+        static_cast<int64_t>(rng.NextInt(5)) - 2;  // in [-2..2]
+    tree.AddAtTime(t, delta);
+    leaves[static_cast<size_t>(t)] += delta;
+  }
+  int64_t running = 0;
+  for (int64_t t = 1; t <= kD; ++t) {
+    running += leaves[static_cast<size_t>(t)];
+    EXPECT_EQ(tree.PrefixSum(t), running) << "t=" << t;
+  }
+}
+
+TEST(DyadicTreeTest, PrefixSumOfEmptyTreeIsZero) {
+  DyadicTree<int64_t> tree(16);
+  for (int64_t t = 1; t <= 16; ++t) {
+    EXPECT_EQ(tree.PrefixSum(t), 0);
+  }
+}
+
+TEST(DyadicTreeTest, WorksWithDoublePayload) {
+  DyadicTree<double> tree(4);
+  tree.AddAtTime(1, 0.5);
+  tree.AddAtTime(4, 0.25);
+  EXPECT_DOUBLE_EQ(tree.PrefixSum(1), 0.5);
+  EXPECT_DOUBLE_EQ(tree.PrefixSum(3), 0.5);
+  EXPECT_DOUBLE_EQ(tree.PrefixSum(4), 0.75);
+}
+
+TEST(DyadicTreeTest, DomainSizeOne) {
+  DyadicTree<int64_t> tree(1);
+  EXPECT_EQ(tree.num_orders(), 1);
+  tree.AddAtTime(1, 7);
+  EXPECT_EQ(tree.PrefixSum(1), 7);
+}
+
+TEST(LevelSizesTest, HalvesPerOrder) {
+  const std::vector<int64_t> sizes = LevelSizes(16);
+  ASSERT_EQ(sizes.size(), 5u);
+  EXPECT_EQ(sizes[0], 16);
+  EXPECT_EQ(sizes[1], 8);
+  EXPECT_EQ(sizes[2], 4);
+  EXPECT_EQ(sizes[3], 2);
+  EXPECT_EQ(sizes[4], 1);
+}
+
+}  // namespace
+}  // namespace futurerand::dyadic

@@ -1,0 +1,155 @@
+// Theorem 4.1 / Lemma 4.6 as executable assertions: measured max errors of
+// full protocol runs must respect the closed-form high-probability bounds,
+// and the error's scaling in k, n and eps must follow the theory's shape.
+
+#include <cmath>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "futurerand/analysis/theory.h"
+#include "futurerand/randomizer/randomizer.h"
+#include "futurerand/sim/runner.h"
+
+namespace futurerand::sim {
+namespace {
+
+core::ProtocolConfig MakeConfig(int64_t d, int64_t k, double eps) {
+  core::ProtocolConfig config;
+  config.num_periods = d;
+  config.max_changes = k;
+  config.epsilon = eps;
+  return config;
+}
+
+WorkloadConfig MakeWorkloadConfig(int64_t n, int64_t d, int64_t k) {
+  WorkloadConfig config;
+  config.kind = WorkloadKind::kUniformChanges;
+  config.num_users = n;
+  config.num_periods = d;
+  config.max_changes = k;
+  return config;
+}
+
+using BoundsParam = std::tuple<int64_t, int64_t, double>;  // (d, k, eps)
+
+class HoeffdingBoundSweepTest
+    : public ::testing::TestWithParam<BoundsParam> {};
+
+TEST_P(HoeffdingBoundSweepTest, MeasuredMaxErrorWithinLemma46Bound) {
+  const auto [d, k, eps] = GetParam();
+  const int64_t n = 3000;
+  const RepeatedRunStats stats =
+      RunRepeated(ProtocolKind::kFutureRand, MakeConfig(d, k, eps),
+                  MakeWorkloadConfig(n, d, k), 3, 12345)
+          .ValueOrDie();
+  const double c_gap =
+      rand::ExactCGap(rand::RandomizerKind::kFutureRand, k, eps).ValueOrDie();
+  analysis::BoundParams params;
+  params.n = static_cast<double>(n);
+  params.d = static_cast<double>(d);
+  params.k = static_cast<double>(k);
+  params.epsilon = eps;
+  params.beta = 1e-9;  // 3 runs at beta=1e-9 each: failure is negligible
+  const double bound = analysis::HoeffdingProtocolBound(params, c_gap);
+  EXPECT_LE(stats.max_abs_error.max(), bound)
+      << "d=" << d << " k=" << k << " eps=" << eps;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, HoeffdingBoundSweepTest,
+    ::testing::Values(BoundsParam{16, 2, 1.0}, BoundsParam{32, 4, 1.0},
+                      BoundsParam{64, 8, 1.0}, BoundsParam{32, 4, 0.5},
+                      BoundsParam{32, 4, 0.25}, BoundsParam{128, 2, 1.0}),
+    [](const ::testing::TestParamInfo<BoundsParam>& info) {
+      return "d" + std::to_string(std::get<0>(info.param)) + "_k" +
+             std::to_string(std::get<1>(info.param)) + "_eps" +
+             std::to_string(
+                 static_cast<int>(std::get<2>(info.param) * 100));
+    });
+
+TEST(ErrorScalingTest, ErrorGrowsSublinearlyInK) {
+  // Theorem 4.1 vs Erlingsson: quadrupling k should scale our error by
+  // roughly 2 (sqrt), clearly below 4 (linear). Averaged over repetitions.
+  const int64_t n = 4000;
+  const int64_t d = 64;
+  const RepeatedRunStats at_16 =
+      RunRepeated(ProtocolKind::kFutureRand, MakeConfig(d, 16, 1.0),
+                  MakeWorkloadConfig(n, d, 16), 4, 9000)
+          .ValueOrDie();
+  const RepeatedRunStats at_64 =
+      RunRepeated(ProtocolKind::kFutureRand, MakeConfig(d, 64, 1.0),
+                  MakeWorkloadConfig(n, d, 64), 4, 9000)
+          .ValueOrDie();
+  const double ratio =
+      at_64.max_abs_error.mean() / at_16.max_abs_error.mean();
+  EXPECT_GT(ratio, 1.2);  // error does grow with k
+  EXPECT_LT(ratio, 3.5);  // but clearly sublinearly (4x k -> < 3.5x error)
+}
+
+TEST(ErrorScalingTest, ErrorGrowsLikeSqrtN) {
+  const int64_t d = 32;
+  const int64_t k = 4;
+  const RepeatedRunStats small =
+      RunRepeated(ProtocolKind::kFutureRand, MakeConfig(d, k, 1.0),
+                  MakeWorkloadConfig(2000, d, k), 4, 9100)
+          .ValueOrDie();
+  const RepeatedRunStats large =
+      RunRepeated(ProtocolKind::kFutureRand, MakeConfig(d, k, 1.0),
+                  MakeWorkloadConfig(32000, d, k), 4, 9100)
+          .ValueOrDie();
+  const double ratio = large.max_abs_error.mean() / small.max_abs_error.mean();
+  // 16x users -> ~4x error; accept [2.2, 7] for Monte-Carlo slack.
+  EXPECT_GT(ratio, 2.2);
+  EXPECT_LT(ratio, 7.0);
+}
+
+TEST(ErrorScalingTest, ErrorScalesInverselyWithEpsilon) {
+  const int64_t n = 4000;
+  const int64_t d = 32;
+  const int64_t k = 4;
+  const RepeatedRunStats tight =
+      RunRepeated(ProtocolKind::kFutureRand, MakeConfig(d, k, 0.25),
+                  MakeWorkloadConfig(n, d, k), 4, 9200)
+          .ValueOrDie();
+  const RepeatedRunStats loose =
+      RunRepeated(ProtocolKind::kFutureRand, MakeConfig(d, k, 1.0),
+                  MakeWorkloadConfig(n, d, k), 4, 9200)
+          .ValueOrDie();
+  const double ratio = tight.max_abs_error.mean() / loose.max_abs_error.mean();
+  // 4x smaller eps -> ~4x error; accept [2.5, 6].
+  EXPECT_GT(ratio, 2.5);
+  EXPECT_LT(ratio, 6.0);
+}
+
+TEST(ErrorScalingTest, NaiveRRDegradesWithDWhileOursStaysPolylog) {
+  const int64_t n = 3000;
+  const int64_t k = 2;
+  const RepeatedRunStats naive_small =
+      RunRepeated(ProtocolKind::kNaiveRR, MakeConfig(16, k, 1.0),
+                  MakeWorkloadConfig(n, 16, k), 3, 9300)
+          .ValueOrDie();
+  const RepeatedRunStats naive_large =
+      RunRepeated(ProtocolKind::kNaiveRR, MakeConfig(128, k, 1.0),
+                  MakeWorkloadConfig(n, 128, k), 3, 9300)
+          .ValueOrDie();
+  const RepeatedRunStats ours_small =
+      RunRepeated(ProtocolKind::kFutureRand, MakeConfig(16, k, 1.0),
+                  MakeWorkloadConfig(n, 16, k), 3, 9300)
+          .ValueOrDie();
+  const RepeatedRunStats ours_large =
+      RunRepeated(ProtocolKind::kFutureRand, MakeConfig(128, k, 1.0),
+                  MakeWorkloadConfig(n, 128, k), 3, 9300)
+          .ValueOrDie();
+  const double naive_growth =
+      naive_large.max_abs_error.mean() / naive_small.max_abs_error.mean();
+  const double our_growth =
+      ours_large.max_abs_error.mean() / ours_small.max_abs_error.mean();
+  // 8x periods: the eps/d strawman degrades ~8x, ours only polylog.
+  EXPECT_GT(naive_growth, 4.0);
+  EXPECT_LT(our_growth, 3.0);
+  EXPECT_GT(naive_growth, 2.0 * our_growth);
+}
+
+}  // namespace
+}  // namespace futurerand::sim

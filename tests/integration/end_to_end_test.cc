@@ -1,0 +1,219 @@
+// End-to-end protocol runs over the full (protocol x workload) grid, plus
+// the paper's qualitative comparisons on fixed seeds.
+
+#include <cmath>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "futurerand/analysis/theory.h"
+#include "futurerand/randomizer/randomizer.h"
+#include "futurerand/sim/runner.h"
+#include "futurerand/sim/workload.h"
+
+namespace futurerand::sim {
+namespace {
+
+core::ProtocolConfig MakeConfig(int64_t d, int64_t k, double eps) {
+  core::ProtocolConfig config;
+  config.num_periods = d;
+  config.max_changes = k;
+  config.epsilon = eps;
+  return config;
+}
+
+WorkloadConfig MakeWorkloadConfig(WorkloadKind kind, int64_t n, int64_t d,
+                                  int64_t k) {
+  WorkloadConfig config;
+  config.kind = kind;
+  config.num_users = n;
+  config.num_periods = d;
+  config.max_changes = k;
+  return config;
+}
+
+using GridParam = std::tuple<ProtocolKind, WorkloadKind>;
+
+class ProtocolWorkloadGridTest : public ::testing::TestWithParam<GridParam> {
+};
+
+TEST_P(ProtocolWorkloadGridTest, RunsAndStaysWithinGenerousErrorBudget) {
+  const auto [protocol, workload_kind] = GetParam();
+  const int64_t n = 2000;
+  const int64_t d = 32;
+  const int64_t k = 4;
+  const Workload workload =
+      Workload::Generate(MakeWorkloadConfig(workload_kind, n, d, k), 17)
+          .ValueOrDie();
+  const RunResult result =
+      RunProtocol(protocol, MakeConfig(d, k, 1.0), workload, 18).ValueOrDie();
+  ASSERT_EQ(result.estimates.size(), static_cast<size_t>(d));
+  // Every private protocol must stay within its own Hoeffding-style bound;
+  // n is the trivial cap for the non-private reference.
+  double budget = static_cast<double>(n);
+  if (protocol != ProtocolKind::kNonPrivate &&
+      protocol != ProtocolKind::kCentralTree) {
+    analysis::BoundParams params;
+    params.n = static_cast<double>(n);
+    params.d = static_cast<double>(d);
+    params.k = static_cast<double>(k);
+    params.epsilon = 1.0;
+    params.beta = 1e-9;
+    // The loosest applicable bound: Erlingsson's estimator carries an extra
+    // factor k; naive RR an extra d/2 over the basic gap.
+    budget = analysis::ErlingssonBound(params) +
+             analysis::NaiveRRBound(params) +
+             analysis::HoeffdingProtocolBound(
+                 params, rand::ExactCGap(rand::RandomizerKind::kBun, k, 1.0)
+                             .ValueOrDie());
+  }
+  EXPECT_LE(result.metrics.max_abs, budget)
+      << ProtocolKindToString(protocol) << " on "
+      << WorkloadKindToString(workload_kind);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, ProtocolWorkloadGridTest,
+    ::testing::Combine(
+        ::testing::Values(ProtocolKind::kFutureRand,
+                          ProtocolKind::kIndependent, ProtocolKind::kBun,
+                          ProtocolKind::kAdaptive, ProtocolKind::kErlingsson,
+                          ProtocolKind::kNaiveRR, ProtocolKind::kCentralTree,
+                          ProtocolKind::kNonPrivate),
+        ::testing::Values(WorkloadKind::kUniformChanges,
+                          WorkloadKind::kBursty, WorkloadKind::kTrend,
+                          WorkloadKind::kStatic, WorkloadKind::kAdversarial)),
+    [](const ::testing::TestParamInfo<GridParam>& info) {
+      return std::string(ProtocolKindToString(std::get<0>(info.param))) +
+             "_on_" + WorkloadKindToString(std::get<1>(info.param));
+    });
+
+TEST(EndToEndComparisonTest, FutureRandBeatsErlingssonAtLargeK) {
+  // The headline experiment in miniature: at k = 64 the sqrt(k) estimator
+  // should clearly beat the linear-in-k baseline on the same workloads.
+  const int64_t n = 4000;
+  const int64_t d = 64;
+  const int64_t k = 64;
+  const RepeatedRunStats ours =
+      RunRepeated(ProtocolKind::kFutureRand, MakeConfig(d, k, 1.0),
+                  MakeWorkloadConfig(WorkloadKind::kUniformChanges, n, d, k),
+                  3, 400)
+          .ValueOrDie();
+  const RepeatedRunStats baseline =
+      RunRepeated(ProtocolKind::kErlingsson, MakeConfig(d, k, 1.0),
+                  MakeWorkloadConfig(WorkloadKind::kUniformChanges, n, d, k),
+                  3, 400)
+          .ValueOrDie();
+  EXPECT_LT(ours.max_abs_error.mean(), baseline.max_abs_error.mean());
+}
+
+TEST(EndToEndComparisonTest, FutureRandBeatsIndependentAtLargeK) {
+  // Example 4.2's eps/k split loses to the composed randomizer once k is
+  // past the crossover (~32 at eps = 1).
+  const int64_t n = 4000;
+  const int64_t d = 64;
+  const int64_t k = 64;
+  const RepeatedRunStats ours =
+      RunRepeated(ProtocolKind::kFutureRand, MakeConfig(d, k, 1.0),
+                  MakeWorkloadConfig(WorkloadKind::kUniformChanges, n, d, k),
+                  3, 500)
+          .ValueOrDie();
+  const RepeatedRunStats naive =
+      RunRepeated(ProtocolKind::kIndependent, MakeConfig(d, k, 1.0),
+                  MakeWorkloadConfig(WorkloadKind::kUniformChanges, n, d, k),
+                  3, 500)
+          .ValueOrDie();
+  EXPECT_LT(ours.max_abs_error.mean(), naive.max_abs_error.mean());
+}
+
+TEST(EndToEndComparisonTest, IndependentBeatsFutureRandAtTinyK) {
+  // Below the crossover the constant factor 5 in eps~ = eps/(5 sqrt k)
+  // makes the naive composition the better choice — the reason the
+  // adaptive randomizer exists.
+  const int64_t n = 4000;
+  const int64_t d = 64;
+  const int64_t k = 2;
+  const RepeatedRunStats ours =
+      RunRepeated(ProtocolKind::kFutureRand, MakeConfig(d, k, 1.0),
+                  MakeWorkloadConfig(WorkloadKind::kUniformChanges, n, d, k),
+                  3, 600)
+          .ValueOrDie();
+  const RepeatedRunStats naive =
+      RunRepeated(ProtocolKind::kIndependent, MakeConfig(d, k, 1.0),
+                  MakeWorkloadConfig(WorkloadKind::kUniformChanges, n, d, k),
+                  3, 600)
+          .ValueOrDie();
+  EXPECT_LT(naive.max_abs_error.mean(), ours.max_abs_error.mean());
+}
+
+TEST(EndToEndComparisonTest, AdaptiveMatchesBetterOfBoth) {
+  const int64_t n = 2000;
+  const int64_t d = 32;
+  for (int64_t k : {2, 32}) {
+    const auto workload_config =
+        MakeWorkloadConfig(WorkloadKind::kUniformChanges, n, d, k);
+    const RepeatedRunStats adaptive =
+        RunRepeated(ProtocolKind::kAdaptive, MakeConfig(d, k, 1.0),
+                    workload_config, 2, 700)
+            .ValueOrDie();
+    const RepeatedRunStats future =
+        RunRepeated(ProtocolKind::kFutureRand, MakeConfig(d, k, 1.0),
+                    workload_config, 2, 700)
+            .ValueOrDie();
+    const RepeatedRunStats independent =
+        RunRepeated(ProtocolKind::kIndependent, MakeConfig(d, k, 1.0),
+                    workload_config, 2, 700)
+            .ValueOrDie();
+    const double best = std::min(future.max_abs_error.mean(),
+                                 independent.max_abs_error.mean());
+    // Allow sampling slack: adaptive re-runs the winning construction with
+    // different randomness.
+    EXPECT_LT(adaptive.max_abs_error.mean(), 1.5 * best) << "k=" << k;
+  }
+}
+
+TEST(EndToEndComparisonTest, ConsistencyPostProcessingReducesError) {
+  // GLS consistency (offline extension) is pure post-processing; over a
+  // few repetitions its mean max-error must not exceed the raw online
+  // estimates' (and typically improves on them).
+  const int64_t n = 3000;
+  const int64_t d = 64;
+  const int64_t k = 8;
+  core::ProtocolConfig consistent = MakeConfig(d, k, 1.0);
+  consistent.consistent_estimation = true;
+  const auto workload_config =
+      MakeWorkloadConfig(WorkloadKind::kUniformChanges, n, d, k);
+  const RepeatedRunStats raw =
+      RunRepeated(ProtocolKind::kFutureRand, MakeConfig(d, k, 1.0),
+                  workload_config, 4, 900)
+          .ValueOrDie();
+  const RepeatedRunStats smoothed =
+      RunRepeated(ProtocolKind::kFutureRand, consistent, workload_config, 4,
+                  900)
+          .ValueOrDie();
+  EXPECT_LT(smoothed.max_abs_error.mean(), raw.max_abs_error.mean());
+}
+
+TEST(EndToEndComparisonTest, PerLevelAdaptationDoesNotHurt) {
+  // The extension shrinks randomizer support at high levels; its error
+  // should be no worse (usually better) than the paper-faithful run.
+  const int64_t n = 3000;
+  const int64_t d = 64;
+  const int64_t k = 32;
+  core::ProtocolConfig adapted = MakeConfig(d, k, 1.0);
+  adapted.adapt_support_per_level = true;
+  const auto workload_config =
+      MakeWorkloadConfig(WorkloadKind::kUniformChanges, n, d, k);
+  const RepeatedRunStats with_adaptation =
+      RunRepeated(ProtocolKind::kFutureRand, adapted, workload_config, 3, 800)
+          .ValueOrDie();
+  const RepeatedRunStats faithful =
+      RunRepeated(ProtocolKind::kFutureRand, MakeConfig(d, k, 1.0),
+                  workload_config, 3, 800)
+          .ValueOrDie();
+  EXPECT_LT(with_adaptation.max_abs_error.mean(),
+            1.25 * faithful.max_abs_error.mean());
+}
+
+}  // namespace
+}  // namespace futurerand::sim

@@ -1,0 +1,129 @@
+// Randomized robustness sweeps: random valid parameter combinations must
+// run cleanly and produce finite, bounded estimates; random byte garbage
+// fed to the wire decoder must be rejected, never crash, and never
+// round-trip into a different batch.
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "futurerand/analysis/theory.h"
+#include "futurerand/common/random.h"
+#include "futurerand/core/wire.h"
+#include "futurerand/randomizer/randomizer.h"
+#include "futurerand/sim/runner.h"
+#include "futurerand/sim/workload.h"
+
+namespace futurerand {
+namespace {
+
+class RandomizedProtocolSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RandomizedProtocolSweep, RandomValidConfigurationsRunCleanly) {
+  Rng rng(GetParam() * 7919 + 13);
+  // Random small but valid parameters.
+  const int64_t d = int64_t{1} << (2 + rng.NextInt(5));      // 4..128
+  const int64_t k = 1 + static_cast<int64_t>(rng.NextInt(
+                            static_cast<uint64_t>(std::min<int64_t>(d, 16))));
+  const double eps = 0.05 + 0.95 * rng.NextDouble();
+  const int64_t n = 50 + static_cast<int64_t>(rng.NextInt(500));
+  const auto protocol = static_cast<sim::ProtocolKind>(rng.NextInt(8));
+  const auto workload_kind = static_cast<sim::WorkloadKind>(rng.NextInt(6));
+
+  core::ProtocolConfig config;
+  config.num_periods = d;
+  config.max_changes = k;
+  config.epsilon = eps;
+  config.adapt_support_per_level = rng.NextBernoulli(0.5);
+  config.consistent_estimation = rng.NextBernoulli(0.5);
+
+  sim::WorkloadConfig workload_config;
+  workload_config.kind = workload_kind;
+  workload_config.num_users = n;
+  workload_config.num_periods = d;
+  workload_config.max_changes = k;
+
+  const auto workload =
+      sim::Workload::Generate(workload_config, rng.NextUint64());
+  ASSERT_TRUE(workload.ok());
+  const auto result =
+      sim::RunProtocol(protocol, config, *workload, rng.NextUint64());
+  ASSERT_TRUE(result.ok()) << "d=" << d << " k=" << k << " eps=" << eps
+                           << " protocol="
+                           << sim::ProtocolKindToString(protocol);
+  ASSERT_EQ(result->estimates.size(), static_cast<size_t>(d));
+  for (double estimate : result->estimates) {
+    EXPECT_TRUE(std::isfinite(estimate));
+  }
+  // Sanity budget: no estimate should exceed the crudest possible noise
+  // envelope (n times the largest debias scale in the system).
+  const double envelope =
+      static_cast<double>(n) * (1.0 + std::log2(static_cast<double>(d))) *
+          static_cast<double>(d) / 1e-4 +
+      1e9;
+  EXPECT_LT(result->metrics.max_abs, envelope);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomizedProtocolSweep,
+                         ::testing::Range<uint64_t>(0, 24));
+
+class WireFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(WireFuzzTest, RandomBytesNeverCrashTheDecoders) {
+  Rng rng(GetParam() * 104729 + 7);
+  for (int round = 0; round < 200; ++round) {
+    const auto length = rng.NextInt(64);
+    std::string bytes;
+    for (uint64_t i = 0; i < length; ++i) {
+      bytes.push_back(static_cast<char>(rng.NextUint64() & 0xff));
+    }
+    // Must return (usually an error), never crash; if garbage happens to
+    // decode, re-encoding must reproduce a decodable batch.
+    const auto registrations = core::DecodeRegistrationBatch(bytes);
+    if (registrations.ok()) {
+      const auto round_trip = core::DecodeRegistrationBatch(
+          core::EncodeRegistrationBatch(*registrations));
+      ASSERT_TRUE(round_trip.ok());
+      EXPECT_EQ(*round_trip, *registrations);
+    }
+    const auto reports = core::DecodeReportBatch(bytes);
+    if (reports.ok()) {
+      const auto encoded = core::EncodeReportBatch(*reports);
+      ASSERT_TRUE(encoded.ok());
+      const auto round_trip = core::DecodeReportBatch(*encoded);
+      ASSERT_TRUE(round_trip.ok());
+      EXPECT_EQ(*round_trip, *reports);
+    }
+  }
+}
+
+TEST_P(WireFuzzTest, BitflippedValidBatchesAreHandled) {
+  Rng rng(GetParam() * 31337 + 3);
+  std::vector<core::ReportMessage> batch;
+  int64_t time = 0;
+  for (int i = 0; i < 20; ++i) {
+    time += 1 + static_cast<int64_t>(rng.NextInt(10));
+    batch.push_back({static_cast<int64_t>(rng.NextInt(100)), time,
+                     rng.NextSign()});
+  }
+  const auto bytes = core::EncodeReportBatch(batch);
+  ASSERT_TRUE(bytes.ok());
+  for (int round = 0; round < 100; ++round) {
+    std::string corrupted = *bytes;
+    const auto position = rng.NextInt(corrupted.size());
+    corrupted[position] ^=
+        static_cast<char>(1 << rng.NextInt(8));
+    // Either rejected or decodes to SOME well-formed batch (bit flips in
+    // payload varints legitimately change values); never crashes.
+    (void)core::DecodeReportBatch(corrupted);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WireFuzzTest,
+                         ::testing::Range<uint64_t>(0, 8));
+
+}  // namespace
+}  // namespace futurerand

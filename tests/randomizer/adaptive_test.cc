@@ -1,0 +1,48 @@
+#include "futurerand/randomizer/adaptive.h"
+
+#include <gtest/gtest.h>
+
+#include "futurerand/randomizer/randomizer.h"
+
+namespace futurerand::rand {
+namespace {
+
+TEST(AdaptiveRandomizerTest, PicksIndependentForSmallK) {
+  // At k=1 the independent construction spends the whole budget on one
+  // coordinate (gap ~ eps/2) while FutureRand burns a constant factor 5.
+  auto randomizer = AdaptiveRandomizer::Create(8, 1, 1.0, 1).ValueOrDie();
+  EXPECT_EQ(randomizer->chosen().name(), "independent");
+}
+
+TEST(AdaptiveRandomizerTest, PicksFutureRandForLargeK) {
+  auto randomizer = AdaptiveRandomizer::Create(2048, 1024, 1.0, 1).ValueOrDie();
+  EXPECT_EQ(randomizer->chosen().name(), "future_rand");
+}
+
+TEST(AdaptiveRandomizerTest, CGapIsMaxOfBoth) {
+  for (int64_t k : {1, 8, 64, 512}) {
+    auto randomizer =
+        AdaptiveRandomizer::Create(1024, k, 1.0, 2).ValueOrDie();
+    const double future =
+        ExactCGap(RandomizerKind::kFutureRand, k, 1.0).ValueOrDie();
+    const double independent =
+        ExactCGap(RandomizerKind::kIndependent, k, 1.0).ValueOrDie();
+    EXPECT_DOUBLE_EQ(randomizer->c_gap(), std::max(future, independent));
+  }
+}
+
+TEST(AdaptiveRandomizerTest, DelegatesRandomization) {
+  auto randomizer = AdaptiveRandomizer::Create(4, 2, 1.0, 3).ValueOrDie();
+  const int8_t out = randomizer->Randomize(1);
+  EXPECT_TRUE(out == 1 || out == -1);
+  EXPECT_EQ(randomizer->position(), 1);
+  EXPECT_EQ(randomizer->support_used(), 1);
+  EXPECT_NE(randomizer->name().find("adaptive("), std::string::npos);
+}
+
+TEST(AdaptiveRandomizerTest, PropagatesCreationErrors) {
+  EXPECT_FALSE(AdaptiveRandomizer::Create(4, 2, 0.0, 1).ok());
+}
+
+}  // namespace
+}  // namespace futurerand::rand

@@ -1,0 +1,235 @@
+#include "futurerand/randomizer/annulus.h"
+
+#include <cmath>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "futurerand/randomizer/exact_dist.h"
+
+namespace futurerand::rand {
+namespace {
+
+TEST(AnnulusSpecTest, RejectsInvalidInputs) {
+  EXPECT_FALSE(MakeFutureRandSpec(0, 0.5).ok());
+  EXPECT_FALSE(MakeFutureRandSpec(-3, 0.5).ok());
+  EXPECT_FALSE(MakeFutureRandSpec(4, 0.0).ok());
+  EXPECT_FALSE(MakeFutureRandSpec(4, -0.1).ok());
+  EXPECT_FALSE(MakeFutureRandSpec(4, 1.5).ok());
+  EXPECT_FALSE(MakeBunSpec(0, 0.5).ok());
+  EXPECT_FALSE(MakeBunSpec(4, 2.0).ok());
+}
+
+TEST(AnnulusSpecTest, FutureRandEpsTildeIsEpsOver5SqrtK) {
+  const AnnulusSpec spec = MakeFutureRandSpec(25, 1.0).ValueOrDie();
+  EXPECT_NEAR(spec.eps_tilde, 1.0 / 25.0, 1e-12);  // 1/(5*sqrt(25))
+}
+
+TEST(AnnulusSpecTest, BasicParamsConsistent) {
+  const AnnulusSpec spec = MakeFutureRandSpec(16, 0.8).ValueOrDie();
+  EXPECT_NEAR(spec.p, 1.0 / (std::exp(spec.eps_tilde) + 1.0), 1e-12);
+  EXPECT_NEAR(std::exp(spec.log_p), spec.p, 1e-12);
+  EXPECT_NEAR(std::exp(spec.log_1mp), 1.0 - spec.p, 1e-12);
+  // 1 - p = e^{eps~} p.
+  EXPECT_NEAR(spec.log_1mp - spec.log_p, spec.eps_tilde, 1e-12);
+}
+
+TEST(AnnulusSpecTest, UbChosenSoGEqualsTwoToMinusK) {
+  // Equation 21/proof: g(UB) = 2^{-k}.
+  for (int64_t k : {2, 8, 64, 513}) {
+    const AnnulusSpec spec = MakeFutureRandSpec(k, 1.0).ValueOrDie();
+    const double log_g_ub =
+        spec.ub_real * spec.log_p +
+        (static_cast<double>(k) - spec.ub_real) * spec.log_1mp;
+    EXPECT_NEAR(log_g_ub, -static_cast<double>(k) * std::log(2.0), 1e-6)
+        << "k=" << k;
+  }
+}
+
+TEST(AnnulusSpecTest, LogGIsDecreasing) {
+  const AnnulusSpec spec = MakeFutureRandSpec(32, 1.0).ValueOrDie();
+  for (int64_t i = 1; i <= 32; ++i) {
+    EXPECT_LT(spec.LogG(i), spec.LogG(i - 1));
+  }
+}
+
+TEST(AnnulusSpecTest, PaperWorkedExampleK1) {
+  // Hand-derived for k=1, eps=1: eps~=0.2, annulus = {0}, complement = {1},
+  // P*_out = p, c_gap = 1 - 2p.
+  const AnnulusSpec spec = MakeFutureRandSpec(1, 1.0).ValueOrDie();
+  EXPECT_NEAR(spec.eps_tilde, 0.2, 1e-12);
+  EXPECT_EQ(spec.i_low, 0);
+  EXPECT_EQ(spec.i_high, 0);
+  EXPECT_NEAR(std::exp(spec.log_p_out), spec.p, 1e-12);
+  EXPECT_NEAR(spec.c_gap, 1.0 - 2.0 * spec.p, 1e-12);
+  // Privacy ratio is exactly e^{eps~} here.
+  EXPECT_NEAR(spec.certified_epsilon, spec.eps_tilde, 1e-12);
+}
+
+using GridParam = std::tuple<int64_t, double>;
+
+class FutureRandSpecGridTest : public ::testing::TestWithParam<GridParam> {
+ protected:
+  int64_t k() const { return std::get<0>(GetParam()); }
+  double epsilon() const { return std::get<1>(GetParam()); }
+};
+
+TEST_P(FutureRandSpecGridTest, AnnulusBoundsAreSane) {
+  const AnnulusSpec spec = MakeFutureRandSpec(k(), epsilon()).ValueOrDie();
+  EXPECT_GE(spec.i_low, 0);
+  EXPECT_LE(spec.i_low, spec.i_high);
+  EXPECT_LE(spec.i_high, k());
+  // Proof of Lemma 5.2: UB in [kp, k/2].
+  EXPECT_GE(spec.ub_real, static_cast<double>(k()) * spec.p - 1e-9);
+  EXPECT_LE(spec.ub_real, static_cast<double>(k()) / 2.0 + 1e-9);
+  // LB = kp - 2 sqrt(k).
+  EXPECT_NEAR(spec.lb_real,
+              static_cast<double>(k()) * spec.p -
+                  2.0 * std::sqrt(static_cast<double>(k())),
+              1e-9);
+}
+
+TEST_P(FutureRandSpecGridTest, OutputLawIsNormalized) {
+  const AnnulusSpec spec = MakeFutureRandSpec(k(), epsilon()).ValueOrDie();
+  EXPECT_NEAR(TotalMass(spec), 1.0, 1e-9);
+}
+
+TEST_P(FutureRandSpecGridTest, PStarOutIsAtMostTwoToMinusK) {
+  // Inequality 20 upper half.
+  const AnnulusSpec spec = MakeFutureRandSpec(k(), epsilon()).ValueOrDie();
+  if (!spec.complement_empty) {
+    EXPECT_LE(spec.log_p_out,
+              -static_cast<double>(k()) * std::log(2.0) + 1e-9);
+  }
+}
+
+TEST_P(FutureRandSpecGridTest, PStarOutLowerBoundFromLemma52) {
+  // Inequality 20 lower half: P*_out >= e^{-3 eps~ sqrt k} * p_avg.
+  const AnnulusSpec spec = MakeFutureRandSpec(k(), epsilon()).ValueOrDie();
+  if (spec.complement_empty) {
+    return;
+  }
+  const double kd = static_cast<double>(k());
+  const double log_p_avg =
+      kd * spec.p * spec.log_p + (kd - kd * spec.p) * spec.log_1mp;
+  EXPECT_GE(spec.log_p_out,
+            log_p_avg - 3.0 * spec.eps_tilde * std::sqrt(kd) - 1e-9);
+}
+
+TEST_P(FutureRandSpecGridTest, PrivacyRatioWithinEpsilon) {
+  // Lemma 5.2: p'_max <= e^eps p'_min, exactly verified.
+  const AnnulusSpec spec = MakeFutureRandSpec(k(), epsilon()).ValueOrDie();
+  EXPECT_LE(spec.certified_epsilon, epsilon() + 1e-9)
+      << spec.ToString();
+  EXPECT_GT(spec.certified_epsilon, 0.0);
+}
+
+TEST_P(FutureRandSpecGridTest, CGapIsPositiveAndAtMostBasicGap) {
+  const AnnulusSpec spec = MakeFutureRandSpec(k(), epsilon()).ValueOrDie();
+  EXPECT_GT(spec.c_gap, 0.0);
+  // The annulus correction can only shrink the basic randomizer's gap
+  // 1 - 2p (it replaces some in-annulus mass by symmetric-ish mass).
+  EXPECT_LE(spec.c_gap, 1.0 - 2.0 * spec.p + 1e-12);
+}
+
+TEST_P(FutureRandSpecGridTest, CGapIsOmegaEpsTilde) {
+  // Theorem 4.4 / Lemma 5.3: c_gap in Omega(eps~). The proof's constant is
+  // loose; empirically the ratio c_gap/eps~ stays well above 0.15 over the
+  // whole grid (it approaches ~0.48 for large k).
+  const AnnulusSpec spec = MakeFutureRandSpec(k(), epsilon()).ValueOrDie();
+  EXPECT_GE(spec.c_gap, 0.15 * spec.eps_tilde) << spec.ToString();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    KEpsGrid, FutureRandSpecGridTest,
+    ::testing::Combine(::testing::Values<int64_t>(1, 2, 3, 4, 8, 16, 17, 32,
+                                                  64, 128, 256, 1024, 4096),
+                       ::testing::Values(0.1, 0.25, 0.5, 1.0)),
+    [](const ::testing::TestParamInfo<GridParam>& info) {
+      std::string name = "k";
+      name += std::to_string(std::get<0>(info.param));
+      name += "_eps";
+      name += std::to_string(static_cast<int>(std::get<1>(info.param) * 100.0));
+      return name;
+    });
+
+class BunSpecGridTest : public ::testing::TestWithParam<GridParam> {
+ protected:
+  int64_t k() const { return std::get<0>(GetParam()); }
+  double epsilon() const { return std::get<1>(GetParam()); }
+};
+
+TEST_P(BunSpecGridTest, SolverSatisfiesFactA6Constraints) {
+  const AnnulusSpec spec = MakeBunSpec(k(), epsilon()).ValueOrDie();
+  const double kd = static_cast<double>(k());
+  // Equation 46: eps = 6 eps~ sqrt(k ln(1/lambda)).
+  EXPECT_NEAR(epsilon(),
+              6.0 * spec.eps_tilde *
+                  std::sqrt(kd * std::log(1.0 / spec.lambda)),
+              1e-6 * epsilon());
+  // Equation 45: lambda < (eps~ sqrt k / (2(k+1)))^{2/3}.
+  const double bound =
+      std::pow(spec.eps_tilde * std::sqrt(kd) / (2.0 * (kd + 1.0)), 2.0 / 3.0);
+  EXPECT_LT(spec.lambda, bound);
+  EXPECT_GT(spec.lambda, 0.0);
+}
+
+TEST_P(BunSpecGridTest, AnnulusIsSymmetricAroundKp) {
+  const AnnulusSpec spec = MakeBunSpec(k(), epsilon()).ValueOrDie();
+  const double kd = static_cast<double>(k());
+  const double center = kd * spec.p;
+  EXPECT_NEAR(center - spec.lb_real, spec.ub_real - center, 1e-9);
+}
+
+TEST_P(BunSpecGridTest, OutputLawIsNormalized) {
+  const AnnulusSpec spec = MakeBunSpec(k(), epsilon()).ValueOrDie();
+  EXPECT_NEAR(TotalMass(spec), 1.0, 1e-9);
+}
+
+TEST_P(BunSpecGridTest, MostMassStaysInAnnulus) {
+  // Inequality 47: Pr[R~(b) in Ann(b)] >= 1 - lambda.
+  const AnnulusSpec spec = MakeBunSpec(k(), epsilon()).ValueOrDie();
+  double in_annulus = 0.0;
+  const std::vector<double> masses = DistanceMasses(spec);
+  for (int64_t i = spec.i_low; i <= spec.i_high; ++i) {
+    in_annulus += masses[static_cast<size_t>(i)];
+  }
+  EXPECT_GE(in_annulus, 1.0 - spec.lambda - 1e-9);
+}
+
+TEST_P(BunSpecGridTest, CGapPositive) {
+  const AnnulusSpec spec = MakeBunSpec(k(), epsilon()).ValueOrDie();
+  EXPECT_GT(spec.c_gap, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    KEpsGrid, BunSpecGridTest,
+    ::testing::Combine(::testing::Values<int64_t>(1, 4, 16, 64, 256, 1024),
+                       ::testing::Values(0.25, 0.5, 1.0)),
+    [](const ::testing::TestParamInfo<GridParam>& info) {
+      std::string name = "k";
+      name += std::to_string(std::get<0>(info.param));
+      name += "_eps";
+      name += std::to_string(static_cast<int>(std::get<1>(info.param) * 100.0));
+      return name;
+    });
+
+TEST(AnnulusComparisonTest, FutureRandGapBeatsBunForLargeK) {
+  // The headline of Appendix A.2 / Section 6: our composed randomizer's gap
+  // is asymptotically larger than Bun et al.'s by sqrt(ln(k/eps)).
+  for (int64_t k : {256, 1024, 4096}) {
+    const AnnulusSpec ours = MakeFutureRandSpec(k, 1.0).ValueOrDie();
+    const AnnulusSpec theirs = MakeBunSpec(k, 1.0).ValueOrDie();
+    EXPECT_GT(ours.c_gap, theirs.c_gap) << "k=" << k;
+  }
+}
+
+TEST(AnnulusSpecTest, ToStringMentionsKeyFields) {
+  const AnnulusSpec spec = MakeFutureRandSpec(8, 0.5).ValueOrDie();
+  const std::string text = spec.ToString();
+  EXPECT_NE(text.find("k=8"), std::string::npos);
+  EXPECT_NE(text.find("c_gap"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace futurerand::rand

@@ -1,0 +1,80 @@
+#include "futurerand/randomizer/basic.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "futurerand/common/random.h"
+
+namespace futurerand::rand {
+namespace {
+
+TEST(BasicRandomizerTest, RejectsNonPositiveEps) {
+  EXPECT_FALSE(BasicRandomizer::Create(0.0).ok());
+  EXPECT_FALSE(BasicRandomizer::Create(-1.0).ok());
+}
+
+TEST(BasicRandomizerTest, FlipProbabilityFormula) {
+  const auto randomizer = BasicRandomizer::Create(1.0).ValueOrDie();
+  EXPECT_NEAR(randomizer.flip_probability(), 1.0 / (std::exp(1.0) + 1.0),
+              1e-12);
+}
+
+TEST(BasicRandomizerTest, CGapEqualsOneMinusTwoP) {
+  const auto randomizer = BasicRandomizer::Create(0.5).ValueOrDie();
+  EXPECT_NEAR(randomizer.c_gap(),
+              (std::exp(0.5) - 1.0) / (std::exp(0.5) + 1.0), 1e-12);
+  EXPECT_NEAR(randomizer.c_gap(), 1.0 - 2.0 * randomizer.flip_probability(),
+              1e-12);
+}
+
+TEST(BasicRandomizerTest, OutputAlwaysPlusMinusOne) {
+  const auto randomizer = BasicRandomizer::Create(0.3).ValueOrDie();
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    const int8_t out_pos = randomizer.Apply(1, &rng);
+    const int8_t out_neg = randomizer.Apply(-1, &rng);
+    EXPECT_TRUE(out_pos == 1 || out_pos == -1);
+    EXPECT_TRUE(out_neg == 1 || out_neg == -1);
+  }
+}
+
+TEST(BasicRandomizerTest, EmpiricalKeepRateMatchesTheory) {
+  const double eps_tilde = 0.8;
+  const auto randomizer = BasicRandomizer::Create(eps_tilde).ValueOrDie();
+  Rng rng(2);
+  constexpr int kSamples = 200000;
+  int kept = 0;
+  for (int i = 0; i < kSamples; ++i) {
+    kept += randomizer.Apply(1, &rng) == 1 ? 1 : 0;
+  }
+  const double expected = std::exp(eps_tilde) / (std::exp(eps_tilde) + 1.0);
+  EXPECT_NEAR(static_cast<double>(kept) / kSamples, expected, 0.005);
+}
+
+TEST(BasicRandomizerTest, SymmetricForBothInputs) {
+  const auto randomizer = BasicRandomizer::Create(0.4).ValueOrDie();
+  Rng rng(3);
+  constexpr int kSamples = 200000;
+  int kept_pos = 0;
+  int kept_neg = 0;
+  for (int i = 0; i < kSamples; ++i) {
+    kept_pos += randomizer.Apply(1, &rng) == 1 ? 1 : 0;
+    kept_neg += randomizer.Apply(-1, &rng) == -1 ? 1 : 0;
+  }
+  EXPECT_NEAR(static_cast<double>(kept_pos) / kSamples,
+              static_cast<double>(kept_neg) / kSamples, 0.01);
+}
+
+TEST(BasicRandomizerTest, LargeEpsAlmostAlwaysKeeps) {
+  const auto randomizer = BasicRandomizer::Create(10.0).ValueOrDie();
+  Rng rng(4);
+  int kept = 0;
+  for (int i = 0; i < 1000; ++i) {
+    kept += randomizer.Apply(1, &rng) == 1 ? 1 : 0;
+  }
+  EXPECT_GT(kept, 990);
+}
+
+}  // namespace
+}  // namespace futurerand::rand

@@ -1,0 +1,156 @@
+#include "futurerand/randomizer/composed.h"
+
+#include <cmath>
+#include <map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "futurerand/common/random.h"
+#include "futurerand/common/sign_vector.h"
+#include "futurerand/randomizer/annulus.h"
+#include "futurerand/randomizer/exact_dist.h"
+
+namespace futurerand::rand {
+namespace {
+
+TEST(ComposedRandomizerTest, OutputHasInputLength) {
+  const AnnulusSpec spec = MakeFutureRandSpec(16, 1.0).ValueOrDie();
+  auto randomizer = ComposedRandomizer::Create(spec).ValueOrDie();
+  Rng rng(1);
+  const SignVector input(16);
+  const SignVector output = randomizer.Apply(input, &rng);
+  EXPECT_EQ(output.size(), 16);
+}
+
+TEST(ComposedRandomizerTest, RejectsWrongInputSize) {
+  const AnnulusSpec spec = MakeFutureRandSpec(8, 1.0).ValueOrDie();
+  auto randomizer = ComposedRandomizer::Create(spec).ValueOrDie();
+  Rng rng(2);
+  const SignVector wrong(9);
+  EXPECT_DEATH({ (void)randomizer.Apply(wrong, &rng); }, "");
+}
+
+TEST(ComposedRandomizerTest, DistanceHistogramMatchesExactLaw) {
+  // The empirical distribution of ||R~(b) - b||_0 must match the closed
+  // form C(k,i) * Pr[distance i] used for debiasing and auditing.
+  const int64_t k = 12;
+  const AnnulusSpec spec = MakeFutureRandSpec(k, 1.0).ValueOrDie();
+  auto randomizer = ComposedRandomizer::Create(spec).ValueOrDie();
+  Rng rng(3);
+  const SignVector input(k);
+  constexpr int kSamples = 300000;
+  std::vector<int64_t> histogram(static_cast<size_t>(k) + 1, 0);
+  for (int s = 0; s < kSamples; ++s) {
+    const SignVector output = randomizer.Apply(input, &rng);
+    ++histogram[static_cast<size_t>(input.HammingDistance(output))];
+  }
+  const std::vector<double> expected = DistanceMasses(spec);
+  for (int64_t i = 0; i <= k; ++i) {
+    EXPECT_NEAR(static_cast<double>(histogram[static_cast<size_t>(i)]) /
+                    kSamples,
+                expected[static_cast<size_t>(i)], 0.006)
+        << "distance " << i;
+  }
+}
+
+TEST(ComposedRandomizerTest, LawIsSymmetricUnderInputChoice) {
+  // Pr[R~(b) = s] depends only on ||b - s||_0, so the distance histogram
+  // must be input-independent. Compare all-ones against a mixed input.
+  const int64_t k = 10;
+  const AnnulusSpec spec = MakeFutureRandSpec(k, 0.5).ValueOrDie();
+  auto randomizer = ComposedRandomizer::Create(spec).ValueOrDie();
+  Rng rng(4);
+
+  SignVector mixed(k);
+  for (int64_t i = 0; i < k; i += 2) {
+    mixed.Flip(i);
+  }
+  constexpr int kSamples = 150000;
+  std::vector<double> freq_ones(static_cast<size_t>(k) + 1, 0.0);
+  std::vector<double> freq_mixed(static_cast<size_t>(k) + 1, 0.0);
+  const SignVector ones(k);
+  for (int s = 0; s < kSamples; ++s) {
+    ++freq_ones[static_cast<size_t>(
+        ones.HammingDistance(randomizer.Apply(ones, &rng)))];
+    ++freq_mixed[static_cast<size_t>(
+        mixed.HammingDistance(randomizer.Apply(mixed, &rng)))];
+  }
+  for (int64_t i = 0; i <= k; ++i) {
+    EXPECT_NEAR(freq_ones[static_cast<size_t>(i)] / kSamples,
+                freq_mixed[static_cast<size_t>(i)] / kSamples, 0.01)
+        << "distance " << i;
+  }
+}
+
+TEST(ComposedRandomizerTest, TinyKExhaustiveSequenceFrequencies) {
+  // k=3: only 8 output sequences; each must appear with its exact
+  // closed-form probability.
+  const int64_t k = 3;
+  const AnnulusSpec spec = MakeFutureRandSpec(k, 1.0).ValueOrDie();
+  auto randomizer = ComposedRandomizer::Create(spec).ValueOrDie();
+  Rng rng(5);
+  SignVector input(k);
+  input.Flip(1);  // b = (+, -, +): exercise a non-trivial input
+  constexpr int kSamples = 400000;
+  std::map<std::string, int> counts;
+  for (int s = 0; s < kSamples; ++s) {
+    ++counts[randomizer.Apply(input, &rng).ToString()];
+  }
+  for (uint64_t bits = 0; bits < 8; ++bits) {
+    SignVector output(k);
+    for (int64_t i = 0; i < k; ++i) {
+      if ((bits >> i) & 1) {
+        output.Flip(i);
+      }
+    }
+    const double expected =
+        std::exp(LogComposedProbability(spec, input, output));
+    const double observed =
+        static_cast<double>(counts[output.ToString()]) / kSamples;
+    EXPECT_NEAR(observed, expected, 0.005) << "output " << output.ToString();
+  }
+}
+
+TEST(ComposedRandomizerTest, OutOfAnnulusDistancesDoOccur) {
+  // With k=4 and eps=1 the annulus is a strict subset of [0..k]; the
+  // uniform-resampling branch must be reachable and produce distances
+  // outside the annulus.
+  const int64_t k = 4;
+  const AnnulusSpec spec = MakeFutureRandSpec(k, 1.0).ValueOrDie();
+  ASSERT_FALSE(spec.complement_empty);
+  auto randomizer = ComposedRandomizer::Create(spec).ValueOrDie();
+  Rng rng(6);
+  const SignVector input(k);
+  int outside = 0;
+  for (int s = 0; s < 50000; ++s) {
+    const int64_t distance =
+        input.HammingDistance(randomizer.Apply(input, &rng));
+    outside += spec.InAnnulus(distance) ? 0 : 1;
+  }
+  EXPECT_GT(outside, 0);
+}
+
+TEST(ComposedRandomizerTest, WorksAtLargeK) {
+  // Smoke: k large enough that probabilities underflow doubles without the
+  // log-space machinery.
+  const int64_t k = 4096;
+  const AnnulusSpec spec = MakeFutureRandSpec(k, 1.0).ValueOrDie();
+  auto randomizer = ComposedRandomizer::Create(spec).ValueOrDie();
+  Rng rng(7);
+  const SignVector input(k);
+  const SignVector output = randomizer.Apply(input, &rng);
+  const int64_t distance = input.HammingDistance(output);
+  EXPECT_GE(distance, 0);
+  EXPECT_LE(distance, k);
+  // The law concentrates around kp ~ k/2 with binomial std ~ sqrt(k)/2.
+  // Note the annulus itself is NOT high-probability here: UB is chosen so
+  // that g(UB) = 2^{-k}, which at large k sits a fraction of a std above
+  // the mean, so out-of-annulus resampling is a common (and correct) path.
+  const double mean = static_cast<double>(k) * spec.p;
+  const double std = std::sqrt(static_cast<double>(k)) / 2.0;
+  EXPECT_NEAR(static_cast<double>(distance), mean, 8.0 * std);
+}
+
+}  // namespace
+}  // namespace futurerand::rand

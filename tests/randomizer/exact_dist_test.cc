@@ -1,0 +1,128 @@
+#include "futurerand/randomizer/exact_dist.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "futurerand/common/math.h"
+#include "futurerand/randomizer/annulus.h"
+
+namespace futurerand::rand {
+namespace {
+
+TEST(ExactDistTest, ComposedProbabilityDependsOnlyOnDistance) {
+  const AnnulusSpec spec = MakeFutureRandSpec(6, 1.0).ValueOrDie();
+  SignVector input(6);
+  input.Flip(2);
+
+  SignVector out_a = input;  // distance 2 from input, version A
+  out_a.Flip(0);
+  out_a.Flip(1);
+  SignVector out_b = input;  // distance 2 from input, version B
+  out_b.Flip(4);
+  out_b.Flip(5);
+  EXPECT_DOUBLE_EQ(LogComposedProbability(spec, input, out_a),
+                   LogComposedProbability(spec, input, out_b));
+}
+
+TEST(ExactDistTest, DistanceMassesSumToOneAcrossGrid) {
+  for (int64_t k : {1, 2, 7, 33, 128, 1000}) {
+    for (double eps : {0.1, 0.5, 1.0}) {
+      const AnnulusSpec spec = MakeFutureRandSpec(k, eps).ValueOrDie();
+      EXPECT_NEAR(TotalMass(spec), 1.0, 1e-9) << "k=" << k << " eps=" << eps;
+    }
+  }
+}
+
+TEST(ExactDistTest, FullEnumerationSumsToOneForTinyK) {
+  // Sum Pr[R~(b) = s] over all 2^k outputs explicitly.
+  const int64_t k = 8;
+  const AnnulusSpec spec = MakeFutureRandSpec(k, 0.8).ValueOrDie();
+  const SignVector input(k);
+  double total = 0.0;
+  for (uint64_t bits = 0; bits < (uint64_t{1} << k); ++bits) {
+    SignVector output(k);
+    for (int64_t i = 0; i < k; ++i) {
+      if ((bits >> i) & 1) {
+        output.Flip(i);
+      }
+    }
+    total += std::exp(LogComposedProbability(spec, input, output));
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(OnlineOutputProbabilityTest, ValidatesArguments) {
+  const AnnulusSpec spec = MakeFutureRandSpec(2, 1.0).ValueOrDie();
+  const std::vector<int8_t> input = {1, 0, 0};
+  const std::vector<int8_t> short_output = {1, 1};
+  EXPECT_FALSE(LogOnlineOutputProbability(spec, input, short_output).ok());
+
+  const std::vector<int8_t> bad_input = {2, 0, 0};
+  const std::vector<int8_t> output = {1, 1, 1};
+  EXPECT_FALSE(LogOnlineOutputProbability(spec, bad_input, output).ok());
+
+  const std::vector<int8_t> bad_output = {1, 0, 1};
+  EXPECT_FALSE(LogOnlineOutputProbability(spec, input, bad_output).ok());
+
+  const std::vector<int8_t> too_dense = {1, -1, 1};
+  EXPECT_FALSE(LogOnlineOutputProbability(spec, too_dense, output).ok());
+}
+
+TEST(OnlineOutputProbabilityTest, AllZeroInputIsUniform) {
+  const AnnulusSpec spec = MakeFutureRandSpec(3, 1.0).ValueOrDie();
+  const std::vector<int8_t> input = {0, 0, 0, 0};
+  for (const std::vector<int8_t>& output :
+       {std::vector<int8_t>{1, 1, 1, 1}, std::vector<int8_t>{-1, 1, -1, 1}}) {
+    const double log_probability =
+        LogOnlineOutputProbability(spec, input, output).ValueOrDie();
+    EXPECT_NEAR(log_probability, -4.0 * std::log(2.0), 1e-9);
+  }
+}
+
+TEST(OnlineOutputProbabilityTest, NormalizesOverAllOutputs) {
+  const AnnulusSpec spec = MakeFutureRandSpec(3, 0.7).ValueOrDie();
+  const std::vector<int8_t> input = {1, 0, -1, 0, 1};
+  double total = 0.0;
+  for (uint64_t bits = 0; bits < 32; ++bits) {
+    std::vector<int8_t> output(5);
+    for (int64_t j = 0; j < 5; ++j) {
+      output[static_cast<size_t>(j)] = (bits >> j) & 1 ? 1 : -1;
+    }
+    total +=
+        std::exp(LogOnlineOutputProbability(spec, input, output).ValueOrDie());
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(OnlineOutputProbabilityTest, FullSupportMatchesComposedLaw) {
+  // With |supp(v)| = k and no zeros, the online law must coincide with the
+  // composed randomizer's law on the required noise sequence.
+  const int64_t k = 4;
+  const AnnulusSpec spec = MakeFutureRandSpec(k, 1.0).ValueOrDie();
+  const std::vector<int8_t> input = {1, -1, 1, 1};
+  const std::vector<int8_t> output = {1, 1, -1, 1};
+  // Required noise bits s_i = output_i / input_i: (1, -1, -1, 1), which has
+  // distance 2 from 1^k.
+  const double via_online =
+      LogOnlineOutputProbability(spec, input, output).ValueOrDie();
+  EXPECT_NEAR(via_online, spec.LogProbabilityAtDistance(2), 1e-12);
+}
+
+TEST(OnlineOutputProbabilityTest, PartialSupportSumsOverCompletions) {
+  // |supp| = 1, k = 2: Pr = (1/2)^{L-1} * sum_extra C(1, extra) *
+  // Pr[distance a + extra].
+  const AnnulusSpec spec = MakeFutureRandSpec(2, 1.0).ValueOrDie();
+  const std::vector<int8_t> input = {0, -1, 0};
+  const std::vector<int8_t> output = {1, 1, -1};  // flips the non-zero
+  const double expected =
+      std::log(0.25) +  // two zero coordinates
+      LogAddExp(spec.LogProbabilityAtDistance(1),
+                spec.LogProbabilityAtDistance(2));
+  EXPECT_NEAR(LogOnlineOutputProbability(spec, input, output).ValueOrDie(),
+              expected, 1e-12);
+}
+
+}  // namespace
+}  // namespace futurerand::rand

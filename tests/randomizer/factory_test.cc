@@ -1,0 +1,93 @@
+#include "futurerand/randomizer/randomizer.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "futurerand/randomizer/annulus.h"
+
+namespace futurerand::rand {
+namespace {
+
+TEST(FactoryTest, KindNamesAreStable) {
+  EXPECT_STREQ(RandomizerKindToString(RandomizerKind::kFutureRand),
+               "future_rand");
+  EXPECT_STREQ(RandomizerKindToString(RandomizerKind::kIndependent),
+               "independent");
+  EXPECT_STREQ(RandomizerKindToString(RandomizerKind::kBun), "bun");
+  EXPECT_STREQ(RandomizerKindToString(RandomizerKind::kAdaptive), "adaptive");
+}
+
+TEST(FactoryTest, CreatesEveryKind) {
+  for (RandomizerKind kind :
+       {RandomizerKind::kFutureRand, RandomizerKind::kIndependent,
+        RandomizerKind::kBun, RandomizerKind::kAdaptive}) {
+    auto randomizer = MakeSequenceRandomizer(kind, 16, 4, 1.0, 123);
+    ASSERT_TRUE(randomizer.ok()) << RandomizerKindToString(kind);
+    EXPECT_EQ((*randomizer)->length(), 16);
+    const int8_t out = (*randomizer)->Randomize(1);
+    EXPECT_TRUE(out == 1 || out == -1);
+  }
+}
+
+TEST(FactoryTest, PropagatesInvalidParameters) {
+  EXPECT_FALSE(
+      MakeSequenceRandomizer(RandomizerKind::kFutureRand, 0, 1, 1.0, 1).ok());
+  EXPECT_FALSE(
+      MakeSequenceRandomizer(RandomizerKind::kBun, 4, 1, 0.0, 1).ok());
+}
+
+TEST(FactoryTest, ExactCGapMatchesInstances) {
+  for (RandomizerKind kind :
+       {RandomizerKind::kFutureRand, RandomizerKind::kIndependent,
+        RandomizerKind::kBun, RandomizerKind::kAdaptive}) {
+    const double exact = ExactCGap(kind, 32, 1.0).ValueOrDie();
+    auto randomizer =
+        MakeSequenceRandomizer(kind, 64, 32, 1.0, 9).ValueOrDie();
+    EXPECT_DOUBLE_EQ(randomizer->c_gap(), exact)
+        << RandomizerKindToString(kind);
+  }
+}
+
+TEST(FactoryTest, ExactCGapIndependentFormula) {
+  const double gap = ExactCGap(RandomizerKind::kIndependent, 10, 1.0)
+                         .ValueOrDie();
+  EXPECT_NEAR(gap, (std::exp(0.1) - 1.0) / (std::exp(0.1) + 1.0), 1e-12);
+}
+
+TEST(FactoryTest, ExactCGapAdaptiveIsMax) {
+  for (int64_t k : {1, 4, 64, 1024}) {
+    const double adaptive =
+        ExactCGap(RandomizerKind::kAdaptive, k, 1.0).ValueOrDie();
+    const double future =
+        ExactCGap(RandomizerKind::kFutureRand, k, 1.0).ValueOrDie();
+    const double independent =
+        ExactCGap(RandomizerKind::kIndependent, k, 1.0).ValueOrDie();
+    EXPECT_DOUBLE_EQ(adaptive, std::max(future, independent));
+  }
+}
+
+TEST(FactoryTest, SqrtKAdvantageMaterializesAtLargeK) {
+  // The paper's central quantitative claim at the randomizer level: the
+  // FutureRand gap beats the naive eps/k composition by a growing factor.
+  const double future =
+      ExactCGap(RandomizerKind::kFutureRand, 1024, 1.0).ValueOrDie();
+  const double independent =
+      ExactCGap(RandomizerKind::kIndependent, 1024, 1.0).ValueOrDie();
+  EXPECT_GT(future / independent, 2.0);
+}
+
+TEST(FactoryTest, CGapScalesLikeOneOverSqrtK) {
+  // Quadrupling k should roughly halve the FutureRand gap (up to the
+  // annulus correction), not quarter it.
+  const double at_256 =
+      ExactCGap(RandomizerKind::kFutureRand, 256, 1.0).ValueOrDie();
+  const double at_1024 =
+      ExactCGap(RandomizerKind::kFutureRand, 1024, 1.0).ValueOrDie();
+  const double ratio = at_256 / at_1024;
+  EXPECT_GT(ratio, 1.6);
+  EXPECT_LT(ratio, 2.5);
+}
+
+}  // namespace
+}  // namespace futurerand::rand

@@ -1,0 +1,144 @@
+#include "futurerand/randomizer/future_rand.h"
+
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace futurerand::rand {
+namespace {
+
+std::unique_ptr<FutureRandRandomizer> Make(int64_t length, int64_t k,
+                                           double eps, uint64_t seed) {
+  return FutureRandRandomizer::Create(length, k, eps, seed).ValueOrDie();
+}
+
+TEST(FutureRandTest, RejectsInvalidParameters) {
+  EXPECT_FALSE(FutureRandRandomizer::Create(0, 1, 1.0, 1).ok());
+  EXPECT_FALSE(FutureRandRandomizer::Create(8, 0, 1.0, 1).ok());
+  EXPECT_FALSE(FutureRandRandomizer::Create(8, 2, 0.0, 1).ok());
+  EXPECT_FALSE(FutureRandRandomizer::Create(8, 2, 1.2, 1).ok());
+}
+
+TEST(FutureRandTest, AllowsSupportLargerThanLength) {
+  // A client at a high level has L < k; Section 5.4 covers this.
+  auto randomizer = FutureRandRandomizer::Create(2, 16, 1.0, 1);
+  ASSERT_TRUE(randomizer.ok());
+  EXPECT_EQ((*randomizer)->length(), 2);
+  EXPECT_EQ((*randomizer)->max_support(), 16);
+}
+
+TEST(FutureRandTest, AccessorsReflectParameters) {
+  auto randomizer = Make(32, 4, 0.5, 7);
+  EXPECT_EQ(randomizer->length(), 32);
+  EXPECT_EQ(randomizer->max_support(), 4);
+  EXPECT_DOUBLE_EQ(randomizer->epsilon(), 0.5);
+  EXPECT_EQ(randomizer->name(), "future_rand");
+  EXPECT_EQ(randomizer->position(), 0);
+  EXPECT_EQ(randomizer->support_used(), 0);
+  EXPECT_GT(randomizer->c_gap(), 0.0);
+  EXPECT_LE(randomizer->certified_epsilon(), 0.5 + 1e-9);
+}
+
+TEST(FutureRandTest, OutputsMatchPrecomputedNoiseExactly) {
+  // Algorithm 3 lines 13-15: the j-th non-zero input v must map to
+  // v * b~_nnz deterministically.
+  auto randomizer = Make(16, 5, 1.0, 42);
+  const SignVector& noise = randomizer->precomputed_noise();
+  const std::vector<int8_t> inputs = {1, 0, -1, 0, 1, -1, 0, 1};
+  int64_t nnz = 0;
+  for (int8_t v : inputs) {
+    const int8_t out = randomizer->Randomize(v);
+    if (v != 0) {
+      EXPECT_EQ(out, static_cast<int8_t>(v * noise.Get(nnz)));
+      ++nnz;
+    } else {
+      EXPECT_TRUE(out == 1 || out == -1);
+    }
+  }
+  EXPECT_EQ(randomizer->support_used(), 5);
+  EXPECT_EQ(randomizer->position(), 8);
+}
+
+TEST(FutureRandTest, DeterministicForSameSeed) {
+  auto a = Make(16, 4, 1.0, 99);
+  auto b = Make(16, 4, 1.0, 99);
+  for (int j = 0; j < 16; ++j) {
+    const int8_t v = (j % 5 == 0) ? int8_t{1} : int8_t{0};
+    EXPECT_EQ(a->Randomize(v), b->Randomize(v));
+  }
+}
+
+TEST(FutureRandTest, ZeroInputsAreUniform) {
+  // Property III: zeros map to fair coins.
+  constexpr int kTrials = 20000;
+  int64_t sum = 0;
+  for (int t = 0; t < kTrials; ++t) {
+    auto randomizer = Make(1, 1, 1.0, 1000 + static_cast<uint64_t>(t));
+    sum += randomizer->Randomize(0);
+  }
+  EXPECT_LT(std::abs(sum), 800);  // ~4.3 sigma for fair +/-1 coins
+}
+
+TEST(FutureRandTest, PropertyTwoGapMatchesExactCGap) {
+  // Property II: Pr[out = v] - Pr[out = -v] == c_gap, empirically, for a
+  // non-zero input in any position.
+  const int64_t k = 8;
+  const double eps = 1.0;
+  constexpr int kTrials = 60000;
+  int64_t agree = 0;
+  for (int t = 0; t < kTrials; ++t) {
+    auto randomizer = Make(4, k, eps, 5000 + static_cast<uint64_t>(t));
+    randomizer->Randomize(0);
+    randomizer->Randomize(0);
+    agree += randomizer->Randomize(-1) == -1 ? 1 : -1;
+  }
+  const double gap = static_cast<double>(agree) / kTrials;
+  const double exact = Make(4, k, eps, 0)->c_gap();
+  // Hoeffding: 4-sigma half-width for 60k +/-1 samples is ~0.016.
+  EXPECT_NEAR(gap, exact, 0.02);
+}
+
+TEST(FutureRandTest, OverBudgetInputsAreClampedToUniform) {
+  auto randomizer = Make(8, 2, 1.0, 3);
+  (void)randomizer->Randomize(1);
+  (void)randomizer->Randomize(-1);
+  EXPECT_EQ(randomizer->support_used(), 2);
+  EXPECT_EQ(randomizer->support_overflow_count(), 0);
+  (void)randomizer->Randomize(1);  // third non-zero: over budget
+  (void)randomizer->Randomize(-1);
+  EXPECT_EQ(randomizer->support_used(), 2);
+  EXPECT_EQ(randomizer->support_overflow_count(), 2);
+}
+
+TEST(FutureRandTest, OverBudgetOutputsAreUniform) {
+  constexpr int kTrials = 20000;
+  int64_t sum = 0;
+  for (int t = 0; t < kTrials; ++t) {
+    auto randomizer = Make(4, 1, 1.0, 7000 + static_cast<uint64_t>(t));
+    (void)randomizer->Randomize(1);
+    sum += randomizer->Randomize(1);  // clamped
+  }
+  EXPECT_LT(std::abs(sum), 800);
+}
+
+TEST(FutureRandTest, RejectsInvalidInputValue) {
+  auto randomizer = Make(4, 2, 1.0, 1);
+  EXPECT_DEATH({ (void)randomizer->Randomize(2); }, "inputs must be");
+}
+
+TEST(FutureRandTest, RejectsTooManyInputs) {
+  auto randomizer = Make(2, 1, 1.0, 1);
+  (void)randomizer->Randomize(0);
+  (void)randomizer->Randomize(0);
+  EXPECT_DEATH({ (void)randomizer->Randomize(0); }, "more inputs");
+}
+
+TEST(FutureRandTest, PrecomputedNoiseHasSupportSize) {
+  auto randomizer = Make(64, 16, 0.5, 11);
+  EXPECT_EQ(randomizer->precomputed_noise().size(), 16);
+}
+
+}  // namespace
+}  // namespace futurerand::rand

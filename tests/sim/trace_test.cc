@@ -1,0 +1,94 @@
+#include "futurerand/sim/trace.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace futurerand::sim {
+namespace {
+
+TEST(TraceTest, WritesHeaderAndOneRowPerPeriod) {
+  WorkloadConfig workload_config;
+  workload_config.kind = WorkloadKind::kStatic;
+  workload_config.num_users = 50;
+  workload_config.num_periods = 8;
+  workload_config.max_changes = 1;
+  const Workload workload =
+      Workload::Generate(workload_config, 1).ValueOrDie();
+
+  core::ProtocolConfig config;
+  config.num_periods = 8;
+  config.max_changes = 1;
+  config.epsilon = 1.0;
+  const RunResult result =
+      RunProtocol(ProtocolKind::kNonPrivate, config, workload, 2)
+          .ValueOrDie();
+
+  const std::string path = ::testing::TempDir() + "/trace_test.csv";
+  ASSERT_TRUE(WriteRunCsv(path, result, workload).ok());
+
+  std::ifstream in(path);
+  std::string line;
+  ASSERT_TRUE(std::getline(in, line));
+  EXPECT_EQ(line, "t,truth,estimate,abs_error");
+  int rows = 0;
+  while (std::getline(in, line)) {
+    ++rows;
+  }
+  EXPECT_EQ(rows, 8);
+  std::remove(path.c_str());
+}
+
+TEST(TraceTest, NonPrivateTraceHasZeroError) {
+  WorkloadConfig workload_config;
+  workload_config.kind = WorkloadKind::kUniformChanges;
+  workload_config.num_users = 20;
+  workload_config.num_periods = 4;
+  workload_config.max_changes = 2;
+  const Workload workload =
+      Workload::Generate(workload_config, 3).ValueOrDie();
+
+  core::ProtocolConfig config;
+  config.num_periods = 4;
+  config.max_changes = 2;
+  config.epsilon = 1.0;
+  const RunResult result =
+      RunProtocol(ProtocolKind::kNonPrivate, config, workload, 4)
+          .ValueOrDie();
+
+  const std::string path = ::testing::TempDir() + "/trace_exact.csv";
+  ASSERT_TRUE(WriteRunCsv(path, result, workload).ok());
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);  // header
+  while (std::getline(in, line)) {
+    const size_t last_comma = line.rfind(',');
+    EXPECT_EQ(line.substr(last_comma + 1), "0");
+  }
+  std::remove(path.c_str());
+}
+
+TEST(TraceTest, RejectsBadPath) {
+  WorkloadConfig workload_config;
+  workload_config.kind = WorkloadKind::kStatic;
+  workload_config.num_users = 5;
+  workload_config.num_periods = 4;
+  workload_config.max_changes = 1;
+  const Workload workload =
+      Workload::Generate(workload_config, 5).ValueOrDie();
+  core::ProtocolConfig config;
+  config.num_periods = 4;
+  config.max_changes = 1;
+  config.epsilon = 1.0;
+  const RunResult result =
+      RunProtocol(ProtocolKind::kNonPrivate, config, workload, 6)
+          .ValueOrDie();
+  EXPECT_FALSE(
+      WriteRunCsv("/nonexistent_dir_zzz/x.csv", result, workload).ok());
+}
+
+}  // namespace
+}  // namespace futurerand::sim

@@ -1,0 +1,209 @@
+#include "futurerand/sim/workload.h"
+
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace futurerand::sim {
+namespace {
+
+WorkloadConfig BaseConfig(WorkloadKind kind) {
+  WorkloadConfig config;
+  config.kind = kind;
+  config.num_users = 500;
+  config.num_periods = 64;
+  config.max_changes = 6;
+  return config;
+}
+
+TEST(UserTraceTest, StateFollowsParityOfChanges) {
+  UserTrace trace;
+  trace.change_times = {2, 5, 9};
+  EXPECT_EQ(trace.StateAt(1), 0);
+  EXPECT_EQ(trace.StateAt(2), 1);
+  EXPECT_EQ(trace.StateAt(4), 1);
+  EXPECT_EQ(trace.StateAt(5), 0);
+  EXPECT_EQ(trace.StateAt(8), 0);
+  EXPECT_EQ(trace.StateAt(9), 1);
+  EXPECT_EQ(trace.StateAt(100), 1);
+}
+
+TEST(UserTraceTest, DerivativeAlternatesSign) {
+  UserTrace trace;
+  trace.change_times = {3, 7};
+  EXPECT_EQ(trace.DerivativeAt(3), 1);   // 0 -> 1
+  EXPECT_EQ(trace.DerivativeAt(7), -1);  // 1 -> 0
+  EXPECT_EQ(trace.DerivativeAt(4), 0);
+  EXPECT_EQ(trace.DerivativeAt(1), 0);
+}
+
+TEST(UserTraceTest, EmptyTraceIsAlwaysZero) {
+  UserTrace trace;
+  EXPECT_EQ(trace.StateAt(1), 0);
+  EXPECT_EQ(trace.DerivativeAt(1), 0);
+  EXPECT_EQ(trace.NumChanges(), 0);
+}
+
+TEST(WorkloadConfigTest, Validation) {
+  WorkloadConfig config = BaseConfig(WorkloadKind::kUniformChanges);
+  EXPECT_TRUE(config.Validate().ok());
+  config.num_users = 0;
+  EXPECT_FALSE(config.Validate().ok());
+  config = BaseConfig(WorkloadKind::kUniformChanges);
+  config.num_periods = 63;
+  EXPECT_FALSE(config.Validate().ok());
+  config = BaseConfig(WorkloadKind::kUniformChanges);
+  config.max_changes = 0;
+  EXPECT_FALSE(config.Validate().ok());
+  config.max_changes = 65;
+  EXPECT_FALSE(config.Validate().ok());
+}
+
+TEST(WorkloadTest, KindNamesAreStable) {
+  EXPECT_STREQ(WorkloadKindToString(WorkloadKind::kUniformChanges),
+               "uniform");
+  EXPECT_STREQ(WorkloadKindToString(WorkloadKind::kBursty), "bursty");
+  EXPECT_STREQ(WorkloadKindToString(WorkloadKind::kPeriodic), "periodic");
+  EXPECT_STREQ(WorkloadKindToString(WorkloadKind::kTrend), "trend");
+  EXPECT_STREQ(WorkloadKindToString(WorkloadKind::kStatic), "static");
+  EXPECT_STREQ(WorkloadKindToString(WorkloadKind::kAdversarial),
+               "adversarial");
+}
+
+class WorkloadKindTest : public ::testing::TestWithParam<WorkloadKind> {};
+
+TEST_P(WorkloadKindTest, RespectsChangeBudget) {
+  const Workload workload =
+      Workload::Generate(BaseConfig(GetParam()), 1).ValueOrDie();
+  EXPECT_EQ(workload.num_users(), 500);
+  for (const UserTrace& trace : workload.traces()) {
+    EXPECT_LE(trace.NumChanges(), 6);
+    // Change times sorted, distinct, in [1..d].
+    for (size_t i = 0; i < trace.change_times.size(); ++i) {
+      EXPECT_GE(trace.change_times[i], 1);
+      EXPECT_LE(trace.change_times[i], 64);
+      if (i > 0) {
+        EXPECT_LT(trace.change_times[i - 1], trace.change_times[i]);
+      }
+    }
+  }
+  EXPECT_LE(workload.MaxChangesUsed(), 6);
+}
+
+TEST_P(WorkloadKindTest, GroundTruthMatchesDirectStateSum) {
+  const Workload workload =
+      Workload::Generate(BaseConfig(GetParam()), 2).ValueOrDie();
+  const std::vector<int64_t>& truth = workload.ground_truth();
+  ASSERT_EQ(truth.size(), 64u);
+  for (int64_t t = 1; t <= 64; t += 7) {
+    int64_t direct = 0;
+    for (const UserTrace& trace : workload.traces()) {
+      direct += trace.StateAt(t);
+    }
+    EXPECT_EQ(truth[static_cast<size_t>(t - 1)], direct) << "t=" << t;
+  }
+}
+
+TEST_P(WorkloadKindTest, DeterministicForSameSeed) {
+  const Workload a = Workload::Generate(BaseConfig(GetParam()), 3).ValueOrDie();
+  const Workload b = Workload::Generate(BaseConfig(GetParam()), 3).ValueOrDie();
+  for (int64_t u = 0; u < a.num_users(); ++u) {
+    EXPECT_EQ(a.trace(u).change_times, b.trace(u).change_times);
+  }
+}
+
+TEST_P(WorkloadKindTest, DifferentSeedsDiffer) {
+  const Workload a = Workload::Generate(BaseConfig(GetParam()), 4).ValueOrDie();
+  const Workload b = Workload::Generate(BaseConfig(GetParam()), 5).ValueOrDie();
+  if (GetParam() == WorkloadKind::kAdversarial) {
+    return;  // all users share event times; per-seed variation is global
+  }
+  int differing = 0;
+  for (int64_t u = 0; u < a.num_users(); ++u) {
+    differing += (a.trace(u).change_times != b.trace(u).change_times) ? 1 : 0;
+  }
+  EXPECT_GT(differing, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKinds, WorkloadKindTest,
+    ::testing::Values(WorkloadKind::kUniformChanges, WorkloadKind::kBursty,
+                      WorkloadKind::kPeriodic, WorkloadKind::kTrend,
+                      WorkloadKind::kStatic, WorkloadKind::kAdversarial),
+    [](const ::testing::TestParamInfo<WorkloadKind>& info) {
+      return WorkloadKindToString(info.param);
+    });
+
+TEST(WorkloadTest, AdversarialUsersShareChangeTimes) {
+  const Workload workload =
+      Workload::Generate(BaseConfig(WorkloadKind::kAdversarial), 6)
+          .ValueOrDie();
+  const std::vector<int64_t>& reference = workload.trace(0).change_times;
+  EXPECT_EQ(reference.size(), 6u);  // exactly k shared events
+  for (int64_t u = 1; u < workload.num_users(); ++u) {
+    EXPECT_EQ(workload.trace(u).change_times, reference);
+  }
+}
+
+TEST(WorkloadTest, StaticUsersChangeAtMostOnceAtTimeOne) {
+  const Workload workload =
+      Workload::Generate(BaseConfig(WorkloadKind::kStatic), 7).ValueOrDie();
+  int64_t ones = 0;
+  for (const UserTrace& trace : workload.traces()) {
+    ASSERT_LE(trace.NumChanges(), 1);
+    if (trace.NumChanges() == 1) {
+      EXPECT_EQ(trace.change_times[0], 1);
+      ++ones;
+    }
+  }
+  // Default fraction is 0.3.
+  EXPECT_NEAR(static_cast<double>(ones) / 500.0, 0.3, 0.08);
+  // Static population: ground truth is constant over time.
+  const std::vector<int64_t>& truth = workload.ground_truth();
+  for (int64_t t = 1; t < 64; ++t) {
+    EXPECT_EQ(truth[static_cast<size_t>(t)], truth[0]);
+  }
+}
+
+TEST(WorkloadTest, BurstyChangesClusterInWindow) {
+  WorkloadConfig config = BaseConfig(WorkloadKind::kBursty);
+  config.param = 0.125;  // window of 8 periods
+  const Workload workload = Workload::Generate(config, 8).ValueOrDie();
+  for (const UserTrace& trace : workload.traces()) {
+    if (trace.NumChanges() >= 2) {
+      EXPECT_LE(trace.change_times.back() - trace.change_times.front(), 8);
+    }
+  }
+}
+
+TEST(WorkloadTest, TrendChangesSubsetOfSharedEvents) {
+  const Workload workload =
+      Workload::Generate(BaseConfig(WorkloadKind::kTrend), 9).ValueOrDie();
+  // Collect the union of all change times: at most k distinct events.
+  std::vector<int64_t> all_times;
+  for (const UserTrace& trace : workload.traces()) {
+    all_times.insert(all_times.end(), trace.change_times.begin(),
+                     trace.change_times.end());
+  }
+  std::sort(all_times.begin(), all_times.end());
+  all_times.erase(std::unique(all_times.begin(), all_times.end()),
+                  all_times.end());
+  EXPECT_LE(all_times.size(), 6u);
+}
+
+TEST(WorkloadTest, PeriodicChangesAreEvenlySpaced) {
+  const Workload workload =
+      Workload::Generate(BaseConfig(WorkloadKind::kPeriodic), 10).ValueOrDie();
+  for (const UserTrace& trace : workload.traces()) {
+    if (trace.NumChanges() >= 3) {
+      const int64_t stride = trace.change_times[1] - trace.change_times[0];
+      for (size_t i = 2; i < trace.change_times.size(); ++i) {
+        EXPECT_EQ(trace.change_times[i] - trace.change_times[i - 1], stride);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace futurerand::sim
