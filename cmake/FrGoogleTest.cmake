@@ -1,0 +1,22 @@
+# Resolves GoogleTest, preferring an installed package (offline-friendly,
+# e.g. Debian's libgtest-dev) and falling back to FetchContent for machines
+# with network access but no system package. Either way the canonical
+# GTest::gtest_main target exists afterwards.
+find_package(GTest QUIET)
+if(NOT GTest_FOUND)
+  message(STATUS "System GoogleTest not found; fetching v1.14.0")
+  include(FetchContent)
+  FetchContent_Declare(
+    googletest
+    URL https://github.com/google/googletest/archive/refs/tags/v1.14.0.zip
+    URL_HASH SHA256=1f357c27ca988c3f7c6b4bf68a9395005ac6761f034046e9dde0896e3aba00e4
+    DOWNLOAD_EXTRACT_TIMESTAMP TRUE)
+  set(gtest_force_shared_crt ON CACHE BOOL "" FORCE)
+  set(INSTALL_GTEST OFF CACHE BOOL "" FORCE)
+  FetchContent_MakeAvailable(googletest)
+  if(NOT TARGET GTest::gtest_main)
+    add_library(GTest::gtest_main ALIAS gtest_main)
+    add_library(GTest::gtest ALIAS gtest)
+  endif()
+endif()
+include(GoogleTest)

@@ -1,0 +1,9 @@
+# Warning flags are attached via an interface target so the library and every
+# executable (tests, benches, examples, tools) inherit the same hygiene.
+add_library(fr_warnings INTERFACE)
+if(MSVC)
+  target_compile_options(fr_warnings INTERFACE /W4 $<$<BOOL:${FR_WERROR}>:/WX>)
+else()
+  target_compile_options(fr_warnings INTERFACE
+    -Wall -Wextra $<$<BOOL:${FR_WERROR}>:-Werror>)
+endif()

@@ -62,10 +62,15 @@ INSTANTIATE_TEST_SUITE_P(
                       BoundsParam{64, 8, 1.0}, BoundsParam{32, 4, 0.5},
                       BoundsParam{32, 4, 0.25}, BoundsParam{128, 2, 1.0}),
     [](const ::testing::TestParamInfo<BoundsParam>& info) {
-      return "d" + std::to_string(std::get<0>(info.param)) + "_k" +
-             std::to_string(std::get<1>(info.param)) + "_eps" +
-             std::to_string(
-                 static_cast<int>(std::get<2>(info.param) * 100));
+      // Built with += rather than operator+ chains: GCC 12's -Wrestrict
+      // false-positive (PR 105651) fires on `literal + std::string&&` at -O2.
+      std::string name = "d";
+      name += std::to_string(std::get<0>(info.param));
+      name += "_k";
+      name += std::to_string(std::get<1>(info.param));
+      name += "_eps";
+      name += std::to_string(static_cast<int>(std::get<2>(info.param) * 100));
+      return name;
     });
 
 TEST(ErrorScalingTest, ErrorGrowsSublinearlyInK) {

@@ -2,9 +2,18 @@
 // run cleanly and produce finite, bounded estimates; random byte garbage
 // fed to the wire decoder must be rejected, never crash, and never
 // round-trip into a different batch.
+//
+// Iteration counts are bounded so the suite stays fast under tier-1 CI but
+// can be cranked up locally:
+//   FR_FUZZ_ROUNDS=5000 ctest -R fuzz_test        # more rounds per test
+//   FR_FUZZ_SEEDS=64 ./build/tests/fuzz_test      # more parameterized seeds
+// FR_FUZZ_ROUNDS works through ctest any time; FR_FUZZ_SEEDS changes the
+// test *list*, which ctest fixes at build-time discovery, so run the binary
+// directly to widen the seed range.
 
 #include <algorithm>
 #include <cmath>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
@@ -19,6 +28,28 @@
 
 namespace futurerand {
 namespace {
+
+// Reads a positive integer override from the environment, falling back to
+// `fallback`. Evaluated at static-initialization time by the INSTANTIATE
+// macros below, so the variables must be set before the binary starts
+// (which is how both ctest and a shell invocation behave anyway).
+int64_t EnvIterations(const char* name, int64_t fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr) return fallback;
+  const long long parsed = std::atoll(value);
+  return parsed > 0 ? static_cast<int64_t>(parsed) : fallback;
+}
+
+// Number of INSTANTIATE seeds per parameterized suite.
+uint64_t FuzzSeeds(uint64_t fallback) {
+  return static_cast<uint64_t>(EnvIterations("FR_FUZZ_SEEDS",
+                                             static_cast<int64_t>(fallback)));
+}
+
+// Number of rounds inside each wire-fuzz test body.
+int64_t FuzzRounds(int64_t fallback) {
+  return EnvIterations("FR_FUZZ_ROUNDS", fallback);
+}
 
 class RandomizedProtocolSweep : public ::testing::TestWithParam<uint64_t> {};
 
@@ -68,13 +99,14 @@ TEST_P(RandomizedProtocolSweep, RandomValidConfigurationsRunCleanly) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, RandomizedProtocolSweep,
-                         ::testing::Range<uint64_t>(0, 24));
+                         ::testing::Range<uint64_t>(0, FuzzSeeds(24)));
 
 class WireFuzzTest : public ::testing::TestWithParam<uint64_t> {};
 
 TEST_P(WireFuzzTest, RandomBytesNeverCrashTheDecoders) {
   Rng rng(GetParam() * 104729 + 7);
-  for (int round = 0; round < 200; ++round) {
+  const int64_t rounds = FuzzRounds(200);
+  for (int64_t round = 0; round < rounds; ++round) {
     const auto length = rng.NextInt(64);
     std::string bytes;
     for (uint64_t i = 0; i < length; ++i) {
@@ -111,7 +143,8 @@ TEST_P(WireFuzzTest, BitflippedValidBatchesAreHandled) {
   }
   const auto bytes = core::EncodeReportBatch(batch);
   ASSERT_TRUE(bytes.ok());
-  for (int round = 0; round < 100; ++round) {
+  const int64_t rounds = FuzzRounds(100);
+  for (int64_t round = 0; round < rounds; ++round) {
     std::string corrupted = *bytes;
     const auto position = rng.NextInt(corrupted.size());
     corrupted[position] ^=
@@ -123,7 +156,7 @@ TEST_P(WireFuzzTest, BitflippedValidBatchesAreHandled) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, WireFuzzTest,
-                         ::testing::Range<uint64_t>(0, 8));
+                         ::testing::Range<uint64_t>(0, FuzzSeeds(8)));
 
 }  // namespace
 }  // namespace futurerand

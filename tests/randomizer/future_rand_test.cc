@@ -140,5 +140,78 @@ TEST(FutureRandTest, PrecomputedNoiseHasSupportSize) {
   EXPECT_EQ(randomizer->precomputed_noise().size(), 16);
 }
 
+// The (L, k, eps) grid the sweeps below walk, including the edge cases k=1
+// and k=L at every length.
+struct SweepPoint {
+  int64_t length;
+  int64_t k;
+  double eps;
+};
+
+std::vector<SweepPoint> SweepGrid() {
+  std::vector<SweepPoint> points;
+  for (int64_t length : {int64_t{1}, int64_t{2}, int64_t{8}, int64_t{33},
+                         int64_t{128}}) {
+    std::vector<int64_t> supports = {1};  // k=1 edge case
+    if (length > 1) supports.push_back(length);  // k=L edge case
+    if (length > 2) supports.push_back(length / 2);
+    for (int64_t k : supports) {
+      for (double eps : {0.05, 0.3, 1.0}) {
+        points.push_back({length, k, eps});
+      }
+    }
+  }
+  return points;
+}
+
+TEST(FutureRandTest, OnlineMatchesOfflineNoiseAcrossSweep) {
+  // Algorithm 3's online phase only *reads* b~: across the whole parameter
+  // grid, the j-th non-zero input v must map to v * b~_j exactly, with no
+  // drift from interleaved zeros consuming noise positions.
+  for (const SweepPoint& point : SweepGrid()) {
+    SCOPED_TRACE(::testing::Message() << "L=" << point.length
+                                      << " k=" << point.k
+                                      << " eps=" << point.eps);
+    auto randomizer =
+        Make(point.length, point.k, point.eps,
+             0xF00D + static_cast<uint64_t>(point.length * 131 + point.k));
+    const SignVector& noise = randomizer->precomputed_noise();
+    ASSERT_EQ(noise.size(), point.k);
+    int64_t nnz = 0;
+    for (int64_t t = 0; t < point.length; ++t) {
+      // Non-zero every other step with alternating sign, until the support
+      // budget is spent; zeros interleave to exercise position tracking.
+      int8_t v = 0;
+      if (t % 2 == 0 && nnz < point.k) {
+        v = (t % 4 == 0) ? int8_t{1} : int8_t{-1};
+      }
+      const int8_t out = randomizer->Randomize(v);
+      if (v != 0) {
+        EXPECT_EQ(out, static_cast<int8_t>(v * noise.Get(nnz)));
+        ++nnz;
+      } else {
+        EXPECT_TRUE(out == 1 || out == -1);
+      }
+    }
+    EXPECT_EQ(randomizer->support_used(), nnz);
+    EXPECT_EQ(randomizer->support_overflow_count(), 0);
+  }
+}
+
+TEST(FutureRandTest, CertifiedEpsilonNeverExceedsBudgetAcrossSweep) {
+  // Lemma 5.2: the exact ratio ln(p'_max/p'_min) the instance certifies must
+  // stay within the nominal budget for every (L, k, eps) combination.
+  for (const SweepPoint& point : SweepGrid()) {
+    SCOPED_TRACE(::testing::Message() << "L=" << point.length
+                                      << " k=" << point.k
+                                      << " eps=" << point.eps);
+    auto randomizer = Make(point.length, point.k, point.eps, 77);
+    EXPECT_GT(randomizer->certified_epsilon(), 0.0);
+    EXPECT_LE(randomizer->certified_epsilon(), point.eps + 1e-12);
+    EXPECT_GT(randomizer->c_gap(), 0.0);
+    EXPECT_LE(randomizer->c_gap(), 1.0);
+  }
+}
+
 }  // namespace
 }  // namespace futurerand::rand

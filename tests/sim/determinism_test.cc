@@ -1,0 +1,150 @@
+// Determinism regression suite: the whole pipeline is seeded, so RunProtocol
+// called twice with the same (config, workload, seed) must produce
+// bit-identical results — for every ProtocolKind, with and without a thread
+// pool. Any nondeterminism (iteration-order dependence, shared-state races,
+// time-derived seeding) breaks reproducibility of the paper's experiments
+// and must fail here.
+
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "futurerand/common/threadpool.h"
+#include "futurerand/sim/runner.h"
+#include "futurerand/sim/workload.h"
+
+namespace futurerand::sim {
+namespace {
+
+// Every ProtocolKind, kept in enum order. The count assertion in
+// CoversEveryProtocolKind trips when a new kind is added without extending
+// this list.
+const std::vector<ProtocolKind>& AllProtocolKinds() {
+  static const std::vector<ProtocolKind> kinds = {
+      ProtocolKind::kFutureRand, ProtocolKind::kIndependent,
+      ProtocolKind::kBun,        ProtocolKind::kAdaptive,
+      ProtocolKind::kErlingsson, ProtocolKind::kNaiveRR,
+      ProtocolKind::kCentralTree, ProtocolKind::kNonPrivate,
+  };
+  return kinds;
+}
+
+TEST(DeterminismTest, CoversEveryProtocolKind) {
+  // kNonPrivate is the last enumerator; a kind appended after it changes
+  // this cast and forces AllProtocolKinds above to be extended.
+  EXPECT_EQ(static_cast<int64_t>(ProtocolKind::kNonPrivate) + 1,
+            static_cast<int64_t>(AllProtocolKinds().size()));
+}
+
+core::ProtocolConfig TestConfig() {
+  core::ProtocolConfig config;
+  config.num_periods = 32;
+  config.max_changes = 2;
+  config.epsilon = 1.0;
+  return config;
+}
+
+Workload TestWorkload(uint64_t seed) {
+  WorkloadConfig config;
+  config.kind = WorkloadKind::kUniformChanges;
+  config.num_users = 600;
+  config.num_periods = 32;
+  config.max_changes = 2;
+  return Workload::Generate(config, seed).ValueOrDie();
+}
+
+void ExpectBitIdentical(const RunResult& a, const RunResult& b,
+                        ProtocolKind kind) {
+  // operator== on vector<double> is bitwise for finite values; combined with
+  // the exact metric comparisons below this is the "bit-identical" bar.
+  EXPECT_EQ(a.estimates, b.estimates) << ProtocolKindToString(kind);
+  EXPECT_EQ(a.reports_submitted, b.reports_submitted)
+      << ProtocolKindToString(kind);
+  EXPECT_EQ(a.metrics.max_abs, b.metrics.max_abs) << ProtocolKindToString(kind);
+  EXPECT_EQ(a.metrics.mean_abs, b.metrics.mean_abs)
+      << ProtocolKindToString(kind);
+  EXPECT_EQ(a.metrics.rmse, b.metrics.rmse) << ProtocolKindToString(kind);
+  EXPECT_EQ(a.metrics.argmax_time, b.metrics.argmax_time)
+      << ProtocolKindToString(kind);
+}
+
+class DeterminismProtocolTest : public ::testing::TestWithParam<ProtocolKind> {
+};
+
+TEST_P(DeterminismProtocolTest, RepeatedSingleThreadedRunsAreBitIdentical) {
+  const Workload workload = TestWorkload(21);
+  const RunResult a =
+      RunProtocol(GetParam(), TestConfig(), workload, 22).ValueOrDie();
+  const RunResult b =
+      RunProtocol(GetParam(), TestConfig(), workload, 22).ValueOrDie();
+  ExpectBitIdentical(a, b, GetParam());
+}
+
+TEST_P(DeterminismProtocolTest, RepeatedPooledRunsAreBitIdentical) {
+  const Workload workload = TestWorkload(23);
+  ThreadPool pool_a(4);
+  ThreadPool pool_b(3);  // different shard count must not matter either
+  const RunResult a =
+      RunProtocol(GetParam(), TestConfig(), workload, 24, &pool_a)
+          .ValueOrDie();
+  const RunResult b =
+      RunProtocol(GetParam(), TestConfig(), workload, 24, &pool_b)
+          .ValueOrDie();
+  ExpectBitIdentical(a, b, GetParam());
+}
+
+TEST_P(DeterminismProtocolTest, PooledMatchesSingleThreaded) {
+  const Workload workload = TestWorkload(25);
+  ThreadPool pool(4);
+  const RunResult pooled =
+      RunProtocol(GetParam(), TestConfig(), workload, 26, &pool).ValueOrDie();
+  const RunResult single =
+      RunProtocol(GetParam(), TestConfig(), workload, 26).ValueOrDie();
+  ExpectBitIdentical(pooled, single, GetParam());
+}
+
+TEST_P(DeterminismProtocolTest, DifferentSeedsDisagreeForPrivateProtocols) {
+  // Guards against a seed being silently ignored: every protocol that adds
+  // noise must actually consume it.
+  if (GetParam() == ProtocolKind::kNonPrivate) {
+    GTEST_SKIP() << "non-private pipeline is exact for any seed";
+  }
+  const Workload workload = TestWorkload(27);
+  const RunResult a =
+      RunProtocol(GetParam(), TestConfig(), workload, 28).ValueOrDie();
+  const RunResult b =
+      RunProtocol(GetParam(), TestConfig(), workload, 29).ValueOrDie();
+  EXPECT_NE(a.estimates, b.estimates) << ProtocolKindToString(GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllProtocols, DeterminismProtocolTest,
+    ::testing::ValuesIn(AllProtocolKinds()),
+    [](const ::testing::TestParamInfo<ProtocolKind>& info) {
+      return ProtocolKindToString(info.param);
+    });
+
+TEST(DeterminismTest, RunRepeatedIsDeterministicForSameBaseSeed) {
+  WorkloadConfig workload_config;
+  workload_config.kind = WorkloadKind::kUniformChanges;
+  workload_config.num_users = 300;
+  workload_config.num_periods = 16;
+  workload_config.max_changes = 2;
+  core::ProtocolConfig config;
+  config.num_periods = 16;
+  config.max_changes = 2;
+  config.epsilon = 1.0;
+  const RepeatedRunStats a =
+      RunRepeated(ProtocolKind::kFutureRand, config, workload_config, 3, 31)
+          .ValueOrDie();
+  const RepeatedRunStats b =
+      RunRepeated(ProtocolKind::kFutureRand, config, workload_config, 3, 31)
+          .ValueOrDie();
+  EXPECT_EQ(a.max_abs_error.mean(), b.max_abs_error.mean());
+  EXPECT_EQ(a.mean_abs_error.mean(), b.mean_abs_error.mean());
+  EXPECT_EQ(a.rmse.mean(), b.rmse.mean());
+}
+
+}  // namespace
+}  // namespace futurerand::sim
