@@ -5,6 +5,7 @@
 
 #include <cstdint>
 #include <cstdio>
+#include <string>
 
 #include "futurerand/common/macros.h"
 #include "futurerand/core/config.h"
@@ -12,6 +13,49 @@
 #include "futurerand/sim/workload.h"
 
 namespace futurerand::bench {
+
+// Flag parsing for protocol / randomizer names goes through the library's
+// shared sim::ParseProtocolKind and rand::ParseRandomizerKind (backed by
+// the AllProtocolKinds / AllRandomizerKinds arrays) — harnesses never
+// re-enumerate the kinds by hand.
+
+/// Builds one machine-readable JSON object line (the --json output of the
+/// throughput bench, grep-able in CI logs). Keys and string values must not
+/// need escaping — harness-controlled identifiers only.
+class JsonLine {
+ public:
+  JsonLine& Add(const std::string& key, const std::string& value) {
+    return Append(key, "\"" + value + "\"");
+  }
+  JsonLine& Add(const std::string& key, const char* value) {
+    return Add(key, std::string(value));
+  }
+  JsonLine& Add(const std::string& key, int64_t value) {
+    return Append(key, std::to_string(value));
+  }
+  JsonLine& Add(const std::string& key, int value) {
+    return Add(key, static_cast<int64_t>(value));
+  }
+  JsonLine& Add(const std::string& key, double value) {
+    char buffer[64];
+    std::snprintf(buffer, sizeof(buffer), "%.6g", value);
+    return Append(key, buffer);
+  }
+
+  /// The assembled line, e.g. {"bench":"throughput","n":1000}.
+  std::string Str() const { return "{" + body_ + "}"; }
+
+ private:
+  JsonLine& Append(const std::string& key, const std::string& raw) {
+    if (!body_.empty()) {
+      body_ += ",";
+    }
+    body_ += "\"" + key + "\":" + raw;
+    return *this;
+  }
+
+  std::string body_;
+};
 
 inline core::ProtocolConfig MakeConfig(int64_t d, int64_t k, double eps) {
   core::ProtocolConfig config;

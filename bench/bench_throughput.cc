@@ -1,156 +1,278 @@
-// E11 — engineering micro-benchmarks (google-benchmark): the per-operation
-// costs that make the protocol deployable at telemetry scale. Client
-// feeding is O(1) per period amortized; server ingestion O(1) per report;
-// queries O(log d).
-
-#include <benchmark/benchmark.h>
+// E11 — end-to-end service throughput. Drives the batch-first pipeline the
+// production deployment would run:
+//
+//   ClientFleet.AdvanceTick -> EncodeReportBatch -> wire bytes
+//       -> ShardedAggregator.IngestEncoded -> EstimateAll
+//
+// and reports the wall time and rate of every stage, plus (optionally) a
+// full RunProtocol sim pass for any --protocol. With --json the results are
+// one machine-readable line, which the `bench-smoke` CTest label greps in
+// CI so throughput regressions show up in logs.
+//
+//   bench_throughput --n=100000 --d=1024 --k=8 --shards=8 --threads=8
+//   bench_throughput --n=400 --d=64 --k=2 --json
 
 #include <cstdint>
+#include <cstdio>
+#include <iostream>
+#include <string>
 #include <vector>
 
-#include "futurerand/common/macros.h"
-#include "futurerand/common/random.h"
-#include "futurerand/common/sign_vector.h"
-#include "futurerand/core/client.h"
-#include "futurerand/core/config.h"
-#include "futurerand/core/server.h"
-#include "futurerand/randomizer/annulus.h"
-#include "futurerand/randomizer/composed.h"
-#include "futurerand/randomizer/randomizer.h"
+#include "bench_common.h"
+#include "futurerand/common/flags.h"
+#include "futurerand/common/table_printer.h"
+#include "futurerand/common/threadpool.h"
+#include "futurerand/common/timer.h"
+#include "futurerand/core/aggregator.h"
+#include "futurerand/core/fleet.h"
+#include "futurerand/core/wire.h"
 
 namespace {
 
-using futurerand::Rng;
-using futurerand::SignVector;
+using namespace futurerand;
 
-futurerand::core::ProtocolConfig Config(int64_t d, int64_t k) {
-  futurerand::core::ProtocolConfig config;
-  config.num_periods = d;
-  config.max_changes = k;
-  config.epsilon = 1.0;
-  return config;
-}
+struct PipelineStats {
+  double create_seconds = 0.0;
+  double tick_seconds = 0.0;    // AdvanceTick over all d periods
+  double encode_seconds = 0.0;  // EncodeReportBatch over all batches
+  double ingest_seconds = 0.0;  // IngestEncoded over all batches
+  double query_seconds = 0.0;   // EstimateAll
+  int64_t reports = 0;
+  int64_t wire_bytes = 0;
+  double final_estimate = 0.0;  // consume the output so nothing is elided
+};
 
-// Cost of FutureRand's init-time pre-computation (annulus + b~ = R~(1^k)).
-void BM_FutureRandInit(benchmark::State& state) {
-  const int64_t k = state.range(0);
-  uint64_t seed = 1;
-  for (auto _ : state) {
-    auto randomizer = futurerand::rand::MakeSequenceRandomizer(
-        futurerand::rand::RandomizerKind::kFutureRand, 1024, k, 1.0, seed++);
-    FR_CHECK(randomizer.ok());
-    benchmark::DoNotOptimize(randomizer);
-  }
-}
-BENCHMARK(BM_FutureRandInit)->Arg(16)->Arg(256)->Arg(4096);
+Result<PipelineStats> RunPipeline(const core::ProtocolConfig& config,
+                                  int64_t n, int shards, ThreadPool* pool,
+                                  uint64_t seed) {
+  PipelineStats stats;
+  WallTimer timer;
+  FR_ASSIGN_OR_RETURN(core::ClientFleet fleet,
+                      core::ClientFleet::Create(config, n, seed, pool));
+  stats.create_seconds = timer.ElapsedSeconds();
 
-// Per-input cost of the online randomizer.
-void BM_FutureRandRandomize(benchmark::State& state) {
-  auto randomizer = futurerand::rand::MakeSequenceRandomizer(
-                        futurerand::rand::RandomizerKind::kFutureRand,
-                        int64_t{1} << 40, 64, 1.0, 7)
-                        .ValueOrDie();
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(randomizer->Randomize(0));
-  }
-  state.SetItemsProcessed(state.iterations());
-}
-BENCHMARK(BM_FutureRandRandomize);
+  FR_ASSIGN_OR_RETURN(core::ShardedAggregator aggregator,
+                      core::ShardedAggregator::ForProtocol(config, shards));
+  const std::string registration_bytes =
+      core::EncodeRegistrationBatch(fleet.registrations());
+  stats.wire_bytes += static_cast<int64_t>(registration_bytes.size());
+  FR_RETURN_NOT_OK(aggregator.IngestEncoded(registration_bytes, pool));
 
-// One application of the composed randomizer R~ (k coordinate flips plus
-// the annulus check / resample).
-void BM_ComposedApply(benchmark::State& state) {
-  const int64_t k = state.range(0);
-  const auto spec =
-      futurerand::rand::MakeFutureRandSpec(k, 1.0).ValueOrDie();
-  auto composed =
-      futurerand::rand::ComposedRandomizer::Create(spec).ValueOrDie();
-  Rng rng(3);
-  const SignVector input(k);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(composed.Apply(input, &rng));
-  }
-  state.SetItemsProcessed(state.iterations() * k);
-}
-BENCHMARK(BM_ComposedApply)->Arg(64)->Arg(1024)->Arg(16384);
-
-// Client-side: one full d-period streaming pass (the steady-state cost a
-// device pays).
-void BM_ClientFullStream(benchmark::State& state) {
-  const int64_t d = state.range(0);
-  const auto config = Config(d, 8);
-  uint64_t seed = 1;
-  for (auto _ : state) {
-    auto client = futurerand::core::Client::Create(config, seed++);
-    FR_CHECK(client.ok());
-    for (int64_t t = 1; t <= d; ++t) {
-      benchmark::DoNotOptimize(
-          client->ObserveState(static_cast<int8_t>((t >> 3) & 1)));
-    }
-  }
-  state.SetItemsProcessed(state.iterations() * d);
-}
-BENCHMARK(BM_ClientFullStream)->Arg(256)->Arg(4096);
-
-// Server-side: per-report ingestion cost. Reports per client must advance
-// in time, so a fresh client id is registered after each d-period sweep.
-void BM_ServerSubmitReport(benchmark::State& state) {
-  const int64_t d = 1024;
-  auto server =
-      futurerand::core::Server::ForProtocol(Config(d, 8)).ValueOrDie();
-  int64_t client_id = 0;
-  FR_CHECK_OK(server.RegisterClient(client_id, 0));
-  int64_t t = 0;
-  for (auto _ : state) {
-    if (t == d) {
-      ++client_id;
-      FR_CHECK_OK(server.RegisterClient(client_id, 0));
-      t = 0;
-    }
-    ++t;
-    benchmark::DoNotOptimize(server.SubmitReport(client_id, t, 1));
-  }
-  state.SetItemsProcessed(state.iterations());
-}
-BENCHMARK(BM_ServerSubmitReport);
-
-// Server-side: online estimate query, O(log d).
-void BM_ServerEstimateAt(benchmark::State& state) {
-  const int64_t d = state.range(0);
-  auto server =
-      futurerand::core::Server::ForProtocol(Config(d, 8)).ValueOrDie();
-  FR_CHECK_OK(server.RegisterClient(0, 0));
+  // Synthetic population: user u turns its flag on at period (u % d) + 1
+  // and off again half a window later (two changes, within any k >= 2;
+  // k = 1 users simply keep the flag on).
+  const int64_t d = config.num_periods;
+  std::vector<int8_t> states(static_cast<size_t>(n), 0);
+  core::ReportBatch batch;
   for (int64_t t = 1; t <= d; ++t) {
-    FR_CHECK_OK(server.SubmitReport(0, t, (t & 1) ? 1 : -1));
-  }
-  int64_t t = 0;
-  for (auto _ : state) {
-    t = t % d + 1;
-    benchmark::DoNotOptimize(server.EstimateAt(t));
-  }
-  state.SetItemsProcessed(state.iterations());
-}
-BENCHMARK(BM_ServerEstimateAt)->Arg(256)->Arg(4096)->Arg(65536);
+    for (int64_t u = 0; u < n; ++u) {
+      const int64_t on = (u % d) + 1;
+      const bool off_again = config.max_changes >= 2 && t >= on + d / 2;
+      states[static_cast<size_t>(u)] =
+          (t >= on && !off_again) ? int8_t{1} : int8_t{0};
+    }
+    timer.Restart();
+    FR_RETURN_NOT_OK(fleet.AdvanceTick(states, &batch));
+    stats.tick_seconds += timer.ElapsedSeconds();
 
-// Annulus parameter computation (exact c_gap, P*_out, privacy extremes).
-void BM_AnnulusSpec(benchmark::State& state) {
-  const int64_t k = state.range(0);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(futurerand::rand::MakeFutureRandSpec(k, 1.0));
-  }
-}
-BENCHMARK(BM_AnnulusSpec)->Arg(64)->Arg(1024)->Arg(65536);
+    timer.Restart();
+    FR_ASSIGN_OR_RETURN(const std::string bytes,
+                        core::EncodeReportBatch(batch));
+    stats.encode_seconds += timer.ElapsedSeconds();
+    stats.wire_bytes += static_cast<int64_t>(bytes.size());
+    stats.reports += static_cast<int64_t>(batch.size());
 
-// PRNG baseline for context.
-void BM_RngNextDouble(benchmark::State& state) {
-  Rng rng(9);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(rng.NextDouble());
+    timer.Restart();
+    FR_RETURN_NOT_OK(aggregator.IngestEncoded(bytes, pool));
+    stats.ingest_seconds += timer.ElapsedSeconds();
   }
-  state.SetItemsProcessed(state.iterations());
+
+  timer.Restart();
+  FR_ASSIGN_OR_RETURN(const std::vector<double> estimates,
+                      aggregator.EstimateAll());
+  stats.query_seconds = timer.ElapsedSeconds();
+  stats.final_estimate = estimates.back();
+  return stats;
 }
-BENCHMARK(BM_RngNextDouble);
+
+double Rate(int64_t items, double seconds) {
+  return seconds > 0.0 ? static_cast<double>(items) / seconds : 0.0;
+}
+
+int Run(int argc, char** argv) {
+  int64_t n = 100000;
+  int64_t d = 1024;
+  int64_t k = 8;
+  double eps = 1.0;
+  std::string randomizer_name = "future_rand";
+  std::string protocol_name;
+  int64_t shards = 0;
+  int64_t threads = ThreadPool::DefaultThreadCount();
+  int64_t seed = 1;
+  bool json = false;
+  bool help = false;
+
+  FlagParser parser;
+  parser.AddInt64("n", &n, "number of users");
+  parser.AddInt64("d", &d, "time periods (power of two)");
+  parser.AddInt64("k", &k, "per-user change budget");
+  parser.AddDouble("eps", &eps, "privacy budget");
+  parser.AddString("randomizer", &randomizer_name,
+                   "sequence randomizer driving the fleet (future_rand | "
+                   "independent | bun | adaptive)");
+  parser.AddString("protocol", &protocol_name,
+                   "optionally also time one full RunProtocol sim pass of "
+                   "this protocol kind");
+  parser.AddInt64("shards", &shards,
+                  "aggregator shards (0 = one per worker thread)");
+  parser.AddInt64("threads", &threads, "worker threads");
+  parser.AddInt64("seed", &seed, "base seed");
+  parser.AddBool("json", &json,
+                 "print one machine-readable JSON line instead of a table");
+  parser.AddBool("help", &help, "print usage");
+  const Status parse_status = parser.Parse(argc, argv);
+  if (!parse_status.ok()) {
+    std::fprintf(stderr, "%s\n%s", parse_status.ToString().c_str(),
+                 parser.Usage("bench_throughput").c_str());
+    return 2;
+  }
+  if (help) {
+    std::fputs(parser.Usage("bench_throughput").c_str(), stdout);
+    return 0;
+  }
+
+  if (threads < 1 || shards < 0) {
+    std::fprintf(stderr,
+                 "InvalidArgument: --threads must be >= 1 and --shards "
+                 ">= 0\n%s",
+                 parser.Usage("bench_throughput").c_str());
+    return 2;
+  }
+  const auto randomizer = rand::ParseRandomizerKind(randomizer_name);
+  if (!randomizer.ok()) {
+    std::fprintf(stderr, "%s\n", randomizer.status().ToString().c_str());
+    return 2;
+  }
+
+  core::ProtocolConfig config = bench::MakeConfig(d, k, eps);
+  config.randomizer = *randomizer;
+  ThreadPool pool(static_cast<int>(threads));
+  const int effective_shards =
+      shards > 0 ? static_cast<int>(shards) : pool.num_threads();
+
+  const auto stats = RunPipeline(config, n, effective_shards, &pool,
+                                 static_cast<uint64_t>(seed));
+  if (!stats.ok()) {
+    std::fprintf(stderr, "%s\n", stats.status().ToString().c_str());
+    return 1;
+  }
+
+  // Optional second measurement: the full simulation runner (workload
+  // generation excluded) for any of the eight protocol kinds.
+  double sim_seconds = 0.0;
+  if (!protocol_name.empty()) {
+    const auto protocol = sim::ParseProtocolKind(protocol_name);
+    if (!protocol.ok()) {
+      std::fprintf(stderr, "%s\n", protocol.status().ToString().c_str());
+      return 2;
+    }
+    const auto workload = sim::Workload::Generate(
+        bench::MakeWorkload(sim::WorkloadKind::kUniformChanges, n, d, k),
+        static_cast<uint64_t>(seed));
+    if (!workload.ok()) {
+      std::fprintf(stderr, "%s\n", workload.status().ToString().c_str());
+      return 1;
+    }
+    const auto run =
+        sim::RunProtocol(*protocol, config, *workload,
+                         static_cast<uint64_t>(seed) + 1, &pool,
+                         effective_shards);
+    if (!run.ok()) {
+      std::fprintf(stderr, "%s\n", run.status().ToString().c_str());
+      return 1;
+    }
+    sim_seconds = run->wall_seconds;
+  }
+
+  const int64_t user_periods = n * d;
+  if (json) {
+    bench::JsonLine line;
+    line.Add("bench", "throughput")
+        .Add("n", n)
+        .Add("d", d)
+        .Add("k", k)
+        .Add("eps", eps)
+        .Add("randomizer", rand::RandomizerKindToString(*randomizer))
+        .Add("shards", effective_shards)
+        .Add("threads", static_cast<int64_t>(pool.num_threads()))
+        .Add("reports", stats->reports)
+        .Add("wire_bytes", stats->wire_bytes)
+        .Add("fleet_create_sec", stats->create_seconds)
+        .Add("tick_sec", stats->tick_seconds)
+        .Add("encode_sec", stats->encode_seconds)
+        .Add("ingest_sec", stats->ingest_seconds)
+        .Add("estimate_all_sec", stats->query_seconds)
+        .Add("user_periods_per_sec", Rate(user_periods, stats->tick_seconds))
+        .Add("reports_per_sec", Rate(stats->reports, stats->ingest_seconds));
+    if (!protocol_name.empty()) {
+      line.Add("sim_protocol", protocol_name)
+          .Add("sim_sec", sim_seconds)
+          .Add("sim_user_periods_per_sec", Rate(user_periods, sim_seconds));
+    }
+    std::printf("%s\n", line.Str().c_str());
+    return 0;
+  }
+
+  std::printf("pipeline %s: n=%lld d=%lld k=%lld eps=%g shards=%d "
+              "threads=%d\n",
+              rand::RandomizerKindToString(*randomizer),
+              static_cast<long long>(n), static_cast<long long>(d),
+              static_cast<long long>(k), eps, effective_shards,
+              pool.num_threads());
+  TablePrinter table({"stage", "seconds", "items", "items/sec"});
+  table.AddRow({"fleet create",
+                TablePrinter::FormatDouble(stats->create_seconds, 4),
+                TablePrinter::FormatCount(n),
+                TablePrinter::FormatCount(static_cast<int64_t>(
+                    Rate(n, stats->create_seconds)))});
+  table.AddRow({"advance ticks",
+                TablePrinter::FormatDouble(stats->tick_seconds, 4),
+                TablePrinter::FormatCount(user_periods),
+                TablePrinter::FormatCount(static_cast<int64_t>(
+                    Rate(user_periods, stats->tick_seconds)))});
+  table.AddRow({"encode wire",
+                TablePrinter::FormatDouble(stats->encode_seconds, 4),
+                TablePrinter::FormatCount(stats->wire_bytes),
+                TablePrinter::FormatCount(static_cast<int64_t>(
+                    Rate(stats->wire_bytes, stats->encode_seconds)))});
+  table.AddRow({"ingest encoded",
+                TablePrinter::FormatDouble(stats->ingest_seconds, 4),
+                TablePrinter::FormatCount(stats->reports),
+                TablePrinter::FormatCount(static_cast<int64_t>(
+                    Rate(stats->reports, stats->ingest_seconds)))});
+  table.AddRow({"estimate all",
+                TablePrinter::FormatDouble(stats->query_seconds, 4),
+                TablePrinter::FormatCount(d),
+                TablePrinter::FormatCount(static_cast<int64_t>(
+                    Rate(d, stats->query_seconds)))});
+  if (!protocol_name.empty()) {
+    table.AddRow({"sim " + protocol_name,
+                  TablePrinter::FormatDouble(sim_seconds, 4),
+                  TablePrinter::FormatCount(user_periods),
+                  TablePrinter::FormatCount(static_cast<int64_t>(
+                      Rate(user_periods, sim_seconds)))});
+  }
+  table.Print(std::cout);
+  std::printf("%lld reports, %lld wire bytes (%.2f bytes/report)\n",
+              static_cast<long long>(stats->reports),
+              static_cast<long long>(stats->wire_bytes),
+              stats->reports > 0
+                  ? static_cast<double>(stats->wire_bytes) /
+                        static_cast<double>(stats->reports)
+                  : 0.0);
+  return 0;
+}
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) { return Run(argc, argv); }

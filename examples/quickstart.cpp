@@ -1,5 +1,8 @@
 // Quickstart: track how many of n users have a Boolean flag set, at every
-// one of d time periods, under eps-local differential privacy.
+// one of d time periods, under eps-local differential privacy — using the
+// batch-first service API that the production pipeline runs on:
+//
+//   ClientFleet (devices)  ->  wire bytes  ->  ShardedAggregator  ->  query
 //
 // Build & run:
 //   cmake -B build -G Ninja && cmake --build build
@@ -9,14 +12,16 @@
 #include <vector>
 
 #include "futurerand/common/macros.h"
-#include "futurerand/core/client.h"
+#include "futurerand/core/aggregator.h"
 #include "futurerand/core/config.h"
-#include "futurerand/core/server.h"
+#include "futurerand/core/fleet.h"
+#include "futurerand/core/wire.h"
 
 int main() {
-  using futurerand::core::Client;
+  using futurerand::core::ClientFleet;
   using futurerand::core::ProtocolConfig;
-  using futurerand::core::Server;
+  using futurerand::core::ReportBatch;
+  using futurerand::core::ShardedAggregator;
 
   // 1. Agree on the deployment parameters (shared by clients and server).
   //    Scenario: tracking adoption of a new feature — each user enables it
@@ -30,53 +35,63 @@ int main() {
   // large k it is FutureRand.
   config.randomizer = futurerand::rand::RandomizerKind::kAdaptive;
 
-  // 2. The server is stateless apart from O(d) counters.
-  Server server = Server::ForProtocol(config).ValueOrDie();
+  // 2. A ClientFleet owns every device's state machine in batch form. In a
+  //    real deployment each Client runs on its own device; the fleet is the
+  //    same state machine, advanced for all n users with one call per
+  //    period (bit-identical to n per-client calls).
+  const int64_t kUsers = 200000;
+  ClientFleet fleet =
+      ClientFleet::Create(config, kUsers, /*base_seed=*/1000).ValueOrDie();
 
-  // 3. Each user runs a Client on-device. On creation it samples a level
-  //    h_u (public) and pre-computes its noise; registration sends only
-  //    the level.
-  const int kUsers = 200000;
-  std::vector<Client> clients;
-  clients.reserve(kUsers);
-  for (int u = 0; u < kUsers; ++u) {
-    clients.push_back(
-        Client::Create(config, /*seed=*/1000 + static_cast<uint64_t>(u))
-            .ValueOrDie());
-    FR_CHECK_OK(server.RegisterClient(u, clients.back().level()));
-  }
+  // 3. The service side is a ShardedAggregator: a thread-safe façade over
+  //    K Server shards keyed by client id. It ingests whole batches —
+  //    decoded messages or raw wire bytes — and any shard count gives
+  //    bit-identical estimates.
+  ShardedAggregator aggregator =
+      ShardedAggregator::ForProtocol(config, /*num_shards=*/4).ValueOrDie();
+
+  // Registration ships once, as one encoded batch of (id, level) pairs.
+  FR_CHECK_OK(aggregator.IngestEncoded(
+      futurerand::core::EncodeRegistrationBatch(fleet.registrations())));
 
   // 4. Stream: at each period every user feeds its current flag value; the
-  //    client decides when a (randomized) one-bit report is due.
+  //    fleet decides which clients owe a (randomized) one-bit report and
+  //    packs them into one batch, which travels as compact wire bytes.
   //    Synthetic truth here: user u adopts the feature at period u%96+1
   //    (staggered rollout), so adoption ramps up over the window.
-  int64_t true_count_final = 0;
+  std::vector<int8_t> flags(kUsers, 0);
+  ReportBatch batch;
   for (int64_t t = 1; t <= config.num_periods; ++t) {
     int64_t true_count = 0;
-    for (int u = 0; u < kUsers; ++u) {
-      const int8_t flag = t >= (u % 96) + 1 ? 1 : 0;
-      true_count += flag;
-      const auto report = clients[static_cast<size_t>(u)].ObserveState(flag);
-      FR_CHECK_OK(report.status());
-      if (report->has_value()) {
-        FR_CHECK_OK(server.SubmitReport(u, t, **report));
-      }
+    for (int64_t u = 0; u < kUsers; ++u) {
+      flags[static_cast<size_t>(u)] = t >= (u % 96) + 1 ? 1 : 0;
+      true_count += flags[static_cast<size_t>(u)];
     }
-    // 5. Online estimate, available immediately at every period.
-    const double estimate = server.EstimateAt(t).ValueOrDie();
+    FR_CHECK_OK(fleet.AdvanceTick(flags, &batch));
+    const auto bytes = futurerand::core::EncodeReportBatch(batch);
+    FR_CHECK_OK(bytes.status());
+    FR_CHECK_OK(aggregator.IngestEncoded(*bytes));
+
+    // 5. Online estimates are available immediately at every period; each
+    //    query lazily re-merges the shards, so this demo samples every 8th.
     if (t % 8 == 0) {
-      std::printf("t=%3lld   true=%6lld   estimate=%9.1f   error=%7.1f\n",
+      const double estimate = aggregator.EstimateAt(t).ValueOrDie();
+      std::printf("t=%3lld   true=%6lld   estimate=%9.1f   error=%7.1f   "
+                  "(%zu reports, %zu wire bytes)\n",
                   static_cast<long long>(t),
                   static_cast<long long>(true_count), estimate,
-                  estimate - static_cast<double>(true_count));
+                  estimate - static_cast<double>(true_count), batch.size(),
+                  bytes->size());
     }
-    true_count_final = true_count;
   }
-  (void)true_count_final;
 
+  // Window queries come straight off the same aggregator.
+  const double late_adoption =
+      aggregator.EstimateWindowDelta(33, 64).ValueOrDie();
   std::printf(
-      "\nEach user sent at most d/2^h one-bit reports and spent exactly\n"
+      "\nestimated net adoption in the second half of the window: %.1f\n"
+      "Each user sent at most d/2^h one-bit reports and spent exactly\n"
       "eps=%.1f of privacy budget for the whole 64-period window.\n",
-      config.epsilon);
+      late_adoption, config.epsilon);
   return 0;
 }

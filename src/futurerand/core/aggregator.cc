@@ -1,0 +1,191 @@
+#include "futurerand/core/aggregator.h"
+
+#include <utility>
+
+#include "futurerand/common/macros.h"
+
+namespace futurerand::core {
+
+ShardedAggregator::ShardedAggregator(int64_t num_periods,
+                                     std::vector<double> level_scales,
+                                     std::vector<Shard> shards,
+                                     Server snapshot)
+    : num_periods_(num_periods),
+      level_scales_(std::move(level_scales)),
+      shards_(std::move(shards)),
+      snapshot_mutex_(std::make_unique<std::mutex>()),
+      snapshot_(std::move(snapshot)) {}
+
+Result<ShardedAggregator> ShardedAggregator::ForProtocol(
+    const ProtocolConfig& config, int num_shards) {
+  FR_ASSIGN_OR_RETURN(std::vector<double> scales,
+                      ProtocolLevelScales(config));
+  return WithScales(config.num_periods, std::move(scales), num_shards);
+}
+
+Result<ShardedAggregator> ShardedAggregator::WithScales(
+    int64_t num_periods, std::vector<double> level_scales, int num_shards) {
+  if (num_shards < 1) {
+    return Status::InvalidArgument("need at least one shard");
+  }
+  std::vector<Shard> shards;
+  shards.reserve(static_cast<size_t>(num_shards));
+  for (int s = 0; s < num_shards; ++s) {
+    FR_ASSIGN_OR_RETURN(Server server,
+                        Server::WithScales(num_periods, level_scales));
+    shards.push_back(Shard{std::make_unique<std::mutex>(),
+                           std::move(server)});
+  }
+  FR_ASSIGN_OR_RETURN(Server snapshot,
+                      Server::WithScales(num_periods, level_scales));
+  return ShardedAggregator(num_periods, std::move(level_scales),
+                           std::move(shards), std::move(snapshot));
+}
+
+int ShardedAggregator::ShardIndex(int64_t client_id) const {
+  const auto shards = static_cast<int64_t>(shards_.size());
+  return static_cast<int>(((client_id % shards) + shards) % shards);
+}
+
+void ShardedAggregator::MarkDirty() {
+  const std::lock_guard<std::mutex> lock(*snapshot_mutex_);
+  snapshot_dirty_ = true;
+}
+
+template <typename Message, typename Apply>
+Status ShardedAggregator::IngestBatch(std::span<const Message> batch,
+                                      ThreadPool* pool, const Apply& apply) {
+  if (batch.empty()) {
+    return Status::OK();
+  }
+  // Group record indices per shard so each shard mutex is taken once per
+  // batch; per-shard record order is preserved, which keeps Server's
+  // monotone-report-time validation meaningful.
+  std::vector<std::vector<size_t>> buckets(shards_.size());
+  for (size_t i = 0; i < batch.size(); ++i) {
+    buckets[static_cast<size_t>(ShardIndex(batch[i].client_id))].push_back(i);
+  }
+  std::vector<Status> shard_status(shards_.size());
+  auto ingest_shard = [&](size_t s) {
+    if (buckets[s].empty()) {
+      return;
+    }
+    Shard& shard = shards_[s];
+    const std::lock_guard<std::mutex> lock(*shard.mutex);
+    for (const size_t i : buckets[s]) {
+      Status status = apply(shard.server, batch[i]);
+      if (!status.ok()) {
+        shard_status[s] = std::move(status);
+        return;
+      }
+    }
+  };
+  if (pool != nullptr && shards_.size() > 1) {
+    pool->ParallelFor(static_cast<int64_t>(shards_.size()),
+                      [&](int64_t begin, int64_t end) {
+                        for (int64_t s = begin; s < end; ++s) {
+                          ingest_shard(static_cast<size_t>(s));
+                        }
+                      });
+  } else {
+    for (size_t s = 0; s < shards_.size(); ++s) {
+      ingest_shard(s);
+    }
+  }
+  // Dirty even on error: a prefix of the batch may have been applied.
+  MarkDirty();
+  for (const Status& status : shard_status) {
+    FR_RETURN_NOT_OK(status);
+  }
+  return Status::OK();
+}
+
+Status ShardedAggregator::IngestRegistrations(
+    std::span<const RegistrationMessage> batch, ThreadPool* pool) {
+  return IngestBatch(batch, pool,
+                     [](Server& server, const RegistrationMessage& message) {
+                       return server.RegisterClient(message.client_id,
+                                                    message.level);
+                     });
+}
+
+Status ShardedAggregator::IngestReports(std::span<const ReportMessage> batch,
+                                        ThreadPool* pool) {
+  return IngestBatch(batch, pool,
+                     [](Server& server, const ReportMessage& message) {
+                       return server.SubmitReport(
+                           message.client_id, message.time, message.value);
+                     });
+}
+
+Status ShardedAggregator::IngestEncoded(std::string_view bytes,
+                                        ThreadPool* pool) {
+  FR_ASSIGN_OR_RETURN(WireBatchKind kind, PeekBatchKind(bytes));
+  switch (kind) {
+    case WireBatchKind::kRegistration: {
+      FR_ASSIGN_OR_RETURN(std::vector<RegistrationMessage> batch,
+                          DecodeRegistrationBatch(bytes));
+      return IngestRegistrations(batch, pool);
+    }
+    case WireBatchKind::kReport: {
+      FR_ASSIGN_OR_RETURN(std::vector<ReportMessage> batch,
+                          DecodeReportBatch(bytes));
+      return IngestReports(batch, pool);
+    }
+  }
+  return Status::Internal("unreachable wire batch kind");
+}
+
+Status ShardedAggregator::RefreshSnapshotLocked() const {
+  if (!snapshot_dirty_) {
+    return Status::OK();
+  }
+  FR_ASSIGN_OR_RETURN(Server fresh,
+                      Server::WithScales(num_periods_, level_scales_));
+  for (const Shard& shard : shards_) {
+    const std::lock_guard<std::mutex> lock(*shard.mutex);
+    // Aggregates only: the snapshot never ingests reports itself, and
+    // re-registering every client per refresh would make each
+    // query-after-ingest O(population) instead of O(d log d).
+    FR_RETURN_NOT_OK(fresh.MergeAggregatesOnly(shard.server));
+  }
+  snapshot_ = std::move(fresh);
+  snapshot_dirty_ = false;
+  return Status::OK();
+}
+
+Result<double> ShardedAggregator::EstimateAt(int64_t t) const {
+  const std::lock_guard<std::mutex> lock(*snapshot_mutex_);
+  FR_RETURN_NOT_OK(RefreshSnapshotLocked());
+  return snapshot_.EstimateAt(t);
+}
+
+Result<std::vector<double>> ShardedAggregator::EstimateAll() const {
+  const std::lock_guard<std::mutex> lock(*snapshot_mutex_);
+  FR_RETURN_NOT_OK(RefreshSnapshotLocked());
+  return snapshot_.EstimateAll();
+}
+
+Result<std::vector<double>> ShardedAggregator::EstimateAllConsistent() const {
+  const std::lock_guard<std::mutex> lock(*snapshot_mutex_);
+  FR_RETURN_NOT_OK(RefreshSnapshotLocked());
+  return snapshot_.EstimateAllConsistent();
+}
+
+Result<double> ShardedAggregator::EstimateWindowDelta(int64_t l,
+                                                      int64_t r) const {
+  const std::lock_guard<std::mutex> lock(*snapshot_mutex_);
+  FR_RETURN_NOT_OK(RefreshSnapshotLocked());
+  return snapshot_.EstimateWindowDelta(l, r);
+}
+
+int64_t ShardedAggregator::num_clients() const {
+  int64_t total = 0;
+  for (const Shard& shard : shards_) {
+    const std::lock_guard<std::mutex> lock(*shard.mutex);
+    total += shard.server.num_clients();
+  }
+  return total;
+}
+
+}  // namespace futurerand::core

@@ -1,0 +1,122 @@
+// Batch-first, thread-safe aggregation service: a façade over K Server
+// shards keyed by client id.
+//
+// Ingestion takes whole batches — decoded messages or raw wire bytes — and
+// groups them per shard so each shard's mutex is taken once per batch;
+// independent batches ingest concurrently from any number of threads. The
+// query surface (EstimateAt / EstimateAll / EstimateAllConsistent /
+// EstimateWindowDelta) answers from a lazily merged snapshot of the shards,
+// rebuilt only when a dirty flag says ingestion happened since the last
+// query. Estimates are bit-identical for any shard count: the shards hold
+// integer report sums, and integer addition is order-independent.
+
+#ifndef FUTURERAND_CORE_AGGREGATOR_H_
+#define FUTURERAND_CORE_AGGREGATOR_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "futurerand/common/result.h"
+#include "futurerand/common/threadpool.h"
+#include "futurerand/core/config.h"
+#include "futurerand/core/server.h"
+#include "futurerand/core/wire.h"
+
+namespace futurerand::core {
+
+/// Thread-safe sharded aggregator. Move-only. Safe for concurrent Ingest*
+/// and Estimate* calls; a query concurrent with an in-flight ingest may see
+/// a prefix of that batch, but every query issued after an ingest returns
+/// sees all of it.
+class ShardedAggregator {
+ public:
+  /// Builds `num_shards` Server shards (>= 1) for the protocol
+  /// configuration, with the exact per-level debiasing scales.
+  static Result<ShardedAggregator> ForProtocol(const ProtocolConfig& config,
+                                               int num_shards);
+
+  /// Builds shards with externally supplied per-level report scales (for
+  /// baseline protocols whose estimators carry extra factors, e.g. the
+  /// Erlingsson server).
+  static Result<ShardedAggregator> WithScales(
+      int64_t num_periods, std::vector<double> level_scales, int num_shards);
+
+  ShardedAggregator(ShardedAggregator&&) = default;
+  ShardedAggregator& operator=(ShardedAggregator&&) = default;
+  ShardedAggregator(const ShardedAggregator&) = delete;
+  ShardedAggregator& operator=(const ShardedAggregator&) = delete;
+
+  /// Registers a batch of clients (id + sampled level). With a pool, shards
+  /// ingest their slices concurrently. Batches are not atomic: on error,
+  /// records before the offending one stay applied and the first error (in
+  /// shard order) is returned.
+  Status IngestRegistrations(std::span<const RegistrationMessage> batch,
+                             ThreadPool* pool = nullptr);
+
+  /// Ingests a batch of perturbed reports; same concurrency and error
+  /// semantics as IngestRegistrations.
+  Status IngestReports(std::span<const ReportMessage> batch,
+                       ThreadPool* pool = nullptr);
+
+  /// Ingests raw wire bytes — a registration or report batch, detected from
+  /// the header — with exactly one decode and no caller-side fan-out.
+  Status IngestEncoded(std::string_view bytes, ThreadPool* pool = nullptr);
+
+  /// The online estimate a_hat[t]; see Server::EstimateAt.
+  Result<double> EstimateAt(int64_t t) const;
+
+  /// Estimates for every t in [1..d]; see Server::EstimateAll.
+  Result<std::vector<double>> EstimateAll() const;
+
+  /// Offline estimates with GLS tree-consistency post-processing; see
+  /// Server::EstimateAllConsistent.
+  Result<std::vector<double>> EstimateAllConsistent() const;
+
+  /// Net population change over [l..r]; see Server::EstimateWindowDelta.
+  Result<double> EstimateWindowDelta(int64_t l, int64_t r) const;
+
+  int num_shards() const { return static_cast<int>(shards_.size()); }
+  int64_t num_periods() const { return num_periods_; }
+
+  /// Registered clients, summed over shards.
+  int64_t num_clients() const;
+
+  /// The shard a client id maps to (id mod num_shards, non-negative).
+  int ShardIndex(int64_t client_id) const;
+
+ private:
+  struct Shard {
+    std::unique_ptr<std::mutex> mutex;
+    Server server;
+  };
+
+  ShardedAggregator(int64_t num_periods, std::vector<double> level_scales,
+                    std::vector<Shard> shards, Server snapshot);
+
+  // Re-merges every shard into snapshot_ if ingestion happened since the
+  // last refresh. Caller holds *snapshot_mutex_.
+  Status RefreshSnapshotLocked() const;
+
+  void MarkDirty();
+
+  template <typename Message, typename Apply>
+  Status IngestBatch(std::span<const Message> batch, ThreadPool* pool,
+                     const Apply& apply);
+
+  int64_t num_periods_;
+  std::vector<double> level_scales_;
+  std::vector<Shard> shards_;
+
+  // Lazily merged view of all shards; valid iff !snapshot_dirty_.
+  mutable std::unique_ptr<std::mutex> snapshot_mutex_;
+  mutable Server snapshot_;
+  mutable bool snapshot_dirty_ = false;
+};
+
+}  // namespace futurerand::core
+
+#endif  // FUTURERAND_CORE_AGGREGATOR_H_

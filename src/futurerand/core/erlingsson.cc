@@ -1,6 +1,7 @@
 #include "futurerand/core/erlingsson.h"
 
 #include <cmath>
+#include <utility>
 #include <vector>
 
 #include "futurerand/common/macros.h"
@@ -66,7 +67,8 @@ Result<std::optional<int8_t>> ErlingssonClient::ObserveState(int8_t state) {
   return std::optional<int8_t>(basic_.Apply(sparse_sum, &rng_));
 }
 
-Result<Server> MakeErlingssonServer(const ProtocolConfig& config) {
+Result<std::vector<double>> ErlingssonLevelScales(
+    const ProtocolConfig& config) {
   FR_RETURN_NOT_OK(config.Validate());
   const double eps_tilde = config.epsilon / 2.0;
   const double c_gap =
@@ -76,9 +78,13 @@ Result<Server> MakeErlingssonServer(const ProtocolConfig& config) {
   // additional factor of k relative to Algorithm 2 line 5.
   const double scale = static_cast<double>(orders) *
                        static_cast<double>(config.max_changes) / c_gap;
-  return Server::WithScales(config.num_periods,
-                            std::vector<double>(static_cast<size_t>(orders),
-                                                scale));
+  return std::vector<double>(static_cast<size_t>(orders), scale);
+}
+
+Result<Server> MakeErlingssonServer(const ProtocolConfig& config) {
+  FR_ASSIGN_OR_RETURN(std::vector<double> scales,
+                      ErlingssonLevelScales(config));
+  return Server::WithScales(config.num_periods, std::move(scales));
 }
 
 }  // namespace futurerand::core

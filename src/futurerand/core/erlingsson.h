@@ -18,6 +18,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <vector>
 
 #include "futurerand/common/random.h"
 #include "futurerand/common/result.h"
@@ -71,6 +72,12 @@ class ErlingssonClient {
   // interval: +/-1 if the retained change happened in this interval.
   int8_t interval_sparse_sum_ = 0;
 };
+
+/// The per-level debiasing scales of the matching server:
+/// (1 + log d) * k / c_gap at every level. Exposed so batch aggregation can
+/// build sharded servers (ShardedAggregator::WithScales) for this baseline.
+Result<std::vector<double>> ErlingssonLevelScales(
+    const ProtocolConfig& config);
 
 /// The matching server: Algorithm 2 with per-report scale
 /// (1 + log d) * k / c_gap.

@@ -1,0 +1,190 @@
+#include "futurerand/core/fleet.h"
+
+#include <mutex>
+#include <utility>
+
+#include "futurerand/common/macros.h"
+#include "futurerand/common/random.h"
+
+namespace futurerand::core {
+
+ClientFleet::ClientFleet(const ProtocolConfig& config, ThreadPool* pool,
+                         int64_t first_client_id)
+    : config_(config), pool_(pool), first_client_id_(first_client_id) {}
+
+Result<ClientFleet> ClientFleet::Create(const ProtocolConfig& config,
+                                        int64_t num_clients,
+                                        uint64_t base_seed, ThreadPool* pool,
+                                        int64_t first_client_id) {
+  FR_RETURN_NOT_OK(config.Validate());
+  if (num_clients < 0) {
+    return Status::InvalidArgument("num_clients must be non-negative");
+  }
+  ClientFleet fleet(config, pool, first_client_id);
+  const auto n = static_cast<size_t>(num_clients);
+  fleet.levels_.resize(n);
+  fleet.interval_lengths_.resize(n);
+  fleet.current_states_.assign(n, 0);
+  fleet.boundary_states_.assign(n, 0);
+  fleet.changes_seen_.assign(n, 0);
+  fleet.randomizers_.resize(n);
+  fleet.registrations_.resize(n);
+  fleet.report_scratch_.assign(n, 0);
+
+  // Each client's creation mirrors Client::Create exactly: one Rng seeded
+  // from the forked stream draws the level, then seeds the randomizer.
+  const Rng base(base_seed);
+  std::mutex error_mutex;
+  Status first_error;
+  auto create_range = [&](int64_t begin, int64_t end) {
+    for (int64_t u = begin; u < end; ++u) {
+      const auto i = static_cast<size_t>(u);
+      const int64_t client_id = first_client_id + u;
+      Rng rng(base.Fork(static_cast<uint64_t>(client_id)).NextUint64());
+      const int level = static_cast<int>(
+          rng.NextInt(static_cast<uint64_t>(config.num_orders())));
+      const int64_t length = config.num_periods >> level;
+      const int64_t support = config.SupportAtLevel(level);
+      auto randomizer = rand::MakeSequenceRandomizer(
+          config.randomizer, length, support, config.epsilon,
+          rng.NextUint64());
+      if (!randomizer.ok()) {
+        const std::lock_guard<std::mutex> lock(error_mutex);
+        if (first_error.ok()) {
+          first_error = randomizer.status();
+        }
+        return;
+      }
+      fleet.levels_[i] = level;
+      fleet.interval_lengths_[i] = int64_t{1} << level;
+      fleet.randomizers_[i] = std::move(*randomizer);
+      fleet.registrations_[i] = RegistrationMessage{client_id, level};
+    }
+  };
+  if (pool != nullptr && num_clients > 1) {
+    pool->ParallelFor(num_clients, create_range);
+  } else {
+    create_range(0, num_clients);
+  }
+  FR_RETURN_NOT_OK(first_error);
+  return fleet;
+}
+
+Status ClientFleet::AdvanceTick(std::span<const int8_t> states,
+                                ReportBatch* batch) {
+  if (static_cast<int64_t>(states.size()) != size()) {
+    return Status::InvalidArgument("states span must cover every client");
+  }
+  if (time_ >= config_.num_periods) {
+    return Status::OutOfRange("all d time periods already ingested");
+  }
+  for (const int8_t state : states) {
+    if (state != 0 && state != 1) {
+      return Status::InvalidArgument("state must be 0 or 1");
+    }
+  }
+  TickValidated(states, batch);
+  return Status::OK();
+}
+
+Result<ReportBatch> ClientFleet::AdvanceTick(std::span<const int8_t> states) {
+  ReportBatch batch;
+  FR_RETURN_NOT_OK(AdvanceTick(states, &batch));
+  return batch;
+}
+
+Status ClientFleet::AdvanceTickDerivatives(
+    std::span<const int8_t> derivatives, ReportBatch* batch) {
+  if (static_cast<int64_t>(derivatives.size()) != size()) {
+    return Status::InvalidArgument(
+        "derivatives span must cover every client");
+  }
+  if (time_ >= config_.num_periods) {
+    return Status::OutOfRange("all d time periods already ingested");
+  }
+  state_scratch_.resize(derivatives.size());
+  for (size_t i = 0; i < derivatives.size(); ++i) {
+    const int8_t derivative = derivatives[i];
+    if (derivative != -1 && derivative != 0 && derivative != 1) {
+      return Status::InvalidArgument("derivative must be in {-1,0,+1}");
+    }
+    const auto next_state =
+        static_cast<int8_t>(current_states_[i] + derivative);
+    if (next_state != 0 && next_state != 1) {
+      return Status::InvalidArgument(
+          "derivative would move the Boolean state outside {0,1}");
+    }
+    state_scratch_[i] = next_state;
+  }
+  TickValidated(state_scratch_, batch);
+  return Status::OK();
+}
+
+Result<ReportBatch> ClientFleet::AdvanceTickDerivatives(
+    std::span<const int8_t> derivatives) {
+  ReportBatch batch;
+  FR_RETURN_NOT_OK(AdvanceTickDerivatives(derivatives, &batch));
+  return batch;
+}
+
+void ClientFleet::TickValidated(std::span<const int8_t> states,
+                                ReportBatch* batch) {
+  ++time_;
+  const int64_t t = time_;
+  // Each client touches only its own slots, so the loop parallelizes with
+  // no synchronization and stays bit-identical to the serial order.
+  auto advance_range = [&](int64_t begin, int64_t end) {
+    for (int64_t u = begin; u < end; ++u) {
+      const auto i = static_cast<size_t>(u);
+      const int8_t state = states[i];
+      if (state != current_states_[i]) {
+        ++changes_seen_[i];
+      }
+      current_states_[i] = state;
+      if (t % interval_lengths_[i] != 0) {
+        continue;
+      }
+      // Observation 3.7: the interval's partial sum telescopes to
+      // st[t] - st[t - 2^h].
+      const auto partial_sum =
+          static_cast<int8_t>(state - boundary_states_[i]);
+      boundary_states_[i] = state;
+      report_scratch_[i] = randomizers_[i]->Randomize(partial_sum);
+    }
+  };
+  if (pool_ != nullptr && size() > 1) {
+    pool_->ParallelFor(size(), advance_range);
+  } else {
+    advance_range(0, size());
+  }
+
+  // Which clients report at t depends only on their (public) levels, so the
+  // packed batch is compacted serially in client-id order.
+  batch->clear();
+  for (int64_t u = 0; u < size(); ++u) {
+    const auto i = static_cast<size_t>(u);
+    if (t % interval_lengths_[i] == 0) {
+      batch->push_back(
+          ReportMessage{first_client_id_ + u, t, report_scratch_[i]});
+    }
+  }
+  reports_emitted_ += static_cast<int64_t>(batch->size());
+}
+
+int64_t ClientFleet::changes_seen() const {
+  int64_t total = 0;
+  for (const int64_t changes : changes_seen_) {
+    total += changes;
+  }
+  return total;
+}
+
+int64_t ClientFleet::support_overflow_count() const {
+  int64_t total = 0;
+  for (const auto& randomizer : randomizers_) {
+    total += randomizer->support_overflow_count();
+  }
+  return total;
+}
+
+}  // namespace futurerand::core

@@ -55,6 +55,31 @@ Status NaiveRRServer::SubmitReport(int64_t time, int8_t report) {
   return Status::OK();
 }
 
+Status NaiveRRServer::IngestReportSums(std::span<const int64_t> sums_by_time,
+                                       int64_t reports_per_period) {
+  if (sums_by_time.size() != report_sums_.size()) {
+    return Status::InvalidArgument("need one report sum per time period");
+  }
+  if (reports_per_period < 0) {
+    return Status::InvalidArgument("reports_per_period must be >= 0");
+  }
+  for (const int64_t sum : sums_by_time) {
+    // |sum| <= r and sum ≡ r (mod 2) are the only values a sum of r signs
+    // can take. Compare without negating `sum` (INT64_MIN has no positive
+    // counterpart) and without subtracting (parity needs no difference).
+    if (sum > reports_per_period || sum < -reports_per_period ||
+        ((sum % 2 != 0) != (reports_per_period % 2 != 0))) {
+      return Status::InvalidArgument(
+          "sum is not reachable by reports_per_period +/-1 reports");
+    }
+  }
+  for (size_t i = 0; i < report_sums_.size(); ++i) {
+    report_sums_[i] += sums_by_time[i];
+  }
+  num_clients_ += reports_per_period;
+  return Status::OK();
+}
+
 Result<double> NaiveRRServer::EstimateAt(int64_t t) const {
   if (t < 1 || t > static_cast<int64_t>(report_sums_.size())) {
     return Status::OutOfRange("query time outside [1..d]");

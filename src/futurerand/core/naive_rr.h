@@ -8,6 +8,7 @@
 #define FUTURERAND_CORE_NAIVE_RR_H_
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "futurerand/common/random.h"
@@ -61,6 +62,16 @@ class NaiveRRServer {
 
   /// Accumulates one report for time t.
   Status SubmitReport(int64_t time, int8_t report);
+
+  /// Batch-first ingestion: adds pre-accumulated report sums, one entry per
+  /// time period, produced by `reports_per_period` clients each reporting
+  /// every period. Equivalent to reports_per_period * d SubmitReport calls
+  /// (and validated as such: each sum s must satisfy |s| <= r and
+  /// s ≡ r (mod 2), the only values a sum of r signs can take). Also counts
+  /// the `reports_per_period` clients, so callers must not RegisterClient
+  /// them again.
+  Status IngestReportSums(std::span<const int64_t> sums_by_time,
+                          int64_t reports_per_period);
 
   /// Records that one more client participates (used for debiasing).
   void RegisterClient() { ++num_clients_; }

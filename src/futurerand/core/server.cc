@@ -16,7 +16,8 @@ Server::Server(int64_t num_periods, std::vector<double> level_scales)
       sums_(num_periods),
       level_counts_(level_scales_.size(), 0) {}
 
-Result<Server> Server::ForProtocol(const ProtocolConfig& config) {
+Result<std::vector<double>> ProtocolLevelScales(
+    const ProtocolConfig& config) {
   FR_RETURN_NOT_OK(config.Validate());
   const int orders = config.num_orders();
   std::vector<double> scales(static_cast<size_t>(orders));
@@ -30,6 +31,12 @@ Result<Server> Server::ForProtocol(const ProtocolConfig& config) {
     scales[static_cast<size_t>(h)] =
         static_cast<double>(orders) / c_gap;
   }
+  return scales;
+}
+
+Result<Server> Server::ForProtocol(const ProtocolConfig& config) {
+  FR_ASSIGN_OR_RETURN(std::vector<double> scales,
+                      ProtocolLevelScales(config));
   return Server(config.num_periods, std::move(scales));
 }
 
@@ -151,10 +158,7 @@ Result<std::vector<double>> Server::EstimateAllConsistent() const {
 }
 
 Status Server::Merge(const Server& other) {
-  if (other.sums_.domain_size() != sums_.domain_size() ||
-      other.level_scales_ != level_scales_) {
-    return Status::InvalidArgument("cannot merge servers of different shape");
-  }
+  FR_RETURN_NOT_OK(CheckMergeCompatible(other));
   for (const auto& [client_id, level] : other.client_levels_) {
     FR_RETURN_NOT_OK(RegisterClient(client_id, level));
     const auto last_it = other.last_report_time_.find(client_id);
@@ -162,13 +166,39 @@ Status Server::Merge(const Server& other) {
       last_report_time_[client_id] = last_it->second;
     }
   }
+  AddSums(other);
+  return Status::OK();
+}
+
+Status Server::MergeAggregatesOnly(const Server& other) {
+  FR_RETURN_NOT_OK(CheckMergeCompatible(other));
+  for (size_t h = 0; h < level_counts_.size(); ++h) {
+    level_counts_[h] += other.level_counts_[h];
+  }
+  AddSums(other);
+  return Status::OK();
+}
+
+Status Server::CheckMergeCompatible(const Server& other) const {
+  if (other.sums_.domain_size() != sums_.domain_size()) {
+    return Status::InvalidArgument("cannot merge servers of different shape");
+  }
+  // Same shape is not enough: shards debiasing with different per-level
+  // scales would silently mix estimators, so scales must match exactly.
+  if (other.level_scales_ != level_scales_) {
+    return Status::InvalidArgument(
+        "cannot merge servers with mismatched level scales");
+  }
+  return Status::OK();
+}
+
+void Server::AddSums(const Server& other) {
   for (int h = 0; h < sums_.num_orders(); ++h) {
     const int64_t count = dyadic::NumIntervalsAtOrder(sums_.domain_size(), h);
     for (int64_t j = 1; j <= count; ++j) {
       sums_.At(h, j) += other.sums_.At(h, j);
     }
   }
-  return Status::OK();
 }
 
 int64_t Server::ClientCountAtLevel(int level) const {

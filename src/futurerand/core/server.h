@@ -20,9 +20,15 @@
 
 namespace futurerand::core {
 
+/// The exact per-level debiasing scales of Algorithm 2 line 5 for the
+/// protocol configuration: (1 + log d) / c_gap(h), where c_gap(h) matches
+/// the randomizer the level-h clients instantiate. Shared by
+/// Server::ForProtocol and ShardedAggregator::ForProtocol.
+Result<std::vector<double>> ProtocolLevelScales(const ProtocolConfig& config);
+
 /// Aggregates client reports and produces the online estimates a_hat[t].
-/// Move-only. Report submission is not thread-safe; the simulation runner
-/// shards servers per thread and merges.
+/// Move-only. Report submission is not thread-safe; batch ingestion shards
+/// by client id behind the thread-safe ShardedAggregator (aggregator.h).
 class Server {
  public:
   /// Builds a server for the protocol configuration; computes the exact
@@ -77,6 +83,14 @@ class Server {
   /// client registrations are combined. Supports sharded ingestion.
   Status Merge(const Server& other);
 
+  /// Merges only the aggregate state of `other` — interval sums and
+  /// per-level client counts — skipping the per-client registration maps.
+  /// The result answers every Estimate* query identically to a full Merge
+  /// but must not ingest further reports (it does not know `other`'s
+  /// clients). Lets a read-only query snapshot over sharded servers refresh
+  /// in O(d) per shard instead of O(clients).
+  Status MergeAggregatesOnly(const Server& other);
+
   int64_t num_periods() const { return sums_.domain_size(); }
   int64_t num_clients() const {
     return static_cast<int64_t>(client_levels_.size());
@@ -90,6 +104,9 @@ class Server {
 
  private:
   Server(int64_t num_periods, std::vector<double> level_scales);
+
+  Status CheckMergeCompatible(const Server& other) const;
+  void AddSums(const Server& other);
 
   std::vector<double> level_scales_;
   dyadic::DyadicTree<int64_t> sums_;  // raw sum of +/-1 reports per interval

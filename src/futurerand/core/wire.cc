@@ -65,19 +65,24 @@ void AppendHeader(char kind, size_t count, std::string* out) {
   PutVarint64(count, out);
 }
 
-// Validates the fixed header and returns the record count.
-Result<uint64_t> ConsumeHeader(char expected_kind, std::string_view* bytes) {
-  if (bytes->size() < 5) {
+// Validates magic and version and returns the raw kind byte.
+Result<char> CheckHeader(std::string_view bytes) {
+  if (bytes.size() < 5) {
     return Status::InvalidArgument("batch shorter than its header");
   }
-  if ((*bytes)[0] != kMagic0 || (*bytes)[1] != kMagic1 ||
-      (*bytes)[2] != kMagic2) {
+  if (bytes[0] != kMagic0 || bytes[1] != kMagic1 || bytes[2] != kMagic2) {
     return Status::InvalidArgument("bad magic");
   }
-  if ((*bytes)[3] != kVersion) {
+  if (bytes[3] != kVersion) {
     return Status::InvalidArgument("unsupported wire version");
   }
-  if ((*bytes)[4] != expected_kind) {
+  return bytes[4];
+}
+
+// Validates the fixed header and returns the record count.
+Result<uint64_t> ConsumeHeader(char expected_kind, std::string_view* bytes) {
+  FR_ASSIGN_OR_RETURN(const char kind, CheckHeader(*bytes));
+  if (kind != expected_kind) {
     return Status::InvalidArgument("unexpected batch kind");
   }
   bytes->remove_prefix(5);
@@ -85,6 +90,18 @@ Result<uint64_t> ConsumeHeader(char expected_kind, std::string_view* bytes) {
 }
 
 }  // namespace
+
+Result<WireBatchKind> PeekBatchKind(std::string_view bytes) {
+  FR_ASSIGN_OR_RETURN(const char kind, CheckHeader(bytes));
+  switch (kind) {
+    case kKindRegistration:
+      return WireBatchKind::kRegistration;
+    case kKindReport:
+      return WireBatchKind::kReport;
+    default:
+      return Status::InvalidArgument("unknown batch kind");
+  }
+}
 
 std::string EncodeRegistrationBatch(
     const std::vector<RegistrationMessage>& batch) {

@@ -42,6 +42,17 @@ struct ReportMessage {
   friend bool operator==(const ReportMessage&, const ReportMessage&) = default;
 };
 
+/// The two batch payloads the wire format carries.
+enum class WireBatchKind {
+  kRegistration,
+  kReport,
+};
+
+/// Validates the fixed header of an encoded batch and returns its kind
+/// without decoding any records. Lets an ingestion service route raw bytes
+/// (e.g. ShardedAggregator::IngestEncoded) with a single decode pass.
+Result<WireBatchKind> PeekBatchKind(std::string_view bytes);
+
 /// Serializes a registration batch. Any ordering is accepted; batches
 /// sorted by client id encode smallest.
 std::string EncodeRegistrationBatch(

@@ -24,6 +24,15 @@ const char* RandomizerKindToString(RandomizerKind kind) {
   return "unknown";
 }
 
+Result<RandomizerKind> ParseRandomizerKind(const std::string& name) {
+  for (RandomizerKind kind : AllRandomizerKinds()) {
+    if (name == RandomizerKindToString(kind)) {
+      return kind;
+    }
+  }
+  return Status::InvalidArgument("unknown randomizer kind: " + name);
+}
+
 Result<std::unique_ptr<SequenceRandomizer>> MakeSequenceRandomizer(
     RandomizerKind kind, int64_t length, int64_t max_support, double epsilon,
     uint64_t seed) {

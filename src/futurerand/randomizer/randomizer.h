@@ -20,6 +20,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <string>
 
 #include "futurerand/common/random.h"
@@ -76,8 +77,26 @@ enum class RandomizerKind {
   kAdaptive,     // max-c_gap choice among certified constructions
 };
 
+/// Every RandomizerKind, in enum order — the single source of truth for
+/// code that enumerates constructions (flag parsing, sweeps, tests).
+inline constexpr RandomizerKind kAllRandomizerKinds[] = {
+    RandomizerKind::kFutureRand,
+    RandomizerKind::kIndependent,
+    RandomizerKind::kBun,
+    RandomizerKind::kAdaptive,
+};
+
+constexpr std::span<const RandomizerKind> AllRandomizerKinds() {
+  return kAllRandomizerKinds;
+}
+
 /// Stable display name for a RandomizerKind.
 const char* RandomizerKindToString(RandomizerKind kind);
+
+/// Parses a display name (as produced by RandomizerKindToString) back to
+/// its kind by scanning AllRandomizerKinds() — the one parser every flag
+/// surface shares.
+Result<RandomizerKind> ParseRandomizerKind(const std::string& name);
 
 /// Creates a randomizer of the given kind for a length-L sequence with at
 /// most k non-zero entries under budget epsilon (0 < epsilon <= 1, the

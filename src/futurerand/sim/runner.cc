@@ -1,8 +1,8 @@
 #include "futurerand/sim/runner.h"
 
-#include <algorithm>
 #include <atomic>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <utility>
 
@@ -10,160 +10,135 @@
 #include "futurerand/common/macros.h"
 #include "futurerand/common/random.h"
 #include "futurerand/common/timer.h"
-#include "futurerand/core/client.h"
+#include "futurerand/core/aggregator.h"
 #include "futurerand/core/erlingsson.h"
+#include "futurerand/core/fleet.h"
 #include "futurerand/core/naive_rr.h"
 #include "futurerand/core/reference.h"
-#include "futurerand/core/server.h"
 
 namespace futurerand::sim {
 
 namespace {
 
-// Users are processed in contiguous chunks, one server shard per chunk, and
-// the shards merged at the end. Chunk boundaries do not affect results:
-// every user's randomness is forked from the base seed by user id.
-struct UserRange {
-  int64_t begin = 0;
-  int64_t end = 0;
-};
-
-std::vector<UserRange> SplitUsers(int64_t num_users, int num_chunks) {
-  std::vector<UserRange> ranges;
-  const int64_t chunk =
-      (num_users + num_chunks - 1) / static_cast<int64_t>(num_chunks);
-  for (int64_t begin = 0; begin < num_users; begin += chunk) {
-    ranges.push_back({begin, std::min(begin + chunk, num_users)});
+// One shard per worker thread unless the caller pinned a count. Results are
+// bit-identical for any shard count (integer report sums merge
+// order-independently), so this is purely a throughput knob.
+int EffectiveShards(ThreadPool* pool, int num_shards) {
+  if (num_shards > 0) {
+    return num_shards;
   }
-  return ranges;
+  return pool != nullptr ? pool->num_threads() : 1;
 }
 
-// Runs Algorithms 1+2 with the sequence randomizer selected in `config`.
+// Collects the first error observed across worker threads.
+class FirstError {
+ public:
+  void Record(Status status) {
+    if (status.ok()) {
+      return;
+    }
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (first_.ok()) {
+      first_ = std::move(status);
+    }
+  }
+
+  // Not synchronized; call after all workers have finished.
+  const Status& Get() const { return first_; }
+
+ private:
+  std::mutex mutex_;
+  Status first_;
+};
+
+// Runs Algorithms 1+2 with the sequence randomizer selected in `config`:
+// a ClientFleet advances every user one period per tick and the resulting
+// report batches stream into a ShardedAggregator.
 Result<RunResult> RunHierarchical(const core::ProtocolConfig& config,
                                   const Workload& workload, uint64_t seed,
-                                  ThreadPool* pool) {
-  const int num_chunks = pool != nullptr ? pool->num_threads() : 1;
-  const std::vector<UserRange> ranges =
-      SplitUsers(workload.num_users(), num_chunks);
+                                  ThreadPool* pool, int num_shards) {
+  const int64_t n = workload.num_users();
+  FR_ASSIGN_OR_RETURN(core::ClientFleet fleet,
+                      core::ClientFleet::Create(config, n, seed, pool));
+  FR_ASSIGN_OR_RETURN(core::ShardedAggregator aggregator,
+                      core::ShardedAggregator::ForProtocol(
+                          config, EffectiveShards(pool, num_shards)));
+  FR_RETURN_NOT_OK(
+      aggregator.IngestRegistrations(fleet.registrations(), pool));
 
-  std::vector<core::Server> shards;
-  shards.reserve(ranges.size());
-  for (size_t i = 0; i < ranges.size(); ++i) {
-    FR_ASSIGN_OR_RETURN(core::Server shard,
-                        core::Server::ForProtocol(config));
-    shards.push_back(std::move(shard));
-  }
-
-  const Rng base(seed);
-  std::atomic<int64_t> reports{0};
-  std::atomic<bool> failed{false};
-  auto process_range = [&](size_t shard_index) {
-    core::Server& server = shards[shard_index];
-    const UserRange range = ranges[shard_index];
-    int64_t local_reports = 0;
-    for (int64_t u = range.begin; u < range.end && !failed.load(); ++u) {
-      auto client_result =
-          core::Client::Create(config, base.Fork(static_cast<uint64_t>(u))
-                                           .NextUint64());
-      if (!client_result.ok()) {
-        failed.store(true);
-        return;
-      }
-      core::Client client = std::move(client_result).ValueOrDie();
-      if (!server.RegisterClient(u, client.level()).ok()) {
-        failed.store(true);
-        return;
-      }
-      const UserTrace& trace = workload.trace(u);
-      size_t next_change = 0;
-      int8_t state = 0;
-      for (int64_t t = 1; t <= config.num_periods; ++t) {
-        if (next_change < trace.change_times.size() &&
-            trace.change_times[next_change] == t) {
-          state = static_cast<int8_t>(1 - state);
-          ++next_change;
-        }
-        auto report_result = client.ObserveState(state);
-        if (!report_result.ok()) {
-          failed.store(true);
-          return;
-        }
-        const std::optional<int8_t>& report = *report_result;
-        if (report.has_value()) {
-          if (!server.SubmitReport(u, t, *report).ok()) {
-            failed.store(true);
-            return;
-          }
-          ++local_reports;
+  // The workload stores per-user change times; play them as a sequence of
+  // state vectors, one tick at a time.
+  std::vector<int8_t> states(static_cast<size_t>(n), 0);
+  std::vector<size_t> next_change(static_cast<size_t>(n), 0);
+  core::ReportBatch batch;
+  int64_t reports = 0;
+  for (int64_t t = 1; t <= config.num_periods; ++t) {
+    auto update_states = [&](int64_t begin, int64_t end) {
+      for (int64_t u = begin; u < end; ++u) {
+        const auto i = static_cast<size_t>(u);
+        const std::vector<int64_t>& changes =
+            workload.trace(u).change_times;
+        if (next_change[i] < changes.size() &&
+            changes[next_change[i]] == t) {
+          states[i] = static_cast<int8_t>(1 - states[i]);
+          ++next_change[i];
         }
       }
+    };
+    if (pool != nullptr && n > 1) {
+      pool->ParallelFor(n, update_states);
+    } else {
+      update_states(0, n);
     }
-    reports.fetch_add(local_reports);
-  };
-
-  if (pool != nullptr && ranges.size() > 1) {
-    for (size_t i = 0; i < ranges.size(); ++i) {
-      pool->Submit([&process_range, i] { process_range(i); });
-    }
-    pool->Wait();
-  } else {
-    for (size_t i = 0; i < ranges.size(); ++i) {
-      process_range(i);
-    }
-  }
-  if (failed.load()) {
-    return Status::Internal("a client or shard failed during the run");
-  }
-
-  core::Server& combined = shards.front();
-  for (size_t i = 1; i < shards.size(); ++i) {
-    FR_RETURN_NOT_OK(combined.Merge(shards[i]));
+    FR_RETURN_NOT_OK(fleet.AdvanceTick(states, &batch));
+    FR_RETURN_NOT_OK(aggregator.IngestReports(batch, pool));
+    reports += static_cast<int64_t>(batch.size());
   }
 
   RunResult result;
   if (config.consistent_estimation) {
-    FR_ASSIGN_OR_RETURN(result.estimates, combined.EstimateAllConsistent());
+    FR_ASSIGN_OR_RETURN(result.estimates,
+                        aggregator.EstimateAllConsistent());
   } else {
-    FR_ASSIGN_OR_RETURN(result.estimates, combined.EstimateAll());
+    FR_ASSIGN_OR_RETURN(result.estimates, aggregator.EstimateAll());
   }
-  result.reports_submitted = reports.load();
+  result.reports_submitted = reports;
   return result;
 }
 
+// The Section 6 baseline: clients are played per user (their sparsifying
+// state machine is inherently sequential), but all aggregation goes through
+// the thread-safe ShardedAggregator — each worker chunk registers its users
+// and ingests its report batch, no caller-side shard bookkeeping.
 Result<RunResult> RunErlingsson(const core::ProtocolConfig& config,
                                 const Workload& workload, uint64_t seed,
-                                ThreadPool* pool) {
-  const int num_chunks = pool != nullptr ? pool->num_threads() : 1;
-  const std::vector<UserRange> ranges =
-      SplitUsers(workload.num_users(), num_chunks);
-
-  std::vector<core::Server> shards;
-  shards.reserve(ranges.size());
-  for (size_t i = 0; i < ranges.size(); ++i) {
-    FR_ASSIGN_OR_RETURN(core::Server shard,
-                        core::MakeErlingssonServer(config));
-    shards.push_back(std::move(shard));
-  }
+                                ThreadPool* pool, int num_shards) {
+  FR_ASSIGN_OR_RETURN(std::vector<double> scales,
+                      core::ErlingssonLevelScales(config));
+  FR_ASSIGN_OR_RETURN(core::ShardedAggregator aggregator,
+                      core::ShardedAggregator::WithScales(
+                          config.num_periods, std::move(scales),
+                          EffectiveShards(pool, num_shards)));
 
   const Rng base(seed);
   std::atomic<int64_t> reports{0};
-  std::atomic<bool> failed{false};
-  auto process_range = [&](size_t shard_index) {
-    core::Server& server = shards[shard_index];
-    const UserRange range = ranges[shard_index];
-    int64_t local_reports = 0;
-    for (int64_t u = range.begin; u < range.end && !failed.load(); ++u) {
-      auto client_result = core::ErlingssonClient::Create(
+  FirstError first_error;
+  auto process_range = [&](int64_t begin, int64_t end) {
+    // One pass, one live client at a time: both batches are ingested only
+    // at chunk end (registrations first), so a client can be created,
+    // played through all d periods, and dropped.
+    std::vector<core::RegistrationMessage> registrations;
+    std::vector<core::ReportMessage> batch;
+    registrations.reserve(static_cast<size_t>(end - begin));
+    for (int64_t u = begin; u < end; ++u) {
+      auto client = core::ErlingssonClient::Create(
           config, base.Fork(static_cast<uint64_t>(u)).NextUint64());
-      if (!client_result.ok()) {
-        failed.store(true);
+      if (!client.ok()) {
+        first_error.Record(client.status());
         return;
       }
-      core::ErlingssonClient client = std::move(client_result).ValueOrDie();
-      if (!server.RegisterClient(u, client.level()).ok()) {
-        failed.store(true);
-        return;
-      }
+      registrations.push_back(
+          core::RegistrationMessage{u, client->level()});
       const UserTrace& trace = workload.trace(u);
       size_t next_change = 0;
       int8_t state = 0;
@@ -173,79 +148,63 @@ Result<RunResult> RunErlingsson(const core::ProtocolConfig& config,
           state = static_cast<int8_t>(1 - state);
           ++next_change;
         }
-        auto report_result = client.ObserveState(state);
-        if (!report_result.ok()) {
-          failed.store(true);
+        auto report = client->ObserveState(state);
+        if (!report.ok()) {
+          first_error.Record(report.status());
           return;
         }
-        if (report_result->has_value()) {
-          if (!server.SubmitReport(u, t, **report_result).ok()) {
-            failed.store(true);
-            return;
-          }
-          ++local_reports;
+        if (report->has_value()) {
+          batch.push_back(core::ReportMessage{u, t, **report});
         }
       }
     }
-    reports.fetch_add(local_reports);
+    Status registered = aggregator.IngestRegistrations(registrations);
+    if (!registered.ok()) {
+      first_error.Record(std::move(registered));
+      return;
+    }
+    Status ingested = aggregator.IngestReports(batch);
+    if (!ingested.ok()) {
+      first_error.Record(std::move(ingested));
+      return;
+    }
+    reports.fetch_add(static_cast<int64_t>(batch.size()));
   };
 
-  if (pool != nullptr && ranges.size() > 1) {
-    for (size_t i = 0; i < ranges.size(); ++i) {
-      pool->Submit([&process_range, i] { process_range(i); });
-    }
-    pool->Wait();
+  if (pool != nullptr && workload.num_users() > 1) {
+    pool->ParallelFor(workload.num_users(), process_range);
   } else {
-    for (size_t i = 0; i < ranges.size(); ++i) {
-      process_range(i);
-    }
+    process_range(0, workload.num_users());
   }
-  if (failed.load()) {
-    return Status::Internal("a client or shard failed during the run");
-  }
-
-  core::Server& combined = shards.front();
-  for (size_t i = 1; i < shards.size(); ++i) {
-    FR_RETURN_NOT_OK(combined.Merge(shards[i]));
-  }
+  FR_RETURN_NOT_OK(first_error.Get());
 
   RunResult result;
-  FR_ASSIGN_OR_RETURN(result.estimates, combined.EstimateAll());
+  FR_ASSIGN_OR_RETURN(result.estimates, aggregator.EstimateAll());
   result.reports_submitted = reports.load();
   return result;
 }
 
+// The intro strawman. Reports carry no client identity and arrive every
+// period, so workers accumulate per-period sums client-side and hand the
+// server one batch each (IngestReportSums) — no per-thread server clones.
 Result<RunResult> RunNaiveRR(const core::ProtocolConfig& config,
                              const Workload& workload, uint64_t seed,
-                             ThreadPool* pool) {
-  const int num_chunks = pool != nullptr ? pool->num_threads() : 1;
-  const std::vector<UserRange> ranges =
-      SplitUsers(workload.num_users(), num_chunks);
-
-  std::vector<core::NaiveRRServer> shards;
-  shards.reserve(ranges.size());
-  for (size_t i = 0; i < ranges.size(); ++i) {
-    FR_ASSIGN_OR_RETURN(core::NaiveRRServer shard,
-                        core::NaiveRRServer::Create(config));
-    shards.push_back(std::move(shard));
-  }
-
+                             ThreadPool* pool, int /*num_shards*/) {
+  FR_ASSIGN_OR_RETURN(core::NaiveRRServer server,
+                      core::NaiveRRServer::Create(config));
+  std::mutex server_mutex;
   const Rng base(seed);
   std::atomic<int64_t> reports{0};
-  std::atomic<bool> failed{false};
-  auto process_range = [&](size_t shard_index) {
-    core::NaiveRRServer& server = shards[shard_index];
-    const UserRange range = ranges[shard_index];
-    int64_t local_reports = 0;
-    for (int64_t u = range.begin; u < range.end && !failed.load(); ++u) {
-      auto client_result = core::NaiveRRClient::Create(
+  FirstError first_error;
+  auto process_range = [&](int64_t begin, int64_t end) {
+    std::vector<int64_t> sums(static_cast<size_t>(config.num_periods), 0);
+    for (int64_t u = begin; u < end; ++u) {
+      auto client = core::NaiveRRClient::Create(
           config, base.Fork(static_cast<uint64_t>(u)).NextUint64());
-      if (!client_result.ok()) {
-        failed.store(true);
+      if (!client.ok()) {
+        first_error.Record(client.status());
         return;
       }
-      core::NaiveRRClient client = std::move(client_result).ValueOrDie();
-      server.RegisterClient();
       const UserTrace& trace = workload.trace(u);
       size_t next_change = 0;
       int8_t state = 0;
@@ -255,42 +214,34 @@ Result<RunResult> RunNaiveRR(const core::ProtocolConfig& config,
           state = static_cast<int8_t>(1 - state);
           ++next_change;
         }
-        auto report_result = client.ObserveState(state);
-        if (!report_result.ok()) {
-          failed.store(true);
+        auto report = client->ObserveState(state);
+        if (!report.ok()) {
+          first_error.Record(report.status());
           return;
         }
-        if (!server.SubmitReport(t, *report_result).ok()) {
-          failed.store(true);
-          return;
-        }
-        ++local_reports;
+        sums[static_cast<size_t>(t - 1)] += *report;
       }
     }
-    reports.fetch_add(local_reports);
+    {
+      const std::lock_guard<std::mutex> lock(server_mutex);
+      Status ingested = server.IngestReportSums(sums, end - begin);
+      if (!ingested.ok()) {
+        first_error.Record(std::move(ingested));
+        return;
+      }
+    }
+    reports.fetch_add((end - begin) * config.num_periods);
   };
 
-  if (pool != nullptr && ranges.size() > 1) {
-    for (size_t i = 0; i < ranges.size(); ++i) {
-      pool->Submit([&process_range, i] { process_range(i); });
-    }
-    pool->Wait();
+  if (pool != nullptr && workload.num_users() > 1) {
+    pool->ParallelFor(workload.num_users(), process_range);
   } else {
-    for (size_t i = 0; i < ranges.size(); ++i) {
-      process_range(i);
-    }
+    process_range(0, workload.num_users());
   }
-  if (failed.load()) {
-    return Status::Internal("a client or shard failed during the run");
-  }
-
-  core::NaiveRRServer& combined = shards.front();
-  for (size_t i = 1; i < shards.size(); ++i) {
-    FR_RETURN_NOT_OK(combined.Merge(shards[i]));
-  }
+  FR_RETURN_NOT_OK(first_error.Get());
 
   RunResult result;
-  FR_ASSIGN_OR_RETURN(result.estimates, combined.EstimateAll());
+  FR_ASSIGN_OR_RETURN(result.estimates, server.EstimateAll());
   result.reports_submitted = reports.load();
   return result;
 }
@@ -361,13 +312,25 @@ const char* ProtocolKindToString(ProtocolKind kind) {
   return "unknown";
 }
 
+Result<ProtocolKind> ParseProtocolKind(const std::string& name) {
+  for (ProtocolKind kind : AllProtocolKinds()) {
+    if (name == ProtocolKindToString(kind)) {
+      return kind;
+    }
+  }
+  return Status::InvalidArgument("unknown protocol: " + name);
+}
+
 Result<RunResult> RunProtocol(ProtocolKind kind,
                               const core::ProtocolConfig& config,
                               const Workload& workload, uint64_t seed,
-                              ThreadPool* pool) {
+                              ThreadPool* pool, int num_shards) {
   FR_RETURN_NOT_OK(config.Validate());
   if (workload.config().num_periods != config.num_periods) {
     return Status::InvalidArgument("workload/config num_periods mismatch");
+  }
+  if (num_shards < 0) {
+    return Status::InvalidArgument("num_shards must be >= 0");
   }
 
   core::ProtocolConfig effective = config;
@@ -395,13 +358,13 @@ Result<RunResult> RunProtocol(ProtocolKind kind,
     case ProtocolKind::kIndependent:
     case ProtocolKind::kBun:
     case ProtocolKind::kAdaptive:
-      outcome = RunHierarchical(effective, workload, seed, pool);
+      outcome = RunHierarchical(effective, workload, seed, pool, num_shards);
       break;
     case ProtocolKind::kErlingsson:
-      outcome = RunErlingsson(effective, workload, seed, pool);
+      outcome = RunErlingsson(effective, workload, seed, pool, num_shards);
       break;
     case ProtocolKind::kNaiveRR:
-      outcome = RunNaiveRR(effective, workload, seed, pool);
+      outcome = RunNaiveRR(effective, workload, seed, pool, num_shards);
       break;
     case ProtocolKind::kCentralTree:
       outcome = RunCentralTree(effective, workload, seed);
@@ -424,7 +387,7 @@ Result<RepeatedRunStats> RunRepeated(ProtocolKind kind,
                                      const core::ProtocolConfig& config,
                                      const WorkloadConfig& workload_config,
                                      int repetitions, uint64_t base_seed,
-                                     ThreadPool* pool) {
+                                     ThreadPool* pool, int num_shards) {
   if (repetitions < 1) {
     return Status::InvalidArgument("repetitions must be >= 1");
   }
@@ -438,7 +401,8 @@ Result<RepeatedRunStats> RunRepeated(ProtocolKind kind,
                         Workload::Generate(workload_config, workload_seed));
     FR_ASSIGN_OR_RETURN(
         RunResult run,
-        RunProtocol(kind, config, workload, protocol_seed, pool));
+        RunProtocol(kind, config, workload, protocol_seed, pool,
+                    num_shards));
     stats.max_abs_error.Add(run.metrics.max_abs);
     stats.mean_abs_error.Add(run.metrics.mean_abs);
     stats.rmse.Add(run.metrics.rmse);

@@ -1,12 +1,15 @@
 // End-to-end experiment runner: plays a workload through a chosen protocol
 // and reports the estimate series plus error metrics. Client-side work is
-// embarrassingly parallel across users, so the runner shards users over a
-// thread pool, one server shard per chunk, and merges.
+// batch-advanced by a core::ClientFleet (or chunked per user for the
+// sequential baselines) and all aggregation flows through the thread-safe
+// core::ShardedAggregator — the runner itself owns no shards and merges
+// nothing.
 
 #ifndef FUTURERAND_SIM_RUNNER_H_
 #define FUTURERAND_SIM_RUNNER_H_
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -31,7 +34,28 @@ enum class ProtocolKind {
   kNonPrivate,   // exact dyadic pipeline (sanity reference)
 };
 
+/// Every ProtocolKind, in enum order — the single source of truth for code
+/// that enumerates pipelines (flag parsing, sweeps, tests).
+inline constexpr ProtocolKind kAllProtocolKinds[] = {
+    ProtocolKind::kFutureRand,  ProtocolKind::kIndependent,
+    ProtocolKind::kBun,         ProtocolKind::kAdaptive,
+    ProtocolKind::kErlingsson,  ProtocolKind::kNaiveRR,
+    ProtocolKind::kCentralTree, ProtocolKind::kNonPrivate,
+};
+static_assert(std::size(kAllProtocolKinds) ==
+                  static_cast<size_t>(ProtocolKind::kNonPrivate) + 1,
+              "extend kAllProtocolKinds when adding a ProtocolKind");
+
+constexpr std::span<const ProtocolKind> AllProtocolKinds() {
+  return kAllProtocolKinds;
+}
+
 const char* ProtocolKindToString(ProtocolKind kind);
+
+/// Parses a display name (as produced by ProtocolKindToString) back to its
+/// kind by scanning AllProtocolKinds() — the one parser every flag surface
+/// shares.
+Result<ProtocolKind> ParseProtocolKind(const std::string& name);
 
 /// The outcome of one protocol run on one workload.
 struct RunResult {
@@ -44,11 +68,14 @@ struct RunResult {
 /// Runs `kind` over `workload`. `config.randomizer` is overridden to match
 /// `kind` where applicable; `seed` drives all protocol randomness (clients
 /// fork per-user streams from it). `pool` may be null for single-threaded
-/// execution.
+/// execution. `num_shards` sets the ShardedAggregator's shard count
+/// (0 = one shard per worker thread); estimates are bit-identical for any
+/// value, so it is purely a throughput knob.
 Result<RunResult> RunProtocol(ProtocolKind kind,
                               const core::ProtocolConfig& config,
                               const Workload& workload, uint64_t seed,
-                              ThreadPool* pool = nullptr);
+                              ThreadPool* pool = nullptr,
+                              int num_shards = 0);
 
 /// Aggregated error statistics over repeated runs with fresh workload and
 /// protocol randomness per repetition.
@@ -67,7 +94,8 @@ Result<RepeatedRunStats> RunRepeated(ProtocolKind kind,
                                      const core::ProtocolConfig& config,
                                      const WorkloadConfig& workload_config,
                                      int repetitions, uint64_t base_seed,
-                                     ThreadPool* pool = nullptr);
+                                     ThreadPool* pool = nullptr,
+                                     int num_shards = 0);
 
 }  // namespace futurerand::sim
 

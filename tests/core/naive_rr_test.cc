@@ -1,6 +1,7 @@
 #include "futurerand/core/naive_rr.h"
 
 #include <cmath>
+#include <limits>
 
 #include <gtest/gtest.h>
 
@@ -91,6 +92,52 @@ TEST(NaiveRRServerTest, MergeAddsSumsAndClients) {
   const double c_gap =
       (std::exp(0.25) - 1.0) / (std::exp(0.25) + 1.0);
   EXPECT_NEAR(a.EstimateAt(1).ValueOrDie(), 1.0 / c_gap + 1.0, 1e-9);
+}
+
+TEST(NaiveRRServerTest, IngestReportSumsMatchesPerReportSubmission) {
+  NaiveRRServer batch = NaiveRRServer::Create(TestConfig(4)).ValueOrDie();
+  NaiveRRServer serial = NaiveRRServer::Create(TestConfig(4)).ValueOrDie();
+  // Three clients reporting at t=1..4, fed per report on one side and as
+  // per-period sums on the other.
+  const int8_t reports[3][4] = {
+      {1, 1, -1, 1}, {1, -1, 1, 1}, {-1, -1, 1, 1}};
+  std::vector<int64_t> sums(4, 0);
+  for (int c = 0; c < 3; ++c) {
+    serial.RegisterClient();
+    for (int64_t t = 1; t <= 4; ++t) {
+      ASSERT_TRUE(serial.SubmitReport(t, reports[c][t - 1]).ok());
+      sums[static_cast<size_t>(t - 1)] += reports[c][t - 1];
+    }
+  }
+  ASSERT_TRUE(batch.IngestReportSums(sums, 3).ok());
+  EXPECT_EQ(batch.num_clients(), serial.num_clients());
+  EXPECT_EQ(batch.EstimateAll().ValueOrDie(),
+            serial.EstimateAll().ValueOrDie());
+}
+
+TEST(NaiveRRServerTest, IngestReportSumsValidates) {
+  NaiveRRServer server = NaiveRRServer::Create(TestConfig(4)).ValueOrDie();
+  const std::vector<int64_t> short_sums = {0, 0, 0};
+  const std::vector<int64_t> too_big = {3, 0, 0, 0};
+  const std::vector<int64_t> wrong_parity = {1, 0, 0, 0};
+  const std::vector<int64_t> zeros = {0, 0, 0, 0};
+  const std::vector<int64_t> valid = {-2, 0, 2, 0};
+  // Wrong length.
+  EXPECT_FALSE(server.IngestReportSums(short_sums, 1).ok());
+  // |sum| exceeding the report count is unreachable by +/-1 reports.
+  EXPECT_FALSE(server.IngestReportSums(too_big, 2).ok());
+  // So is a sum with the wrong parity (two reports cannot sum to +1).
+  EXPECT_FALSE(server.IngestReportSums(wrong_parity, 2).ok());
+  EXPECT_FALSE(server.IngestReportSums(zeros, -1).ok());
+  // INT64_MIN must be rejected cleanly, not negated (signed-overflow UB).
+  const std::vector<int64_t> extreme = {
+      std::numeric_limits<int64_t>::min(), 0, 0, 0};
+  EXPECT_FALSE(server.IngestReportSums(extreme, 2).ok());
+  // All rejections left the server untouched.
+  EXPECT_EQ(server.num_clients(), 0);
+  // Valid batch, including negative sums.
+  EXPECT_TRUE(server.IngestReportSums(valid, 2).ok());
+  EXPECT_EQ(server.num_clients(), 2);
 }
 
 TEST(NaiveRRServerTest, MergeRejectsDifferentShape) {

@@ -133,6 +133,48 @@ TEST(ServerTest, MergeRejectsDifferentShapes) {
   EXPECT_FALSE(a.Merge(c).ok());
 }
 
+TEST(ServerTest, MergeAggregatesOnlyMatchesFullMergeEstimates) {
+  Server full = UnitServer(8);
+  Server aggregates = UnitServer(8);
+  Server shard = UnitServer(8);
+  ASSERT_TRUE(shard.RegisterClient(1, 0).ok());
+  ASSERT_TRUE(shard.RegisterClient(2, 1).ok());
+  for (int64_t t = 1; t <= 8; ++t) {
+    ASSERT_TRUE(shard.SubmitReport(1, t, (t % 2 == 0) ? 1 : -1).ok());
+  }
+  ASSERT_TRUE(shard.SubmitReport(2, 4, 1).ok());
+  ASSERT_TRUE(full.Merge(shard).ok());
+  ASSERT_TRUE(aggregates.MergeAggregatesOnly(shard).ok());
+  // Identical across the whole query surface, including the level counts
+  // that feed consistency weighting — only the per-client registration
+  // bookkeeping is skipped.
+  EXPECT_EQ(aggregates.EstimateAll().ValueOrDie(),
+            full.EstimateAll().ValueOrDie());
+  EXPECT_EQ(aggregates.EstimateAllConsistent().ValueOrDie(),
+            full.EstimateAllConsistent().ValueOrDie());
+  EXPECT_EQ(aggregates.ClientCountAtLevel(0), full.ClientCountAtLevel(0));
+  EXPECT_EQ(aggregates.ClientCountAtLevel(1), full.ClientCountAtLevel(1));
+  // And it enforces the same compatibility rules.
+  Server different = Server::WithScales(8, {2.0, 1.0, 1.0, 1.0}).ValueOrDie();
+  EXPECT_FALSE(aggregates.MergeAggregatesOnly(different).ok());
+}
+
+TEST(ServerTest, MergeRejectsMismatchedLevelScales) {
+  // Same shape, different debiasing scales: merging would silently mix two
+  // different estimators, so it must fail loudly with InvalidArgument.
+  Server a = Server::WithScales(4, {1.0, 1.0, 1.0}).ValueOrDie();
+  Server b = Server::WithScales(4, {1.0, 2.0, 1.0}).ValueOrDie();
+  ASSERT_TRUE(b.RegisterClient(1, 0).ok());
+  ASSERT_TRUE(b.SubmitReport(1, 1, 1).ok());
+  const Status status = a.Merge(b);
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("level scales"), std::string::npos);
+  // The refused merge must not have absorbed anything.
+  EXPECT_EQ(a.num_clients(), 0);
+  EXPECT_DOUBLE_EQ(a.EstimateAt(1).ValueOrDie(), 0.0);
+}
+
 TEST(ServerTest, MergeRejectsDuplicateClientIds) {
   Server a = UnitServer(4);
   Server b = UnitServer(4);

@@ -18,10 +18,15 @@ TEST(FactoryTest, KindNamesAreStable) {
   EXPECT_STREQ(RandomizerKindToString(RandomizerKind::kAdaptive), "adaptive");
 }
 
+TEST(FactoryTest, AllRandomizerKindsCoversTheEnum) {
+  // kAdaptive is the last enumerator; appending a kind forces the shared
+  // kAllRandomizerKinds array (randomizer.h) to be extended.
+  EXPECT_EQ(static_cast<size_t>(RandomizerKind::kAdaptive) + 1,
+            AllRandomizerKinds().size());
+}
+
 TEST(FactoryTest, CreatesEveryKind) {
-  for (RandomizerKind kind :
-       {RandomizerKind::kFutureRand, RandomizerKind::kIndependent,
-        RandomizerKind::kBun, RandomizerKind::kAdaptive}) {
+  for (RandomizerKind kind : AllRandomizerKinds()) {
     auto randomizer = MakeSequenceRandomizer(kind, 16, 4, 1.0, 123);
     ASSERT_TRUE(randomizer.ok()) << RandomizerKindToString(kind);
     EXPECT_EQ((*randomizer)->length(), 16);
@@ -38,9 +43,7 @@ TEST(FactoryTest, PropagatesInvalidParameters) {
 }
 
 TEST(FactoryTest, ExactCGapMatchesInstances) {
-  for (RandomizerKind kind :
-       {RandomizerKind::kFutureRand, RandomizerKind::kIndependent,
-        RandomizerKind::kBun, RandomizerKind::kAdaptive}) {
+  for (RandomizerKind kind : AllRandomizerKinds()) {
     const double exact = ExactCGap(kind, 32, 1.0).ValueOrDie();
     auto randomizer =
         MakeSequenceRandomizer(kind, 64, 32, 1.0, 9).ValueOrDie();

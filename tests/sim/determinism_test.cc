@@ -17,22 +17,10 @@
 namespace futurerand::sim {
 namespace {
 
-// Every ProtocolKind, kept in enum order. The count assertion in
-// CoversEveryProtocolKind trips when a new kind is added without extending
-// this list.
-const std::vector<ProtocolKind>& AllProtocolKinds() {
-  static const std::vector<ProtocolKind> kinds = {
-      ProtocolKind::kFutureRand, ProtocolKind::kIndependent,
-      ProtocolKind::kBun,        ProtocolKind::kAdaptive,
-      ProtocolKind::kErlingsson, ProtocolKind::kNaiveRR,
-      ProtocolKind::kCentralTree, ProtocolKind::kNonPrivate,
-  };
-  return kinds;
-}
-
 TEST(DeterminismTest, CoversEveryProtocolKind) {
   // kNonPrivate is the last enumerator; a kind appended after it changes
-  // this cast and forces AllProtocolKinds above to be extended.
+  // this cast and forces the shared kAllProtocolKinds array (runner.h) to
+  // be extended — which its static_assert also enforces at compile time.
   EXPECT_EQ(static_cast<int64_t>(ProtocolKind::kNonPrivate) + 1,
             static_cast<int64_t>(AllProtocolKinds().size()));
 }
@@ -102,6 +90,23 @@ TEST_P(DeterminismProtocolTest, PooledMatchesSingleThreaded) {
   const RunResult single =
       RunProtocol(GetParam(), TestConfig(), workload, 26).ValueOrDie();
   ExpectBitIdentical(pooled, single, GetParam());
+}
+
+TEST_P(DeterminismProtocolTest, ShardCountDoesNotAffectEstimates) {
+  // The ShardedAggregator's shard count is a pure throughput knob: shards
+  // hold integer report sums, so any partition of clients merges to the
+  // same totals and hence bit-identical estimates.
+  const Workload workload = TestWorkload(41);
+  ThreadPool pool(4);
+  const RunResult one =
+      RunProtocol(GetParam(), TestConfig(), workload, 42, &pool,
+                  /*num_shards=*/1)
+          .ValueOrDie();
+  const RunResult seven =
+      RunProtocol(GetParam(), TestConfig(), workload, 42, &pool,
+                  /*num_shards=*/7)
+          .ValueOrDie();
+  ExpectBitIdentical(one, seven, GetParam());
 }
 
 TEST_P(DeterminismProtocolTest, DifferentSeedsDisagreeForPrivateProtocols) {

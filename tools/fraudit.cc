@@ -18,17 +18,6 @@ namespace {
 
 using namespace futurerand;
 
-Result<rand::RandomizerKind> ParseKind(const std::string& name) {
-  for (rand::RandomizerKind kind :
-       {rand::RandomizerKind::kFutureRand, rand::RandomizerKind::kIndependent,
-        rand::RandomizerKind::kBun, rand::RandomizerKind::kAdaptive}) {
-    if (name == rand::RandomizerKindToString(kind)) {
-      return kind;
-    }
-  }
-  return Status::InvalidArgument("unknown randomizer kind: " + name);
-}
-
 int Run(int argc, char** argv) {
   int64_t k = 8;
   double eps = 1.0;
@@ -57,7 +46,7 @@ int Run(int argc, char** argv) {
     return 0;
   }
 
-  const auto kind = ParseKind(kind_name);
+  const auto kind = rand::ParseRandomizerKind(kind_name);
   if (!kind.ok()) {
     std::fprintf(stderr, "%s\n", kind.status().ToString().c_str());
     return 2;

@@ -23,19 +23,6 @@ namespace {
 
 using namespace futurerand;
 
-Result<sim::ProtocolKind> ParseProtocol(const std::string& name) {
-  for (sim::ProtocolKind kind :
-       {sim::ProtocolKind::kFutureRand, sim::ProtocolKind::kIndependent,
-        sim::ProtocolKind::kBun, sim::ProtocolKind::kAdaptive,
-        sim::ProtocolKind::kErlingsson, sim::ProtocolKind::kNaiveRR,
-        sim::ProtocolKind::kCentralTree, sim::ProtocolKind::kNonPrivate}) {
-    if (name == sim::ProtocolKindToString(kind)) {
-      return kind;
-    }
-  }
-  return Status::InvalidArgument("unknown protocol: " + name);
-}
-
 Result<sim::WorkloadKind> ParseWorkload(const std::string& name) {
   for (sim::WorkloadKind kind :
        {sim::WorkloadKind::kUniformChanges, sim::WorkloadKind::kBursty,
@@ -59,6 +46,7 @@ int Run(int argc, char** argv) {
   int64_t reps = 3;
   int64_t seed = 1;
   int64_t threads = ThreadPool::DefaultThreadCount();
+  int64_t shards = 0;
   bool adapt_support = false;
   std::string csv_path;
   bool help = false;
@@ -79,6 +67,9 @@ int Run(int argc, char** argv) {
   parser.AddInt64("reps", &reps, "independent repetitions");
   parser.AddInt64("seed", &seed, "base seed (deterministic)");
   parser.AddInt64("threads", &threads, "worker threads");
+  parser.AddInt64("shards", &shards,
+                  "aggregator server shards (0 = one per worker thread); "
+                  "estimates are identical for any value");
   parser.AddBool("adapt_support", &adapt_support,
                  "enable per-level support adaptation (extension)");
   parser.AddString("csv", &csv_path,
@@ -97,7 +88,12 @@ int Run(int argc, char** argv) {
     return 0;
   }
 
-  const auto protocol = ParseProtocol(protocol_name);
+  if (threads < 1) {
+    std::fprintf(stderr, "InvalidArgument: --threads must be >= 1\n%s",
+                 parser.Usage("frsim").c_str());
+    return 2;
+  }
+  const auto protocol = sim::ParseProtocolKind(protocol_name);
   const auto workload_kind = ParseWorkload(workload_name);
   if (!protocol.ok() || !workload_kind.ok()) {
     std::fprintf(stderr, "%s\n%s\n", protocol.status().ToString().c_str(),
@@ -131,7 +127,8 @@ int Run(int argc, char** argv) {
       return 1;
     }
     const auto result =
-        sim::RunProtocol(*protocol, config, *workload, protocol_seed, &pool);
+        sim::RunProtocol(*protocol, config, *workload, protocol_seed, &pool,
+                         static_cast<int>(shards));
     if (!result.ok()) {
       std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
       return 1;
