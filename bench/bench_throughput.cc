@@ -25,6 +25,7 @@
 #include "futurerand/common/timer.h"
 #include "futurerand/core/aggregator.h"
 #include "futurerand/core/fleet.h"
+#include "futurerand/core/snapshot.h"
 #include "futurerand/core/wire.h"
 
 namespace {
@@ -37,22 +38,25 @@ struct PipelineStats {
   double encode_seconds = 0.0;  // EncodeReportBatch over all batches
   double ingest_seconds = 0.0;  // IngestEncoded over all batches
   double query_seconds = 0.0;   // EstimateAll
+  double checkpoint_seconds = 0.0;  // Checkpoint + Restore round-trip
   int64_t reports = 0;
   int64_t wire_bytes = 0;
+  int64_t checkpoint_bytes = 0;
   double final_estimate = 0.0;  // consume the output so nothing is elided
 };
 
 Result<PipelineStats> RunPipeline(const core::ProtocolConfig& config,
                                   int64_t n, int shards, ThreadPool* pool,
-                                  uint64_t seed) {
+                                  uint64_t seed, core::DedupPolicy dedup) {
   PipelineStats stats;
   WallTimer timer;
   FR_ASSIGN_OR_RETURN(core::ClientFleet fleet,
                       core::ClientFleet::Create(config, n, seed, pool));
   stats.create_seconds = timer.ElapsedSeconds();
 
-  FR_ASSIGN_OR_RETURN(core::ShardedAggregator aggregator,
-                      core::ShardedAggregator::ForProtocol(config, shards));
+  FR_ASSIGN_OR_RETURN(
+      core::ShardedAggregator aggregator,
+      core::ShardedAggregator::ForProtocol(config, shards, dedup));
   const std::string registration_bytes =
       core::EncodeRegistrationBatch(fleet.registrations());
   stats.wire_bytes += static_cast<int64_t>(registration_bytes.size());
@@ -92,6 +96,14 @@ Result<PipelineStats> RunPipeline(const core::ProtocolConfig& config,
                       aggregator.EstimateAll());
   stats.query_seconds = timer.ElapsedSeconds();
   stats.final_estimate = estimates.back();
+
+  // Recovery stage: serialize every shard and restore the blob into the
+  // same aggregator — the cost of one crash/restart cycle.
+  timer.Restart();
+  FR_ASSIGN_OR_RETURN(const std::string snapshot, aggregator.Checkpoint());
+  FR_RETURN_NOT_OK(aggregator.Restore(snapshot));
+  stats.checkpoint_seconds = timer.ElapsedSeconds();
+  stats.checkpoint_bytes = static_cast<int64_t>(snapshot.size());
   return stats;
 }
 
@@ -109,6 +121,7 @@ int Run(int argc, char** argv) {
   int64_t shards = 0;
   int64_t threads = ThreadPool::DefaultThreadCount();
   int64_t seed = 1;
+  bool dedup = false;
   bool json = false;
   bool help = false;
 
@@ -127,6 +140,9 @@ int Run(int argc, char** argv) {
                   "aggregator shards (0 = one per worker thread)");
   parser.AddInt64("threads", &threads, "worker threads");
   parser.AddInt64("seed", &seed, "base seed");
+  parser.AddBool("dedup", &dedup,
+                 "ingest with DedupPolicy::kIdempotent (measures the "
+                 "per-client boundary-bitmap overhead)");
   parser.AddBool("json", &json,
                  "print one machine-readable JSON line instead of a table");
   parser.AddBool("help", &help, "print usage");
@@ -161,7 +177,9 @@ int Run(int argc, char** argv) {
       shards > 0 ? static_cast<int>(shards) : pool.num_threads();
 
   const auto stats = RunPipeline(config, n, effective_shards, &pool,
-                                 static_cast<uint64_t>(seed));
+                                 static_cast<uint64_t>(seed),
+                                 dedup ? core::DedupPolicy::kIdempotent
+                                       : core::DedupPolicy::kStrict);
   if (!stats.ok()) {
     std::fprintf(stderr, "%s\n", stats.status().ToString().c_str());
     return 1;
@@ -203,6 +221,7 @@ int Run(int argc, char** argv) {
         .Add("k", k)
         .Add("eps", eps)
         .Add("randomizer", rand::RandomizerKindToString(*randomizer))
+        .Add("dedup", dedup ? 1 : 0)
         .Add("shards", effective_shards)
         .Add("threads", static_cast<int64_t>(pool.num_threads()))
         .Add("reports", stats->reports)
@@ -212,6 +231,8 @@ int Run(int argc, char** argv) {
         .Add("encode_sec", stats->encode_seconds)
         .Add("ingest_sec", stats->ingest_seconds)
         .Add("estimate_all_sec", stats->query_seconds)
+        .Add("checkpoint_sec", stats->checkpoint_seconds)
+        .Add("checkpoint_bytes", stats->checkpoint_bytes)
         .Add("user_periods_per_sec", Rate(user_periods, stats->tick_seconds))
         .Add("reports_per_sec", Rate(stats->reports, stats->ingest_seconds));
     if (!protocol_name.empty()) {
@@ -255,6 +276,12 @@ int Run(int argc, char** argv) {
                 TablePrinter::FormatCount(d),
                 TablePrinter::FormatCount(static_cast<int64_t>(
                     Rate(d, stats->query_seconds)))});
+  table.AddRow({"checkpoint+restore",
+                TablePrinter::FormatDouble(stats->checkpoint_seconds, 4),
+                TablePrinter::FormatCount(stats->checkpoint_bytes),
+                TablePrinter::FormatCount(static_cast<int64_t>(
+                    Rate(stats->checkpoint_bytes,
+                         stats->checkpoint_seconds)))});
   if (!protocol_name.empty()) {
     table.AddRow({"sim " + protocol_name,
                   TablePrinter::FormatDouble(sim_seconds, 4),

@@ -3,28 +3,32 @@
 #include <utility>
 
 #include "futurerand/common/macros.h"
+#include "futurerand/core/snapshot.h"
 
 namespace futurerand::core {
 
 ShardedAggregator::ShardedAggregator(int64_t num_periods,
                                      std::vector<double> level_scales,
+                                     DedupPolicy dedup,
                                      std::vector<Shard> shards,
                                      Server snapshot)
     : num_periods_(num_periods),
       level_scales_(std::move(level_scales)),
+      dedup_policy_(dedup),
       shards_(std::move(shards)),
       snapshot_mutex_(std::make_unique<std::mutex>()),
       snapshot_(std::move(snapshot)) {}
 
 Result<ShardedAggregator> ShardedAggregator::ForProtocol(
-    const ProtocolConfig& config, int num_shards) {
+    const ProtocolConfig& config, int num_shards, DedupPolicy dedup) {
   FR_ASSIGN_OR_RETURN(std::vector<double> scales,
                       ProtocolLevelScales(config));
-  return WithScales(config.num_periods, std::move(scales), num_shards);
+  return WithScales(config.num_periods, std::move(scales), num_shards, dedup);
 }
 
 Result<ShardedAggregator> ShardedAggregator::WithScales(
-    int64_t num_periods, std::vector<double> level_scales, int num_shards) {
+    int64_t num_periods, std::vector<double> level_scales, int num_shards,
+    DedupPolicy dedup) {
   if (num_shards < 1) {
     return Status::InvalidArgument("need at least one shard");
   }
@@ -32,13 +36,15 @@ Result<ShardedAggregator> ShardedAggregator::WithScales(
   shards.reserve(static_cast<size_t>(num_shards));
   for (int s = 0; s < num_shards; ++s) {
     FR_ASSIGN_OR_RETURN(Server server,
-                        Server::WithScales(num_periods, level_scales));
+                        Server::WithScales(num_periods, level_scales, dedup));
     shards.push_back(Shard{std::make_unique<std::mutex>(),
                            std::move(server)});
   }
+  // The snapshot shares the policy so MergeAggregatesOnly stays compatible;
+  // it never ingests, so the policy is otherwise inert there.
   FR_ASSIGN_OR_RETURN(Server snapshot,
-                      Server::WithScales(num_periods, level_scales));
-  return ShardedAggregator(num_periods, std::move(level_scales),
+                      Server::WithScales(num_periods, level_scales, dedup));
+  return ShardedAggregator(num_periods, std::move(level_scales), dedup,
                            std::move(shards), std::move(snapshot));
 }
 
@@ -54,7 +60,12 @@ void ShardedAggregator::MarkDirty() {
 
 template <typename Message, typename Apply>
 Status ShardedAggregator::IngestBatch(std::span<const Message> batch,
-                                      ThreadPool* pool, const Apply& apply) {
+                                      ThreadPool* pool,
+                                      IngestOutcome* outcome,
+                                      const Apply& apply) {
+  if (outcome != nullptr) {
+    *outcome = IngestOutcome{};
+  }
   if (batch.empty()) {
     return Status::OK();
   }
@@ -66,19 +77,28 @@ Status ShardedAggregator::IngestBatch(std::span<const Message> batch,
     buckets[static_cast<size_t>(ShardIndex(batch[i].client_id))].push_back(i);
   }
   std::vector<Status> shard_status(shards_.size());
+  std::vector<IngestOutcome> shard_outcome(shards_.size());
   auto ingest_shard = [&](size_t s) {
     if (buckets[s].empty()) {
       return;
     }
     Shard& shard = shards_[s];
     const std::lock_guard<std::mutex> lock(*shard.mutex);
+    const int64_t dropped_before = shard.server.duplicates_dropped();
+    int64_t accepted = 0;
     for (const size_t i : buckets[s]) {
       Status status = apply(shard.server, batch[i]);
       if (!status.ok()) {
         shard_status[s] = std::move(status);
-        return;
+        break;
       }
+      ++accepted;
     }
+    // An accepted record either mutated state or was absorbed as a
+    // retransmission; the shard's duplicate counter tells them apart.
+    const int64_t deduped =
+        shard.server.duplicates_dropped() - dropped_before;
+    shard_outcome[s] = IngestOutcome{accepted - deduped, deduped};
   };
   if (pool != nullptr && shards_.size() > 1) {
     pool->ParallelFor(static_cast<int64_t>(shards_.size()),
@@ -92,6 +112,12 @@ Status ShardedAggregator::IngestBatch(std::span<const Message> batch,
       ingest_shard(s);
     }
   }
+  if (outcome != nullptr) {
+    for (const IngestOutcome& shard : shard_outcome) {
+      outcome->applied += shard.applied;
+      outcome->deduped += shard.deduped;
+    }
+  }
   // Dirty even on error: a prefix of the batch may have been applied.
   MarkDirty();
   for (const Status& status : shard_status) {
@@ -101,8 +127,9 @@ Status ShardedAggregator::IngestBatch(std::span<const Message> batch,
 }
 
 Status ShardedAggregator::IngestRegistrations(
-    std::span<const RegistrationMessage> batch, ThreadPool* pool) {
-  return IngestBatch(batch, pool,
+    std::span<const RegistrationMessage> batch, ThreadPool* pool,
+    IngestOutcome* outcome) {
+  return IngestBatch(batch, pool, outcome,
                      [](Server& server, const RegistrationMessage& message) {
                        return server.RegisterClient(message.client_id,
                                                     message.level);
@@ -110,8 +137,9 @@ Status ShardedAggregator::IngestRegistrations(
 }
 
 Status ShardedAggregator::IngestReports(std::span<const ReportMessage> batch,
-                                        ThreadPool* pool) {
-  return IngestBatch(batch, pool,
+                                        ThreadPool* pool,
+                                        IngestOutcome* outcome) {
+  return IngestBatch(batch, pool, outcome,
                      [](Server& server, const ReportMessage& message) {
                        return server.SubmitReport(
                            message.client_id, message.time, message.value);
@@ -119,29 +147,83 @@ Status ShardedAggregator::IngestReports(std::span<const ReportMessage> batch,
 }
 
 Status ShardedAggregator::IngestEncoded(std::string_view bytes,
-                                        ThreadPool* pool) {
+                                        ThreadPool* pool,
+                                        IngestOutcome* outcome) {
+  if (outcome != nullptr) {
+    *outcome = IngestOutcome{};
+  }
   FR_ASSIGN_OR_RETURN(WireBatchKind kind, PeekBatchKind(bytes));
   switch (kind) {
     case WireBatchKind::kRegistration: {
       FR_ASSIGN_OR_RETURN(std::vector<RegistrationMessage> batch,
                           DecodeRegistrationBatch(bytes));
-      return IngestRegistrations(batch, pool);
+      return IngestRegistrations(batch, pool, outcome);
     }
     case WireBatchKind::kReport: {
       FR_ASSIGN_OR_RETURN(std::vector<ReportMessage> batch,
                           DecodeReportBatch(bytes));
-      return IngestReports(batch, pool);
+      return IngestReports(batch, pool, outcome);
     }
+    case WireBatchKind::kServerState:
+    case WireBatchKind::kAggregatorState:
+      return Status::InvalidArgument(
+          "snapshot blob is not an ingestible batch; use Restore");
   }
   return Status::Internal("unreachable wire batch kind");
+}
+
+Result<std::string> ShardedAggregator::Checkpoint() const {
+  std::vector<std::string> shard_states;
+  shard_states.reserve(shards_.size());
+  for (const Shard& shard : shards_) {
+    const std::lock_guard<std::mutex> lock(*shard.mutex);
+    shard_states.push_back(EncodeServerState(shard.server));
+  }
+  return EncodeAggregatorState(shard_states);
+}
+
+Status ShardedAggregator::Restore(std::string_view bytes) {
+  FR_ASSIGN_OR_RETURN(const std::vector<std::string> shard_states,
+                      DecodeAggregatorState(bytes));
+  if (shard_states.size() != shards_.size()) {
+    return Status::InvalidArgument(
+        "checkpoint shard count mismatches aggregator");
+  }
+  // Decode and validate everything before touching any shard: Restore
+  // either replaces the whole aggregator or leaves it unchanged.
+  std::vector<Server> servers;
+  servers.reserve(shard_states.size());
+  for (const std::string& state : shard_states) {
+    FR_ASSIGN_OR_RETURN(Server server, DecodeServerState(state));
+    if (server.num_periods() != num_periods_) {
+      return Status::InvalidArgument(
+          "checkpoint num_periods mismatches aggregator");
+    }
+    if (server.level_scales() != level_scales_) {
+      return Status::InvalidArgument(
+          "checkpoint level scales mismatch aggregator");
+    }
+    if (server.dedup_policy() != dedup_policy_) {
+      return Status::InvalidArgument(
+          "checkpoint dedup policy mismatches aggregator");
+    }
+    servers.push_back(std::move(server));
+  }
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    const std::lock_guard<std::mutex> lock(*shards_[s].mutex);
+    shards_[s].server = std::move(servers[s]);
+  }
+  MarkDirty();
+  return Status::OK();
 }
 
 Status ShardedAggregator::RefreshSnapshotLocked() const {
   if (!snapshot_dirty_) {
     return Status::OK();
   }
-  FR_ASSIGN_OR_RETURN(Server fresh,
-                      Server::WithScales(num_periods_, level_scales_));
+  FR_ASSIGN_OR_RETURN(
+      Server fresh,
+      Server::WithScales(num_periods_, level_scales_, dedup_policy_));
   for (const Shard& shard : shards_) {
     const std::lock_guard<std::mutex> lock(*shard.mutex);
     // Aggregates only: the snapshot never ingests reports itself, and
@@ -184,6 +266,15 @@ int64_t ShardedAggregator::num_clients() const {
   for (const Shard& shard : shards_) {
     const std::lock_guard<std::mutex> lock(*shard.mutex);
     total += shard.server.num_clients();
+  }
+  return total;
+}
+
+int64_t ShardedAggregator::duplicates_dropped() const {
+  int64_t total = 0;
+  for (const Shard& shard : shards_) {
+    const std::lock_guard<std::mutex> lock(*shard.mutex);
+    total += shard.server.duplicates_dropped();
   }
   return total;
 }

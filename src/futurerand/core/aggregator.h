@@ -28,6 +28,18 @@
 
 namespace futurerand::core {
 
+/// How far a batch ingest got: filled (when requested) by every Ingest*
+/// call, including failed ones, so callers can resume precisely. On an
+/// error, each shard stops at its first bad record; `applied` counts the
+/// records that mutated shard state across all shards. Under
+/// DedupPolicy::kIdempotent the safe retry after any error is to resend the
+/// whole batch — already-applied records land in `deduped` instead of
+/// double-counting.
+struct IngestOutcome {
+  int64_t applied = 0;  // records that mutated shard state
+  int64_t deduped = 0;  // retransmissions absorbed (kIdempotent only)
+};
+
 /// Thread-safe sharded aggregator. Move-only. Safe for concurrent Ingest*
 /// and Estimate* calls; a query concurrent with an in-flight ingest may see
 /// a prefix of that batch, but every query issued after an ingest returns
@@ -35,15 +47,19 @@ namespace futurerand::core {
 class ShardedAggregator {
  public:
   /// Builds `num_shards` Server shards (>= 1) for the protocol
-  /// configuration, with the exact per-level debiasing scales.
-  static Result<ShardedAggregator> ForProtocol(const ProtocolConfig& config,
-                                               int num_shards);
+  /// configuration, with the exact per-level debiasing scales. With
+  /// DedupPolicy::kIdempotent, at-least-once delivery (duplicates, retries,
+  /// reordering) produces estimates bit-identical to exactly-once.
+  static Result<ShardedAggregator> ForProtocol(
+      const ProtocolConfig& config, int num_shards,
+      DedupPolicy dedup = DedupPolicy::kStrict);
 
   /// Builds shards with externally supplied per-level report scales (for
   /// baseline protocols whose estimators carry extra factors, e.g. the
   /// Erlingsson server).
   static Result<ShardedAggregator> WithScales(
-      int64_t num_periods, std::vector<double> level_scales, int num_shards);
+      int64_t num_periods, std::vector<double> level_scales, int num_shards,
+      DedupPolicy dedup = DedupPolicy::kStrict);
 
   ShardedAggregator(ShardedAggregator&&) = default;
   ShardedAggregator& operator=(ShardedAggregator&&) = default;
@@ -52,19 +68,41 @@ class ShardedAggregator {
 
   /// Registers a batch of clients (id + sampled level). With a pool, shards
   /// ingest their slices concurrently. Batches are not atomic: on error,
-  /// records before the offending one stay applied and the first error (in
-  /// shard order) is returned.
+  /// records before the offending one (per shard) stay applied and the
+  /// first error (in shard order) is returned; `*outcome`, if given, is
+  /// filled either way.
   Status IngestRegistrations(std::span<const RegistrationMessage> batch,
-                             ThreadPool* pool = nullptr);
+                             ThreadPool* pool = nullptr,
+                             IngestOutcome* outcome = nullptr);
 
   /// Ingests a batch of perturbed reports; same concurrency and error
   /// semantics as IngestRegistrations.
   Status IngestReports(std::span<const ReportMessage> batch,
-                       ThreadPool* pool = nullptr);
+                       ThreadPool* pool = nullptr,
+                       IngestOutcome* outcome = nullptr);
 
   /// Ingests raw wire bytes — a registration or report batch, detected from
   /// the header — with exactly one decode and no caller-side fan-out.
-  Status IngestEncoded(std::string_view bytes, ThreadPool* pool = nullptr);
+  /// Snapshot blobs are rejected: restoring state is Restore's job, not an
+  /// ingestion side effect.
+  Status IngestEncoded(std::string_view bytes, ThreadPool* pool = nullptr,
+                       IngestOutcome* outcome = nullptr);
+
+  /// Serializes every shard into one versioned, checksummed blob (see
+  /// core/snapshot.h). Shards are captured one at a time: concurrent
+  /// ingestion is safe but lands in the checkpoint only partially — quiesce
+  /// ingestion for a point-in-time snapshot.
+  Result<std::string> Checkpoint() const;
+
+  /// Replaces all shard state with a Checkpoint blob. The aggregator must
+  /// have the same shape as the checkpointed one (num_periods, scales,
+  /// shard count, dedup policy); estimates afterwards are bit-identical to
+  /// the checkpointed aggregator's, and ingestion resumes exactly where the
+  /// checkpoint left off. On any error the aggregator is unchanged. Like
+  /// Checkpoint, quiesce ingestion first: shards are swapped one at a
+  /// time, so a batch ingested concurrently with Restore may survive on
+  /// some shards and be wiped on others.
+  Status Restore(std::string_view bytes);
 
   /// The online estimate a_hat[t]; see Server::EstimateAt.
   Result<double> EstimateAt(int64_t t) const;
@@ -82,8 +120,13 @@ class ShardedAggregator {
   int num_shards() const { return static_cast<int>(shards_.size()); }
   int64_t num_periods() const { return num_periods_; }
 
+  DedupPolicy dedup_policy() const { return dedup_policy_; }
+
   /// Registered clients, summed over shards.
   int64_t num_clients() const;
+
+  /// Retransmissions absorbed under kIdempotent, summed over shards.
+  int64_t duplicates_dropped() const;
 
   /// The shard a client id maps to (id mod num_shards, non-negative).
   int ShardIndex(int64_t client_id) const;
@@ -95,7 +138,8 @@ class ShardedAggregator {
   };
 
   ShardedAggregator(int64_t num_periods, std::vector<double> level_scales,
-                    std::vector<Shard> shards, Server snapshot);
+                    DedupPolicy dedup, std::vector<Shard> shards,
+                    Server snapshot);
 
   // Re-merges every shard into snapshot_ if ingestion happened since the
   // last refresh. Caller holds *snapshot_mutex_.
@@ -105,10 +149,11 @@ class ShardedAggregator {
 
   template <typename Message, typename Apply>
   Status IngestBatch(std::span<const Message> batch, ThreadPool* pool,
-                     const Apply& apply);
+                     IngestOutcome* outcome, const Apply& apply);
 
   int64_t num_periods_;
   std::vector<double> level_scales_;
+  DedupPolicy dedup_policy_;
   std::vector<Shard> shards_;
 
   // Lazily merged view of all shards; valid iff !snapshot_dirty_.

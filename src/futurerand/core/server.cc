@@ -11,10 +11,22 @@
 
 namespace futurerand::core {
 
-Server::Server(int64_t num_periods, std::vector<double> level_scales)
-    : level_scales_(std::move(level_scales)),
+Server::Server(int64_t num_periods, std::vector<double> level_scales,
+               DedupPolicy policy)
+    : dedup_policy_(policy),
+      level_scales_(std::move(level_scales)),
       sums_(num_periods),
       level_counts_(level_scales_.size(), 0) {}
+
+const char* DedupPolicyToString(DedupPolicy policy) {
+  switch (policy) {
+    case DedupPolicy::kStrict:
+      return "strict";
+    case DedupPolicy::kIdempotent:
+      return "idempotent";
+  }
+  return "unknown";
+}
 
 Result<std::vector<double>> ProtocolLevelScales(
     const ProtocolConfig& config) {
@@ -34,14 +46,16 @@ Result<std::vector<double>> ProtocolLevelScales(
   return scales;
 }
 
-Result<Server> Server::ForProtocol(const ProtocolConfig& config) {
+Result<Server> Server::ForProtocol(const ProtocolConfig& config,
+                                   DedupPolicy policy) {
   FR_ASSIGN_OR_RETURN(std::vector<double> scales,
                       ProtocolLevelScales(config));
-  return Server(config.num_periods, std::move(scales));
+  return Server(config.num_periods, std::move(scales), policy);
 }
 
 Result<Server> Server::WithScales(int64_t num_periods,
-                                  std::vector<double> level_scales) {
+                                  std::vector<double> level_scales,
+                                  DedupPolicy policy) {
   if (num_periods < 1 || !IsPowerOfTwo(static_cast<uint64_t>(num_periods))) {
     return Status::InvalidArgument("num_periods must be a power of two");
   }
@@ -50,10 +64,10 @@ Result<Server> Server::WithScales(int64_t num_periods,
   if (level_scales.size() != expected) {
     return Status::InvalidArgument("need one scale per dyadic order");
   }
-  return Server(num_periods, std::move(level_scales));
+  return Server(num_periods, std::move(level_scales), policy);
 }
 
-Status Server::RegisterClient(int64_t client_id, int level) {
+Status Server::RegisterClientStrict(int64_t client_id, int level) {
   if (level < 0 || level >= static_cast<int>(level_scales_.size())) {
     return Status::InvalidArgument("level out of range");
   }
@@ -64,6 +78,26 @@ Status Server::RegisterClient(int64_t client_id, int level) {
   }
   ++level_counts_[static_cast<size_t>(level)];
   return Status::OK();
+}
+
+Status Server::RegisterClient(int64_t client_id, int level) {
+  if (dedup_policy_ == DedupPolicy::kIdempotent) {
+    const auto it = client_levels_.find(client_id);
+    if (it != client_levels_.end()) {
+      if (it->second != level) {
+        return Status::AlreadyExists(
+            "client already registered at a different level");
+      }
+      ++duplicates_dropped_;  // faithful retransmission of a registration
+      return Status::OK();
+    }
+  }
+  return RegisterClientStrict(client_id, level);
+}
+
+int64_t Server::BitmapWordsAtLevel(int level) const {
+  const int64_t boundaries = sums_.domain_size() >> level;
+  return (boundaries + 63) / 64;
 }
 
 Status Server::SubmitReport(int64_t client_id, int64_t time, int8_t report) {
@@ -83,11 +117,26 @@ Status Server::SubmitReport(int64_t client_id, int64_t time, int8_t report) {
     return Status::InvalidArgument(
         "level-h clients report only at multiples of 2^h");
   }
-  auto& last_time = last_report_time_[client_id];
-  if (time <= last_time) {
-    return Status::InvalidArgument("duplicate or out-of-order report");
+  if (dedup_policy_ == DedupPolicy::kIdempotent) {
+    std::vector<uint64_t>& seen = seen_boundaries_[client_id];
+    if (seen.empty()) {
+      seen.assign(static_cast<size_t>(BitmapWordsAtLevel(level)), 0);
+    }
+    const auto boundary = static_cast<uint64_t>((time >> level) - 1);
+    uint64_t& word = seen[static_cast<size_t>(boundary >> 6)];
+    const uint64_t bit = uint64_t{1} << (boundary & 63);
+    if ((word & bit) != 0) {
+      ++duplicates_dropped_;
+      return Status::OK();
+    }
+    word |= bit;
+  } else {
+    auto& last_time = last_report_time_[client_id];
+    if (time <= last_time) {
+      return Status::InvalidArgument("duplicate or out-of-order report");
+    }
+    last_time = time;
   }
-  last_time = time;
   sums_.At(level, time >> level) += report;
   return Status::OK();
 }
@@ -160,12 +209,19 @@ Result<std::vector<double>> Server::EstimateAllConsistent() const {
 Status Server::Merge(const Server& other) {
   FR_RETURN_NOT_OK(CheckMergeCompatible(other));
   for (const auto& [client_id, level] : other.client_levels_) {
-    FR_RETURN_NOT_OK(RegisterClient(client_id, level));
+    // Strict registration regardless of policy: merged shards partition the
+    // client population, so a shared id is a sharding bug, not a retry.
+    FR_RETURN_NOT_OK(RegisterClientStrict(client_id, level));
     const auto last_it = other.last_report_time_.find(client_id);
     if (last_it != other.last_report_time_.end()) {
       last_report_time_[client_id] = last_it->second;
     }
+    const auto seen_it = other.seen_boundaries_.find(client_id);
+    if (seen_it != other.seen_boundaries_.end()) {
+      seen_boundaries_[client_id] = seen_it->second;
+    }
   }
+  duplicates_dropped_ += other.duplicates_dropped_;
   AddSums(other);
   return Status::OK();
 }
@@ -188,6 +244,10 @@ Status Server::CheckMergeCompatible(const Server& other) const {
   if (other.level_scales_ != level_scales_) {
     return Status::InvalidArgument(
         "cannot merge servers with mismatched level scales");
+  }
+  if (other.dedup_policy_ != dedup_policy_) {
+    return Status::InvalidArgument(
+        "cannot merge servers with mismatched dedup policies");
   }
   return Status::OK();
 }

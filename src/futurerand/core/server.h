@@ -20,6 +20,25 @@
 
 namespace futurerand::core {
 
+/// How the server treats a report it has already seen. The paper assumes
+/// exactly-once, in-order transport; a deployed collector sees at-least-once
+/// delivery with retries, so duplicates and reordering are normal.
+enum class DedupPolicy {
+  /// Paper-faithful: a duplicate or non-monotone report time is an error.
+  /// Cheapest (one int64 per client) but only correct behind an
+  /// exactly-once, in-order transport.
+  kStrict,
+  /// Idempotent ingest: a level-h client reports at most once per dyadic
+  /// boundary, so a per-client bitmap over its d/2^h boundaries detects
+  /// retransmissions exactly. Duplicates are dropped (counted, not errors)
+  /// and reports may arrive in any order, making at-least-once delivery
+  /// bit-identical to exactly-once. Re-registering a client with its
+  /// original level is likewise a counted no-op.
+  kIdempotent,
+};
+
+const char* DedupPolicyToString(DedupPolicy policy);
+
 /// The exact per-level debiasing scales of Algorithm 2 line 5 for the
 /// protocol configuration: (1 + log d) / c_gap(h), where c_gap(h) matches
 /// the randomizer the level-h clients instantiate. Shared by
@@ -33,13 +52,15 @@ class Server {
  public:
   /// Builds a server for the protocol configuration; computes the exact
   /// per-level debiasing scales from the randomizer kind.
-  static Result<Server> ForProtocol(const ProtocolConfig& config);
+  static Result<Server> ForProtocol(const ProtocolConfig& config,
+                                    DedupPolicy policy = DedupPolicy::kStrict);
 
   /// Builds a server with externally supplied per-level report scales
   /// (scales[h] multiplies each raw report of a level-h client). Used by
   /// baseline protocols whose estimators carry extra factors.
   static Result<Server> WithScales(int64_t num_periods,
-                                   std::vector<double> level_scales);
+                                   std::vector<double> level_scales,
+                                   DedupPolicy policy = DedupPolicy::kStrict);
 
   Server(Server&&) = default;
   Server& operator=(Server&&) = default;
@@ -47,11 +68,15 @@ class Server {
   Server& operator=(const Server&) = delete;
 
   /// Registers a client with its sampled level h in [0..log d]. Errors on
-  /// duplicate ids or out-of-range levels.
+  /// out-of-range levels. A duplicate id is an error under kStrict; under
+  /// kIdempotent a re-registration with the original level is a counted
+  /// no-op (a different level is still an error).
   Status RegisterClient(int64_t client_id, int level);
 
-  /// Ingests the report a level-h client emitted at time t (which must be a
-  /// multiple of 2^h, strictly later than the client's previous report).
+  /// Ingests the report a level-h client emitted at time t (a multiple of
+  /// 2^h). Under kStrict, t must be strictly later than the client's
+  /// previous report; under kIdempotent, reports arrive in any order and a
+  /// boundary already seen is dropped silently (see duplicates_dropped()).
   Status SubmitReport(int64_t client_id, int64_t time, int8_t report);
 
   /// The online estimate a_hat[t] (Algorithm 2 line 6), valid as soon as
@@ -102,17 +127,39 @@ class Server {
   /// The debiasing scale applied to level-h reports.
   double ScaleAtLevel(int level) const;
 
+  /// All per-level debiasing scales, indexed by order h.
+  const std::vector<double>& level_scales() const { return level_scales_; }
+
+  DedupPolicy dedup_policy() const { return dedup_policy_; }
+
+  /// Retransmissions absorbed under kIdempotent: duplicate reports dropped
+  /// plus same-level re-registrations ignored. Always 0 under kStrict.
+  int64_t duplicates_dropped() const { return duplicates_dropped_; }
+
  private:
-  Server(int64_t num_periods, std::vector<double> level_scales);
+  friend struct ServerStateCodec;  // core/snapshot.cc: checkpoint wire format
+
+  Server(int64_t num_periods, std::vector<double> level_scales,
+         DedupPolicy policy);
 
   Status CheckMergeCompatible(const Server& other) const;
   void AddSums(const Server& other);
+  Status RegisterClientStrict(int64_t client_id, int level);
 
+  /// Words of the kIdempotent boundary bitmap for a level-h client:
+  /// one bit per multiple of 2^h in [1..d].
+  int64_t BitmapWordsAtLevel(int level) const;
+
+  DedupPolicy dedup_policy_;
   std::vector<double> level_scales_;
   dyadic::DyadicTree<int64_t> sums_;  // raw sum of +/-1 reports per interval
   std::unordered_map<int64_t, int> client_levels_;
+  // kStrict: the client's last accepted report time (monotonicity check).
   std::unordered_map<int64_t, int64_t> last_report_time_;
+  // kIdempotent: one bit per dyadic boundary the client has reported at.
+  std::unordered_map<int64_t, std::vector<uint64_t>> seen_boundaries_;
   std::vector<int64_t> level_counts_;
+  int64_t duplicates_dropped_ = 0;
 };
 
 }  // namespace futurerand::core

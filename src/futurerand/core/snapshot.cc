@@ -1,0 +1,248 @@
+#include "futurerand/core/snapshot.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstdint>
+#include <utility>
+
+#include "futurerand/common/macros.h"
+#include "futurerand/common/math.h"
+#include "futurerand/core/wire.h"
+#include "futurerand/dyadic/decomposition.h"
+
+namespace futurerand::core {
+
+namespace {
+
+using wire_internal::AppendChecksum;
+using wire_internal::AppendHeader;
+using wire_internal::ConsumeChecksum;
+using wire_internal::ConsumeHeader;
+using wire_internal::GetVarint64;
+using wire_internal::PutVarint64;
+using wire_internal::ZigZagDecode;
+using wire_internal::ZigZagEncode;
+
+void PutDoubleBits(double value, std::string* out) {
+  wire_internal::PutFixed64(std::bit_cast<uint64_t>(value), out);
+}
+
+Result<double> GetDoubleBits(std::string_view* bytes) {
+  FR_ASSIGN_OR_RETURN(const uint64_t bits,
+                      wire_internal::GetFixed64(bytes));
+  return std::bit_cast<double>(bits);
+}
+
+// Decoded varints drive allocations, so every size read from the wire is
+// cross-checked against the bytes that remain: a field claiming more
+// records than the blob could possibly hold is rejected before any
+// allocation, keeping memory use proportional to the input size.
+Status CheckPlausibleCount(uint64_t count, size_t min_bytes_per_item,
+                           std::string_view remaining) {
+  if (count > remaining.size() / std::max<size_t>(min_bytes_per_item, 1)) {
+    return Status::InvalidArgument("record count exceeds blob size");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+// Friend of Server: the only code that reads/writes its private state.
+struct ServerStateCodec {
+  static std::string Encode(const Server& server) {
+    std::string out;
+    AppendHeader(wire_internal::kKindServerState, &out);
+    PutVarint64(static_cast<uint64_t>(server.sums_.domain_size()), &out);
+    PutVarint64(server.dedup_policy_ == DedupPolicy::kIdempotent ? 1 : 0,
+                &out);
+    const int orders = server.sums_.num_orders();
+    PutVarint64(static_cast<uint64_t>(orders), &out);
+    for (int h = 0; h < orders; ++h) {
+      PutDoubleBits(server.level_scales_[static_cast<size_t>(h)], &out);
+      PutVarint64(
+          static_cast<uint64_t>(server.level_counts_[static_cast<size_t>(h)]),
+          &out);
+    }
+    for (int h = 0; h < orders; ++h) {
+      const int64_t count =
+          dyadic::NumIntervalsAtOrder(server.sums_.domain_size(), h);
+      for (int64_t j = 1; j <= count; ++j) {
+        PutVarint64(ZigZagEncode(server.sums_.At(h, j)), &out);
+      }
+    }
+    PutVarint64(static_cast<uint64_t>(server.duplicates_dropped_), &out);
+
+    // Clients in id order: unordered_map iteration would make equal states
+    // encode to different bytes.
+    std::vector<int64_t> ids;
+    ids.reserve(server.client_levels_.size());
+    for (const auto& [id, level] : server.client_levels_) {
+      ids.push_back(id);
+    }
+    std::sort(ids.begin(), ids.end());
+    PutVarint64(ids.size(), &out);
+    int64_t previous_id = 0;
+    for (const int64_t id : ids) {
+      const int level = server.client_levels_.at(id);
+      PutVarint64(ZigZagEncode(id - previous_id), &out);
+      PutVarint64(static_cast<uint64_t>(level), &out);
+      previous_id = id;
+      if (server.dedup_policy_ == DedupPolicy::kIdempotent) {
+        const auto seen_it = server.seen_boundaries_.find(id);
+        const int64_t words = server.BitmapWordsAtLevel(level);
+        for (int64_t w = 0; w < words; ++w) {
+          const uint64_t word =
+              (seen_it != server.seen_boundaries_.end() &&
+               !seen_it->second.empty())
+                  ? seen_it->second[static_cast<size_t>(w)]
+                  : 0;
+          PutVarint64(word, &out);
+        }
+      } else {
+        const auto last_it = server.last_report_time_.find(id);
+        const int64_t last =
+            last_it != server.last_report_time_.end() ? last_it->second : 0;
+        PutVarint64(static_cast<uint64_t>(last), &out);
+      }
+    }
+    AppendChecksum(&out);
+    return out;
+  }
+
+  static Result<Server> Decode(std::string_view bytes) {
+    FR_RETURN_NOT_OK(ConsumeChecksum(&bytes));
+    FR_RETURN_NOT_OK(ConsumeHeader(wire_internal::kKindServerState, &bytes));
+    FR_ASSIGN_OR_RETURN(const uint64_t raw_periods, GetVarint64(&bytes));
+    if (raw_periods < 1 || raw_periods > (uint64_t{1} << 40) ||
+        !IsPowerOfTwo(raw_periods)) {
+      return Status::InvalidArgument("implausible snapshot num_periods");
+    }
+    const auto d = static_cast<int64_t>(raw_periods);
+    // The sums section alone needs 2d-1 varints of >= 1 byte.
+    FR_RETURN_NOT_OK(CheckPlausibleCount(raw_periods, 2, bytes));
+    FR_ASSIGN_OR_RETURN(const uint64_t policy_byte, GetVarint64(&bytes));
+    if (policy_byte > 1) {
+      return Status::InvalidArgument("unknown snapshot dedup policy");
+    }
+    const DedupPolicy policy = policy_byte == 1 ? DedupPolicy::kIdempotent
+                                                : DedupPolicy::kStrict;
+    FR_ASSIGN_OR_RETURN(const uint64_t orders, GetVarint64(&bytes));
+    if (orders != static_cast<uint64_t>(Log2Exact(raw_periods) + 1)) {
+      return Status::InvalidArgument("snapshot level count mismatches d");
+    }
+    std::vector<double> scales(static_cast<size_t>(orders));
+    std::vector<int64_t> counts(static_cast<size_t>(orders));
+    for (uint64_t h = 0; h < orders; ++h) {
+      FR_ASSIGN_OR_RETURN(scales[h], GetDoubleBits(&bytes));
+      FR_ASSIGN_OR_RETURN(const uint64_t count, GetVarint64(&bytes));
+      if (count > (uint64_t{1} << 62)) {
+        return Status::InvalidArgument("implausible snapshot level count");
+      }
+      counts[h] = static_cast<int64_t>(count);
+    }
+    FR_ASSIGN_OR_RETURN(Server server, Server::WithScales(d, scales, policy));
+    server.level_counts_ = std::move(counts);
+    for (int h = 0; h < static_cast<int>(orders); ++h) {
+      const int64_t count = dyadic::NumIntervalsAtOrder(d, h);
+      for (int64_t j = 1; j <= count; ++j) {
+        FR_ASSIGN_OR_RETURN(const uint64_t raw_sum, GetVarint64(&bytes));
+        server.sums_.At(h, j) = ZigZagDecode(raw_sum);
+      }
+    }
+    FR_ASSIGN_OR_RETURN(const uint64_t dropped, GetVarint64(&bytes));
+    if (dropped > (uint64_t{1} << 62)) {
+      return Status::InvalidArgument("implausible snapshot duplicate count");
+    }
+    server.duplicates_dropped_ = static_cast<int64_t>(dropped);
+
+    FR_ASSIGN_OR_RETURN(const uint64_t num_clients, GetVarint64(&bytes));
+    FR_RETURN_NOT_OK(CheckPlausibleCount(num_clients, 3, bytes));
+    server.client_levels_.reserve(num_clients);
+    int64_t previous_id = 0;
+    for (uint64_t c = 0; c < num_clients; ++c) {
+      FR_ASSIGN_OR_RETURN(const uint64_t id_delta, GetVarint64(&bytes));
+      FR_ASSIGN_OR_RETURN(const uint64_t raw_level, GetVarint64(&bytes));
+      if (raw_level >= orders) {
+        return Status::InvalidArgument("snapshot client level out of range");
+      }
+      const int64_t id = previous_id + ZigZagDecode(id_delta);
+      const int level = static_cast<int>(raw_level);
+      previous_id = id;
+      if (!server.client_levels_.emplace(id, level).second) {
+        return Status::InvalidArgument("snapshot repeats a client id");
+      }
+      if (policy == DedupPolicy::kIdempotent) {
+        const int64_t words = server.BitmapWordsAtLevel(level);
+        std::vector<uint64_t> seen(static_cast<size_t>(words), 0);
+        bool any = false;
+        for (int64_t w = 0; w < words; ++w) {
+          FR_ASSIGN_OR_RETURN(seen[static_cast<size_t>(w)],
+                              GetVarint64(&bytes));
+          any = any || seen[static_cast<size_t>(w)] != 0;
+        }
+        if (any) {
+          server.seen_boundaries_.emplace(id, std::move(seen));
+        }
+      } else {
+        FR_ASSIGN_OR_RETURN(const uint64_t last, GetVarint64(&bytes));
+        if (last > raw_periods ||
+            last % (uint64_t{1} << static_cast<uint64_t>(level)) != 0) {
+          return Status::InvalidArgument(
+              "snapshot last report time invalid for level");
+        }
+        if (last != 0) {
+          server.last_report_time_[id] = static_cast<int64_t>(last);
+        }
+      }
+    }
+    if (!bytes.empty()) {
+      return Status::InvalidArgument("trailing bytes after snapshot");
+    }
+    return server;
+  }
+};
+
+std::string EncodeServerState(const Server& server) {
+  return ServerStateCodec::Encode(server);
+}
+
+Result<Server> DecodeServerState(std::string_view bytes) {
+  return ServerStateCodec::Decode(bytes);
+}
+
+std::string EncodeAggregatorState(const std::vector<std::string>& shards) {
+  std::string out;
+  AppendHeader(wire_internal::kKindAggregatorState, &out);
+  PutVarint64(shards.size(), &out);
+  for (const std::string& shard : shards) {
+    PutVarint64(shard.size(), &out);
+    out.append(shard);
+  }
+  AppendChecksum(&out);
+  return out;
+}
+
+Result<std::vector<std::string>> DecodeAggregatorState(
+    std::string_view bytes) {
+  FR_RETURN_NOT_OK(ConsumeChecksum(&bytes));
+  FR_RETURN_NOT_OK(
+      ConsumeHeader(wire_internal::kKindAggregatorState, &bytes));
+  FR_ASSIGN_OR_RETURN(const uint64_t num_shards, GetVarint64(&bytes));
+  FR_RETURN_NOT_OK(CheckPlausibleCount(num_shards, 1, bytes));
+  std::vector<std::string> shards;
+  shards.reserve(num_shards);
+  for (uint64_t s = 0; s < num_shards; ++s) {
+    FR_ASSIGN_OR_RETURN(const uint64_t length, GetVarint64(&bytes));
+    if (length > bytes.size()) {
+      return Status::InvalidArgument("truncated shard state");
+    }
+    shards.emplace_back(bytes.substr(0, length));
+    bytes.remove_prefix(length);
+  }
+  if (!bytes.empty()) {
+    return Status::InvalidArgument("trailing bytes after checkpoint");
+  }
+  return shards;
+}
+
+}  // namespace futurerand::core

@@ -1,0 +1,61 @@
+// Versioned checkpoint format for server and aggregator state.
+//
+// A restarted collector must resume with bit-identical estimates, so the
+// snapshot serializes everything a Server accumulates: per-interval report
+// sums, per-level client counts and debiasing scales (raw IEEE-754 bits),
+// the registered-client map, and the dedup-policy bookkeeping (per-client
+// last report times under kStrict, boundary bitmaps under kIdempotent).
+//
+// Blobs reuse the FRW header scheme of core/wire.h (kinds kServerState and
+// kAggregatorState) and end with an FNV-1a 64 checksum over the entire
+// blob, so persisted state that rotted on disk or in transit is always
+// rejected — a corrupted checkpoint must never restore silently.
+//
+// Layout (all varints LEB128, signed values zigzagged):
+//
+//   ServerState      := header(kServerState) payload checksum8
+//   payload          := d policy num_levels level* sums dropped clients
+//   level            := scale_bits8 level_count
+//   sums             := zigzag(sum[h][j]) for h in [0..L), j in [1..d/2^h]
+//   clients          := count (id_delta level dedup_state)*   // id-sorted
+//   dedup_state      := last_report_time            (kStrict)
+//                     | bitmap_word * words(d, h)   (kIdempotent)
+//
+//   AggregatorState  := header(kAggregatorState) num_shards
+//                       (length ServerState)* checksum8
+
+#ifndef FUTURERAND_CORE_SNAPSHOT_H_
+#define FUTURERAND_CORE_SNAPSHOT_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "futurerand/common/result.h"
+#include "futurerand/core/server.h"
+
+namespace futurerand::core {
+
+/// Serializes one Server's full state. Deterministic: equal server state
+/// yields equal bytes (clients are emitted in id order).
+std::string EncodeServerState(const Server& server);
+
+/// Rebuilds a Server from EncodeServerState output. Rejects truncation,
+/// checksum mismatches, malformed fields, and implausible shapes; the
+/// returned server answers every Estimate* query bit-identically to the
+/// encoded one and continues ingesting exactly where it left off.
+Result<Server> DecodeServerState(std::string_view bytes);
+
+/// Frames per-shard ServerState blobs into one aggregator checkpoint.
+/// Used by ShardedAggregator::Checkpoint; exposed for tools that persist
+/// shard state themselves.
+std::string EncodeAggregatorState(const std::vector<std::string>& shards);
+
+/// Splits an aggregator checkpoint back into its per-shard ServerState
+/// blobs (still encoded; decode each with DecodeServerState).
+Result<std::vector<std::string>> DecodeAggregatorState(
+    std::string_view bytes);
+
+}  // namespace futurerand::core
+
+#endif  // FUTURERAND_CORE_SNAPSHOT_H_

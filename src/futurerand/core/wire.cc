@@ -1,8 +1,29 @@
 #include "futurerand/core/wire.h"
 
+#include <algorithm>
+
 namespace futurerand::core {
 
 namespace wire_internal {
+
+void PutFixed64(uint64_t value, std::string* out) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<char>(value & 0xff));
+    value >>= 8;
+  }
+}
+
+Result<uint64_t> GetFixed64(std::string_view* bytes) {
+  if (bytes->size() < 8) {
+    return Status::InvalidArgument("truncated fixed64");
+  }
+  uint64_t value = 0;
+  for (int i = 7; i >= 0; --i) {
+    value = (value << 8) | static_cast<uint8_t>((*bytes)[static_cast<size_t>(i)]);
+  }
+  bytes->remove_prefix(8);
+  return value;
+}
 
 void PutVarint64(uint64_t value, std::string* out) {
   while (value >= 0x80) {
@@ -40,34 +61,25 @@ int64_t ZigZagDecode(uint64_t value) {
          -static_cast<int64_t>(value & 1);
 }
 
-}  // namespace wire_internal
-
 namespace {
-
-using wire_internal::GetVarint64;
-using wire_internal::PutVarint64;
-using wire_internal::ZigZagDecode;
-using wire_internal::ZigZagEncode;
 
 constexpr char kMagic0 = 'F';
 constexpr char kMagic1 = 'R';
 constexpr char kMagic2 = 'W';
 constexpr char kVersion = 1;
-constexpr char kKindRegistration = 1;
-constexpr char kKindReport = 2;
 
-void AppendHeader(char kind, size_t count, std::string* out) {
+}  // namespace
+
+void AppendHeader(char kind, std::string* out) {
   out->push_back(kMagic0);
   out->push_back(kMagic1);
   out->push_back(kMagic2);
   out->push_back(kVersion);
   out->push_back(kind);
-  PutVarint64(count, out);
 }
 
-// Validates magic and version and returns the raw kind byte.
 Result<char> CheckHeader(std::string_view bytes) {
-  if (bytes.size() < 5) {
+  if (bytes.size() < kHeaderSize) {
     return Status::InvalidArgument("batch shorter than its header");
   }
   if (bytes[0] != kMagic0 || bytes[1] != kMagic1 || bytes[2] != kMagic2) {
@@ -79,25 +91,78 @@ Result<char> CheckHeader(std::string_view bytes) {
   return bytes[4];
 }
 
-// Validates the fixed header and returns the record count.
-Result<uint64_t> ConsumeHeader(char expected_kind, std::string_view* bytes) {
+Status ConsumeHeader(char expected_kind, std::string_view* bytes) {
   FR_ASSIGN_OR_RETURN(const char kind, CheckHeader(*bytes));
   if (kind != expected_kind) {
     return Status::InvalidArgument("unexpected batch kind");
   }
-  bytes->remove_prefix(5);
+  bytes->remove_prefix(kHeaderSize);
+  return Status::OK();
+}
+
+uint64_t Fnv1a64(std::string_view bytes) {
+  uint64_t hash = 0xcbf29ce484222325ULL;
+  for (const char c : bytes) {
+    hash ^= static_cast<uint8_t>(c);
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+void AppendChecksum(std::string* out) {
+  PutFixed64(Fnv1a64(*out), out);
+}
+
+Status ConsumeChecksum(std::string_view* bytes) {
+  if (bytes->size() < 8) {
+    return Status::InvalidArgument("blob shorter than its checksum");
+  }
+  const std::string_view payload = bytes->substr(0, bytes->size() - 8);
+  std::string_view trailer = bytes->substr(payload.size());
+  FR_ASSIGN_OR_RETURN(const uint64_t stored, GetFixed64(&trailer));
+  if (stored != Fnv1a64(payload)) {
+    return Status::InvalidArgument("checksum mismatch: corrupted blob");
+  }
+  *bytes = payload;
+  return Status::OK();
+}
+
+}  // namespace wire_internal
+
+namespace {
+
+using wire_internal::GetVarint64;
+using wire_internal::PutVarint64;
+using wire_internal::ZigZagDecode;
+using wire_internal::ZigZagEncode;
+using wire_internal::kKindRegistration;
+using wire_internal::kKindReport;
+
+void AppendBatchHeader(char kind, size_t count, std::string* out) {
+  wire_internal::AppendHeader(kind, out);
+  PutVarint64(count, out);
+}
+
+// Validates the fixed header and returns the record count.
+Result<uint64_t> ConsumeBatchHeader(char expected_kind,
+                                    std::string_view* bytes) {
+  FR_RETURN_NOT_OK(wire_internal::ConsumeHeader(expected_kind, bytes));
   return GetVarint64(bytes);
 }
 
 }  // namespace
 
 Result<WireBatchKind> PeekBatchKind(std::string_view bytes) {
-  FR_ASSIGN_OR_RETURN(const char kind, CheckHeader(bytes));
+  FR_ASSIGN_OR_RETURN(const char kind, wire_internal::CheckHeader(bytes));
   switch (kind) {
-    case kKindRegistration:
+    case wire_internal::kKindRegistration:
       return WireBatchKind::kRegistration;
-    case kKindReport:
+    case wire_internal::kKindReport:
       return WireBatchKind::kReport;
+    case wire_internal::kKindServerState:
+      return WireBatchKind::kServerState;
+    case wire_internal::kKindAggregatorState:
+      return WireBatchKind::kAggregatorState;
     default:
       return Status::InvalidArgument("unknown batch kind");
   }
@@ -106,7 +171,7 @@ Result<WireBatchKind> PeekBatchKind(std::string_view bytes) {
 std::string EncodeRegistrationBatch(
     const std::vector<RegistrationMessage>& batch) {
   std::string out;
-  AppendHeader(kKindRegistration, batch.size(), &out);
+  AppendBatchHeader(kKindRegistration, batch.size(), &out);
   int64_t previous_id = 0;
   for (const RegistrationMessage& message : batch) {
     PutVarint64(ZigZagEncode(message.client_id - previous_id), &out);
@@ -119,9 +184,13 @@ std::string EncodeRegistrationBatch(
 Result<std::vector<RegistrationMessage>> DecodeRegistrationBatch(
     std::string_view bytes) {
   FR_ASSIGN_OR_RETURN(uint64_t count,
-                      ConsumeHeader(kKindRegistration, &bytes));
+                      ConsumeBatchHeader(kKindRegistration, &bytes));
   std::vector<RegistrationMessage> batch;
-  batch.reserve(count);
+  // A record costs >= 2 bytes, so a count claiming more than the remaining
+  // bytes allow is corrupt; clamping keeps the reserve proportional to the
+  // input instead of trusting a (possibly bit-flipped) varint.
+  batch.reserve(static_cast<size_t>(
+      std::min<uint64_t>(count, bytes.size() / 2 + 1)));
   int64_t previous_id = 0;
   for (uint64_t i = 0; i < count; ++i) {
     FR_ASSIGN_OR_RETURN(uint64_t id_delta, GetVarint64(&bytes));
@@ -144,7 +213,7 @@ Result<std::vector<RegistrationMessage>> DecodeRegistrationBatch(
 Result<std::string> EncodeReportBatch(
     const std::vector<ReportMessage>& batch) {
   std::string out;
-  AppendHeader(kKindReport, batch.size(), &out);
+  AppendBatchHeader(kKindReport, batch.size(), &out);
   int64_t previous_id = 0;
   int64_t previous_time = 0;
   for (const ReportMessage& message : batch) {
@@ -165,9 +234,10 @@ Result<std::string> EncodeReportBatch(
 }
 
 Result<std::vector<ReportMessage>> DecodeReportBatch(std::string_view bytes) {
-  FR_ASSIGN_OR_RETURN(uint64_t count, ConsumeHeader(kKindReport, &bytes));
+  FR_ASSIGN_OR_RETURN(uint64_t count, ConsumeBatchHeader(kKindReport, &bytes));
   std::vector<ReportMessage> batch;
-  batch.reserve(count);
+  batch.reserve(static_cast<size_t>(
+      std::min<uint64_t>(count, bytes.size() / 2 + 1)));
   int64_t previous_id = 0;
   int64_t previous_time = 0;
   for (uint64_t i = 0; i < count; ++i) {

@@ -11,6 +11,11 @@
 // time varint's low bit. Decoding rejects wrong magic/version/kind,
 // truncated input, overlong varints and trailing bytes — malformed network
 // input must never reach the aggregation logic.
+//
+// The same [magic][version][kind] header scheme frames the checkpoint
+// blobs of core/snapshot.h (kinds kServerState / kAggregatorState), which
+// additionally carry an FNV-1a trailer so bit rot in persisted state is
+// always rejected rather than silently restored.
 
 #ifndef FUTURERAND_CORE_WIRE_H_
 #define FUTURERAND_CORE_WIRE_H_
@@ -42,10 +47,15 @@ struct ReportMessage {
   friend bool operator==(const ReportMessage&, const ReportMessage&) = default;
 };
 
-/// The two batch payloads the wire format carries.
+/// The payloads the wire format carries. Registration and report batches
+/// are the transport messages; server and aggregator state are the
+/// checkpoint blobs of core/snapshot.h, sharing the same header scheme so
+/// one peek routes any FutureRand byte stream.
 enum class WireBatchKind {
   kRegistration,
   kReport,
+  kServerState,      // one Server's accumulators (core/snapshot.h)
+  kAggregatorState,  // all ShardedAggregator shards (core/snapshot.h)
 };
 
 /// Validates the fixed header of an encoded batch and returns its kind
@@ -71,6 +81,31 @@ Result<std::vector<ReportMessage>> DecodeReportBatch(std::string_view bytes);
 
 namespace wire_internal {
 
+/// The raw kind bytes of the FRW header, one per WireBatchKind.
+inline constexpr char kKindRegistration = 1;
+inline constexpr char kKindReport = 2;
+inline constexpr char kKindServerState = 3;
+inline constexpr char kKindAggregatorState = 4;
+
+/// Bytes of the fixed header: magic 'F','R','W', version, kind.
+inline constexpr size_t kHeaderSize = 5;
+
+/// Appends the fixed header (magic, version, `kind`).
+void AppendHeader(char kind, std::string* out);
+
+/// Validates magic and version and returns the raw kind byte without
+/// consuming anything.
+Result<char> CheckHeader(std::string_view bytes);
+
+/// Validates the header against `expected_kind` and strips it from `bytes`.
+Status ConsumeHeader(char expected_kind, std::string_view* bytes);
+
+/// Appends `value` as 8 little-endian bytes (checksums, double bits).
+void PutFixed64(uint64_t value, std::string* out);
+
+/// Reads 8 little-endian bytes from the front of `bytes`, advancing it.
+Result<uint64_t> GetFixed64(std::string_view* bytes);
+
 /// Appends an unsigned LEB128 varint.
 void PutVarint64(uint64_t value, std::string* out);
 
@@ -81,6 +116,18 @@ Result<uint64_t> GetVarint64(std::string_view* bytes);
 /// ZigZag transforms for signed deltas.
 uint64_t ZigZagEncode(int64_t value);
 int64_t ZigZagDecode(uint64_t value);
+
+/// FNV-1a 64-bit hash, the integrity checksum of the snapshot blobs.
+uint64_t Fnv1a64(std::string_view bytes);
+
+/// Appends Fnv1a64 of everything currently in `*out` as 8 little-endian
+/// bytes. Decoders strip and verify with ConsumeChecksum.
+void AppendChecksum(std::string* out);
+
+/// Verifies that `*bytes` ends with the Fnv1a64 checksum of its preceding
+/// bytes; on success trims the 8 checksum bytes off the view. Call with the
+/// whole blob before decoding any payload.
+Status ConsumeChecksum(std::string_view* bytes);
 
 }  // namespace wire_internal
 }  // namespace futurerand::core

@@ -1,0 +1,68 @@
+#include "futurerand/sim/channel.h"
+
+#include "futurerand/common/macros.h"
+
+namespace futurerand::sim {
+
+namespace {
+
+bool IsProbability(double p) { return p >= 0.0 && p <= 1.0; }
+
+}  // namespace
+
+Status ChannelConfig::Validate() const {
+  if (!IsProbability(drop_rate) || !IsProbability(duplicate_rate) ||
+      !IsProbability(reorder_rate) || !IsProbability(corrupt_rate)) {
+    return Status::InvalidArgument("channel rates must be in [0, 1]");
+  }
+  return Status::OK();
+}
+
+ChannelModel::ChannelModel(const ChannelConfig& config, uint64_t seed)
+    : config_(config), rng_(seed) {
+  FR_CHECK_MSG(config.Validate().ok(), "invalid ChannelConfig");
+}
+
+void ChannelModel::Transmit(const core::ReportBatch& sent,
+                            core::ReportBatch* delivered) {
+  delivered->clear();
+  ++stats_.batches_sent;
+  stats_.records_sent += static_cast<int64_t>(sent.size());
+  for (const core::ReportMessage& message : sent) {
+    if (config_.drop_rate > 0.0 && rng_.NextBernoulli(config_.drop_rate)) {
+      ++stats_.records_dropped;
+      continue;
+    }
+    delivered->push_back(message);
+    if (config_.duplicate_rate > 0.0 &&
+        rng_.NextBernoulli(config_.duplicate_rate)) {
+      delivered->push_back(message);
+      ++stats_.records_duplicated;
+    }
+  }
+  if (config_.reorder_rate > 0.0 && delivered->size() > 1 &&
+      rng_.NextBernoulli(config_.reorder_rate)) {
+    // Fisher-Yates off our own Rng: std::shuffle's URBG usage is not
+    // portable across standard libraries.
+    for (size_t i = delivered->size() - 1; i > 0; --i) {
+      const auto j = static_cast<size_t>(rng_.NextInt(i + 1));
+      std::swap((*delivered)[i], (*delivered)[j]);
+    }
+    ++stats_.batches_reordered;
+  }
+  stats_.records_delivered += static_cast<int64_t>(delivered->size());
+}
+
+bool ChannelModel::MaybeCorrupt(std::string* bytes) {
+  if (bytes->empty() || config_.corrupt_rate <= 0.0 ||
+      !rng_.NextBernoulli(config_.corrupt_rate)) {
+    return false;
+  }
+  const auto bit = rng_.NextInt(static_cast<uint64_t>(bytes->size()) * 8);
+  (*bytes)[static_cast<size_t>(bit / 8)] ^=
+      static_cast<char>(1u << (bit % 8));
+  ++stats_.batches_corrupted;
+  return true;
+}
+
+}  // namespace futurerand::sim

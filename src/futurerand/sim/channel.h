@@ -1,0 +1,80 @@
+// Lossy-transport simulation between the client fleet and the aggregator.
+//
+// Real collectors sit behind at-least-once transports: reports get lost,
+// retried (hence duplicated), reordered by racing connections, and — rarely
+// — corrupted in flight. ChannelModel injects exactly those faults,
+// seeded and deterministic, so the fault-tolerance machinery (DedupPolicy,
+// wire validation, checkpoint/restore) can be exercised end to end and the
+// error impact of a given loss rate measured instead of guessed.
+//
+// Faults are independent per record (drop, duplicate) or per batch
+// (reorder, corrupt); all randomness comes from the seed given at
+// construction, so a (config, seed) pair replays the identical fault
+// sequence.
+
+#ifndef FUTURERAND_SIM_CHANNEL_H_
+#define FUTURERAND_SIM_CHANNEL_H_
+
+#include <cstdint>
+#include <string>
+
+#include "futurerand/common/random.h"
+#include "futurerand/common/result.h"
+#include "futurerand/core/fleet.h"
+#include "futurerand/sim/metrics.h"
+
+namespace futurerand::sim {
+
+/// Fault rates of a simulated transport; all in [0, 1], all default 0
+/// (a perfect channel).
+struct ChannelConfig {
+  double drop_rate = 0.0;       // P(a record is silently lost)
+  double duplicate_rate = 0.0;  // P(a record is delivered a second time)
+  double reorder_rate = 0.0;    // P(a delivered batch arrives shuffled)
+  double corrupt_rate = 0.0;    // P(one random bit of the encoded batch flips)
+
+  /// True iff any fault can occur.
+  bool enabled() const {
+    return drop_rate > 0.0 || duplicate_rate > 0.0 || reorder_rate > 0.0 ||
+           corrupt_rate > 0.0;
+  }
+
+  /// OK iff every rate is a probability.
+  Status Validate() const;
+};
+
+/// A seeded fault injector. Not thread-safe: one channel models one ordered
+/// transport stream.
+class ChannelModel {
+ public:
+  /// `seed` drives all fault randomness; the config is validated with
+  /// FR_CHECK (programming error, not input).
+  ChannelModel(const ChannelConfig& config, uint64_t seed);
+
+  /// Applies per-record drop/duplicate faults and the per-batch reorder
+  /// fault to `sent`, appending what the aggregator would receive to
+  /// `*delivered` (cleared first). Duplicated records are appended after
+  /// their original (then possibly shuffled away by reorder), so they are
+  /// out of time order — exactly what DedupPolicy::kIdempotent must absorb.
+  void Transmit(const core::ReportBatch& sent, core::ReportBatch* delivered);
+
+  /// Flips one uniformly random bit of `*bytes` with probability
+  /// corrupt_rate. Returns true iff a flip happened. No-op on empty input.
+  bool MaybeCorrupt(std::string* bytes);
+
+  /// Counters of everything transmitted so far. Only the channel-side
+  /// fields are filled; the aggregator-side fields (applied/deduped) belong
+  /// to whoever ingests the deliveries.
+  const DeliveryMetrics& stats() const { return stats_; }
+
+  const ChannelConfig& config() const { return config_; }
+
+ private:
+  ChannelConfig config_;
+  Rng rng_;
+  DeliveryMetrics stats_;
+};
+
+}  // namespace futurerand::sim
+
+#endif  // FUTURERAND_SIM_CHANNEL_H_

@@ -15,6 +15,28 @@ std::string ErrorMetrics::ToString() const {
   return buffer;
 }
 
+std::string DeliveryMetrics::ToString() const {
+  // Worst case: ~120 chars of fixed text + eleven 20-digit int64 fields.
+  char buffer[368];
+  std::snprintf(
+      buffer, sizeof(buffer),
+      "DeliveryMetrics{sent=%lld dropped=%lld dup=%lld delivered=%lld "
+      "applied=%lld deduped=%lld reordered=%lld corrupted=%lld retx=%lld "
+      "ckpt=%lld ckpt_bytes=%lld}",
+      static_cast<long long>(records_sent),
+      static_cast<long long>(records_dropped),
+      static_cast<long long>(records_duplicated),
+      static_cast<long long>(records_delivered),
+      static_cast<long long>(records_applied),
+      static_cast<long long>(records_deduped),
+      static_cast<long long>(batches_reordered),
+      static_cast<long long>(batches_corrupted),
+      static_cast<long long>(batches_retransmitted),
+      static_cast<long long>(checkpoints_taken),
+      static_cast<long long>(checkpoint_bytes));
+  return buffer;
+}
+
 ErrorMetrics ComputeErrorMetrics(std::span<const double> estimates,
                                  std::span<const int64_t> truth) {
   FR_CHECK(!estimates.empty());

@@ -23,6 +23,28 @@ struct ErrorMetrics {
 ErrorMetrics ComputeErrorMetrics(std::span<const double> estimates,
                                  std::span<const int64_t> truth);
 
+/// What happened to the reports a run pushed through the (possibly lossy)
+/// transport: counts from the channel model (sent/dropped/duplicated/
+/// corrupted) plus the aggregator's view of what landed (applied/deduped).
+/// On a perfect channel sent == delivered == applied and the fault
+/// counters stay zero.
+struct DeliveryMetrics {
+  int64_t records_sent = 0;        // emitted by the fleet
+  int64_t records_dropped = 0;     // lost in the channel
+  int64_t records_duplicated = 0;  // delivered a second time by the channel
+  int64_t records_delivered = 0;   // handed to the aggregator
+  int64_t records_applied = 0;     // mutated aggregator state
+  int64_t records_deduped = 0;     // absorbed as retransmissions
+  int64_t batches_sent = 0;
+  int64_t batches_reordered = 0;   // shuffled in flight
+  int64_t batches_corrupted = 0;   // bit-flipped in flight
+  int64_t batches_retransmitted = 0;  // resent after a rejected delivery
+  int64_t checkpoints_taken = 0;      // checkpoint/restore round-trips
+  int64_t checkpoint_bytes = 0;       // total checkpoint blob size
+
+  std::string ToString() const;
+};
+
 }  // namespace futurerand::sim
 
 #endif  // FUTURERAND_SIM_METRICS_H_

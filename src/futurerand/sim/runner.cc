@@ -51,26 +51,43 @@ class FirstError {
   Status first_;
 };
 
+// The channel model's Rng stream id: far above any client id, so the fault
+// randomness never collides with a per-client stream forked from the same
+// base seed.
+constexpr uint64_t kChannelStreamId = 0xC4A11E10C4A11E10ULL;
+
 // Runs Algorithms 1+2 with the sequence randomizer selected in `config`:
 // a ClientFleet advances every user one period per tick and the resulting
-// report batches stream into a ShardedAggregator.
+// report batches stream into a ShardedAggregator — through a lossy
+// ChannelModel and periodic checkpoint/restore round-trips when `faults`
+// asks for them.
 Result<RunResult> RunHierarchical(const core::ProtocolConfig& config,
                                   const Workload& workload, uint64_t seed,
-                                  ThreadPool* pool, int num_shards) {
+                                  ThreadPool* pool, int num_shards,
+                                  const FaultOptions& faults) {
   const int64_t n = workload.num_users();
+  const int shards = EffectiveShards(pool, num_shards);
   FR_ASSIGN_OR_RETURN(core::ClientFleet fleet,
                       core::ClientFleet::Create(config, n, seed, pool));
   FR_ASSIGN_OR_RETURN(core::ShardedAggregator aggregator,
-                      core::ShardedAggregator::ForProtocol(
-                          config, EffectiveShards(pool, num_shards)));
+                      core::ShardedAggregator::ForProtocol(config, shards,
+                                                           faults.dedup));
   FR_RETURN_NOT_OK(
       aggregator.IngestRegistrations(fleet.registrations(), pool));
+
+  std::optional<ChannelModel> channel;
+  if (faults.channel.enabled()) {
+    channel.emplace(faults.channel,
+                    Rng(seed).Fork(kChannelStreamId).NextUint64());
+  }
 
   // The workload stores per-user change times; play them as a sequence of
   // state vectors, one tick at a time.
   std::vector<int8_t> states(static_cast<size_t>(n), 0);
   std::vector<size_t> next_change(static_cast<size_t>(n), 0);
   core::ReportBatch batch;
+  core::ReportBatch delivered;
+  RunResult result;
   int64_t reports = 0;
   for (int64_t t = 1; t <= config.num_periods; ++t) {
     auto update_states = [&](int64_t begin, int64_t end) {
@@ -91,11 +108,80 @@ Result<RunResult> RunHierarchical(const core::ProtocolConfig& config,
       update_states(0, n);
     }
     FR_RETURN_NOT_OK(fleet.AdvanceTick(states, &batch));
-    FR_RETURN_NOT_OK(aggregator.IngestReports(batch, pool));
     reports += static_cast<int64_t>(batch.size());
+
+    core::IngestOutcome outcome;
+    if (channel.has_value()) {
+      // Faulty transport: records pass the channel, then the batch rides
+      // the real wire encoding so in-flight corruption hits actual bytes.
+      channel->Transmit(batch, &delivered);
+      FR_ASSIGN_OR_RETURN(const std::string pristine,
+                          core::EncodeReportBatch(delivered));
+      bool corrupted = false;
+      Status ingested;
+      if (channel->config().corrupt_rate > 0.0) {
+        // Corruption mutates a copy so the pristine bytes stay available
+        // for the retransmit below; skip the copy when no fault can occur.
+        std::string bytes = pristine;
+        corrupted = channel->MaybeCorrupt(&bytes);
+        ingested = aggregator.IngestEncoded(bytes, pool, &outcome);
+      } else {
+        ingested = aggregator.IngestEncoded(pristine, pool, &outcome);
+      }
+      result.delivery.records_applied += outcome.applied;
+      result.delivery.records_deduped += outcome.deduped;
+      if (!ingested.ok()) {
+        if (!corrupted) {
+          return ingested;
+        }
+        // At-least-once transport: the sender retransmits after the
+        // rejected delivery. corrupt_rate requires kIdempotent, so
+        // anything applied before the error is absorbed as a duplicate on
+        // the resend and decode-level corruption recovers completely. A
+        // flip the v1 report format cannot detect (it carries no
+        // checksum) may still decode to plausible records and perturb the
+        // sums — measured, not hidden (see ROADMAP: checksummed batches).
+        FR_RETURN_NOT_OK(aggregator.IngestEncoded(pristine, pool, &outcome));
+        result.delivery.records_applied += outcome.applied;
+        result.delivery.records_deduped += outcome.deduped;
+        ++result.delivery.batches_retransmitted;
+      }
+    } else {
+      FR_RETURN_NOT_OK(aggregator.IngestReports(batch, pool, &outcome));
+      result.delivery.records_applied += outcome.applied;
+      result.delivery.records_deduped += outcome.deduped;
+    }
+
+    if (faults.checkpoint_every > 0 && t % faults.checkpoint_every == 0) {
+      // Simulated crash/restart: serialize, rebuild from scratch, restore.
+      FR_ASSIGN_OR_RETURN(const std::string snapshot,
+                          aggregator.Checkpoint());
+      FR_ASSIGN_OR_RETURN(core::ShardedAggregator restored,
+                          core::ShardedAggregator::ForProtocol(
+                              config, shards, faults.dedup));
+      FR_RETURN_NOT_OK(restored.Restore(snapshot));
+      aggregator = std::move(restored);
+      ++result.delivery.checkpoints_taken;
+      result.delivery.checkpoint_bytes +=
+          static_cast<int64_t>(snapshot.size());
+    }
   }
 
-  RunResult result;
+  if (channel.has_value()) {
+    const DeliveryMetrics& channel_stats = channel->stats();
+    result.delivery.records_sent = channel_stats.records_sent;
+    result.delivery.records_dropped = channel_stats.records_dropped;
+    result.delivery.records_duplicated = channel_stats.records_duplicated;
+    result.delivery.records_delivered = channel_stats.records_delivered;
+    result.delivery.batches_sent = channel_stats.batches_sent;
+    result.delivery.batches_reordered = channel_stats.batches_reordered;
+    result.delivery.batches_corrupted = channel_stats.batches_corrupted;
+  } else {
+    result.delivery.records_sent = reports;
+    result.delivery.records_delivered = reports;
+    result.delivery.batches_sent = config.num_periods;
+  }
+
   if (config.consistent_estimation) {
     FR_ASSIGN_OR_RETURN(result.estimates,
                         aggregator.EstimateAllConsistent());
@@ -290,6 +376,19 @@ Result<RunResult> RunNonPrivate(const core::ProtocolConfig& config,
 
 }  // namespace
 
+Status FaultOptions::Validate() const {
+  FR_RETURN_NOT_OK(channel.Validate());
+  if (checkpoint_every < 0) {
+    return Status::InvalidArgument("checkpoint_every must be >= 0");
+  }
+  if ((channel.duplicate_rate > 0.0 || channel.corrupt_rate > 0.0) &&
+      dedup != core::DedupPolicy::kIdempotent) {
+    return Status::InvalidArgument(
+        "duplicate/corrupt faults require DedupPolicy::kIdempotent");
+  }
+  return Status::OK();
+}
+
 const char* ProtocolKindToString(ProtocolKind kind) {
   switch (kind) {
     case ProtocolKind::kFutureRand:
@@ -324,13 +423,22 @@ Result<ProtocolKind> ParseProtocolKind(const std::string& name) {
 Result<RunResult> RunProtocol(ProtocolKind kind,
                               const core::ProtocolConfig& config,
                               const Workload& workload, uint64_t seed,
-                              ThreadPool* pool, int num_shards) {
+                              ThreadPool* pool, int num_shards,
+                              const FaultOptions& faults) {
   FR_RETURN_NOT_OK(config.Validate());
+  FR_RETURN_NOT_OK(faults.Validate());
   if (workload.config().num_periods != config.num_periods) {
     return Status::InvalidArgument("workload/config num_periods mismatch");
   }
   if (num_shards < 0) {
     return Status::InvalidArgument("num_shards must be >= 0");
+  }
+  const bool hierarchical =
+      kind == ProtocolKind::kFutureRand || kind == ProtocolKind::kIndependent ||
+      kind == ProtocolKind::kBun || kind == ProtocolKind::kAdaptive;
+  if (faults.active() && !hierarchical) {
+    return Status::InvalidArgument(
+        "fault injection is only supported on the hierarchical pipelines");
   }
 
   core::ProtocolConfig effective = config;
@@ -358,7 +466,8 @@ Result<RunResult> RunProtocol(ProtocolKind kind,
     case ProtocolKind::kIndependent:
     case ProtocolKind::kBun:
     case ProtocolKind::kAdaptive:
-      outcome = RunHierarchical(effective, workload, seed, pool, num_shards);
+      outcome = RunHierarchical(effective, workload, seed, pool, num_shards,
+                                faults);
       break;
     case ProtocolKind::kErlingsson:
       outcome = RunErlingsson(effective, workload, seed, pool, num_shards);
@@ -387,7 +496,8 @@ Result<RepeatedRunStats> RunRepeated(ProtocolKind kind,
                                      const core::ProtocolConfig& config,
                                      const WorkloadConfig& workload_config,
                                      int repetitions, uint64_t base_seed,
-                                     ThreadPool* pool, int num_shards) {
+                                     ThreadPool* pool, int num_shards,
+                                     const FaultOptions& faults) {
   if (repetitions < 1) {
     return Status::InvalidArgument("repetitions must be >= 1");
   }
@@ -402,7 +512,7 @@ Result<RepeatedRunStats> RunRepeated(ProtocolKind kind,
     FR_ASSIGN_OR_RETURN(
         RunResult run,
         RunProtocol(kind, config, workload, protocol_seed, pool,
-                    num_shards));
+                    num_shards, faults));
     stats.max_abs_error.Add(run.metrics.max_abs);
     stats.mean_abs_error.Add(run.metrics.mean_abs);
     stats.rmse.Add(run.metrics.rmse);

@@ -17,6 +17,8 @@
 #include "futurerand/common/stats.h"
 #include "futurerand/common/threadpool.h"
 #include "futurerand/core/config.h"
+#include "futurerand/core/server.h"
+#include "futurerand/sim/channel.h"
 #include "futurerand/sim/metrics.h"
 #include "futurerand/sim/workload.h"
 
@@ -57,10 +59,37 @@ const char* ProtocolKindToString(ProtocolKind kind);
 /// shares.
 Result<ProtocolKind> ParseProtocolKind(const std::string& name);
 
+/// Fault-tolerance knobs for a protocol run: a lossy channel between the
+/// fleet and the aggregator, the aggregator's dedup policy, and periodic
+/// checkpoint/restore round-trips. Defaults model the paper's ideal
+/// transport (perfect channel, strict dedup, no checkpoints). Only the
+/// hierarchical pipelines (FutureRand / Independent / Bun / Adaptive)
+/// support non-default options — the baselines bypass the batch transport.
+struct FaultOptions {
+  ChannelConfig channel;
+  core::DedupPolicy dedup = core::DedupPolicy::kStrict;
+  /// Every this many ticks the runner checkpoints the aggregator and
+  /// restores the blob into a freshly built one, proving mid-stream
+  /// recovery on the live pipeline. 0 disables.
+  int64_t checkpoint_every = 0;
+
+  /// True iff any option deviates from the ideal-transport default.
+  bool active() const {
+    return channel.enabled() || dedup != core::DedupPolicy::kStrict ||
+           checkpoint_every > 0;
+  }
+
+  /// Checks rates and cross-option consistency: duplicate or corrupt
+  /// faults require kIdempotent (under kStrict a duplicate is an ingest
+  /// error, and the post-corruption retransmit path double-delivers).
+  Status Validate() const;
+};
+
 /// The outcome of one protocol run on one workload.
 struct RunResult {
   std::vector<double> estimates;  // a_hat[t], t = 1..d
   ErrorMetrics metrics;           // vs the workload's exact ground truth
+  DeliveryMetrics delivery;       // transport counters (see FaultOptions)
   double wall_seconds = 0.0;
   int64_t reports_submitted = 0;
 };
@@ -70,12 +99,14 @@ struct RunResult {
 /// fork per-user streams from it). `pool` may be null for single-threaded
 /// execution. `num_shards` sets the ShardedAggregator's shard count
 /// (0 = one shard per worker thread); estimates are bit-identical for any
-/// value, so it is purely a throughput knob.
+/// value, so it is purely a throughput knob. `faults` injects transport
+/// faults and recovery round-trips (hierarchical pipelines only).
 Result<RunResult> RunProtocol(ProtocolKind kind,
                               const core::ProtocolConfig& config,
                               const Workload& workload, uint64_t seed,
                               ThreadPool* pool = nullptr,
-                              int num_shards = 0);
+                              int num_shards = 0,
+                              const FaultOptions& faults = {});
 
 /// Aggregated error statistics over repeated runs with fresh workload and
 /// protocol randomness per repetition.
@@ -95,7 +126,8 @@ Result<RepeatedRunStats> RunRepeated(ProtocolKind kind,
                                      const WorkloadConfig& workload_config,
                                      int repetitions, uint64_t base_seed,
                                      ThreadPool* pool = nullptr,
-                                     int num_shards = 0);
+                                     int num_shards = 0,
+                                     const FaultOptions& faults = {});
 
 }  // namespace futurerand::sim
 

@@ -1,0 +1,302 @@
+// Checkpoint/restore: a snapshot round-trip must preserve everything that
+// matters — estimates bit-identical, ingestion resuming exactly where the
+// encoded state left off (monotonicity watermarks under kStrict, boundary
+// bitmaps under kIdempotent) — and a corrupted or truncated blob must never
+// restore silently.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "futurerand/common/random.h"
+#include "futurerand/core/aggregator.h"
+#include "futurerand/core/fleet.h"
+#include "futurerand/core/server.h"
+#include "futurerand/core/snapshot.h"
+#include "futurerand/core/wire.h"
+
+namespace futurerand::core {
+namespace {
+
+ProtocolConfig TestConfig(int64_t d = 32) {
+  ProtocolConfig config;
+  config.num_periods = d;
+  config.max_changes = 3;
+  config.epsilon = 1.0;
+  return config;
+}
+
+// A server with protocol scales and a deterministic population mid-stream:
+// every client has reported for times <= half.
+Server PopulatedServer(DedupPolicy policy, uint64_t seed) {
+  const ProtocolConfig config = TestConfig();
+  Server server = Server::ForProtocol(config, policy).ValueOrDie();
+  Rng rng(seed);
+  for (int64_t u = 0; u < 40; ++u) {
+    const int level = static_cast<int>(rng.NextInt(6));
+    EXPECT_TRUE(server.RegisterClient(u, level).ok());
+    const int64_t step = int64_t{1} << level;
+    for (int64_t t = step; t <= config.num_periods / 2; t += step) {
+      EXPECT_TRUE(server.SubmitReport(u, t, rng.NextSign()).ok());
+    }
+  }
+  return server;
+}
+
+TEST(ServerStateTest, EncodingIsDeterministic) {
+  const Server server = PopulatedServer(DedupPolicy::kIdempotent, 7);
+  EXPECT_EQ(EncodeServerState(server), EncodeServerState(server));
+  // And peekable like any other wire payload.
+  EXPECT_EQ(PeekBatchKind(EncodeServerState(server)).ValueOrDie(),
+            WireBatchKind::kServerState);
+}
+
+TEST(ServerStateTest, EmptyServerRoundTrips) {
+  const Server server =
+      Server::WithScales(8, {1.0, 2.0, 3.0, 4.0}, DedupPolicy::kStrict)
+          .ValueOrDie();
+  const Server restored =
+      DecodeServerState(EncodeServerState(server)).ValueOrDie();
+  EXPECT_EQ(restored.num_periods(), 8);
+  EXPECT_EQ(restored.num_clients(), 0);
+  EXPECT_EQ(restored.dedup_policy(), DedupPolicy::kStrict);
+  EXPECT_EQ(restored.level_scales(), server.level_scales());
+  EXPECT_EQ(restored.EstimateAll().ValueOrDie(),
+            server.EstimateAll().ValueOrDie());
+}
+
+class ServerStatePolicyTest : public ::testing::TestWithParam<DedupPolicy> {};
+
+TEST_P(ServerStatePolicyTest, RoundTripIsBitIdentical) {
+  const Server server = PopulatedServer(GetParam(), 21);
+  const std::string blob = EncodeServerState(server);
+  const Server restored = DecodeServerState(blob).ValueOrDie();
+  EXPECT_EQ(restored.num_clients(), server.num_clients());
+  EXPECT_EQ(restored.dedup_policy(), server.dedup_policy());
+  EXPECT_EQ(restored.duplicates_dropped(), server.duplicates_dropped());
+  EXPECT_EQ(restored.EstimateAll().ValueOrDie(),
+            server.EstimateAll().ValueOrDie());
+  EXPECT_EQ(restored.EstimateAllConsistent().ValueOrDie(),
+            server.EstimateAllConsistent().ValueOrDie());
+  EXPECT_EQ(restored.EstimateWindowDelta(3, 17).ValueOrDie(),
+            server.EstimateWindowDelta(3, 17).ValueOrDie());
+  // Re-encoding the restored server reproduces the identical blob.
+  EXPECT_EQ(EncodeServerState(restored), blob);
+}
+
+TEST_P(ServerStatePolicyTest, IngestionResumesExactlyAfterRestore) {
+  Server original = PopulatedServer(GetParam(), 33);
+  Server restored =
+      DecodeServerState(EncodeServerState(original)).ValueOrDie();
+  // Play the second half of time into both; they must stay bit-identical.
+  Rng rng(5);
+  const int64_t d = TestConfig().num_periods;
+  for (int64_t u = 0; u < 40; ++u) {
+    for (int64_t t = d / 2 + 1; t <= d; ++t) {
+      const int8_t value = rng.NextSign();
+      const Status a = original.SubmitReport(u, t, value);
+      const Status b = restored.SubmitReport(u, t, value);
+      EXPECT_EQ(a.ok(), b.ok()) << "u=" << u << " t=" << t;
+    }
+  }
+  EXPECT_EQ(original.EstimateAll().ValueOrDie(),
+            restored.EstimateAll().ValueOrDie());
+  EXPECT_EQ(original.duplicates_dropped(), restored.duplicates_dropped());
+}
+
+TEST_P(ServerStatePolicyTest, RestoredServerRemembersWhatItSaw) {
+  Server original = PopulatedServer(GetParam(), 13);
+  Server restored =
+      DecodeServerState(EncodeServerState(original)).ValueOrDie();
+  // Every client reported at all its boundaries <= d/2; replaying any time
+  // in that range must behave exactly as on the original: rejected under
+  // kStrict, silently dropped under kIdempotent, and invalid-time errors
+  // identical for both.
+  for (int64_t u = 0; u < 40; ++u) {
+    for (int64_t t = 1; t <= TestConfig().num_periods / 2; ++t) {
+      const Status a = original.SubmitReport(u, t, 1);
+      const Status b = restored.SubmitReport(u, t, 1);
+      EXPECT_EQ(a.ok(), b.ok());
+      if (!a.ok()) {
+        EXPECT_EQ(a.code(), b.code());
+      }
+    }
+  }
+  EXPECT_EQ(original.EstimateAll().ValueOrDie(),
+            restored.EstimateAll().ValueOrDie());
+}
+
+INSTANTIATE_TEST_SUITE_P(Policies, ServerStatePolicyTest,
+                         ::testing::Values(DedupPolicy::kStrict,
+                                           DedupPolicy::kIdempotent),
+                         [](const ::testing::TestParamInfo<DedupPolicy>& i) {
+                           return std::string(DedupPolicyToString(i.param));
+                         });
+
+TEST(ServerStateTest, EveryTruncationIsRejected) {
+  const std::string blob =
+      EncodeServerState(PopulatedServer(DedupPolicy::kIdempotent, 3));
+  for (size_t length = 0; length < blob.size(); ++length) {
+    EXPECT_FALSE(DecodeServerState(std::string_view(blob).substr(0, length))
+                     .ok())
+        << "prefix of length " << length << " decoded";
+  }
+}
+
+TEST(ServerStateTest, EverySingleBitFlipIsRejected) {
+  const std::string blob =
+      EncodeServerState(PopulatedServer(DedupPolicy::kStrict, 9));
+  for (size_t byte = 0; byte < blob.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::string corrupted = blob;
+      corrupted[byte] ^= static_cast<char>(1 << bit);
+      EXPECT_FALSE(DecodeServerState(corrupted).ok())
+          << "flip at byte " << byte << " bit " << bit << " restored";
+    }
+  }
+}
+
+TEST(ServerStateTest, TrailingBytesAreRejected) {
+  std::string blob =
+      EncodeServerState(PopulatedServer(DedupPolicy::kStrict, 4));
+  blob.push_back('x');
+  EXPECT_FALSE(DecodeServerState(blob).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Aggregator checkpoint/restore.
+
+struct Traffic {
+  std::vector<RegistrationMessage> registrations;
+  std::vector<ReportBatch> batches;
+};
+
+Traffic GenerateTraffic(uint64_t seed, int64_t users) {
+  const ProtocolConfig config = TestConfig();
+  ClientFleet fleet = ClientFleet::Create(config, users, seed).ValueOrDie();
+  Traffic traffic;
+  traffic.registrations = fleet.registrations();
+  std::vector<int8_t> states(static_cast<size_t>(users));
+  for (int64_t t = 1; t <= config.num_periods; ++t) {
+    for (int64_t u = 0; u < users; ++u) {
+      states[static_cast<size_t>(u)] =
+          (t >= (u % 12) + 2 && t < (u % 12) + 14) ? int8_t{1} : int8_t{0};
+    }
+    traffic.batches.push_back(fleet.AdvanceTick(states).ValueOrDie());
+  }
+  return traffic;
+}
+
+TEST(AggregatorCheckpointTest, MidStreamRestoreIsBitIdentical) {
+  const Traffic traffic = GenerateTraffic(101, 48);
+  const int64_t half =
+      static_cast<int64_t>(traffic.batches.size()) / 2;
+  for (const int shards : {1, 3}) {
+    ShardedAggregator live =
+        ShardedAggregator::ForProtocol(TestConfig(), shards,
+                                       DedupPolicy::kIdempotent)
+            .ValueOrDie();
+    ASSERT_TRUE(live.IngestRegistrations(traffic.registrations).ok());
+    for (int64_t b = 0; b < half; ++b) {
+      ASSERT_TRUE(
+          live.IngestReports(traffic.batches[static_cast<size_t>(b)]).ok());
+    }
+
+    // Crash: serialize, build a cold replacement, restore.
+    const std::string snapshot = live.Checkpoint().ValueOrDie();
+    ShardedAggregator cold =
+        ShardedAggregator::ForProtocol(TestConfig(), shards,
+                                       DedupPolicy::kIdempotent)
+            .ValueOrDie();
+    ASSERT_TRUE(cold.Restore(snapshot).ok());
+    EXPECT_EQ(cold.num_clients(), live.num_clients());
+    EXPECT_EQ(cold.EstimateAll().ValueOrDie(),
+              live.EstimateAll().ValueOrDie());
+
+    // Both finish the stream; estimates must stay bit-identical on the
+    // whole query surface.
+    for (size_t b = static_cast<size_t>(half); b < traffic.batches.size();
+         ++b) {
+      ASSERT_TRUE(live.IngestReports(traffic.batches[b]).ok());
+      ASSERT_TRUE(cold.IngestReports(traffic.batches[b]).ok());
+    }
+    EXPECT_EQ(cold.EstimateAll().ValueOrDie(),
+              live.EstimateAll().ValueOrDie());
+    EXPECT_EQ(cold.EstimateAllConsistent().ValueOrDie(),
+              live.EstimateAllConsistent().ValueOrDie());
+    EXPECT_EQ(cold.EstimateWindowDelta(4, 29).ValueOrDie(),
+              live.EstimateWindowDelta(4, 29).ValueOrDie());
+  }
+}
+
+TEST(AggregatorCheckpointTest, RestoreValidatesShape) {
+  const Traffic traffic = GenerateTraffic(5, 10);
+  ShardedAggregator aggregator =
+      ShardedAggregator::ForProtocol(TestConfig(), 2).ValueOrDie();
+  ASSERT_TRUE(aggregator.IngestRegistrations(traffic.registrations).ok());
+  const std::string snapshot = aggregator.Checkpoint().ValueOrDie();
+  EXPECT_EQ(PeekBatchKind(snapshot).ValueOrDie(),
+            WireBatchKind::kAggregatorState);
+
+  // Wrong shard count.
+  ShardedAggregator three =
+      ShardedAggregator::ForProtocol(TestConfig(), 3).ValueOrDie();
+  EXPECT_FALSE(three.Restore(snapshot).ok());
+  // Wrong period count (hence scales shape).
+  ShardedAggregator other_d =
+      ShardedAggregator::ForProtocol(TestConfig(64), 2).ValueOrDie();
+  EXPECT_FALSE(other_d.Restore(snapshot).ok());
+  // Wrong dedup policy.
+  ShardedAggregator idempotent =
+      ShardedAggregator::ForProtocol(TestConfig(), 2,
+                                     DedupPolicy::kIdempotent)
+          .ValueOrDie();
+  EXPECT_FALSE(idempotent.Restore(snapshot).ok());
+  // Wrong scales.
+  ShardedAggregator unit_scales =
+      ShardedAggregator::WithScales(
+          TestConfig().num_periods,
+          std::vector<double>(static_cast<size_t>(TestConfig().num_orders()),
+                              1.0),
+          2)
+          .ValueOrDie();
+  EXPECT_FALSE(unit_scales.Restore(snapshot).ok());
+
+  // A failed restore leaves the target untouched.
+  EXPECT_EQ(three.num_clients(), 0);
+  // And a matching aggregator accepts.
+  ShardedAggregator twin =
+      ShardedAggregator::ForProtocol(TestConfig(), 2).ValueOrDie();
+  ASSERT_TRUE(twin.Restore(snapshot).ok());
+  EXPECT_EQ(twin.num_clients(), 10);
+}
+
+TEST(AggregatorCheckpointTest, CorruptedCheckpointNeverRestores) {
+  ShardedAggregator aggregator =
+      ShardedAggregator::ForProtocol(TestConfig(), 2).ValueOrDie();
+  const std::string snapshot = aggregator.Checkpoint().ValueOrDie();
+  Rng rng(31337);
+  for (int round = 0; round < 200; ++round) {
+    std::string corrupted = snapshot;
+    const auto byte = static_cast<size_t>(rng.NextInt(corrupted.size()));
+    corrupted[byte] ^= static_cast<char>(1 << rng.NextInt(8));
+    ShardedAggregator target =
+        ShardedAggregator::ForProtocol(TestConfig(), 2).ValueOrDie();
+    EXPECT_FALSE(target.Restore(corrupted).ok());
+  }
+}
+
+TEST(AggregatorCheckpointTest, IngestEncodedRejectsSnapshotBlobs) {
+  ShardedAggregator aggregator =
+      ShardedAggregator::ForProtocol(TestConfig(), 1).ValueOrDie();
+  const std::string snapshot = aggregator.Checkpoint().ValueOrDie();
+  EXPECT_FALSE(aggregator.IngestEncoded(snapshot).ok());
+  const Server server =
+      Server::ForProtocol(TestConfig()).ValueOrDie();
+  EXPECT_FALSE(aggregator.IngestEncoded(EncodeServerState(server)).ok());
+}
+
+}  // namespace
+}  // namespace futurerand::core

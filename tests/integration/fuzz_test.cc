@@ -13,7 +13,6 @@
 
 #include <algorithm>
 #include <cmath>
-#include <cstdlib>
 #include <string>
 #include <vector>
 
@@ -25,31 +24,13 @@
 #include "futurerand/randomizer/randomizer.h"
 #include "futurerand/sim/runner.h"
 #include "futurerand/sim/workload.h"
+#include "testsupport/env_scaling.h"
 
 namespace futurerand {
 namespace {
 
-// Reads a positive integer override from the environment, falling back to
-// `fallback`. Evaluated at static-initialization time by the INSTANTIATE
-// macros below, so the variables must be set before the binary starts
-// (which is how both ctest and a shell invocation behave anyway).
-int64_t EnvIterations(const char* name, int64_t fallback) {
-  const char* value = std::getenv(name);
-  if (value == nullptr) return fallback;
-  const long long parsed = std::atoll(value);
-  return parsed > 0 ? static_cast<int64_t>(parsed) : fallback;
-}
-
-// Number of INSTANTIATE seeds per parameterized suite.
-uint64_t FuzzSeeds(uint64_t fallback) {
-  return static_cast<uint64_t>(EnvIterations("FR_FUZZ_SEEDS",
-                                             static_cast<int64_t>(fallback)));
-}
-
-// Number of rounds inside each wire-fuzz test body.
-int64_t FuzzRounds(int64_t fallback) {
-  return EnvIterations("FR_FUZZ_ROUNDS", fallback);
-}
+using testsupport::FuzzRounds;
+using testsupport::FuzzSeeds;
 
 class RandomizedProtocolSweep : public ::testing::TestWithParam<uint64_t> {};
 

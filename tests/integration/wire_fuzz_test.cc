@@ -1,0 +1,227 @@
+// Adversarial wire-decoder fuzzing: starting from VALID encoded payloads
+// (registration/report batches, server snapshots, aggregator checkpoints),
+// mutate them — truncation at every byte offset, single-bit flips at every
+// bit position, overlong varints, random multi-byte garbage — and assert
+// the decoders never crash, never loop, and never silently accept what the
+// format can detect. Snapshot blobs carry a checksum, so for them
+// "detectable" means every mutation; batch payloads have no checksum, so a
+// payload-varint flip may legitimately decode to a different well-formed
+// batch — in that case the batch must re-encode/decode cleanly.
+//
+// Seeded and FR_FUZZ_ROUNDS-scaled like tests/integration/fuzz_test.cc:
+//   FR_FUZZ_ROUNDS=5000 ctest -R wire_fuzz_test
+//   FR_FUZZ_SEEDS=64 ./build/tests/wire_fuzz_test
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "futurerand/common/random.h"
+#include "futurerand/core/server.h"
+#include "futurerand/core/snapshot.h"
+#include "futurerand/core/wire.h"
+#include "testsupport/env_scaling.h"
+
+namespace futurerand::core {
+namespace {
+
+using testsupport::FuzzRounds;
+using testsupport::FuzzSeeds;
+
+// One of each valid payload kind, derived from the seed.
+struct ValidPayloads {
+  std::string registrations;
+  std::string reports;
+  std::string server_state;
+  std::string aggregator_state;
+};
+
+ValidPayloads MakePayloads(uint64_t seed) {
+  Rng rng(seed * 2654435761 + 17);
+  std::vector<RegistrationMessage> registrations;
+  for (int64_t u = 0; u < 25; ++u) {
+    registrations.push_back({u * 3 - 10, static_cast<int>(rng.NextInt(5))});
+  }
+  std::vector<ReportMessage> reports;
+  int64_t time = 0;
+  for (int i = 0; i < 30; ++i) {
+    time += 1 + static_cast<int64_t>(rng.NextInt(4));
+    reports.push_back({static_cast<int64_t>(rng.NextInt(50)), time,
+                       rng.NextSign()});
+  }
+  Server server =
+      Server::WithScales(16, {1.0, 2.0, 3.0, 4.0, 5.0},
+                         rng.NextBernoulli(0.5) ? DedupPolicy::kIdempotent
+                                                : DedupPolicy::kStrict)
+          .ValueOrDie();
+  for (int64_t u = 0; u < 10; ++u) {
+    EXPECT_TRUE(
+        server.RegisterClient(u, static_cast<int>(rng.NextInt(5))).ok());
+  }
+  for (int64_t u = 0; u < 10; ++u) {
+    // Each client's coarsest valid time: d works for every level.
+    EXPECT_TRUE(server.SubmitReport(u, 16, rng.NextSign()).ok());
+  }
+  ValidPayloads payloads;
+  payloads.registrations = EncodeRegistrationBatch(registrations);
+  payloads.reports = EncodeReportBatch(reports).ValueOrDie();
+  payloads.server_state = EncodeServerState(server);
+  payloads.aggregator_state = EncodeAggregatorState(
+      {payloads.server_state, payloads.server_state});
+  return payloads;
+}
+
+// Every decoder the wire surface exposes; none may crash on any input.
+void DecodeEverything(const std::string& bytes) {
+  (void)PeekBatchKind(bytes);
+  (void)DecodeRegistrationBatch(bytes);
+  (void)DecodeReportBatch(bytes);
+  (void)DecodeServerState(bytes);
+  (void)DecodeAggregatorState(bytes);
+}
+
+class WireAdversaryTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(WireAdversaryTest, TruncationAtEveryOffsetIsRejected) {
+  const ValidPayloads payloads = MakePayloads(GetParam());
+  for (const std::string* payload :
+       {&payloads.registrations, &payloads.reports, &payloads.server_state,
+        &payloads.aggregator_state}) {
+    for (size_t length = 0; length < payload->size(); ++length) {
+      const std::string prefix = payload->substr(0, length);
+      DecodeEverything(prefix);
+      // A strict prefix can never be a complete payload of any kind.
+      EXPECT_FALSE(DecodeRegistrationBatch(prefix).ok());
+      EXPECT_FALSE(DecodeReportBatch(prefix).ok());
+      EXPECT_FALSE(DecodeServerState(prefix).ok());
+      EXPECT_FALSE(DecodeAggregatorState(prefix).ok());
+    }
+  }
+}
+
+TEST_P(WireAdversaryTest, BitFlippedBatchesNeverCrashAndStayWellFormed) {
+  const ValidPayloads payloads = MakePayloads(GetParam());
+  for (const std::string* payload :
+       {&payloads.registrations, &payloads.reports}) {
+    for (size_t byte = 0; byte < payload->size(); ++byte) {
+      for (int bit = 0; bit < 8; ++bit) {
+        std::string corrupted = *payload;
+        corrupted[byte] ^= static_cast<char>(1 << bit);
+        DecodeEverything(corrupted);
+        // If the flip lands in a payload varint the batch may still decode
+        // — then it must be a well-formed batch that round-trips.
+        const auto registrations = DecodeRegistrationBatch(corrupted);
+        if (registrations.ok()) {
+          const auto round_trip = DecodeRegistrationBatch(
+              EncodeRegistrationBatch(*registrations));
+          ASSERT_TRUE(round_trip.ok());
+          EXPECT_EQ(*round_trip, *registrations);
+        }
+        const auto reports = DecodeReportBatch(corrupted);
+        if (reports.ok()) {
+          const auto encoded = EncodeReportBatch(*reports);
+          ASSERT_TRUE(encoded.ok());
+          EXPECT_EQ(*DecodeReportBatch(*encoded), *reports);
+        }
+      }
+    }
+  }
+}
+
+TEST_P(WireAdversaryTest, BitFlippedSnapshotsAreAlwaysRejected) {
+  const ValidPayloads payloads = MakePayloads(GetParam());
+  for (size_t byte = 0; byte < payloads.server_state.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::string corrupted = payloads.server_state;
+      corrupted[byte] ^= static_cast<char>(1 << bit);
+      EXPECT_FALSE(DecodeServerState(corrupted).ok())
+          << "byte " << byte << " bit " << bit;
+    }
+  }
+  // The aggregator frame's checksum covers the nested shard blobs too;
+  // sample (8x the blob size is too slow for tier-1).
+  Rng rng(GetParam() * 31 + 5);
+  const int64_t rounds = FuzzRounds(200);
+  for (int64_t round = 0; round < rounds; ++round) {
+    std::string corrupted = payloads.aggregator_state;
+    const auto byte = static_cast<size_t>(rng.NextInt(corrupted.size()));
+    corrupted[byte] ^= static_cast<char>(1 << rng.NextInt(8));
+    EXPECT_FALSE(DecodeAggregatorState(corrupted).ok());
+  }
+}
+
+TEST_P(WireAdversaryTest, OverlongVarintsAreRejected) {
+  // Replace the count varint with an 11-byte (overlong) encoding; also try
+  // a 10-byte maximal varint as a count, which must be rejected as
+  // implausible rather than allocating.
+  Rng rng(GetParam() * 7 + 3);
+  for (const char kind : {char{1}, char{2}, char{3}, char{4}}) {
+    std::string overlong = {'F', 'R', 'W', 1, kind};
+    for (int i = 0; i < 10; ++i) {
+      overlong.push_back(static_cast<char>(0x80 | (rng.NextUint64() & 0x7f)));
+    }
+    overlong.push_back(1);
+    DecodeEverything(overlong);
+    EXPECT_FALSE(DecodeRegistrationBatch(overlong).ok());
+    EXPECT_FALSE(DecodeReportBatch(overlong).ok());
+    EXPECT_FALSE(DecodeServerState(overlong).ok());
+    EXPECT_FALSE(DecodeAggregatorState(overlong).ok());
+
+    std::string huge_count = {'F', 'R', 'W', 1, kind};
+    for (int i = 0; i < 9; ++i) {
+      huge_count.push_back(static_cast<char>(0xff));
+    }
+    huge_count.push_back(0x7f);
+    huge_count.append("abcdef");  // a few bytes of "records"
+    DecodeEverything(huge_count);
+    EXPECT_FALSE(DecodeRegistrationBatch(huge_count).ok());
+    EXPECT_FALSE(DecodeReportBatch(huge_count).ok());
+  }
+}
+
+TEST_P(WireAdversaryTest, RandomMutationsNeverCrashTheDecoders) {
+  const ValidPayloads payloads = MakePayloads(GetParam());
+  Rng rng(GetParam() * 6364136223846793005ULL + 1442695040888963407ULL);
+  const int64_t rounds = FuzzRounds(300);
+  const std::string* sources[] = {&payloads.registrations, &payloads.reports,
+                                  &payloads.server_state,
+                                  &payloads.aggregator_state};
+  for (int64_t round = 0; round < rounds; ++round) {
+    std::string mutated = *sources[rng.NextInt(4)];
+    const uint64_t mutations = 1 + rng.NextInt(8);
+    for (uint64_t m = 0; m < mutations; ++m) {
+      switch (rng.NextInt(4)) {
+        case 0:  // flip a bit
+          mutated[static_cast<size_t>(rng.NextInt(mutated.size()))] ^=
+              static_cast<char>(1 << rng.NextInt(8));
+          break;
+        case 1:  // overwrite a byte
+          mutated[static_cast<size_t>(rng.NextInt(mutated.size()))] =
+              static_cast<char>(rng.NextUint64() & 0xff);
+          break;
+        case 2:  // truncate a suffix
+          mutated.resize(static_cast<size_t>(rng.NextInt(mutated.size())) +
+                         1);
+          break;
+        default:  // append garbage
+          mutated.push_back(static_cast<char>(rng.NextUint64() & 0xff));
+          break;
+      }
+    }
+    DecodeEverything(mutated);
+    // Snapshots must reject any mutation (their checksum sees everything).
+    if (mutated != payloads.server_state) {
+      EXPECT_FALSE(DecodeServerState(mutated).ok());
+    }
+    if (mutated != payloads.aggregator_state) {
+      EXPECT_FALSE(DecodeAggregatorState(mutated).ok());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WireAdversaryTest,
+                         ::testing::Range<uint64_t>(0, FuzzSeeds(6)));
+
+}  // namespace
+}  // namespace futurerand::core

@@ -1,0 +1,300 @@
+// ChannelModel: seeded fault injection must be deterministic, respect its
+// configured rates at the extremes, and — composed with DedupPolicy and the
+// runner — leave estimates bit-identical whenever no record is actually
+// lost (duplication, reordering, checkpoint/restore round-trips).
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "futurerand/sim/channel.h"
+#include "futurerand/sim/runner.h"
+#include "futurerand/sim/workload.h"
+
+namespace futurerand::sim {
+namespace {
+
+core::ReportBatch TestBatch(int64_t size, int64_t time) {
+  core::ReportBatch batch;
+  for (int64_t u = 0; u < size; ++u) {
+    batch.push_back({u, time, u % 2 == 0 ? int8_t{1} : int8_t{-1}});
+  }
+  return batch;
+}
+
+TEST(ChannelConfigTest, ValidatesRates) {
+  ChannelConfig config;
+  EXPECT_TRUE(config.Validate().ok());
+  EXPECT_FALSE(config.enabled());
+  config.drop_rate = 1.5;
+  EXPECT_FALSE(config.Validate().ok());
+  config.drop_rate = 0.5;
+  EXPECT_TRUE(config.Validate().ok());
+  EXPECT_TRUE(config.enabled());
+  config.corrupt_rate = -0.1;
+  EXPECT_FALSE(config.Validate().ok());
+}
+
+TEST(ChannelModelTest, PerfectChannelIsIdentity) {
+  ChannelModel channel(ChannelConfig{}, 1);
+  const core::ReportBatch sent = TestBatch(20, 4);
+  core::ReportBatch delivered;
+  channel.Transmit(sent, &delivered);
+  EXPECT_EQ(delivered, sent);
+  EXPECT_EQ(channel.stats().records_sent, 20);
+  EXPECT_EQ(channel.stats().records_delivered, 20);
+  EXPECT_EQ(channel.stats().records_dropped, 0);
+  std::string bytes = "some wire bytes";
+  EXPECT_FALSE(channel.MaybeCorrupt(&bytes));
+  EXPECT_EQ(bytes, "some wire bytes");
+}
+
+TEST(ChannelModelTest, SameSeedReplaysTheSameFaults) {
+  ChannelConfig config;
+  config.drop_rate = 0.3;
+  config.duplicate_rate = 0.3;
+  config.reorder_rate = 0.5;
+  ChannelModel a(config, 42);
+  ChannelModel b(config, 42);
+  ChannelModel c(config, 43);
+  core::ReportBatch from_a;
+  core::ReportBatch from_b;
+  core::ReportBatch from_c;
+  bool any_difference = false;
+  for (int64_t t = 1; t <= 32; ++t) {
+    const core::ReportBatch sent = TestBatch(50, t);
+    a.Transmit(sent, &from_a);
+    b.Transmit(sent, &from_b);
+    c.Transmit(sent, &from_c);
+    EXPECT_EQ(from_a, from_b);
+    any_difference = any_difference || from_a != from_c;
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(ChannelModelTest, FullDropLosesEverything) {
+  ChannelConfig config;
+  config.drop_rate = 1.0;
+  ChannelModel channel(config, 9);
+  core::ReportBatch delivered;
+  channel.Transmit(TestBatch(100, 2), &delivered);
+  EXPECT_TRUE(delivered.empty());
+  EXPECT_EQ(channel.stats().records_dropped, 100);
+  EXPECT_EQ(channel.stats().records_delivered, 0);
+}
+
+TEST(ChannelModelTest, FullDuplicationDeliversEverythingTwice) {
+  ChannelConfig config;
+  config.duplicate_rate = 1.0;
+  ChannelModel channel(config, 9);
+  const core::ReportBatch sent = TestBatch(50, 2);
+  core::ReportBatch delivered;
+  channel.Transmit(sent, &delivered);
+  EXPECT_EQ(delivered.size(), 100u);
+  EXPECT_EQ(channel.stats().records_duplicated, 50);
+  for (size_t i = 0; i < sent.size(); ++i) {
+    EXPECT_EQ(delivered[2 * i], sent[i]);
+    EXPECT_EQ(delivered[2 * i + 1], sent[i]);
+  }
+}
+
+TEST(ChannelModelTest, ReorderPreservesTheMultiset) {
+  ChannelConfig config;
+  config.reorder_rate = 1.0;
+  ChannelModel channel(config, 17);
+  const core::ReportBatch sent = TestBatch(64, 8);
+  core::ReportBatch delivered;
+  channel.Transmit(sent, &delivered);
+  EXPECT_EQ(channel.stats().batches_reordered, 1);
+  EXPECT_NE(delivered, sent);  // 64! orderings: identity is impossible luck
+  auto key = [](const core::ReportMessage& m) { return m.client_id; };
+  core::ReportBatch sorted = delivered;
+  std::sort(sorted.begin(), sorted.end(),
+            [&](const auto& x, const auto& y) { return key(x) < key(y); });
+  EXPECT_EQ(sorted, sent);
+}
+
+TEST(ChannelModelTest, CorruptFlipsExactlyOneBit) {
+  ChannelConfig config;
+  config.corrupt_rate = 1.0;
+  ChannelModel channel(config, 23);
+  const std::string original(40, '\x5a');
+  for (int round = 0; round < 50; ++round) {
+    std::string bytes = original;
+    ASSERT_TRUE(channel.MaybeCorrupt(&bytes));
+    ASSERT_EQ(bytes.size(), original.size());
+    int flipped_bits = 0;
+    for (size_t i = 0; i < bytes.size(); ++i) {
+      flipped_bits +=
+          __builtin_popcount(static_cast<uint8_t>(bytes[i]) ^
+                             static_cast<uint8_t>(original[i]));
+    }
+    EXPECT_EQ(flipped_bits, 1);
+  }
+  EXPECT_EQ(channel.stats().batches_corrupted, 50);
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end through the runner.
+
+core::ProtocolConfig RunnerConfig() {
+  core::ProtocolConfig config;
+  config.num_periods = 64;
+  config.max_changes = 4;
+  config.epsilon = 1.0;
+  return config;
+}
+
+WorkloadConfig RunnerWorkload(int64_t n = 400) {
+  WorkloadConfig config;
+  config.kind = WorkloadKind::kUniformChanges;
+  config.num_users = n;
+  config.num_periods = 64;
+  config.max_changes = 4;
+  return config;
+}
+
+TEST(RunnerFaultTest, LosslessFaultsAreBitIdenticalToIdealTransport) {
+  const Workload workload =
+      Workload::Generate(RunnerWorkload(), 11).ValueOrDie();
+  const RunResult ideal =
+      RunProtocol(ProtocolKind::kFutureRand, RunnerConfig(), workload, 99)
+          .ValueOrDie();
+
+  FaultOptions faults;
+  faults.channel.duplicate_rate = 0.4;
+  faults.channel.reorder_rate = 1.0;
+  faults.dedup = core::DedupPolicy::kIdempotent;
+  faults.checkpoint_every = 16;
+  const RunResult lossy =
+      RunProtocol(ProtocolKind::kFutureRand, RunnerConfig(), workload, 99,
+                  nullptr, 0, faults)
+          .ValueOrDie();
+
+  // Nothing was dropped or corrupted, so dedup + restore must reproduce the
+  // ideal estimates bit for bit.
+  EXPECT_EQ(lossy.estimates, ideal.estimates);
+  EXPECT_EQ(lossy.delivery.records_dropped, 0);
+  EXPECT_GT(lossy.delivery.records_duplicated, 0);
+  EXPECT_EQ(lossy.delivery.records_deduped,
+            lossy.delivery.records_duplicated);
+  EXPECT_EQ(lossy.delivery.records_applied, lossy.delivery.records_sent);
+  EXPECT_EQ(lossy.delivery.checkpoints_taken, 4);
+  EXPECT_GT(lossy.delivery.checkpoint_bytes, 0);
+}
+
+TEST(RunnerFaultTest, DeliveryAccountingBalances) {
+  const Workload workload =
+      Workload::Generate(RunnerWorkload(), 3).ValueOrDie();
+  FaultOptions faults;
+  faults.channel.drop_rate = 0.2;
+  faults.channel.duplicate_rate = 0.2;
+  faults.dedup = core::DedupPolicy::kIdempotent;
+  const RunResult run =
+      RunProtocol(ProtocolKind::kFutureRand, RunnerConfig(), workload, 5,
+                  nullptr, 0, faults)
+          .ValueOrDie();
+  const DeliveryMetrics& delivery = run.delivery;
+  EXPECT_EQ(delivery.records_sent, run.reports_submitted);
+  EXPECT_GT(delivery.records_dropped, 0);
+  EXPECT_EQ(delivery.records_delivered,
+            delivery.records_sent - delivery.records_dropped +
+                delivery.records_duplicated);
+  EXPECT_EQ(delivery.records_applied + delivery.records_deduped,
+            delivery.records_delivered);
+  EXPECT_EQ(delivery.records_deduped, delivery.records_duplicated);
+}
+
+TEST(RunnerFaultTest, DropsBiasTheEstimatesDown) {
+  // Dropping reports starves the debiased sums, shrinking estimates toward
+  // zero. Measure in a signal-dominated regime (many users, few periods,
+  // static population) where the ~drop_rate multiplicative bias dwarfs the
+  // sampling noise.
+  core::ProtocolConfig config;
+  config.num_periods = 8;
+  config.max_changes = 2;
+  config.epsilon = 1.0;
+  WorkloadConfig workload_config;
+  workload_config.kind = WorkloadKind::kStatic;
+  workload_config.num_users = 40000;
+  workload_config.num_periods = 8;
+  workload_config.max_changes = 2;
+  workload_config.param = 0.8;  // 80% of users at 1 throughout
+  const Workload workload =
+      Workload::Generate(workload_config, 7).ValueOrDie();
+
+  const RunResult ideal =
+      RunProtocol(ProtocolKind::kFutureRand, config, workload, 13)
+          .ValueOrDie();
+  FaultOptions faults;
+  faults.channel.drop_rate = 0.5;
+  const RunResult lossy =
+      RunProtocol(ProtocolKind::kFutureRand, config, workload, 13, nullptr,
+                  0, faults)
+          .ValueOrDie();
+
+  double ideal_mean = 0.0;
+  double lossy_mean = 0.0;
+  for (size_t t = 0; t < ideal.estimates.size(); ++t) {
+    ideal_mean += ideal.estimates[t];
+    lossy_mean += lossy.estimates[t];
+  }
+  ideal_mean /= static_cast<double>(ideal.estimates.size());
+  lossy_mean /= static_cast<double>(lossy.estimates.size());
+  // ~32000 users on; half the reports lost leaves roughly half the mass.
+  EXPECT_LT(lossy_mean, 0.75 * ideal_mean);
+  EXPECT_GT(lossy_mean, 0.25 * ideal_mean);
+  // And the lossy run's error vs ground truth is correspondingly worse.
+  EXPECT_GT(lossy.metrics.max_abs, ideal.metrics.max_abs);
+  EXPECT_EQ(lossy.delivery.records_deduped, 0);
+}
+
+TEST(RunnerFaultTest, CorruptionSurvivesViaRetransmitUnderDedup) {
+  const Workload workload =
+      Workload::Generate(RunnerWorkload(), 19).ValueOrDie();
+  FaultOptions faults;
+  faults.channel.corrupt_rate = 0.5;
+  faults.dedup = core::DedupPolicy::kIdempotent;
+  const RunResult run =
+      RunProtocol(ProtocolKind::kFutureRand, RunnerConfig(), workload, 23,
+                  nullptr, 0, faults)
+          .ValueOrDie();
+  EXPECT_GT(run.delivery.batches_corrupted, 0);
+  // Most single-bit corruptions break the decode and trigger the
+  // retransmit path; all of them leave the run alive.
+  EXPECT_GT(run.delivery.batches_retransmitted, 0);
+}
+
+TEST(RunnerFaultTest, ValidatesFaultCombinations) {
+  const Workload workload =
+      Workload::Generate(RunnerWorkload(100), 1).ValueOrDie();
+  // Duplicates without dedup would be ingest errors.
+  FaultOptions faults;
+  faults.channel.duplicate_rate = 0.1;
+  EXPECT_FALSE(RunProtocol(ProtocolKind::kFutureRand, RunnerConfig(),
+                           workload, 1, nullptr, 0, faults)
+                   .ok());
+  faults.dedup = core::DedupPolicy::kIdempotent;
+  EXPECT_TRUE(RunProtocol(ProtocolKind::kFutureRand, RunnerConfig(),
+                          workload, 1, nullptr, 0, faults)
+                  .ok());
+  // Baselines bypass the batch transport: faults are rejected, not ignored.
+  EXPECT_FALSE(RunProtocol(ProtocolKind::kErlingsson, RunnerConfig(),
+                           workload, 1, nullptr, 0, faults)
+                   .ok());
+  EXPECT_FALSE(RunProtocol(ProtocolKind::kNaiveRR, RunnerConfig(), workload,
+                           1, nullptr, 0, faults)
+                   .ok());
+  // Out-of-range rates.
+  FaultOptions bad;
+  bad.channel.drop_rate = 2.0;
+  EXPECT_FALSE(RunProtocol(ProtocolKind::kFutureRand, RunnerConfig(),
+                           workload, 1, nullptr, 0, bad)
+                   .ok());
+}
+
+}  // namespace
+}  // namespace futurerand::sim

@@ -1,0 +1,42 @@
+// Environment-variable scaling for the randomized / stress suites, shared
+// so the FR_FUZZ_* / FR_STRESS_* convention (positive integer overrides
+// the fallback, anything else is ignored) lives in exactly one place.
+//
+// The variables are read at static-initialization time by INSTANTIATE
+// macros in some suites, so they must be set before the test binary starts
+// — which is how both ctest and a shell invocation behave anyway.
+
+#ifndef FUTURERAND_TESTS_TESTSUPPORT_ENV_SCALING_H_
+#define FUTURERAND_TESTS_TESTSUPPORT_ENV_SCALING_H_
+
+#include <cstdint>
+#include <cstdlib>
+
+namespace futurerand::testsupport {
+
+/// Reads a positive integer override from the environment, falling back to
+/// `fallback` when unset or unparseable.
+inline int64_t EnvIterations(const char* name, int64_t fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr) return fallback;
+  const long long parsed = std::atoll(value);
+  return parsed > 0 ? static_cast<int64_t>(parsed) : fallback;
+}
+
+/// FR_FUZZ_SEEDS: number of INSTANTIATE seeds per parameterized fuzz
+/// suite. Changes the test list itself, which ctest fixes at build-time
+/// discovery — run the binary directly to widen the range.
+inline uint64_t FuzzSeeds(uint64_t fallback) {
+  return static_cast<uint64_t>(
+      EnvIterations("FR_FUZZ_SEEDS", static_cast<int64_t>(fallback)));
+}
+
+/// FR_FUZZ_ROUNDS: rounds inside each fuzz test body; works through ctest
+/// any time.
+inline int64_t FuzzRounds(int64_t fallback) {
+  return EnvIterations("FR_FUZZ_ROUNDS", fallback);
+}
+
+}  // namespace futurerand::testsupport
+
+#endif  // FUTURERAND_TESTS_TESTSUPPORT_ENV_SCALING_H_

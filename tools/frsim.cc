@@ -48,6 +48,12 @@ int Run(int argc, char** argv) {
   int64_t threads = ThreadPool::DefaultThreadCount();
   int64_t shards = 0;
   bool adapt_support = false;
+  double drop_rate = 0.0;
+  double dup_rate = 0.0;
+  double reorder_rate = 0.0;
+  double corrupt_rate = 0.0;
+  bool dedup = false;
+  int64_t checkpoint_every = 0;
   std::string csv_path;
   bool help = false;
 
@@ -72,6 +78,20 @@ int Run(int argc, char** argv) {
                   "estimates are identical for any value");
   parser.AddBool("adapt_support", &adapt_support,
                  "enable per-level support adaptation (extension)");
+  parser.AddDouble("drop-rate", &drop_rate,
+                   "P(report lost in the channel), hierarchical only");
+  parser.AddDouble("dup-rate", &dup_rate,
+                   "P(report delivered twice); requires --dedup");
+  parser.AddDouble("reorder-rate", &reorder_rate,
+                   "P(delivered batch arrives shuffled)");
+  parser.AddDouble("corrupt-rate", &corrupt_rate,
+                   "P(one bit of the encoded batch flips); requires --dedup");
+  parser.AddBool("dedup", &dedup,
+                 "idempotent ingest: duplicates/retries are absorbed, "
+                 "making at-least-once delivery exact");
+  parser.AddInt64("checkpoint-every", &checkpoint_every,
+                  "checkpoint + restore the aggregator every this many "
+                  "periods (0 = never)");
   parser.AddString("csv", &csv_path,
                    "optional path for the last repetition's t,truth,"
                    "estimate,abs_error trace");
@@ -107,6 +127,20 @@ int Run(int argc, char** argv) {
   config.epsilon = eps;
   config.adapt_support_per_level = adapt_support;
 
+  sim::FaultOptions faults;
+  faults.channel.drop_rate = drop_rate;
+  faults.channel.duplicate_rate = dup_rate;
+  faults.channel.reorder_rate = reorder_rate;
+  faults.channel.corrupt_rate = corrupt_rate;
+  faults.dedup = dedup ? core::DedupPolicy::kIdempotent
+                       : core::DedupPolicy::kStrict;
+  faults.checkpoint_every = checkpoint_every;
+  if (const Status fault_status = faults.Validate(); !fault_status.ok()) {
+    std::fprintf(stderr, "%s\n%s", fault_status.ToString().c_str(),
+                 parser.Usage("frsim").c_str());
+    return 2;
+  }
+
   sim::WorkloadConfig workload_config;
   workload_config.kind = *workload_kind;
   workload_config.num_users = n;
@@ -128,10 +162,14 @@ int Run(int argc, char** argv) {
     }
     const auto result =
         sim::RunProtocol(*protocol, config, *workload, protocol_seed, &pool,
-                         static_cast<int>(shards));
+                         static_cast<int>(shards), faults);
     if (!result.ok()) {
       std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
       return 1;
+    }
+    if (faults.active()) {
+      std::printf("rep %lld %s\n", static_cast<long long>(r),
+                  result->delivery.ToString().c_str());
     }
     table.AddRow(
         {std::to_string(r), TablePrinter::FormatDouble(result->metrics.max_abs),
