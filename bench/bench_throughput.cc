@@ -39,15 +39,21 @@ struct PipelineStats {
   double ingest_seconds = 0.0;  // IngestEncoded over all batches
   double query_seconds = 0.0;   // EstimateAll
   double checkpoint_seconds = 0.0;  // Checkpoint + Restore round-trip
+  double delta_seconds = 0.0;       // delta Checkpoint (--checkpoint-mode)
   int64_t reports = 0;
   int64_t wire_bytes = 0;
-  int64_t checkpoint_bytes = 0;
+  int64_t checkpoint_bytes = 0;  // one full blob
+  int64_t delta_bytes = 0;       // one delta blob over dirty_shards shards
+  int64_t dirty_shards = 0;      // shards dirtied before the delta (~1%)
+  int64_t state_bytes = 0;       // ApproxMemoryBytes after the full stream
   double final_estimate = 0.0;  // consume the output so nothing is elided
 };
 
 Result<PipelineStats> RunPipeline(const core::ProtocolConfig& config,
                                   int64_t n, int shards, ThreadPool* pool,
-                                  uint64_t seed, core::DedupPolicy dedup) {
+                                  uint64_t seed, core::DedupPolicy dedup,
+                                  core::DedupWindowPolicy window,
+                                  core::CheckpointMode checkpoint_mode) {
   PipelineStats stats;
   WallTimer timer;
   FR_ASSIGN_OR_RETURN(core::ClientFleet fleet,
@@ -56,7 +62,7 @@ Result<PipelineStats> RunPipeline(const core::ProtocolConfig& config,
 
   FR_ASSIGN_OR_RETURN(
       core::ShardedAggregator aggregator,
-      core::ShardedAggregator::ForProtocol(config, shards, dedup));
+      core::ShardedAggregator::ForProtocol(config, shards, dedup, window));
   const std::string registration_bytes =
       core::EncodeRegistrationBatch(fleet.registrations());
   stats.wire_bytes += static_cast<int64_t>(registration_bytes.size());
@@ -97,6 +103,10 @@ Result<PipelineStats> RunPipeline(const core::ProtocolConfig& config,
   stats.query_seconds = timer.ElapsedSeconds();
   stats.final_estimate = estimates.back();
 
+  // Memory-footprint stage: what the aggregator holds after the whole
+  // stream — the number a DedupWindowPolicy is meant to bound.
+  stats.state_bytes = aggregator.ApproxMemoryBytes();
+
   // Recovery stage: serialize every shard and restore the blob into the
   // same aggregator — the cost of one crash/restart cycle.
   timer.Restart();
@@ -104,6 +114,26 @@ Result<PipelineStats> RunPipeline(const core::ProtocolConfig& config,
   FR_RETURN_NOT_OK(aggregator.Restore(snapshot));
   stats.checkpoint_seconds = timer.ElapsedSeconds();
   stats.checkpoint_bytes = static_cast<int64_t>(snapshot.size());
+
+  if (checkpoint_mode == core::CheckpointMode::kDelta) {
+    // Delta stage: dirty ~1% of the shards (at least one) with fresh
+    // registrations, then serialize only what changed. The delta/full byte
+    // ratio is the high-frequency checkpointing win.
+    stats.dirty_shards = std::max<int64_t>(1, shards / 100);
+    std::vector<core::RegistrationMessage> freshly_registered;
+    for (int64_t s = 0; s < stats.dirty_shards; ++s) {
+      // The smallest unused id landing on shard s (existing ids are 0..n-1).
+      const int64_t id = n + (((s - n) % shards) + shards) % shards;
+      freshly_registered.push_back(core::RegistrationMessage{id, 0});
+    }
+    FR_RETURN_NOT_OK(aggregator.IngestRegistrations(freshly_registered));
+    timer.Restart();
+    FR_ASSIGN_OR_RETURN(
+        const std::string delta,
+        aggregator.Checkpoint(core::CheckpointMode::kDelta));
+    stats.delta_seconds = timer.ElapsedSeconds();
+    stats.delta_bytes = static_cast<int64_t>(delta.size());
+  }
   return stats;
 }
 
@@ -122,6 +152,8 @@ int Run(int argc, char** argv) {
   int64_t threads = ThreadPool::DefaultThreadCount();
   int64_t seed = 1;
   bool dedup = false;
+  int64_t dedup_window = 0;
+  std::string checkpoint_mode = "full";
   bool json = false;
   bool help = false;
 
@@ -143,6 +175,12 @@ int Run(int argc, char** argv) {
   parser.AddBool("dedup", &dedup,
                  "ingest with DedupPolicy::kIdempotent (measures the "
                  "per-client boundary-bitmap overhead)");
+  parser.AddInt64("dedup-window", &dedup_window,
+                  "bound the dedup bitmaps to this many boundaries behind "
+                  "each client's frontier (0 = unbounded); requires --dedup");
+  parser.AddString("checkpoint-mode", &checkpoint_mode,
+                   "full | delta: delta adds a stage that dirties ~1% of "
+                   "the shards and serializes only those");
   parser.AddBool("json", &json,
                  "print one machine-readable JSON line instead of a table");
   parser.AddBool("help", &help, "print usage");
@@ -169,6 +207,16 @@ int Run(int argc, char** argv) {
     std::fprintf(stderr, "%s\n", randomizer.status().ToString().c_str());
     return 2;
   }
+  core::CheckpointMode mode = core::CheckpointMode::kFull;
+  if (checkpoint_mode == "delta") {
+    mode = core::CheckpointMode::kDelta;
+  } else if (checkpoint_mode != "full") {
+    std::fprintf(stderr,
+                 "InvalidArgument: --checkpoint-mode must be full or "
+                 "delta\n%s",
+                 parser.Usage("bench_throughput").c_str());
+    return 2;
+  }
 
   core::ProtocolConfig config = bench::MakeConfig(d, k, eps);
   config.randomizer = *randomizer;
@@ -179,7 +227,9 @@ int Run(int argc, char** argv) {
   const auto stats = RunPipeline(config, n, effective_shards, &pool,
                                  static_cast<uint64_t>(seed),
                                  dedup ? core::DedupPolicy::kIdempotent
-                                       : core::DedupPolicy::kStrict);
+                                       : core::DedupPolicy::kStrict,
+                                 core::DedupWindowPolicy{dedup_window},
+                                 mode);
   if (!stats.ok()) {
     std::fprintf(stderr, "%s\n", stats.status().ToString().c_str());
     return 1;
@@ -222,6 +272,7 @@ int Run(int argc, char** argv) {
         .Add("eps", eps)
         .Add("randomizer", rand::RandomizerKindToString(*randomizer))
         .Add("dedup", dedup ? 1 : 0)
+        .Add("dedup_window", dedup_window)
         .Add("shards", effective_shards)
         .Add("threads", static_cast<int64_t>(pool.num_threads()))
         .Add("reports", stats->reports)
@@ -233,8 +284,19 @@ int Run(int argc, char** argv) {
         .Add("estimate_all_sec", stats->query_seconds)
         .Add("checkpoint_sec", stats->checkpoint_seconds)
         .Add("checkpoint_bytes", stats->checkpoint_bytes)
+        .Add("state_bytes", stats->state_bytes)
         .Add("user_periods_per_sec", Rate(user_periods, stats->tick_seconds))
         .Add("reports_per_sec", Rate(stats->reports, stats->ingest_seconds));
+    if (mode == core::CheckpointMode::kDelta) {
+      line.Add("dirty_shards", stats->dirty_shards)
+          .Add("delta_checkpoint_sec", stats->delta_seconds)
+          .Add("delta_checkpoint_bytes", stats->delta_bytes)
+          .Add("full_over_delta_bytes",
+               stats->delta_bytes > 0
+                   ? static_cast<double>(stats->checkpoint_bytes) /
+                         static_cast<double>(stats->delta_bytes)
+                   : 0.0);
+    }
     if (!protocol_name.empty()) {
       line.Add("sim_protocol", protocol_name)
           .Add("sim_sec", sim_seconds)
@@ -282,6 +344,17 @@ int Run(int argc, char** argv) {
                 TablePrinter::FormatCount(static_cast<int64_t>(
                     Rate(stats->checkpoint_bytes,
                          stats->checkpoint_seconds)))});
+  table.AddRow({"state memory",
+                TablePrinter::FormatDouble(0.0, 4),
+                TablePrinter::FormatCount(stats->state_bytes),
+                TablePrinter::FormatCount(0)});
+  if (mode == core::CheckpointMode::kDelta) {
+    table.AddRow({"delta checkpoint",
+                  TablePrinter::FormatDouble(stats->delta_seconds, 4),
+                  TablePrinter::FormatCount(stats->delta_bytes),
+                  TablePrinter::FormatCount(static_cast<int64_t>(
+                      Rate(stats->delta_bytes, stats->delta_seconds)))});
+  }
   if (!protocol_name.empty()) {
     table.AddRow({"sim " + protocol_name,
                   TablePrinter::FormatDouble(sim_seconds, 4),

@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# Fails on broken intra-repo markdown links: every [text](relative/path)
+# in a tracked *.md file must point at a file or directory that exists
+# (anchors and external URLs are skipped). Keeps README/docs pointers
+# honest as files move.
+set -u
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+fail=0
+checked=0
+
+# All markdown files, excluding build trees, third-party checkouts, and
+# the vendored paper/reference extracts (their links point into source
+# material that was never part of this repo).
+files=$(find "$repo_root" -name '*.md' \
+  -not -path '*/build*/*' -not -path '*/_deps/*' -not -path '*/.git/*' \
+  -not -name 'PAPER.md' -not -name 'PAPERS.md' -not -name 'SNIPPETS.md' \
+  -not -name 'ISSUE.md')
+
+for file in $files; do
+  dir=$(dirname "$file")
+  # Extract inline link targets: "](target)". One per line (while-read, so
+  # targets containing spaces survive); tolerate several links per line.
+  while IFS= read -r target; do
+    [ -z "$target" ] && continue
+    case "$target" in
+      http://*|https://*|mailto:*|\#*) continue ;;  # external or anchor
+    esac
+    path="${target%%#*}"    # strip an anchor suffix
+    path="${path%% \"*}"    # strip a CommonMark link title: (path "title")
+    path="${path%% }"       # and any trailing space left behind
+    [ -z "$path" ] && continue
+    if [ ! -e "$dir/$path" ]; then
+      echo "broken link in ${file#"$repo_root"/}: $target" >&2
+      fail=1
+    fi
+    checked=$((checked + 1))
+  done << EOF
+$(grep -o '](\([^)]*\))' "$file" 2>/dev/null | sed 's/^](//; s/)$//')
+EOF
+done
+
+if [ "$fail" -ne 0 ]; then
+  exit 1
+fi
+echo "check_docs_links: OK ($checked intra-repo links resolve)"

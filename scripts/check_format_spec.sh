@@ -1,0 +1,75 @@
+#!/usr/bin/env bash
+# Cross-checks the FRW kind constants in the code against the normative
+# table in docs/FORMATS.md, so the spec and the implementation cannot
+# drift apart silently:
+#
+#   1. every `kKind* = N` constant in src/futurerand/core/wire.h must
+#      appear in the FORMATS.md kind table with the same number, and vice
+#      versa;
+#   2. the kind numbers quoted in the core/snapshot.h header comment
+#      ("kServerState (3)" etc.) must agree with wire.h.
+#
+# Run from anywhere; exits non-zero with a diff on any mismatch.
+set -u
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+wire_h="$repo_root/src/futurerand/core/wire.h"
+snapshot_h="$repo_root/src/futurerand/core/snapshot.h"
+spec="$repo_root/docs/FORMATS.md"
+fail=0
+
+for f in "$wire_h" "$snapshot_h" "$spec"; do
+  if [ ! -f "$f" ]; then
+    echo "check_format_spec: missing $f" >&2
+    exit 1
+  fi
+done
+
+# "kKindReport 2" lines from the header constants.
+code_kinds=$(sed -n \
+  's/^inline constexpr char \(kKind[A-Za-z]*\) = \([0-9]*\);.*/\1 \2/p' \
+  "$wire_h" | sort)
+
+# "kKindReport 2" lines from the spec's table (| 2 | `kKindReport` | ...).
+spec_kinds=$(sed -n \
+  's/^| *\([0-9][0-9]*\) *| *`\(kKind[A-Za-z]*\)`.*/\2 \1/p' \
+  "$spec" | sort)
+
+if [ -z "$code_kinds" ]; then
+  echo "check_format_spec: found no kKind constants in $wire_h" >&2
+  exit 1
+fi
+if [ -z "$spec_kinds" ]; then
+  echo "check_format_spec: found no kind table rows in $spec" >&2
+  exit 1
+fi
+
+if [ "$code_kinds" != "$spec_kinds" ]; then
+  echo "check_format_spec: wire.h constants and docs/FORMATS.md table disagree" >&2
+  echo "--- wire.h" >&2
+  echo "$code_kinds" >&2
+  echo "--- docs/FORMATS.md" >&2
+  echo "$spec_kinds" >&2
+  fail=1
+fi
+
+# snapshot.h quotes kind numbers as "kServerState (3)"; each must match the
+# wire.h constant of the same name (kFoo -> kKindFoo).
+while read -r name number; do
+  [ -z "$name" ] && continue
+  expected=$(echo "$code_kinds" | sed -n "s/^kKind$name \([0-9]*\)$/\1/p")
+  if [ -z "$expected" ]; then
+    echo "check_format_spec: snapshot.h mentions k$name ($number) but wire.h has no kKind$name" >&2
+    fail=1
+  elif [ "$expected" != "$number" ]; then
+    echo "check_format_spec: snapshot.h says k$name ($number), wire.h says kKind$name = $expected" >&2
+    fail=1
+  fi
+done <<EOF
+$(sed -n 's/.*k\([A-Za-z]*\) (\([0-9][0-9]*\)).*/\1 \2/p' "$snapshot_h")
+EOF
+
+if [ "$fail" -ne 0 ]; then
+  exit 1
+fi
+echo "check_format_spec: OK ($(echo "$code_kinds" | wc -l | tr -d ' ') kinds in lockstep)"

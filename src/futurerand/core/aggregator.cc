@@ -10,42 +10,49 @@ namespace futurerand::core {
 ShardedAggregator::ShardedAggregator(int64_t num_periods,
                                      std::vector<double> level_scales,
                                      DedupPolicy dedup,
+                                     DedupWindowPolicy window,
                                      std::vector<Shard> shards,
                                      Server snapshot)
     : num_periods_(num_periods),
       level_scales_(std::move(level_scales)),
       dedup_policy_(dedup),
+      dedup_window_(window),
       shards_(std::move(shards)),
+      checkpoint_mutex_(std::make_unique<std::mutex>()),
       snapshot_mutex_(std::make_unique<std::mutex>()),
       snapshot_(std::move(snapshot)) {}
 
 Result<ShardedAggregator> ShardedAggregator::ForProtocol(
-    const ProtocolConfig& config, int num_shards, DedupPolicy dedup) {
+    const ProtocolConfig& config, int num_shards, DedupPolicy dedup,
+    DedupWindowPolicy window) {
   FR_ASSIGN_OR_RETURN(std::vector<double> scales,
                       ProtocolLevelScales(config));
-  return WithScales(config.num_periods, std::move(scales), num_shards, dedup);
+  return WithScales(config.num_periods, std::move(scales), num_shards, dedup,
+                    window);
 }
 
 Result<ShardedAggregator> ShardedAggregator::WithScales(
     int64_t num_periods, std::vector<double> level_scales, int num_shards,
-    DedupPolicy dedup) {
+    DedupPolicy dedup, DedupWindowPolicy window) {
   if (num_shards < 1) {
     return Status::InvalidArgument("need at least one shard");
   }
   std::vector<Shard> shards;
   shards.reserve(static_cast<size_t>(num_shards));
   for (int s = 0; s < num_shards; ++s) {
-    FR_ASSIGN_OR_RETURN(Server server,
-                        Server::WithScales(num_periods, level_scales, dedup));
+    FR_ASSIGN_OR_RETURN(
+        Server server,
+        Server::WithScales(num_periods, level_scales, dedup, window));
     shards.push_back(Shard{std::make_unique<std::mutex>(),
                            std::move(server)});
   }
   // The snapshot shares the policy so MergeAggregatesOnly stays compatible;
   // it never ingests, so the policy is otherwise inert there.
-  FR_ASSIGN_OR_RETURN(Server snapshot,
-                      Server::WithScales(num_periods, level_scales, dedup));
+  FR_ASSIGN_OR_RETURN(
+      Server snapshot,
+      Server::WithScales(num_periods, level_scales, dedup, window));
   return ShardedAggregator(num_periods, std::move(level_scales), dedup,
-                           std::move(shards), std::move(snapshot));
+                           window, std::move(shards), std::move(snapshot));
 }
 
 int ShardedAggregator::ShardIndex(int64_t client_id) const {
@@ -85,6 +92,7 @@ Status ShardedAggregator::IngestBatch(std::span<const Message> batch,
     Shard& shard = shards_[s];
     const std::lock_guard<std::mutex> lock(*shard.mutex);
     const int64_t dropped_before = shard.server.duplicates_dropped();
+    const int64_t stale_before = shard.server.out_of_window_dropped();
     int64_t accepted = 0;
     for (const size_t i : buckets[s]) {
       Status status = apply(shard.server, batch[i]);
@@ -94,11 +102,24 @@ Status ShardedAggregator::IngestBatch(std::span<const Message> batch,
       }
       ++accepted;
     }
-    // An accepted record either mutated state or was absorbed as a
-    // retransmission; the shard's duplicate counter tells them apart.
+    // Dirty for the next delta checkpoint iff anything stuck: every
+    // accepted record either mutated server state or moved a drop
+    // counter (which snapshots serialize). Rejected records mutate
+    // nothing (Server validates before mutating), so an all-rejected
+    // batch must not force this shard into every subsequent delta.
+    if (accepted > 0) {
+      ++shard.version;
+    }
+    // An accepted record either mutated state or was absorbed (as a
+    // retransmission or behind the eviction watermark); the shard's drop
+    // counters tell the cases apart.
     const int64_t deduped =
         shard.server.duplicates_dropped() - dropped_before;
-    shard_outcome[s] = IngestOutcome{accepted - deduped, deduped};
+    const int64_t out_of_window =
+        shard.server.out_of_window_dropped() - stale_before;
+    shard_outcome[s] =
+        IngestOutcome{accepted - deduped - out_of_window, deduped,
+                      out_of_window};
   };
   if (pool != nullptr && shards_.size() > 1) {
     pool->ParallelFor(static_cast<int64_t>(shards_.size()),
@@ -116,6 +137,7 @@ Status ShardedAggregator::IngestBatch(std::span<const Message> batch,
     for (const IngestOutcome& shard : shard_outcome) {
       outcome->applied += shard.applied;
       outcome->deduped += shard.deduped;
+      outcome->out_of_window += shard.out_of_window;
     }
   }
   // Dirty even on error: a prefix of the batch may have been applied.
@@ -166,53 +188,175 @@ Status ShardedAggregator::IngestEncoded(std::string_view bytes,
     }
     case WireBatchKind::kServerState:
     case WireBatchKind::kAggregatorState:
+    case WireBatchKind::kAggregatorDelta:
       return Status::InvalidArgument(
           "snapshot blob is not an ingestible batch; use Restore");
   }
   return Status::Internal("unreachable wire batch kind");
 }
 
-Result<std::string> ShardedAggregator::Checkpoint() const {
-  std::vector<std::string> shard_states;
-  shard_states.reserve(shards_.size());
-  for (const Shard& shard : shards_) {
-    const std::lock_guard<std::mutex> lock(*shard.mutex);
-    shard_states.push_back(EncodeServerState(shard.server));
+Result<std::string> ShardedAggregator::Checkpoint(CheckpointMode mode) {
+  const std::lock_guard<std::mutex> checkpoint_lock(*checkpoint_mutex_);
+  if (mode == CheckpointMode::kFull) {
+    std::vector<std::string> shard_states;
+    shard_states.reserve(shards_.size());
+    for (Shard& shard : shards_) {
+      const std::lock_guard<std::mutex> lock(*shard.mutex);
+      shard_states.push_back(EncodeServerState(shard.server));
+      shard.checkpointed_version = shard.version;
+    }
+    // The epoch is a fingerprint of the captured state, not a counter: a
+    // collector that restores an older full blob and keeps checkpointing
+    // can never mint an epoch that collides with a *different* base
+    // state, so a delta can never chain onto the wrong base. (Zero is
+    // reserved for "no chain anchor".)
+    std::string digest;
+    for (const std::string& state : shard_states) {
+      wire_internal::PutFixed64(wire_internal::Fnv1a64(state), &digest);
+    }
+    checkpoint_epoch_ = wire_internal::Fnv1a64(digest);
+    if (checkpoint_epoch_ == 0) {
+      checkpoint_epoch_ = 1;
+    }
+    checkpoint_seq_ = 0;
+    return EncodeAggregatorState(shard_states, checkpoint_epoch_);
   }
-  return EncodeAggregatorState(shard_states);
+  if (checkpoint_epoch_ == 0) {
+    return Status::FailedPrecondition(
+        "delta checkpoint needs a full checkpoint as its base");
+  }
+  ++checkpoint_seq_;
+  AggregatorDeltaBlob delta;
+  delta.num_shards = static_cast<int64_t>(shards_.size());
+  delta.epoch = checkpoint_epoch_;
+  delta.seq = checkpoint_seq_;
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    Shard& shard = shards_[s];
+    const std::lock_guard<std::mutex> lock(*shard.mutex);
+    if (shard.version == shard.checkpointed_version) {
+      continue;  // untouched since the last checkpoint: not in the delta
+    }
+    delta.shards.push_back(ShardDelta{static_cast<int64_t>(s),
+                                      EncodeServerState(shard.server)});
+    shard.checkpointed_version = shard.version;
+  }
+  return EncodeAggregatorDelta(delta);
+}
+
+Result<Server> ShardedAggregator::DecodeAndValidateShard(
+    std::string_view state) const {
+  FR_ASSIGN_OR_RETURN(Server server, DecodeServerState(state));
+  if (server.num_periods() != num_periods_) {
+    return Status::InvalidArgument(
+        "checkpoint num_periods mismatches aggregator");
+  }
+  if (server.level_scales() != level_scales_) {
+    return Status::InvalidArgument(
+        "checkpoint level scales mismatch aggregator");
+  }
+  if (server.dedup_policy() != dedup_policy_) {
+    return Status::InvalidArgument(
+        "checkpoint dedup policy mismatches aggregator");
+  }
+  if (server.dedup_window() != dedup_window_) {
+    return Status::InvalidArgument(
+        "checkpoint dedup window mismatches aggregator");
+  }
+  return server;
 }
 
 Status ShardedAggregator::Restore(std::string_view bytes) {
-  FR_ASSIGN_OR_RETURN(const std::vector<std::string> shard_states,
-                      DecodeAggregatorState(bytes));
-  if (shard_states.size() != shards_.size()) {
-    return Status::InvalidArgument(
-        "checkpoint shard count mismatches aggregator");
+  FR_ASSIGN_OR_RETURN(const WireBatchKind kind, PeekBatchKind(bytes));
+  switch (kind) {
+    case WireBatchKind::kAggregatorState:
+      return RestoreFull(bytes);
+    case WireBatchKind::kAggregatorDelta:
+      return RestoreDelta(bytes);
+    default:
+      return Status::InvalidArgument(
+          "not an aggregator checkpoint blob; cannot restore");
   }
+}
+
+Status ShardedAggregator::RestoreFull(std::string_view bytes) {
+  FR_ASSIGN_OR_RETURN(AggregatorStateBlob blob,
+                      DecodeAggregatorState(bytes));
   // Decode and validate everything before touching any shard: Restore
   // either replaces the whole aggregator or leaves it unchanged.
   std::vector<Server> servers;
-  servers.reserve(shard_states.size());
-  for (const std::string& state : shard_states) {
-    FR_ASSIGN_OR_RETURN(Server server, DecodeServerState(state));
-    if (server.num_periods() != num_periods_) {
-      return Status::InvalidArgument(
-          "checkpoint num_periods mismatches aggregator");
-    }
-    if (server.level_scales() != level_scales_) {
-      return Status::InvalidArgument(
-          "checkpoint level scales mismatch aggregator");
-    }
-    if (server.dedup_policy() != dedup_policy_) {
-      return Status::InvalidArgument(
-          "checkpoint dedup policy mismatches aggregator");
-    }
+  servers.reserve(blob.shards.size());
+  for (const std::string& state : blob.shards) {
+    FR_ASSIGN_OR_RETURN(Server server, DecodeAndValidateShard(state));
     servers.push_back(std::move(server));
   }
-  for (size_t s = 0; s < shards_.size(); ++s) {
-    const std::lock_guard<std::mutex> lock(*shards_[s].mutex);
-    shards_[s].server = std::move(servers[s]);
+  const bool resharded = servers.size() != shards_.size();
+  if (resharded) {
+    // Elastic resharding: re-bucket every client onto this aggregator's
+    // id-mod-M layout. Estimates are bit-identical (queries sum shards).
+    FR_ASSIGN_OR_RETURN(
+        servers, ReshardServerStates(std::move(servers), num_shards()));
   }
+  const std::lock_guard<std::mutex> checkpoint_lock(*checkpoint_mutex_);
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    Shard& shard = shards_[s];
+    const std::lock_guard<std::mutex> lock(*shard.mutex);
+    shard.server = std::move(servers[s]);
+    ++shard.version;
+    // A same-layout restore leaves each shard exactly as the blob captured
+    // it, so the chain may continue with deltas; a resharded restore broke
+    // the blob's shard layout, so the chain restarts at the next kFull.
+    shard.checkpointed_version = resharded ? shard.version - 1
+                                           : shard.version;
+  }
+  checkpoint_epoch_ = resharded ? 0 : blob.epoch;
+  checkpoint_seq_ = 0;
+  MarkDirty();
+  return Status::OK();
+}
+
+Status ShardedAggregator::RestoreDelta(std::string_view bytes) {
+  FR_ASSIGN_OR_RETURN(AggregatorDeltaBlob delta,
+                      DecodeAggregatorDelta(bytes));
+  if (delta.num_shards != static_cast<int64_t>(shards_.size())) {
+    return Status::InvalidArgument(
+        "delta checkpoint cannot change the shard count; restore a full "
+        "checkpoint instead");
+  }
+  std::vector<Server> servers;
+  servers.reserve(delta.shards.size());
+  for (const ShardDelta& entry : delta.shards) {
+    FR_ASSIGN_OR_RETURN(Server server, DecodeAndValidateShard(entry.state));
+    servers.push_back(std::move(server));
+  }
+  const std::lock_guard<std::mutex> checkpoint_lock(*checkpoint_mutex_);
+  if (delta.epoch != checkpoint_epoch_ ||
+      delta.seq != checkpoint_seq_ + 1) {
+    return Status::FailedPrecondition(
+        "delta checkpoint does not extend this aggregator's chain "
+        "position; restore its base full checkpoint and every prior delta "
+        "in order first");
+  }
+  // The chain position alone is not enough: ingestion does not move it,
+  // so an aggregator that ingested since its last checkpoint/restore has
+  // diverged from the state the delta extends — applying it would mix
+  // the two timelines shard by shard. Every shard must be clean.
+  for (const Shard& shard : shards_) {
+    const std::lock_guard<std::mutex> lock(*shard.mutex);
+    if (shard.version != shard.checkpointed_version) {
+      return Status::FailedPrecondition(
+          "aggregator ingested since its checkpoint chain position; "
+          "restore the base full checkpoint (and prior deltas) first");
+    }
+  }
+  for (size_t e = 0; e < delta.shards.size(); ++e) {
+    Shard& shard =
+        shards_[static_cast<size_t>(delta.shards[e].shard_index)];
+    const std::lock_guard<std::mutex> lock(*shard.mutex);
+    shard.server = std::move(servers[e]);
+    ++shard.version;
+    shard.checkpointed_version = shard.version;
+  }
+  checkpoint_seq_ = delta.seq;
   MarkDirty();
   return Status::OK();
 }
@@ -221,9 +365,9 @@ Status ShardedAggregator::RefreshSnapshotLocked() const {
   if (!snapshot_dirty_) {
     return Status::OK();
   }
-  FR_ASSIGN_OR_RETURN(
-      Server fresh,
-      Server::WithScales(num_periods_, level_scales_, dedup_policy_));
+  FR_ASSIGN_OR_RETURN(Server fresh,
+                      Server::WithScales(num_periods_, level_scales_,
+                                         dedup_policy_, dedup_window_));
   for (const Shard& shard : shards_) {
     const std::lock_guard<std::mutex> lock(*shard.mutex);
     // Aggregates only: the snapshot never ingests reports itself, and
@@ -277,6 +421,25 @@ int64_t ShardedAggregator::duplicates_dropped() const {
     total += shard.server.duplicates_dropped();
   }
   return total;
+}
+
+int64_t ShardedAggregator::out_of_window_dropped() const {
+  int64_t total = 0;
+  for (const Shard& shard : shards_) {
+    const std::lock_guard<std::mutex> lock(*shard.mutex);
+    total += shard.server.out_of_window_dropped();
+  }
+  return total;
+}
+
+int64_t ShardedAggregator::ApproxMemoryBytes() const {
+  int64_t total = 0;
+  for (const Shard& shard : shards_) {
+    const std::lock_guard<std::mutex> lock(*shard.mutex);
+    total += shard.server.ApproxMemoryBytes();
+  }
+  const std::lock_guard<std::mutex> lock(*snapshot_mutex_);
+  return total + snapshot_.ApproxMemoryBytes();
 }
 
 }  // namespace futurerand::core

@@ -9,6 +9,12 @@
 // rebuilt only when a dirty flag says ingestion happened since the last
 // query. Estimates are bit-identical for any shard count: the shards hold
 // integer report sums, and integer addition is order-independent.
+//
+// Durability is elastic (see docs/ARCHITECTURE.md "Operations"): full
+// checkpoints serialize every shard, delta checkpoints only the shards
+// dirtied since the previous one, and Restore() accepts either — including
+// a full checkpoint from an aggregator with a different shard count, which
+// is re-bucketed by client id on the way in.
 
 #ifndef FUTURERAND_CORE_AGGREGATOR_H_
 #define FUTURERAND_CORE_AGGREGATOR_H_
@@ -36,30 +42,49 @@ namespace futurerand::core {
 /// whole batch — already-applied records land in `deduped` instead of
 /// double-counting.
 struct IngestOutcome {
-  int64_t applied = 0;  // records that mutated shard state
-  int64_t deduped = 0;  // retransmissions absorbed (kIdempotent only)
+  int64_t applied = 0;        // records that mutated shard state
+  int64_t deduped = 0;        // retransmissions absorbed (kIdempotent only)
+  int64_t out_of_window = 0;  // dropped behind an eviction watermark
 };
 
-/// Thread-safe sharded aggregator. Move-only. Safe for concurrent Ingest*
-/// and Estimate* calls; a query concurrent with an in-flight ingest may see
-/// a prefix of that batch, but every query issued after an ingest returns
-/// sees all of it.
+/// What a Checkpoint() call serializes.
+enum class CheckpointMode {
+  /// Every shard, into one self-contained kAggregatorState blob. Starts a
+  /// new checkpoint epoch that subsequent deltas chain to.
+  kFull,
+  /// Only the shards dirtied since the previous checkpoint (either kind),
+  /// into a kAggregatorDelta blob. Errors (FailedPrecondition) unless a
+  /// full checkpoint was taken or restored first — a delta needs a base.
+  /// The chain advances when the delta is TAKEN, not when it is stored:
+  /// if persisting the returned blob fails, take a kFull next (further
+  /// deltas would leave an unrecoverable seq gap).
+  kDelta,
+};
+
+/// Thread-safe sharded aggregator. Move-only (but moving is NOT thread-safe:
+/// quiesce all other calls first). Safe for concurrent Ingest*, Estimate*,
+/// Checkpoint and Restore calls; a query or checkpoint concurrent with an
+/// in-flight ingest may see a prefix of that batch, but every call issued
+/// after an ingest returns sees all of it.
 class ShardedAggregator {
  public:
   /// Builds `num_shards` Server shards (>= 1) for the protocol
   /// configuration, with the exact per-level debiasing scales. With
   /// DedupPolicy::kIdempotent, at-least-once delivery (duplicates, retries,
-  /// reordering) produces estimates bit-identical to exactly-once.
+  /// reordering) produces estimates bit-identical to exactly-once; `window`
+  /// optionally bounds the per-client dedup memory (see DedupWindowPolicy).
   static Result<ShardedAggregator> ForProtocol(
       const ProtocolConfig& config, int num_shards,
-      DedupPolicy dedup = DedupPolicy::kStrict);
+      DedupPolicy dedup = DedupPolicy::kStrict,
+      DedupWindowPolicy window = {});
 
   /// Builds shards with externally supplied per-level report scales (for
   /// baseline protocols whose estimators carry extra factors, e.g. the
   /// Erlingsson server).
   static Result<ShardedAggregator> WithScales(
       int64_t num_periods, std::vector<double> level_scales, int num_shards,
-      DedupPolicy dedup = DedupPolicy::kStrict);
+      DedupPolicy dedup = DedupPolicy::kStrict,
+      DedupWindowPolicy window = {});
 
   ShardedAggregator(ShardedAggregator&&) = default;
   ShardedAggregator& operator=(ShardedAggregator&&) = default;
@@ -83,25 +108,39 @@ class ShardedAggregator {
 
   /// Ingests raw wire bytes — a registration or report batch, detected from
   /// the header — with exactly one decode and no caller-side fan-out.
-  /// Snapshot blobs are rejected: restoring state is Restore's job, not an
-  /// ingestion side effect.
+  /// Snapshot and delta blobs are rejected: restoring state is Restore's
+  /// job, not an ingestion side effect.
   Status IngestEncoded(std::string_view bytes, ThreadPool* pool = nullptr,
                        IngestOutcome* outcome = nullptr);
 
-  /// Serializes every shard into one versioned, checksummed blob (see
-  /// core/snapshot.h). Shards are captured one at a time: concurrent
-  /// ingestion is safe but lands in the checkpoint only partially — quiesce
-  /// ingestion for a point-in-time snapshot.
-  Result<std::string> Checkpoint() const;
+  /// Serializes shard state into one versioned, checksummed blob (see
+  /// core/snapshot.h and docs/FORMATS.md): every shard under kFull, only
+  /// the dirtied shards under kDelta. Shards are captured one at a time:
+  /// concurrent ingestion is safe but lands in the checkpoint only
+  /// partially — quiesce ingestion for a point-in-time snapshot.
+  /// Concurrent Checkpoint/Restore calls serialize against each other.
+  Result<std::string> Checkpoint(CheckpointMode mode = CheckpointMode::kFull);
 
-  /// Replaces all shard state with a Checkpoint blob. The aggregator must
-  /// have the same shape as the checkpointed one (num_periods, scales,
-  /// shard count, dedup policy); estimates afterwards are bit-identical to
-  /// the checkpointed aggregator's, and ingestion resumes exactly where the
-  /// checkpoint left off. On any error the aggregator is unchanged. Like
-  /// Checkpoint, quiesce ingestion first: shards are swapped one at a
-  /// time, so a batch ingested concurrently with Restore may survive on
-  /// some shards and be wiped on others.
+  /// Replaces shard state from a Checkpoint blob, full or delta.
+  ///
+  /// A full blob must match this aggregator's shape (num_periods, scales,
+  /// dedup policy and window); its shard count may differ, in which case
+  /// every client's state is re-bucketed by id onto this aggregator's
+  /// shards (elastic resharding) — estimates stay bit-identical either
+  /// way, and ingestion resumes exactly where the checkpoint left off. A
+  /// resharded restore breaks the delta chain: take a full checkpoint
+  /// before the next kDelta.
+  ///
+  /// A delta blob applies only on top of its exact base: same shard
+  /// count, a chain position (epoch, seq) this aggregator is at, and no
+  /// ingestion since that position — restore the base full blob, then
+  /// each delta in order, before resuming ingest. Anything else is a
+  /// FailedPrecondition.
+  ///
+  /// On any error the aggregator is unchanged. Like Checkpoint, quiesce
+  /// ingestion first: shards are swapped one at a time, so a batch
+  /// ingested concurrently with Restore may survive on some shards and be
+  /// wiped on others.
   Status Restore(std::string_view bytes);
 
   /// The online estimate a_hat[t]; see Server::EstimateAt.
@@ -122,11 +161,22 @@ class ShardedAggregator {
 
   DedupPolicy dedup_policy() const { return dedup_policy_; }
 
+  /// The dedup eviction policy every shard was built with.
+  const DedupWindowPolicy& dedup_window() const { return dedup_window_; }
+
   /// Registered clients, summed over shards.
   int64_t num_clients() const;
 
   /// Retransmissions absorbed under kIdempotent, summed over shards.
   int64_t duplicates_dropped() const;
+
+  /// Reports dropped behind the eviction watermark, summed over shards.
+  /// Always 0 under an unbounded DedupWindowPolicy.
+  int64_t out_of_window_dropped() const;
+
+  /// Estimated heap footprint of all shard state plus the query snapshot,
+  /// in bytes; see Server::ApproxMemoryBytes.
+  int64_t ApproxMemoryBytes() const;
 
   /// The shard a client id maps to (id mod num_shards, non-negative).
   int ShardIndex(int64_t client_id) const;
@@ -135,17 +185,30 @@ class ShardedAggregator {
   struct Shard {
     std::unique_ptr<std::mutex> mutex;
     Server server;
+    // Checkpoint dirtiness, guarded by `mutex`: `version` bumps on every
+    // mutation (ingest or restore), `checkpointed_version` records the
+    // version the last checkpoint captured. They differ iff the shard
+    // belongs in the next delta.
+    uint64_t version = 0;
+    uint64_t checkpointed_version = 0;
   };
 
   ShardedAggregator(int64_t num_periods, std::vector<double> level_scales,
-                    DedupPolicy dedup, std::vector<Shard> shards,
-                    Server snapshot);
+                    DedupPolicy dedup, DedupWindowPolicy window,
+                    std::vector<Shard> shards, Server snapshot);
 
   // Re-merges every shard into snapshot_ if ingestion happened since the
   // last refresh. Caller holds *snapshot_mutex_.
   Status RefreshSnapshotLocked() const;
 
   void MarkDirty();
+
+  // Decodes and shape-validates one shard blob against this aggregator's
+  // configuration.
+  Result<Server> DecodeAndValidateShard(std::string_view state) const;
+
+  Status RestoreFull(std::string_view bytes);
+  Status RestoreDelta(std::string_view bytes);
 
   template <typename Message, typename Apply>
   Status IngestBatch(std::span<const Message> batch, ThreadPool* pool,
@@ -154,7 +217,17 @@ class ShardedAggregator {
   int64_t num_periods_;
   std::vector<double> level_scales_;
   DedupPolicy dedup_policy_;
+  DedupWindowPolicy dedup_window_;
   std::vector<Shard> shards_;
+
+  // Checkpoint chain position, guarded by *checkpoint_mutex_ (which also
+  // serializes whole Checkpoint/Restore calls against each other):
+  // checkpoint_epoch_ fingerprints the last full checkpoint's state
+  // (FNV-1a over the shard payloads; 0 = none yet), and checkpoint_seq_
+  // counts the deltas taken since it.
+  std::unique_ptr<std::mutex> checkpoint_mutex_;
+  uint64_t checkpoint_epoch_ = 0;
+  uint64_t checkpoint_seq_ = 0;
 
   // Lazily merged view of all shards; valid iff !snapshot_dirty_.
   mutable std::unique_ptr<std::mutex> snapshot_mutex_;

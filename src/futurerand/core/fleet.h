@@ -30,9 +30,11 @@ namespace futurerand::core {
 /// EncodeReportBatch or ShardedAggregator::IngestReports.
 using ReportBatch = std::vector<ReportMessage>;
 
-/// N clients advancing in lockstep. Move-only; AdvanceTick is not
-/// re-entrant (one fleet = one logical stream of time periods), but the
-/// internal per-client work is parallelized over the pool given at Create.
+/// N clients advancing in lockstep. Move-only. NOT thread-safe: AdvanceTick
+/// is not re-entrant and no member may be called concurrently with it (one
+/// fleet = one logical stream of time periods); the internal per-client
+/// work is parallelized over the pool given at Create. Mutators validate
+/// before mutating: a failed call leaves the fleet untouched.
 class ClientFleet {
  public:
   /// Creates `num_clients` clients with ids first_client_id..+num_clients-1.
@@ -53,7 +55,8 @@ class ClientFleet {
 
   /// Registration records (client id, level) for every client, in id order;
   /// feed straight into EncodeRegistrationBatch or
-  /// ShardedAggregator::IngestRegistrations.
+  /// ShardedAggregator::IngestRegistrations. The reference stays valid for
+  /// the fleet's lifetime (registrations never change after Create).
   const std::vector<RegistrationMessage>& registrations() const {
     return registrations_;
   }
@@ -79,14 +82,17 @@ class ClientFleet {
   Result<ReportBatch> AdvanceTickDerivatives(
       std::span<const int8_t> derivatives);
 
+  /// Number of clients in the fleet.
   int64_t size() const { return static_cast<int64_t>(levels_.size()); }
 
-  /// Time periods ingested so far.
+  /// Time periods ingested so far (0 before the first AdvanceTick).
   int64_t current_time() const { return time_; }
 
+  /// The id of client 0; client ids are contiguous from here.
   int64_t first_client_id() const { return first_client_id_; }
 
-  /// The sampled order h of client `index` (0-based position, not id).
+  /// The sampled order h of client `index` (0-based position, not id;
+  /// bounds are the caller's responsibility).
   int level(int64_t index) const {
     return levels_[static_cast<size_t>(index)];
   }

@@ -12,8 +12,9 @@
 namespace futurerand::core {
 
 Server::Server(int64_t num_periods, std::vector<double> level_scales,
-               DedupPolicy policy)
+               DedupPolicy policy, DedupWindowPolicy window)
     : dedup_policy_(policy),
+      dedup_window_(window),
       level_scales_(std::move(level_scales)),
       sums_(num_periods),
       level_counts_(level_scales_.size(), 0) {}
@@ -26,6 +27,17 @@ const char* DedupPolicyToString(DedupPolicy policy) {
       return "idempotent";
   }
   return "unknown";
+}
+
+Status DedupWindowPolicy::Validate(DedupPolicy policy) const {
+  if (window_boundaries < 0) {
+    return Status::InvalidArgument("dedup window must be >= 0");
+  }
+  if (bounded() && policy != DedupPolicy::kIdempotent) {
+    return Status::InvalidArgument(
+        "a bounded dedup window requires DedupPolicy::kIdempotent");
+  }
+  return Status::OK();
 }
 
 Result<std::vector<double>> ProtocolLevelScales(
@@ -47,24 +59,36 @@ Result<std::vector<double>> ProtocolLevelScales(
 }
 
 Result<Server> Server::ForProtocol(const ProtocolConfig& config,
-                                   DedupPolicy policy) {
+                                   DedupPolicy policy,
+                                   DedupWindowPolicy window) {
   FR_ASSIGN_OR_RETURN(std::vector<double> scales,
                       ProtocolLevelScales(config));
-  return Server(config.num_periods, std::move(scales), policy);
+  // Through WithScales so the (policy, window, num_periods) checks live in
+  // exactly one place.
+  return WithScales(config.num_periods, std::move(scales), policy, window);
 }
 
 Result<Server> Server::WithScales(int64_t num_periods,
                                   std::vector<double> level_scales,
-                                  DedupPolicy policy) {
+                                  DedupPolicy policy,
+                                  DedupWindowPolicy window) {
+  FR_RETURN_NOT_OK(window.Validate(policy));
   if (num_periods < 1 || !IsPowerOfTwo(static_cast<uint64_t>(num_periods))) {
     return Status::InvalidArgument("num_periods must be a power of two");
+  }
+  if (window.window_boundaries > num_periods) {
+    // No level has more than d boundaries, so a larger window never
+    // evicts; spelling it 0 keeps snapshots canonical (the decoder
+    // rejects window > d).
+    return Status::InvalidArgument(
+        "dedup window exceeds the horizon; use 0 for unbounded");
   }
   const auto expected =
       static_cast<size_t>(Log2Exact(static_cast<uint64_t>(num_periods)) + 1);
   if (level_scales.size() != expected) {
     return Status::InvalidArgument("need one scale per dyadic order");
   }
-  return Server(num_periods, std::move(level_scales), policy);
+  return Server(num_periods, std::move(level_scales), policy, window);
 }
 
 Status Server::RegisterClientStrict(int64_t client_id, int level) {
@@ -100,6 +124,30 @@ int64_t Server::BitmapWordsAtLevel(int level) const {
   return (boundaries + 63) / 64;
 }
 
+void Server::EvictBehindWindow(BoundaryBitmap* bitmap,
+                               int64_t frontier) const {
+  // Keep every boundary in [frontier - window + 1 .. frontier]; older words
+  // are dropped whole, so up to 63 extra boundaries survive until the
+  // frontier crosses their word. Called BEFORE the frontier bit is
+  // materialized, so a large frontier jump (first report after a long
+  // outage) never allocates words it would immediately evict — the
+  // materialized span stays O(window) regardless of the jump size.
+  const int64_t keep_from = frontier - dedup_window_.window_boundaries + 1;
+  const int64_t keep_word = keep_from <= 0 ? 0 : keep_from >> 6;
+  if (keep_word <= bitmap->base_word) {
+    return;
+  }
+  const auto drop = static_cast<size_t>(keep_word - bitmap->base_word);
+  if (drop >= bitmap->words.size()) {
+    // The whole materialized span fell behind the new window.
+    bitmap->words.clear();
+  } else {
+    bitmap->words.erase(bitmap->words.begin(),
+                        bitmap->words.begin() + static_cast<int64_t>(drop));
+  }
+  bitmap->base_word = keep_word;
+}
+
 Status Server::SubmitReport(int64_t client_id, int64_t time, int8_t report) {
   if (report != -1 && report != 1) {
     return Status::InvalidArgument("reports must be -1 or +1");
@@ -118,18 +166,35 @@ Status Server::SubmitReport(int64_t client_id, int64_t time, int8_t report) {
         "level-h clients report only at multiples of 2^h");
   }
   if (dedup_policy_ == DedupPolicy::kIdempotent) {
-    std::vector<uint64_t>& seen = seen_boundaries_[client_id];
-    if (seen.empty()) {
-      seen.assign(static_cast<size_t>(BitmapWordsAtLevel(level)), 0);
+    BoundaryBitmap& seen = seen_boundaries_[client_id];
+    const int64_t boundary = (time >> level) - 1;
+    const int64_t word = boundary >> 6;
+    if (boundary > seen.frontier && dedup_window_.bounded()) {
+      // This report is about to advance the frontier: evict against the
+      // new frontier first, so the resize below only materializes words
+      // inside the window (a boundary above the frontier can never be a
+      // duplicate, so the report is guaranteed to land).
+      EvictBehindWindow(&seen, boundary);
     }
-    const auto boundary = static_cast<uint64_t>((time >> level) - 1);
-    uint64_t& word = seen[static_cast<size_t>(boundary >> 6)];
+    if (word < seen.base_word) {
+      // Evicted horizon: the bit is gone, so a first delivery and a
+      // retransmission are indistinguishable. Refuse to guess.
+      ++out_of_window_dropped_;
+      return Status::OK();
+    }
+    const auto slot = static_cast<size_t>(word - seen.base_word);
+    if (slot >= seen.words.size()) {
+      seen.words.resize(slot + 1, 0);
+    }
     const uint64_t bit = uint64_t{1} << (boundary & 63);
-    if ((word & bit) != 0) {
+    if ((seen.words[slot] & bit) != 0) {
       ++duplicates_dropped_;
       return Status::OK();
     }
-    word |= bit;
+    seen.words[slot] |= bit;
+    if (boundary > seen.frontier) {
+      seen.frontier = boundary;
+    }
   } else {
     auto& last_time = last_report_time_[client_id];
     if (time <= last_time) {
@@ -222,6 +287,7 @@ Status Server::Merge(const Server& other) {
     }
   }
   duplicates_dropped_ += other.duplicates_dropped_;
+  out_of_window_dropped_ += other.out_of_window_dropped_;
   AddSums(other);
   return Status::OK();
 }
@@ -249,6 +315,10 @@ Status Server::CheckMergeCompatible(const Server& other) const {
     return Status::InvalidArgument(
         "cannot merge servers with mismatched dedup policies");
   }
+  if (other.dedup_window_ != dedup_window_) {
+    return Status::InvalidArgument(
+        "cannot merge servers with mismatched dedup windows");
+  }
   return Status::OK();
 }
 
@@ -269,6 +339,29 @@ int64_t Server::ClientCountAtLevel(int level) const {
 double Server::ScaleAtLevel(int level) const {
   FR_CHECK(level >= 0 && level < static_cast<int>(level_scales_.size()));
   return level_scales_[static_cast<size_t>(level)];
+}
+
+int64_t Server::ApproxMemoryBytes() const {
+  // Hash maps are charged a flat per-node overhead (bucket pointer + chain
+  // pointer + allocator header) on top of the key/value payload; vectors
+  // are charged their capacity. An estimate, but monotone in the real
+  // footprint, which is what sizing a DedupWindowPolicy needs.
+  constexpr int64_t kNodeOverhead = 24;
+  int64_t bytes = static_cast<int64_t>(sizeof(Server));
+  bytes += (2 * sums_.domain_size() - 1) *
+           static_cast<int64_t>(sizeof(int64_t));
+  bytes += static_cast<int64_t>(level_scales_.capacity() * sizeof(double));
+  bytes += static_cast<int64_t>(level_counts_.capacity() * sizeof(int64_t));
+  bytes += static_cast<int64_t>(client_levels_.size()) *
+           (kNodeOverhead + sizeof(int64_t) + sizeof(int));
+  bytes += static_cast<int64_t>(last_report_time_.size()) *
+           (kNodeOverhead + 2 * sizeof(int64_t));
+  for (const auto& [id, bitmap] : seen_boundaries_) {
+    (void)id;
+    bytes += kNodeOverhead + sizeof(int64_t) + sizeof(BoundaryBitmap) +
+             static_cast<int64_t>(bitmap.words.capacity() * sizeof(uint64_t));
+  }
+  return bytes;
 }
 
 }  // namespace futurerand::core

@@ -6,6 +6,9 @@
 // where scale_h = (1 + log d) / c_gap(h) debiases the level-sampling and the
 // randomizer (Observation 4.3 / Equation 12). In paper-faithful mode
 // c_gap(h) is the same for every level.
+//
+// State persistence (checkpoint/restore) lives in core/snapshot.h; the byte
+// layout of every serialized form is specified in docs/FORMATS.md.
 
 #ifndef FUTURERAND_CORE_SERVER_H_
 #define FUTURERAND_CORE_SERVER_H_
@@ -39,6 +42,38 @@ enum class DedupPolicy {
 
 const char* DedupPolicyToString(DedupPolicy policy);
 
+/// Bounds the memory of the kIdempotent boundary bitmaps for year-scale
+/// streams. Unbounded (the default), a level-h client's bitmap grows to
+/// d/2^h bits and never shrinks; bounded, the server keeps exact seen-bits
+/// only for a trailing window behind each client's newest boundary and
+/// evicts everything older.
+///
+/// Semantics: a report whose boundary is inside the retained window behaves
+/// bit-identically to the unbounded policy. A report older than the evicted
+/// horizon is dropped and counted (out_of_window_dropped()) — the server can
+/// no longer tell a retransmission from a first delivery, so it refuses to
+/// guess. Size the window to the transport's maximum reorder/retry horizon
+/// (see docs/ARCHITECTURE.md "Operations").
+struct DedupWindowPolicy {
+  /// Boundaries of exact dedup memory retained behind each client's newest
+  /// boundary. 0 = unbounded (never evict, never drop). Eviction works in
+  /// whole 64-boundary words, so up to 63 extra boundaries may be
+  /// retained. Must not exceed the server's num_periods (checked at
+  /// construction): no level has more than d boundaries, so a larger
+  /// window would just be a non-canonical spelling of unbounded.
+  int64_t window_boundaries = 0;
+
+  /// True iff eviction is enabled.
+  bool bounded() const { return window_boundaries > 0; }
+
+  /// OK iff the window is non-negative and, when bounded, the policy is
+  /// kIdempotent (kStrict keeps no bitmaps to evict).
+  Status Validate(DedupPolicy policy) const;
+
+  friend bool operator==(const DedupWindowPolicy&,
+                         const DedupWindowPolicy&) = default;
+};
+
 /// The exact per-level debiasing scales of Algorithm 2 line 5 for the
 /// protocol configuration: (1 + log d) / c_gap(h), where c_gap(h) matches
 /// the randomizer the level-h clients instantiate. Shared by
@@ -46,21 +81,30 @@ const char* DedupPolicyToString(DedupPolicy policy);
 Result<std::vector<double>> ProtocolLevelScales(const ProtocolConfig& config);
 
 /// Aggregates client reports and produces the online estimates a_hat[t].
-/// Move-only. Report submission is not thread-safe; batch ingestion shards
-/// by client id behind the thread-safe ShardedAggregator (aggregator.h).
+///
+/// Move-only. NOT thread-safe: no member may be called concurrently with
+/// any other. Concurrent service use goes through the thread-safe
+/// ShardedAggregator (aggregator.h), which shards by client id and takes a
+/// mutex per shard. All mutators validate before mutating and return a
+/// Status; on error the server is unchanged unless noted otherwise.
 class Server {
  public:
   /// Builds a server for the protocol configuration; computes the exact
-  /// per-level debiasing scales from the randomizer kind.
+  /// per-level debiasing scales from the randomizer kind. Errors on an
+  /// invalid config or an inconsistent (policy, window) pair.
   static Result<Server> ForProtocol(const ProtocolConfig& config,
-                                    DedupPolicy policy = DedupPolicy::kStrict);
+                                    DedupPolicy policy = DedupPolicy::kStrict,
+                                    DedupWindowPolicy window = {});
 
   /// Builds a server with externally supplied per-level report scales
   /// (scales[h] multiplies each raw report of a level-h client). Used by
-  /// baseline protocols whose estimators carry extra factors.
+  /// baseline protocols whose estimators carry extra factors. Errors unless
+  /// num_periods is a power of two with one scale per dyadic order and the
+  /// (policy, window) pair is consistent.
   static Result<Server> WithScales(int64_t num_periods,
                                    std::vector<double> level_scales,
-                                   DedupPolicy policy = DedupPolicy::kStrict);
+                                   DedupPolicy policy = DedupPolicy::kStrict,
+                                   DedupWindowPolicy window = {});
 
   Server(Server&&) = default;
   Server& operator=(Server&&) = default;
@@ -75,8 +119,12 @@ class Server {
 
   /// Ingests the report a level-h client emitted at time t (a multiple of
   /// 2^h). Under kStrict, t must be strictly later than the client's
-  /// previous report; under kIdempotent, reports arrive in any order and a
-  /// boundary already seen is dropped silently (see duplicates_dropped()).
+  /// previous report; under kIdempotent, reports arrive in any order, a
+  /// boundary already seen is dropped silently (duplicates_dropped()), and
+  /// — with a bounded window — a boundary older than the client's evicted
+  /// horizon is dropped silently too (out_of_window_dropped()). Errors on
+  /// unregistered ids, out-of-range or misaligned times, and values other
+  /// than -1/+1, all before any state changes.
   Status SubmitReport(int64_t client_id, int64_t time, int8_t report);
 
   /// The online estimate a_hat[t] (Algorithm 2 line 6), valid as soon as
@@ -104,8 +152,12 @@ class Server {
   /// noisy. Valid once all reports for times <= r are in.
   Result<double> EstimateWindowDelta(int64_t l, int64_t r) const;
 
-  /// Merges the accumulators of `other` (same shape) into this server;
-  /// client registrations are combined. Supports sharded ingestion.
+  /// Merges the accumulators of `other` (same shape, scales, policies) into
+  /// this server; client registrations and dedup state are combined. Errors
+  /// if shapes/policies mismatch or the client populations overlap (merged
+  /// shards must partition clients). On error this server may have absorbed
+  /// a prefix of `other`'s clients — merge into a scratch server when that
+  /// matters.
   Status Merge(const Server& other);
 
   /// Merges only the aggregate state of `other` — interval sums and
@@ -121,10 +173,10 @@ class Server {
     return static_cast<int64_t>(client_levels_.size());
   }
 
-  /// Number of registered clients at level h.
+  /// Number of registered clients at level h. FR_CHECKs the range.
   int64_t ClientCountAtLevel(int level) const;
 
-  /// The debiasing scale applied to level-h reports.
+  /// The debiasing scale applied to level-h reports. FR_CHECKs the range.
   double ScaleAtLevel(int level) const;
 
   /// All per-level debiasing scales, indexed by order h.
@@ -132,34 +184,67 @@ class Server {
 
   DedupPolicy dedup_policy() const { return dedup_policy_; }
 
+  /// The eviction policy this server was built with (inert under kStrict).
+  const DedupWindowPolicy& dedup_window() const { return dedup_window_; }
+
   /// Retransmissions absorbed under kIdempotent: duplicate reports dropped
   /// plus same-level re-registrations ignored. Always 0 under kStrict.
   int64_t duplicates_dropped() const { return duplicates_dropped_; }
 
+  /// Reports dropped because their boundary was older than the client's
+  /// evicted dedup horizon. Always 0 under an unbounded window.
+  int64_t out_of_window_dropped() const { return out_of_window_dropped_; }
+
+  /// Estimated heap footprint of the server's state in bytes: interval
+  /// sums, registration maps, and dedup bookkeeping (watermarks or bitmap
+  /// words). An accounting estimate (container overhead is approximated),
+  /// monotone in the true footprint — the number to watch when sizing a
+  /// DedupWindowPolicy.
+  int64_t ApproxMemoryBytes() const;
+
  private:
   friend struct ServerStateCodec;  // core/snapshot.cc: checkpoint wire format
 
+  /// Dedup state of one kIdempotent client: a bitmap over its dyadic
+  /// boundaries, materialized lazily (words appear as the client's stream
+  /// advances) and evicted from the front under a bounded window. Bit b of
+  /// the logical bitmap lives at words[b/64 - base_word] once materialized;
+  /// everything below 64*base_word has been evicted.
+  struct BoundaryBitmap {
+    int64_t base_word = 0;   // first still-materialized 64-boundary word
+    int64_t frontier = -1;   // highest boundary seen; -1 = none yet
+    std::vector<uint64_t> words;
+  };
+
   Server(int64_t num_periods, std::vector<double> level_scales,
-         DedupPolicy policy);
+         DedupPolicy policy, DedupWindowPolicy window);
 
   Status CheckMergeCompatible(const Server& other) const;
   void AddSums(const Server& other);
   Status RegisterClientStrict(int64_t client_id, int level);
 
-  /// Words of the kIdempotent boundary bitmap for a level-h client:
-  /// one bit per multiple of 2^h in [1..d].
+  /// Words of a full kIdempotent boundary bitmap for a level-h client:
+  /// one bit per multiple of 2^h in [1..d]. The upper bound on any
+  /// BoundaryBitmap's base_word + words.size().
   int64_t BitmapWordsAtLevel(int level) const;
 
+  /// Evicts whole words that fell behind the window ending at `frontier`.
+  /// Called before the frontier bit is materialized, so a frontier jump
+  /// never allocates words that would be evicted right away.
+  void EvictBehindWindow(BoundaryBitmap* bitmap, int64_t frontier) const;
+
   DedupPolicy dedup_policy_;
+  DedupWindowPolicy dedup_window_;
   std::vector<double> level_scales_;
   dyadic::DyadicTree<int64_t> sums_;  // raw sum of +/-1 reports per interval
   std::unordered_map<int64_t, int> client_levels_;
   // kStrict: the client's last accepted report time (monotonicity check).
   std::unordered_map<int64_t, int64_t> last_report_time_;
-  // kIdempotent: one bit per dyadic boundary the client has reported at.
-  std::unordered_map<int64_t, std::vector<uint64_t>> seen_boundaries_;
+  // kIdempotent: the windowed boundary bitmap per reporting client.
+  std::unordered_map<int64_t, BoundaryBitmap> seen_boundaries_;
   std::vector<int64_t> level_counts_;
   int64_t duplicates_dropped_ = 0;
+  int64_t out_of_window_dropped_ = 0;
 };
 
 }  // namespace futurerand::core

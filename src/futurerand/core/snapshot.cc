@@ -55,6 +55,8 @@ struct ServerStateCodec {
     PutVarint64(static_cast<uint64_t>(server.sums_.domain_size()), &out);
     PutVarint64(server.dedup_policy_ == DedupPolicy::kIdempotent ? 1 : 0,
                 &out);
+    PutVarint64(
+        static_cast<uint64_t>(server.dedup_window_.window_boundaries), &out);
     const int orders = server.sums_.num_orders();
     PutVarint64(static_cast<uint64_t>(orders), &out);
     for (int h = 0; h < orders; ++h) {
@@ -71,6 +73,7 @@ struct ServerStateCodec {
       }
     }
     PutVarint64(static_cast<uint64_t>(server.duplicates_dropped_), &out);
+    PutVarint64(static_cast<uint64_t>(server.out_of_window_dropped_), &out);
 
     // Clients in id order: unordered_map iteration would make equal states
     // encode to different bytes.
@@ -88,15 +91,20 @@ struct ServerStateCodec {
       PutVarint64(static_cast<uint64_t>(level), &out);
       previous_id = id;
       if (server.dedup_policy_ == DedupPolicy::kIdempotent) {
+        // Only the materialized window is serialized: the eviction
+        // watermark (base_word) plus the live words. A client that never
+        // reported costs two zero bytes.
         const auto seen_it = server.seen_boundaries_.find(id);
-        const int64_t words = server.BitmapWordsAtLevel(level);
-        for (int64_t w = 0; w < words; ++w) {
-          const uint64_t word =
-              (seen_it != server.seen_boundaries_.end() &&
-               !seen_it->second.empty())
-                  ? seen_it->second[static_cast<size_t>(w)]
-                  : 0;
-          PutVarint64(word, &out);
+        if (seen_it == server.seen_boundaries_.end()) {
+          PutVarint64(0, &out);
+          PutVarint64(0, &out);
+        } else {
+          const Server::BoundaryBitmap& bitmap = seen_it->second;
+          PutVarint64(static_cast<uint64_t>(bitmap.base_word), &out);
+          PutVarint64(bitmap.words.size(), &out);
+          for (const uint64_t word : bitmap.words) {
+            PutVarint64(word, &out);
+          }
         }
       } else {
         const auto last_it = server.last_report_time_.find(id);
@@ -126,6 +134,12 @@ struct ServerStateCodec {
     }
     const DedupPolicy policy = policy_byte == 1 ? DedupPolicy::kIdempotent
                                                 : DedupPolicy::kStrict;
+    FR_ASSIGN_OR_RETURN(const uint64_t raw_window, GetVarint64(&bytes));
+    if (raw_window > raw_periods) {
+      return Status::InvalidArgument("implausible snapshot dedup window");
+    }
+    const DedupWindowPolicy window{static_cast<int64_t>(raw_window)};
+    FR_RETURN_NOT_OK(window.Validate(policy));
     FR_ASSIGN_OR_RETURN(const uint64_t orders, GetVarint64(&bytes));
     if (orders != static_cast<uint64_t>(Log2Exact(raw_periods) + 1)) {
       return Status::InvalidArgument("snapshot level count mismatches d");
@@ -140,7 +154,8 @@ struct ServerStateCodec {
       }
       counts[h] = static_cast<int64_t>(count);
     }
-    FR_ASSIGN_OR_RETURN(Server server, Server::WithScales(d, scales, policy));
+    FR_ASSIGN_OR_RETURN(Server server,
+                        Server::WithScales(d, scales, policy, window));
     server.level_counts_ = std::move(counts);
     for (int h = 0; h < static_cast<int>(orders); ++h) {
       const int64_t count = dyadic::NumIntervalsAtOrder(d, h);
@@ -154,6 +169,12 @@ struct ServerStateCodec {
       return Status::InvalidArgument("implausible snapshot duplicate count");
     }
     server.duplicates_dropped_ = static_cast<int64_t>(dropped);
+    FR_ASSIGN_OR_RETURN(const uint64_t out_of_window, GetVarint64(&bytes));
+    if (out_of_window > (uint64_t{1} << 62)) {
+      return Status::InvalidArgument(
+          "implausible snapshot out-of-window count");
+    }
+    server.out_of_window_dropped_ = static_cast<int64_t>(out_of_window);
 
     FR_ASSIGN_OR_RETURN(const uint64_t num_clients, GetVarint64(&bytes));
     FR_RETURN_NOT_OK(CheckPlausibleCount(num_clients, 3, bytes));
@@ -172,16 +193,10 @@ struct ServerStateCodec {
         return Status::InvalidArgument("snapshot repeats a client id");
       }
       if (policy == DedupPolicy::kIdempotent) {
-        const int64_t words = server.BitmapWordsAtLevel(level);
-        std::vector<uint64_t> seen(static_cast<size_t>(words), 0);
-        bool any = false;
-        for (int64_t w = 0; w < words; ++w) {
-          FR_ASSIGN_OR_RETURN(seen[static_cast<size_t>(w)],
-                              GetVarint64(&bytes));
-          any = any || seen[static_cast<size_t>(w)] != 0;
-        }
-        if (any) {
-          server.seen_boundaries_.emplace(id, std::move(seen));
+        FR_ASSIGN_OR_RETURN(Server::BoundaryBitmap bitmap,
+                            DecodeBoundaryBitmap(server, level, &bytes));
+        if (!bitmap.words.empty()) {
+          server.seen_boundaries_.emplace(id, std::move(bitmap));
         }
       } else {
         FR_ASSIGN_OR_RETURN(const uint64_t last, GetVarint64(&bytes));
@@ -200,6 +215,102 @@ struct ServerStateCodec {
     }
     return server;
   }
+
+  // Reads one client's (base_word, num_words, words) triplet and rebuilds
+  // the in-memory invariants: the frontier is the highest set bit, the last
+  // word is never zero, no bit exceeds the level's boundary count, and an
+  // eviction watermark requires a bounded window. A client that never
+  // reported decodes to an empty bitmap (caller skips the map entry).
+  static Result<Server::BoundaryBitmap> DecodeBoundaryBitmap(
+      const Server& server, int level, std::string_view* bytes) {
+    FR_ASSIGN_OR_RETURN(const uint64_t raw_base, GetVarint64(bytes));
+    FR_ASSIGN_OR_RETURN(const uint64_t raw_words, GetVarint64(bytes));
+    const auto full_words =
+        static_cast<uint64_t>(server.BitmapWordsAtLevel(level));
+    if (raw_base > full_words || raw_words > full_words ||
+        raw_base + raw_words > full_words) {
+      return Status::InvalidArgument("snapshot bitmap exceeds level size");
+    }
+    if (raw_base != 0 && !server.dedup_window_.bounded()) {
+      return Status::InvalidArgument(
+          "snapshot eviction watermark without a bounded window");
+    }
+    FR_RETURN_NOT_OK(CheckPlausibleCount(raw_words, 1, *bytes));
+    Server::BoundaryBitmap bitmap;
+    bitmap.base_word = static_cast<int64_t>(raw_base);
+    bitmap.words.resize(raw_words);
+    for (uint64_t w = 0; w < raw_words; ++w) {
+      FR_ASSIGN_OR_RETURN(bitmap.words[w], GetVarint64(bytes));
+    }
+    if (bitmap.words.empty()) {
+      if (raw_base != 0) {
+        return Status::InvalidArgument(
+            "snapshot bitmap watermark without live words");
+      }
+      return bitmap;
+    }
+    const uint64_t top = bitmap.words.back();
+    if (top == 0) {
+      // The live bitmap never keeps trailing zero words (a word is only
+      // materialized to set a bit in it), so a canonical blob has none.
+      return Status::InvalidArgument("snapshot bitmap trailing zero word");
+    }
+    bitmap.frontier =
+        (bitmap.base_word +
+         static_cast<int64_t>(bitmap.words.size()) - 1) * 64 +
+        (std::bit_width(top) - 1);
+    const int64_t boundaries = server.sums_.domain_size() >> level;
+    if (bitmap.frontier >= boundaries) {
+      return Status::InvalidArgument(
+          "snapshot bitmap bit beyond the level horizon");
+    }
+    return bitmap;
+  }
+
+  // Re-buckets decoded shards by client id; see ReshardServerStates.
+  static Result<std::vector<Server>> Reshard(std::vector<Server> sources,
+                                             int new_num_shards) {
+    if (new_num_shards < 1) {
+      return Status::InvalidArgument("need at least one target shard");
+    }
+    if (sources.empty()) {
+      return Status::InvalidArgument("need at least one source shard");
+    }
+    const Server& first = sources.front();
+    std::vector<Server> targets;
+    targets.reserve(static_cast<size_t>(new_num_shards));
+    for (int s = 0; s < new_num_shards; ++s) {
+      FR_ASSIGN_OR_RETURN(
+          Server target,
+          Server::WithScales(first.sums_.domain_size(), first.level_scales_,
+                             first.dedup_policy_, first.dedup_window_));
+      targets.push_back(std::move(target));
+    }
+    const auto shards = static_cast<int64_t>(new_num_shards);
+    for (Server& source : sources) {
+      FR_RETURN_NOT_OK(targets[0].CheckMergeCompatible(source));
+      // Interval sums are per-shard aggregates — they cannot be attributed
+      // to clients, and no query ever looks at one shard alone, so parking
+      // them all on shard 0 keeps every estimate bit-identical.
+      targets[0].AddSums(source);
+      targets[0].duplicates_dropped_ += source.duplicates_dropped_;
+      targets[0].out_of_window_dropped_ += source.out_of_window_dropped_;
+      for (const auto& [id, level] : source.client_levels_) {
+        Server& target =
+            targets[static_cast<size_t>(((id % shards) + shards) % shards)];
+        FR_RETURN_NOT_OK(target.RegisterClientStrict(id, level));
+        if (const auto last_it = source.last_report_time_.find(id);
+            last_it != source.last_report_time_.end()) {
+          target.last_report_time_[id] = last_it->second;
+        }
+        if (const auto seen_it = source.seen_boundaries_.find(id);
+            seen_it != source.seen_boundaries_.end()) {
+          target.seen_boundaries_[id] = std::move(seen_it->second);
+        }
+      }
+    }
+    return targets;
+  }
 };
 
 std::string EncodeServerState(const Server& server) {
@@ -210,10 +321,17 @@ Result<Server> DecodeServerState(std::string_view bytes) {
   return ServerStateCodec::Decode(bytes);
 }
 
-std::string EncodeAggregatorState(const std::vector<std::string>& shards) {
+Result<std::vector<Server>> ReshardServerStates(std::vector<Server> sources,
+                                                int new_num_shards) {
+  return ServerStateCodec::Reshard(std::move(sources), new_num_shards);
+}
+
+std::string EncodeAggregatorState(const std::vector<std::string>& shards,
+                                  uint64_t epoch) {
   std::string out;
   AppendHeader(wire_internal::kKindAggregatorState, &out);
   PutVarint64(shards.size(), &out);
+  PutVarint64(epoch, &out);
   for (const std::string& shard : shards) {
     PutVarint64(shard.size(), &out);
     out.append(shard);
@@ -222,27 +340,94 @@ std::string EncodeAggregatorState(const std::vector<std::string>& shards) {
   return out;
 }
 
-Result<std::vector<std::string>> DecodeAggregatorState(
-    std::string_view bytes) {
+Result<AggregatorStateBlob> DecodeAggregatorState(std::string_view bytes) {
   FR_RETURN_NOT_OK(ConsumeChecksum(&bytes));
   FR_RETURN_NOT_OK(
       ConsumeHeader(wire_internal::kKindAggregatorState, &bytes));
   FR_ASSIGN_OR_RETURN(const uint64_t num_shards, GetVarint64(&bytes));
   FR_RETURN_NOT_OK(CheckPlausibleCount(num_shards, 1, bytes));
-  std::vector<std::string> shards;
-  shards.reserve(num_shards);
+  AggregatorStateBlob blob;
+  FR_ASSIGN_OR_RETURN(blob.epoch, GetVarint64(&bytes));
+  blob.shards.reserve(num_shards);
   for (uint64_t s = 0; s < num_shards; ++s) {
     FR_ASSIGN_OR_RETURN(const uint64_t length, GetVarint64(&bytes));
     if (length > bytes.size()) {
       return Status::InvalidArgument("truncated shard state");
     }
-    shards.emplace_back(bytes.substr(0, length));
+    blob.shards.emplace_back(bytes.substr(0, length));
     bytes.remove_prefix(length);
   }
   if (!bytes.empty()) {
     return Status::InvalidArgument("trailing bytes after checkpoint");
   }
-  return shards;
+  return blob;
+}
+
+std::string EncodeAggregatorDelta(const AggregatorDeltaBlob& delta) {
+  FR_CHECK(delta.num_shards >= 1);
+  FR_CHECK(delta.epoch >= 1 && delta.seq >= 1);
+  std::string out;
+  AppendHeader(wire_internal::kKindAggregatorDelta, &out);
+  PutVarint64(static_cast<uint64_t>(delta.num_shards), &out);
+  PutVarint64(delta.epoch, &out);
+  PutVarint64(delta.seq, &out);
+  PutVarint64(delta.shards.size(), &out);
+  int64_t previous_index = -1;
+  for (const ShardDelta& entry : delta.shards) {
+    FR_CHECK(entry.shard_index > previous_index &&
+             entry.shard_index < delta.num_shards);
+    previous_index = entry.shard_index;
+    PutVarint64(static_cast<uint64_t>(entry.shard_index), &out);
+    PutVarint64(entry.state.size(), &out);
+    out.append(entry.state);
+  }
+  AppendChecksum(&out);
+  return out;
+}
+
+Result<AggregatorDeltaBlob> DecodeAggregatorDelta(std::string_view bytes) {
+  FR_RETURN_NOT_OK(ConsumeChecksum(&bytes));
+  FR_RETURN_NOT_OK(
+      ConsumeHeader(wire_internal::kKindAggregatorDelta, &bytes));
+  AggregatorDeltaBlob delta;
+  FR_ASSIGN_OR_RETURN(const uint64_t num_shards, GetVarint64(&bytes));
+  if (num_shards < 1 || num_shards > (uint64_t{1} << 40)) {
+    return Status::InvalidArgument("implausible delta shard count");
+  }
+  delta.num_shards = static_cast<int64_t>(num_shards);
+  FR_ASSIGN_OR_RETURN(delta.epoch, GetVarint64(&bytes));
+  FR_ASSIGN_OR_RETURN(delta.seq, GetVarint64(&bytes));
+  if (delta.epoch < 1 || delta.seq < 1) {
+    // A delta always extends a full checkpoint (epoch >= 1) and sits at a
+    // 1-based position behind it; zeros cannot come from the encoder.
+    return Status::InvalidArgument("delta checkpoint without a chain anchor");
+  }
+  FR_ASSIGN_OR_RETURN(const uint64_t num_entries, GetVarint64(&bytes));
+  if (num_entries > num_shards) {
+    return Status::InvalidArgument("delta lists more shards than exist");
+  }
+  FR_RETURN_NOT_OK(CheckPlausibleCount(num_entries, 2, bytes));
+  delta.shards.reserve(num_entries);
+  int64_t previous_index = -1;
+  for (uint64_t e = 0; e < num_entries; ++e) {
+    FR_ASSIGN_OR_RETURN(const uint64_t raw_index, GetVarint64(&bytes));
+    if (raw_index >= num_shards ||
+        static_cast<int64_t>(raw_index) <= previous_index) {
+      return Status::InvalidArgument("delta shard index out of order");
+    }
+    previous_index = static_cast<int64_t>(raw_index);
+    FR_ASSIGN_OR_RETURN(const uint64_t length, GetVarint64(&bytes));
+    if (length > bytes.size()) {
+      return Status::InvalidArgument("truncated delta shard state");
+    }
+    delta.shards.push_back(ShardDelta{static_cast<int64_t>(raw_index),
+                                      std::string(bytes.substr(0, length))});
+    bytes.remove_prefix(length);
+  }
+  if (!bytes.empty()) {
+    return Status::InvalidArgument("trailing bytes after delta checkpoint");
+  }
+  return delta;
 }
 
 }  // namespace futurerand::core

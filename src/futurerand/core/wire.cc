@@ -163,6 +163,8 @@ Result<WireBatchKind> PeekBatchKind(std::string_view bytes) {
       return WireBatchKind::kServerState;
     case wire_internal::kKindAggregatorState:
       return WireBatchKind::kAggregatorState;
+    case wire_internal::kKindAggregatorDelta:
+      return WireBatchKind::kAggregatorDelta;
     default:
       return Status::InvalidArgument("unknown batch kind");
   }

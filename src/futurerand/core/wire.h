@@ -13,9 +13,13 @@
 // input must never reach the aggregation logic.
 //
 // The same [magic][version][kind] header scheme frames the checkpoint
-// blobs of core/snapshot.h (kinds kServerState / kAggregatorState), which
-// additionally carry an FNV-1a trailer so bit rot in persisted state is
-// always rejected rather than silently restored.
+// blobs of core/snapshot.h (kinds kServerState / kAggregatorState /
+// kAggregatorDelta), which additionally carry an FNV-1a trailer so bit rot
+// in persisted state is always rejected rather than silently restored.
+//
+// docs/FORMATS.md is the normative byte-layout specification for every
+// kind; scripts/check_format_spec.sh keeps the constants below and that
+// table in lockstep.
 
 #ifndef FUTURERAND_CORE_WIRE_H_
 #define FUTURERAND_CORE_WIRE_H_
@@ -56,6 +60,7 @@ enum class WireBatchKind {
   kReport,
   kServerState,      // one Server's accumulators (core/snapshot.h)
   kAggregatorState,  // all ShardedAggregator shards (core/snapshot.h)
+  kAggregatorDelta,  // only the shards dirtied since the last checkpoint
 };
 
 /// Validates the fixed header of an encoded batch and returns its kind
@@ -81,11 +86,14 @@ Result<std::vector<ReportMessage>> DecodeReportBatch(std::string_view bytes);
 
 namespace wire_internal {
 
-/// The raw kind bytes of the FRW header, one per WireBatchKind.
+/// The raw kind bytes of the FRW header, one per WireBatchKind. The
+/// assignments are normative (docs/FORMATS.md) — never renumber, only
+/// append.
 inline constexpr char kKindRegistration = 1;
 inline constexpr char kKindReport = 2;
 inline constexpr char kKindServerState = 3;
 inline constexpr char kKindAggregatorState = 4;
+inline constexpr char kKindAggregatorDelta = 5;
 
 /// Bytes of the fixed header: magic 'F','R','W', version, kind.
 inline constexpr size_t kHeaderSize = 5;

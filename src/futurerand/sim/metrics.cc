@@ -16,24 +16,28 @@ std::string ErrorMetrics::ToString() const {
 }
 
 std::string DeliveryMetrics::ToString() const {
-  // Worst case: ~120 chars of fixed text + eleven 20-digit int64 fields.
-  char buffer[368];
+  // Worst case: ~170 chars of fixed text + fourteen 20-digit int64 fields.
+  char buffer[480];
   std::snprintf(
       buffer, sizeof(buffer),
       "DeliveryMetrics{sent=%lld dropped=%lld dup=%lld delivered=%lld "
-      "applied=%lld deduped=%lld reordered=%lld corrupted=%lld retx=%lld "
-      "ckpt=%lld ckpt_bytes=%lld}",
+      "applied=%lld deduped=%lld stale=%lld reordered=%lld corrupted=%lld "
+      "retx=%lld ckpt=%lld ckpt_bytes=%lld delta_ckpt=%lld "
+      "delta_bytes=%lld}",
       static_cast<long long>(records_sent),
       static_cast<long long>(records_dropped),
       static_cast<long long>(records_duplicated),
       static_cast<long long>(records_delivered),
       static_cast<long long>(records_applied),
       static_cast<long long>(records_deduped),
+      static_cast<long long>(records_out_of_window),
       static_cast<long long>(batches_reordered),
       static_cast<long long>(batches_corrupted),
       static_cast<long long>(batches_retransmitted),
       static_cast<long long>(checkpoints_taken),
-      static_cast<long long>(checkpoint_bytes));
+      static_cast<long long>(checkpoint_bytes),
+      static_cast<long long>(delta_checkpoints_taken),
+      static_cast<long long>(delta_checkpoint_bytes));
   return buffer;
 }
 

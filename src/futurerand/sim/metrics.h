@@ -35,12 +35,15 @@ struct DeliveryMetrics {
   int64_t records_delivered = 0;   // handed to the aggregator
   int64_t records_applied = 0;     // mutated aggregator state
   int64_t records_deduped = 0;     // absorbed as retransmissions
+  int64_t records_out_of_window = 0;  // dropped behind an eviction watermark
   int64_t batches_sent = 0;
   int64_t batches_reordered = 0;   // shuffled in flight
   int64_t batches_corrupted = 0;   // bit-flipped in flight
   int64_t batches_retransmitted = 0;  // resent after a rejected delivery
   int64_t checkpoints_taken = 0;      // checkpoint/restore round-trips
   int64_t checkpoint_bytes = 0;       // total checkpoint blob size
+  int64_t delta_checkpoints_taken = 0;  // of checkpoints_taken, deltas
+  int64_t delta_checkpoint_bytes = 0;   // of checkpoint_bytes, delta blobs
 
   std::string ToString() const;
 };

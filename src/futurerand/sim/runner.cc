@@ -69,9 +69,10 @@ Result<RunResult> RunHierarchical(const core::ProtocolConfig& config,
   const int shards = EffectiveShards(pool, num_shards);
   FR_ASSIGN_OR_RETURN(core::ClientFleet fleet,
                       core::ClientFleet::Create(config, n, seed, pool));
-  FR_ASSIGN_OR_RETURN(core::ShardedAggregator aggregator,
-                      core::ShardedAggregator::ForProtocol(config, shards,
-                                                           faults.dedup));
+  FR_ASSIGN_OR_RETURN(
+      core::ShardedAggregator aggregator,
+      core::ShardedAggregator::ForProtocol(config, shards, faults.dedup,
+                                           faults.dedup_window));
   FR_RETURN_NOT_OK(
       aggregator.IngestRegistrations(fleet.registrations(), pool));
 
@@ -89,6 +90,10 @@ Result<RunResult> RunHierarchical(const core::ProtocolConfig& config,
   core::ReportBatch delivered;
   RunResult result;
   int64_t reports = 0;
+  // The durable checkpoint chain a crashed collector would replay: the
+  // last full (compaction) blob plus every delta taken since.
+  std::string checkpoint_base;
+  std::vector<std::string> checkpoint_deltas;
   for (int64_t t = 1; t <= config.num_periods; ++t) {
     auto update_states = [&](int64_t begin, int64_t end) {
       for (int64_t u = begin; u < end; ++u) {
@@ -130,6 +135,7 @@ Result<RunResult> RunHierarchical(const core::ProtocolConfig& config,
       }
       result.delivery.records_applied += outcome.applied;
       result.delivery.records_deduped += outcome.deduped;
+      result.delivery.records_out_of_window += outcome.out_of_window;
       if (!ingested.ok()) {
         if (!corrupted) {
           return ingested;
@@ -144,26 +150,59 @@ Result<RunResult> RunHierarchical(const core::ProtocolConfig& config,
         FR_RETURN_NOT_OK(aggregator.IngestEncoded(pristine, pool, &outcome));
         result.delivery.records_applied += outcome.applied;
         result.delivery.records_deduped += outcome.deduped;
+        result.delivery.records_out_of_window += outcome.out_of_window;
         ++result.delivery.batches_retransmitted;
       }
     } else {
       FR_RETURN_NOT_OK(aggregator.IngestReports(batch, pool, &outcome));
       result.delivery.records_applied += outcome.applied;
       result.delivery.records_deduped += outcome.deduped;
+      result.delivery.records_out_of_window += outcome.out_of_window;
     }
 
     if (faults.checkpoint_every > 0 && t % faults.checkpoint_every == 0) {
-      // Simulated crash/restart: serialize, rebuild from scratch, restore.
-      FR_ASSIGN_OR_RETURN(const std::string snapshot,
-                          aggregator.Checkpoint());
-      FR_ASSIGN_OR_RETURN(core::ShardedAggregator restored,
-                          core::ShardedAggregator::ForProtocol(
-                              config, shards, faults.dedup));
-      FR_RETURN_NOT_OK(restored.Restore(snapshot));
-      aggregator = std::move(restored);
+      // Extend the durable chain: a full compaction blob every
+      // checkpoint_compact_every checkpoints (always, under kFull mode and
+      // for the very first checkpoint), a delta of the dirtied shards
+      // otherwise.
+      const bool full =
+          faults.checkpoint_mode == core::CheckpointMode::kFull ||
+          checkpoint_base.empty() ||
+          result.delivery.checkpoints_taken %
+                  faults.checkpoint_compact_every ==
+              0;
+      if (full) {
+        FR_ASSIGN_OR_RETURN(
+            checkpoint_base,
+            aggregator.Checkpoint(core::CheckpointMode::kFull));
+        checkpoint_deltas.clear();
+        result.delivery.checkpoint_bytes +=
+            static_cast<int64_t>(checkpoint_base.size());
+      } else {
+        FR_ASSIGN_OR_RETURN(
+            std::string delta,
+            aggregator.Checkpoint(core::CheckpointMode::kDelta));
+        result.delivery.checkpoint_bytes +=
+            static_cast<int64_t>(delta.size());
+        result.delivery.delta_checkpoint_bytes +=
+            static_cast<int64_t>(delta.size());
+        ++result.delivery.delta_checkpoints_taken;
+        checkpoint_deltas.push_back(std::move(delta));
+      }
       ++result.delivery.checkpoints_taken;
-      result.delivery.checkpoint_bytes +=
-          static_cast<int64_t>(snapshot.size());
+      // Simulated crash/restart: rebuild from scratch and replay the whole
+      // chain — base blob first, then every delta in order. The restored
+      // aggregator adopts the chain position, so subsequent deltas keep
+      // extending it.
+      FR_ASSIGN_OR_RETURN(
+          core::ShardedAggregator restored,
+          core::ShardedAggregator::ForProtocol(config, shards, faults.dedup,
+                                               faults.dedup_window));
+      FR_RETURN_NOT_OK(restored.Restore(checkpoint_base));
+      for (const std::string& delta : checkpoint_deltas) {
+        FR_RETURN_NOT_OK(restored.Restore(delta));
+      }
+      aggregator = std::move(restored);
     }
   }
 
@@ -378,8 +417,15 @@ Result<RunResult> RunNonPrivate(const core::ProtocolConfig& config,
 
 Status FaultOptions::Validate() const {
   FR_RETURN_NOT_OK(channel.Validate());
+  FR_RETURN_NOT_OK(dedup_window.Validate(dedup));
   if (checkpoint_every < 0) {
     return Status::InvalidArgument("checkpoint_every must be >= 0");
+  }
+  if (checkpoint_mode == core::CheckpointMode::kDelta &&
+      checkpoint_compact_every < 1) {
+    // Only delta mode reads the compaction cadence (runner.h documents it
+    // as ignored under kFull).
+    return Status::InvalidArgument("checkpoint_compact_every must be >= 1");
   }
   if ((channel.duplicate_rate > 0.0 || channel.corrupt_rate > 0.0) &&
       dedup != core::DedupPolicy::kIdempotent) {

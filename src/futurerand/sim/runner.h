@@ -16,6 +16,7 @@
 #include "futurerand/common/result.h"
 #include "futurerand/common/stats.h"
 #include "futurerand/common/threadpool.h"
+#include "futurerand/core/aggregator.h"
 #include "futurerand/core/config.h"
 #include "futurerand/core/server.h"
 #include "futurerand/sim/channel.h"
@@ -68,20 +69,34 @@ Result<ProtocolKind> ParseProtocolKind(const std::string& name);
 struct FaultOptions {
   ChannelConfig channel;
   core::DedupPolicy dedup = core::DedupPolicy::kStrict;
+  /// Bounds the aggregator's per-client dedup memory (kIdempotent only);
+  /// see core::DedupWindowPolicy. Reports older than a client's evicted
+  /// horizon are dropped and show up in DeliveryMetrics as
+  /// records_out_of_window.
+  core::DedupWindowPolicy dedup_window;
   /// Every this many ticks the runner checkpoints the aggregator and
-  /// restores the blob into a freshly built one, proving mid-stream
-  /// recovery on the live pipeline. 0 disables.
+  /// restores a freshly built one from the checkpoint chain, proving
+  /// mid-stream recovery on the live pipeline. 0 disables.
   int64_t checkpoint_every = 0;
+  /// kFull serializes every shard each time; kDelta serializes only the
+  /// shards dirtied since the previous checkpoint, with every
+  /// `checkpoint_compact_every`-th checkpoint a full compaction blob that
+  /// restarts the chain.
+  core::CheckpointMode checkpoint_mode = core::CheckpointMode::kFull;
+  /// Compaction cadence of kDelta mode, in checkpoints (>= 1; 1 degrades
+  /// to all-full). Ignored under kFull.
+  int64_t checkpoint_compact_every = 8;
 
   /// True iff any option deviates from the ideal-transport default.
   bool active() const {
     return channel.enabled() || dedup != core::DedupPolicy::kStrict ||
-           checkpoint_every > 0;
+           dedup_window.bounded() || checkpoint_every > 0;
   }
 
   /// Checks rates and cross-option consistency: duplicate or corrupt
   /// faults require kIdempotent (under kStrict a duplicate is an ingest
-  /// error, and the post-corruption retransmit path double-delivers).
+  /// error, and the post-corruption retransmit path double-delivers), and
+  /// a bounded dedup window requires kIdempotent too.
   Status Validate() const;
 };
 

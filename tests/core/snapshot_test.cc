@@ -240,10 +240,12 @@ TEST(AggregatorCheckpointTest, RestoreValidatesShape) {
   EXPECT_EQ(PeekBatchKind(snapshot).ValueOrDie(),
             WireBatchKind::kAggregatorState);
 
-  // Wrong shard count.
+  // A different shard count is NOT a shape error any more: full
+  // checkpoints reshard on restore (see ReshardRestoreTest below).
   ShardedAggregator three =
       ShardedAggregator::ForProtocol(TestConfig(), 3).ValueOrDie();
-  EXPECT_FALSE(three.Restore(snapshot).ok());
+  EXPECT_TRUE(three.Restore(snapshot).ok());
+  EXPECT_EQ(three.num_clients(), 10);
   // Wrong period count (hence scales shape).
   ShardedAggregator other_d =
       ShardedAggregator::ForProtocol(TestConfig(64), 2).ValueOrDie();
@@ -265,7 +267,10 @@ TEST(AggregatorCheckpointTest, RestoreValidatesShape) {
   EXPECT_FALSE(unit_scales.Restore(snapshot).ok());
 
   // A failed restore leaves the target untouched.
-  EXPECT_EQ(three.num_clients(), 0);
+  ShardedAggregator untouched =
+      ShardedAggregator::ForProtocol(TestConfig(64), 2).ValueOrDie();
+  EXPECT_FALSE(untouched.Restore(snapshot).ok());
+  EXPECT_EQ(untouched.num_clients(), 0);
   // And a matching aggregator accepts.
   ShardedAggregator twin =
       ShardedAggregator::ForProtocol(TestConfig(), 2).ValueOrDie();
@@ -296,6 +301,334 @@ TEST(AggregatorCheckpointTest, IngestEncodedRejectsSnapshotBlobs) {
   const Server server =
       Server::ForProtocol(TestConfig()).ValueOrDie();
   EXPECT_FALSE(aggregator.IngestEncoded(EncodeServerState(server)).ok());
+  ASSERT_TRUE(aggregator.Checkpoint().ok());
+  const std::string delta =
+      aggregator.Checkpoint(CheckpointMode::kDelta).ValueOrDie();
+  EXPECT_EQ(PeekBatchKind(delta).ValueOrDie(),
+            WireBatchKind::kAggregatorDelta);
+  EXPECT_FALSE(aggregator.IngestEncoded(delta).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Delta checkpoints.
+
+// Ingests `traffic.batches[begin..end)` into the aggregator.
+void IngestBatches(ShardedAggregator* aggregator, const Traffic& traffic,
+                   size_t begin, size_t end) {
+  for (size_t b = begin; b < end && b < traffic.batches.size(); ++b) {
+    ASSERT_TRUE(aggregator->IngestReports(traffic.batches[b]).ok());
+  }
+}
+
+TEST(DeltaCheckpointTest, DeltaNeedsAFullBase) {
+  ShardedAggregator aggregator =
+      ShardedAggregator::ForProtocol(TestConfig(), 2).ValueOrDie();
+  const auto premature = aggregator.Checkpoint(CheckpointMode::kDelta);
+  ASSERT_FALSE(premature.ok());
+  EXPECT_EQ(premature.status().code(), StatusCode::kFailedPrecondition);
+  ASSERT_TRUE(aggregator.Checkpoint(CheckpointMode::kFull).ok());
+  EXPECT_TRUE(aggregator.Checkpoint(CheckpointMode::kDelta).ok());
+}
+
+TEST(DeltaCheckpointTest, DeltaSerializesOnlyDirtiedShards) {
+  const Traffic traffic = GenerateTraffic(77, 30);
+  ShardedAggregator aggregator =
+      ShardedAggregator::ForProtocol(TestConfig(), 5,
+                                     DedupPolicy::kIdempotent)
+          .ValueOrDie();
+  ASSERT_TRUE(aggregator.IngestRegistrations(traffic.registrations).ok());
+  IngestBatches(&aggregator, traffic, 0, traffic.batches.size() / 2);
+  const std::string full =
+      aggregator.Checkpoint(CheckpointMode::kFull).ValueOrDie();
+
+  // Touch exactly one shard: a report from a client of shard 2.
+  ASSERT_TRUE(aggregator
+                  .IngestReports(std::vector<ReportMessage>{
+                      {2, TestConfig().num_periods, 1}})
+                  .ok());
+  const std::string delta_bytes =
+      aggregator.Checkpoint(CheckpointMode::kDelta).ValueOrDie();
+  const AggregatorDeltaBlob delta =
+      DecodeAggregatorDelta(delta_bytes).ValueOrDie();
+  EXPECT_EQ(delta.num_shards, 5);
+  EXPECT_EQ(delta.seq, 1u);
+  ASSERT_EQ(delta.shards.size(), 1u);
+  EXPECT_EQ(delta.shards[0].shard_index, 2);
+  EXPECT_LT(delta_bytes.size(), full.size());
+
+  // An untouched aggregator yields an empty (but valid, chain-advancing)
+  // delta.
+  const std::string empty_bytes =
+      aggregator.Checkpoint(CheckpointMode::kDelta).ValueOrDie();
+  const AggregatorDeltaBlob empty =
+      DecodeAggregatorDelta(empty_bytes).ValueOrDie();
+  EXPECT_EQ(empty.seq, 2u);
+  EXPECT_TRUE(empty.shards.empty());
+}
+
+TEST(DeltaCheckpointTest, ChainReplayIsBitIdenticalWithCompaction) {
+  const Traffic traffic = GenerateTraffic(321, 60);
+  ShardedAggregator live =
+      ShardedAggregator::ForProtocol(TestConfig(), 3,
+                                     DedupPolicy::kIdempotent)
+          .ValueOrDie();
+  ASSERT_TRUE(live.IngestRegistrations(traffic.registrations).ok());
+
+  // Checkpoint after every 4 batches: full, delta, delta, full
+  // (compaction), delta, ... — the chain a durable collector would keep.
+  std::string base;
+  std::vector<std::string> deltas;
+  int64_t checkpoints = 0;
+  for (size_t b = 0; b < traffic.batches.size(); ++b) {
+    ASSERT_TRUE(live.IngestReports(traffic.batches[b]).ok());
+    if ((b + 1) % 4 != 0) {
+      continue;
+    }
+    if (checkpoints % 3 == 0) {
+      base = live.Checkpoint(CheckpointMode::kFull).ValueOrDie();
+      deltas.clear();
+    } else {
+      deltas.push_back(
+          live.Checkpoint(CheckpointMode::kDelta).ValueOrDie());
+    }
+    ++checkpoints;
+
+    // Crash now: a cold aggregator replays base + deltas and must answer
+    // (and keep ingesting) bit-identically.
+    ShardedAggregator cold =
+        ShardedAggregator::ForProtocol(TestConfig(), 3,
+                                       DedupPolicy::kIdempotent)
+            .ValueOrDie();
+    ASSERT_TRUE(cold.Restore(base).ok());
+    for (const std::string& delta : deltas) {
+      ASSERT_TRUE(cold.Restore(delta).ok());
+    }
+    EXPECT_EQ(cold.num_clients(), live.num_clients());
+    EXPECT_EQ(cold.EstimateAll().ValueOrDie(),
+              live.EstimateAll().ValueOrDie());
+  }
+  EXPECT_GT(checkpoints, 4);
+}
+
+TEST(DeltaCheckpointTest, ChainPositionIsEnforced) {
+  const Traffic traffic = GenerateTraffic(9, 20);
+  ShardedAggregator live =
+      ShardedAggregator::ForProtocol(TestConfig(), 2).ValueOrDie();
+  ASSERT_TRUE(live.IngestRegistrations(traffic.registrations).ok());
+  const std::string base =
+      live.Checkpoint(CheckpointMode::kFull).ValueOrDie();
+  IngestBatches(&live, traffic, 0, 4);
+  const std::string delta1 =
+      live.Checkpoint(CheckpointMode::kDelta).ValueOrDie();
+  IngestBatches(&live, traffic, 4, 8);
+  const std::string delta2 =
+      live.Checkpoint(CheckpointMode::kDelta).ValueOrDie();
+
+  ShardedAggregator cold =
+      ShardedAggregator::ForProtocol(TestConfig(), 2).ValueOrDie();
+  // A delta cannot apply without its base...
+  EXPECT_EQ(cold.Restore(delta1).code(), StatusCode::kFailedPrecondition);
+  ASSERT_TRUE(cold.Restore(base).ok());
+  // ...nor out of order...
+  EXPECT_EQ(cold.Restore(delta2).code(), StatusCode::kFailedPrecondition);
+  ASSERT_TRUE(cold.Restore(delta1).ok());
+  // ...nor twice.
+  EXPECT_EQ(cold.Restore(delta1).code(), StatusCode::kFailedPrecondition);
+  ASSERT_TRUE(cold.Restore(delta2).ok());
+  EXPECT_EQ(cold.EstimateAll().ValueOrDie(),
+            live.EstimateAll().ValueOrDie());
+
+  // A fresh full checkpoint starts a new epoch: yesterday's deltas no
+  // longer apply.
+  const std::string base2 =
+      live.Checkpoint(CheckpointMode::kFull).ValueOrDie();
+  ShardedAggregator fresh =
+      ShardedAggregator::ForProtocol(TestConfig(), 2).ValueOrDie();
+  ASSERT_TRUE(fresh.Restore(base2).ok());
+  EXPECT_EQ(fresh.Restore(delta1).code(), StatusCode::kFailedPrecondition);
+
+  // And a delta never restores into a different shard count.
+  ShardedAggregator wide =
+      ShardedAggregator::ForProtocol(TestConfig(), 7).ValueOrDie();
+  ASSERT_TRUE(wide.Restore(base).ok());  // full blob reshards fine
+  EXPECT_FALSE(wide.Restore(delta1).ok());
+}
+
+TEST(DeltaCheckpointTest, DeltaRestoreRejectsADivergedAggregator) {
+  // Ingestion does not move the chain position, so a recovery that
+  // accidentally resumes ingest between chain restores has diverged;
+  // applying the next delta would mix the two timelines shard by shard.
+  const Traffic traffic = GenerateTraffic(44, 20);
+  ShardedAggregator live =
+      ShardedAggregator::ForProtocol(TestConfig(), 2).ValueOrDie();
+  ASSERT_TRUE(live.IngestRegistrations(traffic.registrations).ok());
+  const std::string base = live.Checkpoint().ValueOrDie();
+  IngestBatches(&live, traffic, 0, 4);
+  const std::string delta =
+      live.Checkpoint(CheckpointMode::kDelta).ValueOrDie();
+
+  ShardedAggregator recovery =
+      ShardedAggregator::ForProtocol(TestConfig(), 2).ValueOrDie();
+  ASSERT_TRUE(recovery.Restore(base).ok());
+  ASSERT_TRUE(recovery.IngestReports(traffic.batches[5]).ok());  // oops
+  EXPECT_EQ(recovery.Restore(delta).code(),
+            StatusCode::kFailedPrecondition);
+  // Redoing the chain from the base heals it.
+  ASSERT_TRUE(recovery.Restore(base).ok());
+  ASSERT_TRUE(recovery.Restore(delta).ok());
+  EXPECT_EQ(recovery.EstimateAll().ValueOrDie(),
+            live.EstimateAll().ValueOrDie());
+}
+
+TEST(DeltaCheckpointTest, RejectedBatchesDoNotDirtyShards) {
+  ShardedAggregator aggregator =
+      ShardedAggregator::ForProtocol(TestConfig(), 2).ValueOrDie();
+  ASSERT_TRUE(aggregator.Checkpoint().ok());
+  // A batch whose every record is rejected (unregistered client) mutates
+  // nothing — the next delta must stay empty rather than re-serializing
+  // an unchanged shard forever.
+  EXPECT_FALSE(aggregator
+                   .IngestReports(std::vector<ReportMessage>{{999, 4, 1}})
+                   .ok());
+  const AggregatorDeltaBlob delta =
+      DecodeAggregatorDelta(
+          aggregator.Checkpoint(CheckpointMode::kDelta).ValueOrDie())
+          .ValueOrDie();
+  EXPECT_TRUE(delta.shards.empty());
+}
+
+TEST(DeltaCheckpointTest, RollbackRestoreCannotCrossChains) {
+  // Epochs fingerprint the base state, so a collector rolled back to an
+  // old full blob that then diverges can never produce (or accept) deltas
+  // that collide with the abandoned timeline's blobs.
+  const Traffic traffic = GenerateTraffic(55, 24);
+  ShardedAggregator live =
+      ShardedAggregator::ForProtocol(TestConfig(), 2).ValueOrDie();
+  ASSERT_TRUE(live.IngestRegistrations(traffic.registrations).ok());
+  const std::string base = live.Checkpoint().ValueOrDie();
+  IngestBatches(&live, traffic, 0, 4);
+  const std::string old_delta =
+      live.Checkpoint(CheckpointMode::kDelta).ValueOrDie();
+
+  // Roll back to `base`, then diverge with different traffic and take a
+  // fresh full checkpoint of the diverged state.
+  ShardedAggregator rolled_back =
+      ShardedAggregator::ForProtocol(TestConfig(), 2).ValueOrDie();
+  ASSERT_TRUE(rolled_back.Restore(base).ok());
+  IngestBatches(&rolled_back, traffic, 4, 8);
+  const std::string diverged_base = rolled_back.Checkpoint().ValueOrDie();
+  ASSERT_NE(DecodeAggregatorState(diverged_base).ValueOrDie().epoch,
+            DecodeAggregatorState(base).ValueOrDie().epoch);
+
+  // The abandoned timeline's delta must not apply to the diverged base.
+  ShardedAggregator recovered =
+      ShardedAggregator::ForProtocol(TestConfig(), 2).ValueOrDie();
+  ASSERT_TRUE(recovered.Restore(diverged_base).ok());
+  EXPECT_EQ(recovered.Restore(old_delta).code(),
+            StatusCode::kFailedPrecondition);
+
+  // An unchanged rollback, however, reproduces the identical base blob,
+  // and the old delta chains onto it exactly as documented.
+  ShardedAggregator replay =
+      ShardedAggregator::ForProtocol(TestConfig(), 2).ValueOrDie();
+  ASSERT_TRUE(replay.Restore(base).ok());
+  ASSERT_TRUE(replay.Restore(old_delta).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Cross-shard-count restore (elastic resharding).
+
+class ReshardTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(ReshardTest, RestoreIntoDifferentShardCountIsBitIdentical) {
+  const auto [k, m] = GetParam();
+  const Traffic traffic = GenerateTraffic(1234, 53);
+  const int64_t half = static_cast<int64_t>(traffic.batches.size()) / 2;
+
+  ShardedAggregator source =
+      ShardedAggregator::ForProtocol(TestConfig(), k,
+                                     DedupPolicy::kIdempotent)
+          .ValueOrDie();
+  ASSERT_TRUE(source.IngestRegistrations(traffic.registrations).ok());
+  IngestBatches(&source, traffic, 0, static_cast<size_t>(half));
+  // A few retransmissions so dedup state is non-trivial.
+  ASSERT_TRUE(source.IngestReports(traffic.batches[0]).ok());
+  const std::string snapshot = source.Checkpoint().ValueOrDie();
+
+  ShardedAggregator target =
+      ShardedAggregator::ForProtocol(TestConfig(), m,
+                                     DedupPolicy::kIdempotent)
+          .ValueOrDie();
+  ASSERT_TRUE(target.Restore(snapshot).ok());
+  EXPECT_EQ(target.num_shards(), m);
+  EXPECT_EQ(target.num_clients(), source.num_clients());
+  EXPECT_EQ(target.duplicates_dropped(), source.duplicates_dropped());
+  EXPECT_EQ(target.EstimateAll().ValueOrDie(),
+            source.EstimateAll().ValueOrDie());
+  EXPECT_EQ(target.EstimateAllConsistent().ValueOrDie(),
+            source.EstimateAllConsistent().ValueOrDie());
+  EXPECT_EQ(target.EstimateWindowDelta(4, 29).ValueOrDie(),
+            source.EstimateWindowDelta(4, 29).ValueOrDie());
+
+  // Both finish the stream — including a replay of an already-ingested
+  // batch, which the re-bucketed dedup state must absorb identically.
+  for (size_t b = static_cast<size_t>(half); b < traffic.batches.size();
+       ++b) {
+    ASSERT_TRUE(source.IngestReports(traffic.batches[b]).ok());
+    ASSERT_TRUE(target.IngestReports(traffic.batches[b]).ok());
+  }
+  ASSERT_TRUE(source.IngestReports(traffic.batches.back()).ok());
+  ASSERT_TRUE(target.IngestReports(traffic.batches.back()).ok());
+  EXPECT_EQ(target.duplicates_dropped(), source.duplicates_dropped());
+  EXPECT_EQ(target.EstimateAll().ValueOrDie(),
+            source.EstimateAll().ValueOrDie());
+  EXPECT_EQ(target.EstimateAllConsistent().ValueOrDie(),
+            source.EstimateAllConsistent().ValueOrDie());
+
+  // Re-checkpointing the resharded target and restoring it back into a
+  // k-shard aggregator closes the loop.
+  const std::string round_trip = target.Checkpoint().ValueOrDie();
+  ShardedAggregator back =
+      ShardedAggregator::ForProtocol(TestConfig(), k,
+                                     DedupPolicy::kIdempotent)
+          .ValueOrDie();
+  ASSERT_TRUE(back.Restore(round_trip).ok());
+  EXPECT_EQ(back.EstimateAll().ValueOrDie(),
+            source.EstimateAll().ValueOrDie());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    KtoM, ReshardTest,
+    ::testing::Combine(::testing::Values(1, 2, 4, 7),
+                       ::testing::Values(1, 2, 7)),
+    [](const ::testing::TestParamInfo<std::tuple<int, int>>& info) {
+      // Built up by append: GCC 12's -Wrestrict misfires on the
+      // char* + string + char* chain (see bounds_test.cc for the twin).
+      std::string name = "K";
+      name += std::to_string(std::get<0>(info.param));
+      name += "toM";
+      name += std::to_string(std::get<1>(info.param));
+      return name;
+    });
+
+TEST(ReshardTest, ReshardedRestoreBreaksTheDeltaChain) {
+  const Traffic traffic = GenerateTraffic(8, 12);
+  ShardedAggregator source =
+      ShardedAggregator::ForProtocol(TestConfig(), 4).ValueOrDie();
+  ASSERT_TRUE(source.IngestRegistrations(traffic.registrations).ok());
+  const std::string snapshot = source.Checkpoint().ValueOrDie();
+
+  ShardedAggregator target =
+      ShardedAggregator::ForProtocol(TestConfig(), 7).ValueOrDie();
+  ASSERT_TRUE(target.Restore(snapshot).ok());
+  // The source's chain position is meaningless under the new layout: the
+  // next delta must wait for a fresh full checkpoint.
+  const auto delta = target.Checkpoint(CheckpointMode::kDelta);
+  ASSERT_FALSE(delta.ok());
+  EXPECT_EQ(delta.status().code(), StatusCode::kFailedPrecondition);
+  ASSERT_TRUE(target.Checkpoint(CheckpointMode::kFull).ok());
+  EXPECT_TRUE(target.Checkpoint(CheckpointMode::kDelta).ok());
 }
 
 }  // namespace

@@ -1,6 +1,6 @@
 // Adversarial wire-decoder fuzzing: starting from VALID encoded payloads
-// (registration/report batches, server snapshots, aggregator checkpoints),
-// mutate them — truncation at every byte offset, single-bit flips at every
+// (registration/report batches, server snapshots, full aggregator
+// checkpoints, delta checkpoints), mutate them — truncation at every byte offset, single-bit flips at every
 // bit position, overlong varints, random multi-byte garbage — and assert
 // the decoders never crash, never loop, and never silently accept what the
 // format can detect. Snapshot blobs carry a checksum, so for them
@@ -35,6 +35,7 @@ struct ValidPayloads {
   std::string reports;
   std::string server_state;
   std::string aggregator_state;
+  std::string aggregator_delta;
 };
 
 ValidPayloads MakePayloads(uint64_t seed) {
@@ -68,7 +69,14 @@ ValidPayloads MakePayloads(uint64_t seed) {
   payloads.reports = EncodeReportBatch(reports).ValueOrDie();
   payloads.server_state = EncodeServerState(server);
   payloads.aggregator_state = EncodeAggregatorState(
-      {payloads.server_state, payloads.server_state});
+      {payloads.server_state, payloads.server_state}, /*epoch=*/1);
+  AggregatorDeltaBlob delta;
+  delta.num_shards = 3;
+  delta.epoch = 1 + rng.NextInt(4);
+  delta.seq = 1 + rng.NextInt(4);
+  delta.shards.push_back(ShardDelta{0, payloads.server_state});
+  delta.shards.push_back(ShardDelta{2, payloads.server_state});
+  payloads.aggregator_delta = EncodeAggregatorDelta(delta);
   return payloads;
 }
 
@@ -79,6 +87,7 @@ void DecodeEverything(const std::string& bytes) {
   (void)DecodeReportBatch(bytes);
   (void)DecodeServerState(bytes);
   (void)DecodeAggregatorState(bytes);
+  (void)DecodeAggregatorDelta(bytes);
 }
 
 class WireAdversaryTest : public ::testing::TestWithParam<uint64_t> {};
@@ -87,7 +96,7 @@ TEST_P(WireAdversaryTest, TruncationAtEveryOffsetIsRejected) {
   const ValidPayloads payloads = MakePayloads(GetParam());
   for (const std::string* payload :
        {&payloads.registrations, &payloads.reports, &payloads.server_state,
-        &payloads.aggregator_state}) {
+        &payloads.aggregator_state, &payloads.aggregator_delta}) {
     for (size_t length = 0; length < payload->size(); ++length) {
       const std::string prefix = payload->substr(0, length);
       DecodeEverything(prefix);
@@ -96,6 +105,7 @@ TEST_P(WireAdversaryTest, TruncationAtEveryOffsetIsRejected) {
       EXPECT_FALSE(DecodeReportBatch(prefix).ok());
       EXPECT_FALSE(DecodeServerState(prefix).ok());
       EXPECT_FALSE(DecodeAggregatorState(prefix).ok());
+      EXPECT_FALSE(DecodeAggregatorDelta(prefix).ok());
     }
   }
 }
@@ -151,12 +161,27 @@ TEST_P(WireAdversaryTest, BitFlippedSnapshotsAreAlwaysRejected) {
   }
 }
 
+TEST_P(WireAdversaryTest, EveryBitFlippedDeltaIsRejected) {
+  // The delta kind is the newest persisted format; cover it exhaustively —
+  // every single-bit flip at every byte must fail the FNV-1a trailer (or,
+  // for flips inside the trailer itself, the payload comparison).
+  const ValidPayloads payloads = MakePayloads(GetParam());
+  for (size_t byte = 0; byte < payloads.aggregator_delta.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::string corrupted = payloads.aggregator_delta;
+      corrupted[byte] ^= static_cast<char>(1 << bit);
+      EXPECT_FALSE(DecodeAggregatorDelta(corrupted).ok())
+          << "byte " << byte << " bit " << bit;
+    }
+  }
+}
+
 TEST_P(WireAdversaryTest, OverlongVarintsAreRejected) {
   // Replace the count varint with an 11-byte (overlong) encoding; also try
   // a 10-byte maximal varint as a count, which must be rejected as
   // implausible rather than allocating.
   Rng rng(GetParam() * 7 + 3);
-  for (const char kind : {char{1}, char{2}, char{3}, char{4}}) {
+  for (const char kind : {char{1}, char{2}, char{3}, char{4}, char{5}}) {
     std::string overlong = {'F', 'R', 'W', 1, kind};
     for (int i = 0; i < 10; ++i) {
       overlong.push_back(static_cast<char>(0x80 | (rng.NextUint64() & 0x7f)));
@@ -167,6 +192,7 @@ TEST_P(WireAdversaryTest, OverlongVarintsAreRejected) {
     EXPECT_FALSE(DecodeReportBatch(overlong).ok());
     EXPECT_FALSE(DecodeServerState(overlong).ok());
     EXPECT_FALSE(DecodeAggregatorState(overlong).ok());
+    EXPECT_FALSE(DecodeAggregatorDelta(overlong).ok());
 
     std::string huge_count = {'F', 'R', 'W', 1, kind};
     for (int i = 0; i < 9; ++i) {
@@ -186,9 +212,10 @@ TEST_P(WireAdversaryTest, RandomMutationsNeverCrashTheDecoders) {
   const int64_t rounds = FuzzRounds(300);
   const std::string* sources[] = {&payloads.registrations, &payloads.reports,
                                   &payloads.server_state,
-                                  &payloads.aggregator_state};
+                                  &payloads.aggregator_state,
+                                  &payloads.aggregator_delta};
   for (int64_t round = 0; round < rounds; ++round) {
-    std::string mutated = *sources[rng.NextInt(4)];
+    std::string mutated = *sources[rng.NextInt(5)];
     const uint64_t mutations = 1 + rng.NextInt(8);
     for (uint64_t m = 0; m < mutations; ++m) {
       switch (rng.NextInt(4)) {
@@ -216,6 +243,9 @@ TEST_P(WireAdversaryTest, RandomMutationsNeverCrashTheDecoders) {
     }
     if (mutated != payloads.aggregator_state) {
       EXPECT_FALSE(DecodeAggregatorState(mutated).ok());
+    }
+    if (mutated != payloads.aggregator_delta) {
+      EXPECT_FALSE(DecodeAggregatorDelta(mutated).ok());
     }
   }
 }

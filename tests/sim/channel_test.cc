@@ -294,6 +294,48 @@ TEST(RunnerFaultTest, ValidatesFaultCombinations) {
   EXPECT_FALSE(RunProtocol(ProtocolKind::kFutureRand, RunnerConfig(),
                            workload, 1, nullptr, 0, bad)
                    .ok());
+  // A bounded dedup window requires kIdempotent; beyond-horizon windows
+  // are rejected by the aggregator factory inside the run.
+  FaultOptions windowed;
+  windowed.dedup_window = core::DedupWindowPolicy{32};
+  EXPECT_FALSE(windowed.Validate().ok());
+  windowed.dedup = core::DedupPolicy::kIdempotent;
+  EXPECT_TRUE(windowed.Validate().ok());
+  // The compaction cadence only matters (and is only validated) under
+  // delta mode — runner.h documents it as ignored under kFull.
+  FaultOptions compact;
+  compact.checkpoint_compact_every = 0;
+  EXPECT_TRUE(compact.Validate().ok());
+  compact.checkpoint_mode = core::CheckpointMode::kDelta;
+  EXPECT_FALSE(compact.Validate().ok());
+}
+
+TEST(RunnerFaultTest, DeltaCheckpointChainIsBitIdenticalToIdealTransport) {
+  const Workload workload =
+      Workload::Generate(RunnerWorkload(), 17).ValueOrDie();
+  const RunResult ideal =
+      RunProtocol(ProtocolKind::kFutureRand, RunnerConfig(), workload, 41)
+          .ValueOrDie();
+
+  // Delta checkpoints every 8 periods with compaction every 3rd, plus a
+  // bounded dedup window: the crash-sim replays base + deltas each time
+  // and must reproduce the ideal estimates bit for bit.
+  FaultOptions faults;
+  faults.dedup = core::DedupPolicy::kIdempotent;
+  faults.dedup_window = core::DedupWindowPolicy{32};
+  faults.checkpoint_every = 8;
+  faults.checkpoint_mode = core::CheckpointMode::kDelta;
+  faults.checkpoint_compact_every = 3;
+  const RunResult recovered =
+      RunProtocol(ProtocolKind::kFutureRand, RunnerConfig(), workload, 41,
+                  nullptr, 0, faults)
+          .ValueOrDie();
+  EXPECT_EQ(recovered.estimates, ideal.estimates);
+  EXPECT_EQ(recovered.delivery.checkpoints_taken, 8);
+  EXPECT_EQ(recovered.delivery.delta_checkpoints_taken, 5);
+  EXPECT_GT(recovered.delivery.delta_checkpoint_bytes, 0);
+  EXPECT_LT(recovered.delivery.delta_checkpoint_bytes,
+            recovered.delivery.checkpoint_bytes);
 }
 
 }  // namespace

@@ -53,7 +53,10 @@ int Run(int argc, char** argv) {
   double reorder_rate = 0.0;
   double corrupt_rate = 0.0;
   bool dedup = false;
+  int64_t dedup_window = 0;
   int64_t checkpoint_every = 0;
+  std::string checkpoint_mode = "full";
+  int64_t checkpoint_compact_every = 8;
   std::string csv_path;
   bool help = false;
 
@@ -89,9 +92,19 @@ int Run(int argc, char** argv) {
   parser.AddBool("dedup", &dedup,
                  "idempotent ingest: duplicates/retries are absorbed, "
                  "making at-least-once delivery exact");
+  parser.AddInt64("dedup-window", &dedup_window,
+                  "evict per-client dedup bits older than this many "
+                  "boundaries behind each client's newest report "
+                  "(0 = keep everything); requires --dedup");
   parser.AddInt64("checkpoint-every", &checkpoint_every,
                   "checkpoint + restore the aggregator every this many "
                   "periods (0 = never)");
+  parser.AddString("checkpoint-mode", &checkpoint_mode,
+                   "full | delta (delta serializes only dirtied shards, "
+                   "with periodic full compaction blobs)");
+  parser.AddInt64("checkpoint-compact-every", &checkpoint_compact_every,
+                  "under --checkpoint-mode=delta, take a full compaction "
+                  "blob every this many checkpoints");
   parser.AddString("csv", &csv_path,
                    "optional path for the last repetition's t,truth,"
                    "estimate,abs_error trace");
@@ -134,7 +147,20 @@ int Run(int argc, char** argv) {
   faults.channel.corrupt_rate = corrupt_rate;
   faults.dedup = dedup ? core::DedupPolicy::kIdempotent
                        : core::DedupPolicy::kStrict;
+  faults.dedup_window = core::DedupWindowPolicy{dedup_window};
   faults.checkpoint_every = checkpoint_every;
+  if (checkpoint_mode == "full") {
+    faults.checkpoint_mode = core::CheckpointMode::kFull;
+  } else if (checkpoint_mode == "delta") {
+    faults.checkpoint_mode = core::CheckpointMode::kDelta;
+  } else {
+    std::fprintf(stderr,
+                 "InvalidArgument: --checkpoint-mode must be full or "
+                 "delta\n%s",
+                 parser.Usage("frsim").c_str());
+    return 2;
+  }
+  faults.checkpoint_compact_every = checkpoint_compact_every;
   if (const Status fault_status = faults.Validate(); !fault_status.ok()) {
     std::fprintf(stderr, "%s\n%s", fault_status.ToString().c_str(),
                  parser.Usage("frsim").c_str());
