@@ -11,12 +11,20 @@
 //
 //   bench_throughput --n=100000 --d=1024 --k=8 --shards=8 --threads=8
 //   bench_throughput --n=400 --d=64 --k=2 --json
+//
+// --wire-version picks the batch framing (2 = checksummed FNV-1a trailer,
+// 1 = legacy) so the v2 encode/ingest overhead is measurable; with
+// --corrupt-rate the ingest stage runs a detection-driven retransmission
+// loop (the receiver's kDataLoss verdict triggers the resend) and the
+// retransmission count lands in the JSON line next to wire_version.
 
 #include <cstdint>
 #include <cstdio>
 #include <iostream>
 #include <string>
 #include <vector>
+
+#include <optional>
 
 #include "bench_common.h"
 #include "futurerand/common/flags.h"
@@ -42,6 +50,8 @@ struct PipelineStats {
   double delta_seconds = 0.0;       // delta Checkpoint (--checkpoint-mode)
   int64_t reports = 0;
   int64_t wire_bytes = 0;
+  int64_t checksum_rejected = 0;  // ingests NACKed with kDataLoss
+  int64_t retransmissions = 0;    // deliveries repeated after a NACK
   int64_t checkpoint_bytes = 0;  // one full blob
   int64_t delta_bytes = 0;       // one delta blob over dirty_shards shards
   int64_t dirty_shards = 0;      // shards dirtied before the delta (~1%)
@@ -53,20 +63,34 @@ Result<PipelineStats> RunPipeline(const core::ProtocolConfig& config,
                                   int64_t n, int shards, ThreadPool* pool,
                                   uint64_t seed, core::DedupPolicy dedup,
                                   core::DedupWindowPolicy window,
-                                  core::CheckpointMode checkpoint_mode) {
+                                  core::CheckpointMode checkpoint_mode,
+                                  core::WireVersion wire_version,
+                                  double corrupt_rate) {
   PipelineStats stats;
   WallTimer timer;
   FR_ASSIGN_OR_RETURN(core::ClientFleet fleet,
                       core::ClientFleet::Create(config, n, seed, pool));
+  fleet.set_wire_version(wire_version);
   stats.create_seconds = timer.ElapsedSeconds();
 
   FR_ASSIGN_OR_RETURN(
       core::ShardedAggregator aggregator,
       core::ShardedAggregator::ForProtocol(config, shards, dedup, window));
-  const std::string registration_bytes =
-      core::EncodeRegistrationBatch(fleet.registrations());
+  const std::string registration_bytes = fleet.EncodeRegistrations();
   stats.wire_bytes += static_cast<int64_t>(registration_bytes.size());
   FR_RETURN_NOT_OK(aggregator.IngestEncoded(registration_bytes, pool));
+
+  // With --corrupt-rate the ingest stage ships every batch through the
+  // same corruption model and NACK retransmission loop the simulation
+  // runner uses — one copy of the delivery policy, so the bench can never
+  // drift from what RunProtocol actually does.
+  std::optional<sim::ChannelModel> channel;
+  sim::DeliveryMetrics delivery;
+  if (corrupt_rate > 0.0) {
+    sim::ChannelConfig channel_config;
+    channel_config.corrupt_rate = corrupt_rate;
+    channel.emplace(channel_config, seed * 0x9e3779b97f4a7c15ULL + 1);
+  }
 
   // Synthetic population: user u turns its flag on at period (u % d) + 1
   // and off again half a window later (two changes, within any k >= 2;
@@ -87,15 +111,23 @@ Result<PipelineStats> RunPipeline(const core::ProtocolConfig& config,
 
     timer.Restart();
     FR_ASSIGN_OR_RETURN(const std::string bytes,
-                        core::EncodeReportBatch(batch));
+                        core::EncodeReportBatch(batch, wire_version));
     stats.encode_seconds += timer.ElapsedSeconds();
     stats.wire_bytes += static_cast<int64_t>(bytes.size());
     stats.reports += static_cast<int64_t>(batch.size());
 
     timer.Restart();
-    FR_RETURN_NOT_OK(aggregator.IngestEncoded(bytes, pool));
+    if (channel.has_value()) {
+      FR_RETURN_NOT_OK(sim::DeliverEncodedWithRetransmission(
+          aggregator, bytes, &*channel, wire_version,
+          /*retransmit_budget=*/32, pool, &delivery));
+    } else {
+      FR_RETURN_NOT_OK(aggregator.IngestEncoded(bytes, pool));
+    }
     stats.ingest_seconds += timer.ElapsedSeconds();
   }
+  stats.checksum_rejected = delivery.batches_checksum_rejected;
+  stats.retransmissions = delivery.batches_retransmitted;
 
   timer.Restart();
   FR_ASSIGN_OR_RETURN(const std::vector<double> estimates,
@@ -154,6 +186,8 @@ int Run(int argc, char** argv) {
   bool dedup = false;
   int64_t dedup_window = 0;
   std::string checkpoint_mode = "full";
+  int64_t wire_version = 2;
+  double corrupt_rate = 0.0;
   bool json = false;
   bool help = false;
 
@@ -181,6 +215,15 @@ int Run(int argc, char** argv) {
   parser.AddString("checkpoint-mode", &checkpoint_mode,
                    "full | delta: delta adds a stage that dirties ~1% of "
                    "the shards and serializes only those");
+  parser.AddInt64("wire-version", &wire_version,
+                  "report batch framing: 2 = checksummed (FNV-1a trailer, "
+                  "receiver-detected corruption), 1 = legacy — run both to "
+                  "measure the v2 encode/ingest overhead");
+  parser.AddDouble("corrupt-rate", &corrupt_rate,
+                   "P(one bit of an outgoing batch flips): the ingest "
+                   "stage then runs the NACK retransmission loop and "
+                   "reports the retransmission count; requires --dedup "
+                   "under --wire-version=1");
   parser.AddBool("json", &json,
                  "print one machine-readable JSON line instead of a table");
   parser.AddBool("help", &help, "print usage");
@@ -217,6 +260,26 @@ int Run(int argc, char** argv) {
                  parser.Usage("bench_throughput").c_str());
     return 2;
   }
+  if (wire_version != 1 && wire_version != 2) {
+    std::fprintf(stderr,
+                 "InvalidArgument: --wire-version must be 1 or 2\n%s",
+                 parser.Usage("bench_throughput").c_str());
+    return 2;
+  }
+  const core::WireVersion version = wire_version == 2
+                                        ? core::WireVersion::kV2
+                                        : core::WireVersion::kV1;
+  if (corrupt_rate < 0.0 || corrupt_rate > 1.0 ||
+      (corrupt_rate > 0.0 && wire_version == 1 && !dedup)) {
+    // A corrupted v1 batch can partially apply before its decode error, so
+    // the retransmission double-delivers unless ingest is idempotent; v2
+    // rejects atomically and needs no dedup.
+    std::fprintf(stderr,
+                 "InvalidArgument: --corrupt-rate must be in [0,1] and "
+                 "requires --dedup under --wire-version=1\n%s",
+                 parser.Usage("bench_throughput").c_str());
+    return 2;
+  }
 
   core::ProtocolConfig config = bench::MakeConfig(d, k, eps);
   config.randomizer = *randomizer;
@@ -229,7 +292,7 @@ int Run(int argc, char** argv) {
                                  dedup ? core::DedupPolicy::kIdempotent
                                        : core::DedupPolicy::kStrict,
                                  core::DedupWindowPolicy{dedup_window},
-                                 mode);
+                                 mode, version, corrupt_rate);
   if (!stats.ok()) {
     std::fprintf(stderr, "%s\n", stats.status().ToString().c_str());
     return 1;
@@ -273,6 +336,10 @@ int Run(int argc, char** argv) {
         .Add("randomizer", rand::RandomizerKindToString(*randomizer))
         .Add("dedup", dedup ? 1 : 0)
         .Add("dedup_window", dedup_window)
+        .Add("wire_version", wire_version)
+        .Add("corrupt_rate", corrupt_rate)
+        .Add("checksum_rejected", stats->checksum_rejected)
+        .Add("batches_retransmitted", stats->retransmissions)
         .Add("shards", effective_shards)
         .Add("threads", static_cast<int64_t>(pool.num_threads()))
         .Add("reports", stats->reports)
@@ -333,6 +400,14 @@ int Run(int argc, char** argv) {
                 TablePrinter::FormatCount(stats->reports),
                 TablePrinter::FormatCount(static_cast<int64_t>(
                     Rate(stats->reports, stats->ingest_seconds)))});
+  if (corrupt_rate > 0.0) {
+    // Retry cost is folded into the "ingest encoded" row above; this row
+    // only counts the NACKed deliveries that were re-sent.
+    table.AddRow({"retransmissions",
+                  TablePrinter::FormatDouble(0.0, 4),
+                  TablePrinter::FormatCount(stats->retransmissions),
+                  TablePrinter::FormatCount(0)});
+  }
   table.AddRow({"estimate all",
                 TablePrinter::FormatDouble(stats->query_seconds, 4),
                 TablePrinter::FormatCount(d),

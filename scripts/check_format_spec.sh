@@ -1,12 +1,15 @@
 #!/usr/bin/env bash
-# Cross-checks the FRW kind constants in the code against the normative
-# table in docs/FORMATS.md, so the spec and the implementation cannot
-# drift apart silently:
+# Cross-checks the FRW kind and version constants in the code against the
+# normative table in docs/FORMATS.md, so the spec and the implementation
+# cannot drift apart silently:
 #
-#   1. every `kKind* = N` constant in src/futurerand/core/wire.h must
-#      appear in the FORMATS.md kind table with the same number, and vice
+#   1. every `kKind* = N;  // FRW vV` constant in
+#      src/futurerand/core/wire.h must appear in the FORMATS.md kind table
+#      with the same kind number N and container version V, and vice
 #      versa;
-#   2. the kind numbers quoted in the core/snapshot.h header comment
+#   2. every container version a kind claims must itself be declared as a
+#      `kWireVersionV = V` constant in wire.h;
+#   3. the kind numbers quoted in the core/snapshot.h header comment
 #      ("kServerState (3)" etc.) must agree with wire.h.
 #
 # Run from anywhere; exits non-zero with a diff on any mismatch.
@@ -25,18 +28,20 @@ for f in "$wire_h" "$snapshot_h" "$spec"; do
   fi
 done
 
-# "kKindReport 2" lines from the header constants.
+# "kKindReport 2 1" (name, kind byte, container version) from the header
+# constants; the trailing "// FRW vN" comment is mandatory on every kind.
 code_kinds=$(sed -n \
-  's/^inline constexpr char \(kKind[A-Za-z]*\) = \([0-9]*\);.*/\1 \2/p' \
+  's|^inline constexpr char \(kKind[A-Za-z0-9]*\) = \([0-9]*\); *// FRW v\([0-9]*\).*|\1 \2 \3|p' \
   "$wire_h" | sort)
 
-# "kKindReport 2" lines from the spec's table (| 2 | `kKindReport` | ...).
+# The same triples from the spec's table (| 2 | `kKindReport` | 1 | ...).
 spec_kinds=$(sed -n \
-  's/^| *\([0-9][0-9]*\) *| *`\(kKind[A-Za-z]*\)`.*/\2 \1/p' \
+  's/^| *\([0-9][0-9]*\) *| *`\(kKind[A-Za-z0-9]*\)` *| *\([0-9][0-9]*\) *|.*/\2 \1 \3/p' \
   "$spec" | sort)
 
 if [ -z "$code_kinds" ]; then
-  echo "check_format_spec: found no kKind constants in $wire_h" >&2
+  echo "check_format_spec: found no annotated kKind constants in $wire_h" >&2
+  echo "(every kind needs a trailing '// FRW vN' comment)" >&2
   exit 1
 fi
 if [ -z "$spec_kinds" ]; then
@@ -46,18 +51,39 @@ fi
 
 if [ "$code_kinds" != "$spec_kinds" ]; then
   echo "check_format_spec: wire.h constants and docs/FORMATS.md table disagree" >&2
-  echo "--- wire.h" >&2
+  echo "--- wire.h (name kind version)" >&2
   echo "$code_kinds" >&2
-  echo "--- docs/FORMATS.md" >&2
+  echo "--- docs/FORMATS.md (name kind version)" >&2
   echo "$spec_kinds" >&2
   fail=1
 fi
+
+# Every container version used by a kind must be declared as a
+# kWireVersion<V> = V constant (names and values in lockstep).
+declared_versions=$(sed -n \
+  's/^inline constexpr char kWireVersion\([0-9]*\) = \([0-9]*\);.*/\1 \2/p' \
+  "$wire_h")
+while read -r suffix value; do
+  [ -z "$suffix" ] && continue
+  if [ "$suffix" != "$value" ]; then
+    echo "check_format_spec: kWireVersion$suffix = $value (suffix and value must agree)" >&2
+    fail=1
+  fi
+done <<EOF
+$declared_versions
+EOF
+for version in $(echo "$code_kinds" | awk '{print $3}' | sort -u); do
+  if ! echo "$declared_versions" | grep -q "^$version "; then
+    echo "check_format_spec: kind table uses version $version but wire.h declares no kWireVersion$version" >&2
+    fail=1
+  fi
+done
 
 # snapshot.h quotes kind numbers as "kServerState (3)"; each must match the
 # wire.h constant of the same name (kFoo -> kKindFoo).
 while read -r name number; do
   [ -z "$name" ] && continue
-  expected=$(echo "$code_kinds" | sed -n "s/^kKind$name \([0-9]*\)$/\1/p")
+  expected=$(echo "$code_kinds" | sed -n "s/^kKind$name \([0-9]*\) [0-9]*$/\1/p")
   if [ -z "$expected" ]; then
     echo "check_format_spec: snapshot.h mentions k$name ($number) but wire.h has no kKind$name" >&2
     fail=1

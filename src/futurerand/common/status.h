@@ -20,6 +20,7 @@ enum class StatusCode : int {
   kNotFound = 6,
   kIoError = 7,
   kInternal = 8,
+  kDataLoss = 9,
 };
 
 /// Returns a stable human-readable name for `code` (e.g. "InvalidArgument").
@@ -67,6 +68,13 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  /// Bytes arrived damaged: a failed checksum, bad magic, or an
+  /// unrecognizable frame. Distinct from kInvalidArgument so a receiver
+  /// can tell "garbled in flight — ask the sender to retransmit" apart
+  /// from "well-formed but semantically wrong".
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
   }
 
   /// True iff the operation succeeded.

@@ -176,12 +176,18 @@ Status ShardedAggregator::IngestEncoded(std::string_view bytes,
   }
   FR_ASSIGN_OR_RETURN(WireBatchKind kind, PeekBatchKind(bytes));
   switch (kind) {
-    case WireBatchKind::kRegistration: {
+    case WireBatchKind::kRegistration:
+    case WireBatchKind::kRegistrationV2: {
+      // The v2 decoder verifies the FNV-1a trailer before parsing any
+      // record, so a corrupted v2 batch is rejected here atomically with
+      // kDataLoss — the NACK a sender retransmits on — and never reaches
+      // a shard.
       FR_ASSIGN_OR_RETURN(std::vector<RegistrationMessage> batch,
                           DecodeRegistrationBatch(bytes));
       return IngestRegistrations(batch, pool, outcome);
     }
-    case WireBatchKind::kReport: {
+    case WireBatchKind::kReport:
+    case WireBatchKind::kReportV2: {
       FR_ASSIGN_OR_RETURN(std::vector<ReportMessage> batch,
                           DecodeReportBatch(bytes));
       return IngestReports(batch, pool, outcome);
@@ -195,6 +201,24 @@ Status ShardedAggregator::IngestEncoded(std::string_view bytes,
   return Status::Internal("unreachable wire batch kind");
 }
 
+namespace {
+
+// The epoch is a fingerprint of the captured state, not a counter: a
+// collector that restores an older full blob and keeps checkpointing can
+// never mint an epoch that collides with a *different* base state, so a
+// delta can never chain onto the wrong base. (Zero is reserved for "no
+// chain anchor".)
+uint64_t EpochFingerprint(const std::vector<std::string>& shard_states) {
+  std::string digest;
+  for (const std::string& state : shard_states) {
+    wire_internal::PutFixed64(wire_internal::Fnv1a64(state), &digest);
+  }
+  const uint64_t epoch = wire_internal::Fnv1a64(digest);
+  return epoch == 0 ? 1 : epoch;
+}
+
+}  // namespace
+
 Result<std::string> ShardedAggregator::Checkpoint(CheckpointMode mode) {
   const std::lock_guard<std::mutex> checkpoint_lock(*checkpoint_mutex_);
   if (mode == CheckpointMode::kFull) {
@@ -205,19 +229,7 @@ Result<std::string> ShardedAggregator::Checkpoint(CheckpointMode mode) {
       shard_states.push_back(EncodeServerState(shard.server));
       shard.checkpointed_version = shard.version;
     }
-    // The epoch is a fingerprint of the captured state, not a counter: a
-    // collector that restores an older full blob and keeps checkpointing
-    // can never mint an epoch that collides with a *different* base
-    // state, so a delta can never chain onto the wrong base. (Zero is
-    // reserved for "no chain anchor".)
-    std::string digest;
-    for (const std::string& state : shard_states) {
-      wire_internal::PutFixed64(wire_internal::Fnv1a64(state), &digest);
-    }
-    checkpoint_epoch_ = wire_internal::Fnv1a64(digest);
-    if (checkpoint_epoch_ == 0) {
-      checkpoint_epoch_ = 1;
-    }
+    checkpoint_epoch_ = EpochFingerprint(shard_states);
     checkpoint_seq_ = 0;
     return EncodeAggregatorState(shard_states, checkpoint_epoch_);
   }
@@ -281,6 +293,17 @@ Status ShardedAggregator::Restore(std::string_view bytes) {
 Status ShardedAggregator::RestoreFull(std::string_view bytes) {
   FR_ASSIGN_OR_RETURN(AggregatorStateBlob blob,
                       DecodeAggregatorState(bytes));
+  // A chain-anchoring epoch must be the fingerprint of the state it
+  // anchors: Checkpoint() always stamps it that way, so a mismatch means
+  // a tool minted the blob through EncodeAggregatorState with a guessed
+  // epoch. Adopting it verbatim could let a delta from a *different* base
+  // chain onto this state, so refuse instead (pass epoch 0 — "no chain
+  // anchor" — when exporting state no delta will extend).
+  if (blob.epoch != 0 && blob.epoch != EpochFingerprint(blob.shards)) {
+    return Status::InvalidArgument(
+        "full checkpoint epoch does not fingerprint its own shard state; "
+        "encode with epoch 0 unless the blob came from Checkpoint()");
+  }
   // Decode and validate everything before touching any shard: Restore
   // either replaces the whole aggregator or leaves it unchanged.
   std::vector<Server> servers;

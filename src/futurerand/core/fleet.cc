@@ -127,6 +127,17 @@ Result<ReportBatch> ClientFleet::AdvanceTickDerivatives(
   return batch;
 }
 
+std::string ClientFleet::EncodeRegistrations() const {
+  return EncodeRegistrationBatch(registrations_, wire_version_);
+}
+
+Result<std::string> ClientFleet::AdvanceTickEncoded(
+    std::span<const int8_t> states) {
+  ReportBatch batch;
+  FR_RETURN_NOT_OK(AdvanceTick(states, &batch));
+  return EncodeReportBatch(batch, wire_version_);
+}
+
 void ClientFleet::TickValidated(std::span<const int8_t> states,
                                 ReportBatch* batch) {
   ++time_;

@@ -58,8 +58,11 @@ struct AggregatorStateBlob {
 
 /// Frames per-shard ServerState blobs into one full aggregator checkpoint.
 /// Used by ShardedAggregator::Checkpoint; exposed for tools that persist
-/// shard state themselves. `epoch` anchors delta chains; pass 0 when no
-/// deltas will be taken against this blob.
+/// shard state themselves. `epoch` anchors delta chains — pass 0 (the
+/// default) when no deltas will be taken against this blob. A non-zero
+/// epoch must be the state fingerprint Checkpoint() computes;
+/// ShardedAggregator::Restore verifies that and rejects a guessed value,
+/// so a tool-minted blob can never let a delta chain onto the wrong base.
 std::string EncodeAggregatorState(const std::vector<std::string>& shards,
                                   uint64_t epoch = 0);
 

@@ -66,7 +66,6 @@ namespace {
 constexpr char kMagic0 = 'F';
 constexpr char kMagic1 = 'R';
 constexpr char kMagic2 = 'W';
-constexpr char kVersion = 1;
 
 }  // namespace
 
@@ -74,7 +73,7 @@ void AppendHeader(char kind, std::string* out) {
   out->push_back(kMagic0);
   out->push_back(kMagic1);
   out->push_back(kMagic2);
-  out->push_back(kVersion);
+  out->push_back(KindWireVersion(kind));
   out->push_back(kind);
 }
 
@@ -82,13 +81,24 @@ Result<char> CheckHeader(std::string_view bytes) {
   if (bytes.size() < kHeaderSize) {
     return Status::InvalidArgument("batch shorter than its header");
   }
+  // Header failures are kDataLoss, not kInvalidArgument: at an ingest
+  // boundary an unrecognizable frame means "garbled in flight" (or not
+  // ours at all), and the retransmission loop keys off that code.
   if (bytes[0] != kMagic0 || bytes[1] != kMagic1 || bytes[2] != kMagic2) {
-    return Status::InvalidArgument("bad magic");
+    return Status::DataLoss("bad magic");
   }
-  if (bytes[3] != kVersion) {
-    return Status::InvalidArgument("unsupported wire version");
+  const char version = bytes[3];
+  if (version != kWireVersion1 && version != kWireVersion2) {
+    return Status::DataLoss("unsupported wire version");
   }
-  return bytes[4];
+  const char kind = bytes[4];
+  if (kind < kKindRegistration || kind > kKindReportV2) {
+    return Status::DataLoss("unknown batch kind");
+  }
+  if (version != KindWireVersion(kind)) {
+    return Status::DataLoss("wire version does not frame this batch kind");
+  }
+  return kind;
 }
 
 Status ConsumeHeader(char expected_kind, std::string_view* bytes) {
@@ -115,13 +125,13 @@ void AppendChecksum(std::string* out) {
 
 Status ConsumeChecksum(std::string_view* bytes) {
   if (bytes->size() < 8) {
-    return Status::InvalidArgument("blob shorter than its checksum");
+    return Status::DataLoss("blob shorter than its checksum");
   }
   const std::string_view payload = bytes->substr(0, bytes->size() - 8);
   std::string_view trailer = bytes->substr(payload.size());
   FR_ASSIGN_OR_RETURN(const uint64_t stored, GetFixed64(&trailer));
   if (stored != Fnv1a64(payload)) {
-    return Status::InvalidArgument("checksum mismatch: corrupted blob");
+    return Status::DataLoss("checksum mismatch: corrupted blob");
   }
   *bytes = payload;
   return Status::OK();
@@ -136,18 +146,30 @@ using wire_internal::PutVarint64;
 using wire_internal::ZigZagDecode;
 using wire_internal::ZigZagEncode;
 using wire_internal::kKindRegistration;
+using wire_internal::kKindRegistrationV2;
 using wire_internal::kKindReport;
+using wire_internal::kKindReportV2;
 
 void AppendBatchHeader(char kind, size_t count, std::string* out) {
   wire_internal::AppendHeader(kind, out);
   PutVarint64(count, out);
 }
 
-// Validates the fixed header and returns the record count.
-Result<uint64_t> ConsumeBatchHeader(char expected_kind,
-                                    std::string_view* bytes) {
-  FR_RETURN_NOT_OK(wire_internal::ConsumeHeader(expected_kind, bytes));
-  return GetVarint64(bytes);
+// Strips a validated transport header whose kind must be the v1 or v2
+// variant of one message type; for v2 the FNV-1a trailer is verified and
+// removed FIRST, so no record of a corrupted batch is ever parsed. On
+// success `*bytes` holds exactly the record payload (count varint first).
+Status ConsumeTransportHeader(char v1_kind, char v2_kind,
+                              std::string_view* bytes) {
+  FR_ASSIGN_OR_RETURN(const char kind, wire_internal::CheckHeader(*bytes));
+  if (kind != v1_kind && kind != v2_kind) {
+    return Status::InvalidArgument("unexpected batch kind");
+  }
+  if (kind == v2_kind) {
+    FR_RETURN_NOT_OK(wire_internal::ConsumeChecksum(bytes));
+  }
+  bytes->remove_prefix(wire_internal::kHeaderSize);
+  return Status::OK();
 }
 
 }  // namespace
@@ -165,28 +187,38 @@ Result<WireBatchKind> PeekBatchKind(std::string_view bytes) {
       return WireBatchKind::kAggregatorState;
     case wire_internal::kKindAggregatorDelta:
       return WireBatchKind::kAggregatorDelta;
+    case wire_internal::kKindRegistrationV2:
+      return WireBatchKind::kRegistrationV2;
+    case wire_internal::kKindReportV2:
+      return WireBatchKind::kReportV2;
     default:
-      return Status::InvalidArgument("unknown batch kind");
+      return Status::DataLoss("unknown batch kind");
   }
 }
 
 std::string EncodeRegistrationBatch(
-    const std::vector<RegistrationMessage>& batch) {
+    const std::vector<RegistrationMessage>& batch, WireVersion version) {
   std::string out;
-  AppendBatchHeader(kKindRegistration, batch.size(), &out);
+  AppendBatchHeader(version == WireVersion::kV2 ? kKindRegistrationV2
+                                                : kKindRegistration,
+                    batch.size(), &out);
   int64_t previous_id = 0;
   for (const RegistrationMessage& message : batch) {
     PutVarint64(ZigZagEncode(message.client_id - previous_id), &out);
     PutVarint64(static_cast<uint64_t>(message.level), &out);
     previous_id = message.client_id;
   }
+  if (version == WireVersion::kV2) {
+    wire_internal::AppendChecksum(&out);
+  }
   return out;
 }
 
 Result<std::vector<RegistrationMessage>> DecodeRegistrationBatch(
     std::string_view bytes) {
-  FR_ASSIGN_OR_RETURN(uint64_t count,
-                      ConsumeBatchHeader(kKindRegistration, &bytes));
+  FR_RETURN_NOT_OK(
+      ConsumeTransportHeader(kKindRegistration, kKindRegistrationV2, &bytes));
+  FR_ASSIGN_OR_RETURN(uint64_t count, GetVarint64(&bytes));
   std::vector<RegistrationMessage> batch;
   // A record costs >= 2 bytes, so a count claiming more than the remaining
   // bytes allow is corrupt; clamping keeps the reserve proportional to the
@@ -213,9 +245,11 @@ Result<std::vector<RegistrationMessage>> DecodeRegistrationBatch(
 }
 
 Result<std::string> EncodeReportBatch(
-    const std::vector<ReportMessage>& batch) {
+    const std::vector<ReportMessage>& batch, WireVersion version) {
   std::string out;
-  AppendBatchHeader(kKindReport, batch.size(), &out);
+  AppendBatchHeader(version == WireVersion::kV2 ? kKindReportV2
+                                                : kKindReport,
+                    batch.size(), &out);
   int64_t previous_id = 0;
   int64_t previous_time = 0;
   for (const ReportMessage& message : batch) {
@@ -232,11 +266,15 @@ Result<std::string> EncodeReportBatch(
     previous_id = message.client_id;
     previous_time = message.time;
   }
+  if (version == WireVersion::kV2) {
+    wire_internal::AppendChecksum(&out);
+  }
   return out;
 }
 
 Result<std::vector<ReportMessage>> DecodeReportBatch(std::string_view bytes) {
-  FR_ASSIGN_OR_RETURN(uint64_t count, ConsumeBatchHeader(kKindReport, &bytes));
+  FR_RETURN_NOT_OK(ConsumeTransportHeader(kKindReport, kKindReportV2, &bytes));
+  FR_ASSIGN_OR_RETURN(uint64_t count, GetVarint64(&bytes));
   std::vector<ReportMessage> batch;
   batch.reserve(static_cast<size_t>(
       std::min<uint64_t>(count, bytes.size() / 2 + 1)));

@@ -4,18 +4,36 @@
 // reports at dyadic boundaries. This module defines a compact, versioned,
 // validated binary encoding for batches of both message types:
 //
-//   [magic 'F','R','W'][version 1][kind][varint count][records...]
+//   [magic 'F','R','W'][version][kind][varint count][records...]
+//
+// Two container versions coexist on the wire:
+//
+//   v1 (kinds 1-2)  the original transport batches: no integrity trailer.
+//                   A bit flip that still decodes injects plausible records
+//                   silently; only decode failures are detectable.
+//   v2 (kinds 6-7)  the same record payload followed by an FNV-1a 64
+//                   trailer over every preceding byte (the snapshot
+//                   convention), so a receiver *detects* in-flight
+//                   corruption — every single-bit flip is rejected with
+//                   StatusCode::kDataLoss and the sender can retransmit
+//                   (NACK-style) instead of trusting an oracle.
 //
 // Records are delta-encoded: client ids and times are sorted-friendly
 // (consecutive ids/time steps cost one byte each), values pack into the
-// time varint's low bit. Decoding rejects wrong magic/version/kind,
-// truncated input, overlong varints and trailing bytes — malformed network
-// input must never reach the aggregation logic.
+// time varint's low bit. Decoding rejects wrong magic, a version/kind pair
+// the table below does not define, truncated input, overlong varints and
+// trailing bytes — malformed network input must never reach the
+// aggregation logic. Header-level failures (bad magic, unknown version or
+// kind) and checksum mismatches return kDataLoss: at an ingest boundary
+// they mean "garbled in flight", and the retry loop keys off that code.
 //
 // The same [magic][version][kind] header scheme frames the checkpoint
 // blobs of core/snapshot.h (kinds kServerState / kAggregatorState /
-// kAggregatorDelta), which additionally carry an FNV-1a trailer so bit rot
-// in persisted state is always rejected rather than silently restored.
+// kAggregatorDelta), which carry the same FNV-1a trailer so bit rot in
+// persisted state is always rejected rather than silently restored.
+//
+// Thread-safety: all functions here are pure (no shared state); encoding
+// and decoding may run concurrently from any number of threads.
 //
 // docs/FORMATS.md is the normative byte-layout specification for every
 // kind; scripts/check_format_spec.sh keeps the constants below and that
@@ -47,62 +65,98 @@ struct ReportMessage {
   int64_t client_id = 0;
   int64_t time = 0;     // 1-based period, a multiple of 2^level
   int8_t value = 1;     // -1 or +1
-
   friend bool operator==(const ReportMessage&, const ReportMessage&) = default;
 };
 
+/// The container version a batch is encoded with. Decoders accept both
+/// transparently (mixed fleets); encoders pick one:
+///   kV1 — compact, no integrity trailer (legacy senders).
+///   kV2 — +8 bytes per batch for an FNV-1a trailer; receivers detect
+///         every in-flight bit flip (kDataLoss) instead of ingesting
+///         poison records or relying on the simulator's oracle.
+enum class WireVersion { kV1 = 1, kV2 = 2 };
+
 /// The payloads the wire format carries. Registration and report batches
-/// are the transport messages; server and aggregator state are the
-/// checkpoint blobs of core/snapshot.h, sharing the same header scheme so
-/// one peek routes any FutureRand byte stream.
+/// are the transport messages (v1 unchecksummed, v2 checksummed); server
+/// and aggregator state are the checkpoint blobs of core/snapshot.h,
+/// sharing the same header scheme so one peek routes any FutureRand byte
+/// stream.
 enum class WireBatchKind {
-  kRegistration,
-  kReport,
+  kRegistration,     // v1 transport, no checksum
+  kReport,           // v1 transport, no checksum
   kServerState,      // one Server's accumulators (core/snapshot.h)
   kAggregatorState,  // all ShardedAggregator shards (core/snapshot.h)
   kAggregatorDelta,  // only the shards dirtied since the last checkpoint
+  kRegistrationV2,   // v2 transport, FNV-1a trailer
+  kReportV2,         // v2 transport, FNV-1a trailer
 };
 
 /// Validates the fixed header of an encoded batch and returns its kind
 /// without decoding any records. Lets an ingestion service route raw bytes
 /// (e.g. ShardedAggregator::IngestEncoded) with a single decode pass.
+/// Fails with kDataLoss on bad magic or a version/kind pair the format
+/// does not define (an in-flight header flip), kInvalidArgument on input
+/// shorter than a header.
 Result<WireBatchKind> PeekBatchKind(std::string_view bytes);
 
 /// Serializes a registration batch. Any ordering is accepted; batches
-/// sorted by client id encode smallest.
+/// sorted by client id encode smallest. kV2 appends the FNV-1a trailer.
 std::string EncodeRegistrationBatch(
-    const std::vector<RegistrationMessage>& batch);
+    const std::vector<RegistrationMessage>& batch,
+    WireVersion version = WireVersion::kV1);
 
-/// Parses a registration batch; rejects malformed input.
+/// Parses a registration batch, v1 or v2 (detected from the header);
+/// rejects malformed input. For v2 the trailer is verified before any
+/// record is decoded, so a corrupted batch fails atomically with
+/// kDataLoss — no prefix of it is ever visible to the caller.
 Result<std::vector<RegistrationMessage>> DecodeRegistrationBatch(
     std::string_view bytes);
 
-/// Serializes a report batch. Values must be -1 or +1 (checked).
+/// Serializes a report batch. Values must be -1 or +1 (checked). kV2
+/// appends the FNV-1a trailer.
 Result<std::string> EncodeReportBatch(
-    const std::vector<ReportMessage>& batch);
+    const std::vector<ReportMessage>& batch,
+    WireVersion version = WireVersion::kV1);
 
-/// Parses a report batch; rejects malformed input.
+/// Parses a report batch, v1 or v2 (detected from the header); rejects
+/// malformed input. Same v2 atomicity and kDataLoss contract as
+/// DecodeRegistrationBatch.
 Result<std::vector<ReportMessage>> DecodeReportBatch(std::string_view bytes);
 
 namespace wire_internal {
 
-/// The raw kind bytes of the FRW header, one per WireBatchKind. The
-/// assignments are normative (docs/FORMATS.md) — never renumber, only
-/// append.
-inline constexpr char kKindRegistration = 1;
-inline constexpr char kKindReport = 2;
-inline constexpr char kKindServerState = 3;
-inline constexpr char kKindAggregatorState = 4;
-inline constexpr char kKindAggregatorDelta = 5;
+/// The raw kind bytes of the FRW header, one per WireBatchKind, each
+/// annotated with the container version that frames it. The assignments
+/// are normative (docs/FORMATS.md) — never renumber, only append.
+inline constexpr char kKindRegistration = 1;    // FRW v1
+inline constexpr char kKindReport = 2;          // FRW v1
+inline constexpr char kKindServerState = 3;     // FRW v1
+inline constexpr char kKindAggregatorState = 4; // FRW v1
+inline constexpr char kKindAggregatorDelta = 5; // FRW v1
+inline constexpr char kKindRegistrationV2 = 6;  // FRW v2
+inline constexpr char kKindReportV2 = 7;        // FRW v2
+
+/// The container version bytes (docs/FORMATS.md §1). Each kind is framed
+/// by exactly one version; KindWireVersion is the mapping.
+inline constexpr char kWireVersion1 = 1;
+inline constexpr char kWireVersion2 = 2;
+
+/// The version byte that frames `kind` (every kind belongs to exactly one
+/// container version).
+constexpr char KindWireVersion(char kind) {
+  return kind >= kKindRegistrationV2 ? kWireVersion2 : kWireVersion1;
+}
 
 /// Bytes of the fixed header: magic 'F','R','W', version, kind.
 inline constexpr size_t kHeaderSize = 5;
 
-/// Appends the fixed header (magic, version, `kind`).
+/// Appends the fixed header (magic, KindWireVersion(kind), `kind`).
 void AppendHeader(char kind, std::string* out);
 
-/// Validates magic and version and returns the raw kind byte without
-/// consuming anything.
+/// Validates magic and the version/kind pairing and returns the raw kind
+/// byte without consuming anything. Bad magic or an undefined
+/// version/kind pair fails with kDataLoss (corruption at an ingest
+/// boundary); truncation below kHeaderSize with kInvalidArgument.
 Result<char> CheckHeader(std::string_view bytes);
 
 /// Validates the header against `expected_kind` and strips it from `bytes`.
@@ -125,7 +179,8 @@ Result<uint64_t> GetVarint64(std::string_view* bytes);
 uint64_t ZigZagEncode(int64_t value);
 int64_t ZigZagDecode(uint64_t value);
 
-/// FNV-1a 64-bit hash, the integrity checksum of the snapshot blobs.
+/// FNV-1a 64-bit hash, the integrity checksum of the snapshot blobs and
+/// the v2 transport batches.
 uint64_t Fnv1a64(std::string_view bytes);
 
 /// Appends Fnv1a64 of everything currently in `*out` as 8 little-endian
@@ -133,8 +188,9 @@ uint64_t Fnv1a64(std::string_view bytes);
 void AppendChecksum(std::string* out);
 
 /// Verifies that `*bytes` ends with the Fnv1a64 checksum of its preceding
-/// bytes; on success trims the 8 checksum bytes off the view. Call with the
-/// whole blob before decoding any payload.
+/// bytes; on success trims the 8 checksum bytes off the view. Call with
+/// the whole blob before decoding any payload. A mismatch fails with
+/// kDataLoss — the caller-facing "retransmit me" verdict.
 Status ConsumeChecksum(std::string_view* bytes);
 
 }  // namespace wire_internal

@@ -1,5 +1,7 @@
 #include "futurerand/sim/channel.h"
 
+#include <algorithm>
+
 #include "futurerand/common/macros.h"
 
 namespace futurerand::sim {
@@ -12,8 +14,42 @@ bool IsProbability(double p) { return p >= 0.0 && p <= 1.0; }
 
 Status ChannelConfig::Validate() const {
   if (!IsProbability(drop_rate) || !IsProbability(duplicate_rate) ||
-      !IsProbability(reorder_rate) || !IsProbability(corrupt_rate)) {
+      !IsProbability(reorder_rate) || !IsProbability(corrupt_rate) ||
+      !IsProbability(burst_enter_rate) || !IsProbability(burst_exit_rate) ||
+      !IsProbability(burst_drop_rate) ||
+      !IsProbability(burst_corrupt_rate) ||
+      !IsProbability(outage_enter_rate) ||
+      !IsProbability(outage_exit_rate) || !IsProbability(delay_rate)) {
     return Status::InvalidArgument("channel rates must be in [0, 1]");
+  }
+  if (burst_enter_rate > 0.0 && burst_exit_rate <= 0.0) {
+    return Status::InvalidArgument(
+        "burst_enter_rate needs burst_exit_rate > 0: a burst the channel "
+        "can never leave is an outage, not a burst");
+  }
+  if ((burst_exit_rate > 0.0 || burst_drop_rate > 0.0 ||
+       burst_corrupt_rate > 0.0) &&
+      burst_enter_rate <= 0.0) {
+    return Status::InvalidArgument(
+        "burst_* rates take effect only in the bad state; set "
+        "burst_enter_rate > 0 to enable the Gilbert-Elliott layer");
+  }
+  if (outage_enter_rate > 0.0 && outage_exit_rate <= 0.0) {
+    return Status::InvalidArgument(
+        "outage_enter_rate needs outage_exit_rate > 0: a client that can "
+        "never recover would silently drop its whole tail");
+  }
+  if (outage_exit_rate > 0.0 && outage_enter_rate <= 0.0) {
+    return Status::InvalidArgument(
+        "outage_exit_rate without outage_enter_rate has no effect; unset "
+        "it or enable outages");
+  }
+  if (delay_rate > 0.0 && delay_ticks_max < 1) {
+    return Status::InvalidArgument(
+        "delay_rate needs delay_ticks_max >= 1");
+  }
+  if (delay_ticks_max < 0) {
+    return Status::InvalidArgument("delay_ticks_max must be >= 0");
   }
   return Status::OK();
 }
@@ -23,14 +59,77 @@ ChannelModel::ChannelModel(const ChannelConfig& config, uint64_t seed)
   FR_CHECK_MSG(config.Validate().ok(), "invalid ChannelConfig");
 }
 
+void ChannelModel::AdvanceBurstState() {
+  if (!config_.bursty()) {
+    return;  // no draw: legacy (config, seed) pairs replay unchanged
+  }
+  if (burst_bad_) {
+    if (rng_.NextBernoulli(config_.burst_exit_rate)) {
+      burst_bad_ = false;
+    }
+  } else if (rng_.NextBernoulli(config_.burst_enter_rate)) {
+    burst_bad_ = true;
+  }
+}
+
+void ChannelModel::ReleaseDueDelayed(core::ReportBatch* delivered) {
+  if (delayed_.empty()) {
+    return;
+  }
+  size_t kept = 0;
+  for (size_t i = 0; i < delayed_.size(); ++i) {
+    if (delayed_[i].first <= tick_) {
+      delivered->push_back(delayed_[i].second);
+    } else {
+      delayed_[kept++] = delayed_[i];
+    }
+  }
+  delayed_.resize(kept);
+}
+
 void ChannelModel::Transmit(const core::ReportBatch& sent,
                             core::ReportBatch* delivered) {
   delivered->clear();
+  ++tick_;
+  AdvanceBurstState();
   ++stats_.batches_sent;
+  if (burst_bad_) {
+    ++stats_.batches_in_burst;
+  }
   stats_.records_sent += static_cast<int64_t>(sent.size());
+  // Lagging records from earlier ticks land first — then reorder may
+  // shuffle them in with this tick's records, interleaving the two.
+  ReleaseDueDelayed(delivered);
+  const double drop_rate =
+      burst_bad_ ? config_.burst_drop_rate : config_.drop_rate;
   for (const core::ReportMessage& message : sent) {
-    if (config_.drop_rate > 0.0 && rng_.NextBernoulli(config_.drop_rate)) {
+    if (config_.outage_enter_rate > 0.0) {
+      bool& dark = client_dark_[message.client_id];
+      if (dark) {
+        if (rng_.NextBernoulli(config_.outage_exit_rate)) {
+          dark = false;
+        }
+      } else if (rng_.NextBernoulli(config_.outage_enter_rate)) {
+        dark = true;
+        ++stats_.client_outages;
+      }
+      if (dark) {
+        ++stats_.records_dropped;
+        ++stats_.records_outage_dropped;
+        continue;
+      }
+    }
+    if (drop_rate > 0.0 && rng_.NextBernoulli(drop_rate)) {
       ++stats_.records_dropped;
+      continue;
+    }
+    if (config_.delay_rate > 0.0 && rng_.NextBernoulli(config_.delay_rate)) {
+      const int64_t release =
+          tick_ + 1 +
+          static_cast<int64_t>(
+              rng_.NextInt(static_cast<uint64_t>(config_.delay_ticks_max)));
+      delayed_.emplace_back(release, message);
+      ++stats_.records_delayed;
       continue;
     }
     delivered->push_back(message);
@@ -54,8 +153,11 @@ void ChannelModel::Transmit(const core::ReportBatch& sent,
 }
 
 bool ChannelModel::MaybeCorrupt(std::string* bytes) {
-  if (bytes->empty() || config_.corrupt_rate <= 0.0 ||
-      !rng_.NextBernoulli(config_.corrupt_rate)) {
+  AdvanceBurstState();
+  const double corrupt_rate =
+      burst_bad_ ? config_.burst_corrupt_rate : config_.corrupt_rate;
+  if (bytes->empty() || corrupt_rate <= 0.0 ||
+      !rng_.NextBernoulli(corrupt_rate)) {
     return false;
   }
   const auto bit = rng_.NextInt(static_cast<uint64_t>(bytes->size()) * 8);
@@ -63,6 +165,15 @@ bool ChannelModel::MaybeCorrupt(std::string* bytes) {
       static_cast<char>(1u << (bit % 8));
   ++stats_.batches_corrupted;
   return true;
+}
+
+void ChannelModel::FlushDelayed(core::ReportBatch* delivered) {
+  delivered->clear();
+  for (const auto& [release, message] : delayed_) {
+    delivered->push_back(message);
+  }
+  delayed_.clear();
+  stats_.records_delivered += static_cast<int64_t>(delivered->size());
 }
 
 }  // namespace futurerand::sim

@@ -30,8 +30,11 @@ ErrorMetrics ComputeErrorMetrics(std::span<const double> estimates,
 /// counters stay zero.
 struct DeliveryMetrics {
   int64_t records_sent = 0;        // emitted by the fleet
-  int64_t records_dropped = 0;     // lost in the channel
+  int64_t records_dropped = 0;     // lost in the channel (all causes)
+  int64_t records_outage_dropped = 0;  // of records_dropped, lost while
+                                       // the client was in an outage
   int64_t records_duplicated = 0;  // delivered a second time by the channel
+  int64_t records_delayed = 0;     // held back, delivered a later tick
   int64_t records_delivered = 0;   // handed to the aggregator
   int64_t records_applied = 0;     // mutated aggregator state
   int64_t records_deduped = 0;     // absorbed as retransmissions
@@ -39,6 +42,11 @@ struct DeliveryMetrics {
   int64_t batches_sent = 0;
   int64_t batches_reordered = 0;   // shuffled in flight
   int64_t batches_corrupted = 0;   // bit-flipped in flight
+  int64_t batches_in_burst = 0;    // sent while the channel was in the
+                                   // Gilbert-Elliott bad state
+  int64_t client_outages = 0;      // per-client outages entered
+  int64_t batches_checksum_rejected = 0;  // receiver NACKs: ingests that
+                                          // failed with kDataLoss
   int64_t batches_retransmitted = 0;  // resent after a rejected delivery
   int64_t checkpoints_taken = 0;      // checkpoint/restore round-trips
   int64_t checkpoint_bytes = 0;       // total checkpoint blob size

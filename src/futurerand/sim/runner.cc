@@ -82,13 +82,25 @@ Result<RunResult> RunHierarchical(const core::ProtocolConfig& config,
                     Rng(seed).Fork(kChannelStreamId).NextUint64());
   }
 
+  RunResult result;
+
+  // Ships one delivered batch over the real wire encoding through the
+  // shared NACK retransmission loop (DeliverEncodedWithRetransmission).
+  auto deliver = [&](const core::ReportBatch& delivered) -> Status {
+    FR_ASSIGN_OR_RETURN(
+        const std::string pristine,
+        core::EncodeReportBatch(delivered, faults.wire_version));
+    return DeliverEncodedWithRetransmission(
+        aggregator, pristine, &*channel, faults.wire_version,
+        faults.retransmit_budget, pool, &result.delivery);
+  };
+
   // The workload stores per-user change times; play them as a sequence of
   // state vectors, one tick at a time.
   std::vector<int8_t> states(static_cast<size_t>(n), 0);
   std::vector<size_t> next_change(static_cast<size_t>(n), 0);
   core::ReportBatch batch;
   core::ReportBatch delivered;
-  RunResult result;
   int64_t reports = 0;
   // The durable checkpoint chain a crashed collector would replay: the
   // last full (compaction) blob plus every delta taken since.
@@ -115,45 +127,14 @@ Result<RunResult> RunHierarchical(const core::ProtocolConfig& config,
     FR_RETURN_NOT_OK(fleet.AdvanceTick(states, &batch));
     reports += static_cast<int64_t>(batch.size());
 
-    core::IngestOutcome outcome;
     if (channel.has_value()) {
       // Faulty transport: records pass the channel, then the batch rides
-      // the real wire encoding so in-flight corruption hits actual bytes.
+      // the real wire encoding so in-flight corruption hits actual bytes
+      // and the receiver's checksum verdict drives the retry.
       channel->Transmit(batch, &delivered);
-      FR_ASSIGN_OR_RETURN(const std::string pristine,
-                          core::EncodeReportBatch(delivered));
-      bool corrupted = false;
-      Status ingested;
-      if (channel->config().corrupt_rate > 0.0) {
-        // Corruption mutates a copy so the pristine bytes stay available
-        // for the retransmit below; skip the copy when no fault can occur.
-        std::string bytes = pristine;
-        corrupted = channel->MaybeCorrupt(&bytes);
-        ingested = aggregator.IngestEncoded(bytes, pool, &outcome);
-      } else {
-        ingested = aggregator.IngestEncoded(pristine, pool, &outcome);
-      }
-      result.delivery.records_applied += outcome.applied;
-      result.delivery.records_deduped += outcome.deduped;
-      result.delivery.records_out_of_window += outcome.out_of_window;
-      if (!ingested.ok()) {
-        if (!corrupted) {
-          return ingested;
-        }
-        // At-least-once transport: the sender retransmits after the
-        // rejected delivery. corrupt_rate requires kIdempotent, so
-        // anything applied before the error is absorbed as a duplicate on
-        // the resend and decode-level corruption recovers completely. A
-        // flip the v1 report format cannot detect (it carries no
-        // checksum) may still decode to plausible records and perturb the
-        // sums — measured, not hidden (see ROADMAP: checksummed batches).
-        FR_RETURN_NOT_OK(aggregator.IngestEncoded(pristine, pool, &outcome));
-        result.delivery.records_applied += outcome.applied;
-        result.delivery.records_deduped += outcome.deduped;
-        result.delivery.records_out_of_window += outcome.out_of_window;
-        ++result.delivery.batches_retransmitted;
-      }
+      FR_RETURN_NOT_OK(deliver(delivered));
     } else {
+      core::IngestOutcome outcome;
       FR_RETURN_NOT_OK(aggregator.IngestReports(batch, pool, &outcome));
       result.delivery.records_applied += outcome.applied;
       result.delivery.records_deduped += outcome.deduped;
@@ -206,15 +187,30 @@ Result<RunResult> RunHierarchical(const core::ProtocolConfig& config,
     }
   }
 
+  if (channel.has_value() && faults.channel.delay_rate > 0.0) {
+    // Records still lagging in the channel after the final tick: deliver
+    // them now (late, out of order — kIdempotent absorbs the skew) so
+    // latency never silently loses mass.
+    channel->FlushDelayed(&delivered);
+    if (!delivered.empty()) {
+      FR_RETURN_NOT_OK(deliver(delivered));
+    }
+  }
+
   if (channel.has_value()) {
     const DeliveryMetrics& channel_stats = channel->stats();
     result.delivery.records_sent = channel_stats.records_sent;
     result.delivery.records_dropped = channel_stats.records_dropped;
+    result.delivery.records_outage_dropped =
+        channel_stats.records_outage_dropped;
     result.delivery.records_duplicated = channel_stats.records_duplicated;
+    result.delivery.records_delayed = channel_stats.records_delayed;
     result.delivery.records_delivered = channel_stats.records_delivered;
     result.delivery.batches_sent = channel_stats.batches_sent;
     result.delivery.batches_reordered = channel_stats.batches_reordered;
     result.delivery.batches_corrupted = channel_stats.batches_corrupted;
+    result.delivery.batches_in_burst = channel_stats.batches_in_burst;
+    result.delivery.client_outages = channel_stats.client_outages;
   } else {
     result.delivery.records_sent = reports;
     result.delivery.records_delivered = reports;
@@ -415,6 +411,62 @@ Result<RunResult> RunNonPrivate(const core::ProtocolConfig& config,
 
 }  // namespace
 
+// The retry trigger is the receiver's own verdict (NACK-style): under kV2
+// every in-flight garble — checksum or header — fails with kDataLoss and
+// nothing of the batch is applied, so a resend under any DedupPolicy is
+// exact. Under kV1 the receiver cannot reliably tell corruption from a
+// malformed batch, so the legacy oracle (the channel's corruption flag)
+// gates the retry instead, and a flip that still decodes poisons the
+// estimate — the measured gap kV2 closes. Every attempt re-traverses the
+// channel: a Gilbert-Elliott burst can reject attempts in a row.
+Status DeliverEncodedWithRetransmission(core::ShardedAggregator& aggregator,
+                                        const std::string& pristine,
+                                        ChannelModel* channel,
+                                        core::WireVersion wire_version,
+                                        int64_t retransmit_budget,
+                                        ThreadPool* pool,
+                                        DeliveryMetrics* delivery) {
+  const bool can_corrupt =
+      channel != nullptr && channel->config().can_corrupt();
+  for (int64_t attempt = 1;; ++attempt) {
+    core::IngestOutcome outcome;
+    Status ingested;
+    bool oracle_corrupted = false;
+    if (can_corrupt) {
+      // Corruption mutates a copy so the pristine bytes stay available
+      // for a retransmission; skip the copy when no fault can occur.
+      std::string bytes = pristine;
+      oracle_corrupted = channel->MaybeCorrupt(&bytes);
+      ingested = aggregator.IngestEncoded(bytes, pool, &outcome);
+    } else {
+      ingested = aggregator.IngestEncoded(pristine, pool, &outcome);
+    }
+    delivery->records_applied += outcome.applied;
+    delivery->records_deduped += outcome.deduped;
+    delivery->records_out_of_window += outcome.out_of_window;
+    if (ingested.ok()) {
+      return Status::OK();
+    }
+    if (ingested.code() == StatusCode::kDataLoss) {
+      ++delivery->batches_checksum_rejected;
+    }
+    const bool nack = wire_version == core::WireVersion::kV2
+                          ? ingested.code() == StatusCode::kDataLoss
+                          : oracle_corrupted;
+    if (!nack) {
+      return ingested;
+    }
+    if (attempt >= retransmit_budget) {
+      return Status::DataLoss(
+          "retransmit budget exhausted: " +
+          std::to_string(retransmit_budget) +
+          " consecutive deliveries of one batch were rejected as corrupt "
+          "(raise the retransmit budget or shorten the burst)");
+    }
+    ++delivery->batches_retransmitted;
+  }
+}
+
 Status FaultOptions::Validate() const {
   FR_RETURN_NOT_OK(channel.Validate());
   FR_RETURN_NOT_OK(dedup_window.Validate(dedup));
@@ -427,10 +479,26 @@ Status FaultOptions::Validate() const {
     // as ignored under kFull).
     return Status::InvalidArgument("checkpoint_compact_every must be >= 1");
   }
-  if ((channel.duplicate_rate > 0.0 || channel.corrupt_rate > 0.0) &&
+  if (retransmit_budget < 1) {
+    return Status::InvalidArgument("retransmit_budget must be >= 1");
+  }
+  if ((channel.duplicate_rate > 0.0 || channel.delay_rate > 0.0) &&
       dedup != core::DedupPolicy::kIdempotent) {
     return Status::InvalidArgument(
-        "duplicate/corrupt faults require DedupPolicy::kIdempotent");
+        "duplicate/delay faults require DedupPolicy::kIdempotent (both "
+        "deliver a client's reports out of order or more than once)");
+  }
+  if (channel.can_corrupt() && wire_version == core::WireVersion::kV1 &&
+      dedup != core::DedupPolicy::kIdempotent) {
+    // Under kV1 a corrupted batch can decode partially valid records and
+    // apply a prefix before erroring, so the retransmission of the whole
+    // batch double-delivers that prefix; kV2's checksum rejects the batch
+    // before any record is decoded, which makes retransmission exact even
+    // under kStrict.
+    return Status::InvalidArgument(
+        "corrupt faults on v1 wire batches require "
+        "DedupPolicy::kIdempotent; use wire_version kV2 for "
+        "detection-driven retransmission under kStrict");
   }
   return Status::OK();
 }

@@ -68,6 +68,20 @@ Result<ProtocolKind> ParseProtocolKind(const std::string& name);
 /// support non-default options — the baselines bypass the batch transport.
 struct FaultOptions {
   ChannelConfig channel;
+  /// Wire framing of the report batches the fleet ships through the
+  /// channel. kV2 (default) carries an FNV-1a trailer, so the aggregator
+  /// itself detects in-flight corruption (kDataLoss) and the retransmit
+  /// loop runs off that verdict — NACK-style, no oracle. kV1 emulates a
+  /// legacy sender in a mixed fleet: payload corruption is undetectable
+  /// in general, so the retry falls back to the channel's oracle flag for
+  /// decode failures and a flip that still decodes lands in the estimate
+  /// (measured, not hidden).
+  core::WireVersion wire_version = core::WireVersion::kV2;
+  /// Max delivery attempts per batch before the run fails with kDataLoss
+  /// (>= 1). Every attempt re-traverses the channel, so a Gilbert-Elliott
+  /// burst can reject several attempts in a row; size the budget against
+  /// the expected burst length (see docs/ARCHITECTURE.md "Operations").
+  int64_t retransmit_budget = 32;
   core::DedupPolicy dedup = core::DedupPolicy::kStrict;
   /// Bounds the aggregator's per-client dedup memory (kIdempotent only);
   /// see core::DedupWindowPolicy. Reports older than a client's evicted
@@ -93,12 +107,34 @@ struct FaultOptions {
            dedup_window.bounded() || checkpoint_every > 0;
   }
 
-  /// Checks rates and cross-option consistency: duplicate or corrupt
-  /// faults require kIdempotent (under kStrict a duplicate is an ingest
-  /// error, and the post-corruption retransmit path double-delivers), and
-  /// a bounded dedup window requires kIdempotent too.
+  /// Checks rates and cross-option consistency: duplicate faults require
+  /// kIdempotent (under kStrict a duplicate is an ingest error), as do
+  /// delayed records (they arrive out of order per client) and a bounded
+  /// dedup window. Corrupt faults (steady or burst) require kIdempotent
+  /// only under kV1, where a poisoned batch can partially apply before
+  /// the error and the retransmission double-delivers; under kV2 the
+  /// checksum rejects a corrupted batch atomically before any record is
+  /// decoded, so retransmission is safe even under kStrict.
   Status Validate() const;
 };
+
+/// Ships one encoded batch into `aggregator` with detection-driven
+/// (NACK-style) retransmission — the single copy of the delivery policy
+/// shared by RunProtocol and bench_throughput. Each attempt re-traverses
+/// `channel` (nullable = no corruption possible): under kV2 an attempt
+/// rejected with kDataLoss is retransmitted, under kV1 the channel's
+/// oracle flag gates the retry instead (payload corruption is
+/// undetectable there). Gives up after `retransmit_budget` attempts with
+/// kDataLoss. `delivery` (required) accumulates the applied/deduped/
+/// out-of-window record counts and the checksum-NACK/retransmission
+/// batch counters.
+Status DeliverEncodedWithRetransmission(core::ShardedAggregator& aggregator,
+                                        const std::string& pristine,
+                                        ChannelModel* channel,
+                                        core::WireVersion wire_version,
+                                        int64_t retransmit_budget,
+                                        ThreadPool* pool,
+                                        DeliveryMetrics* delivery);
 
 /// The outcome of one protocol run on one workload.
 struct RunResult {

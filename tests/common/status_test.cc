@@ -44,6 +44,17 @@ TEST(StatusTest, AllCodesHaveDistinctNames) {
   EXPECT_STREQ(StatusCodeToString(StatusCode::kNotFound), "NotFound");
   EXPECT_STREQ(StatusCodeToString(StatusCode::kIoError), "IoError");
   EXPECT_STREQ(StatusCodeToString(StatusCode::kInternal), "Internal");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kDataLoss), "DataLoss");
+}
+
+TEST(StatusTest, DataLossIsDistinctFromInvalidArgument) {
+  // Receivers branch on this distinction: kDataLoss means "garbled in
+  // flight, retransmit", kInvalidArgument means "well-formed but wrong".
+  const Status corrupt = Status::DataLoss("checksum mismatch");
+  EXPECT_FALSE(corrupt.ok());
+  EXPECT_EQ(corrupt.code(), StatusCode::kDataLoss);
+  EXPECT_NE(corrupt.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(corrupt.ToString(), "DataLoss: checksum mismatch");
 }
 
 TEST(StatusTest, EqualityComparesCodeAndMessage) {

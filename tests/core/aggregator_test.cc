@@ -258,5 +258,60 @@ TEST(AggregatorTest, PeekBatchKindDistinguishesPayloads) {
   EXPECT_FALSE(PeekBatchKind("FR").ok());
 }
 
+TEST(AggregatorTest, MixedWireVersionsIngestIdentically) {
+  // A mid-migration fleet: some senders still frame v1, others v2. The
+  // aggregator routes both off the header and the result is bit-identical
+  // to a single-version fleet.
+  const Traffic traffic = GenerateTraffic(45);
+  const Server reference = ReferenceServer(traffic);
+  ShardedAggregator aggregator =
+      ShardedAggregator::ForProtocol(TestConfig(), 3).ValueOrDie();
+  ASSERT_TRUE(aggregator
+                  .IngestEncoded(EncodeRegistrationBatch(
+                      traffic.registrations, WireVersion::kV2))
+                  .ok());
+  for (size_t b = 0; b < traffic.batches.size(); ++b) {
+    const WireVersion version =
+        b % 2 == 0 ? WireVersion::kV1 : WireVersion::kV2;
+    ASSERT_TRUE(
+        aggregator
+            .IngestEncoded(
+                EncodeReportBatch(traffic.batches[b], version).ValueOrDie())
+            .ok());
+  }
+  ExpectMatchesReference(aggregator, reference);
+}
+
+TEST(AggregatorTest, CorruptedV2IngestIsDataLossAndAppliesNothing) {
+  // The distinct checksum-mismatch outcome: a flipped v2 batch NACKs with
+  // kDataLoss, no record of it reaches any shard, and the pristine resend
+  // then applies cleanly — even under the default kStrict policy.
+  ShardedAggregator aggregator =
+      ShardedAggregator::ForProtocol(TestConfig(), 2).ValueOrDie();
+  const std::string registrations = EncodeRegistrationBatch(
+      {RegistrationMessage{0, 0}, RegistrationMessage{1, 1}},
+      WireVersion::kV2);
+  ASSERT_TRUE(aggregator.IngestEncoded(registrations).ok());
+  const std::string reports =
+      EncodeReportBatch({ReportMessage{0, 1, 1}, ReportMessage{1, 2, -1}},
+                        WireVersion::kV2)
+          .ValueOrDie();
+  for (size_t byte = 0; byte < reports.size(); ++byte) {
+    std::string corrupted = reports;
+    corrupted[byte] ^= 0x10;
+    IngestOutcome outcome;
+    const Status status = aggregator.IngestEncoded(corrupted, nullptr,
+                                                   &outcome);
+    ASSERT_FALSE(status.ok()) << "byte " << byte;
+    EXPECT_EQ(status.code(), StatusCode::kDataLoss) << "byte " << byte;
+    EXPECT_EQ(outcome.applied, 0);
+  }
+  // Under kStrict a partial apply would make this resend an error; its
+  // success proves the rejected deliveries left no trace.
+  IngestOutcome outcome;
+  ASSERT_TRUE(aggregator.IngestEncoded(reports, nullptr, &outcome).ok());
+  EXPECT_EQ(outcome.applied, 2);
+}
+
 }  // namespace
 }  // namespace futurerand::core

@@ -201,6 +201,35 @@ TEST(FleetTest, ValidatesInputsBeforeMutatingAnything) {
   EXPECT_FALSE(fleet.AdvanceTick(good, &batch).ok());
 }
 
+TEST(FleetTest, EncodedConveniencesMatchSeparateCalls) {
+  const ProtocolConfig config =
+      TestConfig(rand::RandomizerKind::kFutureRand, /*d=*/16, /*k=*/2);
+  ClientFleet fleet = ClientFleet::Create(config, 12, 7).ValueOrDie();
+  ClientFleet reference = ClientFleet::Create(config, 12, 7).ValueOrDie();
+  EXPECT_EQ(fleet.wire_version(), WireVersion::kV2);  // detection default
+  EXPECT_EQ(fleet.EncodeRegistrations(),
+            EncodeRegistrationBatch(reference.registrations(),
+                                    WireVersion::kV2));
+  fleet.set_wire_version(WireVersion::kV1);
+  EXPECT_EQ(fleet.EncodeRegistrations(),
+            EncodeRegistrationBatch(reference.registrations(),
+                                    WireVersion::kV1));
+  fleet.set_wire_version(WireVersion::kV2);
+  std::vector<int8_t> states(12, 0);
+  for (int64_t t = 1; t <= 4; ++t) {
+    for (int64_t u = 0; u < 12; ++u) {
+      states[static_cast<size_t>(u)] = PatternState(u, t, 16);
+    }
+    const auto encoded = fleet.AdvanceTickEncoded(states);
+    ASSERT_TRUE(encoded.ok());
+    const auto batch = reference.AdvanceTick(states);
+    ASSERT_TRUE(batch.ok());
+    EXPECT_EQ(*encoded, *EncodeReportBatch(*batch, WireVersion::kV2));
+    EXPECT_EQ(*DecodeReportBatch(*encoded), *batch);
+  }
+  EXPECT_EQ(fleet.current_time(), 4);
+}
+
 TEST(FleetTest, EmptyFleetIsValid) {
   const ProtocolConfig config =
       TestConfig(rand::RandomizerKind::kFutureRand, 8, 1);

@@ -293,6 +293,39 @@ TEST(AggregatorCheckpointTest, CorruptedCheckpointNeverRestores) {
   }
 }
 
+TEST(AggregatorCheckpointTest, RestoreRejectsForgedChainAnchor) {
+  // EncodeAggregatorState is public, so a tool could frame shard state
+  // with a guessed epoch; if Restore adopted it, a delta taken against a
+  // DIFFERENT base sharing that epoch could chain onto this state.
+  // Restore must therefore re-derive the fingerprint and refuse a
+  // mismatch, while accepting epoch 0 ("no chain anchor") and every blob
+  // Checkpoint() itself stamped.
+  ShardedAggregator aggregator =
+      ShardedAggregator::ForProtocol(TestConfig(), 2).ValueOrDie();
+  ASSERT_TRUE(aggregator
+                  .IngestRegistrations(std::vector<RegistrationMessage>{
+                      {0, 0}, {1, 1}, {2, 0}})
+                  .ok());
+  const std::string genuine = aggregator.Checkpoint().ValueOrDie();
+  const AggregatorStateBlob blob =
+      DecodeAggregatorState(genuine).ValueOrDie();
+  ASSERT_NE(blob.epoch, 0u);
+
+  ShardedAggregator target =
+      ShardedAggregator::ForProtocol(TestConfig(), 2).ValueOrDie();
+  EXPECT_TRUE(target.Restore(genuine).ok());  // Checkpoint's own stamp
+  EXPECT_TRUE(
+      target.Restore(EncodeAggregatorState(blob.shards, /*epoch=*/0)).ok());
+  const Status forged =
+      target.Restore(EncodeAggregatorState(blob.shards, blob.epoch + 1));
+  EXPECT_FALSE(forged.ok());
+  EXPECT_EQ(forged.code(), StatusCode::kInvalidArgument);
+  // An anchorless restore accepts no deltas until the next full.
+  ASSERT_TRUE(
+      target.Restore(EncodeAggregatorState(blob.shards, /*epoch=*/0)).ok());
+  EXPECT_FALSE(target.Checkpoint(CheckpointMode::kDelta).ok());
+}
+
 TEST(AggregatorCheckpointTest, IngestEncodedRejectsSnapshotBlobs) {
   ShardedAggregator aggregator =
       ShardedAggregator::ForProtocol(TestConfig(), 1).ValueOrDie();

@@ -180,6 +180,126 @@ TEST(WireValidationTest, RejectsImplausibleLevel) {
   EXPECT_FALSE(DecodeRegistrationBatch(bytes).ok());
 }
 
+TEST(WireV2Test, RoundTripsBothMessageTypes) {
+  const std::vector<RegistrationMessage> registrations = {
+      {0, 3}, {1, 0}, {2, 7}, {100, 2}};
+  const auto decoded_registrations = DecodeRegistrationBatch(
+      EncodeRegistrationBatch(registrations, WireVersion::kV2));
+  ASSERT_TRUE(decoded_registrations.ok());
+  EXPECT_EQ(*decoded_registrations, registrations);
+
+  const std::vector<ReportMessage> reports = {
+      {0, 4, 1}, {0, 8, -1}, {1, 2, 1}, {7, 1024, -1}};
+  const auto bytes = EncodeReportBatch(reports, WireVersion::kV2);
+  ASSERT_TRUE(bytes.ok());
+  const auto decoded_reports = DecodeReportBatch(*bytes);
+  ASSERT_TRUE(decoded_reports.ok());
+  EXPECT_EQ(*decoded_reports, reports);
+}
+
+TEST(WireV2Test, CostsExactlyEightBytesOverV1) {
+  // Same records, same delta encoding: the trailer is the whole price.
+  const std::vector<ReportMessage> batch = {{1, 2, 1}, {3, 4, -1}};
+  const auto v1 = EncodeReportBatch(batch, WireVersion::kV1);
+  const auto v2 = EncodeReportBatch(batch, WireVersion::kV2);
+  ASSERT_TRUE(v1.ok());
+  ASSERT_TRUE(v2.ok());
+  EXPECT_EQ(v2->size(), v1->size() + 8);
+  EXPECT_EQ(EncodeRegistrationBatch({{1, 2}}, WireVersion::kV2).size(),
+            EncodeRegistrationBatch({{1, 2}}, WireVersion::kV1).size() + 8);
+}
+
+TEST(WireV2Test, PeekDistinguishesVersions) {
+  const auto v1 = EncodeReportBatch({{1, 2, 1}}, WireVersion::kV1);
+  const auto v2 = EncodeReportBatch({{1, 2, 1}}, WireVersion::kV2);
+  ASSERT_TRUE(v1.ok());
+  ASSERT_TRUE(v2.ok());
+  EXPECT_EQ(*PeekBatchKind(*v1), WireBatchKind::kReport);
+  EXPECT_EQ(*PeekBatchKind(*v2), WireBatchKind::kReportV2);
+  EXPECT_EQ(*PeekBatchKind(EncodeRegistrationBatch({{1, 2}},
+                                                   WireVersion::kV2)),
+            WireBatchKind::kRegistrationV2);
+}
+
+// What a receiving service does with raw bytes: route on the header like
+// ShardedAggregator::IngestEncoded, then run the matching decoder. The
+// status of that pipeline is the verdict a sender's retry loop sees.
+Status ReceiverVerdict(const std::string& bytes) {
+  const auto kind = PeekBatchKind(bytes);
+  if (!kind.ok()) {
+    return kind.status();
+  }
+  switch (*kind) {
+    case WireBatchKind::kRegistration:
+    case WireBatchKind::kRegistrationV2:
+      return DecodeRegistrationBatch(bytes).status();
+    case WireBatchKind::kReport:
+    case WireBatchKind::kReportV2:
+      return DecodeReportBatch(bytes).status();
+    default:
+      return Status::InvalidArgument("not a transport batch");
+  }
+}
+
+TEST(WireV2Test, EveryBitFlipIsRejectedAsDataLoss) {
+  // The v2 contract the retransmission loop is built on: any single-bit
+  // flip — header, count, records, or trailer — fails with kDataLoss
+  // specifically, so the receiver's verdict alone distinguishes "resend"
+  // from "well-formed but wrong". A flip in the kind byte may reroute to
+  // the sibling decoder, whose checksum (covering the header) then fails.
+  const auto reports = EncodeReportBatch(
+      {{0, 4, 1}, {0, 8, -1}, {5, 2, 1}, {9, 64, -1}}, WireVersion::kV2);
+  ASSERT_TRUE(reports.ok());
+  const std::string registrations =
+      EncodeRegistrationBatch({{0, 3}, {7, 1}, {50, 0}}, WireVersion::kV2);
+  for (const std::string* payload : {&*reports, &registrations}) {
+    ASSERT_TRUE(ReceiverVerdict(*payload).ok());
+    for (size_t byte = 0; byte < payload->size(); ++byte) {
+      for (int bit = 0; bit < 8; ++bit) {
+        std::string corrupted = *payload;
+        corrupted[byte] ^= static_cast<char>(1 << bit);
+        const Status verdict = ReceiverVerdict(corrupted);
+        EXPECT_EQ(verdict.code(), StatusCode::kDataLoss)
+            << "byte " << byte << " bit " << bit << ": "
+            << verdict.ToString();
+      }
+    }
+  }
+}
+
+TEST(WireV2Test, RejectsVersionKindMismatch) {
+  // A v2 kind under a v1 version byte (and vice versa) is an undefined
+  // pairing: kDataLoss, even if the checksum would have matched.
+  auto bytes = EncodeReportBatch({{1, 2, 1}}, WireVersion::kV2);
+  ASSERT_TRUE(bytes.ok());
+  std::string forged = *bytes;
+  forged[3] = 1;  // claim v1 framing of a v2 kind
+  EXPECT_EQ(DecodeReportBatch(forged).status().code(),
+            StatusCode::kDataLoss);
+  std::string v1 = *EncodeReportBatch({{1, 2, 1}}, WireVersion::kV1);
+  v1[3] = 2;  // claim v2 framing of a v1 kind
+  EXPECT_EQ(DecodeReportBatch(v1).status().code(), StatusCode::kDataLoss);
+}
+
+TEST(WireV2Test, RejectsTruncationAtEveryOffset) {
+  const auto bytes =
+      EncodeReportBatch({{1, 2, 1}, {1, 4, -1}}, WireVersion::kV2);
+  ASSERT_TRUE(bytes.ok());
+  for (size_t cut = 0; cut < bytes->size(); ++cut) {
+    EXPECT_FALSE(DecodeReportBatch(bytes->substr(0, cut)).ok())
+        << "cut=" << cut;
+  }
+}
+
+TEST(WireV2Test, RejectsTrailingBytes) {
+  auto bytes = EncodeReportBatch({{1, 2, 1}}, WireVersion::kV2);
+  ASSERT_TRUE(bytes.ok());
+  *bytes += '\x00';
+  // The appended byte shifts the trailer window, so this reads as a
+  // checksum failure — still a rejection, as required.
+  EXPECT_FALSE(DecodeReportBatch(*bytes).ok());
+}
+
 TEST(WireValidationTest, RejectsNonPositiveDecodedTime) {
   // Craft a batch whose first time delta decodes to 0.
   std::string bytes;

@@ -3,10 +3,11 @@
 // checkpoints, delta checkpoints), mutate them — truncation at every byte offset, single-bit flips at every
 // bit position, overlong varints, random multi-byte garbage — and assert
 // the decoders never crash, never loop, and never silently accept what the
-// format can detect. Snapshot blobs carry a checksum, so for them
-// "detectable" means every mutation; batch payloads have no checksum, so a
-// payload-varint flip may legitimately decode to a different well-formed
-// batch — in that case the batch must re-encode/decode cleanly.
+// format can detect. Snapshot blobs and v2 transport batches carry a
+// checksum, so for them "detectable" means every mutation; v1 batch
+// payloads have no checksum, so a payload-varint flip may legitimately
+// decode to a different well-formed batch — in that case the batch must
+// re-encode/decode cleanly.
 //
 // Seeded and FR_FUZZ_ROUNDS-scaled like tests/integration/fuzz_test.cc:
 //   FR_FUZZ_ROUNDS=5000 ctest -R wire_fuzz_test
@@ -33,6 +34,8 @@ using testsupport::FuzzSeeds;
 struct ValidPayloads {
   std::string registrations;
   std::string reports;
+  std::string registrations_v2;
+  std::string reports_v2;
   std::string server_state;
   std::string aggregator_state;
   std::string aggregator_delta;
@@ -67,6 +70,10 @@ ValidPayloads MakePayloads(uint64_t seed) {
   ValidPayloads payloads;
   payloads.registrations = EncodeRegistrationBatch(registrations);
   payloads.reports = EncodeReportBatch(reports).ValueOrDie();
+  payloads.registrations_v2 =
+      EncodeRegistrationBatch(registrations, WireVersion::kV2);
+  payloads.reports_v2 =
+      EncodeReportBatch(reports, WireVersion::kV2).ValueOrDie();
   payloads.server_state = EncodeServerState(server);
   payloads.aggregator_state = EncodeAggregatorState(
       {payloads.server_state, payloads.server_state}, /*epoch=*/1);
@@ -95,8 +102,10 @@ class WireAdversaryTest : public ::testing::TestWithParam<uint64_t> {};
 TEST_P(WireAdversaryTest, TruncationAtEveryOffsetIsRejected) {
   const ValidPayloads payloads = MakePayloads(GetParam());
   for (const std::string* payload :
-       {&payloads.registrations, &payloads.reports, &payloads.server_state,
-        &payloads.aggregator_state, &payloads.aggregator_delta}) {
+       {&payloads.registrations, &payloads.reports,
+        &payloads.registrations_v2, &payloads.reports_v2,
+        &payloads.server_state, &payloads.aggregator_state,
+        &payloads.aggregator_delta}) {
     for (size_t length = 0; length < payload->size(); ++length) {
       const std::string prefix = payload->substr(0, length);
       DecodeEverything(prefix);
@@ -176,6 +185,29 @@ TEST_P(WireAdversaryTest, EveryBitFlippedDeltaIsRejected) {
   }
 }
 
+TEST_P(WireAdversaryTest, EveryBitFlippedV2BatchIsRejected) {
+  // v2 transport batches carry the same FNV-1a trailer as snapshots, so
+  // the same exhaustive guarantee applies: every single-bit flip at every
+  // byte — header, count, records, trailer — must be rejected by every
+  // decoder. (A kind-byte flip may turn one v2 kind into the other; the
+  // checksum covers the header, so the rerouted decode still fails.)
+  const ValidPayloads payloads = MakePayloads(GetParam());
+  for (const std::string* payload :
+       {&payloads.registrations_v2, &payloads.reports_v2}) {
+    for (size_t byte = 0; byte < payload->size(); ++byte) {
+      for (int bit = 0; bit < 8; ++bit) {
+        std::string corrupted = *payload;
+        corrupted[byte] ^= static_cast<char>(1 << bit);
+        DecodeEverything(corrupted);
+        EXPECT_FALSE(DecodeRegistrationBatch(corrupted).ok())
+            << "byte " << byte << " bit " << bit;
+        EXPECT_FALSE(DecodeReportBatch(corrupted).ok())
+            << "byte " << byte << " bit " << bit;
+      }
+    }
+  }
+}
+
 TEST_P(WireAdversaryTest, OverlongVarintsAreRejected) {
   // Replace the count varint with an 11-byte (overlong) encoding; also try
   // a 10-byte maximal varint as a count, which must be rejected as
@@ -211,11 +243,13 @@ TEST_P(WireAdversaryTest, RandomMutationsNeverCrashTheDecoders) {
   Rng rng(GetParam() * 6364136223846793005ULL + 1442695040888963407ULL);
   const int64_t rounds = FuzzRounds(300);
   const std::string* sources[] = {&payloads.registrations, &payloads.reports,
+                                  &payloads.registrations_v2,
+                                  &payloads.reports_v2,
                                   &payloads.server_state,
                                   &payloads.aggregator_state,
                                   &payloads.aggregator_delta};
   for (int64_t round = 0; round < rounds; ++round) {
-    std::string mutated = *sources[rng.NextInt(5)];
+    std::string mutated = *sources[rng.NextInt(7)];
     const uint64_t mutations = 1 + rng.NextInt(8);
     for (uint64_t m = 0; m < mutations; ++m) {
       switch (rng.NextInt(4)) {
@@ -237,7 +271,18 @@ TEST_P(WireAdversaryTest, RandomMutationsNeverCrashTheDecoders) {
       }
     }
     DecodeEverything(mutated);
-    // Snapshots must reject any mutation (their checksum sees everything).
+    // Checksummed payloads (snapshots and v2 batches) must reject any
+    // mutation — their trailer sees everything. For v2 batches the
+    // property is header-scoped: any bytes claiming v2 framing that are
+    // not one of the two pristine payloads must fail both decoders.
+    if (mutated.size() >= 5 && mutated[3] == 2 &&
+        mutated != payloads.registrations_v2 &&
+        mutated != payloads.reports_v2) {
+      EXPECT_FALSE(DecodeRegistrationBatch(mutated).ok())
+          << "mutated v2 framing accepted";
+      EXPECT_FALSE(DecodeReportBatch(mutated).ok())
+          << "mutated v2 framing accepted";
+    }
     if (mutated != payloads.server_state) {
       EXPECT_FALSE(DecodeServerState(mutated).ok());
     }

@@ -137,6 +137,179 @@ TEST(ChannelModelTest, CorruptFlipsExactlyOneBit) {
   EXPECT_EQ(channel.stats().batches_corrupted, 50);
 }
 
+TEST(ChannelConfigTest, ValidatesBurstOutageAndDelayRules) {
+  ChannelConfig config;
+  // A burst layer without an exit rate would be an absorbing bad state.
+  config.burst_enter_rate = 0.1;
+  EXPECT_FALSE(config.Validate().ok());
+  config.burst_exit_rate = 0.5;
+  EXPECT_TRUE(config.Validate().ok());
+  EXPECT_TRUE(config.enabled());
+  EXPECT_TRUE(config.bursty());
+  // burst_* rates without the layer enabled are dead knobs: rejected.
+  ChannelConfig orphan;
+  orphan.burst_corrupt_rate = 0.5;
+  EXPECT_FALSE(orphan.Validate().ok());
+  // Outages need a recovery rate, and vice versa.
+  ChannelConfig outage;
+  outage.outage_enter_rate = 0.1;
+  EXPECT_FALSE(outage.Validate().ok());
+  outage.outage_exit_rate = 0.2;
+  EXPECT_TRUE(outage.Validate().ok());
+  ChannelConfig recovery_only;
+  recovery_only.outage_exit_rate = 0.2;
+  EXPECT_FALSE(recovery_only.Validate().ok());
+  // Delays need a horizon.
+  ChannelConfig delay;
+  delay.delay_rate = 0.3;
+  EXPECT_FALSE(delay.Validate().ok());
+  delay.delay_ticks_max = 4;
+  EXPECT_TRUE(delay.Validate().ok());
+  EXPECT_TRUE(delay.enabled());
+}
+
+TEST(ChannelModelTest, BurstsClusterCorruption) {
+  // Corruption only happens in the bad state (steady corrupt_rate = 0,
+  // burst_corrupt_rate = 1), so every MaybeCorrupt verdict reveals the
+  // chain's state: we must see both states, and the bad verdicts must
+  // come in runs longer than independent flips would produce.
+  ChannelConfig config;
+  config.burst_enter_rate = 0.1;
+  config.burst_exit_rate = 0.25;
+  config.burst_corrupt_rate = 1.0;
+  ChannelModel channel(config, 77);
+  std::string bytes(64, '\x42');
+  int corrupted = 0;
+  int max_run = 0;
+  int run = 0;
+  const int attempts = 400;
+  for (int i = 0; i < attempts; ++i) {
+    std::string copy = bytes;
+    if (channel.MaybeCorrupt(&copy)) {
+      ++corrupted;
+      max_run = std::max(max_run, ++run);
+    } else {
+      run = 0;
+    }
+  }
+  EXPECT_GT(corrupted, 0);
+  EXPECT_LT(corrupted, attempts);
+  // Expected burst length 1/0.25 = 4 traversals; independent corruption
+  // at the same overall rate would almost never produce a run this long.
+  EXPECT_GE(max_run, 3);
+  EXPECT_EQ(channel.stats().batches_corrupted, corrupted);
+}
+
+TEST(ChannelModelTest, BurstReplacesSteadyDropRate) {
+  // drop_rate 0 in the good state, 1 in the bad state: exactly the
+  // records sent during bad-state batches disappear.
+  ChannelConfig config;
+  config.burst_enter_rate = 0.3;
+  config.burst_exit_rate = 0.3;
+  config.burst_drop_rate = 1.0;
+  ChannelModel channel(config, 5);
+  core::ReportBatch delivered;
+  int64_t sent_in_burst = 0;
+  for (int64_t t = 1; t <= 64; ++t) {
+    const core::ReportBatch sent = TestBatch(10, t);
+    channel.Transmit(sent, &delivered);
+    if (channel.in_burst()) {
+      sent_in_burst += static_cast<int64_t>(sent.size());
+      EXPECT_TRUE(delivered.empty());
+    } else {
+      EXPECT_EQ(delivered, sent);
+    }
+  }
+  EXPECT_GT(channel.stats().batches_in_burst, 0);
+  EXPECT_LT(channel.stats().batches_in_burst, 64);
+  EXPECT_EQ(channel.stats().records_dropped, sent_in_burst);
+}
+
+TEST(ChannelModelTest, OutagesDropWholeClientRuns) {
+  // One report per client per tick: with outage correlation a client's
+  // losses come in consecutive ticks, not independent coin flips.
+  ChannelConfig config;
+  config.outage_enter_rate = 0.05;
+  config.outage_exit_rate = 0.2;
+  ChannelModel channel(config, 11);
+  const int64_t clients = 20;
+  const int64_t ticks = 100;
+  std::vector<std::vector<bool>> lost(
+      static_cast<size_t>(clients), std::vector<bool>());
+  core::ReportBatch delivered;
+  for (int64_t t = 1; t <= ticks; ++t) {
+    channel.Transmit(TestBatch(clients, t), &delivered);
+    std::vector<bool> seen(static_cast<size_t>(clients), false);
+    for (const core::ReportMessage& message : delivered) {
+      seen[static_cast<size_t>(message.client_id)] = true;
+    }
+    for (int64_t u = 0; u < clients; ++u) {
+      lost[static_cast<size_t>(u)].push_back(!seen[static_cast<size_t>(u)]);
+    }
+  }
+  EXPECT_GT(channel.stats().client_outages, 0);
+  EXPECT_GT(channel.stats().records_outage_dropped, 0);
+  EXPECT_EQ(channel.stats().records_outage_dropped,
+            channel.stats().records_dropped);
+  // Correlation: some client must lose >= 3 consecutive ticks (expected
+  // outage length 1/0.2 = 5), which independent 'dropped' coins at the
+  // observed marginal rate would make vanishingly rare across 20 clients.
+  int longest = 0;
+  for (const std::vector<bool>& row : lost) {
+    int run = 0;
+    for (const bool was_lost : row) {
+      run = was_lost ? run + 1 : 0;
+      longest = std::max(longest, run);
+    }
+  }
+  EXPECT_GE(longest, 3);
+}
+
+TEST(ChannelModelTest, DelayInterleavesTicksAndFlushLosesNothing) {
+  ChannelConfig config;
+  config.delay_rate = 0.5;
+  config.delay_ticks_max = 3;
+  ChannelModel channel(config, 21);
+  core::ReportBatch delivered;
+  std::vector<core::ReportMessage> all_sent;
+  std::vector<core::ReportMessage> all_received;
+  bool interleaved = false;
+  for (int64_t t = 1; t <= 32; ++t) {
+    const core::ReportBatch sent = TestBatch(30, t);
+    all_sent.insert(all_sent.end(), sent.begin(), sent.end());
+    channel.Transmit(sent, &delivered);
+    bool has_old = false;
+    bool has_new = false;
+    for (const core::ReportMessage& message : delivered) {
+      (message.time == t ? has_new : has_old) = true;
+    }
+    interleaved = interleaved || (has_old && has_new);
+    all_received.insert(all_received.end(), delivered.begin(),
+                        delivered.end());
+  }
+  channel.FlushDelayed(&delivered);
+  all_received.insert(all_received.end(), delivered.begin(),
+                      delivered.end());
+  EXPECT_TRUE(interleaved);
+  EXPECT_GT(channel.stats().records_delayed, 0);
+  EXPECT_EQ(channel.stats().records_dropped, 0);
+  EXPECT_EQ(channel.stats().records_delivered,
+            static_cast<int64_t>(all_received.size()));
+  // Nothing lost, nothing invented: the delivered multiset equals the
+  // sent multiset once both are put in a canonical order.
+  auto canonical = [](std::vector<core::ReportMessage>& batch) {
+    std::sort(batch.begin(), batch.end(),
+              [](const core::ReportMessage& a, const core::ReportMessage& b) {
+                return a.client_id != b.client_id
+                           ? a.client_id < b.client_id
+                           : a.time < b.time;
+              });
+  };
+  canonical(all_sent);
+  canonical(all_received);
+  EXPECT_EQ(all_received, all_sent);
+}
+
 // ---------------------------------------------------------------------------
 // End-to-end through the runner.
 
@@ -252,10 +425,14 @@ TEST(RunnerFaultTest, DropsBiasTheEstimatesDown) {
   EXPECT_EQ(lossy.delivery.records_deduped, 0);
 }
 
-TEST(RunnerFaultTest, CorruptionSurvivesViaRetransmitUnderDedup) {
+TEST(RunnerFaultTest, V1CorruptionSurvivesViaOracleRetransmitUnderDedup) {
+  // The legacy path: v1 batches carry no checksum, so the retry is gated
+  // by the channel's own corruption flag (oracle-assisted) and requires
+  // idempotent ingest because a poisoned batch can partially apply.
   const Workload workload =
       Workload::Generate(RunnerWorkload(), 19).ValueOrDie();
   FaultOptions faults;
+  faults.wire_version = core::WireVersion::kV1;
   faults.channel.corrupt_rate = 0.5;
   faults.dedup = core::DedupPolicy::kIdempotent;
   const RunResult run =
@@ -266,6 +443,103 @@ TEST(RunnerFaultTest, CorruptionSurvivesViaRetransmitUnderDedup) {
   // Most single-bit corruptions break the decode and trigger the
   // retransmit path; all of them leave the run alive.
   EXPECT_GT(run.delivery.batches_retransmitted, 0);
+}
+
+TEST(RunnerFaultTest, V2ChecksumDetectionIsBitIdenticalUnderStrictDedup) {
+  // The tentpole guarantee: with checksummed v2 batches, corruption —
+  // including bursty corruption — is detected by the receiver, NACKed and
+  // retransmitted until clean, so the run is bit-identical to the
+  // fault-free transport. No oracle, and no dedup either: a rejected v2
+  // batch applied nothing, so the resend is a fresh first delivery even
+  // under DedupPolicy::kStrict.
+  const Workload workload =
+      Workload::Generate(RunnerWorkload(), 29).ValueOrDie();
+  const RunResult ideal =
+      RunProtocol(ProtocolKind::kFutureRand, RunnerConfig(), workload, 31)
+          .ValueOrDie();
+
+  FaultOptions faults;
+  faults.channel.corrupt_rate = 0.2;
+  faults.channel.burst_enter_rate = 0.2;
+  faults.channel.burst_exit_rate = 0.4;
+  faults.channel.burst_corrupt_rate = 0.9;
+  ASSERT_EQ(faults.wire_version, core::WireVersion::kV2);
+  ASSERT_EQ(faults.dedup, core::DedupPolicy::kStrict);
+  const RunResult recovered =
+      RunProtocol(ProtocolKind::kFutureRand, RunnerConfig(), workload, 31,
+                  nullptr, 0, faults)
+          .ValueOrDie();
+
+  EXPECT_EQ(recovered.estimates, ideal.estimates);
+  EXPECT_GT(recovered.delivery.batches_corrupted, 0);
+  EXPECT_GT(recovered.delivery.batches_in_burst, 0);
+  // Every corrupted attempt was caught by the receiver (kDataLoss) and
+  // every NACK triggered exactly one retransmission.
+  EXPECT_EQ(recovered.delivery.batches_checksum_rejected,
+            recovered.delivery.batches_corrupted);
+  EXPECT_EQ(recovered.delivery.batches_retransmitted,
+            recovered.delivery.batches_checksum_rejected);
+  EXPECT_EQ(recovered.delivery.records_applied,
+            recovered.delivery.records_sent);
+  EXPECT_EQ(recovered.delivery.records_deduped, 0);
+}
+
+TEST(RunnerFaultTest, RetransmitBudgetExhaustionFailsLoudly) {
+  // corrupt_rate = 1 garbles every attempt, so the budget runs out and
+  // the run fails with the distinct corruption code instead of silently
+  // dropping the batch.
+  const Workload workload =
+      Workload::Generate(RunnerWorkload(100), 7).ValueOrDie();
+  FaultOptions faults;
+  faults.channel.corrupt_rate = 1.0;
+  faults.retransmit_budget = 3;
+  const auto run = RunProtocol(ProtocolKind::kFutureRand, RunnerConfig(),
+                               workload, 7, nullptr, 0, faults);
+  ASSERT_FALSE(run.ok());
+  EXPECT_EQ(run.status().code(), StatusCode::kDataLoss);
+}
+
+TEST(RunnerFaultTest, DelayedRecordsAreBitIdenticalUnderDedup) {
+  // Latency/skew interleaves ticks at the aggregator but loses nothing:
+  // with idempotent ingest the estimates match the ideal transport bit
+  // for bit, including the end-of-run flush of still-lagging records.
+  const Workload workload =
+      Workload::Generate(RunnerWorkload(), 37).ValueOrDie();
+  const RunResult ideal =
+      RunProtocol(ProtocolKind::kFutureRand, RunnerConfig(), workload, 43)
+          .ValueOrDie();
+  FaultOptions faults;
+  faults.channel.delay_rate = 0.5;
+  faults.channel.delay_ticks_max = 5;
+  faults.channel.reorder_rate = 1.0;
+  faults.dedup = core::DedupPolicy::kIdempotent;
+  const RunResult delayed =
+      RunProtocol(ProtocolKind::kFutureRand, RunnerConfig(), workload, 43,
+                  nullptr, 0, faults)
+          .ValueOrDie();
+  EXPECT_EQ(delayed.estimates, ideal.estimates);
+  EXPECT_GT(delayed.delivery.records_delayed, 0);
+  EXPECT_EQ(delayed.delivery.records_applied, delayed.delivery.records_sent);
+  EXPECT_EQ(delayed.delivery.records_dropped, 0);
+}
+
+TEST(RunnerFaultTest, ClientOutagesDropCorrelatedRuns) {
+  const Workload workload =
+      Workload::Generate(RunnerWorkload(), 53).ValueOrDie();
+  FaultOptions faults;
+  faults.channel.outage_enter_rate = 0.1;
+  faults.channel.outage_exit_rate = 0.3;
+  const RunResult run =
+      RunProtocol(ProtocolKind::kFutureRand, RunnerConfig(), workload, 59,
+                  nullptr, 0, faults)
+          .ValueOrDie();
+  EXPECT_GT(run.delivery.client_outages, 0);
+  EXPECT_GT(run.delivery.records_outage_dropped, 0);
+  EXPECT_LE(run.delivery.records_outage_dropped,
+            run.delivery.records_dropped);
+  // An outage drops at least the report whose traversal triggered it.
+  EXPECT_GE(run.delivery.records_outage_dropped,
+            run.delivery.client_outages);
 }
 
 TEST(RunnerFaultTest, ValidatesFaultCombinations) {
@@ -294,6 +568,29 @@ TEST(RunnerFaultTest, ValidatesFaultCombinations) {
   EXPECT_FALSE(RunProtocol(ProtocolKind::kFutureRand, RunnerConfig(),
                            workload, 1, nullptr, 0, bad)
                    .ok());
+  // Corruption under legacy v1 framing needs idempotent ingest (the
+  // retransmission can double-deliver a partially applied batch); v2's
+  // atomic checksum rejection makes kStrict safe.
+  FaultOptions corrupt;
+  corrupt.channel.corrupt_rate = 0.1;
+  corrupt.wire_version = core::WireVersion::kV1;
+  EXPECT_FALSE(corrupt.Validate().ok());
+  corrupt.wire_version = core::WireVersion::kV2;
+  EXPECT_TRUE(corrupt.Validate().ok());
+  corrupt.wire_version = core::WireVersion::kV1;
+  corrupt.dedup = core::DedupPolicy::kIdempotent;
+  EXPECT_TRUE(corrupt.Validate().ok());
+  // Delayed records arrive out of order per client: kIdempotent only.
+  FaultOptions delayed;
+  delayed.channel.delay_rate = 0.2;
+  delayed.channel.delay_ticks_max = 2;
+  EXPECT_FALSE(delayed.Validate().ok());
+  delayed.dedup = core::DedupPolicy::kIdempotent;
+  EXPECT_TRUE(delayed.Validate().ok());
+  // The retry budget must allow at least one attempt.
+  FaultOptions budget;
+  budget.retransmit_budget = 0;
+  EXPECT_FALSE(budget.Validate().ok());
   // A bounded dedup window requires kIdempotent; beyond-horizon windows
   // are rejected by the aggregator factory inside the run.
   FaultOptions windowed;

@@ -52,6 +52,16 @@ int Run(int argc, char** argv) {
   double dup_rate = 0.0;
   double reorder_rate = 0.0;
   double corrupt_rate = 0.0;
+  double burst_enter_rate = 0.0;
+  double burst_exit_rate = 0.0;
+  double burst_drop_rate = 0.0;
+  double burst_corrupt_rate = 0.0;
+  double outage_rate = 0.0;
+  double outage_recovery_rate = 0.0;
+  double delay_rate = 0.0;
+  int64_t delay_max_ticks = 0;
+  int64_t wire_version = 2;
+  int64_t retransmit_budget = 32;
   bool dedup = false;
   int64_t dedup_window = 0;
   int64_t checkpoint_every = 0;
@@ -88,7 +98,39 @@ int Run(int argc, char** argv) {
   parser.AddDouble("reorder-rate", &reorder_rate,
                    "P(delivered batch arrives shuffled)");
   parser.AddDouble("corrupt-rate", &corrupt_rate,
-                   "P(one bit of the encoded batch flips); requires --dedup");
+                   "P(one bit of the encoded batch flips); requires --dedup "
+                   "under --wire-version=1");
+  parser.AddDouble("burst-enter-rate", &burst_enter_rate,
+                   "Gilbert-Elliott P(good->bad) per channel traversal; "
+                   "enables the burst layer");
+  parser.AddDouble("burst-exit-rate", &burst_exit_rate,
+                   "Gilbert-Elliott P(bad->good); expected burst length is "
+                   "1/rate traversals");
+  parser.AddDouble("burst-drop-rate", &burst_drop_rate,
+                   "drop rate while the channel is in the bad state "
+                   "(replaces --drop-rate there)");
+  parser.AddDouble("burst-corrupt-rate", &burst_corrupt_rate,
+                   "corrupt rate while in the bad state (replaces "
+                   "--corrupt-rate there)");
+  parser.AddDouble("outage-rate", &outage_rate,
+                   "P(a client goes dark, losing its reports), evaluated "
+                   "per report — per-client fault correlation");
+  parser.AddDouble("outage-recovery-rate", &outage_recovery_rate,
+                   "P(a dark client recovers), evaluated per report");
+  parser.AddDouble("delay-rate", &delay_rate,
+                   "P(a delivered report is delayed into a later tick's "
+                   "batch); requires --dedup");
+  parser.AddInt64("delay-max-ticks", &delay_max_ticks,
+                  "uniform delay bound in ticks (>= 1 when --delay-rate "
+                  "is set)");
+  parser.AddInt64("wire-version", &wire_version,
+                  "report batch framing: 2 = checksummed (corruption is "
+                  "detected by the receiver and NACK-retransmitted), "
+                  "1 = legacy unchecksummed (oracle-assisted retry, "
+                  "undetected flips land in the estimate)");
+  parser.AddInt64("retransmit-budget", &retransmit_budget,
+                  "max delivery attempts per batch before the run fails "
+                  "(size against the expected burst length)");
   parser.AddBool("dedup", &dedup,
                  "idempotent ingest: duplicates/retries are absorbed, "
                  "making at-least-once delivery exact");
@@ -145,6 +187,24 @@ int Run(int argc, char** argv) {
   faults.channel.duplicate_rate = dup_rate;
   faults.channel.reorder_rate = reorder_rate;
   faults.channel.corrupt_rate = corrupt_rate;
+  faults.channel.burst_enter_rate = burst_enter_rate;
+  faults.channel.burst_exit_rate = burst_exit_rate;
+  faults.channel.burst_drop_rate = burst_drop_rate;
+  faults.channel.burst_corrupt_rate = burst_corrupt_rate;
+  faults.channel.outage_enter_rate = outage_rate;
+  faults.channel.outage_exit_rate = outage_recovery_rate;
+  faults.channel.delay_rate = delay_rate;
+  faults.channel.delay_ticks_max = delay_max_ticks;
+  if (wire_version == 1) {
+    faults.wire_version = core::WireVersion::kV1;
+  } else if (wire_version == 2) {
+    faults.wire_version = core::WireVersion::kV2;
+  } else {
+    std::fprintf(stderr, "InvalidArgument: --wire-version must be 1 or 2\n%s",
+                 parser.Usage("frsim").c_str());
+    return 2;
+  }
+  faults.retransmit_budget = retransmit_budget;
   faults.dedup = dedup ? core::DedupPolicy::kIdempotent
                        : core::DedupPolicy::kStrict;
   faults.dedup_window = core::DedupWindowPolicy{dedup_window};
