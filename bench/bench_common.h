@@ -3,6 +3,7 @@
 #ifndef FUTURERAND_BENCH_BENCH_COMMON_H_
 #define FUTURERAND_BENCH_BENCH_COMMON_H_
 
+#include <cmath>
 #include <cstdint>
 #include <cstdio>
 #include <string>
@@ -37,6 +38,12 @@ class JsonLine {
     return Add(key, static_cast<int64_t>(value));
   }
   JsonLine& Add(const std::string& key, double value) {
+    // JSON has no inf/nan literals; a tiny run can produce them (zero or
+    // denormal stage durations), and one bad field would break every
+    // downstream parser of the whole line. Emit 0 instead.
+    if (!std::isfinite(value)) {
+      value = 0.0;
+    }
     char buffer[64];
     std::snprintf(buffer, sizeof(buffer), "%.6g", value);
     return Append(key, buffer);

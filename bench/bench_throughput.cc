@@ -18,6 +18,7 @@
 // loop (the receiver's kDataLoss verdict triggers the resend) and the
 // retransmission count lands in the JSON line next to wire_version.
 
+#include <cmath>
 #include <cstdint>
 #include <cstdio>
 #include <iostream>
@@ -28,6 +29,7 @@
 
 #include "bench_common.h"
 #include "futurerand/common/flags.h"
+#include "futurerand/common/simd.h"
 #include "futurerand/common/table_printer.h"
 #include "futurerand/common/threadpool.h"
 #include "futurerand/common/timer.h"
@@ -170,7 +172,13 @@ Result<PipelineStats> RunPipeline(const core::ProtocolConfig& config,
 }
 
 double Rate(int64_t items, double seconds) {
-  return seconds > 0.0 ? static_cast<double>(items) / seconds : 0.0;
+  if (seconds <= 0.0) {
+    return 0.0;
+  }
+  // A denormal duration from a tiny run can still push the quotient to
+  // +inf; report 0 ("no meaningful rate") rather than poisoning the JSON.
+  const double rate = static_cast<double>(items) / seconds;
+  return std::isfinite(rate) ? rate : 0.0;
 }
 
 int Run(int argc, char** argv) {
@@ -329,6 +337,7 @@ int Run(int argc, char** argv) {
   if (json) {
     bench::JsonLine line;
     line.Add("bench", "throughput")
+        .Add("kernel", simd::ActiveBackendName())
         .Add("n", n)
         .Add("d", d)
         .Add("k", k)
@@ -353,7 +362,18 @@ int Run(int argc, char** argv) {
         .Add("checkpoint_bytes", stats->checkpoint_bytes)
         .Add("state_bytes", stats->state_bytes)
         .Add("user_periods_per_sec", Rate(user_periods, stats->tick_seconds))
-        .Add("reports_per_sec", Rate(stats->reports, stats->ingest_seconds));
+        .Add("reports_per_sec", Rate(stats->reports, stats->ingest_seconds))
+        // Per-stage records/sec, one field per pipeline stage so the CI
+        // regression gate (scripts/check_bench_regression.sh) can compare
+        // each stage against the committed baseline independently. "Record"
+        // is the stage's natural unit: user-periods for tick, reports for
+        // encode/ingest, periods for query.
+        .Add("tick_records_per_sec", Rate(user_periods, stats->tick_seconds))
+        .Add("encode_records_per_sec",
+             Rate(stats->reports, stats->encode_seconds))
+        .Add("ingest_records_per_sec",
+             Rate(stats->reports, stats->ingest_seconds))
+        .Add("query_records_per_sec", Rate(d, stats->query_seconds));
     if (mode == core::CheckpointMode::kDelta) {
       line.Add("dirty_shards", stats->dirty_shards)
           .Add("delta_checkpoint_sec", stats->delta_seconds)

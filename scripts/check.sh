@@ -11,3 +11,11 @@ bash scripts/check_format_spec.sh
 cmake -B "$BUILD_DIR" -S .
 cmake --build "$BUILD_DIR" -j"$(nproc)"
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j"$(nproc)"
+
+# Per-stage throughput gate: run the bench-smoke shape and compare every
+# stage's records/sec against the committed baseline floors.
+"$BUILD_DIR"/bench/bench_throughput --n=400 --d=64 --k=2 --shards=3 \
+  --threads=2 --protocol=future_rand --dedup --checkpoint-mode=delta \
+  --wire-version=2 --corrupt-rate=0.2 --json \
+  > "$BUILD_DIR/bench_smoke.json"
+bash scripts/check_bench_regression.sh "$BUILD_DIR/bench_smoke.json"

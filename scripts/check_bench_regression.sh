@@ -1,0 +1,98 @@
+#!/usr/bin/env bash
+# Per-stage throughput regression gate for the bench-smoke JSON line.
+#
+# Compares every *_records_per_sec stage field of a bench_throughput --json
+# run against the committed baseline floors and fails if any stage dropped
+# more than FR_BENCH_TOLERANCE (default 0.10 = 10%) below its floor. The
+# baseline is deliberately conservative (well under a healthy run on the
+# reference host) so ordinary scheduler noise never trips the gate — only a
+# real hot-path regression does.
+#
+# Usage:
+#   scripts/check_bench_regression.sh <bench_json> [baseline_json]
+#   scripts/check_bench_regression.sh --update <bench_json> [baseline_json]
+#
+# <bench_json> is any file containing one bench_throughput JSON line (a raw
+# --json capture or a CI log that embeds it). --update rewrites the baseline
+# from the run at 50% of its measured rates — run it on the reference host
+# after an intentional perf change, then commit the new baseline.
+#
+# Environment:
+#   FR_BENCH_TOLERANCE  fractional slack below each floor (default 0.10)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+STAGES="tick_records_per_sec encode_records_per_sec ingest_records_per_sec query_records_per_sec"
+TOLERANCE="${FR_BENCH_TOLERANCE:-0.10}"
+DEFAULT_BASELINE="bench/baseline/bench_smoke_baseline.json"
+
+update=0
+if [[ "${1:-}" == "--update" ]]; then
+  update=1
+  shift
+fi
+bench_json="${1:?usage: check_bench_regression.sh [--update] <bench_json> [baseline_json]}"
+baseline_json="${2:-$DEFAULT_BASELINE}"
+
+line="$(grep -o '{"bench".*}' "$bench_json" | head -n 1 || true)"
+if [[ -z "$line" ]]; then
+  echo "check_bench_regression: no bench JSON line found in $bench_json" >&2
+  exit 2
+fi
+
+# Extracts a numeric field from a one-line JSON object.
+field() {
+  local value
+  value="$(printf '%s\n' "$1" | grep -o "\"$2\":[^,}]*" | head -n 1 | cut -d: -f2)"
+  if [[ -z "$value" ]]; then
+    echo "check_bench_regression: field $2 missing from JSON line" >&2
+    exit 2
+  fi
+  printf '%s\n' "$value"
+}
+
+if [[ "$update" == 1 ]]; then
+  mkdir -p "$(dirname "$baseline_json")"
+  {
+    printf '{'
+    sep=""
+    for stage in $STAGES; do
+      current="$(field "$line" "$stage")"
+      floor="$(awk -v v="$current" 'BEGIN { printf "%.6g", v * 0.5 }')"
+      printf '%s"%s":%s' "$sep" "$stage" "$floor"
+      sep=","
+    done
+    printf '}\n'
+  } > "$baseline_json"
+  echo "check_bench_regression: baseline updated at $baseline_json (50% of measured rates)"
+  exit 0
+fi
+
+if [[ ! -f "$baseline_json" ]]; then
+  echo "check_bench_regression: baseline $baseline_json not found (run with --update to create it)" >&2
+  exit 2
+fi
+baseline_line="$(cat "$baseline_json")"
+
+kernel="$(printf '%s\n' "$line" | grep -o '"kernel":"[^"]*"' | cut -d'"' -f4 || true)"
+echo "check_bench_regression: kernel=${kernel:-unknown} tolerance=$TOLERANCE"
+
+fail=0
+for stage in $STAGES; do
+  current="$(field "$line" "$stage")"
+  floor="$(field "$baseline_line" "$stage")"
+  if awk -v c="$current" -v f="$floor" -v t="$TOLERANCE" \
+      'BEGIN { exit !(c + 0 >= f * (1 - t)) }'; then
+    echo "  OK   $stage: $current (floor $floor)"
+  else
+    echo "  FAIL $stage: $current < $floor * (1 - $TOLERANCE)"
+    fail=1
+  fi
+done
+
+if [[ "$fail" != 0 ]]; then
+  echo "check_bench_regression: per-stage throughput regressed below the baseline" >&2
+  exit 1
+fi
+echo "check_bench_regression: all stages within tolerance"

@@ -1,0 +1,425 @@
+#include "futurerand/common/simd.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+#if defined(__x86_64__) || defined(_M_X64)
+#define FR_SIMD_X86 1
+#include <immintrin.h>
+#elif defined(__aarch64__) && defined(__ARM_NEON)
+#define FR_SIMD_NEON 1
+#include <arm_neon.h>
+#endif
+
+namespace futurerand::simd {
+
+namespace {
+
+// -1 = no override installed; otherwise a Backend value pinned by
+// ScopedBackendForTest. Relaxed is enough: the scope owner synchronizes
+// with the kernel calls it wants to redirect.
+std::atomic<int> g_forced_backend{-1};
+
+Backend DetectBackend() {
+  const char* force = std::getenv("FR_FORCE_SCALAR");
+  if (force != nullptr && force[0] != '\0' && force[0] != '0') {
+    return Backend::kScalar;
+  }
+#if defined(FR_SIMD_X86)
+  if (__builtin_cpu_supports("avx2")) {
+    return Backend::kAvx2;
+  }
+#elif defined(FR_SIMD_NEON)
+  return Backend::kNeon;
+#endif
+  return Backend::kScalar;
+}
+
+// A backend the host can actually execute; anything else degrades to
+// scalar so a test override can never fault on the wrong machine.
+Backend Executable(Backend backend) {
+#if defined(FR_SIMD_X86)
+  if (backend == Backend::kAvx2 && __builtin_cpu_supports("avx2")) {
+    return backend;
+  }
+#elif defined(FR_SIMD_NEON)
+  if (backend == Backend::kNeon) {
+    return backend;
+  }
+#endif
+  return Backend::kScalar;
+}
+
+// ---------------------------------------------------------------------------
+// Scalar reference implementations: the semantic ground truth every vector
+// variant must match bit-for-bit.
+// ---------------------------------------------------------------------------
+
+int64_t CountMismatchesScalar(const int8_t* a, const int8_t* b, size_t n) {
+  int64_t count = 0;
+  for (size_t i = 0; i < n; ++i) {
+    count += a[i] != b[i] ? 1 : 0;
+  }
+  return count;
+}
+
+bool AllZeroOrOneScalar(const int8_t* p, size_t n) {
+  for (size_t i = 0; i < n; ++i) {
+    if (p[i] != 0 && p[i] != 1) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool AllWithinOneScalar(const int8_t* p, size_t n) {
+  for (size_t i = 0; i < n; ++i) {
+    if (p[i] < -1 || p[i] > 1) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool ValidDerivativeStepScalar(const int8_t* current, const int8_t* derivative,
+                               size_t n) {
+  for (size_t i = 0; i < n; ++i) {
+    const int8_t d = derivative[i];
+    if (d < -1 || d > 1) {
+      return false;
+    }
+    const int next = current[i] + d;
+    if (next != 0 && next != 1) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void AddI8Scalar(const int8_t* a, const int8_t* b, int8_t* out, size_t n) {
+  for (size_t i = 0; i < n; ++i) {
+    out[i] = static_cast<int8_t>(a[i] + b[i]);
+  }
+}
+
+void SubI8Scalar(const int8_t* a, const int8_t* b, int8_t* out, size_t n) {
+  for (size_t i = 0; i < n; ++i) {
+    out[i] = static_cast<int8_t>(a[i] - b[i]);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// AVX2 variants. The `target` attribute lets this translation unit stay on
+// the baseline -march while these functions alone use AVX2 encodings; they
+// are only ever called after __builtin_cpu_supports("avx2") says yes.
+// ---------------------------------------------------------------------------
+#if defined(FR_SIMD_X86)
+
+__attribute__((target("avx2"))) int64_t CountMismatchesAvx2(const int8_t* a,
+                                                            const int8_t* b,
+                                                            size_t n) {
+  int64_t count = 0;
+  size_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    const __m256i va =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    const __m256i vb =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i));
+    const auto eq = static_cast<uint32_t>(
+        _mm256_movemask_epi8(_mm256_cmpeq_epi8(va, vb)));
+    count += __builtin_popcount(~eq);
+  }
+  return count + CountMismatchesScalar(a + i, b + i, n - i);
+}
+
+__attribute__((target("avx2"))) bool AllZeroOrOneAvx2(const int8_t* p,
+                                                      size_t n) {
+  // A byte is 0 or 1 iff clearing bit 0 leaves zero.
+  const __m256i low_bit = _mm256_set1_epi8(1);
+  size_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    const __m256i v =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p + i));
+    if (!_mm256_testz_si256(_mm256_andnot_si256(low_bit, v), _mm256_set1_epi8(-1))) {
+      return false;
+    }
+  }
+  return AllZeroOrOneScalar(p + i, n - i);
+}
+
+__attribute__((target("avx2"))) bool AllWithinOneAvx2(const int8_t* p,
+                                                      size_t n) {
+  // v in {-1,0,1} iff v+1 in {0,1,2} iff max_epu8(v+1, 2) == 2.
+  const __m256i one = _mm256_set1_epi8(1);
+  const __m256i two = _mm256_set1_epi8(2);
+  size_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    const __m256i v =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p + i));
+    const __m256i shifted = _mm256_add_epi8(v, one);
+    const __m256i clamped = _mm256_max_epu8(shifted, two);
+    if (_mm256_movemask_epi8(_mm256_cmpeq_epi8(clamped, two)) != -1) {
+      return false;
+    }
+  }
+  return AllWithinOneScalar(p + i, n - i);
+}
+
+__attribute__((target("avx2"))) bool ValidDerivativeStepAvx2(
+    const int8_t* current, const int8_t* derivative, size_t n) {
+  const __m256i one = _mm256_set1_epi8(1);
+  const __m256i two = _mm256_set1_epi8(2);
+  size_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    const __m256i d =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(derivative + i));
+    const __m256i c =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(current + i));
+    // derivative in {-1,0,1}: d+1 in {0,1,2}.
+    const __m256i d_shifted = _mm256_add_epi8(d, one);
+    const __m256i d_ok =
+        _mm256_cmpeq_epi8(_mm256_max_epu8(d_shifted, two), two);
+    // next state in {0,1}: (c+d) with bit 0 cleared is zero.
+    const __m256i next = _mm256_add_epi8(c, d);
+    const __m256i next_ok =
+        _mm256_cmpeq_epi8(_mm256_andnot_si256(one, next),
+                          _mm256_setzero_si256());
+    if (_mm256_movemask_epi8(_mm256_and_si256(d_ok, next_ok)) != -1) {
+      return false;
+    }
+  }
+  return ValidDerivativeStepScalar(current + i, derivative + i, n - i);
+}
+
+__attribute__((target("avx2"))) void AddI8Avx2(const int8_t* a,
+                                               const int8_t* b, int8_t* out,
+                                               size_t n) {
+  size_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    const __m256i va =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    const __m256i vb =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i),
+                        _mm256_add_epi8(va, vb));
+  }
+  AddI8Scalar(a + i, b + i, out + i, n - i);
+}
+
+__attribute__((target("avx2"))) void SubI8Avx2(const int8_t* a,
+                                               const int8_t* b, int8_t* out,
+                                               size_t n) {
+  size_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    const __m256i va =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    const __m256i vb =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i),
+                        _mm256_sub_epi8(va, vb));
+  }
+  SubI8Scalar(a + i, b + i, out + i, n - i);
+}
+
+#endif  // FR_SIMD_X86
+
+// ---------------------------------------------------------------------------
+// NEON variants (AArch64 baseline; no runtime feature check needed).
+// ---------------------------------------------------------------------------
+#if defined(FR_SIMD_NEON)
+
+int64_t CountMismatchesNeon(const int8_t* a, const int8_t* b, size_t n) {
+  int64_t count = 0;
+  size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const uint8x16_t eq =
+        vceqq_s8(vld1q_s8(a + i), vld1q_s8(b + i));  // 0xFF where equal
+    // Mismatches contribute 1 after masking the inverted compare to 1s.
+    const uint8x16_t ne = vandq_u8(vmvnq_u8(eq), vdupq_n_u8(1));
+    count += vaddvq_u8(ne);
+  }
+  return count + CountMismatchesScalar(a + i, b + i, n - i);
+}
+
+bool AllZeroOrOneNeon(const int8_t* p, size_t n) {
+  size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const uint8x16_t v = vreinterpretq_u8_s8(vld1q_s8(p + i));
+    const uint8x16_t high = vbicq_u8(v, vdupq_n_u8(1));  // clear bit 0
+    if (vmaxvq_u8(high) != 0) {
+      return false;
+    }
+  }
+  return AllZeroOrOneScalar(p + i, n - i);
+}
+
+bool AllWithinOneNeon(const int8_t* p, size_t n) {
+  size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const int8x16_t v = vld1q_s8(p + i);
+    const uint8x16_t shifted =
+        vreinterpretq_u8_s8(vaddq_s8(v, vdupq_n_s8(1)));
+    if (vmaxvq_u8(shifted) > 2) {
+      return false;
+    }
+  }
+  return AllWithinOneScalar(p + i, n - i);
+}
+
+bool ValidDerivativeStepNeon(const int8_t* current, const int8_t* derivative,
+                             size_t n) {
+  size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const int8x16_t d = vld1q_s8(derivative + i);
+    const int8x16_t c = vld1q_s8(current + i);
+    const uint8x16_t d_shifted =
+        vreinterpretq_u8_s8(vaddq_s8(d, vdupq_n_s8(1)));
+    const uint8x16_t next =
+        vreinterpretq_u8_s8(vaddq_s8(c, d));
+    const uint8x16_t next_high = vbicq_u8(next, vdupq_n_u8(1));
+    if (vmaxvq_u8(d_shifted) > 2 || vmaxvq_u8(next_high) != 0) {
+      return false;
+    }
+  }
+  return ValidDerivativeStepScalar(current + i, derivative + i, n - i);
+}
+
+void AddI8Neon(const int8_t* a, const int8_t* b, int8_t* out, size_t n) {
+  size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    vst1q_s8(out + i, vaddq_s8(vld1q_s8(a + i), vld1q_s8(b + i)));
+  }
+  AddI8Scalar(a + i, b + i, out + i, n - i);
+}
+
+void SubI8Neon(const int8_t* a, const int8_t* b, int8_t* out, size_t n) {
+  size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    vst1q_s8(out + i, vsubq_s8(vld1q_s8(a + i), vld1q_s8(b + i)));
+  }
+  SubI8Scalar(a + i, b + i, out + i, n - i);
+}
+
+#endif  // FR_SIMD_NEON
+
+}  // namespace
+
+const char* BackendName(Backend backend) {
+  switch (backend) {
+    case Backend::kScalar:
+      return "scalar";
+    case Backend::kAvx2:
+      return "avx2";
+    case Backend::kNeon:
+      return "neon";
+  }
+  return "unknown";
+}
+
+Backend ActiveBackend() {
+  const int forced = g_forced_backend.load(std::memory_order_relaxed);
+  if (forced >= 0) {
+    return Executable(static_cast<Backend>(forced));
+  }
+  static const Backend detected = DetectBackend();
+  return detected;
+}
+
+const char* ActiveBackendName() { return BackendName(ActiveBackend()); }
+
+ScopedBackendForTest::ScopedBackendForTest(Backend backend) {
+  g_forced_backend.store(static_cast<int>(backend),
+                         std::memory_order_relaxed);
+}
+
+ScopedBackendForTest::~ScopedBackendForTest() {
+  g_forced_backend.store(-1, std::memory_order_relaxed);
+}
+
+int64_t CountMismatches(const int8_t* a, const int8_t* b, size_t n) {
+  switch (ActiveBackend()) {
+#if defined(FR_SIMD_X86)
+    case Backend::kAvx2:
+      return CountMismatchesAvx2(a, b, n);
+#elif defined(FR_SIMD_NEON)
+    case Backend::kNeon:
+      return CountMismatchesNeon(a, b, n);
+#endif
+    default:
+      return CountMismatchesScalar(a, b, n);
+  }
+}
+
+bool AllZeroOrOne(const int8_t* p, size_t n) {
+  switch (ActiveBackend()) {
+#if defined(FR_SIMD_X86)
+    case Backend::kAvx2:
+      return AllZeroOrOneAvx2(p, n);
+#elif defined(FR_SIMD_NEON)
+    case Backend::kNeon:
+      return AllZeroOrOneNeon(p, n);
+#endif
+    default:
+      return AllZeroOrOneScalar(p, n);
+  }
+}
+
+bool AllWithinOne(const int8_t* p, size_t n) {
+  switch (ActiveBackend()) {
+#if defined(FR_SIMD_X86)
+    case Backend::kAvx2:
+      return AllWithinOneAvx2(p, n);
+#elif defined(FR_SIMD_NEON)
+    case Backend::kNeon:
+      return AllWithinOneNeon(p, n);
+#endif
+    default:
+      return AllWithinOneScalar(p, n);
+  }
+}
+
+bool ValidDerivativeStep(const int8_t* current, const int8_t* derivative,
+                         size_t n) {
+  switch (ActiveBackend()) {
+#if defined(FR_SIMD_X86)
+    case Backend::kAvx2:
+      return ValidDerivativeStepAvx2(current, derivative, n);
+#elif defined(FR_SIMD_NEON)
+    case Backend::kNeon:
+      return ValidDerivativeStepNeon(current, derivative, n);
+#endif
+    default:
+      return ValidDerivativeStepScalar(current, derivative, n);
+  }
+}
+
+void AddI8(const int8_t* a, const int8_t* b, int8_t* out, size_t n) {
+  switch (ActiveBackend()) {
+#if defined(FR_SIMD_X86)
+    case Backend::kAvx2:
+      return AddI8Avx2(a, b, out, n);
+#elif defined(FR_SIMD_NEON)
+    case Backend::kNeon:
+      return AddI8Neon(a, b, out, n);
+#endif
+    default:
+      return AddI8Scalar(a, b, out, n);
+  }
+}
+
+void SubI8(const int8_t* a, const int8_t* b, int8_t* out, size_t n) {
+  switch (ActiveBackend()) {
+#if defined(FR_SIMD_X86)
+    case Backend::kAvx2:
+      return SubI8Avx2(a, b, out, n);
+#elif defined(FR_SIMD_NEON)
+    case Backend::kNeon:
+      return SubI8Neon(a, b, out, n);
+#endif
+    default:
+      return SubI8Scalar(a, b, out, n);
+  }
+}
+
+}  // namespace futurerand::simd

@@ -1,0 +1,81 @@
+// Portable batch kernels for the pipeline's hot loops (fleet tick
+// validation, change detection, boundary telescoping; see
+// docs/ARCHITECTURE.md "Hot paths & kernel dispatch").
+//
+// Every kernel has a scalar reference implementation and, on hosts that
+// provide one, a vectorized variant (AVX2 on x86-64 via the `target`
+// function attribute, NEON on AArch64) selected once per process at run
+// time. The contract is strict bit-identity: a vector variant computes the
+// same integer results as the scalar reference — elementwise kernels do the
+// same arithmetic per lane, and reductions (counts) reassociate only
+// integer addition, which is order-independent. tests/common/simd_test.cc
+// checks each kernel against the scalar arm; tests/core/
+// kernel_identity_test.cc checks the whole pipeline under both arms.
+//
+// Dispatch is resolved from CPU capabilities the first time a kernel runs.
+// Setting FR_FORCE_SCALAR=1 in the environment pins the scalar arm for a
+// whole process; tests flip arms in-process with ScopedBackendForTest.
+
+#ifndef FUTURERAND_COMMON_SIMD_H_
+#define FUTURERAND_COMMON_SIMD_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace futurerand::simd {
+
+/// The kernel implementation family a call dispatches to.
+enum class Backend {
+  kScalar,  // portable reference loops (always available)
+  kAvx2,    // x86-64 with AVX2
+  kNeon,    // AArch64 baseline vector unit
+};
+
+/// Stable display name ("scalar", "avx2", "neon").
+const char* BackendName(Backend backend);
+
+/// The backend kernel calls currently dispatch to: a test override if one
+/// is installed, else FR_FORCE_SCALAR / CPU detection (cached).
+Backend ActiveBackend();
+
+/// BackendName(ActiveBackend()) — the `kernel` field of the bench JSON.
+const char* ActiveBackendName();
+
+/// RAII test hook: pins dispatch to `backend` for the scope's lifetime so a
+/// suite can run both arms in one process regardless of the host CPU.
+/// Forcing a backend the host cannot execute (e.g. kAvx2 on a pre-AVX2
+/// CPU) falls back to kScalar rather than faulting. Not thread-safe against
+/// concurrent kernel calls from other scopes.
+class ScopedBackendForTest {
+ public:
+  explicit ScopedBackendForTest(Backend backend);
+  ~ScopedBackendForTest();
+  ScopedBackendForTest(const ScopedBackendForTest&) = delete;
+  ScopedBackendForTest& operator=(const ScopedBackendForTest&) = delete;
+};
+
+/// Number of positions where a[i] != b[i].
+int64_t CountMismatches(const int8_t* a, const int8_t* b, size_t n);
+
+/// True iff every byte of p[0..n) is 0 or 1.
+bool AllZeroOrOne(const int8_t* p, size_t n);
+
+/// True iff every byte of p[0..n) is -1, 0 or +1.
+bool AllWithinOne(const int8_t* p, size_t n);
+
+/// True iff, for every i, derivative[i] is in {-1,0,+1} AND
+/// current[i] + derivative[i] is in {0,1} — the full validity check of a
+/// derivative tick, read-only so a failed tick mutates nothing.
+bool ValidDerivativeStep(const int8_t* current, const int8_t* derivative,
+                         size_t n);
+
+/// out[i] = a[i] + b[i] (int8 two's-complement; inputs are in-range by the
+/// caller's contract). `out` may alias `a` or `b`.
+void AddI8(const int8_t* a, const int8_t* b, int8_t* out, size_t n);
+
+/// out[i] = a[i] - b[i]; same aliasing rules as AddI8.
+void SubI8(const int8_t* a, const int8_t* b, int8_t* out, size_t n);
+
+}  // namespace futurerand::simd
+
+#endif  // FUTURERAND_COMMON_SIMD_H_

@@ -77,30 +77,53 @@ Status ShardedAggregator::IngestBatch(std::span<const Message> batch,
     return Status::OK();
   }
   // Group record indices per shard so each shard mutex is taken once per
-  // batch; per-shard record order is preserved, which keeps Server's
-  // monotone-report-time validation meaningful.
-  std::vector<std::vector<size_t>> buckets(shards_.size());
-  for (size_t i = 0; i < batch.size(); ++i) {
-    buckets[static_cast<size_t>(ShardIndex(batch[i].client_id))].push_back(i);
+  // batch; per-shard record order is preserved (the counting sort below is
+  // stable), which keeps Server's monotone-report-time validation
+  // meaningful. One flat index array + per-shard offsets instead of a
+  // vector-of-vectors: a single allocation, written sequentially. With one
+  // shard the whole batch already belongs to it, so the sort (and the two
+  // extra memory passes it costs on a large batch) is skipped entirely and
+  // `apply` sees indices == nullptr, meaning the identity over the batch.
+  const size_t num_shards = shards_.size();
+  std::vector<size_t> index_by_shard;
+  std::vector<size_t> offsets(num_shards + 1, 0);
+  if (num_shards == 1) {
+    offsets[1] = batch.size();
+  } else {
+    std::vector<uint32_t> shard_of(batch.size());
+    for (size_t i = 0; i < batch.size(); ++i) {
+      const auto s = static_cast<uint32_t>(ShardIndex(batch[i].client_id));
+      shard_of[i] = s;
+      ++offsets[s + 1];
+    }
+    for (size_t s = 0; s < num_shards; ++s) {
+      offsets[s + 1] += offsets[s];
+    }
+    index_by_shard.resize(batch.size());
+    std::vector<size_t> cursor(offsets.begin(), offsets.end() - 1);
+    for (size_t i = 0; i < batch.size(); ++i) {
+      index_by_shard[cursor[shard_of[i]]++] = i;
+    }
   }
-  std::vector<Status> shard_status(shards_.size());
-  std::vector<IngestOutcome> shard_outcome(shards_.size());
+  std::vector<Status> shard_status(num_shards);
+  std::vector<IngestOutcome> shard_outcome(num_shards);
   auto ingest_shard = [&](size_t s) {
-    if (buckets[s].empty()) {
+    const size_t count = offsets[s + 1] - offsets[s];
+    if (count == 0) {
       return;
     }
+    const size_t* indices =
+        num_shards == 1 ? nullptr : index_by_shard.data() + offsets[s];
     Shard& shard = shards_[s];
     const std::lock_guard<std::mutex> lock(*shard.mutex);
     const int64_t dropped_before = shard.server.duplicates_dropped();
     const int64_t stale_before = shard.server.out_of_window_dropped();
     int64_t accepted = 0;
-    for (const size_t i : buckets[s]) {
-      Status status = apply(shard.server, batch[i]);
+    {
+      Status status = apply(shard.server, indices, count, &accepted);
       if (!status.ok()) {
         shard_status[s] = std::move(status);
-        break;
       }
-      ++accepted;
     }
     // Dirty for the next delta checkpoint iff anything stuck: every
     // accepted record either mutated server state or moved a drop
@@ -151,20 +174,37 @@ Status ShardedAggregator::IngestBatch(std::span<const Message> batch,
 Status ShardedAggregator::IngestRegistrations(
     std::span<const RegistrationMessage> batch, ThreadPool* pool,
     IngestOutcome* outcome) {
-  return IngestBatch(batch, pool, outcome,
-                     [](Server& server, const RegistrationMessage& message) {
-                       return server.RegisterClient(message.client_id,
-                                                    message.level);
-                     });
+  return IngestBatch(
+      batch, pool, outcome,
+      [&batch](Server& server, const size_t* indices, size_t count,
+               int64_t* accepted) {
+        for (size_t i = 0; i < count; ++i) {
+          const RegistrationMessage& message =
+              batch[indices == nullptr ? i : indices[i]];
+          FR_RETURN_NOT_OK(
+              server.RegisterClient(message.client_id, message.level));
+          ++*accepted;
+        }
+        return Status::OK();
+      });
 }
 
 Status ShardedAggregator::IngestReports(std::span<const ReportMessage> batch,
                                         ThreadPool* pool,
                                         IngestOutcome* outcome) {
+  // SubmitReports batches the per-level tree updates within same-time runs,
+  // so a shard's dyadic counters are touched once per (level, time) instead
+  // of once per record.
   return IngestBatch(batch, pool, outcome,
-                     [](Server& server, const ReportMessage& message) {
-                       return server.SubmitReport(
-                           message.client_id, message.time, message.value);
+                     [&batch](Server& server, const size_t* indices,
+                              size_t count, int64_t* accepted) {
+                       if (indices == nullptr) {
+                         return server.SubmitReports(batch.first(count),
+                                                     accepted);
+                       }
+                       return server.SubmitReports(
+                           batch, std::span<const size_t>(indices, count),
+                           accepted);
                      });
 }
 

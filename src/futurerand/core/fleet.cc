@@ -1,10 +1,15 @@
 #include "futurerand/core/fleet.h"
 
+#include <atomic>
+#include <bit>
+#include <cstring>
+#include <limits>
 #include <mutex>
 #include <utility>
 
 #include "futurerand/common/macros.h"
 #include "futurerand/common/random.h"
+#include "futurerand/common/simd.h"
 
 namespace futurerand::core {
 
@@ -20,24 +25,32 @@ Result<ClientFleet> ClientFleet::Create(const ProtocolConfig& config,
   if (num_clients < 0) {
     return Status::InvalidArgument("num_clients must be non-negative");
   }
+  if (num_clients > std::numeric_limits<int32_t>::max()) {
+    // Cohort membership is stored as int32 positions.
+    return Status::InvalidArgument("fleet size exceeds 2^31 - 1 clients");
+  }
   ClientFleet fleet(config, pool, first_client_id);
   const auto n = static_cast<size_t>(num_clients);
   fleet.levels_.resize(n);
-  fleet.interval_lengths_.resize(n);
   fleet.current_states_.assign(n, 0);
   fleet.boundary_states_.assign(n, 0);
-  fleet.changes_seen_.assign(n, 0);
   fleet.randomizers_.resize(n);
   fleet.registrations_.resize(n);
-  fleet.report_scratch_.assign(n, 0);
 
   // Each client's creation mirrors Client::Create exactly: one Rng seeded
   // from the forked stream draws the level, then seeds the randomizer.
   const Rng base(base_seed);
   std::mutex error_mutex;
   Status first_error;
+  std::atomic<bool> failed{false};
   auto create_range = [&](int64_t begin, int64_t end) {
     for (int64_t u = begin; u < end; ++u) {
+      // Another chunk already hit an error: constructing more randomizers
+      // (each pre-computes a noise vector) is O(n) wasted work, so every
+      // chunk bails at its next iteration.
+      if (failed.load(std::memory_order_relaxed)) {
+        return;
+      }
       const auto i = static_cast<size_t>(u);
       const int64_t client_id = first_client_id + u;
       Rng rng(base.Fork(static_cast<uint64_t>(client_id)).NextUint64());
@@ -53,10 +66,10 @@ Result<ClientFleet> ClientFleet::Create(const ProtocolConfig& config,
         if (first_error.ok()) {
           first_error = randomizer.status();
         }
+        failed.store(true, std::memory_order_relaxed);
         return;
       }
       fleet.levels_[i] = level;
-      fleet.interval_lengths_[i] = int64_t{1} << level;
       fleet.randomizers_[i] = std::move(*randomizer);
       fleet.registrations_[i] = RegistrationMessage{client_id, level};
     }
@@ -67,6 +80,16 @@ Result<ClientFleet> ClientFleet::Create(const ProtocolConfig& config,
     create_range(0, num_clients);
   }
   FR_RETURN_NOT_OK(first_error);
+
+  // Precompute the nested reporting cohorts (id order within each): client
+  // u is due at tick t iff 2^level divides t, i.e. level <= countr_zero(t).
+  fleet.cohort_by_tz_.resize(static_cast<size_t>(config.num_orders()));
+  for (size_t u = 0; u < n; ++u) {
+    for (int z = fleet.levels_[u]; z < config.num_orders(); ++z) {
+      fleet.cohort_by_tz_[static_cast<size_t>(z)].push_back(
+          static_cast<int32_t>(u));
+    }
+  }
   return fleet;
 }
 
@@ -78,10 +101,8 @@ Status ClientFleet::AdvanceTick(std::span<const int8_t> states,
   if (time_ >= config_.num_periods) {
     return Status::OutOfRange("all d time periods already ingested");
   }
-  for (const int8_t state : states) {
-    if (state != 0 && state != 1) {
-      return Status::InvalidArgument("state must be 0 or 1");
-    }
+  if (!simd::AllZeroOrOne(states.data(), states.size())) {
+    return Status::InvalidArgument("state must be 0 or 1");
   }
   TickValidated(states, batch);
   return Status::OK();
@@ -102,20 +123,29 @@ Status ClientFleet::AdvanceTickDerivatives(
   if (time_ >= config_.num_periods) {
     return Status::OutOfRange("all d time periods already ingested");
   }
-  state_scratch_.resize(derivatives.size());
-  for (size_t i = 0; i < derivatives.size(); ++i) {
-    const int8_t derivative = derivatives[i];
-    if (derivative != -1 && derivative != 0 && derivative != 1) {
-      return Status::InvalidArgument("derivative must be in {-1,0,+1}");
+  // Validate the whole tick read-only; scratch is written only after the
+  // tick is known good, so a failed call leaves the fleet byte-identical.
+  if (!simd::ValidDerivativeStep(current_states_.data(), derivatives.data(),
+                                 derivatives.size())) {
+    // Rare path: re-scan serially for the first offending element so the
+    // error message matches the per-element checks exactly.
+    for (size_t i = 0; i < derivatives.size(); ++i) {
+      const int8_t derivative = derivatives[i];
+      if (derivative != -1 && derivative != 0 && derivative != 1) {
+        return Status::InvalidArgument("derivative must be in {-1,0,+1}");
+      }
+      const auto next_state =
+          static_cast<int8_t>(current_states_[i] + derivative);
+      if (next_state != 0 && next_state != 1) {
+        return Status::InvalidArgument(
+            "derivative would move the Boolean state outside {0,1}");
+      }
     }
-    const auto next_state =
-        static_cast<int8_t>(current_states_[i] + derivative);
-    if (next_state != 0 && next_state != 1) {
-      return Status::InvalidArgument(
-          "derivative would move the Boolean state outside {0,1}");
-    }
-    state_scratch_[i] = next_state;
+    FR_CHECK_MSG(false, "vector and scalar derivative validation disagree");
   }
+  state_scratch_.resize(derivatives.size());
+  simd::AddI8(current_states_.data(), derivatives.data(),
+              state_scratch_.data(), derivatives.size());
   TickValidated(state_scratch_, batch);
   return Status::OK();
 }
@@ -142,53 +172,74 @@ void ClientFleet::TickValidated(std::span<const int8_t> states,
                                 ReportBatch* batch) {
   ++time_;
   const int64_t t = time_;
-  // Each client touches only its own slots, so the loop parallelizes with
-  // no synchronization and stays bit-identical to the serial order.
-  auto advance_range = [&](int64_t begin, int64_t end) {
-    for (int64_t u = begin; u < end; ++u) {
-      const auto i = static_cast<size_t>(u);
-      const int8_t state = states[i];
-      if (state != current_states_[i]) {
-        ++changes_seen_[i];
-      }
-      current_states_[i] = state;
-      if (t % interval_lengths_[i] != 0) {
-        continue;
-      }
-      // Observation 3.7: the interval's partial sum telescopes to
-      // st[t] - st[t - 2^h].
-      const auto partial_sum =
-          static_cast<int8_t>(state - boundary_states_[i]);
-      boundary_states_[i] = state;
-      report_scratch_[i] = randomizers_[i]->Randomize(partial_sum);
-    }
-  };
-  if (pool_ != nullptr && size() > 1) {
-    pool_->ParallelFor(size(), advance_range);
-  } else {
-    advance_range(0, size());
+  const size_t n = states.size();
+  batch->clear();
+  if (n == 0) {
+    return;
   }
 
-  // Which clients report at t depends only on their (public) levels, so the
-  // packed batch is compacted serially in client-id order.
-  batch->clear();
-  for (int64_t u = 0; u < size(); ++u) {
-    const auto i = static_cast<size_t>(u);
-    if (t % interval_lengths_[i] == 0) {
-      batch->push_back(
-          ReportMessage{first_client_id_ + u, t, report_scratch_[i]});
+  // Fleet-wide change detection and state refresh as whole-column kernels.
+  changes_total_ +=
+      simd::CountMismatches(states.data(), current_states_.data(), n);
+  std::memcpy(current_states_.data(), states.data(), n);
+
+  // The reporting cohort depends only on countr_zero(t) (clamped: every
+  // level is < num_orders, so deeper trailing zeros add no members).
+  const auto z = static_cast<size_t>(
+      std::min<int64_t>(std::countr_zero(static_cast<uint64_t>(t)),
+                        config_.num_orders() - 1));
+  const std::vector<int32_t>& cohort = cohort_by_tz_[z];
+  batch->resize(cohort.size());
+
+  if (cohort.size() == n) {
+    // Everyone reports (t a multiple of the deepest interval): telescoping
+    // (Observation 3.7: the partial sum is st[t] - st[t - 2^h]) and the
+    // boundary refresh are contiguous column ops.
+    partial_scratch_.resize(n);
+    simd::SubI8(current_states_.data(), boundary_states_.data(),
+                partial_scratch_.data(), n);
+    std::memcpy(boundary_states_.data(), current_states_.data(), n);
+    auto randomize_range = [&](int64_t begin, int64_t end) {
+      for (int64_t u = begin; u < end; ++u) {
+        const auto i = static_cast<size_t>(u);
+        (*batch)[i] = ReportMessage{
+            first_client_id_ + u, t,
+            randomizers_[i]->Randomize(partial_scratch_[i])};
+      }
+    };
+    if (pool_ != nullptr && n > 1) {
+      pool_->ParallelFor(static_cast<int64_t>(n), randomize_range);
+    } else {
+      randomize_range(0, static_cast<int64_t>(n));
+    }
+  } else {
+    // Sparse cohort: gather per member. Each member touches only its own
+    // slots (cohort positions are distinct), so the loop parallelizes with
+    // no synchronization and stays bit-identical to the serial order.
+    auto randomize_range = [&](int64_t begin, int64_t end) {
+      for (int64_t j = begin; j < end; ++j) {
+        const auto i =
+            static_cast<size_t>(cohort[static_cast<size_t>(j)]);
+        const int8_t state = current_states_[i];
+        const auto partial_sum =
+            static_cast<int8_t>(state - boundary_states_[i]);
+        boundary_states_[i] = state;
+        (*batch)[static_cast<size_t>(j)] = ReportMessage{
+            first_client_id_ + static_cast<int64_t>(i), t,
+            randomizers_[i]->Randomize(partial_sum)};
+      }
+    };
+    const auto cohort_size = static_cast<int64_t>(cohort.size());
+    if (pool_ != nullptr && cohort_size > 1) {
+      pool_->ParallelFor(cohort_size, randomize_range);
+    } else {
+      randomize_range(0, cohort_size);
     }
   }
   reports_emitted_ += static_cast<int64_t>(batch->size());
 }
 
-int64_t ClientFleet::changes_seen() const {
-  int64_t total = 0;
-  for (const int64_t changes : changes_seen_) {
-    total += changes;
-  }
-  return total;
-}
+int64_t ClientFleet::changes_seen() const { return changes_total_; }
 
 int64_t ClientFleet::support_overflow_count() const {
   int64_t total = 0;

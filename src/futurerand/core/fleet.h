@@ -139,18 +139,23 @@ class ClientFleet {
   int64_t first_client_id_;
   int64_t time_ = 0;
   int64_t reports_emitted_ = 0;
+  int64_t changes_total_ = 0;
 
   // Structure-of-arrays client state, all indexed by client position.
   std::vector<int> levels_;
-  std::vector<int64_t> interval_lengths_;  // 2^h per client
-  std::vector<int8_t> current_states_;     // st[t], with st[0] = 0
-  std::vector<int8_t> boundary_states_;    // st at the last dyadic boundary
-  std::vector<int64_t> changes_seen_;
+  std::vector<int8_t> current_states_;   // st[t], with st[0] = 0
+  std::vector<int8_t> boundary_states_;  // st at the last dyadic boundary
   std::vector<std::unique_ptr<rand::SequenceRandomizer>> randomizers_;
 
+  // Reporting cohorts, precomputed at Create: cohort_by_tz_[z] lists the
+  // client positions (id order) whose level h satisfies h <= z — exactly
+  // the clients due at any tick t with countr_zero(t) == z. Cohorts nest
+  // (z grows => superset), so one lookup replaces N divisibility tests.
+  std::vector<std::vector<int32_t>> cohort_by_tz_;
+
   std::vector<RegistrationMessage> registrations_;
-  std::vector<int8_t> report_scratch_;  // per-client output slot for a tick
-  std::vector<int8_t> state_scratch_;   // derivative -> state translation
+  std::vector<int8_t> partial_scratch_;  // telescoped partial sums per tick
+  std::vector<int8_t> state_scratch_;    // derivative -> state translation
 };
 
 }  // namespace futurerand::core

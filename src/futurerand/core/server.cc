@@ -95,10 +95,16 @@ Status Server::RegisterClientStrict(int64_t client_id, int level) {
   if (level < 0 || level >= static_cast<int>(level_scales_.size())) {
     return Status::InvalidArgument("level out of range");
   }
-  const auto [it, inserted] = client_levels_.emplace(client_id, level);
-  (void)it;
-  if (!inserted) {
+  if (clients_.Find(client_id) >= 0) {
     return Status::AlreadyExists("client already registered");
+  }
+  clients_.Insert(client_id);
+  client_levels_.push_back(level);
+  // Only the active policy's column is populated (the other stays empty).
+  if (dedup_policy_ == DedupPolicy::kIdempotent) {
+    seen_boundaries_.emplace_back();
+  } else {
+    last_report_time_.push_back(0);
   }
   ++level_counts_[static_cast<size_t>(level)];
   return Status::OK();
@@ -106,9 +112,9 @@ Status Server::RegisterClientStrict(int64_t client_id, int level) {
 
 Status Server::RegisterClient(int64_t client_id, int level) {
   if (dedup_policy_ == DedupPolicy::kIdempotent) {
-    const auto it = client_levels_.find(client_id);
-    if (it != client_levels_.end()) {
-      if (it->second != level) {
+    const int32_t slot = clients_.Find(client_id);
+    if (slot >= 0) {
+      if (client_levels_[static_cast<size_t>(slot)] != level) {
         return Status::AlreadyExists(
             "client already registered at a different level");
       }
@@ -148,15 +154,17 @@ void Server::EvictBehindWindow(BoundaryBitmap* bitmap,
   bitmap->base_word = keep_word;
 }
 
-Status Server::SubmitReport(int64_t client_id, int64_t time, int8_t report) {
+Status Server::CheckAndRecordReport(int64_t client_id, int64_t time,
+                                    int8_t report, int* level_out,
+                                    ReportAction* action) {
   if (report != -1 && report != 1) {
     return Status::InvalidArgument("reports must be -1 or +1");
   }
-  const auto level_it = client_levels_.find(client_id);
-  if (level_it == client_levels_.end()) {
+  const int32_t client_slot = clients_.Find(client_id);
+  if (client_slot < 0) {
     return Status::NotFound("client not registered");
   }
-  const int level = level_it->second;
+  const int level = client_levels_[static_cast<size_t>(client_slot)];
   const int64_t interval_length = int64_t{1} << level;
   if (time < 1 || time > sums_.domain_size()) {
     return Status::OutOfRange("report time outside [1..d]");
@@ -165,8 +173,10 @@ Status Server::SubmitReport(int64_t client_id, int64_t time, int8_t report) {
     return Status::InvalidArgument(
         "level-h clients report only at multiples of 2^h");
   }
+  *level_out = level;
+  *action = ReportAction::kApply;
   if (dedup_policy_ == DedupPolicy::kIdempotent) {
-    BoundaryBitmap& seen = seen_boundaries_[client_id];
+    BoundaryBitmap& seen = seen_boundaries_[static_cast<size_t>(client_slot)];
     const int64_t boundary = (time >> level) - 1;
     const int64_t word = boundary >> 6;
     if (boundary > seen.frontier && dedup_window_.bounded()) {
@@ -180,6 +190,7 @@ Status Server::SubmitReport(int64_t client_id, int64_t time, int8_t report) {
       // Evicted horizon: the bit is gone, so a first delivery and a
       // retransmission are indistinguishable. Refuse to guess.
       ++out_of_window_dropped_;
+      *action = ReportAction::kAbsorb;
       return Status::OK();
     }
     const auto slot = static_cast<size_t>(word - seen.base_word);
@@ -189,6 +200,7 @@ Status Server::SubmitReport(int64_t client_id, int64_t time, int8_t report) {
     const uint64_t bit = uint64_t{1} << (boundary & 63);
     if ((seen.words[slot] & bit) != 0) {
       ++duplicates_dropped_;
+      *action = ReportAction::kAbsorb;
       return Status::OK();
     }
     seen.words[slot] |= bit;
@@ -196,14 +208,84 @@ Status Server::SubmitReport(int64_t client_id, int64_t time, int8_t report) {
       seen.frontier = boundary;
     }
   } else {
-    auto& last_time = last_report_time_[client_id];
+    int64_t& last_time = last_report_time_[static_cast<size_t>(client_slot)];
     if (time <= last_time) {
       return Status::InvalidArgument("duplicate or out-of-order report");
     }
     last_time = time;
   }
-  sums_.At(level, time >> level) += report;
   return Status::OK();
+}
+
+Status Server::SubmitReport(int64_t client_id, int64_t time, int8_t report) {
+  int level = 0;
+  ReportAction action = ReportAction::kAbsorb;
+  FR_RETURN_NOT_OK(
+      CheckAndRecordReport(client_id, time, report, &level, &action));
+  if (action == ReportAction::kApply) {
+    sums_.At(level, time >> level) += report;
+  }
+  return Status::OK();
+}
+
+Status Server::SubmitReports(std::span<const ReportMessage> batch,
+                             int64_t* accepted) {
+  return IngestRecords(batch, /*indices=*/nullptr, batch.size(), accepted);
+}
+
+Status Server::SubmitReports(std::span<const ReportMessage> batch,
+                             std::span<const size_t> indices,
+                             int64_t* accepted) {
+  return IngestRecords(batch, indices.data(), indices.size(), accepted);
+}
+
+Status Server::IngestRecords(std::span<const ReportMessage> batch,
+                             const size_t* indices, size_t count,
+                             int64_t* accepted) {
+  // Per-level accumulator for the current run of same-time records. A fleet
+  // tick emits a whole batch at one time t, so the common case flushes the
+  // buffer exactly once: O(orders) tree stores for the entire batch instead
+  // of one tree walk per report.
+  std::vector<int64_t> level_accum(level_counts_.size(), 0);
+  int64_t pending_time = 0;  // 0 = nothing buffered (report times are >= 1)
+  const auto flush = [&] {
+    if (pending_time == 0) {
+      return;
+    }
+    for (size_t h = 0; h < level_accum.size(); ++h) {
+      if (level_accum[h] != 0) {
+        sums_.At(static_cast<int>(h), pending_time >> h) += level_accum[h];
+        level_accum[h] = 0;
+      }
+    }
+    pending_time = 0;
+  };
+  int64_t done = 0;
+  Status status;
+  for (size_t i = 0; i < count; ++i) {
+    const ReportMessage& record =
+        batch[indices == nullptr ? i : indices[i]];
+    if (record.time != pending_time) {
+      flush();
+    }
+    int level = 0;
+    ReportAction action = ReportAction::kAbsorb;
+    status = CheckAndRecordReport(record.client_id, record.time, record.value,
+                                  &level, &action);
+    if (!status.ok()) {
+      break;
+    }
+    if (action == ReportAction::kApply) {
+      pending_time = record.time;
+      level_accum[static_cast<size_t>(level)] += record.value;
+    }
+    ++done;
+  }
+  flush();
+  if (accepted != nullptr) {
+    *accepted = done;
+  }
+  return status;
 }
 
 Result<double> Server::EstimateAt(int64_t t) const {
@@ -273,17 +355,18 @@ Result<std::vector<double>> Server::EstimateAllConsistent() const {
 
 Status Server::Merge(const Server& other) {
   FR_RETURN_NOT_OK(CheckMergeCompatible(other));
-  for (const auto& [client_id, level] : other.client_levels_) {
+  const std::vector<int64_t>& other_ids = other.clients_.ids();
+  for (size_t slot = 0; slot < other_ids.size(); ++slot) {
     // Strict registration regardless of policy: merged shards partition the
     // client population, so a shared id is a sharding bug, not a retry.
-    FR_RETURN_NOT_OK(RegisterClientStrict(client_id, level));
-    const auto last_it = other.last_report_time_.find(client_id);
-    if (last_it != other.last_report_time_.end()) {
-      last_report_time_[client_id] = last_it->second;
-    }
-    const auto seen_it = other.seen_boundaries_.find(client_id);
-    if (seen_it != other.seen_boundaries_.end()) {
-      seen_boundaries_[client_id] = seen_it->second;
+    FR_RETURN_NOT_OK(RegisterClientStrict(other_ids[slot],
+                                          other.client_levels_[slot]));
+    // RegisterClientStrict pushed a default column entry; overwrite it with
+    // the source client's dedup state.
+    if (dedup_policy_ == DedupPolicy::kIdempotent) {
+      seen_boundaries_.back() = other.seen_boundaries_[slot];
+    } else {
+      last_report_time_.back() = other.last_report_time_[slot];
     }
   }
   duplicates_dropped_ += other.duplicates_dropped_;
@@ -323,11 +406,11 @@ Status Server::CheckMergeCompatible(const Server& other) const {
 }
 
 void Server::AddSums(const Server& other) {
-  for (int h = 0; h < sums_.num_orders(); ++h) {
-    const int64_t count = dyadic::NumIntervalsAtOrder(sums_.domain_size(), h);
-    for (int64_t j = 1; j <= count; ++j) {
-      sums_.At(h, j) += other.sums_.At(h, j);
-    }
+  // Same shape (checked by every caller), so the arenas align element-wise.
+  const std::span<int64_t> mine = sums_.nodes();
+  const std::span<const int64_t> theirs = other.sums_.nodes();
+  for (size_t i = 0; i < mine.size(); ++i) {
+    mine[i] += theirs[i];
   }
 }
 
@@ -342,24 +425,23 @@ double Server::ScaleAtLevel(int level) const {
 }
 
 int64_t Server::ApproxMemoryBytes() const {
-  // Hash maps are charged a flat per-node overhead (bucket pointer + chain
-  // pointer + allocator header) on top of the key/value payload; vectors
-  // are charged their capacity. An estimate, but monotone in the real
-  // footprint, which is what sizing a DedupWindowPolicy needs.
-  constexpr int64_t kNodeOverhead = 24;
+  // Columns are charged their capacity; bitmaps additionally charge their
+  // word storage. An estimate, but monotone in the real footprint, which is
+  // what sizing a DedupWindowPolicy needs.
   int64_t bytes = static_cast<int64_t>(sizeof(Server));
   bytes += (2 * sums_.domain_size() - 1) *
            static_cast<int64_t>(sizeof(int64_t));
   bytes += static_cast<int64_t>(level_scales_.capacity() * sizeof(double));
   bytes += static_cast<int64_t>(level_counts_.capacity() * sizeof(int64_t));
-  bytes += static_cast<int64_t>(client_levels_.size()) *
-           (kNodeOverhead + sizeof(int64_t) + sizeof(int));
-  bytes += static_cast<int64_t>(last_report_time_.size()) *
-           (kNodeOverhead + 2 * sizeof(int64_t));
-  for (const auto& [id, bitmap] : seen_boundaries_) {
-    (void)id;
-    bytes += kNodeOverhead + sizeof(int64_t) + sizeof(BoundaryBitmap) +
-             static_cast<int64_t>(bitmap.words.capacity() * sizeof(uint64_t));
+  bytes += clients_.ApproxMemoryBytes();
+  bytes += static_cast<int64_t>(client_levels_.capacity() * sizeof(int32_t));
+  bytes +=
+      static_cast<int64_t>(last_report_time_.capacity() * sizeof(int64_t));
+  bytes += static_cast<int64_t>(seen_boundaries_.capacity() *
+                                sizeof(BoundaryBitmap));
+  for (const BoundaryBitmap& bitmap : seen_boundaries_) {
+    bytes +=
+        static_cast<int64_t>(bitmap.words.capacity() * sizeof(uint64_t));
   }
   return bytes;
 }

@@ -14,11 +14,13 @@
 #define FUTURERAND_CORE_SERVER_H_
 
 #include <cstdint>
-#include <unordered_map>
+#include <span>
 #include <vector>
 
 #include "futurerand/common/result.h"
+#include "futurerand/core/client_index.h"
 #include "futurerand/core/config.h"
+#include "futurerand/core/wire.h"
 #include "futurerand/dyadic/tree.h"
 
 namespace futurerand::core {
@@ -127,6 +129,25 @@ class Server {
   /// than -1/+1, all before any state changes.
   Status SubmitReport(int64_t client_id, int64_t time, int8_t report);
 
+  /// Batch ingest: applies batch[i] in order with exactly SubmitReport's
+  /// per-record semantics, stopping at the first error (records before it
+  /// stay applied, as if submitted one by one). Within a run of records
+  /// sharing a report time — the common case, since a fleet tick emits one
+  /// batch per period — the per-level aggregate updates are accumulated in
+  /// a small per-order buffer and flushed to the interval tree once per
+  /// (level, time), turning d tree walks into one. `*accepted` (optional)
+  /// receives the number of records consumed without error, including
+  /// dropped duplicates.
+  Status SubmitReports(std::span<const ReportMessage> batch,
+                       int64_t* accepted = nullptr);
+
+  /// SubmitReports over a sub-sequence: applies batch[indices[i]] in index
+  /// order. Lets a sharded ingest route one decoded batch to many servers
+  /// without materializing per-shard copies.
+  Status SubmitReports(std::span<const ReportMessage> batch,
+                       std::span<const size_t> indices,
+                       int64_t* accepted = nullptr);
+
   /// The online estimate a_hat[t] (Algorithm 2 line 6), valid as soon as
   /// every report for time <= t has been submitted. Requires 1 <= t <= d.
   Result<double> EstimateAt(int64_t t) const;
@@ -169,9 +190,7 @@ class Server {
   Status MergeAggregatesOnly(const Server& other);
 
   int64_t num_periods() const { return sums_.domain_size(); }
-  int64_t num_clients() const {
-    return static_cast<int64_t>(client_levels_.size());
-  }
+  int64_t num_clients() const { return clients_.size(); }
 
   /// Number of registered clients at level h. FR_CHECKs the range.
   int64_t ClientCountAtLevel(int level) const;
@@ -223,6 +242,25 @@ class Server {
   void AddSums(const Server& other);
   Status RegisterClientStrict(int64_t client_id, int level);
 
+  /// What SubmitReport should do with a checked record.
+  enum class ReportAction {
+    kApply,   // add the report to the interval sums
+    kAbsorb,  // counted drop (duplicate / out-of-window); sums untouched
+  };
+
+  /// All of SubmitReport except the aggregate update, in the exact check
+  /// order of the scalar path: value, registration, range, alignment,
+  /// dedup. On OK, *level_out is the client's level and *action says
+  /// whether the report lands in the sums; dedup state has been recorded.
+  Status CheckAndRecordReport(int64_t client_id, int64_t time, int8_t report,
+                              int* level_out, ReportAction* action);
+
+  /// Shared body of both SubmitReports overloads: applies
+  /// batch[indices ? indices[i] : i] for i in [0..count).
+  Status IngestRecords(std::span<const ReportMessage> batch,
+                       const size_t* indices, size_t count,
+                       int64_t* accepted);
+
   /// Words of a full kIdempotent boundary bitmap for a level-h client:
   /// one bit per multiple of 2^h in [1..d]. The upper bound on any
   /// BoundaryBitmap's base_word + words.size().
@@ -237,11 +275,19 @@ class Server {
   DedupWindowPolicy dedup_window_;
   std::vector<double> level_scales_;
   dyadic::DyadicTree<int64_t> sums_;  // raw sum of +/-1 reports per interval
-  std::unordered_map<int64_t, int> client_levels_;
-  // kStrict: the client's last accepted report time (monotonicity check).
-  std::unordered_map<int64_t, int64_t> last_report_time_;
-  // kIdempotent: the windowed boundary bitmap per reporting client.
-  std::unordered_map<int64_t, BoundaryBitmap> seen_boundaries_;
+
+  // Per-client state, columnar: clients_ maps id -> dense slot, and the
+  // vectors below are indexed by slot (only the policy's column is
+  // populated). One flat-hash probe plus contiguous column loads per
+  // report, instead of two chained unordered_map lookups.
+  ClientIndex clients_;
+  std::vector<int32_t> client_levels_;  // sampled order h per slot
+  // kStrict: the client's last accepted report time (monotonicity check);
+  // 0 = never reported.
+  std::vector<int64_t> last_report_time_;
+  // kIdempotent: the windowed boundary bitmap per slot.
+  std::vector<BoundaryBitmap> seen_boundaries_;
+
   std::vector<int64_t> level_counts_;
   int64_t duplicates_dropped_ = 0;
   int64_t out_of_window_dropped_ = 0;

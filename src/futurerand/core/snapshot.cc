@@ -75,42 +75,31 @@ struct ServerStateCodec {
     PutVarint64(static_cast<uint64_t>(server.duplicates_dropped_), &out);
     PutVarint64(static_cast<uint64_t>(server.out_of_window_dropped_), &out);
 
-    // Clients in id order: unordered_map iteration would make equal states
+    // Clients in id order: slot (insertion) order would make equal states
     // encode to different bytes.
-    std::vector<int64_t> ids;
-    ids.reserve(server.client_levels_.size());
-    for (const auto& [id, level] : server.client_levels_) {
-      ids.push_back(id);
-    }
+    std::vector<int64_t> ids = server.clients_.ids();
     std::sort(ids.begin(), ids.end());
     PutVarint64(ids.size(), &out);
     int64_t previous_id = 0;
     for (const int64_t id : ids) {
-      const int level = server.client_levels_.at(id);
+      const auto slot = static_cast<size_t>(server.clients_.Find(id));
       PutVarint64(ZigZagEncode(id - previous_id), &out);
-      PutVarint64(static_cast<uint64_t>(level), &out);
+      PutVarint64(static_cast<uint64_t>(server.client_levels_[slot]), &out);
       previous_id = id;
       if (server.dedup_policy_ == DedupPolicy::kIdempotent) {
         // Only the materialized window is serialized: the eviction
         // watermark (base_word) plus the live words. A client that never
-        // reported costs two zero bytes.
-        const auto seen_it = server.seen_boundaries_.find(id);
-        if (seen_it == server.seen_boundaries_.end()) {
-          PutVarint64(0, &out);
-          PutVarint64(0, &out);
-        } else {
-          const Server::BoundaryBitmap& bitmap = seen_it->second;
-          PutVarint64(static_cast<uint64_t>(bitmap.base_word), &out);
-          PutVarint64(bitmap.words.size(), &out);
-          for (const uint64_t word : bitmap.words) {
-            PutVarint64(word, &out);
-          }
+        // reported has an empty bitmap (base_word 0) and costs two zero
+        // bytes.
+        const Server::BoundaryBitmap& bitmap = server.seen_boundaries_[slot];
+        PutVarint64(static_cast<uint64_t>(bitmap.base_word), &out);
+        PutVarint64(bitmap.words.size(), &out);
+        for (const uint64_t word : bitmap.words) {
+          PutVarint64(word, &out);
         }
       } else {
-        const auto last_it = server.last_report_time_.find(id);
-        const int64_t last =
-            last_it != server.last_report_time_.end() ? last_it->second : 0;
-        PutVarint64(static_cast<uint64_t>(last), &out);
+        PutVarint64(static_cast<uint64_t>(server.last_report_time_[slot]),
+                    &out);
       }
     }
     AppendChecksum(&out);
@@ -178,6 +167,7 @@ struct ServerStateCodec {
 
     FR_ASSIGN_OR_RETURN(const uint64_t num_clients, GetVarint64(&bytes));
     FR_RETURN_NOT_OK(CheckPlausibleCount(num_clients, 3, bytes));
+    server.clients_.Reserve(num_clients);
     server.client_levels_.reserve(num_clients);
     int64_t previous_id = 0;
     for (uint64_t c = 0; c < num_clients; ++c) {
@@ -189,15 +179,17 @@ struct ServerStateCodec {
       const int64_t id = previous_id + ZigZagDecode(id_delta);
       const int level = static_cast<int>(raw_level);
       previous_id = id;
-      if (!server.client_levels_.emplace(id, level).second) {
+      if (server.clients_.Find(id) >= 0) {
         return Status::InvalidArgument("snapshot repeats a client id");
       }
+      // Columns are populated directly (not via RegisterClientStrict):
+      // level_counts_ came from the blob's own level section above.
+      server.clients_.Insert(id);
+      server.client_levels_.push_back(level);
       if (policy == DedupPolicy::kIdempotent) {
         FR_ASSIGN_OR_RETURN(Server::BoundaryBitmap bitmap,
                             DecodeBoundaryBitmap(server, level, &bytes));
-        if (!bitmap.words.empty()) {
-          server.seen_boundaries_.emplace(id, std::move(bitmap));
-        }
+        server.seen_boundaries_.push_back(std::move(bitmap));
       } else {
         FR_ASSIGN_OR_RETURN(const uint64_t last, GetVarint64(&bytes));
         if (last > raw_periods ||
@@ -205,9 +197,7 @@ struct ServerStateCodec {
           return Status::InvalidArgument(
               "snapshot last report time invalid for level");
         }
-        if (last != 0) {
-          server.last_report_time_[id] = static_cast<int64_t>(last);
-        }
+        server.last_report_time_.push_back(static_cast<int64_t>(last));
       }
     }
     if (!bytes.empty()) {
@@ -220,7 +210,7 @@ struct ServerStateCodec {
   // the in-memory invariants: the frontier is the highest set bit, the last
   // word is never zero, no bit exceeds the level's boundary count, and an
   // eviction watermark requires a bounded window. A client that never
-  // reported decodes to an empty bitmap (caller skips the map entry).
+  // reported decodes to an empty bitmap (base_word 0, frontier -1).
   static Result<Server::BoundaryBitmap> DecodeBoundaryBitmap(
       const Server& server, int level, std::string_view* bytes) {
     FR_ASSIGN_OR_RETURN(const uint64_t raw_base, GetVarint64(bytes));
@@ -295,17 +285,20 @@ struct ServerStateCodec {
       targets[0].AddSums(source);
       targets[0].duplicates_dropped_ += source.duplicates_dropped_;
       targets[0].out_of_window_dropped_ += source.out_of_window_dropped_;
-      for (const auto& [id, level] : source.client_levels_) {
+      const std::vector<int64_t>& source_ids = source.clients_.ids();
+      for (size_t slot = 0; slot < source_ids.size(); ++slot) {
+        const int64_t id = source_ids[slot];
         Server& target =
             targets[static_cast<size_t>(((id % shards) + shards) % shards)];
-        FR_RETURN_NOT_OK(target.RegisterClientStrict(id, level));
-        if (const auto last_it = source.last_report_time_.find(id);
-            last_it != source.last_report_time_.end()) {
-          target.last_report_time_[id] = last_it->second;
-        }
-        if (const auto seen_it = source.seen_boundaries_.find(id);
-            seen_it != source.seen_boundaries_.end()) {
-          target.seen_boundaries_[id] = std::move(seen_it->second);
+        FR_RETURN_NOT_OK(
+            target.RegisterClientStrict(id, source.client_levels_[slot]));
+        // RegisterClientStrict pushed a default column entry; overwrite it
+        // with the source client's dedup state.
+        if (source.dedup_policy_ == DedupPolicy::kIdempotent) {
+          target.seen_boundaries_.back() =
+              std::move(source.seen_boundaries_[slot]);
+        } else {
+          target.last_report_time_.back() = source.last_report_time_[slot];
         }
       }
     }

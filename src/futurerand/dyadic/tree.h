@@ -7,6 +7,7 @@
 #define FUTURERAND_DYADIC_TREE_H_
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "futurerand/common/macros.h"
@@ -24,6 +25,9 @@ std::vector<int64_t> LevelSizes(int64_t d);
 ///
 /// T must be default-constructible and additive (operator+=). All node
 /// accessors use the paper's (order h, 1-based index j) coordinates.
+/// Storage is one contiguous arena over all orders (offsets_[h] is order
+/// h's start), so whole-tree walks (merge, snapshot, batched ingest) run
+/// over a single allocation instead of chasing 1+log d vectors.
 template <typename T>
 class DyadicTree {
  public:
@@ -33,22 +37,25 @@ class DyadicTree {
     FR_CHECK_MSG(d > 0 && IsPowerOfTwo(static_cast<uint64_t>(d)),
                  "domain size must be a power of two");
     const int orders = NumOrders(d);
-    levels_.resize(static_cast<size_t>(orders));
+    offsets_.resize(static_cast<size_t>(orders) + 1);
+    offsets_[0] = 0;
     for (int h = 0; h < orders; ++h) {
-      levels_[static_cast<size_t>(h)].assign(
-          static_cast<size_t>(NumIntervalsAtOrder(d, h)), T{});
+      offsets_[static_cast<size_t>(h) + 1] =
+          offsets_[static_cast<size_t>(h)] + NumIntervalsAtOrder(d, h);
     }
+    nodes_.assign(static_cast<size_t>(offsets_.back()), T{});
   }
 
   int64_t domain_size() const { return d_; }
-  int num_orders() const { return static_cast<int>(levels_.size()); }
+  int num_orders() const { return static_cast<int>(offsets_.size()) - 1; }
 
   /// Mutable access to the node for interval I_{h,j}.
   T& At(int order, int64_t index) {
     FR_DCHECK(order >= 0 && order < num_orders());
-    FR_DCHECK(index >= 1 &&
-              index <= static_cast<int64_t>(levels_[order].size()));
-    return levels_[static_cast<size_t>(order)][static_cast<size_t>(index - 1)];
+    FR_DCHECK(index >= 1 && index <= offsets_[static_cast<size_t>(order) + 1] -
+                                         offsets_[static_cast<size_t>(order)]);
+    return nodes_[static_cast<size_t>(offsets_[static_cast<size_t>(order)] +
+                                      index - 1)];
   }
 
   const T& At(int order, int64_t index) const {
@@ -82,9 +89,15 @@ class DyadicTree {
     return total;
   }
 
+  /// The whole arena in (order-major, index-minor) layout — the columnar
+  /// view batch consumers (merge, snapshot encode) iterate directly.
+  std::span<T> nodes() { return nodes_; }
+  std::span<const T> nodes() const { return nodes_; }
+
  private:
   int64_t d_;
-  std::vector<std::vector<T>> levels_;
+  std::vector<int64_t> offsets_;  // per-order start into nodes_, + sentinel
+  std::vector<T> nodes_;
 };
 
 }  // namespace futurerand::dyadic

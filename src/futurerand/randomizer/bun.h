@@ -29,6 +29,8 @@ class BunRandomizer final : public SequenceRandomizer {
                                                        double epsilon,
                                                        uint64_t seed);
 
+  // The scalar override would otherwise hide the base batch overload.
+  using SequenceRandomizer::Randomize;
   int8_t Randomize(int8_t value) override;
   double c_gap() const override { return spec_.c_gap; }
   int64_t length() const override { return length_; }

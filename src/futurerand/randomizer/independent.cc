@@ -53,4 +53,29 @@ int8_t IndependentRandomizer::Randomize(int8_t value) {
   return basic_.Apply(value, &rng_);
 }
 
+std::span<int8_t> IndependentRandomizer::Randomize(
+    std::span<const int8_t> values, std::span<int8_t> out) {
+  FR_CHECK_MSG(out.size() >= values.size(),
+               "batch output must be at least as large as the input");
+  // Hoisted from the scalar loop: one bound check covers the whole batch.
+  FR_CHECK_MSG(position_ + static_cast<int64_t>(values.size()) <= length_,
+               "more inputs than the configured length");
+  for (size_t i = 0; i < values.size(); ++i) {
+    const int8_t value = values[i];
+    FR_CHECK_MSG(value == -1 || value == 0 || value == 1,
+                 "inputs must be in {-1, 0, +1}");
+    if (value == 0) {
+      out[i] = rng_.NextSign();
+    } else if (support_used_ >= max_support_) {
+      ++support_overflow_count_;
+      out[i] = rng_.NextSign();
+    } else {
+      ++support_used_;
+      out[i] = basic_.Apply(value, &rng_);
+    }
+  }
+  position_ += static_cast<int64_t>(values.size());
+  return out.first(values.size());
+}
+
 }  // namespace futurerand::rand

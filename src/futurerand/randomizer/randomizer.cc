@@ -1,0 +1,17 @@
+#include "futurerand/randomizer/randomizer.h"
+
+#include "futurerand/common/macros.h"
+
+namespace futurerand::rand {
+
+std::span<int8_t> SequenceRandomizer::Randomize(std::span<const int8_t> values,
+                                                std::span<int8_t> out) {
+  FR_CHECK_MSG(out.size() >= values.size(),
+               "batch output must be at least as large as the input");
+  for (size_t i = 0; i < values.size(); ++i) {
+    out[i] = Randomize(values[i]);
+  }
+  return out.first(values.size());
+}
+
+}  // namespace futurerand::rand

@@ -201,6 +201,77 @@ TEST(FleetTest, ValidatesInputsBeforeMutatingAnything) {
   EXPECT_FALSE(fleet.AdvanceTick(good, &batch).ok());
 }
 
+TEST(FleetTest, PoisonedConfigReturnsFirstErrorPooledAndSerial) {
+  // Regression: the pooled Create path used to keep constructing
+  // randomizers (each pre-computes a noise vector) after the first chunk
+  // had already failed — O(n) wasted work before surfacing the error. The
+  // short-circuit must not change what is reported: both execution modes
+  // return the factory's first error for a poisoned randomizer kind.
+  ProtocolConfig poisoned =
+      TestConfig(rand::RandomizerKind::kFutureRand, 16, 2);
+  poisoned.randomizer = static_cast<rand::RandomizerKind>(99);
+
+  const auto serial = ClientFleet::Create(poisoned, 50000, 5);
+  ASSERT_FALSE(serial.ok());
+  EXPECT_NE(serial.status().ToString().find("unknown randomizer kind"),
+            std::string::npos)
+      << serial.status().ToString();
+
+  ThreadPool pool(4);
+  const auto pooled = ClientFleet::Create(poisoned, 50000, 5, &pool);
+  ASSERT_FALSE(pooled.ok());
+  EXPECT_EQ(pooled.status().ToString(), serial.status().ToString());
+}
+
+TEST(FleetTest, FailedDerivativeTickLeavesFleetByteIdentical) {
+  // Regression: AdvanceTickDerivatives used to fill its next-state scratch
+  // element by element while validating, so a vector with a valid prefix
+  // and one bad entry left partial work behind. Validation is now a
+  // read-only pass over the whole tick; a failed call must leave the fleet
+  // indistinguishable from a twin that never saw it.
+  const ProtocolConfig config =
+      TestConfig(rand::RandomizerKind::kFutureRand, 16, 3);
+  const int64_t n = 70;  // straddles two AVX2 lanes plus tail
+  ClientFleet fleet = ClientFleet::Create(config, n, 11).ValueOrDie();
+  ClientFleet twin = ClientFleet::Create(config, n, 11).ValueOrDie();
+
+  // A few good derivative ticks first, so the internal state is nontrivial.
+  std::vector<int8_t> derivatives(static_cast<size_t>(n), 0);
+  for (int64_t t = 1; t <= 3; ++t) {
+    for (int64_t u = 0; u < n; ++u) {
+      derivatives[static_cast<size_t>(u)] = static_cast<int8_t>(
+          PatternState(u, t, 16) - PatternState(u, t - 1, 16));
+    }
+    ASSERT_EQ(fleet.AdvanceTickDerivatives(derivatives).ValueOrDie(),
+              twin.AdvanceTickDerivatives(derivatives).ValueOrDie());
+  }
+
+  // Valid prefix, bad tail: every element before the last is a legal step,
+  // the last is out of range — the old code had done n-1 elements of work
+  // by the time it noticed.
+  std::vector<int8_t> poisoned(static_cast<size_t>(n), 0);
+  poisoned.back() = 2;
+  ReportBatch batch;
+  EXPECT_FALSE(fleet.AdvanceTickDerivatives(poisoned, &batch).ok());
+  // And one that exits {0,1} only at the very end.
+  std::vector<int8_t> exits(static_cast<size_t>(n), 0);
+  exits.back() = static_cast<int8_t>(PatternState(n - 1, 3, 16) == 1 ? 1 : -1);
+  EXPECT_FALSE(fleet.AdvanceTickDerivatives(exits, &batch).ok());
+  EXPECT_EQ(fleet.current_time(), 3);
+
+  // The rejected calls consumed nothing: both fleets emit bit-identical
+  // reports for the rest of the horizon.
+  for (int64_t t = 4; t <= config.num_periods; ++t) {
+    for (int64_t u = 0; u < n; ++u) {
+      derivatives[static_cast<size_t>(u)] = static_cast<int8_t>(
+          PatternState(u, t, 16) - PatternState(u, t - 1, 16));
+    }
+    EXPECT_EQ(fleet.AdvanceTickDerivatives(derivatives).ValueOrDie(),
+              twin.AdvanceTickDerivatives(derivatives).ValueOrDie())
+        << "t=" << t;
+  }
+}
+
 TEST(FleetTest, EncodedConveniencesMatchSeparateCalls) {
   const ProtocolConfig config =
       TestConfig(rand::RandomizerKind::kFutureRand, /*d=*/16, /*k=*/2);
