@@ -36,6 +36,7 @@
 #include "futurerand/core/aggregator.h"
 #include "futurerand/core/fleet.h"
 #include "futurerand/core/snapshot.h"
+#include "futurerand/core/store.h"
 #include "futurerand/core/wire.h"
 
 namespace {
@@ -196,6 +197,11 @@ int Run(int argc, char** argv) {
   std::string checkpoint_mode = "full";
   int64_t wire_version = 2;
   double corrupt_rate = 0.0;
+  const core::StoreConfig sketch_defaults;
+  std::string store_name = "dense";
+  int64_t sketch_rows = sketch_defaults.sketch_rows;
+  int64_t sketch_width = sketch_defaults.sketch_width;
+  int64_t sketch_seed = static_cast<int64_t>(sketch_defaults.sketch_seed);
   bool json = false;
   bool help = false;
 
@@ -232,6 +238,17 @@ int Run(int argc, char** argv) {
                    "stage then runs the NACK retransmission loop and "
                    "reports the retransmission count; requires --dedup "
                    "under --wire-version=1");
+  parser.AddString("store", &store_name,
+                   "per-shard aggregate storage: dense (exact) | sketch "
+                   "(count-sketch levels, bounded extra error, O(levels*R*W) "
+                   "memory per shard)");
+  parser.AddInt64("sketch-rows", &sketch_rows,
+                  "count-sketch depth R in [1, 64]; only with --store=sketch");
+  parser.AddInt64("sketch-width", &sketch_width,
+                  "count-sketch width W, a power of two in [8, 2^30]; only "
+                  "with --store=sketch");
+  parser.AddInt64("sketch-seed", &sketch_seed,
+                  "seed of the per-(level,row) hashes");
   parser.AddBool("json", &json,
                  "print one machine-readable JSON line instead of a table");
   parser.AddBool("help", &help, "print usage");
@@ -291,6 +308,23 @@ int Run(int argc, char** argv) {
 
   core::ProtocolConfig config = bench::MakeConfig(d, k, eps);
   config.randomizer = *randomizer;
+  const auto store_kind = core::ParseStoreKind(store_name);
+  if (!store_kind.ok()) {
+    std::fprintf(stderr, "%s\n%s", store_kind.status().ToString().c_str(),
+                 parser.Usage("bench_throughput").c_str());
+    return 2;
+  }
+  if (*store_kind == core::StoreKind::kSketch) {
+    config.store = core::StoreConfig::Sketch(
+        static_cast<int32_t>(sketch_rows), sketch_width,
+        static_cast<uint64_t>(sketch_seed));
+  }
+  if (const Status store_status = config.store.Validate();
+      !store_status.ok()) {
+    std::fprintf(stderr, "%s\n%s", store_status.ToString().c_str(),
+                 parser.Usage("bench_throughput").c_str());
+    return 2;
+  }
   ThreadPool pool(static_cast<int>(threads));
   const int effective_shards =
       shards > 0 ? static_cast<int>(shards) : pool.num_threads();
@@ -334,6 +368,10 @@ int Run(int argc, char** argv) {
   }
 
   const int64_t user_periods = n * d;
+  // Per-shard cost of the aggregate cells alone (sans dedup bitmaps),
+  // under both backends — the number the sketch exists to shrink.
+  const int64_t store_bytes_per_shard =
+      core::MakeAggregateStore(config.store, d)->ApproxMemoryBytes();
   if (json) {
     bench::JsonLine line;
     line.Add("bench", "throughput")
@@ -343,6 +381,14 @@ int Run(int argc, char** argv) {
         .Add("k", k)
         .Add("eps", eps)
         .Add("randomizer", rand::RandomizerKindToString(*randomizer))
+        .Add("store", core::StoreKindToString(*store_kind))
+        .Add("sketch_rows", *store_kind == core::StoreKind::kSketch
+                                ? static_cast<int64_t>(config.store.sketch_rows)
+                                : int64_t{0})
+        .Add("sketch_width", *store_kind == core::StoreKind::kSketch
+                                 ? config.store.sketch_width
+                                 : int64_t{0})
+        .Add("store_bytes_per_shard", store_bytes_per_shard)
         .Add("dedup", dedup ? 1 : 0)
         .Add("dedup_window", dedup_window)
         .Add("wire_version", wire_version)
@@ -394,11 +440,12 @@ int Run(int argc, char** argv) {
   }
 
   std::printf("pipeline %s: n=%lld d=%lld k=%lld eps=%g shards=%d "
-              "threads=%d\n",
+              "threads=%d store=%s (%lld bytes/shard)\n",
               rand::RandomizerKindToString(*randomizer),
               static_cast<long long>(n), static_cast<long long>(d),
               static_cast<long long>(k), eps, effective_shards,
-              pool.num_threads());
+              pool.num_threads(), core::StoreKindToString(*store_kind),
+              static_cast<long long>(store_bytes_per_shard));
   TablePrinter table({"stage", "seconds", "items", "items/sec"});
   table.AddRow({"fleet create",
                 TablePrinter::FormatDouble(stats->create_seconds, 4),

@@ -92,7 +92,7 @@ while read -r name number; do
     fail=1
   fi
 done <<EOF
-$(sed -n 's/.*k\([A-Za-z]*\) (\([0-9][0-9]*\)).*/\1 \2/p' "$snapshot_h")
+$(sed -n 's/.*[^A-Za-z]k\([A-Za-z]*\) (\([0-9][0-9]*\)).*/\1 \2/p' "$snapshot_h")
 EOF
 
 if [ "$fail" -ne 0 ]; then

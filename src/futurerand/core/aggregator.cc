@@ -11,12 +11,14 @@ ShardedAggregator::ShardedAggregator(int64_t num_periods,
                                      std::vector<double> level_scales,
                                      DedupPolicy dedup,
                                      DedupWindowPolicy window,
+                                     StoreConfig store,
                                      std::vector<Shard> shards,
                                      Server snapshot)
     : num_periods_(num_periods),
       level_scales_(std::move(level_scales)),
       dedup_policy_(dedup),
       dedup_window_(window),
+      store_config_(store.Canonical()),
       shards_(std::move(shards)),
       checkpoint_mutex_(std::make_unique<std::mutex>()),
       snapshot_mutex_(std::make_unique<std::mutex>()),
@@ -28,12 +30,12 @@ Result<ShardedAggregator> ShardedAggregator::ForProtocol(
   FR_ASSIGN_OR_RETURN(std::vector<double> scales,
                       ProtocolLevelScales(config));
   return WithScales(config.num_periods, std::move(scales), num_shards, dedup,
-                    window);
+                    window, config.store);
 }
 
 Result<ShardedAggregator> ShardedAggregator::WithScales(
     int64_t num_periods, std::vector<double> level_scales, int num_shards,
-    DedupPolicy dedup, DedupWindowPolicy window) {
+    DedupPolicy dedup, DedupWindowPolicy window, StoreConfig store) {
   if (num_shards < 1) {
     return Status::InvalidArgument("need at least one shard");
   }
@@ -42,17 +44,18 @@ Result<ShardedAggregator> ShardedAggregator::WithScales(
   for (int s = 0; s < num_shards; ++s) {
     FR_ASSIGN_OR_RETURN(
         Server server,
-        Server::WithScales(num_periods, level_scales, dedup, window));
+        Server::WithScales(num_periods, level_scales, dedup, window, store));
     shards.push_back(Shard{std::make_unique<std::mutex>(),
                            std::move(server)});
   }
-  // The snapshot shares the policy so MergeAggregatesOnly stays compatible;
-  // it never ingests, so the policy is otherwise inert there.
+  // The snapshot shares the policy and store so MergeAggregatesOnly stays
+  // compatible; it never ingests, so the policy is otherwise inert there.
   FR_ASSIGN_OR_RETURN(
       Server snapshot,
-      Server::WithScales(num_periods, level_scales, dedup, window));
+      Server::WithScales(num_periods, level_scales, dedup, window, store));
   return ShardedAggregator(num_periods, std::move(level_scales), dedup,
-                           window, std::move(shards), std::move(snapshot));
+                           window, store, std::move(shards),
+                           std::move(snapshot));
 }
 
 int ShardedAggregator::ShardIndex(int64_t client_id) const {
@@ -233,6 +236,7 @@ Status ShardedAggregator::IngestEncoded(std::string_view bytes,
       return IngestReports(batch, pool, outcome);
     }
     case WireBatchKind::kServerState:
+    case WireBatchKind::kServerStateSketch:
     case WireBatchKind::kAggregatorState:
     case WireBatchKind::kAggregatorDelta:
       return Status::InvalidArgument(
@@ -313,6 +317,10 @@ Result<Server> ShardedAggregator::DecodeAndValidateShard(
   if (server.dedup_window() != dedup_window_) {
     return Status::InvalidArgument(
         "checkpoint dedup window mismatches aggregator");
+  }
+  if (server.store_config() != store_config_) {
+    return Status::InvalidArgument(
+        "checkpoint store config mismatches aggregator");
   }
   return server;
 }
@@ -430,7 +438,8 @@ Status ShardedAggregator::RefreshSnapshotLocked() const {
   }
   FR_ASSIGN_OR_RETURN(Server fresh,
                       Server::WithScales(num_periods_, level_scales_,
-                                         dedup_policy_, dedup_window_));
+                                         dedup_policy_, dedup_window_,
+                                         store_config_));
   for (const Shard& shard : shards_) {
     const std::lock_guard<std::mutex> lock(*shard.mutex);
     // Aggregates only: the snapshot never ingests reports itself, and

@@ -69,10 +69,13 @@ enum class CheckpointMode {
 class ShardedAggregator {
  public:
   /// Builds `num_shards` Server shards (>= 1) for the protocol
-  /// configuration, with the exact per-level debiasing scales. With
+  /// configuration, with the exact per-level debiasing scales; every shard
+  /// holds its counters in the aggregate store config.store selects (dense
+  /// by default, count-sketch for huge domains — see core/store.h). With
   /// DedupPolicy::kIdempotent, at-least-once delivery (duplicates, retries,
   /// reordering) produces estimates bit-identical to exactly-once; `window`
   /// optionally bounds the per-client dedup memory (see DedupWindowPolicy).
+  /// Invalid sketch parameters fail here, at construction time.
   static Result<ShardedAggregator> ForProtocol(
       const ProtocolConfig& config, int num_shards,
       DedupPolicy dedup = DedupPolicy::kStrict,
@@ -80,11 +83,12 @@ class ShardedAggregator {
 
   /// Builds shards with externally supplied per-level report scales (for
   /// baseline protocols whose estimators carry extra factors, e.g. the
-  /// Erlingsson server).
+  /// Erlingsson server). `store` injects the per-shard aggregate backend
+  /// (default dense), validated at construction time like Server::WithScales.
   static Result<ShardedAggregator> WithScales(
       int64_t num_periods, std::vector<double> level_scales, int num_shards,
       DedupPolicy dedup = DedupPolicy::kStrict,
-      DedupWindowPolicy window = {});
+      DedupWindowPolicy window = {}, StoreConfig store = {});
 
   ShardedAggregator(ShardedAggregator&&) = default;
   ShardedAggregator& operator=(ShardedAggregator&&) = default;
@@ -171,6 +175,10 @@ class ShardedAggregator {
   /// The dedup eviction policy every shard was built with.
   const DedupWindowPolicy& dedup_window() const { return dedup_window_; }
 
+  /// The aggregate-store configuration every shard was built with
+  /// (canonical form). Restored checkpoints must match it.
+  const StoreConfig& store_config() const { return store_config_; }
+
   /// Registered clients, summed over shards.
   int64_t num_clients() const;
 
@@ -202,7 +210,8 @@ class ShardedAggregator {
 
   ShardedAggregator(int64_t num_periods, std::vector<double> level_scales,
                     DedupPolicy dedup, DedupWindowPolicy window,
-                    std::vector<Shard> shards, Server snapshot);
+                    StoreConfig store, std::vector<Shard> shards,
+                    Server snapshot);
 
   // Re-merges every shard into snapshot_ if ingestion happened since the
   // last refresh. Caller holds *snapshot_mutex_.
@@ -225,6 +234,7 @@ class ShardedAggregator {
   std::vector<double> level_scales_;
   DedupPolicy dedup_policy_;
   DedupWindowPolicy dedup_window_;
+  StoreConfig store_config_;  // canonical form
   std::vector<Shard> shards_;
 
   // Checkpoint chain position, guarded by *checkpoint_mutex_ (which also

@@ -19,6 +19,7 @@ Status ProtocolConfig::Validate() const {
     return Status::InvalidArgument(
         "epsilon must lie in (0, 1], the analyzed regime");
   }
+  FR_RETURN_NOT_OK(store.Validate());
   return Status::OK();
 }
 
@@ -37,10 +38,11 @@ int64_t ProtocolConfig::SupportAtLevel(int level) const {
 std::string ProtocolConfig::ToString() const {
   char buffer[160];
   std::snprintf(buffer, sizeof(buffer),
-                "ProtocolConfig{d=%lld k=%lld eps=%.4g randomizer=%s}",
+                "ProtocolConfig{d=%lld k=%lld eps=%.4g randomizer=%s store=%s}",
                 static_cast<long long>(num_periods),
                 static_cast<long long>(max_changes), epsilon,
-                rand::RandomizerKindToString(randomizer));
+                rand::RandomizerKindToString(randomizer),
+                StoreKindToString(store.kind));
   return buffer;
 }
 

@@ -7,6 +7,7 @@
 #include <string>
 
 #include "futurerand/common/status.h"
+#include "futurerand/core/store.h"
 #include "futurerand/randomizer/randomizer.h"
 
 namespace futurerand::core {
@@ -44,8 +45,15 @@ struct ProtocolConfig {
   /// only; pure post-processing, so privacy is unchanged.
   bool consistent_estimation = false;
 
+  /// Which aggregate backend server shards hold their per-interval
+  /// counters in (core/store.h). Dense by default — the paper-faithful,
+  /// exact choice; kSketch trades a bounded additive estimation error for
+  /// O(levels * rows * width) memory per shard instead of O(d), making
+  /// domains of hundreds of millions of periods feasible.
+  StoreConfig store;
+
   /// OK iff num_periods is a power of two, 1 <= max_changes <= num_periods,
-  /// and 0 < epsilon <= 1.
+  /// 0 < epsilon <= 1, and the store config is valid.
   Status Validate() const;
 
   /// 1 + log2(d): the number of dyadic orders, and the support size of the

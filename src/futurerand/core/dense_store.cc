@@ -1,0 +1,26 @@
+#include "futurerand/core/dense_store.h"
+
+#include "futurerand/common/macros.h"
+
+namespace futurerand::core {
+
+DenseStore::DenseStore(int64_t num_periods) : AggregateStore(num_periods),
+                                              tree_(num_periods) {}
+
+void DenseStore::AccumulateCells(const AggregateStore& other) {
+  FR_CHECK_MSG(other.kind() == StoreKind::kDense &&
+                   other.domain_size() == domain_size(),
+               "accumulating structurally different stores");
+  const auto& dense = static_cast<const DenseStore&>(other);
+  const std::span<int64_t> mine = tree_.nodes();
+  const std::span<const int64_t> theirs = dense.tree_.nodes();
+  for (size_t i = 0; i < mine.size(); ++i) {
+    mine[i] += theirs[i];
+  }
+}
+
+int64_t DenseStore::ApproxMemoryBytes() const {
+  return (2 * domain_size() - 1) * static_cast<int64_t>(sizeof(int64_t));
+}
+
+}  // namespace futurerand::core

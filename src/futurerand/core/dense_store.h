@@ -1,0 +1,46 @@
+// The exact aggregate backend: today's contiguous DyadicTree arena behind
+// the AggregateStore interface. One int64 counter per dyadic interval
+// (2d-1 total), O(d) memory, zero estimation error — the default, and
+// byte-identical in layout and snapshot form to the pre-interface server.
+
+#ifndef FUTURERAND_CORE_DENSE_STORE_H_
+#define FUTURERAND_CORE_DENSE_STORE_H_
+
+#include <cstdint>
+#include <span>
+
+#include "futurerand/core/store.h"
+#include "futurerand/dyadic/tree.h"
+
+namespace futurerand::core {
+
+class DenseStore final : public AggregateStore {
+ public:
+  explicit DenseStore(int64_t num_periods);
+
+  StoreKind kind() const override { return StoreKind::kDense; }
+
+  void Add(int order, int64_t index, int64_t delta) override {
+    tree_.At(order, index) += delta;
+  }
+
+  int64_t Value(int order, int64_t index) const override {
+    return tree_.At(order, index);
+  }
+
+  void AccumulateCells(const AggregateStore& other) override;
+
+  int64_t ApproxMemoryBytes() const override;
+
+  /// The whole arena in (order-major, index-minor) layout — the columnar
+  /// view batch consumers (merge, snapshot encode) iterate directly.
+  std::span<int64_t> nodes() { return tree_.nodes(); }
+  std::span<const int64_t> nodes() const { return tree_.nodes(); }
+
+ private:
+  dyadic::DyadicTree<int64_t> tree_;
+};
+
+}  // namespace futurerand::core
+
+#endif  // FUTURERAND_CORE_DENSE_STORE_H_

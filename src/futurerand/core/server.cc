@@ -8,15 +8,19 @@
 #include "futurerand/common/math.h"
 #include "futurerand/core/consistency.h"
 #include "futurerand/dyadic/decomposition.h"
+#include "futurerand/dyadic/tree.h"
 
 namespace futurerand::core {
 
 Server::Server(int64_t num_periods, std::vector<double> level_scales,
-               DedupPolicy policy, DedupWindowPolicy window)
+               DedupPolicy policy, DedupWindowPolicy window,
+               StoreConfig store)
     : dedup_policy_(policy),
       dedup_window_(window),
       level_scales_(std::move(level_scales)),
-      sums_(num_periods),
+      num_periods_(num_periods),
+      store_config_(store.Canonical()),
+      sums_(MakeAggregateStore(store_config_, num_periods)),
       level_counts_(level_scales_.size(), 0) {}
 
 const char* DedupPolicyToString(DedupPolicy policy) {
@@ -63,16 +67,21 @@ Result<Server> Server::ForProtocol(const ProtocolConfig& config,
                                    DedupWindowPolicy window) {
   FR_ASSIGN_OR_RETURN(std::vector<double> scales,
                       ProtocolLevelScales(config));
-  // Through WithScales so the (policy, window, num_periods) checks live in
-  // exactly one place.
-  return WithScales(config.num_periods, std::move(scales), policy, window);
+  // Through WithScales so the (policy, window, num_periods, store) checks
+  // live in exactly one place.
+  return WithScales(config.num_periods, std::move(scales), policy, window,
+                    config.store);
 }
 
 Result<Server> Server::WithScales(int64_t num_periods,
                                   std::vector<double> level_scales,
                                   DedupPolicy policy,
-                                  DedupWindowPolicy window) {
+                                  DedupWindowPolicy window,
+                                  StoreConfig store) {
   FR_RETURN_NOT_OK(window.Validate(policy));
+  // Construction-time, not decode-time: a server with out-of-range sketch
+  // parameters must never exist, so no snapshot of one can either.
+  FR_RETURN_NOT_OK(store.Validate());
   if (num_periods < 1 || !IsPowerOfTwo(static_cast<uint64_t>(num_periods))) {
     return Status::InvalidArgument("num_periods must be a power of two");
   }
@@ -88,7 +97,7 @@ Result<Server> Server::WithScales(int64_t num_periods,
   if (level_scales.size() != expected) {
     return Status::InvalidArgument("need one scale per dyadic order");
   }
-  return Server(num_periods, std::move(level_scales), policy, window);
+  return Server(num_periods, std::move(level_scales), policy, window, store);
 }
 
 Status Server::RegisterClientStrict(int64_t client_id, int level) {
@@ -126,7 +135,7 @@ Status Server::RegisterClient(int64_t client_id, int level) {
 }
 
 int64_t Server::BitmapWordsAtLevel(int level) const {
-  const int64_t boundaries = sums_.domain_size() >> level;
+  const int64_t boundaries = num_periods_ >> level;
   return (boundaries + 63) / 64;
 }
 
@@ -166,7 +175,7 @@ Status Server::CheckAndRecordReport(int64_t client_id, int64_t time,
   }
   const int level = client_levels_[static_cast<size_t>(client_slot)];
   const int64_t interval_length = int64_t{1} << level;
-  if (time < 1 || time > sums_.domain_size()) {
+  if (time < 1 || time > num_periods_) {
     return Status::OutOfRange("report time outside [1..d]");
   }
   if (time % interval_length != 0) {
@@ -223,7 +232,7 @@ Status Server::SubmitReport(int64_t client_id, int64_t time, int8_t report) {
   FR_RETURN_NOT_OK(
       CheckAndRecordReport(client_id, time, report, &level, &action));
   if (action == ReportAction::kApply) {
-    sums_.At(level, time >> level) += report;
+    sums_->Add(level, time >> level, report);
   }
   return Status::OK();
 }
@@ -254,7 +263,7 @@ Status Server::IngestRecords(std::span<const ReportMessage> batch,
     }
     for (size_t h = 0; h < level_accum.size(); ++h) {
       if (level_accum[h] != 0) {
-        sums_.At(static_cast<int>(h), pending_time >> h) += level_accum[h];
+        sums_->Add(static_cast<int>(h), pending_time >> h, level_accum[h]);
         level_accum[h] = 0;
       }
     }
@@ -289,19 +298,20 @@ Status Server::IngestRecords(std::span<const ReportMessage> batch,
 }
 
 Result<double> Server::EstimateAt(int64_t t) const {
-  if (t < 1 || t > sums_.domain_size()) {
+  if (t < 1 || t > num_periods_) {
     return Status::OutOfRange("query time outside [1..d]");
   }
   double estimate = 0.0;
   for (const dyadic::DyadicInterval& interval : dyadic::DecomposePrefix(t)) {
     estimate += level_scales_[static_cast<size_t>(interval.order)] *
-                static_cast<double>(sums_.At(interval));
+                static_cast<double>(
+                    sums_->Value(interval.order, interval.index));
   }
   return estimate;
 }
 
 Result<double> Server::EstimateWindowDelta(int64_t l, int64_t r) const {
-  if (l < 1 || l > r || r > sums_.domain_size()) {
+  if (l < 1 || l > r || r > num_periods_) {
     return Status::OutOfRange("window outside [1..d]");
   }
   // Each interval's partial sum telescopes to st[end] - st[begin-1], so the
@@ -309,15 +319,16 @@ Result<double> Server::EstimateWindowDelta(int64_t l, int64_t r) const {
   double estimate = 0.0;
   for (const dyadic::DyadicInterval& interval : dyadic::DecomposeRange(l, r)) {
     estimate += level_scales_[static_cast<size_t>(interval.order)] *
-                static_cast<double>(sums_.At(interval));
+                static_cast<double>(
+                    sums_->Value(interval.order, interval.index));
   }
   return estimate;
 }
 
 Result<std::vector<double>> Server::EstimateAll() const {
   std::vector<double> estimates;
-  estimates.reserve(static_cast<size_t>(sums_.domain_size()));
-  for (int64_t t = 1; t <= sums_.domain_size(); ++t) {
+  estimates.reserve(static_cast<size_t>(num_periods_));
+  for (int64_t t = 1; t <= num_periods_; ++t) {
     FR_ASSIGN_OR_RETURN(double estimate, EstimateAt(t));
     estimates.push_back(estimate);
   }
@@ -325,15 +336,18 @@ Result<std::vector<double>> Server::EstimateAll() const {
 }
 
 Result<std::vector<double>> Server::EstimateAllConsistent() const {
-  const int64_t d = sums_.domain_size();
-  const int orders = sums_.num_orders();
+  const int64_t d = num_periods_;
+  const int orders = static_cast<int>(level_scales_.size());
+  // Dense-sized scratch regardless of backend: consistency refines every
+  // interval estimate, so this offline path costs O(d) memory even when
+  // the store itself is sketched.
   dyadic::DyadicTree<double> estimates(d);
   std::vector<double> level_variances(static_cast<size_t>(orders));
   for (int h = 0; h < orders; ++h) {
     const double scale = level_scales_[static_cast<size_t>(h)];
     const int64_t count = dyadic::NumIntervalsAtOrder(d, h);
     for (int64_t j = 1; j <= count; ++j) {
-      estimates.At(h, j) = scale * static_cast<double>(sums_.At(h, j));
+      estimates.At(h, j) = scale * static_cast<double>(sums_->Value(h, j));
     }
     // Var(S_hat(I_{h,j})) ~ n_h * scale_h^2 (each of the ~n/(1+log d)
     // level-h reporters contributes one +/-1 of variance ~1, scaled).
@@ -385,8 +399,14 @@ Status Server::MergeAggregatesOnly(const Server& other) {
 }
 
 Status Server::CheckMergeCompatible(const Server& other) const {
-  if (other.sums_.domain_size() != sums_.domain_size()) {
+  if (other.num_periods_ != num_periods_) {
     return Status::InvalidArgument("cannot merge servers of different shape");
+  }
+  // Stores merge cell-wise, so both sides must bucket identically: same
+  // backend, and under kSketch the same rows/width/seed.
+  if (other.store_config_ != store_config_) {
+    return Status::InvalidArgument(
+        "cannot merge servers with mismatched store configs");
   }
   // Same shape is not enough: shards debiasing with different per-level
   // scales would silently mix estimators, so scales must match exactly.
@@ -406,12 +426,9 @@ Status Server::CheckMergeCompatible(const Server& other) const {
 }
 
 void Server::AddSums(const Server& other) {
-  // Same shape (checked by every caller), so the arenas align element-wise.
-  const std::span<int64_t> mine = sums_.nodes();
-  const std::span<const int64_t> theirs = other.sums_.nodes();
-  for (size_t i = 0; i < mine.size(); ++i) {
-    mine[i] += theirs[i];
-  }
+  // Same shape and store config (checked by every caller), so the cell
+  // arenas align element-wise.
+  sums_->AccumulateCells(*other.sums_);
 }
 
 int64_t Server::ClientCountAtLevel(int level) const {
@@ -429,8 +446,7 @@ int64_t Server::ApproxMemoryBytes() const {
   // word storage. An estimate, but monotone in the real footprint, which is
   // what sizing a DedupWindowPolicy needs.
   int64_t bytes = static_cast<int64_t>(sizeof(Server));
-  bytes += (2 * sums_.domain_size() - 1) *
-           static_cast<int64_t>(sizeof(int64_t));
+  bytes += sums_->ApproxMemoryBytes();
   bytes += static_cast<int64_t>(level_scales_.capacity() * sizeof(double));
   bytes += static_cast<int64_t>(level_counts_.capacity() * sizeof(int64_t));
   bytes += clients_.ApproxMemoryBytes();

@@ -17,11 +17,13 @@
 #include <span>
 #include <vector>
 
+#include <memory>
+
 #include "futurerand/common/result.h"
 #include "futurerand/core/client_index.h"
 #include "futurerand/core/config.h"
+#include "futurerand/core/store.h"
 #include "futurerand/core/wire.h"
-#include "futurerand/dyadic/tree.h"
 
 namespace futurerand::core {
 
@@ -92,21 +94,29 @@ Result<std::vector<double>> ProtocolLevelScales(const ProtocolConfig& config);
 class Server {
  public:
   /// Builds a server for the protocol configuration; computes the exact
-  /// per-level debiasing scales from the randomizer kind. Errors on an
-  /// invalid config or an inconsistent (policy, window) pair.
+  /// per-level debiasing scales from the randomizer kind, and holds its
+  /// aggregate counters in the store config.store selects (dense by
+  /// default; see core/store.h for the sketch backend). Errors on an
+  /// invalid config — including out-of-range sketch parameters, rejected
+  /// here at construction rather than when a snapshot is decoded — or an
+  /// inconsistent (policy, window) pair.
   static Result<Server> ForProtocol(const ProtocolConfig& config,
                                     DedupPolicy policy = DedupPolicy::kStrict,
                                     DedupWindowPolicy window = {});
 
   /// Builds a server with externally supplied per-level report scales
   /// (scales[h] multiplies each raw report of a level-h client). Used by
-  /// baseline protocols whose estimators carry extra factors. Errors unless
+  /// baseline protocols whose estimators carry extra factors. `store`
+  /// injects the aggregate backend (default dense); the config is
+  /// validated here, so invalid sketch parameters (width not a power of
+  /// two, rows out of [1, 64]) fail at construction time. Errors unless
   /// num_periods is a power of two with one scale per dyadic order and the
   /// (policy, window) pair is consistent.
   static Result<Server> WithScales(int64_t num_periods,
                                    std::vector<double> level_scales,
                                    DedupPolicy policy = DedupPolicy::kStrict,
-                                   DedupWindowPolicy window = {});
+                                   DedupWindowPolicy window = {},
+                                   StoreConfig store = {});
 
   Server(Server&&) = default;
   Server& operator=(Server&&) = default;
@@ -189,8 +199,13 @@ class Server {
   /// in O(d) per shard instead of O(clients).
   Status MergeAggregatesOnly(const Server& other);
 
-  int64_t num_periods() const { return sums_.domain_size(); }
+  int64_t num_periods() const { return num_periods_; }
   int64_t num_clients() const { return clients_.size(); }
+
+  /// The aggregate-store configuration this server was built with, in
+  /// canonical form. Part of the server's identity: Merge, restore and
+  /// resharding require equal store configs.
+  const StoreConfig& store_config() const { return store_config_; }
 
   /// Number of registered clients at level h. FR_CHECKs the range.
   int64_t ClientCountAtLevel(int level) const;
@@ -236,7 +251,7 @@ class Server {
   };
 
   Server(int64_t num_periods, std::vector<double> level_scales,
-         DedupPolicy policy, DedupWindowPolicy window);
+         DedupPolicy policy, DedupWindowPolicy window, StoreConfig store);
 
   Status CheckMergeCompatible(const Server& other) const;
   void AddSums(const Server& other);
@@ -274,7 +289,11 @@ class Server {
   DedupPolicy dedup_policy_;
   DedupWindowPolicy dedup_window_;
   std::vector<double> level_scales_;
-  dyadic::DyadicTree<int64_t> sums_;  // raw sum of +/-1 reports per interval
+  int64_t num_periods_;
+  StoreConfig store_config_;  // canonical form
+  // Raw sum of +/-1 reports per interval, behind the pluggable backend
+  // (exact counters under kDense, count-sketch rows under kSketch).
+  std::unique_ptr<AggregateStore> sums_;
 
   // Per-client state, columnar: clients_ maps id -> dense slot, and the
   // vectors below are indexed by slot (only the policy's column is

@@ -1,0 +1,134 @@
+#include "futurerand/core/sketch_store.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+#include "futurerand/common/macros.h"
+#include "futurerand/common/random.h"
+#include "futurerand/dyadic/interval.h"
+
+namespace futurerand::core {
+
+SketchStore::SketchStore(int64_t num_periods, const StoreConfig& config)
+    : AggregateStore(num_periods), config_(config.Canonical()) {
+  FR_CHECK_MSG(config_.kind == StoreKind::kSketch && config_.Validate().ok(),
+               "SketchStore needs a validated kSketch StoreConfig");
+  const int orders = dyadic::NumOrders(num_periods);
+  const int64_t slab = static_cast<int64_t>(config_.sketch_rows) *
+                       config_.sketch_width;
+  offsets_.resize(static_cast<size_t>(orders) + 1);
+  offsets_[0] = 0;
+  for (int h = 0; h < orders; ++h) {
+    const int64_t intervals = dyadic::NumIntervalsAtOrder(num_periods, h);
+    offsets_[static_cast<size_t>(h) + 1] =
+        offsets_[static_cast<size_t>(h)] + std::min(intervals, slab);
+  }
+  cells_.assign(static_cast<size_t>(offsets_.back()), 0);
+  // One independent hash seed per (level, row), all derived from the
+  // configured seed — the whole hash family is a pure function of the
+  // StoreConfig, which is what makes equal configs mergeable.
+  row_seeds_.resize(static_cast<size_t>(orders) *
+                    static_cast<size_t>(config_.sketch_rows));
+  uint64_t state = config_.sketch_seed;
+  for (uint64_t& row_seed : row_seeds_) {
+    row_seed = SplitMix64Next(&state);
+  }
+}
+
+bool SketchStore::LevelIsSketched(int order) const {
+  FR_DCHECK(order >= 0 && order < num_orders());
+  const int64_t slab = offsets_[static_cast<size_t>(order) + 1] -
+                       offsets_[static_cast<size_t>(order)];
+  return slab < dyadic::NumIntervalsAtOrder(domain_size(), order);
+}
+
+SketchStore::Slot SketchStore::SlotFor(int order, int32_t r,
+                                       int64_t index) const {
+  uint64_t state =
+      row_seeds_[static_cast<size_t>(order) *
+                     static_cast<size_t>(config_.sketch_rows) +
+                 static_cast<size_t>(r)] ^
+      static_cast<uint64_t>(index);
+  const uint64_t hash = SplitMix64Next(&state);
+  return Slot{
+      static_cast<int64_t>(hash &
+                           static_cast<uint64_t>(config_.sketch_width - 1)),
+      (hash >> 63) != 0 ? int64_t{1} : int64_t{-1}};
+}
+
+void SketchStore::Add(int order, int64_t index, int64_t delta) {
+  FR_DCHECK(order >= 0 && order < num_orders());
+  FR_DCHECK(index >= 1 &&
+            index <= dyadic::NumIntervalsAtOrder(domain_size(), order));
+  const int64_t base = offsets_[static_cast<size_t>(order)];
+  if (!LevelIsSketched(order)) {
+    cells_[static_cast<size_t>(base + index - 1)] += delta;
+    return;
+  }
+  for (int32_t r = 0; r < config_.sketch_rows; ++r) {
+    const Slot slot = SlotFor(order, r, index);
+    cells_[static_cast<size_t>(base + r * config_.sketch_width +
+                               slot.bucket)] += slot.sign * delta;
+  }
+}
+
+int64_t SketchStore::Value(int order, int64_t index) const {
+  FR_DCHECK(order >= 0 && order < num_orders());
+  FR_DCHECK(index >= 1 &&
+            index <= dyadic::NumIntervalsAtOrder(domain_size(), order));
+  const int64_t base = offsets_[static_cast<size_t>(order)];
+  if (!LevelIsSketched(order)) {
+    return cells_[static_cast<size_t>(base + index - 1)];
+  }
+  std::array<int64_t, kMaxRows> estimates;
+  for (int32_t r = 0; r < config_.sketch_rows; ++r) {
+    const Slot slot = SlotFor(order, r, index);
+    estimates[static_cast<size_t>(r)] =
+        slot.sign *
+        cells_[static_cast<size_t>(base + r * config_.sketch_width +
+                                   slot.bucket)];
+  }
+  // Lower median: integer, and deterministic for even row counts too.
+  const auto mid = static_cast<size_t>((config_.sketch_rows - 1) / 2);
+  std::nth_element(estimates.begin(),
+                   estimates.begin() + static_cast<int64_t>(mid),
+                   estimates.begin() + config_.sketch_rows);
+  return estimates[mid];
+}
+
+void SketchStore::AccumulateCells(const AggregateStore& other) {
+  FR_CHECK_MSG(other.kind() == StoreKind::kSketch &&
+                   other.domain_size() == domain_size(),
+               "accumulating structurally different stores");
+  const auto& sketch = static_cast<const SketchStore&>(other);
+  FR_CHECK_MSG(sketch.config_ == config_,
+               "accumulating sketches with different parameters");
+  for (size_t i = 0; i < cells_.size(); ++i) {
+    cells_[i] += sketch.cells_[i];
+  }
+}
+
+int64_t SketchStore::ApproxMemoryBytes() const {
+  return static_cast<int64_t>(cells_.capacity() * sizeof(int64_t)) +
+         static_cast<int64_t>(row_seeds_.capacity() * sizeof(uint64_t)) +
+         static_cast<int64_t>(offsets_.capacity() * sizeof(int64_t));
+}
+
+int64_t SketchStore::CellCount(int64_t num_periods, int32_t rows,
+                               int64_t width) {
+  const int orders = dyadic::NumOrders(num_periods);
+  const int64_t slab = static_cast<int64_t>(rows) * width;
+  int64_t total = 0;
+  for (int h = 0; h < orders; ++h) {
+    total += std::min(dyadic::NumIntervalsAtOrder(num_periods, h), slab);
+  }
+  return total;
+}
+
+double SketchStore::NodeErrorBound(int64_t level_reports, int64_t width) {
+  return 4.0 * static_cast<double>(level_reports) /
+         std::sqrt(static_cast<double>(width));
+}
+
+}  // namespace futurerand::core

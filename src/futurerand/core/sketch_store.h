@@ -1,0 +1,100 @@
+// The sketched aggregate backend: a count-sketch per dyadic level.
+//
+// A level with more intervals than a shard can afford exactly is replaced
+// by R independent hash rows of W buckets each. Every interval I_{h,j}
+// hashes to one bucket per row with a pseudo-random sign; Add folds the
+// signed delta into all R buckets, Value reads the R sign-corrected
+// buckets back and returns their lower median. The estimate is unbiased
+// per row (colliding intervals enter with independent signs) and the
+// median rejects the occasional heavy collision, at an additive error of
+// about sqrt(F2/W) per node, where F2 is the squared mass of the level's
+// true counters — see NodeErrorBound for the bound the tests gate on and
+// docs/ARCHITECTURE.md "Storage backends" for the derivation.
+//
+// Levels with at most R*W intervals are stored exactly (sketching them
+// would cost more memory AND add error), so only the wide levels near the
+// leaves pay any error and total memory is O(orders * R * W + R * W)
+// instead of O(d). All state lives in one flat preallocated columnar
+// arena (per-level slabs, sketched slabs row-major), and every hash is a
+// pure function of (seed, level, row, index) — cells are bit-identical
+// across ingest orders, shard counts and merge orders.
+
+#ifndef FUTURERAND_CORE_SKETCH_STORE_H_
+#define FUTURERAND_CORE_SKETCH_STORE_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "futurerand/core/store.h"
+
+namespace futurerand::core {
+
+class SketchStore final : public AggregateStore {
+ public:
+  /// StoreConfig::Validate's bounds on the sketch shape. kMaxRows keeps
+  /// the median gather on the stack; kMaxWidth caps one level's slab at
+  /// 8 GiB even at the maximum depth, and kMinWidth keeps the bucket
+  /// mask meaningful.
+  static constexpr int32_t kMaxRows = 64;
+  static constexpr int64_t kMinWidth = 8;
+  static constexpr int64_t kMaxWidth = int64_t{1} << 30;
+
+  /// `config` must be a validated kSketch StoreConfig (FR_CHECKed).
+  SketchStore(int64_t num_periods, const StoreConfig& config);
+
+  StoreKind kind() const override { return StoreKind::kSketch; }
+
+  void Add(int order, int64_t index, int64_t delta) override;
+  int64_t Value(int order, int64_t index) const override;
+  void AccumulateCells(const AggregateStore& other) override;
+  int64_t ApproxMemoryBytes() const override;
+
+  int32_t rows() const { return config_.sketch_rows; }
+  int64_t width() const { return config_.sketch_width; }
+  uint64_t seed() const { return config_.sketch_seed; }
+  int num_orders() const { return static_cast<int>(offsets_.size()) - 1; }
+
+  /// True iff order `h` is hash-bucketed (more intervals than R*W cells).
+  bool LevelIsSketched(int order) const;
+
+  /// Total cells a (d, rows, width) sketch holds — per level, the smaller
+  /// of the exact interval count and R*W. Static so the snapshot decoder
+  /// can bound an allocation before constructing anything.
+  static int64_t CellCount(int64_t num_periods, int32_t rows, int64_t width);
+
+  /// High-probability additive error of one sketched node's Value, given
+  /// that `level_reports` +/-1 reports landed at that level in total:
+  /// per row, Var <= F2/W <= level_reports^2/W, so |error| <= 4 *
+  /// level_reports / sqrt(W) except with per-row probability <= 1/16
+  /// (Chebyshev), and the median fails only if half the rows do
+  /// (<= 0.5^R). A prefix query touches at most one node per level, so
+  /// query error adds at most scale_h * NodeErrorBound per sketched
+  /// level on top of the LDP bound.
+  static double NodeErrorBound(int64_t level_reports, int64_t width);
+
+  /// The flat cell arena: per-level slabs in order-major layout, sketched
+  /// slabs row-major (R consecutive runs of W buckets), exact slabs one
+  /// cell per interval. Exposed for the snapshot codec and tests; the
+  /// layout is normative (docs/FORMATS.md kind 8).
+  std::span<int64_t> cells() { return cells_; }
+  std::span<const int64_t> cells() const { return cells_; }
+
+ private:
+  /// Bucket and sign of interval (order, index) in row r, from one mixed
+  /// hash of (row seed, index).
+  struct Slot {
+    int64_t bucket;
+    int64_t sign;  // +1 or -1
+  };
+  Slot SlotFor(int order, int32_t r, int64_t index) const;
+
+  StoreConfig config_;
+  std::vector<int64_t> offsets_;     // per-order slab start, + sentinel
+  std::vector<uint64_t> row_seeds_;  // orders * rows, from sketch_seed
+  std::vector<int64_t> cells_;
+};
+
+}  // namespace futurerand::core
+
+#endif  // FUTURERAND_CORE_SKETCH_STORE_H_

@@ -7,6 +7,7 @@
 
 #include "futurerand/common/macros.h"
 #include "futurerand/common/math.h"
+#include "futurerand/core/sketch_store.h"
 #include "futurerand/core/wire.h"
 #include "futurerand/dyadic/decomposition.h"
 
@@ -50,14 +51,28 @@ Status CheckPlausibleCount(uint64_t count, size_t min_bytes_per_item,
 // Friend of Server: the only code that reads/writes its private state.
 struct ServerStateCodec {
   static std::string Encode(const Server& server) {
+    // The store picks the blob kind: kServerState (3) keeps the exact
+    // pre-store byte layout for dense servers; kServerStateSketch (8)
+    // inserts the sketch parameters after d and serializes the raw cell
+    // arena instead of per-interval counters.
+    const bool sketch = server.store_config_.kind == StoreKind::kSketch;
     std::string out;
-    AppendHeader(wire_internal::kKindServerState, &out);
-    PutVarint64(static_cast<uint64_t>(server.sums_.domain_size()), &out);
+    AppendHeader(sketch ? wire_internal::kKindServerStateSketch
+                        : wire_internal::kKindServerState,
+                 &out);
+    PutVarint64(static_cast<uint64_t>(server.num_periods_), &out);
+    if (sketch) {
+      PutVarint64(static_cast<uint64_t>(server.store_config_.sketch_rows),
+                  &out);
+      PutVarint64(static_cast<uint64_t>(server.store_config_.sketch_width),
+                  &out);
+      PutVarint64(server.store_config_.sketch_seed, &out);
+    }
     PutVarint64(server.dedup_policy_ == DedupPolicy::kIdempotent ? 1 : 0,
                 &out);
     PutVarint64(
         static_cast<uint64_t>(server.dedup_window_.window_boundaries), &out);
-    const int orders = server.sums_.num_orders();
+    const auto orders = static_cast<int>(server.level_scales_.size());
     PutVarint64(static_cast<uint64_t>(orders), &out);
     for (int h = 0; h < orders; ++h) {
       PutDoubleBits(server.level_scales_[static_cast<size_t>(h)], &out);
@@ -65,11 +80,18 @@ struct ServerStateCodec {
           static_cast<uint64_t>(server.level_counts_[static_cast<size_t>(h)]),
           &out);
     }
-    for (int h = 0; h < orders; ++h) {
-      const int64_t count =
-          dyadic::NumIntervalsAtOrder(server.sums_.domain_size(), h);
-      for (int64_t j = 1; j <= count; ++j) {
-        PutVarint64(ZigZagEncode(server.sums_.At(h, j)), &out);
+    if (sketch) {
+      const auto& store = static_cast<const SketchStore&>(*server.sums_);
+      for (const int64_t cell : store.cells()) {
+        PutVarint64(ZigZagEncode(cell), &out);
+      }
+    } else {
+      for (int h = 0; h < orders; ++h) {
+        const int64_t count =
+            dyadic::NumIntervalsAtOrder(server.num_periods_, h);
+        for (int64_t j = 1; j <= count; ++j) {
+          PutVarint64(ZigZagEncode(server.sums_->Value(h, j)), &out);
+        }
       }
     }
     PutVarint64(static_cast<uint64_t>(server.duplicates_dropped_), &out);
@@ -108,15 +130,43 @@ struct ServerStateCodec {
 
   static Result<Server> Decode(std::string_view bytes) {
     FR_RETURN_NOT_OK(ConsumeChecksum(&bytes));
-    FR_RETURN_NOT_OK(ConsumeHeader(wire_internal::kKindServerState, &bytes));
+    FR_ASSIGN_OR_RETURN(const char kind, wire_internal::CheckHeader(bytes));
+    if (kind != wire_internal::kKindServerState &&
+        kind != wire_internal::kKindServerStateSketch) {
+      return Status::InvalidArgument("unexpected batch kind");
+    }
+    bytes.remove_prefix(wire_internal::kHeaderSize);
+    const bool sketch = kind == wire_internal::kKindServerStateSketch;
     FR_ASSIGN_OR_RETURN(const uint64_t raw_periods, GetVarint64(&bytes));
     if (raw_periods < 1 || raw_periods > (uint64_t{1} << 40) ||
         !IsPowerOfTwo(raw_periods)) {
       return Status::InvalidArgument("implausible snapshot num_periods");
     }
     const auto d = static_cast<int64_t>(raw_periods);
-    // The sums section alone needs 2d-1 varints of >= 1 byte.
-    FR_RETURN_NOT_OK(CheckPlausibleCount(raw_periods, 2, bytes));
+    StoreConfig store;
+    if (sketch) {
+      FR_ASSIGN_OR_RETURN(const uint64_t raw_rows, GetVarint64(&bytes));
+      FR_ASSIGN_OR_RETURN(const uint64_t raw_width, GetVarint64(&bytes));
+      FR_ASSIGN_OR_RETURN(const uint64_t raw_seed, GetVarint64(&bytes));
+      if (raw_rows > static_cast<uint64_t>(SketchStore::kMaxRows) ||
+          raw_width > static_cast<uint64_t>(SketchStore::kMaxWidth)) {
+        return Status::InvalidArgument("implausible snapshot sketch shape");
+      }
+      store = StoreConfig::Sketch(static_cast<int32_t>(raw_rows),
+                                  static_cast<int64_t>(raw_width), raw_seed);
+      // The encoder can only serialize a validly constructed store, so a
+      // blob carrying bad parameters is corrupt or hand-forged.
+      FR_RETURN_NOT_OK(store.Validate());
+      // The cells section needs one byte per cell at minimum; checking
+      // before the store exists keeps allocation proportional to the blob.
+      FR_RETURN_NOT_OK(CheckPlausibleCount(
+          static_cast<uint64_t>(SketchStore::CellCount(
+              d, store.sketch_rows, store.sketch_width)),
+          1, bytes));
+    } else {
+      // The sums section alone needs 2d-1 varints of >= 1 byte.
+      FR_RETURN_NOT_OK(CheckPlausibleCount(raw_periods, 2, bytes));
+    }
     FR_ASSIGN_OR_RETURN(const uint64_t policy_byte, GetVarint64(&bytes));
     if (policy_byte > 1) {
       return Status::InvalidArgument("unknown snapshot dedup policy");
@@ -144,13 +194,21 @@ struct ServerStateCodec {
       counts[h] = static_cast<int64_t>(count);
     }
     FR_ASSIGN_OR_RETURN(Server server,
-                        Server::WithScales(d, scales, policy, window));
+                        Server::WithScales(d, scales, policy, window, store));
     server.level_counts_ = std::move(counts);
-    for (int h = 0; h < static_cast<int>(orders); ++h) {
-      const int64_t count = dyadic::NumIntervalsAtOrder(d, h);
-      for (int64_t j = 1; j <= count; ++j) {
-        FR_ASSIGN_OR_RETURN(const uint64_t raw_sum, GetVarint64(&bytes));
-        server.sums_.At(h, j) = ZigZagDecode(raw_sum);
+    if (sketch) {
+      auto& sketch_store = static_cast<SketchStore&>(*server.sums_);
+      for (int64_t& cell : sketch_store.cells()) {
+        FR_ASSIGN_OR_RETURN(const uint64_t raw_cell, GetVarint64(&bytes));
+        cell = ZigZagDecode(raw_cell);
+      }
+    } else {
+      for (int h = 0; h < static_cast<int>(orders); ++h) {
+        const int64_t count = dyadic::NumIntervalsAtOrder(d, h);
+        for (int64_t j = 1; j <= count; ++j) {
+          FR_ASSIGN_OR_RETURN(const uint64_t raw_sum, GetVarint64(&bytes));
+          server.sums_->Add(h, j, ZigZagDecode(raw_sum));
+        }
       }
     }
     FR_ASSIGN_OR_RETURN(const uint64_t dropped, GetVarint64(&bytes));
@@ -249,7 +307,7 @@ struct ServerStateCodec {
         (bitmap.base_word +
          static_cast<int64_t>(bitmap.words.size()) - 1) * 64 +
         (std::bit_width(top) - 1);
-    const int64_t boundaries = server.sums_.domain_size() >> level;
+    const int64_t boundaries = server.num_periods_ >> level;
     if (bitmap.frontier >= boundaries) {
       return Status::InvalidArgument(
           "snapshot bitmap bit beyond the level horizon");
@@ -272,8 +330,9 @@ struct ServerStateCodec {
     for (int s = 0; s < new_num_shards; ++s) {
       FR_ASSIGN_OR_RETURN(
           Server target,
-          Server::WithScales(first.sums_.domain_size(), first.level_scales_,
-                             first.dedup_policy_, first.dedup_window_));
+          Server::WithScales(first.num_periods_, first.level_scales_,
+                             first.dedup_policy_, first.dedup_window_,
+                             first.store_config_));
       targets.push_back(std::move(target));
     }
     const auto shards = static_cast<int64_t>(new_num_shards);

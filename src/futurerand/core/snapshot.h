@@ -7,16 +7,25 @@
 // report times under kStrict, windowed boundary bitmaps under kIdempotent,
 // including the eviction watermark of a bounded DedupWindowPolicy).
 //
-// Three blob kinds reuse the FRW header scheme of core/wire.h and end with
+// Four blob kinds reuse the FRW header scheme of core/wire.h and end with
 // an FNV-1a 64 checksum over the entire blob, so persisted state that
 // rotted on disk or in transit is always rejected — a corrupted checkpoint
 // must never restore silently:
 //
-//   kServerState (3)      one Server, self-contained
-//   kAggregatorState (4)  every shard of a ShardedAggregator, plus the
-//                         checkpoint epoch that anchors delta chains
-//   kAggregatorDelta (5)  only the shards dirtied since the previous
-//                         checkpoint, chained to its base by (epoch, seq)
+//   kServerState (3)        one dense-store Server, self-contained
+//   kAggregatorState (4)    every shard of a ShardedAggregator, plus the
+//                           checkpoint epoch that anchors delta chains
+//   kAggregatorDelta (5)    only the shards dirtied since the previous
+//                           checkpoint, chained to its base by (epoch, seq)
+//   kServerStateSketch (8)  one sketch-store Server: the same layout as
+//                           kServerState with the sketch parameters
+//                           (rows, width, seed) after d and the raw cell
+//                           arena in place of per-interval counters
+//
+// The store backend picks the server-state kind (EncodeServerState emits 3
+// for dense, 8 for sketch; DecodeServerState accepts both), and aggregator
+// blobs nest either kind, so full/delta checkpoint chains and elastic
+// resharding work unchanged under both backends.
 //
 // docs/FORMATS.md is the normative byte-layout specification for all of
 // them (varint/zigzag rules, per-kind diagrams, trailer); this header only

@@ -1,0 +1,77 @@
+#include "futurerand/core/store.h"
+
+#include <cstdio>
+
+#include "futurerand/common/macros.h"
+#include "futurerand/common/math.h"
+#include "futurerand/core/dense_store.h"
+#include "futurerand/core/sketch_store.h"
+
+namespace futurerand::core {
+
+const char* StoreKindToString(StoreKind kind) {
+  switch (kind) {
+    case StoreKind::kDense:
+      return "dense";
+    case StoreKind::kSketch:
+      return "sketch";
+  }
+  return "unknown";
+}
+
+Result<StoreKind> ParseStoreKind(const std::string& name) {
+  if (name == "dense") {
+    return StoreKind::kDense;
+  }
+  if (name == "sketch") {
+    return StoreKind::kSketch;
+  }
+  return Status::InvalidArgument("unknown store kind (want dense|sketch)");
+}
+
+Status StoreConfig::Validate() const {
+  if (sketch_rows < 1 || sketch_rows > SketchStore::kMaxRows) {
+    return Status::InvalidArgument("sketch rows must lie in [1, 64]");
+  }
+  if (sketch_width < SketchStore::kMinWidth ||
+      sketch_width > SketchStore::kMaxWidth ||
+      !IsPowerOfTwo(static_cast<uint64_t>(sketch_width))) {
+    return Status::InvalidArgument(
+        "sketch width must be a power of two in [8, 2^30]");
+  }
+  return Status::OK();
+}
+
+StoreConfig StoreConfig::Canonical() const {
+  if (kind == StoreKind::kDense) {
+    return Dense();
+  }
+  return *this;
+}
+
+std::string StoreConfig::ToString() const {
+  if (kind == StoreKind::kDense) {
+    return "StoreConfig{dense}";
+  }
+  char buffer[128];
+  std::snprintf(buffer, sizeof(buffer),
+                "StoreConfig{sketch rows=%d width=%lld seed=%llu}",
+                static_cast<int>(sketch_rows),
+                static_cast<long long>(sketch_width),
+                static_cast<unsigned long long>(sketch_seed));
+  return buffer;
+}
+
+std::unique_ptr<AggregateStore> MakeAggregateStore(const StoreConfig& config,
+                                                   int64_t num_periods) {
+  FR_CHECK_MSG(config.Validate().ok(), "invalid StoreConfig");
+  FR_CHECK_MSG(num_periods >= 1 &&
+                   IsPowerOfTwo(static_cast<uint64_t>(num_periods)),
+               "domain size must be a power of two");
+  if (config.kind == StoreKind::kSketch) {
+    return std::make_unique<SketchStore>(num_periods, config);
+  }
+  return std::make_unique<DenseStore>(num_periods);
+}
+
+}  // namespace futurerand::core

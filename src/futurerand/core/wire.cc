@@ -92,7 +92,7 @@ Result<char> CheckHeader(std::string_view bytes) {
     return Status::DataLoss("unsupported wire version");
   }
   const char kind = bytes[4];
-  if (kind < kKindRegistration || kind > kKindReportV2) {
+  if (kind < kKindRegistration || kind > kKindServerStateSketch) {
     return Status::DataLoss("unknown batch kind");
   }
   if (version != KindWireVersion(kind)) {
@@ -191,6 +191,8 @@ Result<WireBatchKind> PeekBatchKind(std::string_view bytes) {
       return WireBatchKind::kRegistrationV2;
     case wire_internal::kKindReportV2:
       return WireBatchKind::kReportV2;
+    case wire_internal::kKindServerStateSketch:
+      return WireBatchKind::kServerStateSketch;
     default:
       return Status::DataLoss("unknown batch kind");
   }

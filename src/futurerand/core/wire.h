@@ -82,13 +82,14 @@ enum class WireVersion { kV1 = 1, kV2 = 2 };
 /// sharing the same header scheme so one peek routes any FutureRand byte
 /// stream.
 enum class WireBatchKind {
-  kRegistration,     // v1 transport, no checksum
-  kReport,           // v1 transport, no checksum
-  kServerState,      // one Server's accumulators (core/snapshot.h)
-  kAggregatorState,  // all ShardedAggregator shards (core/snapshot.h)
-  kAggregatorDelta,  // only the shards dirtied since the last checkpoint
-  kRegistrationV2,   // v2 transport, FNV-1a trailer
-  kReportV2,         // v2 transport, FNV-1a trailer
+  kRegistration,       // v1 transport, no checksum
+  kReport,             // v1 transport, no checksum
+  kServerState,        // one dense-store Server (core/snapshot.h)
+  kAggregatorState,    // all ShardedAggregator shards (core/snapshot.h)
+  kAggregatorDelta,    // only the shards dirtied since the last checkpoint
+  kRegistrationV2,     // v2 transport, FNV-1a trailer
+  kReportV2,           // v2 transport, FNV-1a trailer
+  kServerStateSketch,  // one sketch-store Server (core/snapshot.h)
 };
 
 /// Validates the fixed header of an encoded batch and returns its kind
@@ -128,13 +129,14 @@ namespace wire_internal {
 /// The raw kind bytes of the FRW header, one per WireBatchKind, each
 /// annotated with the container version that frames it. The assignments
 /// are normative (docs/FORMATS.md) — never renumber, only append.
-inline constexpr char kKindRegistration = 1;    // FRW v1
-inline constexpr char kKindReport = 2;          // FRW v1
-inline constexpr char kKindServerState = 3;     // FRW v1
-inline constexpr char kKindAggregatorState = 4; // FRW v1
-inline constexpr char kKindAggregatorDelta = 5; // FRW v1
-inline constexpr char kKindRegistrationV2 = 6;  // FRW v2
-inline constexpr char kKindReportV2 = 7;        // FRW v2
+inline constexpr char kKindRegistration = 1;      // FRW v1
+inline constexpr char kKindReport = 2;            // FRW v1
+inline constexpr char kKindServerState = 3;       // FRW v1
+inline constexpr char kKindAggregatorState = 4;   // FRW v1
+inline constexpr char kKindAggregatorDelta = 5;   // FRW v1
+inline constexpr char kKindRegistrationV2 = 6;    // FRW v2
+inline constexpr char kKindReportV2 = 7;          // FRW v2
+inline constexpr char kKindServerStateSketch = 8; // FRW v1
 
 /// The container version bytes (docs/FORMATS.md §1). Each kind is framed
 /// by exactly one version; KindWireVersion is the mapping.
@@ -142,9 +144,13 @@ inline constexpr char kWireVersion1 = 1;
 inline constexpr char kWireVersion2 = 2;
 
 /// The version byte that frames `kind` (every kind belongs to exactly one
-/// container version).
+/// container version). Kinds are append-only, so the mapping is explicit:
+/// only the v2 transport batches are framed by version 2 — later kinds
+/// (the sketch snapshot) went back to the v1 container.
 constexpr char KindWireVersion(char kind) {
-  return kind >= kKindRegistrationV2 ? kWireVersion2 : kWireVersion1;
+  return kind == kKindRegistrationV2 || kind == kKindReportV2
+             ? kWireVersion2
+             : kWireVersion1;
 }
 
 /// Bytes of the fixed header: magic 'F','R','W', version, kind.

@@ -239,7 +239,8 @@ Result<RunResult> RunErlingsson(const core::ProtocolConfig& config,
   FR_ASSIGN_OR_RETURN(core::ShardedAggregator aggregator,
                       core::ShardedAggregator::WithScales(
                           config.num_periods, std::move(scales),
-                          EffectiveShards(pool, num_shards)));
+                          EffectiveShards(pool, num_shards),
+                          core::DedupPolicy::kStrict, {}, config.store));
 
   const Rng base(seed);
   std::atomic<int64_t> reports{0};

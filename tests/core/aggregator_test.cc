@@ -313,5 +313,52 @@ TEST(AggregatorTest, CorruptedV2IngestIsDataLossAndAppliesNothing) {
   EXPECT_EQ(outcome.applied, 2);
 }
 
+TEST(AggregatorStoreTest, InvalidSketchParamsFailAtConstruction) {
+  ProtocolConfig config = TestConfig();
+  config.store = StoreConfig::Sketch(0, 64, 7);
+  EXPECT_EQ(ShardedAggregator::ForProtocol(config, 2).status().code(),
+            StatusCode::kInvalidArgument);
+  config.store = StoreConfig::Sketch(3, 100, 7);  // not a power of two
+  EXPECT_EQ(ShardedAggregator::ForProtocol(config, 2).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(AggregatorStoreTest, StoreConfigThreadsThroughToEveryShard) {
+  ProtocolConfig config = TestConfig();
+  config.store = StoreConfig::Sketch(3, 64, 7);
+  ShardedAggregator aggregator =
+      ShardedAggregator::ForProtocol(config, 3).ValueOrDie();
+  EXPECT_EQ(aggregator.store_config(), config.store);
+  ShardedAggregator dense =
+      ShardedAggregator::ForProtocol(TestConfig(), 3).ValueOrDie();
+  EXPECT_EQ(dense.store_config(), StoreConfig::Dense());
+}
+
+TEST(AggregatorStoreTest, SketchEstimatesInvariantUnderShardCount) {
+  // Sketch cells commute under addition and the hash family depends only
+  // on the StoreConfig, so any sharding of the same traffic must yield
+  // bit-identical estimates — including in the sketched-level regime.
+  const Traffic traffic = GenerateTraffic(45);
+  ProtocolConfig config = TestConfig();
+  config.store = StoreConfig::Sketch(3, 8, 7);  // kPeriods=32 > R*W=24
+  std::optional<std::vector<double>> reference;
+  for (const int shards : {1, 2, 7}) {
+    ShardedAggregator aggregator =
+        ShardedAggregator::ForProtocol(config, shards).ValueOrDie();
+    ASSERT_TRUE(
+        aggregator.IngestRegistrations(traffic.registrations).ok());
+    for (const ReportBatch& batch : traffic.batches) {
+      ASSERT_TRUE(aggregator.IngestReports(batch).ok());
+    }
+    const std::vector<double> estimates =
+        aggregator.EstimateAll().ValueOrDie();
+    if (!reference.has_value()) {
+      reference = estimates;
+    } else {
+      EXPECT_EQ(estimates, *reference) << shards << " shards";
+    }
+  }
+}
+
 }  // namespace
 }  // namespace futurerand::core

@@ -10,6 +10,7 @@
 
 #include <gtest/gtest.h>
 
+#include "futurerand/common/math.h"
 #include "futurerand/common/random.h"
 #include "futurerand/common/threadpool.h"
 #include "futurerand/core/aggregator.h"

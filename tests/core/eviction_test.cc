@@ -11,6 +11,7 @@
 
 #include <gtest/gtest.h>
 
+#include "futurerand/common/math.h"
 #include "futurerand/common/random.h"
 #include "futurerand/core/aggregator.h"
 #include "futurerand/core/server.h"

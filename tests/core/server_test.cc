@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include "futurerand/common/math.h"
 #include "futurerand/randomizer/randomizer.h"
 
 namespace futurerand::core {
@@ -233,6 +234,88 @@ TEST(ServerTest, UnbiasedUnderFakeUniformReports) {
   EXPECT_DOUBLE_EQ(server.EstimateAt(4).ValueOrDie(), 3.0);
   // C(2) = {I(1,1)}: untouched by the level-2 report.
   EXPECT_DOUBLE_EQ(server.EstimateAt(2).ValueOrDie(), 0.0);
+}
+
+TEST(ServerStoreTest, InvalidSketchParamsFailAtConstruction) {
+  // Store problems surface from WithScales/ForProtocol, before any state
+  // exists — never from a later decode or submit.
+  const std::vector<double> scales(4, 1.0);
+  EXPECT_EQ(Server::WithScales(8, scales, DedupPolicy::kStrict, {},
+                              StoreConfig::Sketch(0, 64, 7))
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(Server::WithScales(8, scales, DedupPolicy::kStrict, {},
+                              StoreConfig::Sketch(3, 48, 7))
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);  // width not a power of two
+  EXPECT_EQ(Server::WithScales(8, scales, DedupPolicy::kStrict, {},
+                              StoreConfig::Sketch(65, 64, 7))
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_TRUE(Server::WithScales(8, scales, DedupPolicy::kStrict, {},
+                               StoreConfig::Sketch(3, 64, 7))
+                  .ok());
+
+  ProtocolConfig config = TestConfig(8, 2, 1.0);
+  config.store = StoreConfig::Sketch(3, 6, 7);  // width below kMinWidth
+  EXPECT_EQ(Server::ForProtocol(config).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(ServerStoreTest, StoreConfigIsCanonicalAndDefaultsDense) {
+  Server dense = UnitServer(8);
+  EXPECT_EQ(dense.store_config(), StoreConfig::Dense());
+  const StoreConfig sketch = StoreConfig::Sketch(3, 64, 7);
+  Server sketched =
+      Server::WithScales(8, std::vector<double>(4, 1.0),
+                         DedupPolicy::kStrict, {}, sketch)
+          .ValueOrDie();
+  EXPECT_EQ(sketched.store_config(), sketch);
+}
+
+TEST(ServerStoreTest, MergeRejectsMismatchedStoreConfigs) {
+  const std::vector<double> scales(4, 1.0);
+  Server dense = Server::WithScales(8, scales).ValueOrDie();
+  Server sketched =
+      Server::WithScales(8, scales, DedupPolicy::kStrict, {},
+                         StoreConfig::Sketch(3, 64, 7))
+          .ValueOrDie();
+  Server other_seed =
+      Server::WithScales(8, scales, DedupPolicy::kStrict, {},
+                         StoreConfig::Sketch(3, 64, 8))
+          .ValueOrDie();
+  EXPECT_FALSE(dense.Merge(sketched).ok());
+  EXPECT_FALSE(sketched.Merge(other_seed).ok());
+  EXPECT_FALSE(sketched.MergeAggregatesOnly(dense).ok());
+}
+
+TEST(ServerStoreTest, SketchServerEstimatesExactlyInTheWideRegime) {
+  // W >= d: no level sketches, so the estimate pipeline is identical to
+  // the dense server report-for-report.
+  const std::vector<double> scales(4, 1.0);
+  Server dense = Server::WithScales(8, scales).ValueOrDie();
+  Server sketched =
+      Server::WithScales(8, scales, DedupPolicy::kStrict, {},
+                         StoreConfig::Sketch(2, 8, 7))
+          .ValueOrDie();
+  for (Server* server : {&dense, &sketched}) {
+    ASSERT_TRUE(server->RegisterClient(1, 0).ok());
+    ASSERT_TRUE(server->RegisterClient(2, 1).ok());
+    for (int64_t t = 1; t <= 8; ++t) {
+      ASSERT_TRUE(server->SubmitReport(1, t, t % 2 == 0 ? 1 : -1).ok());
+      if (t % 2 == 0) {
+        ASSERT_TRUE(server->SubmitReport(2, t, 1).ok());
+      }
+    }
+  }
+  for (int64_t t = 1; t <= 8; ++t) {
+    EXPECT_DOUBLE_EQ(sketched.EstimateAt(t).ValueOrDie(),
+                     dense.EstimateAt(t).ValueOrDie())
+        << "t=" << t;
+  }
 }
 
 }  // namespace

@@ -645,6 +645,185 @@ INSTANTIATE_TEST_SUITE_P(
       return name;
     });
 
+// ---------------------------------------------------------------------------
+// Sketch-store snapshots (FRW kind 8): the same guarantees as the dense
+// kind 3 — bit-identical round trips, every corruption rejected — plus the
+// store-identity gate: a blob only restores into an aggregator built from
+// the equal StoreConfig.
+
+ProtocolConfig SketchConfig(int64_t d = 32) {
+  ProtocolConfig config = TestConfig(d);
+  // R*W = 24 < d = 32: level 0 is genuinely sketched, the rest exact.
+  config.store = StoreConfig::Sketch(3, 8, 7);
+  return config;
+}
+
+Server PopulatedSketchServer(DedupPolicy policy, uint64_t seed) {
+  const ProtocolConfig config = SketchConfig();
+  Server server = Server::ForProtocol(config, policy).ValueOrDie();
+  Rng rng(seed);
+  for (int64_t u = 0; u < 40; ++u) {
+    const int level = static_cast<int>(rng.NextInt(6));
+    EXPECT_TRUE(server.RegisterClient(u, level).ok());
+    const int64_t step = int64_t{1} << level;
+    for (int64_t t = step; t <= config.num_periods / 2; t += step) {
+      EXPECT_TRUE(server.SubmitReport(u, t, rng.NextSign()).ok());
+    }
+  }
+  return server;
+}
+
+TEST(SketchServerStateTest, RoundTripIsBitIdentical) {
+  const Server server =
+      PopulatedSketchServer(DedupPolicy::kIdempotent, 11);
+  const std::string blob = EncodeServerState(server);
+  EXPECT_EQ(PeekBatchKind(blob).ValueOrDie(),
+            WireBatchKind::kServerStateSketch);
+  const Server restored = DecodeServerState(blob).ValueOrDie();
+  EXPECT_EQ(restored.store_config(), server.store_config());
+  EXPECT_EQ(restored.num_clients(), server.num_clients());
+  EXPECT_EQ(restored.EstimateAll().ValueOrDie(),
+            server.EstimateAll().ValueOrDie());
+  EXPECT_EQ(restored.EstimateAllConsistent().ValueOrDie(),
+            server.EstimateAllConsistent().ValueOrDie());
+  // The re-encoding closes the loop byte-for-byte.
+  EXPECT_EQ(EncodeServerState(restored), blob);
+}
+
+TEST(SketchServerStateTest, EveryTruncationIsRejected) {
+  const std::string blob =
+      EncodeServerState(PopulatedSketchServer(DedupPolicy::kStrict, 12));
+  for (size_t length = 0; length < blob.size(); ++length) {
+    EXPECT_FALSE(DecodeServerState(std::string_view(blob).substr(0, length))
+                     .ok())
+        << "prefix of length " << length << " decoded";
+  }
+}
+
+TEST(SketchServerStateTest, EverySingleBitFlipIsRejected) {
+  const std::string blob =
+      EncodeServerState(PopulatedSketchServer(DedupPolicy::kIdempotent, 13));
+  for (size_t byte = 0; byte < blob.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::string corrupted = blob;
+      corrupted[byte] ^= static_cast<char>(1 << bit);
+      EXPECT_FALSE(DecodeServerState(corrupted).ok())
+          << "flip at byte " << byte << " bit " << bit << " restored";
+    }
+  }
+}
+
+TEST(SketchCheckpointTest, MidStreamRestoreIsBitIdentical) {
+  const Traffic traffic = GenerateTraffic(301, 48);
+  const int64_t half = static_cast<int64_t>(traffic.batches.size()) / 2;
+  for (const int shards : {1, 3}) {
+    ShardedAggregator live =
+        ShardedAggregator::ForProtocol(SketchConfig(), shards,
+                                       DedupPolicy::kIdempotent)
+            .ValueOrDie();
+    ASSERT_TRUE(live.IngestRegistrations(traffic.registrations).ok());
+    IngestBatches(&live, traffic, 0, static_cast<size_t>(half));
+
+    const std::string snapshot = live.Checkpoint().ValueOrDie();
+    ShardedAggregator cold =
+        ShardedAggregator::ForProtocol(SketchConfig(), shards,
+                                       DedupPolicy::kIdempotent)
+            .ValueOrDie();
+    ASSERT_TRUE(cold.Restore(snapshot).ok());
+    EXPECT_EQ(cold.EstimateAll().ValueOrDie(),
+              live.EstimateAll().ValueOrDie());
+
+    for (size_t b = static_cast<size_t>(half); b < traffic.batches.size();
+         ++b) {
+      ASSERT_TRUE(live.IngestReports(traffic.batches[b]).ok());
+      ASSERT_TRUE(cold.IngestReports(traffic.batches[b]).ok());
+    }
+    EXPECT_EQ(cold.EstimateAll().ValueOrDie(),
+              live.EstimateAll().ValueOrDie());
+  }
+}
+
+TEST(SketchCheckpointTest, DeltaChainCarriesSketchShards) {
+  const Traffic traffic = GenerateTraffic(302, 24);
+  ShardedAggregator aggregator =
+      ShardedAggregator::ForProtocol(SketchConfig(), 3,
+                                     DedupPolicy::kIdempotent)
+          .ValueOrDie();
+  ASSERT_TRUE(aggregator.IngestRegistrations(traffic.registrations).ok());
+  const std::string base =
+      aggregator.Checkpoint(CheckpointMode::kFull).ValueOrDie();
+  IngestBatches(&aggregator, traffic, 0, traffic.batches.size() / 2);
+  const std::string delta =
+      aggregator.Checkpoint(CheckpointMode::kDelta).ValueOrDie();
+
+  ShardedAggregator recovered =
+      ShardedAggregator::ForProtocol(SketchConfig(), 3,
+                                     DedupPolicy::kIdempotent)
+          .ValueOrDie();
+  ASSERT_TRUE(recovered.Restore(base).ok());
+  ASSERT_TRUE(recovered.Restore(delta).ok());
+  EXPECT_EQ(recovered.EstimateAll().ValueOrDie(),
+            aggregator.EstimateAll().ValueOrDie());
+}
+
+TEST(SketchCheckpointTest, RestoreRejectsMismatchedStoreConfig) {
+  const Traffic traffic = GenerateTraffic(303, 12);
+  ShardedAggregator sketched =
+      ShardedAggregator::ForProtocol(SketchConfig(), 2).ValueOrDie();
+  ASSERT_TRUE(sketched.IngestRegistrations(traffic.registrations).ok());
+  const std::string sketch_blob = sketched.Checkpoint().ValueOrDie();
+
+  ShardedAggregator dense =
+      ShardedAggregator::ForProtocol(TestConfig(), 2).ValueOrDie();
+  ASSERT_TRUE(dense.IngestRegistrations(traffic.registrations).ok());
+  const std::string dense_blob = dense.Checkpoint().ValueOrDie();
+
+  // Each backend refuses the other's state; same for a parameter drift.
+  EXPECT_EQ(dense.Restore(sketch_blob).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(sketched.Restore(dense_blob).code(),
+            StatusCode::kInvalidArgument);
+  ProtocolConfig drifted = SketchConfig();
+  drifted.store = StoreConfig::Sketch(3, 8, 8);  // different seed
+  ShardedAggregator other_seed =
+      ShardedAggregator::ForProtocol(drifted, 2).ValueOrDie();
+  EXPECT_EQ(other_seed.Restore(sketch_blob).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(SketchReshardTest, RestoreIntoDifferentShardCountIsBitIdentical) {
+  const Traffic traffic = GenerateTraffic(304, 53);
+  const int64_t half = static_cast<int64_t>(traffic.batches.size()) / 2;
+  ShardedAggregator source =
+      ShardedAggregator::ForProtocol(SketchConfig(), 4,
+                                     DedupPolicy::kIdempotent)
+          .ValueOrDie();
+  ASSERT_TRUE(source.IngestRegistrations(traffic.registrations).ok());
+  IngestBatches(&source, traffic, 0, static_cast<size_t>(half));
+  const std::string snapshot = source.Checkpoint().ValueOrDie();
+
+  ShardedAggregator target =
+      ShardedAggregator::ForProtocol(SketchConfig(), 7,
+                                     DedupPolicy::kIdempotent)
+          .ValueOrDie();
+  ASSERT_TRUE(target.Restore(snapshot).ok());
+  EXPECT_EQ(target.num_shards(), 7);
+  EXPECT_EQ(target.EstimateAll().ValueOrDie(),
+            source.EstimateAll().ValueOrDie());
+
+  // Both finish the stream: the sketch cells commute, so the resharded
+  // aggregator tracks the source bit-for-bit to the end.
+  for (size_t b = static_cast<size_t>(half); b < traffic.batches.size();
+       ++b) {
+    ASSERT_TRUE(source.IngestReports(traffic.batches[b]).ok());
+    ASSERT_TRUE(target.IngestReports(traffic.batches[b]).ok());
+  }
+  EXPECT_EQ(target.EstimateAll().ValueOrDie(),
+            source.EstimateAll().ValueOrDie());
+  EXPECT_EQ(target.EstimateAllConsistent().ValueOrDie(),
+            source.EstimateAllConsistent().ValueOrDie());
+}
+
 TEST(ReshardTest, ReshardedRestoreBreaksTheDeltaChain) {
   const Traffic traffic = GenerateTraffic(8, 12);
   ShardedAggregator source =

@@ -5,6 +5,7 @@
 // double-count, checkpoint corruption) fails CI here instead of only
 // shifting bench JSON.
 
+#include <cmath>
 #include <cstdint>
 #include <string>
 #include <tuple>
@@ -12,6 +13,7 @@
 #include <gtest/gtest.h>
 
 #include "futurerand/analysis/theory.h"
+#include "futurerand/core/sketch_store.h"
 #include "futurerand/randomizer/randomizer.h"
 #include "futurerand/sim/runner.h"
 #include "futurerand/sim/workload.h"
@@ -92,6 +94,77 @@ INSTANTIATE_TEST_SUITE_P(
       name += std::to_string(std::get<2>(info.param));
       return name;
     });
+
+// ---------------------------------------------------------------------------
+// Sketch-store acceptance: the count-sketch backend trades memory for a
+// bounded additive error on top of the LDP bound. The gate mirrors the
+// analysis: a prefix query touches at most one node per level, so the
+// sketch adds at most scale_h * NodeErrorBound per sketched level.
+
+// Conservative additive term: every client at every sketched level (the
+// true per-level population is smaller), level_reports = clients * reports
+// per client. Loose, but it turns a broken sign/bucket hash — whose error
+// is of order scale * level_reports — into a deterministic failure.
+double SketchAdditiveBound(int64_t d, int64_t n, int64_t k, double eps,
+                           const core::StoreConfig& store) {
+  const double c_gap =
+      rand::ExactCGap(rand::RandomizerKind::kFutureRand, k, eps).ValueOrDie();
+  const double scale = (1.0 + std::log2(static_cast<double>(d))) / c_gap;
+  const int64_t slab =
+      static_cast<int64_t>(store.sketch_rows) * store.sketch_width;
+  double total = 0.0;
+  for (int64_t intervals = d; intervals >= 1; intervals /= 2) {
+    if (intervals > slab) {
+      total += scale * core::SketchStore::NodeErrorBound(
+                           n * intervals, store.sketch_width);
+    }
+  }
+  return total;
+}
+
+TEST(SketchStatisticalTest, MaxErrorWithinLdpBoundPlusSketchTerm) {
+  const int64_t d = 256;
+  const int64_t k = 4;
+  const int64_t n = 1000;
+  const double eps = 1.0;
+  core::ProtocolConfig config = MakeConfig(d, k, eps);
+  config.store = core::StoreConfig::Sketch(3, 16, 7);  // slab 48 < d
+  const RepeatedRunStats stats =
+      RunRepeated(ProtocolKind::kFutureRand, config, MakeWorkload(n, d, k),
+                  2, 20260807)
+          .ValueOrDie();
+  EXPECT_LE(stats.max_abs_error.max(),
+            TheoryBound(eps, d, n, k) +
+                SketchAdditiveBound(d, n, k, eps, config.store));
+  // Degeneracy gate, as for dense: all-zero estimates are a bug.
+  EXPECT_GE(stats.max_abs_error.mean(),
+            TheoryBound(eps, d, n, k) / 300.0);
+}
+
+TEST(SketchStatisticalTest, WideSketchAgreesWithDenseBitForBit) {
+  // W >= d: no level has more intervals than one row holds, so the sketch
+  // stores every counter exactly and the two backends must produce
+  // bit-identical estimates report-for-report.
+  const int64_t d = 64;
+  const int64_t k = 4;
+  const int64_t n = 1500;
+  const double eps = 1.0;
+  const WorkloadConfig workload_config = MakeWorkload(n, d, k);
+  const Workload workload =
+      Workload::Generate(workload_config, 77).ValueOrDie();
+  core::ProtocolConfig dense_config = MakeConfig(d, k, eps);
+  core::ProtocolConfig sketch_config = MakeConfig(d, k, eps);
+  sketch_config.store = core::StoreConfig::Sketch(2, d, 7);
+  const RunResult dense =
+      RunProtocol(ProtocolKind::kFutureRand, dense_config, workload, 78)
+          .ValueOrDie();
+  const RunResult sketched =
+      RunProtocol(ProtocolKind::kFutureRand, sketch_config, workload, 78)
+          .ValueOrDie();
+  EXPECT_EQ(dense.estimates, sketched.estimates);
+  EXPECT_EQ(dense.metrics.max_abs, sketched.metrics.max_abs);
+  EXPECT_EQ(dense.reports_submitted, sketched.reports_submitted);
+}
 
 TEST(StatisticalAcceptanceTest, BoundHoldsUnderAtLeastOnceDelivery) {
   // The fault-tolerant path is part of the product: duplication plus

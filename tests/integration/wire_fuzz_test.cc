@@ -37,6 +37,7 @@ struct ValidPayloads {
   std::string registrations_v2;
   std::string reports_v2;
   std::string server_state;
+  std::string server_state_sketch;
   std::string aggregator_state;
   std::string aggregator_delta;
 };
@@ -67,6 +68,19 @@ ValidPayloads MakePayloads(uint64_t seed) {
     // Each client's coarsest valid time: d works for every level.
     EXPECT_TRUE(server.SubmitReport(u, 16, rng.NextSign()).ok());
   }
+  // A sketch-backed twin of the server: R*W = 8 < 16 intervals, so level
+  // 0 is genuinely hash-bucketed and the kind-8 blob carries a real arena.
+  Server sketch_server =
+      Server::WithScales(16, {1.0, 2.0, 3.0, 4.0, 5.0},
+                         DedupPolicy::kIdempotent, {},
+                         StoreConfig::Sketch(1, 8, seed + 7))
+          .ValueOrDie();
+  for (int64_t u = 0; u < 10; ++u) {
+    EXPECT_TRUE(
+        sketch_server.RegisterClient(u, static_cast<int>(rng.NextInt(5)))
+            .ok());
+    EXPECT_TRUE(sketch_server.SubmitReport(u, 16, rng.NextSign()).ok());
+  }
   ValidPayloads payloads;
   payloads.registrations = EncodeRegistrationBatch(registrations);
   payloads.reports = EncodeReportBatch(reports).ValueOrDie();
@@ -75,6 +89,7 @@ ValidPayloads MakePayloads(uint64_t seed) {
   payloads.reports_v2 =
       EncodeReportBatch(reports, WireVersion::kV2).ValueOrDie();
   payloads.server_state = EncodeServerState(server);
+  payloads.server_state_sketch = EncodeServerState(sketch_server);
   payloads.aggregator_state = EncodeAggregatorState(
       {payloads.server_state, payloads.server_state}, /*epoch=*/1);
   AggregatorDeltaBlob delta;
@@ -104,8 +119,8 @@ TEST_P(WireAdversaryTest, TruncationAtEveryOffsetIsRejected) {
   for (const std::string* payload :
        {&payloads.registrations, &payloads.reports,
         &payloads.registrations_v2, &payloads.reports_v2,
-        &payloads.server_state, &payloads.aggregator_state,
-        &payloads.aggregator_delta}) {
+        &payloads.server_state, &payloads.server_state_sketch,
+        &payloads.aggregator_state, &payloads.aggregator_delta}) {
     for (size_t length = 0; length < payload->size(); ++length) {
       const std::string prefix = payload->substr(0, length);
       DecodeEverything(prefix);
@@ -150,12 +165,15 @@ TEST_P(WireAdversaryTest, BitFlippedBatchesNeverCrashAndStayWellFormed) {
 
 TEST_P(WireAdversaryTest, BitFlippedSnapshotsAreAlwaysRejected) {
   const ValidPayloads payloads = MakePayloads(GetParam());
-  for (size_t byte = 0; byte < payloads.server_state.size(); ++byte) {
-    for (int bit = 0; bit < 8; ++bit) {
-      std::string corrupted = payloads.server_state;
-      corrupted[byte] ^= static_cast<char>(1 << bit);
-      EXPECT_FALSE(DecodeServerState(corrupted).ok())
-          << "byte " << byte << " bit " << bit;
+  for (const std::string* payload :
+       {&payloads.server_state, &payloads.server_state_sketch}) {
+    for (size_t byte = 0; byte < payload->size(); ++byte) {
+      for (int bit = 0; bit < 8; ++bit) {
+        std::string corrupted = *payload;
+        corrupted[byte] ^= static_cast<char>(1 << bit);
+        EXPECT_FALSE(DecodeServerState(corrupted).ok())
+            << "byte " << byte << " bit " << bit;
+      }
     }
   }
   // The aggregator frame's checksum covers the nested shard blobs too;
@@ -213,7 +231,8 @@ TEST_P(WireAdversaryTest, OverlongVarintsAreRejected) {
   // a 10-byte maximal varint as a count, which must be rejected as
   // implausible rather than allocating.
   Rng rng(GetParam() * 7 + 3);
-  for (const char kind : {char{1}, char{2}, char{3}, char{4}, char{5}}) {
+  for (const char kind :
+       {char{1}, char{2}, char{3}, char{4}, char{5}, char{8}}) {
     std::string overlong = {'F', 'R', 'W', 1, kind};
     for (int i = 0; i < 10; ++i) {
       overlong.push_back(static_cast<char>(0x80 | (rng.NextUint64() & 0x7f)));
@@ -246,10 +265,11 @@ TEST_P(WireAdversaryTest, RandomMutationsNeverCrashTheDecoders) {
                                   &payloads.registrations_v2,
                                   &payloads.reports_v2,
                                   &payloads.server_state,
+                                  &payloads.server_state_sketch,
                                   &payloads.aggregator_state,
                                   &payloads.aggregator_delta};
   for (int64_t round = 0; round < rounds; ++round) {
-    std::string mutated = *sources[rng.NextInt(7)];
+    std::string mutated = *sources[rng.NextInt(8)];
     const uint64_t mutations = 1 + rng.NextInt(8);
     for (uint64_t m = 0; m < mutations; ++m) {
       switch (rng.NextInt(4)) {
@@ -283,7 +303,8 @@ TEST_P(WireAdversaryTest, RandomMutationsNeverCrashTheDecoders) {
       EXPECT_FALSE(DecodeReportBatch(mutated).ok())
           << "mutated v2 framing accepted";
     }
-    if (mutated != payloads.server_state) {
+    if (mutated != payloads.server_state &&
+        mutated != payloads.server_state_sketch) {
       EXPECT_FALSE(DecodeServerState(mutated).ok());
     }
     if (mutated != payloads.aggregator_state) {

@@ -15,6 +15,7 @@
 #include "futurerand/common/table_printer.h"
 #include "futurerand/common/threadpool.h"
 #include "futurerand/core/config.h"
+#include "futurerand/core/store.h"
 #include "futurerand/sim/runner.h"
 #include "futurerand/sim/trace.h"
 #include "futurerand/sim/workload.h"
@@ -48,6 +49,11 @@ int Run(int argc, char** argv) {
   int64_t threads = ThreadPool::DefaultThreadCount();
   int64_t shards = 0;
   bool adapt_support = false;
+  const core::StoreConfig sketch_defaults;  // defaults carry the sketch knobs
+  std::string store_name = "dense";
+  int64_t sketch_rows = sketch_defaults.sketch_rows;
+  int64_t sketch_width = sketch_defaults.sketch_width;
+  int64_t sketch_seed = static_cast<int64_t>(sketch_defaults.sketch_seed);
   double drop_rate = 0.0;
   double dup_rate = 0.0;
   double reorder_rate = 0.0;
@@ -91,6 +97,19 @@ int Run(int argc, char** argv) {
                   "estimates are identical for any value");
   parser.AddBool("adapt_support", &adapt_support,
                  "enable per-level support adaptation (extension)");
+  parser.AddString("store", &store_name,
+                   "per-shard aggregate storage: dense (exact, O(d) per "
+                   "shard) | sketch (count-sketch levels, O(levels*R*W) "
+                   "per shard, bounded extra error)");
+  parser.AddInt64("sketch-rows", &sketch_rows,
+                  "count-sketch depth R (rows per sketched level), in "
+                  "[1, 64]; only with --store=sketch");
+  parser.AddInt64("sketch-width", &sketch_width,
+                  "count-sketch width W (buckets per row), a power of two "
+                  "in [8, 2^30]; only with --store=sketch");
+  parser.AddInt64("sketch-seed", &sketch_seed,
+                  "seed of the per-(level,row) hashes; part of the store "
+                  "identity (merges require equal seeds)");
   parser.AddDouble("drop-rate", &drop_rate,
                    "P(report lost in the channel), hierarchical only");
   parser.AddDouble("dup-rate", &dup_rate,
@@ -181,6 +200,23 @@ int Run(int argc, char** argv) {
   config.max_changes = k;
   config.epsilon = eps;
   config.adapt_support_per_level = adapt_support;
+  const auto store_kind = core::ParseStoreKind(store_name);
+  if (!store_kind.ok()) {
+    std::fprintf(stderr, "%s\n%s", store_kind.status().ToString().c_str(),
+                 parser.Usage("frsim").c_str());
+    return 2;
+  }
+  if (*store_kind == core::StoreKind::kSketch) {
+    config.store = core::StoreConfig::Sketch(
+        static_cast<int32_t>(sketch_rows), sketch_width,
+        static_cast<uint64_t>(sketch_seed));
+  }
+  if (const Status store_status = config.store.Validate();
+      !store_status.ok()) {
+    std::fprintf(stderr, "%s\n%s", store_status.ToString().c_str(),
+                 parser.Usage("frsim").c_str());
+    return 2;
+  }
 
   sim::FaultOptions faults;
   faults.channel.drop_rate = drop_rate;
