@@ -3,11 +3,10 @@
 #ifndef FUTURERAND_BENCH_BENCH_COMMON_H_
 #define FUTURERAND_BENCH_BENCH_COMMON_H_
 
-#include <cmath>
 #include <cstdint>
-#include <cstdio>
 #include <string>
 
+#include "futurerand/common/json.h"
 #include "futurerand/common/macros.h"
 #include "futurerand/core/config.h"
 #include "futurerand/sim/runner.h"
@@ -20,49 +19,9 @@ namespace futurerand::bench {
 // the AllProtocolKinds / AllRandomizerKinds arrays) — harnesses never
 // re-enumerate the kinds by hand.
 
-/// Builds one machine-readable JSON object line (the --json output of the
-/// throughput bench, grep-able in CI logs). Keys and string values must not
-/// need escaping — harness-controlled identifiers only.
-class JsonLine {
- public:
-  JsonLine& Add(const std::string& key, const std::string& value) {
-    return Append(key, "\"" + value + "\"");
-  }
-  JsonLine& Add(const std::string& key, const char* value) {
-    return Add(key, std::string(value));
-  }
-  JsonLine& Add(const std::string& key, int64_t value) {
-    return Append(key, std::to_string(value));
-  }
-  JsonLine& Add(const std::string& key, int value) {
-    return Add(key, static_cast<int64_t>(value));
-  }
-  JsonLine& Add(const std::string& key, double value) {
-    // JSON has no inf/nan literals; a tiny run can produce them (zero or
-    // denormal stage durations), and one bad field would break every
-    // downstream parser of the whole line. Emit 0 instead.
-    if (!std::isfinite(value)) {
-      value = 0.0;
-    }
-    char buffer[64];
-    std::snprintf(buffer, sizeof(buffer), "%.6g", value);
-    return Append(key, buffer);
-  }
-
-  /// The assembled line, e.g. {"bench":"throughput","n":1000}.
-  std::string Str() const { return "{" + body_ + "}"; }
-
- private:
-  JsonLine& Append(const std::string& key, const std::string& raw) {
-    if (!body_.empty()) {
-      body_ += ",";
-    }
-    body_ += "\"" + key + "\":" + raw;
-    return *this;
-  }
-
-  std::string body_;
-};
+/// The shared JSON emitter lives in the library now (the frserve/frload
+/// tools emit the same schema); the bench namespace keeps its old name.
+using JsonLine = ::futurerand::JsonLine;
 
 inline core::ProtocolConfig MakeConfig(int64_t d, int64_t k, double eps) {
   core::ProtocolConfig config;

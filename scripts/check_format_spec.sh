@@ -10,7 +10,10 @@
 #   2. every container version a kind claims must itself be declared as a
 #      `kWireVersionV = V` constant in wire.h;
 #   3. the kind numbers quoted in the core/snapshot.h header comment
-#      ("kServerState (3)" etc.) must agree with wire.h.
+#      ("kServerState (3)" etc.) must agree with wire.h;
+#   4. every `kFrs* = N;  // FRS` constant in src/futurerand/net/frame.h
+#      must appear in the FORMATS.md §11 stream-framing table with the
+#      same value, and vice versa.
 #
 # Run from anywhere; exits non-zero with a diff on any mismatch.
 set -u
@@ -18,10 +21,11 @@ set -u
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 wire_h="$repo_root/src/futurerand/core/wire.h"
 snapshot_h="$repo_root/src/futurerand/core/snapshot.h"
+frame_h="$repo_root/src/futurerand/net/frame.h"
 spec="$repo_root/docs/FORMATS.md"
 fail=0
 
-for f in "$wire_h" "$snapshot_h" "$spec"; do
+for f in "$wire_h" "$snapshot_h" "$frame_h" "$spec"; do
   if [ ! -f "$f" ]; then
     echo "check_format_spec: missing $f" >&2
     exit 1
@@ -95,7 +99,35 @@ done <<EOF
 $(sed -n 's/.*[^A-Za-z]k\([A-Za-z]*\) (\([0-9][0-9]*\)).*/\1 \2/p' "$snapshot_h")
 EOF
 
+# FRS stream-framing constants: "kFrsVerdictAck 0" pairs from net/frame.h
+# (the trailing "// FRS" comment is mandatory) vs the §11 table rows
+# (| `kFrsVerdictAck` | 0 | ...).
+frs_code=$(sed -n \
+  's|^inline constexpr char \(kFrs[A-Za-z0-9]*\) = \([0-9]*\); *// FRS.*|\1 \2|p' \
+  "$frame_h" | sort)
+frs_spec=$(sed -n \
+  's/^| *`\(kFrs[A-Za-z0-9]*\)` *| *\([0-9][0-9]*\) *|.*/\1 \2/p' \
+  "$spec" | sort)
+
+if [ -z "$frs_code" ]; then
+  echo "check_format_spec: found no annotated kFrs constants in $frame_h" >&2
+  echo "(every FRS byte value needs a trailing '// FRS' comment)" >&2
+  exit 1
+fi
+if [ -z "$frs_spec" ]; then
+  echo "check_format_spec: found no FRS table rows in $spec (section 11)" >&2
+  exit 1
+fi
+if [ "$frs_code" != "$frs_spec" ]; then
+  echo "check_format_spec: frame.h constants and docs/FORMATS.md section 11 disagree" >&2
+  echo "--- frame.h (name value)" >&2
+  echo "$frs_code" >&2
+  echo "--- docs/FORMATS.md (name value)" >&2
+  echo "$frs_spec" >&2
+  fail=1
+fi
+
 if [ "$fail" -ne 0 ]; then
   exit 1
 fi
-echo "check_format_spec: OK ($(echo "$code_kinds" | wc -l | tr -d ' ') kinds in lockstep)"
+echo "check_format_spec: OK ($(echo "$code_kinds" | wc -l | tr -d ' ') kinds, $(echo "$frs_code" | wc -l | tr -d ' ') FRS bytes in lockstep)"

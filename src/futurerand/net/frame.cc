@@ -1,0 +1,216 @@
+#include "futurerand/net/frame.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "futurerand/core/wire.h"
+
+namespace futurerand::net {
+
+namespace {
+
+using core::wire_internal::GetVarint64;
+using core::wire_internal::PutVarint64;
+
+constexpr char kMagic0 = 'F';
+constexpr char kMagic1 = 'R';
+constexpr char kMagicBatch = 'W';
+constexpr char kMagicReply = 'A';
+constexpr char kMagicControl = 'C';
+
+constexpr size_t kMagicSize = 3;
+
+// The largest StatusCode value a reply may carry (status.h is append-only).
+constexpr uint64_t kMaxStatusCode = static_cast<uint64_t>(StatusCode::kDataLoss);
+
+Status ConsumeMagicVersion(char magic2, char version,
+                           std::string_view* payload) {
+  if (payload->size() < kMagicSize + 1) {
+    return Status::InvalidArgument("FRS payload shorter than its header");
+  }
+  if ((*payload)[0] != kMagic0 || (*payload)[1] != kMagic1 ||
+      (*payload)[2] != magic2) {
+    return Status::DataLoss("FRS payload magic mismatch");
+  }
+  if ((*payload)[3] != version) {
+    return Status::DataLoss("unsupported FRS payload version");
+  }
+  payload->remove_prefix(kMagicSize + 1);
+  return Status::OK();
+}
+
+Status RejectTrailing(std::string_view payload) {
+  if (!payload.empty()) {
+    return Status::InvalidArgument("trailing bytes after FRS payload");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<PayloadType> ClassifyPayload(std::string_view payload) {
+  if (payload.size() < kMagicSize) {
+    return Status::InvalidArgument("FRS payload shorter than a magic");
+  }
+  if (payload[0] != kMagic0 || payload[1] != kMagic1) {
+    return Status::DataLoss("FRS payload magic mismatch");
+  }
+  switch (payload[2]) {
+    case kMagicBatch:
+      return PayloadType::kBatch;
+    case kMagicReply:
+      return PayloadType::kReply;
+    case kMagicControl:
+      return PayloadType::kControl;
+    default:
+      return Status::DataLoss("unknown FRS payload magic");
+  }
+}
+
+std::string EncodeReply(const Reply& reply) {
+  std::string out;
+  out.push_back(kMagic0);
+  out.push_back(kMagic1);
+  out.push_back(kMagicReply);
+  out.push_back(kFrsReplyVersion);
+  out.push_back(static_cast<char>(reply.verdict));
+  PutVarint64(reply.seq, &out);
+  PutVarint64(static_cast<uint64_t>(reply.status), &out);
+  PutVarint64(static_cast<uint64_t>(reply.applied), &out);
+  PutVarint64(static_cast<uint64_t>(reply.deduped), &out);
+  PutVarint64(static_cast<uint64_t>(reply.out_of_window), &out);
+  return out;
+}
+
+Result<Reply> DecodeReply(std::string_view payload) {
+  FR_RETURN_NOT_OK(ConsumeMagicVersion(kMagicReply, kFrsReplyVersion,
+                                       &payload));
+  if (payload.empty()) {
+    return Status::InvalidArgument("FRS reply truncated before verdict");
+  }
+  const auto verdict_byte = static_cast<unsigned char>(payload[0]);
+  payload.remove_prefix(1);
+  if (verdict_byte > static_cast<unsigned char>(Verdict::kError)) {
+    return Status::DataLoss("unknown FRS reply verdict");
+  }
+  Reply reply;
+  reply.verdict = static_cast<Verdict>(verdict_byte);
+  FR_ASSIGN_OR_RETURN(reply.seq, GetVarint64(&payload));
+  FR_ASSIGN_OR_RETURN(const uint64_t code, GetVarint64(&payload));
+  if (code > kMaxStatusCode) {
+    return Status::DataLoss("unknown FRS reply status code");
+  }
+  reply.status = static_cast<StatusCode>(code);
+  FR_ASSIGN_OR_RETURN(const uint64_t applied, GetVarint64(&payload));
+  FR_ASSIGN_OR_RETURN(const uint64_t deduped, GetVarint64(&payload));
+  FR_ASSIGN_OR_RETURN(const uint64_t out_of_window, GetVarint64(&payload));
+  // Outcome counts are nonnegative int64s on the sender; anything that
+  // does not fit back is stream damage, not a count.
+  if (applied > static_cast<uint64_t>(INT64_MAX) ||
+      deduped > static_cast<uint64_t>(INT64_MAX) ||
+      out_of_window > static_cast<uint64_t>(INT64_MAX)) {
+    return Status::DataLoss("FRS reply outcome count out of range");
+  }
+  reply.applied = static_cast<int64_t>(applied);
+  reply.deduped = static_cast<int64_t>(deduped);
+  reply.out_of_window = static_cast<int64_t>(out_of_window);
+  FR_RETURN_NOT_OK(RejectTrailing(payload));
+  return reply;
+}
+
+std::string EncodeControl(ControlOp op) {
+  std::string out;
+  out.push_back(kMagic0);
+  out.push_back(kMagic1);
+  out.push_back(kMagicControl);
+  out.push_back(kFrsControlVersion);
+  out.push_back(static_cast<char>(op));
+  return out;
+}
+
+Result<ControlOp> DecodeControl(std::string_view payload) {
+  FR_RETURN_NOT_OK(ConsumeMagicVersion(kMagicControl, kFrsControlVersion,
+                                       &payload));
+  if (payload.empty()) {
+    return Status::InvalidArgument("FRS control truncated before op");
+  }
+  const auto op = static_cast<unsigned char>(payload[0]);
+  payload.remove_prefix(1);
+  FR_RETURN_NOT_OK(RejectTrailing(payload));
+  if (op != static_cast<unsigned char>(ControlOp::kCheckpoint) &&
+      op != static_cast<unsigned char>(ControlOp::kShutdown)) {
+    return Status::DataLoss("unknown FRS control op");
+  }
+  return static_cast<ControlOp>(op);
+}
+
+Status AppendFrame(std::string_view payload, std::string* out) {
+  if (payload.empty()) {
+    return Status::InvalidArgument("FRS frames cannot carry empty payloads");
+  }
+  if (payload.size() > kFrsMaxPayload) {
+    return Status::InvalidArgument(
+        "FRS payload exceeds kFrsMaxPayload (" +
+        std::to_string(payload.size()) + " bytes)");
+  }
+  const auto length = static_cast<uint32_t>(payload.size());
+  out->push_back(static_cast<char>(length & 0xff));
+  out->push_back(static_cast<char>((length >> 8) & 0xff));
+  out->push_back(static_cast<char>((length >> 16) & 0xff));
+  out->push_back(static_cast<char>((length >> 24) & 0xff));
+  out->append(payload);
+  return Status::OK();
+}
+
+Status FrameParser::Feed(std::string_view bytes,
+                         std::vector<std::string>* frames) {
+  if (!error_.ok()) {
+    return error_;
+  }
+  while (!bytes.empty()) {
+    if (!in_payload_) {
+      const size_t take =
+          std::min(bytes.size(), kFrameHeaderSize - header_fill_);
+      std::memcpy(header_ + header_fill_, bytes.data(), take);
+      header_fill_ += take;
+      bytes.remove_prefix(take);
+      if (header_fill_ < kFrameHeaderSize) {
+        return Status::OK();  // short read mid-header; wait for more
+      }
+      const uint32_t length = static_cast<uint32_t>(header_[0]) |
+                              (static_cast<uint32_t>(header_[1]) << 8) |
+                              (static_cast<uint32_t>(header_[2]) << 16) |
+                              (static_cast<uint32_t>(header_[3]) << 24);
+      if (length == 0) {
+        error_ = Status::DataLoss("zero-length FRS frame");
+        return error_;
+      }
+      if (length > max_payload_) {
+        // Reject before reserving anything: the header is all an attacker
+        // controls cheaply, and it must not size our allocations.
+        error_ = Status::DataLoss(
+            "oversized FRS frame length " + std::to_string(length) +
+            " (max " + std::to_string(max_payload_) + ")");
+        return error_;
+      }
+      in_payload_ = true;
+      expected_ = length;
+      payload_.clear();
+      payload_.reserve(length);
+    }
+    const size_t take = std::min(
+        bytes.size(), static_cast<size_t>(expected_) - payload_.size());
+    payload_.append(bytes.data(), take);
+    bytes.remove_prefix(take);
+    if (payload_.size() == expected_) {
+      frames->push_back(std::move(payload_));
+      payload_ = std::string();
+      in_payload_ = false;
+      header_fill_ = 0;
+      expected_ = 0;
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace futurerand::net

@@ -1,0 +1,64 @@
+// Readiness notification for the single-threaded IO loop: epoll on Linux,
+// poll(2) everywhere else (and on Linux when forced, so the fallback stays
+// tested). One Poller instance belongs to one thread; nothing here is
+// thread-safe.
+
+#ifndef FUTURERAND_NET_POLLER_H_
+#define FUTURERAND_NET_POLLER_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "futurerand/common/result.h"
+#include "futurerand/net/socket.h"
+
+namespace futurerand::net {
+
+/// One readiness event for a registered fd.
+struct PollEvent {
+  int fd = -1;
+  bool readable = false;
+  bool writable = false;
+  /// Error or hangup: the connection is dead, close it. May coincide with
+  /// readable (pending bytes before the FIN).
+  bool hangup = false;
+};
+
+/// fd registry + wait loop. Interest is level-triggered in both backends:
+/// a readable fd keeps firing until drained, a writable one until the
+/// write interest is dropped.
+class Poller {
+ public:
+  /// Picks epoll where available unless `force_poll`; never fails into a
+  /// backend the platform lacks.
+  static Result<Poller> Create(bool force_poll = false);
+
+  Poller(Poller&&) = default;
+  Poller& operator=(Poller&&) = default;
+  Poller(const Poller&) = delete;
+  Poller& operator=(const Poller&) = delete;
+
+  Status Add(int fd, bool want_read, bool want_write);
+  Status Update(int fd, bool want_read, bool want_write);
+  Status Remove(int fd);
+
+  /// Blocks up to `timeout_ms` (-1 = forever) and fills `*events` (cleared
+  /// first). Returns the number of events (0 = timeout).
+  Result<int> Wait(std::vector<PollEvent>* events, int timeout_ms);
+
+  bool using_epoll() const { return epoll_fd_.valid(); }
+
+ private:
+  Poller() = default;
+
+  FdGuard epoll_fd_;  // invalid => poll(2) fallback
+  // Fallback interest list: (fd, mask of kReadInterest|kWriteInterest).
+  static constexpr uint32_t kReadInterest = 1;
+  static constexpr uint32_t kWriteInterest = 2;
+  std::vector<std::pair<int, uint32_t>> interest_;
+};
+
+}  // namespace futurerand::net
+
+#endif  // FUTURERAND_NET_POLLER_H_

@@ -1,0 +1,192 @@
+#include "futurerand/net/socket.h"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <vector>
+
+namespace futurerand::net {
+
+namespace {
+
+Status ErrnoStatus(const std::string& what) {
+  return Status::IoError(what + ": " + std::strerror(errno));
+}
+
+// IPv4 only, plus the spelling every test and script uses.
+Result<in_addr> ResolveHost(const std::string& host) {
+  const std::string spelled = host == "localhost" ? "127.0.0.1" : host;
+  in_addr addr{};
+  if (inet_pton(AF_INET, spelled.c_str(), &addr) != 1) {
+    return Status::InvalidArgument("cannot parse IPv4 host: " + host);
+  }
+  return addr;
+}
+
+Result<sockaddr_un> UnixAddress(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.empty() || path.size() >= sizeof(addr.sun_path)) {
+    return Status::InvalidArgument("unix socket path empty or too long: " +
+                                   path);
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  return addr;
+}
+
+}  // namespace
+
+void FdGuard::reset(int fd) {
+  if (fd_ >= 0) {
+    ::close(fd_);
+  }
+  fd_ = fd;
+}
+
+Result<TcpListener> ListenTcp(const std::string& host, int port,
+                              int backlog) {
+  if (port < 0 || port > 65535) {
+    return Status::InvalidArgument("port out of range");
+  }
+  FR_ASSIGN_OR_RETURN(const in_addr addr, ResolveHost(host));
+  FdGuard fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) {
+    return ErrnoStatus("socket");
+  }
+  const int one = 1;
+  (void)::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in sin{};
+  sin.sin_family = AF_INET;
+  sin.sin_addr = addr;
+  sin.sin_port = htons(static_cast<uint16_t>(port));
+  if (::bind(fd.get(), reinterpret_cast<const sockaddr*>(&sin),
+             sizeof(sin)) != 0) {
+    return ErrnoStatus("bind " + host + ":" + std::to_string(port));
+  }
+  if (::listen(fd.get(), backlog) != 0) {
+    return ErrnoStatus("listen");
+  }
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(fd.get(), reinterpret_cast<sockaddr*>(&bound),
+                    &bound_len) != 0) {
+    return ErrnoStatus("getsockname");
+  }
+  TcpListener listener;
+  listener.fd = std::move(fd);
+  listener.port = static_cast<int>(ntohs(bound.sin_port));
+  return listener;
+}
+
+Result<FdGuard> ListenUnix(const std::string& path, int backlog) {
+  FR_ASSIGN_OR_RETURN(const sockaddr_un addr, UnixAddress(path));
+  // A stale socket file from a crashed server makes bind fail EADDRINUSE;
+  // unlink it — a live server holds the listening socket, not the name.
+  (void)::unlink(path.c_str());
+  FdGuard fd(::socket(AF_UNIX, SOCK_STREAM, 0));
+  if (!fd.valid()) {
+    return ErrnoStatus("socket");
+  }
+  if (::bind(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    return ErrnoStatus("bind " + path);
+  }
+  if (::listen(fd.get(), backlog) != 0) {
+    return ErrnoStatus("listen " + path);
+  }
+  return fd;
+}
+
+Result<FdGuard> ConnectTcp(const std::string& host, int port) {
+  FR_ASSIGN_OR_RETURN(const in_addr addr, ResolveHost(host));
+  FdGuard fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) {
+    return ErrnoStatus("socket");
+  }
+  sockaddr_in sin{};
+  sin.sin_family = AF_INET;
+  sin.sin_addr = addr;
+  sin.sin_port = htons(static_cast<uint16_t>(port));
+  int rc;
+  do {
+    rc = ::connect(fd.get(), reinterpret_cast<const sockaddr*>(&sin),
+                   sizeof(sin));
+  } while (rc != 0 && errno == EINTR);
+  if (rc != 0) {
+    return ErrnoStatus("connect " + host + ":" + std::to_string(port));
+  }
+  // The client ships small framed batches synchronously; Nagle would add
+  // a round-trip of latency to every one.
+  const int one = 1;
+  (void)::setsockopt(fd.get(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return fd;
+}
+
+Result<FdGuard> ConnectUnix(const std::string& path) {
+  FR_ASSIGN_OR_RETURN(const sockaddr_un addr, UnixAddress(path));
+  FdGuard fd(::socket(AF_UNIX, SOCK_STREAM, 0));
+  if (!fd.valid()) {
+    return ErrnoStatus("socket");
+  }
+  int rc;
+  do {
+    rc = ::connect(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+                   sizeof(addr));
+  } while (rc != 0 && errno == EINTR);
+  if (rc != 0) {
+    return ErrnoStatus("connect " + path);
+  }
+  return fd;
+}
+
+Status SetNonBlocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) != 0) {
+    return ErrnoStatus("fcntl O_NONBLOCK");
+  }
+  return Status::OK();
+}
+
+Status WriteAll(int fd, std::string_view bytes) {
+  while (!bytes.empty()) {
+    // MSG_NOSIGNAL: a peer that closed mid-protocol must surface as an
+    // EPIPE Status the caller can handle, not a process-killing SIGPIPE.
+    const ssize_t written =
+        ::send(fd, bytes.data(), bytes.size(), MSG_NOSIGNAL);
+    if (written < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return ErrnoStatus("write");
+    }
+    bytes.remove_prefix(static_cast<size_t>(written));
+  }
+  return Status::OK();
+}
+
+Status ReadChunk(int fd, std::string* out, size_t chunk) {
+  std::vector<char> buffer(chunk);
+  for (;;) {
+    const ssize_t got = ::read(fd, buffer.data(), buffer.size());
+    if (got < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return ErrnoStatus("read");
+    }
+    if (got == 0) {
+      return Status::IoError("connection closed by peer");
+    }
+    out->append(buffer.data(), static_cast<size_t>(got));
+    return Status::OK();
+  }
+}
+
+}  // namespace futurerand::net

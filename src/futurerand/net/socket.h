@@ -1,0 +1,87 @@
+// Thin POSIX socket helpers for the ingestion service: RAII fd ownership,
+// TCP/Unix-domain listeners and connectors, and the blocking read/write
+// loops the synchronous client uses. All calls retry EINTR; errors come
+// back as Status (kIoError with errno text), never exceptions.
+
+#ifndef FUTURERAND_NET_SOCKET_H_
+#define FUTURERAND_NET_SOCKET_H_
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+#include "futurerand/common/result.h"
+
+namespace futurerand::net {
+
+/// Owns one file descriptor; closes it on destruction. Movable, not
+/// copyable.
+class FdGuard {
+ public:
+  FdGuard() = default;
+  explicit FdGuard(int fd) : fd_(fd) {}
+  ~FdGuard() { reset(); }
+
+  FdGuard(FdGuard&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  FdGuard& operator=(FdGuard&& other) noexcept {
+    if (this != &other) {
+      reset();
+      fd_ = other.fd_;
+      other.fd_ = -1;
+    }
+    return *this;
+  }
+  FdGuard(const FdGuard&) = delete;
+  FdGuard& operator=(const FdGuard&) = delete;
+
+  int get() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+
+  /// Releases ownership without closing.
+  int release() {
+    const int fd = fd_;
+    fd_ = -1;
+    return fd;
+  }
+
+  /// Closes the held fd (if any) and adopts `fd`.
+  void reset(int fd = -1);
+
+ private:
+  int fd_ = -1;
+};
+
+/// A bound-and-listening TCP socket plus the port it actually bound
+/// (resolved when the caller asked for port 0).
+struct TcpListener {
+  FdGuard fd;
+  int port = 0;
+};
+
+/// Listens on `host:port` (IPv4 dotted quad, or "localhost"). Port 0 picks
+/// an ephemeral port, reported back in the result.
+Result<TcpListener> ListenTcp(const std::string& host, int port,
+                              int backlog = 128);
+
+/// Listens on a Unix domain socket at `path`, unlinking any stale socket
+/// file first. The path must fit sockaddr_un (~107 bytes).
+Result<FdGuard> ListenUnix(const std::string& path, int backlog = 128);
+
+Result<FdGuard> ConnectTcp(const std::string& host, int port);
+
+Result<FdGuard> ConnectUnix(const std::string& path);
+
+/// Switches `fd` to non-blocking mode.
+Status SetNonBlocking(int fd);
+
+/// Blocking write of the whole buffer, looping over partial writes.
+Status WriteAll(int fd, std::string_view bytes);
+
+/// Blocking read of at least one byte, appended to `*out` (up to `chunk`
+/// bytes per call). Fails with kIoError on error and on clean EOF — the
+/// FRS protocol never half-closes mid-conversation.
+Status ReadChunk(int fd, std::string* out, size_t chunk = 1 << 16);
+
+}  // namespace futurerand::net
+
+#endif  // FUTURERAND_NET_SOCKET_H_

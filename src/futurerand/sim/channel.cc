@@ -44,12 +44,15 @@ Status ChannelConfig::Validate() const {
         "outage_exit_rate without outage_enter_rate has no effect; unset "
         "it or enable outages");
   }
+  // The sign check must come first: a negative delay_ticks_max is invalid
+  // on its own, even with delay_rate == 0, and must never be masked by (or
+  // slip past) the rate-coherence check below.
+  if (delay_ticks_max < 0) {
+    return Status::InvalidArgument("delay_ticks_max must be >= 0");
+  }
   if (delay_rate > 0.0 && delay_ticks_max < 1) {
     return Status::InvalidArgument(
         "delay_rate needs delay_ticks_max >= 1");
-  }
-  if (delay_ticks_max < 0) {
-    return Status::InvalidArgument("delay_ticks_max must be >= 0");
   }
   return Status::OK();
 }
@@ -169,6 +172,20 @@ bool ChannelModel::MaybeCorrupt(std::string* bytes) {
 
 void ChannelModel::FlushDelayed(core::ReportBatch* delivered) {
   delivered->clear();
+  // Release the stragglers in (client, tick) order rather than internal
+  // submission order: submission order is an implementation detail of the
+  // delay bookkeeping, and pooled runs that hash or re-batch deliveries
+  // downstream stay bit-identical only if the end-of-run flush is a pure
+  // function of the records themselves. (client_id, time) is unique among
+  // delayed records — a record is delayed at most once and the duplicate
+  // fault path is exclusive with the delay path — so this order is total.
+  std::sort(delayed_.begin(), delayed_.end(),
+            [](const std::pair<int64_t, core::ReportMessage>& a,
+               const std::pair<int64_t, core::ReportMessage>& b) {
+              return a.second.client_id != b.second.client_id
+                         ? a.second.client_id < b.second.client_id
+                         : a.second.time < b.second.time;
+            });
   for (const auto& [release, message] : delayed_) {
     delivered->push_back(message);
   }

@@ -103,6 +103,19 @@ struct ChannelConfig {
   Status Validate() const;
 };
 
+/// The channel model's Rng stream id: far above any client id, so the
+/// fault randomness never collides with a per-client stream forked from
+/// the same base seed.
+inline constexpr uint64_t kChannelStreamId = 0xC4A11E10C4A11E10ULL;
+
+/// The channel seed RunProtocol derives from a run's protocol seed. A
+/// remote load generator (tools/frload) that wants its fault sequence
+/// bit-identical to the in-process run must seed its ChannelModel with
+/// exactly this value.
+inline uint64_t ChannelSeedForRun(uint64_t protocol_seed) {
+  return Rng(protocol_seed).Fork(kChannelStreamId).NextUint64();
+}
+
 /// A seeded fault injector. Not thread-safe: one channel models one ordered
 /// transport stream.
 class ChannelModel {
@@ -130,9 +143,11 @@ class ChannelModel {
   bool MaybeCorrupt(std::string* bytes);
 
   /// Appends every still-pending delayed record to `*delivered` (cleared
-  /// first), regardless of release tick. Call once after the final
-  /// Transmit so lagging records are delivered rather than lost; the
-  /// records count as delivered only now.
+  /// first), regardless of release tick, sorted by (client id, time) so
+  /// the end-of-run flush is a deterministic function of the records
+  /// themselves rather than of internal submission order. Call once after
+  /// the final Transmit so lagging records are delivered rather than
+  /// lost; the records count as delivered only now.
   void FlushDelayed(core::ReportBatch* delivered);
 
   /// True iff the channel is currently in the Gilbert-Elliott bad state.

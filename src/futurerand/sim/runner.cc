@@ -51,11 +51,6 @@ class FirstError {
   Status first_;
 };
 
-// The channel model's Rng stream id: far above any client id, so the fault
-// randomness never collides with a per-client stream forked from the same
-// base seed.
-constexpr uint64_t kChannelStreamId = 0xC4A11E10C4A11E10ULL;
-
 // Runs Algorithms 1+2 with the sequence randomizer selected in `config`:
 // a ClientFleet advances every user one period per tick and the resulting
 // report batches stream into a ShardedAggregator — through a lossy
@@ -78,8 +73,7 @@ Result<RunResult> RunHierarchical(const core::ProtocolConfig& config,
 
   std::optional<ChannelModel> channel;
   if (faults.channel.enabled()) {
-    channel.emplace(faults.channel,
-                    Rng(seed).Fork(kChannelStreamId).NextUint64());
+    channel.emplace(faults.channel, ChannelSeedForRun(seed));
   }
 
   RunResult result;
@@ -429,7 +423,7 @@ Status DeliverEncodedWithRetransmission(core::ShardedAggregator& aggregator,
                                         DeliveryMetrics* delivery) {
   const bool can_corrupt =
       channel != nullptr && channel->config().can_corrupt();
-  for (int64_t attempt = 1;; ++attempt) {
+  auto attempt = [&]() -> Result<bool> {
     core::IngestOutcome outcome;
     Status ingested;
     bool oracle_corrupted = false;
@@ -446,7 +440,7 @@ Status DeliverEncodedWithRetransmission(core::ShardedAggregator& aggregator,
     delivery->records_deduped += outcome.deduped;
     delivery->records_out_of_window += outcome.out_of_window;
     if (ingested.ok()) {
-      return Status::OK();
+      return true;
     }
     if (ingested.code() == StatusCode::kDataLoss) {
       ++delivery->batches_checksum_rejected;
@@ -457,7 +451,23 @@ Status DeliverEncodedWithRetransmission(core::ShardedAggregator& aggregator,
     if (!nack) {
       return ingested;
     }
-    if (attempt >= retransmit_budget) {
+    return false;
+  };
+  return RetransmitLoop(retransmit_budget, attempt, delivery);
+}
+
+Status RetransmitLoop(int64_t retransmit_budget,
+                      const std::function<Result<bool>()>& attempt,
+                      DeliveryMetrics* delivery) {
+  // Budget semantics (pinned by channel_test.RetransmitBudgetMeans
+  // TotalTransmissions): `retransmit_budget` bounds TOTAL transmissions,
+  // so the loop runs the initial attempt plus at most budget - 1 resends.
+  for (int64_t transmissions = 1;; ++transmissions) {
+    FR_ASSIGN_OR_RETURN(const bool accepted, attempt());
+    if (accepted) {
+      return Status::OK();
+    }
+    if (transmissions >= retransmit_budget) {
       return Status::DataLoss(
           "retransmit budget exhausted: " +
           std::to_string(retransmit_budget) +

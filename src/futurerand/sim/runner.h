@@ -9,6 +9,7 @@
 #define FUTURERAND_SIM_RUNNER_H_
 
 #include <cstdint>
+#include <functional>
 #include <span>
 #include <string>
 #include <vector>
@@ -77,10 +78,16 @@ struct FaultOptions {
   /// decode failures and a flip that still decodes lands in the estimate
   /// (measured, not hidden).
   core::WireVersion wire_version = core::WireVersion::kV2;
-  /// Max delivery attempts per batch before the run fails with kDataLoss
-  /// (>= 1). Every attempt re-traverses the channel, so a Gilbert-Elliott
-  /// burst can reject several attempts in a row; size the budget against
-  /// the expected burst length (see docs/ARCHITECTURE.md "Operations").
+  /// Max TOTAL transmissions per batch before the run fails with kDataLoss
+  /// (>= 1): a budget of N allows exactly N deliveries of one batch — the
+  /// initial transmission plus up to N - 1 retransmissions (so N - 1 is
+  /// the most that ever lands in batches_retransmitted for one batch, and
+  /// a budget of 1 means "never retransmit"). This contract is pinned by
+  /// RetransmitLoop and shared verbatim by the network client's NACK loop
+  /// (net::DeliverEncodedOverStream). Every attempt re-traverses the
+  /// channel, so a Gilbert-Elliott burst can reject several attempts in a
+  /// row; size the budget against the expected burst length (see
+  /// docs/ARCHITECTURE.md "Operations").
   int64_t retransmit_budget = 32;
   core::DedupPolicy dedup = core::DedupPolicy::kStrict;
   /// Bounds the aggregator's per-client dedup memory (kIdempotent only);
@@ -135,6 +142,20 @@ Status DeliverEncodedWithRetransmission(core::ShardedAggregator& aggregator,
                                         int64_t retransmit_budget,
                                         ThreadPool* pool,
                                         DeliveryMetrics* delivery);
+
+/// The single copy of the NACK/retransmit budget policy, shared by the
+/// in-process delivery above and the network client
+/// (net::DeliverEncodedOverStream) so the two can never drift. Calls
+/// `attempt` up to `retransmit_budget` times TOTAL — budget N = the
+/// initial transmission plus at most N - 1 retransmissions. `attempt`
+/// returns true when the batch was accepted (loop ends OK), false when the
+/// receiver NACKed it (loop retries, bumping
+/// delivery->batches_retransmitted), or an error Status for any verdict
+/// that retransmission cannot fix (propagated as-is). Exhausting the
+/// budget fails with kDataLoss.
+Status RetransmitLoop(int64_t retransmit_budget,
+                      const std::function<Result<bool>()>& attempt,
+                      DeliveryMetrics* delivery);
 
 /// The outcome of one protocol run on one workload.
 struct RunResult {

@@ -22,6 +22,7 @@
 #include "futurerand/core/server.h"
 #include "futurerand/core/snapshot.h"
 #include "futurerand/core/wire.h"
+#include "futurerand/net/frame.h"
 #include "testsupport/env_scaling.h"
 
 namespace futurerand::core {
@@ -313,6 +314,126 @@ TEST_P(WireAdversaryTest, RandomMutationsNeverCrashTheDecoders) {
     if (mutated != payloads.aggregator_delta) {
       EXPECT_FALSE(DecodeAggregatorDelta(mutated).ok());
     }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// The FRS framed transport (net/frame.h) wrapped around these payloads:
+// the stream layer must never crash, never emit a frame it wasn't sent,
+// and reject hostile length headers from their own 4 bytes.
+
+TEST_P(WireAdversaryTest, FramedTruncationAtEveryOffsetYieldsNoFrame) {
+  const ValidPayloads payloads = MakePayloads(GetParam());
+  for (const std::string* payload :
+       {&payloads.registrations_v2, &payloads.reports_v2}) {
+    std::string stream;
+    ASSERT_TRUE(net::AppendFrame(*payload, &stream).ok());
+    for (size_t length = 0; length < stream.size(); ++length) {
+      net::FrameParser parser;
+      std::vector<std::string> frames;
+      // A strict prefix of one valid frame is always just an incomplete
+      // frame: no error (the header, once whole, is valid) and no
+      // complete payload ever comes out.
+      ASSERT_TRUE(
+          parser.Feed(std::string_view(stream).substr(0, length), &frames)
+              .ok());
+      EXPECT_TRUE(frames.empty()) << "truncation to " << length
+                                  << " bytes produced a frame";
+      EXPECT_EQ(parser.buffered_bytes(), length);
+    }
+  }
+}
+
+TEST_P(WireAdversaryTest, FramedSingleBitFlipsNeverCrashOrSmuggleABatch) {
+  // Every single-bit flip across header + payload. A header flip changes
+  // the claimed length: grown lengths leave the frame incomplete (or trip
+  // the oversize check), shrunk lengths emit a truncated payload and
+  // desync the remainder — possibly failing sticky mid-feed. A payload
+  // flip emits the corrupted payload. In every case: no crash, and no
+  // emitted frame may pass the v2 batch decoders (checksum) or equal the
+  // pristine payload.
+  const ValidPayloads payloads = MakePayloads(GetParam());
+  for (const std::string* payload :
+       {&payloads.registrations_v2, &payloads.reports_v2}) {
+    std::string stream;
+    ASSERT_TRUE(net::AppendFrame(*payload, &stream).ok());
+    for (size_t byte = 0; byte < stream.size(); ++byte) {
+      for (int bit = 0; bit < 8; ++bit) {
+        std::string corrupted = stream;
+        corrupted[byte] ^= static_cast<char>(1 << bit);
+        net::FrameParser parser;
+        std::vector<std::string> frames;
+        const Status fed = parser.Feed(corrupted, &frames);
+        if (!fed.ok()) {
+          EXPECT_EQ(fed.code(), StatusCode::kDataLoss)
+              << "byte " << byte << " bit " << bit;
+        }
+        for (const std::string& frame : frames) {
+          EXPECT_NE(frame, *payload)
+              << "flip at byte " << byte << " bit " << bit
+              << " reproduced the pristine payload";
+          (void)net::ClassifyPayload(frame);
+          EXPECT_FALSE(DecodeRegistrationBatch(frame).ok())
+              << "byte " << byte << " bit " << bit;
+          EXPECT_FALSE(DecodeReportBatch(frame).ok())
+              << "byte " << byte << " bit " << bit;
+        }
+      }
+    }
+  }
+}
+
+TEST_P(WireAdversaryTest, FramedReplyBitFlipsNeverCrashAndRoundTrip) {
+  // Replies carry no checksum (the stream is assumed byte-reliable), so a
+  // flipped reply may legitimately decode to a different reply — but then
+  // it must be a well-formed one that round-trips, and the decoder must
+  // never crash on those that don't.
+  Rng rng(GetParam() * 131 + 9);
+  net::Reply reply;
+  reply.verdict = net::Verdict::kNack;
+  reply.seq = 1 + rng.NextInt(1u << 20);
+  reply.status = StatusCode::kDataLoss;
+  reply.applied = static_cast<int64_t>(rng.NextInt(1000));
+  std::string stream;
+  ASSERT_TRUE(net::AppendFrame(net::EncodeReply(reply), &stream).ok());
+  for (size_t byte = 0; byte < stream.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::string corrupted = stream;
+      corrupted[byte] ^= static_cast<char>(1 << bit);
+      net::FrameParser parser;
+      std::vector<std::string> frames;
+      (void)parser.Feed(corrupted, &frames);
+      for (const std::string& frame : frames) {
+        const auto decoded = net::DecodeReply(frame);
+        if (decoded.ok()) {
+          EXPECT_EQ(net::DecodeReply(net::EncodeReply(*decoded)).ValueOrDie(),
+                    *decoded);
+        }
+      }
+    }
+  }
+}
+
+TEST(FramedTransportTest, HostileLengthHeadersRejectedFromFourBytesAlone) {
+  // Zero and oversized lengths must fail sticky the moment the 4th header
+  // byte arrives — before any payload buffer is reserved (a parser that
+  // reserved first would allocate 4 GiB here). Later feeds stay rejected:
+  // a desynced stream cannot be re-trusted.
+  for (const uint32_t length :
+       {uint32_t{0}, net::kFrsMaxPayload + 1, uint32_t{0x7fffffff},
+        uint32_t{0xffffffff}}) {
+    std::string header;
+    header.push_back(static_cast<char>(length & 0xff));
+    header.push_back(static_cast<char>((length >> 8) & 0xff));
+    header.push_back(static_cast<char>((length >> 16) & 0xff));
+    header.push_back(static_cast<char>((length >> 24) & 0xff));
+    net::FrameParser parser;
+    std::vector<std::string> frames;
+    EXPECT_EQ(parser.Feed(header, &frames).code(), StatusCode::kDataLoss)
+        << "length " << length;
+    EXPECT_EQ(parser.Feed("later bytes", &frames).code(),
+              StatusCode::kDataLoss);
+    EXPECT_TRUE(frames.empty());
   }
 }
 

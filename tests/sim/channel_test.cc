@@ -635,5 +635,141 @@ TEST(RunnerFaultTest, DeltaCheckpointChainIsBitIdenticalToIdealTransport) {
             recovered.delivery.checkpoint_bytes);
 }
 
+TEST(ChannelConfigTest, RejectsNegativeDelayTicksMaxUnconditionally) {
+  // Regression: the negative-horizon check must fire on its own, not only
+  // via the "delay_rate needs a horizon >= 1" rule — a config with
+  // delay_rate = 0 but delay_ticks_max = -3 used to depend on check order.
+  ChannelConfig config;
+  config.delay_ticks_max = -3;
+  ASSERT_FALSE(config.Validate().ok());
+  EXPECT_NE(config.Validate().message().find("delay_ticks_max"),
+            std::string::npos);
+  // And still rejected when the delay layer is actually on.
+  config.delay_rate = 0.5;
+  EXPECT_FALSE(config.Validate().ok());
+}
+
+TEST(ChannelModelTest, FlushDelayedIsDeterministicallySorted) {
+  // The end-of-run flush must be a function of the records themselves,
+  // not of internal submission order: everything still pending comes out
+  // sorted by (client id, time).
+  ChannelConfig config;
+  config.delay_rate = 1.0;
+  config.delay_ticks_max = 64;  // long horizon: nothing releases early
+  ChannelModel channel(config, 99);
+  // Submit clients in descending order so submission order and sorted
+  // order disagree. Short delays may release during later ticks; the
+  // flush sortedness claim is about what is still pending at the end.
+  size_t released_in_band = 0;
+  for (int64_t t = 1; t <= 4; ++t) {
+    core::ReportBatch sent;
+    for (int64_t c = 9; c >= 0; --c) {
+      sent.push_back({c, t, int8_t{1}});
+    }
+    core::ReportBatch delivered;
+    channel.Transmit(sent, &delivered);
+    released_in_band += delivered.size();
+  }
+  core::ReportBatch flushed;
+  channel.FlushDelayed(&flushed);
+  ASSERT_EQ(released_in_band + flushed.size(), 40u);  // nothing lost
+  ASSERT_GT(flushed.size(), 1u);  // the sortedness claim is non-vacuous
+  for (size_t i = 1; i < flushed.size(); ++i) {
+    const core::ReportMessage& prev = flushed[i - 1];
+    const core::ReportMessage& next = flushed[i];
+    EXPECT_TRUE(prev.client_id < next.client_id ||
+                (prev.client_id == next.client_id && prev.time < next.time))
+        << "flush not sorted at index " << i;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// The retransmit budget contract: budget N = N total transmissions.
+
+TEST(RetransmitLoopTest, BudgetMeansTotalTransmissions) {
+  // An attempt that is always NACKed runs exactly `budget` times — the
+  // initial transmission plus budget - 1 resends — then fails kDataLoss.
+  DeliveryMetrics delivery;
+  int64_t attempts = 0;
+  const Status exhausted = RetransmitLoop(
+      5,
+      [&]() -> Result<bool> {
+        ++attempts;
+        return false;
+      },
+      &delivery);
+  EXPECT_EQ(exhausted.code(), StatusCode::kDataLoss);
+  EXPECT_EQ(attempts, 5);
+  EXPECT_EQ(delivery.batches_retransmitted, 4);
+}
+
+TEST(RetransmitLoopTest, BudgetOfOneNeverRetransmits) {
+  DeliveryMetrics delivery;
+  int64_t attempts = 0;
+  const Status exhausted = RetransmitLoop(
+      1,
+      [&]() -> Result<bool> {
+        ++attempts;
+        return false;
+      },
+      &delivery);
+  EXPECT_EQ(exhausted.code(), StatusCode::kDataLoss);
+  EXPECT_EQ(attempts, 1);
+  EXPECT_EQ(delivery.batches_retransmitted, 0);
+}
+
+TEST(RetransmitLoopTest, StopsAtFirstAcceptAndCountsResends) {
+  DeliveryMetrics delivery;
+  int64_t attempts = 0;
+  const Status delivered = RetransmitLoop(
+      10,
+      [&]() -> Result<bool> {
+        ++attempts;
+        return attempts == 4;  // three NACKs, then accepted
+      },
+      &delivery);
+  EXPECT_TRUE(delivered.ok());
+  EXPECT_EQ(attempts, 4);
+  EXPECT_EQ(delivery.batches_retransmitted, 3);
+}
+
+TEST(RetransmitLoopTest, ErrorsPropagateWithoutConsumingBudget) {
+  DeliveryMetrics delivery;
+  const Status failed = RetransmitLoop(
+      10,
+      [&]() -> Result<bool> {
+        return Status::FailedPrecondition("not retryable");
+      },
+      &delivery);
+  EXPECT_EQ(failed.code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(delivery.batches_retransmitted, 0);
+}
+
+TEST(RetransmitBudgetTest, DeliveryChargesOneChannelTraversalPerAttempt) {
+  // End to end through DeliverEncodedWithRetransmission: corrupt_rate = 1
+  // garbles every traversal, so a budget of 3 produces exactly 3 corrupted
+  // attempts, 3 checksum rejections, 2 retransmissions, then kDataLoss.
+  auto aggregator =
+      core::ShardedAggregator::ForProtocol(RunnerConfig(), 1,
+                                           core::DedupPolicy::kStrict,
+                                           core::DedupWindowPolicy{})
+          .ValueOrDie();
+  const std::string pristine =
+      core::EncodeReportBatch(TestBatch(4, 1), core::WireVersion::kV2)
+          .ValueOrDie();
+  ChannelConfig config;
+  config.corrupt_rate = 1.0;
+  ChannelModel channel(config, 3);
+  DeliveryMetrics delivery;
+  const Status exhausted = DeliverEncodedWithRetransmission(
+      aggregator, pristine, &channel, core::WireVersion::kV2,
+      /*retransmit_budget=*/3, nullptr, &delivery);
+  EXPECT_EQ(exhausted.code(), StatusCode::kDataLoss);
+  EXPECT_EQ(channel.stats().batches_corrupted, 3);
+  EXPECT_EQ(delivery.batches_checksum_rejected, 3);
+  EXPECT_EQ(delivery.batches_retransmitted, 2);
+  EXPECT_EQ(delivery.records_applied, 0);  // v2 rejection is atomic
+}
+
 }  // namespace
 }  // namespace futurerand::sim

@@ -1,0 +1,539 @@
+// frload: load generator for frserve, built to be bit-identical to the
+// in-process simulation.
+//
+//   frload --uds=/tmp/fr.sock --n=2000 --d=32 --k=2 --eps=1.0
+//          --corrupt-rate=0.05 --drop-rate=0.02 --dedup
+//          --checkpoint=/tmp/fr.ckpt --verify --json
+//
+// Replays exactly what sim::RunProtocol's hierarchical path does — same
+// workload, same fleet seeded with the protocol seed, same channel seeded
+// with ChannelSeedForRun(seed), same per-tick delivery order — except each
+// encoded batch rides an FRS stream to frserve instead of a local
+// IngestEncoded, with the server's ack/NACK verdicts driving the shared
+// retransmit policy (net::DeliverEncodedOverStream). Ticks round-robin
+// over --connections sockets; delivery is synchronous per batch, so the
+// channel's random-draw order is identical to the in-process run.
+//
+// --verify closes the loop: after the kShutdown ack (which guarantees the
+// server's final quiesced full checkpoint exists), it restores the
+// checkpoint into a fresh aggregator, runs the identical protocol
+// in-process, and requires bitwise-equal estimates plus equal delivery
+// counters. Exit 3 on any mismatch.
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "futurerand/common/flags.h"
+#include "futurerand/common/json.h"
+#include "futurerand/common/threadpool.h"
+#include "futurerand/core/fleet.h"
+#include "futurerand/core/wire.h"
+#include "futurerand/net/client.h"
+#include "futurerand/net/server.h"
+#include "futurerand/sim/channel.h"
+#include "futurerand/sim/runner.h"
+#include "futurerand/sim/workload.h"
+
+namespace {
+
+using namespace futurerand;
+
+Result<sim::WorkloadKind> ParseWorkload(const std::string& name) {
+  for (sim::WorkloadKind kind :
+       {sim::WorkloadKind::kUniformChanges, sim::WorkloadKind::kBursty,
+        sim::WorkloadKind::kPeriodic, sim::WorkloadKind::kTrend,
+        sim::WorkloadKind::kStatic, sim::WorkloadKind::kAdversarial}) {
+    if (name == sim::WorkloadKindToString(kind)) {
+      return kind;
+    }
+  }
+  return Status::InvalidArgument("unknown workload: " + name);
+}
+
+// The hierarchical pipelines are the only ones with a batch transport to
+// load-test; maps each to the randomizer RunProtocol would select, so the
+// fleet here and the in-process verify run draw identical randomness.
+Result<rand::RandomizerKind> RandomizerFor(sim::ProtocolKind kind) {
+  switch (kind) {
+    case sim::ProtocolKind::kFutureRand:
+      return rand::RandomizerKind::kFutureRand;
+    case sim::ProtocolKind::kIndependent:
+      return rand::RandomizerKind::kIndependent;
+    case sim::ProtocolKind::kBun:
+      return rand::RandomizerKind::kBun;
+    case sim::ProtocolKind::kAdaptive:
+      return rand::RandomizerKind::kAdaptive;
+    default:
+      return Status::InvalidArgument(
+          "frload drives the hierarchical pipelines only (future_rand | "
+          "independent | bun | adaptive)");
+  }
+}
+
+#define FRLOAD_REQUIRE_OK(expr)                                  \
+  do {                                                           \
+    const ::futurerand::Status _st = (expr);                     \
+    if (!_st.ok()) {                                             \
+      std::fprintf(stderr, "%s\n", _st.ToString().c_str());      \
+      return 1;                                                  \
+    }                                                            \
+  } while (false)
+
+// One counter mismatch report line; returns whether the pair agreed.
+bool CheckCounter(const char* name, int64_t remote, int64_t local,
+                  bool* all_ok) {
+  if (remote == local) {
+    return true;
+  }
+  std::fprintf(stderr, "verify mismatch: %s remote=%lld in-process=%lld\n",
+               name, static_cast<long long>(remote),
+               static_cast<long long>(local));
+  *all_ok = false;
+  return false;
+}
+
+int Run(int argc, char** argv) {
+  std::string uds;
+  std::string host = "127.0.0.1";
+  int64_t port = -1;
+  int64_t connections = 2;
+  std::string protocol_name = "future_rand";
+  std::string workload_name = "uniform";
+  double workload_param = -1.0;
+  int64_t n = 2000;
+  int64_t d = 32;
+  int64_t k = 2;
+  double eps = 1.0;
+  int64_t seed = 2;
+  int64_t workload_seed = 1;
+  int64_t threads = ThreadPool::DefaultThreadCount();
+  double drop_rate = 0.0;
+  double dup_rate = 0.0;
+  double reorder_rate = 0.0;
+  double corrupt_rate = 0.0;
+  double burst_enter_rate = 0.0;
+  double burst_exit_rate = 0.0;
+  double burst_drop_rate = 0.0;
+  double burst_corrupt_rate = 0.0;
+  double outage_rate = 0.0;
+  double outage_recovery_rate = 0.0;
+  double delay_rate = 0.0;
+  int64_t delay_max_ticks = 0;
+  int64_t wire_version = 2;
+  int64_t retransmit_budget = 32;
+  bool dedup = false;
+  int64_t dedup_window = 0;
+  std::string checkpoint;
+  bool do_shutdown = true;
+  bool verify = false;
+  bool json = false;
+  bool help = false;
+
+  FlagParser parser;
+  parser.AddString("uds", &uds, "connect to this Unix domain socket");
+  parser.AddString("host", &host, "TCP host (with --port)");
+  parser.AddInt64("port", &port, "TCP port (-1 = use --uds)");
+  parser.AddInt64("connections", &connections,
+                  "sockets to multiplex ticks over (round-robin; delivery "
+                  "stays synchronous per batch, so the fault sequence is "
+                  "connection-count independent)");
+  parser.AddString("protocol", &protocol_name,
+                   "future_rand | independent | bun | adaptive");
+  parser.AddString("workload", &workload_name,
+                   "uniform | bursty | periodic | trend | static | "
+                   "adversarial");
+  parser.AddDouble("workload_param", &workload_param,
+                   "shape knob of the workload generator");
+  parser.AddInt64("n", &n, "number of users");
+  parser.AddInt64("d", &d, "time periods (power of two; must match frserve)");
+  parser.AddInt64("k", &k, "per-user change budget (must match frserve)");
+  parser.AddDouble("eps", &eps, "privacy budget (must match frserve)");
+  parser.AddInt64("seed", &seed, "protocol seed (fleet + channel)");
+  parser.AddInt64("workload-seed", &workload_seed, "workload seed");
+  parser.AddInt64("threads", &threads,
+                  "local worker threads (fleet advance + verify run)");
+  parser.AddDouble("drop-rate", &drop_rate, "P(report lost in the channel)");
+  parser.AddDouble("dup-rate", &dup_rate,
+                   "P(report delivered twice); requires --dedup (and a "
+                   "--dedup server)");
+  parser.AddDouble("reorder-rate", &reorder_rate,
+                   "P(delivered batch arrives shuffled)");
+  parser.AddDouble("corrupt-rate", &corrupt_rate,
+                   "P(one bit of the encoded batch flips in flight); the "
+                   "server NACKs and frload retransmits");
+  parser.AddDouble("burst-enter-rate", &burst_enter_rate,
+                   "Gilbert-Elliott P(good->bad) per channel traversal");
+  parser.AddDouble("burst-exit-rate", &burst_exit_rate,
+                   "Gilbert-Elliott P(bad->good)");
+  parser.AddDouble("burst-drop-rate", &burst_drop_rate,
+                   "drop rate while the channel is in the bad state");
+  parser.AddDouble("burst-corrupt-rate", &burst_corrupt_rate,
+                   "corrupt rate while in the bad state");
+  parser.AddDouble("outage-rate", &outage_rate,
+                   "P(a client goes dark), evaluated per report");
+  parser.AddDouble("outage-recovery-rate", &outage_recovery_rate,
+                   "P(a dark client recovers), evaluated per report");
+  parser.AddDouble("delay-rate", &delay_rate,
+                   "P(a delivered report is delayed into a later tick)");
+  parser.AddInt64("delay-max-ticks", &delay_max_ticks,
+                  "uniform delay bound in ticks");
+  parser.AddInt64("wire-version", &wire_version,
+                  "2 = checksummed batches (NACK-driven retransmit), "
+                  "1 = legacy (oracle-assisted retry)");
+  parser.AddInt64("retransmit-budget", &retransmit_budget,
+                  "max TOTAL transmissions per batch (N = initial + up to "
+                  "N-1 resends), same contract as the simulator");
+  parser.AddBool("dedup", &dedup,
+                 "fault mix requires idempotent ingest; the server must be "
+                 "started with --dedup too");
+  parser.AddInt64("dedup-window", &dedup_window,
+                  "bounded dedup memory (must match the server)");
+  parser.AddString("checkpoint", &checkpoint,
+                   "the server's checkpoint file; --verify restores it "
+                   "after shutdown and compares estimates");
+  parser.AddBool("shutdown", &do_shutdown,
+                 "send a kShutdown control frame when done (the ack "
+                 "guarantees the final checkpoint)");
+  parser.AddBool("verify", &verify,
+                 "after shutdown, restore the server checkpoint and "
+                 "require bitwise-equal estimates + equal delivery "
+                 "counters vs the identical in-process run (exit 3 on "
+                 "mismatch)");
+  parser.AddBool("json", &json,
+                 "print one {\"bench\":\"frload\",...} line");
+  parser.AddBool("help", &help, "print usage");
+
+  const Status parse_status = parser.Parse(argc, argv);
+  if (!parse_status.ok()) {
+    std::fprintf(stderr, "%s\n%s", parse_status.ToString().c_str(),
+                 parser.Usage("frload").c_str());
+    return 2;
+  }
+  if (help) {
+    std::fputs(parser.Usage("frload").c_str(), stdout);
+    return 0;
+  }
+  if (uds.empty() && port < 0) {
+    std::fprintf(stderr, "InvalidArgument: need --uds or --port\n%s",
+                 parser.Usage("frload").c_str());
+    return 2;
+  }
+  if (connections < 1 || threads < 1) {
+    std::fprintf(stderr,
+                 "InvalidArgument: --connections and --threads must be "
+                 ">= 1\n");
+    return 2;
+  }
+  if (verify && checkpoint.empty()) {
+    std::fprintf(stderr,
+                 "InvalidArgument: --verify needs --checkpoint (the "
+                 "server's checkpoint file)\n");
+    return 2;
+  }
+  if (verify && !do_shutdown) {
+    std::fprintf(stderr,
+                 "InvalidArgument: --verify needs --shutdown (only the "
+                 "shutdown checkpoint is quiesced)\n");
+    return 2;
+  }
+
+  const auto protocol = sim::ParseProtocolKind(protocol_name);
+  const auto workload_kind = ParseWorkload(workload_name);
+  if (!protocol.ok() || !workload_kind.ok()) {
+    std::fprintf(stderr, "%s\n%s\n", protocol.status().ToString().c_str(),
+                 workload_kind.status().ToString().c_str());
+    return 2;
+  }
+  const auto randomizer = RandomizerFor(*protocol);
+  if (!randomizer.ok()) {
+    std::fprintf(stderr, "%s\n", randomizer.status().ToString().c_str());
+    return 2;
+  }
+
+  core::ProtocolConfig config;
+  config.num_periods = d;
+  config.max_changes = k;
+  config.epsilon = eps;
+  config.randomizer = *randomizer;
+
+  // The same FaultOptions the in-process verify run gets; validated here
+  // so a bad fault mix fails before any socket traffic.
+  sim::FaultOptions faults;
+  faults.channel.drop_rate = drop_rate;
+  faults.channel.duplicate_rate = dup_rate;
+  faults.channel.reorder_rate = reorder_rate;
+  faults.channel.corrupt_rate = corrupt_rate;
+  faults.channel.burst_enter_rate = burst_enter_rate;
+  faults.channel.burst_exit_rate = burst_exit_rate;
+  faults.channel.burst_drop_rate = burst_drop_rate;
+  faults.channel.burst_corrupt_rate = burst_corrupt_rate;
+  faults.channel.outage_enter_rate = outage_rate;
+  faults.channel.outage_exit_rate = outage_recovery_rate;
+  faults.channel.delay_rate = delay_rate;
+  faults.channel.delay_ticks_max = delay_max_ticks;
+  if (wire_version == 1) {
+    faults.wire_version = core::WireVersion::kV1;
+  } else if (wire_version == 2) {
+    faults.wire_version = core::WireVersion::kV2;
+  } else {
+    std::fprintf(stderr, "InvalidArgument: --wire-version must be 1 or 2\n");
+    return 2;
+  }
+  faults.retransmit_budget = retransmit_budget;
+  faults.dedup =
+      dedup ? core::DedupPolicy::kIdempotent : core::DedupPolicy::kStrict;
+  faults.dedup_window = core::DedupWindowPolicy{dedup_window};
+  FRLOAD_REQUIRE_OK(faults.Validate());
+  FRLOAD_REQUIRE_OK(config.Validate());
+
+  sim::WorkloadConfig workload_config;
+  workload_config.kind = *workload_kind;
+  workload_config.num_users = n;
+  workload_config.num_periods = d;
+  workload_config.max_changes = k;
+  workload_config.param = workload_param;
+  const auto workload = sim::Workload::Generate(
+      workload_config, static_cast<uint64_t>(workload_seed));
+  if (!workload.ok()) {
+    std::fprintf(stderr, "%s\n", workload.status().ToString().c_str());
+    return 1;
+  }
+
+  ThreadPool pool(static_cast<int>(threads));
+  const auto protocol_seed = static_cast<uint64_t>(seed);
+  auto fleet = core::ClientFleet::Create(config, n, protocol_seed, &pool);
+  if (!fleet.ok()) {
+    std::fprintf(stderr, "%s\n", fleet.status().ToString().c_str());
+    return 1;
+  }
+
+  // Connect the socket pool.
+  std::vector<net::StreamClient> clients;
+  for (int64_t c = 0; c < connections; ++c) {
+    auto client = uds.empty()
+                      ? net::StreamClient::ConnectTcp(
+                            host, static_cast<int>(port))
+                      : net::StreamClient::ConnectUnix(uds);
+    if (!client.ok()) {
+      std::fprintf(stderr, "%s\n", client.status().ToString().c_str());
+      return 1;
+    }
+    clients.push_back(std::move(*client));
+  }
+
+  const auto start = std::chrono::steady_clock::now();
+
+  // Registrations ship pristine (the simulator's channel also only faults
+  // report batches) and their outcome is not counted, matching the runner.
+  {
+    const std::string reg = core::EncodeRegistrationBatch(
+        fleet->registrations(), faults.wire_version);
+    const auto reply = clients[0].Call(reg);
+    if (!reply.ok()) {
+      std::fprintf(stderr, "%s\n", reply.status().ToString().c_str());
+      return 1;
+    }
+    if (reply->verdict != net::Verdict::kAck) {
+      std::fprintf(stderr,
+                   "registration rejected by server (%s) — do the "
+                   "protocol flags match frserve's?\n",
+                   StatusCodeToString(reply->status));
+      return 1;
+    }
+  }
+
+  std::optional<sim::ChannelModel> channel;
+  if (faults.channel.enabled()) {
+    channel.emplace(faults.channel, sim::ChannelSeedForRun(protocol_seed));
+  }
+  sim::DeliveryMetrics delivery;
+
+  auto deliver = [&](const core::ReportBatch& batch,
+                     int64_t tick) -> Status {
+    FR_ASSIGN_OR_RETURN(const std::string pristine,
+                        core::EncodeReportBatch(batch, faults.wire_version));
+    net::StreamClient& client =
+        clients[static_cast<size_t>(tick % connections)];
+    return net::DeliverEncodedOverStream(
+        client, pristine, channel.has_value() ? &*channel : nullptr,
+        faults.wire_version, faults.retransmit_budget, &delivery);
+  };
+
+  // The tick loop below mirrors RunHierarchical line for line; any drift
+  // breaks --verify, which is the point.
+  std::vector<int8_t> states(static_cast<size_t>(n), 0);
+  std::vector<size_t> next_change(static_cast<size_t>(n), 0);
+  core::ReportBatch batch;
+  core::ReportBatch delivered;
+  int64_t reports = 0;
+  for (int64_t t = 1; t <= d; ++t) {
+    auto update_states = [&](int64_t begin, int64_t end) {
+      for (int64_t u = begin; u < end; ++u) {
+        const auto i = static_cast<size_t>(u);
+        const std::vector<int64_t>& changes =
+            workload->trace(u).change_times;
+        if (next_change[i] < changes.size() &&
+            changes[next_change[i]] == t) {
+          states[i] = static_cast<int8_t>(1 - states[i]);
+          ++next_change[i];
+        }
+      }
+    };
+    if (n > 1) {
+      pool.ParallelFor(n, update_states);
+    } else {
+      update_states(0, n);
+    }
+    FRLOAD_REQUIRE_OK(fleet->AdvanceTick(states, &batch));
+    reports += static_cast<int64_t>(batch.size());
+    if (channel.has_value()) {
+      channel->Transmit(batch, &delivered);
+      FRLOAD_REQUIRE_OK(deliver(delivered, t - 1));
+    } else {
+      FRLOAD_REQUIRE_OK(deliver(batch, t - 1));
+    }
+  }
+  if (channel.has_value() && faults.channel.delay_rate > 0.0) {
+    channel->FlushDelayed(&delivered);
+    if (!delivered.empty()) {
+      FRLOAD_REQUIRE_OK(deliver(delivered, d));
+    }
+  }
+
+  if (channel.has_value()) {
+    const sim::DeliveryMetrics& channel_stats = channel->stats();
+    delivery.records_sent = channel_stats.records_sent;
+    delivery.records_dropped = channel_stats.records_dropped;
+    delivery.records_outage_dropped = channel_stats.records_outage_dropped;
+    delivery.records_duplicated = channel_stats.records_duplicated;
+    delivery.records_delayed = channel_stats.records_delayed;
+    delivery.records_delivered = channel_stats.records_delivered;
+    delivery.batches_sent = channel_stats.batches_sent;
+    delivery.batches_reordered = channel_stats.batches_reordered;
+    delivery.batches_corrupted = channel_stats.batches_corrupted;
+    delivery.batches_in_burst = channel_stats.batches_in_burst;
+    delivery.client_outages = channel_stats.client_outages;
+  } else {
+    delivery.records_sent = reports;
+    delivery.records_delivered = reports;
+    delivery.batches_sent = d;
+  }
+
+  if (do_shutdown) {
+    // The ack arrives after the drain and the final quiesced full
+    // checkpoint — from here the checkpoint file is complete.
+    FRLOAD_REQUIRE_OK(clients[0].SendControl(net::ControlOp::kShutdown));
+  }
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+
+  int verify_result = -1;  // -1 = not run, 1 = pass, 0 = fail
+  if (verify) {
+    bool all_ok = true;
+    const auto local = sim::RunProtocol(*protocol, config, *workload,
+                                        protocol_seed, &pool,
+                                        /*num_shards=*/0, faults);
+    if (!local.ok()) {
+      std::fprintf(stderr, "%s\n", local.status().ToString().c_str());
+      return 1;
+    }
+    auto restored = core::ShardedAggregator::ForProtocol(
+        config, /*num_shards=*/1, faults.dedup, faults.dedup_window);
+    if (!restored.ok()) {
+      std::fprintf(stderr, "%s\n", restored.status().ToString().c_str());
+      return 1;
+    }
+    FRLOAD_REQUIRE_OK(net::RestoreFromCheckpointFile(checkpoint, &*restored));
+    const auto remote_estimates = config.consistent_estimation
+                                      ? restored->EstimateAllConsistent()
+                                      : restored->EstimateAll();
+    if (!remote_estimates.ok()) {
+      std::fprintf(stderr, "%s\n",
+                   remote_estimates.status().ToString().c_str());
+      return 1;
+    }
+    if (remote_estimates->size() != local->estimates.size()) {
+      std::fprintf(stderr, "verify mismatch: estimate lengths differ\n");
+      all_ok = false;
+    } else {
+      for (size_t t = 0; t < local->estimates.size(); ++t) {
+        if ((*remote_estimates)[t] != local->estimates[t]) {
+          std::fprintf(stderr,
+                       "verify mismatch: estimate[%zu] remote=%.17g "
+                       "in-process=%.17g\n",
+                       t, (*remote_estimates)[t], local->estimates[t]);
+          all_ok = false;
+          break;
+        }
+      }
+    }
+    const sim::DeliveryMetrics& lhs = delivery;
+    const sim::DeliveryMetrics& rhs = local->delivery;
+    CheckCounter("records_sent", lhs.records_sent, rhs.records_sent,
+                 &all_ok);
+    CheckCounter("records_dropped", lhs.records_dropped,
+                 rhs.records_dropped, &all_ok);
+    CheckCounter("records_duplicated", lhs.records_duplicated,
+                 rhs.records_duplicated, &all_ok);
+    CheckCounter("records_delayed", lhs.records_delayed,
+                 rhs.records_delayed, &all_ok);
+    CheckCounter("records_delivered", lhs.records_delivered,
+                 rhs.records_delivered, &all_ok);
+    CheckCounter("records_applied", lhs.records_applied,
+                 rhs.records_applied, &all_ok);
+    CheckCounter("records_deduped", lhs.records_deduped,
+                 rhs.records_deduped, &all_ok);
+    CheckCounter("records_out_of_window", lhs.records_out_of_window,
+                 rhs.records_out_of_window, &all_ok);
+    CheckCounter("batches_sent", lhs.batches_sent, rhs.batches_sent,
+                 &all_ok);
+    CheckCounter("batches_corrupted", lhs.batches_corrupted,
+                 rhs.batches_corrupted, &all_ok);
+    CheckCounter("batches_checksum_rejected", lhs.batches_checksum_rejected,
+                 rhs.batches_checksum_rejected, &all_ok);
+    CheckCounter("batches_retransmitted", lhs.batches_retransmitted,
+                 rhs.batches_retransmitted, &all_ok);
+    verify_result = all_ok ? 1 : 0;
+  }
+
+  if (json) {
+    JsonLine line;
+    line.Add("bench", "frload")
+        .Add("protocol", protocol_name)
+        .Add("workload", workload_name)
+        .Add("n", n)
+        .Add("d", d)
+        .Add("k", k)
+        .Add("eps", eps)
+        .Add("connections", connections)
+        .Add("wire_version", wire_version)
+        .Add("records_sent", delivery.records_sent)
+        .Add("records_delivered", delivery.records_delivered)
+        .Add("records_applied", delivery.records_applied)
+        .Add("records_deduped", delivery.records_deduped)
+        .Add("batches_sent", delivery.batches_sent)
+        .Add("batches_corrupted", delivery.batches_corrupted)
+        .Add("batches_checksum_rejected", delivery.batches_checksum_rejected)
+        .Add("batches_retransmitted", delivery.batches_retransmitted)
+        .Add("wall_seconds", wall)
+        .Add("records_per_sec",
+             wall > 0.0 ? static_cast<double>(reports) / wall : 0.0)
+        .Add("verify", static_cast<int64_t>(verify_result));
+    std::printf("%s\n", line.Str().c_str());
+  } else {
+    std::printf("frload: %s\n", delivery.ToString().c_str());
+    if (verify_result >= 0) {
+      std::printf("verify: %s\n", verify_result == 1 ? "PASS" : "FAIL");
+    }
+  }
+  return verify_result == 0 ? 3 : 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) { return Run(argc, argv); }
