@@ -35,9 +35,13 @@ fi
 bench_json="${1:?usage: check_bench_regression.sh [--update] <bench_json> [baseline_json]}"
 baseline_json="${2:-$DEFAULT_BASELINE}"
 
-line="$(grep -o '{"bench".*}' "$bench_json" | head -n 1 || true)"
+# The capture may hold lines from several benches (the CI merges every
+# bench-smoke JSON line into one file); gate the throughput stages against
+# the throughput line specifically, never whichever bench happened to log
+# first.
+line="$(grep -o '{"bench":"throughput"[^}]*}' "$bench_json" | head -n 1 || true)"
 if [[ -z "$line" ]]; then
-  echo "check_bench_regression: no bench JSON line found in $bench_json" >&2
+  echo "check_bench_regression: no throughput bench JSON line found in $bench_json" >&2
   exit 2
 fi
 
@@ -96,3 +100,33 @@ if [[ "$fail" != 0 ]]; then
   exit 1
 fi
 echo "check_bench_regression: all stages within tolerance"
+
+# Shootout cost ceilings: the cross-protocol bench reports per-report costs
+# (lower is better), so its baseline holds CEILINGS rather than floors. The
+# gate reads the first longitudinal (lgrr) shootout line — the newest
+# protocol family is the one whose hot path must enter the perf trajectory
+# — and fails if any cost rose above ceiling * (1 + tolerance). Skipped when
+# the capture has no shootout line (throughput-only local runs stay valid).
+SHOOTOUT_COSTS="bytes_per_report client_us_per_report server_us_per_report"
+SHOOTOUT_BASELINE="bench/baseline/bench_shootout_baseline.json"
+shootout_line="$(grep -o '{"bench":"shootout"[^}]*"protocol":"lgrr"[^}]*}' \
+  "$bench_json" | head -n 1 || true)"
+if [[ -n "$shootout_line" && -f "$SHOOTOUT_BASELINE" ]]; then
+  shootout_baseline="$(cat "$SHOOTOUT_BASELINE")"
+  for cost in $SHOOTOUT_COSTS; do
+    current="$(field "$shootout_line" "$cost")"
+    ceiling="$(field "$shootout_baseline" "$cost")"
+    if awk -v c="$current" -v f="$ceiling" -v t="$TOLERANCE" \
+        'BEGIN { exit !(c + 0 <= f * (1 + t)) }'; then
+      echo "  OK   shootout $cost: $current (ceiling $ceiling)"
+    else
+      echo "  FAIL shootout $cost: $current > $ceiling * (1 + $TOLERANCE)"
+      fail=1
+    fi
+  done
+  if [[ "$fail" != 0 ]]; then
+    echo "check_bench_regression: shootout per-report cost regressed above the ceiling" >&2
+    exit 1
+  fi
+  echo "check_bench_regression: shootout costs within tolerance"
+fi

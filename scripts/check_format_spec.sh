@@ -12,7 +12,7 @@
 #   3. the kind numbers quoted in the core/snapshot.h header comment
 #      ("kServerState (3)" etc.) must agree with wire.h;
 #   4. every `kFrs* = N;  // FRS` constant in src/futurerand/net/frame.h
-#      must appear in the FORMATS.md §11 stream-framing table with the
+#      must appear in the FORMATS.md §12 stream-framing table with the
 #      same value, and vice versa.
 #
 # Run from anywhere; exits non-zero with a diff on any mismatch.

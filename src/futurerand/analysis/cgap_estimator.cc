@@ -8,13 +8,15 @@
 #include "futurerand/randomizer/annulus.h"
 #include "futurerand/randomizer/basic.h"
 #include "futurerand/randomizer/composed.h"
+#include "futurerand/randomizer/longitudinal.h"
 
 namespace futurerand::analysis {
 
 Result<CGapEstimate> EstimateCGapMonteCarlo(rand::RandomizerKind kind,
                                             int64_t max_support,
                                             double epsilon, int64_t samples,
-                                            uint64_t seed, double confidence) {
+                                            uint64_t seed, double confidence,
+                                            double alpha) {
   if (samples < 1) {
     return Status::InvalidArgument("samples must be >= 1");
   }
@@ -25,6 +27,7 @@ Result<CGapEstimate> EstimateCGapMonteCarlo(rand::RandomizerKind kind,
   Rng rng(seed);
   const SignVector all_ones(max_support);
   double sum = 0.0;
+  double sample_range = 1.0;  // per-sample values live in +/- this
 
   switch (kind) {
     case rand::RandomizerKind::kFutureRand:
@@ -65,14 +68,37 @@ Result<CGapEstimate> EstimateCGapMonteCarlo(rand::RandomizerKind kind,
     case rand::RandomizerKind::kAdaptive:
       return Status::InvalidArgument(
           "estimate the adaptive choice's underlying construction instead");
+    case rand::RandomizerKind::kLGrr:
+    case rand::RandomizerKind::kLOlh:
+    case rand::RandomizerKind::kLoloha: {
+      // The longitudinal gap is u1 - u0 = E[report | v=1] - E[report | v=0]:
+      // sample a fresh client pair per draw (memoization makes repeated
+      // reports of one client correlated, so each sample needs new clients).
+      sample_range = 2.0;
+      for (int64_t s = 0; s < samples; ++s) {
+        FR_ASSIGN_OR_RETURN(
+            std::unique_ptr<rand::LongitudinalRandomizer> one,
+            rand::LongitudinalRandomizer::Create(kind, 1, epsilon, alpha,
+                                                 rng.NextUint64()));
+        FR_ASSIGN_OR_RETURN(
+            std::unique_ptr<rand::LongitudinalRandomizer> zero,
+            rand::LongitudinalRandomizer::Create(kind, 1, epsilon, alpha,
+                                                 rng.NextUint64()));
+        sum += static_cast<double>(one->Randomize(int8_t{1}) -
+                                   zero->Randomize(int8_t{0}));
+      }
+      break;
+    }
   }
 
   CGapEstimate estimate;
   estimate.samples = samples;
   estimate.estimate = sum / static_cast<double>(samples);
   // Hoeffding for means of [-1,1]-valued variables:
-  // half-width = sqrt(2 ln(2/(1-confidence)) / samples).
-  estimate.half_width = std::sqrt(2.0 * std::log(2.0 / (1.0 - confidence)) /
+  // half-width = sqrt(2 ln(2/(1-confidence)) / samples), scaled linearly
+  // to the actual per-sample range.
+  estimate.half_width = sample_range *
+                        std::sqrt(2.0 * std::log(2.0 / (1.0 - confidence)) /
                                   static_cast<double>(samples));
   return estimate;
 }

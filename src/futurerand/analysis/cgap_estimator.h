@@ -22,13 +22,17 @@ struct CGapEstimate {
 /// Estimates c_gap by drawing `samples` fresh noise vectors (for the
 /// composed constructions: b~ = R~(1^k); for the independent one: k
 /// randomized responses) and averaging the per-coordinate agreement signal,
-/// whose expectation is exactly c_gap by Property II. The half-width is the
-/// Hoeffding bound at the given confidence for means of [-1,1] variables.
+/// whose expectation is exactly c_gap by Property II. For the longitudinal
+/// kinds the per-sample signal is the report difference of a fresh
+/// value-1/value-0 client pair, whose expectation is the estimator gap
+/// u1 - u0 at the given `alpha` (ignored otherwise). The half-width is the
+/// Hoeffding bound at the given confidence, scaled to the sample range.
 Result<CGapEstimate> EstimateCGapMonteCarlo(rand::RandomizerKind kind,
                                             int64_t max_support,
                                             double epsilon, int64_t samples,
                                             uint64_t seed,
-                                            double confidence = 0.99);
+                                            double confidence = 0.99,
+                                            double alpha = 0.5);
 
 }  // namespace futurerand::analysis
 

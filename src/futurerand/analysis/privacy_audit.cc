@@ -7,6 +7,7 @@
 
 #include "futurerand/common/macros.h"
 #include "futurerand/randomizer/exact_dist.h"
+#include "futurerand/randomizer/longitudinal.h"
 
 namespace futurerand::analysis {
 
@@ -57,7 +58,8 @@ std::string AuditResult::ToString() const {
 }
 
 Result<AuditResult> AuditRandomizer(rand::RandomizerKind kind,
-                                    int64_t max_support, double epsilon) {
+                                    int64_t max_support, double epsilon,
+                                    double alpha) {
   AuditResult audit;
   audit.nominal_epsilon = epsilon;
   switch (kind) {
@@ -98,6 +100,22 @@ Result<AuditResult> AuditRandomizer(rand::RandomizerKind kind,
                                  ? rand::RandomizerKind::kFutureRand
                                  : rand::RandomizerKind::kIndependent,
                              max_support, epsilon);
+    }
+    case rand::RandomizerKind::kLGrr:
+    case rand::RandomizerKind::kLOlh:
+    case rand::RandomizerKind::kLoloha: {
+      FR_ASSIGN_OR_RETURN(const rand::LongitudinalSpec spec,
+                          rand::MakeLongitudinalSpec(kind, epsilon, alpha));
+      // The memoized first round is plain GRR at eps_perm and every report
+      // is fresh-noise post-processing of its output, so the whole-sequence
+      // ratio is exactly p1/q1 (hash collisions in the L-OLH/LOLOHA input
+      // only shrink it).
+      audit.certified_epsilon = std::log(spec.p1 / spec.q1);
+      const auto g = static_cast<double>(spec.g);
+      audit.normalization_error =
+          std::abs(spec.p1 + (g - 1.0) * spec.q1 - 1.0) +
+          std::abs(spec.p2 + (g - 1.0) * spec.q2 - 1.0);
+      break;
     }
   }
   audit.satisfied =

@@ -41,9 +41,14 @@ struct AuditResult {
 
 /// Exact audit of one sequence-randomizer construction for (k, epsilon)
 /// using its closed-form law. Supports kFutureRand, kBun and kIndependent
-/// (kAdaptive audits as whichever construction it selects).
+/// (kAdaptive audits as whichever construction it selects). The
+/// longitudinal kinds audit their whole-sequence eps_perm certificate at
+/// the given `alpha` split: every report is fresh-noise post-processing of
+/// the memoized first round, so the sequence ratio is exactly the first
+/// round's ln(p1/q1). The dyadic kinds ignore `alpha`.
 Result<AuditResult> AuditRandomizer(rand::RandomizerKind kind,
-                                    int64_t max_support, double epsilon);
+                                    int64_t max_support, double epsilon,
+                                    double alpha = 0.5);
 
 /// Exhaustive audit of a full online FutureRand client sequence: for every
 /// pair of {-1,0,+1}^length inputs with at most spec.k non-zero entries and

@@ -69,4 +69,14 @@ double CentralTreeBound(const BoundParams& p) {
   return orders * scale * std::log(orders * p.d / p.beta);
 }
 
+double LongitudinalDirectBound(const BoundParams& p, double gap) {
+  CheckParams(p);
+  FR_CHECK(gap > 0);
+  // The estimate is (S_t - n u0) / gap with S_t a sum of n independent
+  // +/-1 reports (range 2 each): Hoeffding gives
+  // Pr[|S_t - E S_t| >= s] <= 2 exp(-s^2 / (2n)), so s =
+  // sqrt(2 n ln(2/beta')) with beta' = beta / d for the union bound.
+  return std::sqrt(2.0 * p.n * std::log(2.0 * p.d / p.beta)) / gap;
+}
+
 }  // namespace futurerand::analysis

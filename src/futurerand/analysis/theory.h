@@ -51,6 +51,14 @@ double NaiveRRBound(const BoundParams& p);
 /// (beta/d)), union-bounded over d queries.
 double CentralTreeBound(const BoundParams& p);
 
+/// Per-time Hoeffding bound for the direct longitudinal estimator
+/// a_hat[t] = (S_t - n u0) / gap, union-bounded over the d queries:
+/// gap^{-1} * sqrt(2 n ln(2d/beta)), where `gap` = u1 - u0 is the
+/// deployed randomizer's sensitivity gap (rand::ExactCGap for the
+/// longitudinal kinds). No tree factors — longitudinal clients answer
+/// each query from one report sum, not a dyadic decomposition.
+double LongitudinalDirectBound(const BoundParams& p, double gap);
+
 }  // namespace futurerand::analysis
 
 #endif  // FUTURERAND_ANALYSIS_THEORY_H_

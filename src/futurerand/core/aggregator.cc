@@ -12,6 +12,7 @@ ShardedAggregator::ShardedAggregator(int64_t num_periods,
                                      DedupPolicy dedup,
                                      DedupWindowPolicy window,
                                      StoreConfig store,
+                                     EstimatorSpec estimator,
                                      std::vector<Shard> shards,
                                      Server snapshot)
     : num_periods_(num_periods),
@@ -19,6 +20,7 @@ ShardedAggregator::ShardedAggregator(int64_t num_periods,
       dedup_policy_(dedup),
       dedup_window_(window),
       store_config_(store.Canonical()),
+      estimator_spec_(estimator),
       shards_(std::move(shards)),
       checkpoint_mutex_(std::make_unique<std::mutex>()),
       snapshot_mutex_(std::make_unique<std::mutex>()),
@@ -29,13 +31,15 @@ Result<ShardedAggregator> ShardedAggregator::ForProtocol(
     DedupWindowPolicy window) {
   FR_ASSIGN_OR_RETURN(std::vector<double> scales,
                       ProtocolLevelScales(config));
+  FR_ASSIGN_OR_RETURN(EstimatorSpec estimator, ProtocolEstimatorSpec(config));
   return WithScales(config.num_periods, std::move(scales), num_shards, dedup,
-                    window, config.store);
+                    window, config.store, estimator);
 }
 
 Result<ShardedAggregator> ShardedAggregator::WithScales(
     int64_t num_periods, std::vector<double> level_scales, int num_shards,
-    DedupPolicy dedup, DedupWindowPolicy window, StoreConfig store) {
+    DedupPolicy dedup, DedupWindowPolicy window, StoreConfig store,
+    EstimatorSpec estimator) {
   if (num_shards < 1) {
     return Status::InvalidArgument("need at least one shard");
   }
@@ -44,7 +48,8 @@ Result<ShardedAggregator> ShardedAggregator::WithScales(
   for (int s = 0; s < num_shards; ++s) {
     FR_ASSIGN_OR_RETURN(
         Server server,
-        Server::WithScales(num_periods, level_scales, dedup, window, store));
+        Server::WithScales(num_periods, level_scales, dedup, window, store,
+                           estimator));
     shards.push_back(Shard{std::make_unique<std::mutex>(),
                            std::move(server)});
   }
@@ -52,9 +57,10 @@ Result<ShardedAggregator> ShardedAggregator::WithScales(
   // compatible; it never ingests, so the policy is otherwise inert there.
   FR_ASSIGN_OR_RETURN(
       Server snapshot,
-      Server::WithScales(num_periods, level_scales, dedup, window, store));
+      Server::WithScales(num_periods, level_scales, dedup, window, store,
+                         estimator));
   return ShardedAggregator(num_periods, std::move(level_scales), dedup,
-                           window, store, std::move(shards),
+                           window, store, estimator, std::move(shards),
                            std::move(snapshot));
 }
 
@@ -239,6 +245,7 @@ Status ShardedAggregator::IngestEncoded(std::string_view bytes,
     case WireBatchKind::kServerStateSketch:
     case WireBatchKind::kAggregatorState:
     case WireBatchKind::kAggregatorDelta:
+    case WireBatchKind::kFleetLongState:
       return Status::InvalidArgument(
           "snapshot blob is not an ingestible batch; use Restore");
   }
@@ -321,6 +328,10 @@ Result<Server> ShardedAggregator::DecodeAndValidateShard(
   if (server.store_config() != store_config_) {
     return Status::InvalidArgument(
         "checkpoint store config mismatches aggregator");
+  }
+  if (server.estimator() != estimator_spec_) {
+    return Status::InvalidArgument(
+        "checkpoint estimator spec mismatches aggregator");
   }
   return server;
 }
@@ -439,7 +450,7 @@ Status ShardedAggregator::RefreshSnapshotLocked() const {
   FR_ASSIGN_OR_RETURN(Server fresh,
                       Server::WithScales(num_periods_, level_scales_,
                                          dedup_policy_, dedup_window_,
-                                         store_config_));
+                                         store_config_, estimator_spec_));
   for (const Shard& shard : shards_) {
     const std::lock_guard<std::mutex> lock(*shard.mutex);
     // Aggregates only: the snapshot never ingests reports itself, and

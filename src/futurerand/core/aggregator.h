@@ -85,10 +85,13 @@ class ShardedAggregator {
   /// baseline protocols whose estimators carry extra factors, e.g. the
   /// Erlingsson server). `store` injects the per-shard aggregate backend
   /// (default dense), validated at construction time like Server::WithScales.
+  /// `estimator` selects the query-time estimator every shard (and the
+  /// merged snapshot) runs — kDirect for the longitudinal protocols.
   static Result<ShardedAggregator> WithScales(
       int64_t num_periods, std::vector<double> level_scales, int num_shards,
       DedupPolicy dedup = DedupPolicy::kStrict,
-      DedupWindowPolicy window = {}, StoreConfig store = {});
+      DedupWindowPolicy window = {}, StoreConfig store = {},
+      EstimatorSpec estimator = {});
 
   ShardedAggregator(ShardedAggregator&&) = default;
   ShardedAggregator& operator=(ShardedAggregator&&) = default;
@@ -179,6 +182,10 @@ class ShardedAggregator {
   /// (canonical form). Restored checkpoints must match it.
   const StoreConfig& store_config() const { return store_config_; }
 
+  /// The estimator every shard was built with. Restored checkpoints must
+  /// match it.
+  const EstimatorSpec& estimator() const { return estimator_spec_; }
+
   /// Registered clients, summed over shards.
   int64_t num_clients() const;
 
@@ -210,8 +217,8 @@ class ShardedAggregator {
 
   ShardedAggregator(int64_t num_periods, std::vector<double> level_scales,
                     DedupPolicy dedup, DedupWindowPolicy window,
-                    StoreConfig store, std::vector<Shard> shards,
-                    Server snapshot);
+                    StoreConfig store, EstimatorSpec estimator,
+                    std::vector<Shard> shards, Server snapshot);
 
   // Re-merges every shard into snapshot_ if ingestion happened since the
   // last refresh. Caller holds *snapshot_mutex_.
@@ -235,6 +242,7 @@ class ShardedAggregator {
   DedupPolicy dedup_policy_;
   DedupWindowPolicy dedup_window_;
   StoreConfig store_config_;  // canonical form
+  EstimatorSpec estimator_spec_;
   std::vector<Shard> shards_;
 
   // Checkpoint chain position, guarded by *checkpoint_mutex_ (which also

@@ -17,9 +17,15 @@ Client::Client(const ProtocolConfig& config, int level,
 Result<Client> Client::Create(const ProtocolConfig& config, uint64_t seed) {
   FR_RETURN_NOT_OK(config.Validate());
   Rng rng(seed);
-  // Algorithm 1 line 1: h_u uniform over [0..log d].
+  // Algorithm 1 line 1: h_u uniform over [0..log d]. Longitudinal clients
+  // all sit at level 0 (they report every tick); the level draw is skipped
+  // entirely — not drawn-and-discarded — so the randomizer seed stays the
+  // FIRST draw, bit-identical with the ClientFleet creation path.
   const int level =
-      static_cast<int>(rng.NextInt(static_cast<uint64_t>(config.num_orders())));
+      rand::IsLongitudinalKind(config.randomizer)
+          ? 0
+          : static_cast<int>(
+                rng.NextInt(static_cast<uint64_t>(config.num_orders())));
   const int64_t length = config.num_periods >> level;  // L = d / 2^{h_u}
   // Paper-faithful mode passes the global k (M.init(L, k, eps), Algorithm 1
   // line 3); the per-level extension shrinks it to min(k, L).
@@ -27,7 +33,8 @@ Result<Client> Client::Create(const ProtocolConfig& config, uint64_t seed) {
   FR_ASSIGN_OR_RETURN(
       std::unique_ptr<rand::SequenceRandomizer> randomizer,
       rand::MakeSequenceRandomizer(config.randomizer, length, support,
-                                   config.epsilon, rng.NextUint64()));
+                                   config.epsilon, rng.NextUint64(),
+                                   config.longitudinal_alpha));
   return Client(config, level, std::move(randomizer));
 }
 

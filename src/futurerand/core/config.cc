@@ -19,6 +19,10 @@ Status ProtocolConfig::Validate() const {
     return Status::InvalidArgument(
         "epsilon must lie in (0, 1], the analyzed regime");
   }
+  if (!(longitudinal_alpha > 0.0) || !(longitudinal_alpha < 1.0)) {
+    return Status::InvalidArgument(
+        "longitudinal_alpha (eps_1/eps_perm) must lie in (0, 1)");
+  }
   FR_RETURN_NOT_OK(store.Validate());
   return Status::OK();
 }
@@ -36,13 +40,25 @@ int64_t ProtocolConfig::SupportAtLevel(int level) const {
 }
 
 std::string ProtocolConfig::ToString() const {
-  char buffer[160];
-  std::snprintf(buffer, sizeof(buffer),
-                "ProtocolConfig{d=%lld k=%lld eps=%.4g randomizer=%s store=%s}",
-                static_cast<long long>(num_periods),
-                static_cast<long long>(max_changes), epsilon,
-                rand::RandomizerKindToString(randomizer),
-                StoreKindToString(store.kind));
+  char buffer[192];
+  if (rand::IsLongitudinalKind(randomizer)) {
+    std::snprintf(
+        buffer, sizeof(buffer),
+        "ProtocolConfig{d=%lld k=%lld eps=%.4g alpha=%.4g randomizer=%s "
+        "store=%s}",
+        static_cast<long long>(num_periods),
+        static_cast<long long>(max_changes), epsilon, longitudinal_alpha,
+        rand::RandomizerKindToString(randomizer),
+        StoreKindToString(store.kind));
+  } else {
+    std::snprintf(
+        buffer, sizeof(buffer),
+        "ProtocolConfig{d=%lld k=%lld eps=%.4g randomizer=%s store=%s}",
+        static_cast<long long>(num_periods),
+        static_cast<long long>(max_changes), epsilon,
+        rand::RandomizerKindToString(randomizer),
+        StoreKindToString(store.kind));
+  }
   return buffer;
 }
 

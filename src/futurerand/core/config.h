@@ -25,8 +25,15 @@ struct ProtocolConfig {
   /// Local privacy budget; the analysis covers 0 < epsilon <= 1.
   double epsilon = 0.0;
 
-  /// Which sequence randomizer clients use (Section 4.2 / Section 5).
+  /// Which sequence randomizer clients use (Section 4.2 / Section 5, or
+  /// one of the memoized longitudinal kinds of randomizer/longitudinal.h).
   rand::RandomizerKind randomizer = rand::RandomizerKind::kFutureRand;
+
+  /// The eps_1/eps_perm budget split of the longitudinal kinds (kLGrr /
+  /// kLOlh / kLoloha): each single report is alpha * epsilon-DP while the
+  /// whole sequence stays epsilon-DP. Must lie in (0, 1); ignored by the
+  /// dyadic kinds.
+  double longitudinal_alpha = 0.5;
 
   /// Extension beyond the paper (default off = paper-faithful): a client at
   /// level h emits only L = d/2^h reports, so its non-zero partial sums are

@@ -10,6 +10,7 @@
 #include "futurerand/common/macros.h"
 #include "futurerand/common/random.h"
 #include "futurerand/common/simd.h"
+#include "futurerand/randomizer/longitudinal.h"
 
 namespace futurerand::core {
 
@@ -54,13 +55,20 @@ Result<ClientFleet> ClientFleet::Create(const ProtocolConfig& config,
       const auto i = static_cast<size_t>(u);
       const int64_t client_id = first_client_id + u;
       Rng rng(base.Fork(static_cast<uint64_t>(client_id)).NextUint64());
-      const int level = static_cast<int>(
-          rng.NextInt(static_cast<uint64_t>(config.num_orders())));
+      // Longitudinal clients all sit at level 0 (they report every tick);
+      // the level draw is skipped entirely — not drawn-and-discarded — so
+      // the randomizer seed is the FIRST draw on both the fleet and the
+      // per-client path, keeping them bit-identical.
+      const int level =
+          rand::IsLongitudinalKind(config.randomizer)
+              ? 0
+              : static_cast<int>(rng.NextInt(
+                    static_cast<uint64_t>(config.num_orders())));
       const int64_t length = config.num_periods >> level;
       const int64_t support = config.SupportAtLevel(level);
       auto randomizer = rand::MakeSequenceRandomizer(
           config.randomizer, length, support, config.epsilon,
-          rng.NextUint64());
+          rng.NextUint64(), config.longitudinal_alpha);
       if (!randomizer.ok()) {
         const std::lock_guard<std::mutex> lock(error_mutex);
         if (first_error.ok()) {
@@ -237,6 +245,195 @@ void ClientFleet::TickValidated(std::span<const int8_t> states,
     }
   }
   reports_emitted_ += static_cast<int64_t>(batch->size());
+}
+
+namespace {
+
+// Doubles travel as raw IEEE-754 bits (the snapshot convention): the
+// restored fleet must randomize bit-identically, so the creation
+// parameters must round-trip exactly, not via decimal text.
+void PutDoubleBits(double value, std::string* out) {
+  wire_internal::PutFixed64(std::bit_cast<uint64_t>(value), out);
+}
+
+Result<double> GetDoubleBits(std::string_view* bytes) {
+  FR_ASSIGN_OR_RETURN(const uint64_t bits, wire_internal::GetFixed64(bytes));
+  return std::bit_cast<double>(bits);
+}
+
+}  // namespace
+
+Result<std::string> ClientFleet::EncodeLongitudinalState() const {
+  if (!rand::IsLongitudinalKind(config_.randomizer)) {
+    return Status::FailedPrecondition(
+        "fleet's randomizer kind keeps no longitudinal state to snapshot");
+  }
+  std::string out;
+  wire_internal::AppendHeader(wire_internal::kKindFleetLongState, &out);
+  // Shape block: everything a restore must match before touching state.
+  wire_internal::PutVarint64(static_cast<uint64_t>(config_.randomizer),
+                             &out);
+  wire_internal::PutVarint64(static_cast<uint64_t>(config_.num_periods),
+                             &out);
+  PutDoubleBits(config_.epsilon, &out);
+  PutDoubleBits(config_.longitudinal_alpha, &out);
+  wire_internal::PutVarint64(
+      wire_internal::ZigZagEncode(first_client_id_), &out);
+  wire_internal::PutVarint64(static_cast<uint64_t>(size()), &out);
+  // Fleet clock.
+  wire_internal::PutVarint64(static_cast<uint64_t>(time_), &out);
+  wire_internal::PutVarint64(static_cast<uint64_t>(reports_emitted_), &out);
+  wire_internal::PutVarint64(static_cast<uint64_t>(changes_total_), &out);
+  // Per-client memoization state, in client-id order. Every longitudinal
+  // client sits at level 0, so position == time_ fleet-wide and is not
+  // repeated per client.
+  for (const auto& randomizer : randomizers_) {
+    const auto& longitudinal =
+        static_cast<const rand::LongitudinalRandomizer&>(*randomizer);
+    const rand::LongitudinalRandomizer::State state =
+        longitudinal.ExportState();
+    wire_internal::PutFixed64(state.rng_state, &out);
+    wire_internal::PutFixed64(state.hash_seed[0], &out);
+    wire_internal::PutFixed64(state.hash_seed[1], &out);
+    wire_internal::PutVarint64(
+        wire_internal::ZigZagEncode(state.memo[0]), &out);
+    wire_internal::PutVarint64(
+        wire_internal::ZigZagEncode(state.memo[1]), &out);
+    wire_internal::PutVarint64(static_cast<uint64_t>(state.changes), &out);
+    out.push_back(static_cast<char>(state.tracked_state));
+  }
+  wire_internal::AppendChecksum(&out);
+  return out;
+}
+
+Status ClientFleet::RestoreLongitudinalState(std::string_view bytes) {
+  if (!rand::IsLongitudinalKind(config_.randomizer)) {
+    return Status::FailedPrecondition(
+        "fleet's randomizer kind keeps no longitudinal state to restore");
+  }
+  // Trailer first (the snapshot convention): nothing of a corrupted blob
+  // is ever parsed, so the verdict is kDataLoss, not a field error.
+  FR_RETURN_NOT_OK(wire_internal::ConsumeChecksum(&bytes));
+  FR_ASSIGN_OR_RETURN(const char kind, wire_internal::CheckHeader(bytes));
+  if (kind != wire_internal::kKindFleetLongState) {
+    return Status::InvalidArgument(
+        "not a fleet longitudinal state blob; cannot restore");
+  }
+  bytes.remove_prefix(wire_internal::kHeaderSize);
+  FR_ASSIGN_OR_RETURN(const uint64_t raw_kind,
+                      wire_internal::GetVarint64(&bytes));
+  if (raw_kind != static_cast<uint64_t>(config_.randomizer)) {
+    return Status::InvalidArgument(
+        "snapshot randomizer kind mismatches fleet");
+  }
+  FR_ASSIGN_OR_RETURN(const uint64_t raw_periods,
+                      wire_internal::GetVarint64(&bytes));
+  if (raw_periods != static_cast<uint64_t>(config_.num_periods)) {
+    return Status::InvalidArgument("snapshot num_periods mismatches fleet");
+  }
+  FR_ASSIGN_OR_RETURN(const double epsilon, GetDoubleBits(&bytes));
+  FR_ASSIGN_OR_RETURN(const double alpha, GetDoubleBits(&bytes));
+  if (std::bit_cast<uint64_t>(epsilon) !=
+          std::bit_cast<uint64_t>(config_.epsilon) ||
+      std::bit_cast<uint64_t>(alpha) !=
+          std::bit_cast<uint64_t>(config_.longitudinal_alpha)) {
+    return Status::InvalidArgument(
+        "snapshot privacy parameters mismatch fleet");
+  }
+  FR_ASSIGN_OR_RETURN(const uint64_t raw_first,
+                      wire_internal::GetVarint64(&bytes));
+  if (wire_internal::ZigZagDecode(raw_first) != first_client_id_) {
+    return Status::InvalidArgument(
+        "snapshot first client id mismatches fleet");
+  }
+  FR_ASSIGN_OR_RETURN(const uint64_t raw_size,
+                      wire_internal::GetVarint64(&bytes));
+  if (raw_size != static_cast<uint64_t>(size())) {
+    return Status::InvalidArgument("snapshot fleet size mismatches fleet");
+  }
+  FR_ASSIGN_OR_RETURN(const uint64_t raw_time,
+                      wire_internal::GetVarint64(&bytes));
+  if (raw_time > static_cast<uint64_t>(config_.num_periods)) {
+    return Status::InvalidArgument("snapshot time exceeds num_periods");
+  }
+  const auto time = static_cast<int64_t>(raw_time);
+  FR_ASSIGN_OR_RETURN(const uint64_t raw_reports,
+                      wire_internal::GetVarint64(&bytes));
+  // Level-0 clients report every tick, so the fleet clock pins the count.
+  if (raw_reports != raw_time * static_cast<uint64_t>(size())) {
+    return Status::InvalidArgument(
+        "snapshot report count inconsistent with its clock");
+  }
+  FR_ASSIGN_OR_RETURN(const uint64_t raw_changes,
+                      wire_internal::GetVarint64(&bytes));
+  // Decode and validate every client before mutating anything: like
+  // ShardedAggregator::Restore, this either replaces the whole fleet's
+  // longitudinal state or leaves it untouched.
+  const auto n = static_cast<size_t>(size());
+  std::vector<rand::LongitudinalRandomizer::State> states(n);
+  uint64_t changes_sum = 0;
+  for (size_t i = 0; i < n; ++i) {
+    rand::LongitudinalRandomizer::State& state = states[i];
+    FR_ASSIGN_OR_RETURN(state.rng_state,
+                        wire_internal::GetFixed64(&bytes));
+    FR_ASSIGN_OR_RETURN(state.hash_seed[0],
+                        wire_internal::GetFixed64(&bytes));
+    FR_ASSIGN_OR_RETURN(state.hash_seed[1],
+                        wire_internal::GetFixed64(&bytes));
+    for (int v = 0; v < 2; ++v) {
+      FR_ASSIGN_OR_RETURN(const uint64_t raw_memo,
+                          wire_internal::GetVarint64(&bytes));
+      const int64_t memo = wire_internal::ZigZagDecode(raw_memo);
+      if (memo < std::numeric_limits<int32_t>::min() ||
+          memo > std::numeric_limits<int32_t>::max()) {
+        return Status::InvalidArgument("snapshot memo value out of range");
+      }
+      state.memo[v] = static_cast<int32_t>(memo);
+    }
+    FR_ASSIGN_OR_RETURN(const uint64_t client_changes,
+                        wire_internal::GetVarint64(&bytes));
+    changes_sum += client_changes;
+    state.changes = static_cast<int64_t>(client_changes);
+    if (bytes.empty()) {
+      return Status::InvalidArgument("snapshot truncated");
+    }
+    state.tracked_state = static_cast<int8_t>(bytes.front());
+    bytes.remove_prefix(1);
+    state.position = time;
+  }
+  if (!bytes.empty()) {
+    return Status::InvalidArgument(
+        "trailing bytes after fleet longitudinal state");
+  }
+  if (changes_sum != raw_changes) {
+    return Status::InvalidArgument(
+        "snapshot change counter inconsistent with its clients");
+  }
+  // Validate every client against the randomizer spec (memo range, Boolean
+  // state, kind-specific seed constraints) before importing any, so a bad
+  // blob leaves the whole fleet untouched; the imports after that cannot
+  // fail.
+  for (size_t i = 0; i < n; ++i) {
+    auto* longitudinal =
+        static_cast<rand::LongitudinalRandomizer*>(randomizers_[i].get());
+    FR_RETURN_NOT_OK(longitudinal->ValidateState(states[i]));
+  }
+  for (size_t i = 0; i < n; ++i) {
+    auto* longitudinal =
+        static_cast<rand::LongitudinalRandomizer*>(randomizers_[i].get());
+    FR_CHECK_MSG(longitudinal->ImportState(states[i]).ok(),
+                 "validated longitudinal state failed to import");
+  }
+  time_ = time;
+  reports_emitted_ = static_cast<int64_t>(raw_reports);
+  changes_total_ = static_cast<int64_t>(raw_changes);
+  for (size_t i = 0; i < n; ++i) {
+    // Level-0 clients hit a dyadic boundary every tick, so the integrated
+    // state and the boundary state coincide at every snapshot point.
+    current_states_[i] = states[i].tracked_state;
+    boundary_states_[i] = states[i].tracked_state;
+  }
+  return Status::OK();
 }
 
 int64_t ClientFleet::changes_seen() const { return changes_total_; }

@@ -126,6 +126,23 @@ class ClientFleet {
   /// summed over the fleet. 0 for contract-abiding inputs.
   int64_t support_overflow_count() const;
 
+  /// Serializes the fleet's longitudinal memoization state — per-client RNG
+  /// chain position, permanent hash seeds, memoized first-round values and
+  /// integrated Boolean state, plus the fleet clock — into one checksummed
+  /// kFleetLongState blob (FRW kind 9, docs/FORMATS.md §10). Only
+  /// meaningful for the longitudinal randomizer kinds, whose privacy
+  /// guarantee depends on the memoized value surviving restarts; errors
+  /// with FailedPrecondition for the dyadic kinds.
+  Result<std::string> EncodeLongitudinalState() const;
+
+  /// Replaces the fleet's longitudinal state from an EncodeLongitudinalState
+  /// blob. The fleet must have been created with the same shape (randomizer
+  /// kind, num_periods, epsilon, alpha, fleet size, first client id) — the
+  /// blob records all of them and a mismatch is an error. Ticking the
+  /// restored fleet is bit-identical to ticking the captured one. On any
+  /// error the fleet is untouched.
+  Status RestoreLongitudinalState(std::string_view bytes);
+
  private:
   ClientFleet(const ProtocolConfig& config, ThreadPool* pool,
               int64_t first_client_id);

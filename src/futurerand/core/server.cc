@@ -1,5 +1,6 @@
 #include "futurerand/core/server.h"
 
+#include <cmath>
 #include <utility>
 
 #include <algorithm>
@@ -9,19 +10,40 @@
 #include "futurerand/core/consistency.h"
 #include "futurerand/dyadic/decomposition.h"
 #include "futurerand/dyadic/tree.h"
+#include "futurerand/randomizer/longitudinal.h"
 
 namespace futurerand::core {
 
 Server::Server(int64_t num_periods, std::vector<double> level_scales,
                DedupPolicy policy, DedupWindowPolicy window,
-               StoreConfig store)
+               StoreConfig store, EstimatorSpec estimator)
     : dedup_policy_(policy),
       dedup_window_(window),
       level_scales_(std::move(level_scales)),
       num_periods_(num_periods),
       store_config_(store.Canonical()),
+      estimator_spec_(estimator),
       sums_(MakeAggregateStore(store_config_, num_periods)),
       level_counts_(level_scales_.size(), 0) {}
+
+Status EstimatorSpec::Validate() const {
+  if (mode != Mode::kDyadic && mode != Mode::kDirect) {
+    return Status::InvalidArgument("unknown estimator mode");
+  }
+  if (mode == Mode::kDyadic) {
+    if (direct_offset != 0.0) {
+      return Status::InvalidArgument(
+          "the dyadic estimator carries no offset; use 0");
+    }
+    return Status::OK();
+  }
+  if (!std::isfinite(direct_offset) || direct_offset <= -1.0 ||
+      direct_offset >= 1.0) {
+    return Status::InvalidArgument(
+        "direct estimator offset (u0) must lie in (-1, 1)");
+  }
+  return Status::OK();
+}
 
 const char* DedupPolicyToString(DedupPolicy policy) {
   switch (policy) {
@@ -49,6 +71,18 @@ Result<std::vector<double>> ProtocolLevelScales(
   FR_RETURN_NOT_OK(config.Validate());
   const int orders = config.num_orders();
   std::vector<double> scales(static_cast<size_t>(orders));
+  if (rand::IsLongitudinalKind(config.randomizer)) {
+    // Every longitudinal client sits at level 0 and reports each tick, so
+    // the only live scale inverts the estimator gap u1 - u0 — no
+    // (1 + log d) level-sampling factor. Higher orders hold no reports;
+    // their zero scales keep any stray read harmless.
+    FR_ASSIGN_OR_RETURN(
+        const double gap,
+        rand::ExactCGap(config.randomizer, config.max_changes, config.epsilon,
+                        config.longitudinal_alpha));
+    scales[0] = 1.0 / gap;
+    return scales;
+  }
   for (int h = 0; h < orders; ++h) {
     // Algorithm 2 line 5: (1 + log d) * c_gap^{-1}. The c_gap must match the
     // randomizer the level-h clients instantiated.
@@ -62,23 +96,41 @@ Result<std::vector<double>> ProtocolLevelScales(
   return scales;
 }
 
+Result<EstimatorSpec> ProtocolEstimatorSpec(const ProtocolConfig& config) {
+  FR_RETURN_NOT_OK(config.Validate());
+  EstimatorSpec spec;
+  if (rand::IsLongitudinalKind(config.randomizer)) {
+    FR_ASSIGN_OR_RETURN(const rand::LongitudinalSpec longitudinal,
+                        rand::MakeLongitudinalSpec(config.randomizer,
+                                                   config.epsilon,
+                                                   config.longitudinal_alpha));
+    spec.mode = EstimatorSpec::Mode::kDirect;
+    spec.direct_offset = longitudinal.u0;
+  }
+  return spec;
+}
+
 Result<Server> Server::ForProtocol(const ProtocolConfig& config,
                                    DedupPolicy policy,
                                    DedupWindowPolicy window) {
   FR_ASSIGN_OR_RETURN(std::vector<double> scales,
                       ProtocolLevelScales(config));
+  FR_ASSIGN_OR_RETURN(const EstimatorSpec estimator,
+                      ProtocolEstimatorSpec(config));
   // Through WithScales so the (policy, window, num_periods, store) checks
   // live in exactly one place.
   return WithScales(config.num_periods, std::move(scales), policy, window,
-                    config.store);
+                    config.store, estimator);
 }
 
 Result<Server> Server::WithScales(int64_t num_periods,
                                   std::vector<double> level_scales,
                                   DedupPolicy policy,
                                   DedupWindowPolicy window,
-                                  StoreConfig store) {
+                                  StoreConfig store,
+                                  EstimatorSpec estimator) {
   FR_RETURN_NOT_OK(window.Validate(policy));
+  FR_RETURN_NOT_OK(estimator.Validate());
   // Construction-time, not decode-time: a server with out-of-range sketch
   // parameters must never exist, so no snapshot of one can either.
   FR_RETURN_NOT_OK(store.Validate());
@@ -97,12 +149,19 @@ Result<Server> Server::WithScales(int64_t num_periods,
   if (level_scales.size() != expected) {
     return Status::InvalidArgument("need one scale per dyadic order");
   }
-  return Server(num_periods, std::move(level_scales), policy, window, store);
+  return Server(num_periods, std::move(level_scales), policy, window, store,
+                estimator);
 }
 
 Status Server::RegisterClientStrict(int64_t client_id, int level) {
   if (level < 0 || level >= static_cast<int>(level_scales_.size())) {
     return Status::InvalidArgument("level out of range");
+  }
+  if (estimator_spec_.direct() && level != 0) {
+    // The direct estimator reads only the order-0 row; a deeper client's
+    // reports would silently vanish from every query.
+    return Status::InvalidArgument(
+        "direct-estimator servers accept only level-0 clients");
   }
   if (clients_.Find(client_id) >= 0) {
     return Status::AlreadyExists("client already registered");
@@ -301,6 +360,14 @@ Result<double> Server::EstimateAt(int64_t t) const {
   if (t < 1 || t > num_periods_) {
     return Status::OutOfRange("query time outside [1..d]");
   }
+  if (estimator_spec_.direct()) {
+    // Every report at time t is a level-0 client's perturbed value, so the
+    // unbiased read is a plain shift-and-rescale of the order-0 sum:
+    //   (S_t - n_0 * u0) / (u1 - u0), with 1/(u1 - u0) in level_scales_[0].
+    const double raw = static_cast<double>(sums_->Value(0, t));
+    const double n0 = static_cast<double>(level_counts_[0]);
+    return level_scales_[0] * (raw - n0 * estimator_spec_.direct_offset);
+  }
   double estimate = 0.0;
   for (const dyadic::DyadicInterval& interval : dyadic::DecomposePrefix(t)) {
     estimate += level_scales_[static_cast<size_t>(interval.order)] *
@@ -313,6 +380,17 @@ Result<double> Server::EstimateAt(int64_t t) const {
 Result<double> Server::EstimateWindowDelta(int64_t l, int64_t r) const {
   if (l < 1 || l > r || r > num_periods_) {
     return Status::OutOfRange("window outside [1..d]");
+  }
+  if (estimator_spec_.direct()) {
+    // No dyadic decomposition to exploit: the windowed change is just the
+    // difference of the two point estimates (a[l-1] is 0 by the st[0] = 0
+    // convention when l == 1).
+    FR_ASSIGN_OR_RETURN(const double at_r, EstimateAt(r));
+    if (l == 1) {
+      return at_r;
+    }
+    FR_ASSIGN_OR_RETURN(const double at_l, EstimateAt(l - 1));
+    return at_r - at_l;
   }
   // Each interval's partial sum telescopes to st[end] - st[begin-1], so the
   // decomposition of [l..r] sums to a[r] - a[l-1] (Observation 3.7).
@@ -336,6 +414,12 @@ Result<std::vector<double>> Server::EstimateAll() const {
 }
 
 Result<std::vector<double>> Server::EstimateAllConsistent() const {
+  if (estimator_spec_.direct()) {
+    // The direct estimator keeps one reading per period — there is no
+    // redundant ancestor/descendant structure for GLS to reconcile, so the
+    // consistent estimates are the plain ones.
+    return EstimateAll();
+  }
   const int64_t d = num_periods_;
   const int orders = static_cast<int>(level_scales_.size());
   // Dense-sized scratch regardless of backend: consistency refines every
@@ -413,6 +497,10 @@ Status Server::CheckMergeCompatible(const Server& other) const {
   if (other.level_scales_ != level_scales_) {
     return Status::InvalidArgument(
         "cannot merge servers with mismatched level scales");
+  }
+  if (other.estimator_spec_ != estimator_spec_) {
+    return Status::InvalidArgument(
+        "cannot merge servers with mismatched estimator specs");
   }
   if (other.dedup_policy_ != dedup_policy_) {
     return Status::InvalidArgument(

@@ -78,11 +78,46 @@ struct DedupWindowPolicy {
                          const DedupWindowPolicy&) = default;
 };
 
+/// How a server turns raw interval sums into estimates.
+struct EstimatorSpec {
+  enum class Mode {
+    /// Algorithm 2: sum scale_h * raw_sum over the dyadic decomposition of
+    /// the prefix [1..t]. The paper's estimator; the default.
+    kDyadic = 0,
+    /// The longitudinal kinds (kLGrr / kLOlh / kLoloha): every client sits
+    /// at level 0 and reports its perturbed value each tick, so
+    ///   a_hat[t] = scale_0 * (raw_sum(0, t) - n_0 * direct_offset)
+    /// with scale_0 = 1/(u1 - u0), direct_offset = u0 and n_0 the
+    /// registered level-0 client count. No dyadic tree is consulted.
+    kDirect = 1,
+  };
+
+  Mode mode = Mode::kDyadic;
+  /// kDirect only: the value-0 report mean u0 in (-1, 1). Must be 0 under
+  /// kDyadic so snapshots stay canonical.
+  double direct_offset = 0.0;
+
+  bool direct() const { return mode == Mode::kDirect; }
+
+  /// OK iff the offset is finite, inside (-1, 1), and zero under kDyadic.
+  Status Validate() const;
+
+  friend bool operator==(const EstimatorSpec&,
+                         const EstimatorSpec&) = default;
+};
+
 /// The exact per-level debiasing scales of Algorithm 2 line 5 for the
 /// protocol configuration: (1 + log d) / c_gap(h), where c_gap(h) matches
 /// the randomizer the level-h clients instantiate. Shared by
-/// Server::ForProtocol and ShardedAggregator::ForProtocol.
+/// Server::ForProtocol and ShardedAggregator::ForProtocol. For the
+/// longitudinal kinds the vector is [1/(u1 - u0), 0, 0, ...]: only level 0
+/// is populated and the level-sampling factor (1 + log d) does not apply
+/// (pair with ProtocolEstimatorSpec).
 Result<std::vector<double>> ProtocolLevelScales(const ProtocolConfig& config);
+
+/// The estimator mode the protocol configuration requires: kDirect with
+/// offset u0 for the longitudinal kinds, kDyadic otherwise.
+Result<EstimatorSpec> ProtocolEstimatorSpec(const ProtocolConfig& config);
 
 /// Aggregates client reports and produces the online estimates a_hat[t].
 ///
@@ -112,11 +147,15 @@ class Server {
   /// two, rows out of [1, 64]) fail at construction time. Errors unless
   /// num_periods is a power of two with one scale per dyadic order and the
   /// (policy, window) pair is consistent.
+  /// `estimator` selects how queries read the sums (default: the paper's
+  /// dyadic decomposition; kDirect for the longitudinal kinds, which also
+  /// restricts registrations to level 0).
   static Result<Server> WithScales(int64_t num_periods,
                                    std::vector<double> level_scales,
                                    DedupPolicy policy = DedupPolicy::kStrict,
                                    DedupWindowPolicy window = {},
-                                   StoreConfig store = {});
+                                   StoreConfig store = {},
+                                   EstimatorSpec estimator = {});
 
   Server(Server&&) = default;
   Server& operator=(Server&&) = default;
@@ -216,6 +255,11 @@ class Server {
   /// All per-level debiasing scales, indexed by order h.
   const std::vector<double>& level_scales() const { return level_scales_; }
 
+  /// The estimator this server answers queries with. Part of the server's
+  /// identity like the scales: Merge, restore and resharding require equal
+  /// estimator specs.
+  const EstimatorSpec& estimator() const { return estimator_spec_; }
+
   DedupPolicy dedup_policy() const { return dedup_policy_; }
 
   /// The eviction policy this server was built with (inert under kStrict).
@@ -251,7 +295,8 @@ class Server {
   };
 
   Server(int64_t num_periods, std::vector<double> level_scales,
-         DedupPolicy policy, DedupWindowPolicy window, StoreConfig store);
+         DedupPolicy policy, DedupWindowPolicy window, StoreConfig store,
+         EstimatorSpec estimator);
 
   Status CheckMergeCompatible(const Server& other) const;
   void AddSums(const Server& other);
@@ -291,6 +336,7 @@ class Server {
   std::vector<double> level_scales_;
   int64_t num_periods_;
   StoreConfig store_config_;  // canonical form
+  EstimatorSpec estimator_spec_;
   // Raw sum of +/-1 reports per interval, behind the pluggable backend
   // (exact counters under kDense, count-sketch rows under kSketch).
   std::unique_ptr<AggregateStore> sums_;

@@ -72,6 +72,13 @@ struct ServerStateCodec {
                 &out);
     PutVarint64(
         static_cast<uint64_t>(server.dedup_window_.window_boundaries), &out);
+    // Estimator mode, with the direct offset (u0) only when it applies —
+    // dyadic snapshots keep the pre-longitudinal byte cost.
+    const bool direct = server.estimator_spec_.direct();
+    PutVarint64(direct ? 1 : 0, &out);
+    if (direct) {
+      PutDoubleBits(server.estimator_spec_.direct_offset, &out);
+    }
     const auto orders = static_cast<int>(server.level_scales_.size());
     PutVarint64(static_cast<uint64_t>(orders), &out);
     for (int h = 0; h < orders; ++h) {
@@ -179,6 +186,17 @@ struct ServerStateCodec {
     }
     const DedupWindowPolicy window{static_cast<int64_t>(raw_window)};
     FR_RETURN_NOT_OK(window.Validate(policy));
+    FR_ASSIGN_OR_RETURN(const uint64_t mode_byte, GetVarint64(&bytes));
+    if (mode_byte > 1) {
+      return Status::InvalidArgument("unknown snapshot estimator mode");
+    }
+    EstimatorSpec estimator;
+    if (mode_byte == 1) {
+      estimator.mode = EstimatorSpec::Mode::kDirect;
+      FR_ASSIGN_OR_RETURN(estimator.direct_offset, GetDoubleBits(&bytes));
+    }
+    // Full field validation (finite offset in (-1,1), zero under dyadic)
+    // happens in Server::WithScales below via EstimatorSpec::Validate.
     FR_ASSIGN_OR_RETURN(const uint64_t orders, GetVarint64(&bytes));
     if (orders != static_cast<uint64_t>(Log2Exact(raw_periods) + 1)) {
       return Status::InvalidArgument("snapshot level count mismatches d");
@@ -191,10 +209,17 @@ struct ServerStateCodec {
       if (count > (uint64_t{1} << 62)) {
         return Status::InvalidArgument("implausible snapshot level count");
       }
+      if (estimator.direct() && h > 0 && count != 0) {
+        // Direct-estimator servers register only level-0 clients, so a
+        // deeper population can only come from corruption or forgery.
+        return Status::InvalidArgument(
+            "direct-estimator snapshot claims clients above level 0");
+      }
       counts[h] = static_cast<int64_t>(count);
     }
     FR_ASSIGN_OR_RETURN(Server server,
-                        Server::WithScales(d, scales, policy, window, store));
+                        Server::WithScales(d, scales, policy, window, store,
+                                           estimator));
     server.level_counts_ = std::move(counts);
     if (sketch) {
       auto& sketch_store = static_cast<SketchStore&>(*server.sums_);
@@ -233,6 +258,10 @@ struct ServerStateCodec {
       FR_ASSIGN_OR_RETURN(const uint64_t raw_level, GetVarint64(&bytes));
       if (raw_level >= orders) {
         return Status::InvalidArgument("snapshot client level out of range");
+      }
+      if (estimator.direct() && raw_level != 0) {
+        return Status::InvalidArgument(
+            "direct-estimator snapshot registers a client above level 0");
       }
       const int64_t id = previous_id + ZigZagDecode(id_delta);
       const int level = static_cast<int>(raw_level);
@@ -332,7 +361,7 @@ struct ServerStateCodec {
           Server target,
           Server::WithScales(first.num_periods_, first.level_scales_,
                              first.dedup_policy_, first.dedup_window_,
-                             first.store_config_));
+                             first.store_config_, first.estimator_spec_));
       targets.push_back(std::move(target));
     }
     const auto shards = static_cast<int64_t>(new_num_shards);

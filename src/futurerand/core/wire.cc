@@ -92,7 +92,7 @@ Result<char> CheckHeader(std::string_view bytes) {
     return Status::DataLoss("unsupported wire version");
   }
   const char kind = bytes[4];
-  if (kind < kKindRegistration || kind > kKindServerStateSketch) {
+  if (kind < kKindRegistration || kind > kKindFleetLongState) {
     return Status::DataLoss("unknown batch kind");
   }
   if (version != KindWireVersion(kind)) {
@@ -193,6 +193,8 @@ Result<WireBatchKind> PeekBatchKind(std::string_view bytes) {
       return WireBatchKind::kReportV2;
     case wire_internal::kKindServerStateSketch:
       return WireBatchKind::kServerStateSketch;
+    case wire_internal::kKindFleetLongState:
+      return WireBatchKind::kFleetLongState;
     default:
       return Status::DataLoss("unknown batch kind");
   }

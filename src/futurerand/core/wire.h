@@ -90,6 +90,7 @@ enum class WireBatchKind {
   kRegistrationV2,     // v2 transport, FNV-1a trailer
   kReportV2,           // v2 transport, FNV-1a trailer
   kServerStateSketch,  // one sketch-store Server (core/snapshot.h)
+  kFleetLongState,     // ClientFleet longitudinal memo state (core/fleet.h)
 };
 
 /// Validates the fixed header of an encoded batch and returns its kind
@@ -137,6 +138,7 @@ inline constexpr char kKindAggregatorDelta = 5;   // FRW v1
 inline constexpr char kKindRegistrationV2 = 6;    // FRW v2
 inline constexpr char kKindReportV2 = 7;          // FRW v2
 inline constexpr char kKindServerStateSketch = 8; // FRW v1
+inline constexpr char kKindFleetLongState = 9;    // FRW v1
 
 /// The container version bytes (docs/FORMATS.md §1). Each kind is framed
 /// by exactly one version; KindWireVersion is the mapping.

@@ -27,7 +27,7 @@
 // fault simulation corrupts the FRW payload before framing, exactly where
 // a v2 batch's own FNV-1a trailer detects it (kDataLoss -> verdict kNack).
 //
-// docs/FORMATS.md §11 is the normative byte layout; the kFrs* constants
+// docs/FORMATS.md §12 is the normative byte layout; the kFrs* constants
 // below are kept in lockstep with it by scripts/check_format_spec.sh.
 //
 // Thread-safety: free functions are pure; FrameParser is not thread-safe
@@ -53,7 +53,7 @@ inline constexpr size_t kFrameHeaderSize = 4;
 inline constexpr uint32_t kFrsMaxPayload = 64u << 20;  // 64 MiB
 
 /// Payload format versions and enum byte values (normative, append-only;
-/// docs/FORMATS.md §11). The "// FRS" annotation is what
+/// docs/FORMATS.md §12). The "// FRS" annotation is what
 /// scripts/check_format_spec.sh keys on.
 inline constexpr char kFrsReplyVersion = 1;       // FRS
 inline constexpr char kFrsControlVersion = 1;     // FRS

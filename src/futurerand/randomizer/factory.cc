@@ -6,6 +6,7 @@
 #include "futurerand/randomizer/bun.h"
 #include "futurerand/randomizer/future_rand.h"
 #include "futurerand/randomizer/independent.h"
+#include "futurerand/randomizer/longitudinal.h"
 #include "futurerand/randomizer/randomizer.h"
 
 namespace futurerand::rand {
@@ -20,6 +21,12 @@ const char* RandomizerKindToString(RandomizerKind kind) {
       return "bun";
     case RandomizerKind::kAdaptive:
       return "adaptive";
+    case RandomizerKind::kLGrr:
+      return "lgrr";
+    case RandomizerKind::kLOlh:
+      return "lolh";
+    case RandomizerKind::kLoloha:
+      return "loloha";
   }
   return "unknown";
 }
@@ -35,7 +42,7 @@ Result<RandomizerKind> ParseRandomizerKind(const std::string& name) {
 
 Result<std::unique_ptr<SequenceRandomizer>> MakeSequenceRandomizer(
     RandomizerKind kind, int64_t length, int64_t max_support, double epsilon,
-    uint64_t seed) {
+    uint64_t seed, double alpha) {
   switch (kind) {
     case RandomizerKind::kFutureRand: {
       FR_ASSIGN_OR_RETURN(std::unique_ptr<SequenceRandomizer> randomizer,
@@ -61,12 +68,21 @@ Result<std::unique_ptr<SequenceRandomizer>> MakeSequenceRandomizer(
                                                      epsilon, seed));
       return randomizer;
     }
+    case RandomizerKind::kLGrr:
+    case RandomizerKind::kLOlh:
+    case RandomizerKind::kLoloha: {
+      FR_ASSIGN_OR_RETURN(std::unique_ptr<SequenceRandomizer> randomizer,
+                          LongitudinalRandomizer::Create(kind, length,
+                                                         epsilon, alpha,
+                                                         seed));
+      return randomizer;
+    }
   }
   return Status::InvalidArgument("unknown randomizer kind");
 }
 
 Result<double> ExactCGap(RandomizerKind kind, int64_t max_support,
-                         double epsilon) {
+                         double epsilon, double alpha) {
   switch (kind) {
     case RandomizerKind::kFutureRand: {
       FR_ASSIGN_OR_RETURN(AnnulusSpec spec,
@@ -99,6 +115,15 @@ Result<double> ExactCGap(RandomizerKind kind, int64_t max_support,
                           ExactCGap(RandomizerKind::kIndependent, max_support,
                                     epsilon));
       return std::max(future_gap, independent_gap);
+    }
+    case RandomizerKind::kLGrr:
+    case RandomizerKind::kLOlh:
+    case RandomizerKind::kLoloha: {
+      // The direct estimator's sensitivity gap; bit-identical to the
+      // instance's c_gap() because both read LongitudinalSpec::gap().
+      FR_ASSIGN_OR_RETURN(const LongitudinalSpec spec,
+                          MakeLongitudinalSpec(kind, epsilon, alpha));
+      return spec.gap();
     }
   }
   return Status::InvalidArgument("unknown randomizer kind");

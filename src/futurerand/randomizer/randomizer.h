@@ -88,6 +88,12 @@ enum class RandomizerKind {
   kIndependent,  // Example 4.2: per-coordinate RR(eps/k)
   kBun,          // Appendix A.2: Bun et al. composed randomizer
   kAdaptive,     // max-c_gap choice among certified constructions
+  // The Arcolezi-line memoized longitudinal constructions (see
+  // randomizer/longitudinal.h): level-0 clients, every-tick reports, and a
+  // direct (non-dyadic) server estimator with offset u0 and gap u1 - u0.
+  kLGrr,    // chained GRR with permanent memoization (eps_perm/eps_1 split)
+  kLOlh,    // L-LH with the optimal-g L-OLH parameterization
+  kLoloha,  // OLOLOHA: one permanent hash seed, optimal g, alpha knob
 };
 
 /// Every RandomizerKind, in enum order — the single source of truth for
@@ -97,10 +103,21 @@ inline constexpr RandomizerKind kAllRandomizerKinds[] = {
     RandomizerKind::kIndependent,
     RandomizerKind::kBun,
     RandomizerKind::kAdaptive,
+    RandomizerKind::kLGrr,
+    RandomizerKind::kLOlh,
+    RandomizerKind::kLoloha,
 };
 
 constexpr std::span<const RandomizerKind> AllRandomizerKinds() {
   return kAllRandomizerKinds;
+}
+
+/// True iff `kind` is one of the memoized longitudinal constructions
+/// (randomizer/longitudinal.h): all clients at level 0, every-tick reports,
+/// and a direct (non-dyadic) server estimator.
+constexpr bool IsLongitudinalKind(RandomizerKind kind) {
+  return kind == RandomizerKind::kLGrr || kind == RandomizerKind::kLOlh ||
+         kind == RandomizerKind::kLoloha;
 }
 
 /// Stable display name for a RandomizerKind.
@@ -114,15 +131,20 @@ Result<RandomizerKind> ParseRandomizerKind(const std::string& name);
 /// Creates a randomizer of the given kind for a length-L sequence with at
 /// most k non-zero entries under budget epsilon (0 < epsilon <= 1, the
 /// paper's regime). `seed` determines all of the instance's randomness.
+/// `alpha` only matters for the longitudinal kinds (the eps_1/eps_perm
+/// split, in (0, 1)); the dyadic constructions ignore it, and the
+/// longitudinal ones ignore max_support (they report every tick).
 Result<std::unique_ptr<SequenceRandomizer>> MakeSequenceRandomizer(
     RandomizerKind kind, int64_t length, int64_t max_support, double epsilon,
-    uint64_t seed);
+    uint64_t seed, double alpha = 0.5);
 
 /// Exact c_gap the given construction achieves for (k, epsilon), without
 /// instantiating a randomizer. Used by the server for debiasing and by the
-/// c_gap comparison experiment (E6).
+/// c_gap comparison experiment (E6). For the longitudinal kinds this is
+/// the direct estimator's sensitivity gap u1 - u0 at the given `alpha`
+/// (max_support is ignored there).
 Result<double> ExactCGap(RandomizerKind kind, int64_t max_support,
-                         double epsilon);
+                         double epsilon, double alpha = 0.5);
 
 }  // namespace futurerand::rand
 

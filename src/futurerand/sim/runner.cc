@@ -530,6 +530,12 @@ const char* ProtocolKindToString(ProtocolKind kind) {
       return "naive_rr";
     case ProtocolKind::kCentralTree:
       return "central_tree";
+    case ProtocolKind::kLGrr:
+      return "lgrr";
+    case ProtocolKind::kLOlh:
+      return "lolh";
+    case ProtocolKind::kLoloha:
+      return "loloha";
     case ProtocolKind::kNonPrivate:
       return "non_private";
   }
@@ -558,9 +564,14 @@ Result<RunResult> RunProtocol(ProtocolKind kind,
   if (num_shards < 0) {
     return Status::InvalidArgument("num_shards must be >= 0");
   }
+  // The longitudinal pipelines ride the same fleet -> wire -> aggregator
+  // path as the dyadic ones (every client at level 0), so they inherit the
+  // whole fault-injection surface for free.
   const bool hierarchical =
       kind == ProtocolKind::kFutureRand || kind == ProtocolKind::kIndependent ||
-      kind == ProtocolKind::kBun || kind == ProtocolKind::kAdaptive;
+      kind == ProtocolKind::kBun || kind == ProtocolKind::kAdaptive ||
+      kind == ProtocolKind::kLGrr || kind == ProtocolKind::kLOlh ||
+      kind == ProtocolKind::kLoloha;
   if (faults.active() && !hierarchical) {
     return Status::InvalidArgument(
         "fault injection is only supported on the hierarchical pipelines");
@@ -580,6 +591,15 @@ Result<RunResult> RunProtocol(ProtocolKind kind,
     case ProtocolKind::kAdaptive:
       effective.randomizer = rand::RandomizerKind::kAdaptive;
       break;
+    case ProtocolKind::kLGrr:
+      effective.randomizer = rand::RandomizerKind::kLGrr;
+      break;
+    case ProtocolKind::kLOlh:
+      effective.randomizer = rand::RandomizerKind::kLOlh;
+      break;
+    case ProtocolKind::kLoloha:
+      effective.randomizer = rand::RandomizerKind::kLoloha;
+      break;
     default:
       break;
   }
@@ -591,6 +611,9 @@ Result<RunResult> RunProtocol(ProtocolKind kind,
     case ProtocolKind::kIndependent:
     case ProtocolKind::kBun:
     case ProtocolKind::kAdaptive:
+    case ProtocolKind::kLGrr:
+    case ProtocolKind::kLOlh:
+    case ProtocolKind::kLoloha:
       outcome = RunHierarchical(effective, workload, seed, pool, num_shards,
                                 faults);
       break;

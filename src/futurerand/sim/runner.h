@@ -35,7 +35,10 @@ enum class ProtocolKind {
   kErlingsson,   // the Section 6 online baseline
   kNaiveRR,      // repeated randomized response at eps/d (intro strawman)
   kCentralTree,  // central-model binary-tree mechanism (Section 6 reference)
-  kNonPrivate,   // exact dyadic pipeline (sanity reference)
+  kLGrr,         // memoized longitudinal L-GRR (randomizer/longitudinal.h)
+  kLOlh,         // memoized longitudinal L-OLH (optimal-g L-LH)
+  kLoloha,       // memoized longitudinal OLOLOHA (shared permanent seed)
+  kNonPrivate,   // exact dyadic pipeline (sanity reference; keep last)
 };
 
 /// Every ProtocolKind, in enum order — the single source of truth for code
@@ -44,7 +47,9 @@ inline constexpr ProtocolKind kAllProtocolKinds[] = {
     ProtocolKind::kFutureRand,  ProtocolKind::kIndependent,
     ProtocolKind::kBun,         ProtocolKind::kAdaptive,
     ProtocolKind::kErlingsson,  ProtocolKind::kNaiveRR,
-    ProtocolKind::kCentralTree, ProtocolKind::kNonPrivate,
+    ProtocolKind::kCentralTree, ProtocolKind::kLGrr,
+    ProtocolKind::kLOlh,        ProtocolKind::kLoloha,
+    ProtocolKind::kNonPrivate,
 };
 static_assert(std::size(kAllProtocolKinds) ==
                   static_cast<size_t>(ProtocolKind::kNonPrivate) + 1,

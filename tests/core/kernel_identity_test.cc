@@ -12,8 +12,10 @@
 // both runs take the scalar arm and the suite degenerates to a determinism
 // check — still valid, just not distinguishing.
 
+#include <algorithm>
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -110,48 +112,68 @@ INSTANTIATE_TEST_SUITE_P(
 // The batch Randomize(span, span) overloads hoist invariant checks but must
 // consume the instance's RNG in exactly the per-element order, so a batch
 // call over any chunking must emit the same bytes as element-wise scalar
-// calls on a twin instance. Five non-zeros against max_support=3 push both
-// twins through the support-overflow arm as well.
+// calls on a twin instance. Sizes straddle the vector-width boundaries like
+// the protocol suite above. Inputs are kind-aware: the longitudinal kinds
+// integrate the derivative stream into a Boolean state, so their non-zeros
+// must alternate sign (the dyadic pattern's repeated +1s would violate the
+// {0,1}-state contract, which the randomizer FR_CHECKs); the dyadic kinds
+// keep enough non-zeros to push past max_support=3 into the overflow arm.
+std::vector<int8_t> BatchInputs(rand::RandomizerKind kind, int64_t n) {
+  std::vector<int8_t> values(static_cast<size_t>(n), 0);
+  int8_t next = 1;  // longitudinal kinds: alternate so the state stays {0,1}
+  for (int64_t pos = 0; pos < n; pos += 7) {
+    if (rand::IsLongitudinalKind(kind)) {
+      values[static_cast<size_t>(pos)] = next;
+      next = static_cast<int8_t>(-next);
+    } else {
+      values[static_cast<size_t>(pos)] = pos % 2 == 0 ? int8_t{1}
+                                                      : int8_t{-1};
+    }
+  }
+  return values;
+}
+
 class RandomizerBatchIdentityTest
     : public ::testing::TestWithParam<rand::RandomizerKind> {};
 
 TEST_P(RandomizerBatchIdentityTest, BatchMatchesElementwiseScalar) {
-  constexpr int64_t kLength = 64;
   constexpr int64_t kSupport = 3;
   constexpr uint64_t kSeed = 77;
-  auto scalar_twin = rand::MakeSequenceRandomizer(GetParam(), kLength,
-                                                  kSupport, 1.0, kSeed)
-                         .ValueOrDie();
-  auto batch_twin = rand::MakeSequenceRandomizer(GetParam(), kLength,
-                                                 kSupport, 1.0, kSeed)
-                        .ValueOrDie();
+  for (const int64_t n : kSizes) {
+    auto scalar_twin =
+        rand::MakeSequenceRandomizer(GetParam(), n, kSupport, 1.0, kSeed)
+            .ValueOrDie();
+    auto batch_twin =
+        rand::MakeSequenceRandomizer(GetParam(), n, kSupport, 1.0, kSeed)
+            .ValueOrDie();
 
-  std::vector<int8_t> values(kLength, 0);
-  for (const size_t pos : {size_t{0}, size_t{5}, size_t{20}, size_t{40},
-                           size_t{63}}) {
-    values[pos] = pos % 2 == 0 ? int8_t{1} : int8_t{-1};
-  }
+    const std::vector<int8_t> values = BatchInputs(GetParam(), n);
 
-  std::vector<int8_t> expected(kLength);
-  for (int64_t i = 0; i < kLength; ++i) {
-    expected[static_cast<size_t>(i)] =
-        scalar_twin->Randomize(values[static_cast<size_t>(i)]);
-  }
+    std::vector<int8_t> expected(static_cast<size_t>(n));
+    for (int64_t i = 0; i < n; ++i) {
+      expected[static_cast<size_t>(i)] =
+          scalar_twin->Randomize(values[static_cast<size_t>(i)]);
+    }
 
-  // Uneven chunking (1, 3, then the rest) exercises the position bookkeeping
-  // between batch calls, not just one straight shot.
-  std::vector<int8_t> actual(kLength);
-  std::span<const int8_t> remaining(values);
-  std::span<int8_t> out(actual);
-  for (const size_t chunk :
-       {size_t{1}, size_t{3}, remaining.size() - size_t{4}}) {
-    const std::span<int8_t> filled =
-        batch_twin->Randomize(remaining.first(chunk), out.first(chunk));
-    ASSERT_EQ(filled.size(), chunk);
-    remaining = remaining.subspan(chunk);
-    out = out.subspan(chunk);
+    // Uneven chunking (1, 3, then the rest, clipped for tiny n) exercises
+    // the position bookkeeping between batch calls, not just one shot.
+    std::vector<int8_t> actual(static_cast<size_t>(n));
+    std::span<const int8_t> remaining(values);
+    std::span<int8_t> out(actual);
+    for (const size_t chunk : {size_t{1}, size_t{3}, remaining.size()}) {
+      const size_t take = std::min(chunk, remaining.size());
+      if (take == 0) {
+        break;
+      }
+      const std::span<int8_t> filled =
+          batch_twin->Randomize(remaining.first(take), out.first(take));
+      ASSERT_EQ(filled.size(), take);
+      remaining = remaining.subspan(take);
+      out = out.subspan(take);
+    }
+    EXPECT_EQ(actual, expected)
+        << rand::RandomizerKindToString(GetParam()) << " n=" << n;
   }
-  EXPECT_EQ(actual, expected) << rand::RandomizerKindToString(GetParam());
 }
 
 INSTANTIATE_TEST_SUITE_P(

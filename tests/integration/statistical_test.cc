@@ -166,6 +166,104 @@ TEST(SketchStatisticalTest, WideSketchAgreesWithDenseBitForBit) {
   EXPECT_EQ(dense.reports_submitted, sketched.reports_submitted);
 }
 
+// ---------------------------------------------------------------------------
+// Longitudinal protocol gate: the Arcolezi-line randomizers report every
+// tick and are debiased by the direct estimator, so their closed-form
+// Hoeffding bound (LongitudinalDirectBound with the kind's exact u1-u0
+// gap) must hold on the same style of seeded grid, with the same
+// too-accurate degeneracy check.
+
+rand::RandomizerKind RandomizerFor(ProtocolKind kind) {
+  switch (kind) {
+    case ProtocolKind::kLGrr:
+      return rand::RandomizerKind::kLGrr;
+    case ProtocolKind::kLOlh:
+      return rand::RandomizerKind::kLOlh;
+    default:
+      return rand::RandomizerKind::kLoloha;
+  }
+}
+
+double LongitudinalBound(ProtocolKind kind, double eps, int64_t d, int64_t n,
+                         int64_t k) {
+  const double gap = rand::ExactCGap(RandomizerFor(kind), k, eps).ValueOrDie();
+  analysis::BoundParams params;
+  params.n = static_cast<double>(n);
+  params.d = static_cast<double>(d);
+  params.k = static_cast<double>(k);
+  params.epsilon = eps;
+  params.beta = 1e-9;
+  return analysis::LongitudinalDirectBound(params, gap);
+}
+
+using LongitudinalGridParam = std::tuple<ProtocolKind, GridParam>;
+
+class LongitudinalStatisticalTest
+    : public ::testing::TestWithParam<LongitudinalGridParam> {};
+
+TEST_P(LongitudinalStatisticalTest, MaxErrorWithinClosedFormBound) {
+  const auto [kind, grid] = GetParam();
+  const auto [eps, d, n] = grid;
+  const int64_t k = 4;
+  const RepeatedRunStats stats =
+      RunRepeated(kind, MakeConfig(d, k, eps), MakeWorkload(n, d, k), 2,
+                  20260808)
+          .ValueOrDie();
+  const double bound = LongitudinalBound(kind, eps, d, n, k);
+  EXPECT_LE(stats.max_abs_error.max(), bound)
+      << ProtocolKindToString(kind) << " eps=" << eps << " d=" << d
+      << " n=" << n;
+  // Degeneracy gate, as for the dyadic protocols: near-exact estimates
+  // mean the memoized noise machinery is not actually running.
+  EXPECT_GE(stats.max_abs_error.mean(), bound / 300.0)
+      << ProtocolKindToString(kind)
+      << ": suspiciously accurate: is the randomizer actually running?";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, LongitudinalStatisticalTest,
+    ::testing::Combine(::testing::Values(ProtocolKind::kLGrr,
+                                         ProtocolKind::kLOlh,
+                                         ProtocolKind::kLoloha),
+                       ::testing::Values(GridParam{1.0, 32, 1000},
+                                         GridParam{0.5, 64, 2000},
+                                         GridParam{0.25, 64, 4000})),
+    [](const ::testing::TestParamInfo<LongitudinalGridParam>& info) {
+      // No structured bindings here: a bare `[kind, grid]` would split the
+      // INSTANTIATE macro's arguments at the comma.
+      const GridParam& grid = std::get<1>(info.param);
+      std::string name = ProtocolKindToString(std::get<0>(info.param));
+      name += "_eps";
+      name += std::to_string(static_cast<int>(std::get<0>(grid) * 100));
+      name += "_d";
+      name += std::to_string(std::get<1>(grid));
+      name += "_n";
+      name += std::to_string(std::get<2>(grid));
+      return name;
+    });
+
+TEST(LongitudinalStatisticalTest, BoundHoldsUnderAtLeastOnceDelivery) {
+  // The longitudinal pipelines ride the same fault-tolerant transport: the
+  // closed-form bound must survive duplication and reordering under
+  // idempotent dedup with periodic FRW checkpoint/restore cycles.
+  const int64_t d = 64;
+  const int64_t k = 4;
+  const int64_t n = 2000;
+  const double eps = 1.0;
+  FaultOptions faults;
+  faults.channel.duplicate_rate = 0.3;
+  faults.channel.reorder_rate = 0.5;
+  faults.dedup = core::DedupPolicy::kIdempotent;
+  faults.checkpoint_every = 16;
+  const RepeatedRunStats stats =
+      RunRepeated(ProtocolKind::kLGrr, MakeConfig(d, k, eps),
+                  MakeWorkload(n, d, k), 2, 911, nullptr, 0, faults)
+          .ValueOrDie();
+  const double bound = LongitudinalBound(ProtocolKind::kLGrr, eps, d, n, k);
+  EXPECT_LE(stats.max_abs_error.max(), bound);
+  EXPECT_GE(stats.max_abs_error.mean(), bound / 300.0);
+}
+
 TEST(StatisticalAcceptanceTest, BoundHoldsUnderAtLeastOnceDelivery) {
   // The fault-tolerant path is part of the product: duplication plus
   // reordering under idempotent dedup (and periodic checkpoint/restore)

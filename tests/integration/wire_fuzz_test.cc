@@ -1,6 +1,7 @@
 // Adversarial wire-decoder fuzzing: starting from VALID encoded payloads
-// (registration/report batches, server snapshots, full aggregator
-// checkpoints, delta checkpoints), mutate them — truncation at every byte offset, single-bit flips at every
+// (registration/report batches, server snapshots — dyadic, sketch-backed
+// and direct-estimator — full aggregator checkpoints, delta checkpoints,
+// and kind-9 longitudinal fleet blobs), mutate them — truncation at every byte offset, single-bit flips at every
 // bit position, overlong varints, random multi-byte garbage — and assert
 // the decoders never crash, never loop, and never silently accept what the
 // format can detect. Snapshot blobs and v2 transport batches carry a
@@ -19,10 +20,12 @@
 #include <gtest/gtest.h>
 
 #include "futurerand/common/random.h"
+#include "futurerand/core/fleet.h"
 #include "futurerand/core/server.h"
 #include "futurerand/core/snapshot.h"
 #include "futurerand/core/wire.h"
 #include "futurerand/net/frame.h"
+#include "futurerand/randomizer/randomizer.h"
 #include "testsupport/env_scaling.h"
 
 namespace futurerand::core {
@@ -39,9 +42,26 @@ struct ValidPayloads {
   std::string reports_v2;
   std::string server_state;
   std::string server_state_sketch;
+  std::string server_state_direct;
   std::string aggregator_state;
   std::string aggregator_delta;
+  std::string fleet_long_state;
 };
+
+// The kind-9 blob has no free-function decoder: it restores into a fleet
+// whose shape must match. This config (shared by the payload builder and
+// the mutation assertions) pins that shape.
+core::ProtocolConfig LongitudinalFleetConfig() {
+  core::ProtocolConfig config;
+  config.num_periods = 16;
+  config.max_changes = 4;
+  config.epsilon = 1.0;
+  config.longitudinal_alpha = 0.5;
+  config.randomizer = rand::RandomizerKind::kLGrr;
+  return config;
+}
+
+constexpr int64_t kLongitudinalFleetSize = 12;
 
 ValidPayloads MakePayloads(uint64_t seed) {
   Rng rng(seed * 2654435761 + 17);
@@ -82,7 +102,38 @@ ValidPayloads MakePayloads(uint64_t seed) {
             .ok());
     EXPECT_TRUE(sketch_server.SubmitReport(u, 16, rng.NextSign()).ok());
   }
+  // A direct-estimator server (the longitudinal aggregation mode): the
+  // kind-3/8 snapshots grow an estimator block, which the fuzzers must
+  // cover too. Direct mode restricts registrations to level 0.
+  EstimatorSpec direct;
+  direct.mode = EstimatorSpec::Mode::kDirect;
+  direct.direct_offset = -0.25;
+  Server direct_server =
+      Server::WithScales(16, {2.0, 0.0, 0.0, 0.0, 0.0},
+                         DedupPolicy::kIdempotent, {}, {}, direct)
+          .ValueOrDie();
+  for (int64_t u = 0; u < 10; ++u) {
+    EXPECT_TRUE(direct_server.RegisterClient(u, 0).ok());
+    EXPECT_TRUE(
+        direct_server
+            .SubmitReport(u, 1 + static_cast<int64_t>(rng.NextInt(16)),
+                          rng.NextSign())
+            .ok());
+  }
+  // A memoized longitudinal fleet a few ticks in: the FRW kind-9 blob.
+  auto fleet = core::ClientFleet::Create(LongitudinalFleetConfig(),
+                                         kLongitudinalFleetSize, seed + 99)
+                   .ValueOrDie();
+  std::vector<int8_t> states(kLongitudinalFleetSize);
+  for (int64_t t = 1; t <= 5; ++t) {
+    for (int64_t u = 0; u < kLongitudinalFleetSize; ++u) {
+      states[static_cast<size_t>(u)] = static_cast<int8_t>((u + t / 2) % 2);
+    }
+    EXPECT_TRUE(fleet.AdvanceTickEncoded(states).ok());
+  }
   ValidPayloads payloads;
+  payloads.server_state_direct = EncodeServerState(direct_server);
+  payloads.fleet_long_state = fleet.EncodeLongitudinalState().ValueOrDie();
   payloads.registrations = EncodeRegistrationBatch(registrations);
   payloads.reports = EncodeReportBatch(reports).ValueOrDie();
   payloads.registrations_v2 =
@@ -103,7 +154,14 @@ ValidPayloads MakePayloads(uint64_t seed) {
   return payloads;
 }
 
+core::ClientFleet MakeColdFleet(uint64_t seed = 1) {
+  return core::ClientFleet::Create(LongitudinalFleetConfig(),
+                                   kLongitudinalFleetSize, seed)
+      .ValueOrDie();
+}
+
 // Every decoder the wire surface exposes; none may crash on any input.
+// The kind-9 restore path is exercised through a matching cold fleet.
 void DecodeEverything(const std::string& bytes) {
   (void)PeekBatchKind(bytes);
   (void)DecodeRegistrationBatch(bytes);
@@ -111,6 +169,8 @@ void DecodeEverything(const std::string& bytes) {
   (void)DecodeServerState(bytes);
   (void)DecodeAggregatorState(bytes);
   (void)DecodeAggregatorDelta(bytes);
+  core::ClientFleet fleet = MakeColdFleet();
+  (void)fleet.RestoreLongitudinalState(bytes);
 }
 
 class WireAdversaryTest : public ::testing::TestWithParam<uint64_t> {};
@@ -121,7 +181,8 @@ TEST_P(WireAdversaryTest, TruncationAtEveryOffsetIsRejected) {
        {&payloads.registrations, &payloads.reports,
         &payloads.registrations_v2, &payloads.reports_v2,
         &payloads.server_state, &payloads.server_state_sketch,
-        &payloads.aggregator_state, &payloads.aggregator_delta}) {
+        &payloads.server_state_direct, &payloads.aggregator_state,
+        &payloads.aggregator_delta, &payloads.fleet_long_state}) {
     for (size_t length = 0; length < payload->size(); ++length) {
       const std::string prefix = payload->substr(0, length);
       DecodeEverything(prefix);
@@ -131,6 +192,8 @@ TEST_P(WireAdversaryTest, TruncationAtEveryOffsetIsRejected) {
       EXPECT_FALSE(DecodeServerState(prefix).ok());
       EXPECT_FALSE(DecodeAggregatorState(prefix).ok());
       EXPECT_FALSE(DecodeAggregatorDelta(prefix).ok());
+      core::ClientFleet fleet = MakeColdFleet();
+      EXPECT_FALSE(fleet.RestoreLongitudinalState(prefix).ok());
     }
   }
 }
@@ -167,7 +230,8 @@ TEST_P(WireAdversaryTest, BitFlippedBatchesNeverCrashAndStayWellFormed) {
 TEST_P(WireAdversaryTest, BitFlippedSnapshotsAreAlwaysRejected) {
   const ValidPayloads payloads = MakePayloads(GetParam());
   for (const std::string* payload :
-       {&payloads.server_state, &payloads.server_state_sketch}) {
+       {&payloads.server_state, &payloads.server_state_sketch,
+        &payloads.server_state_direct}) {
     for (size_t byte = 0; byte < payload->size(); ++byte) {
       for (int bit = 0; bit < 8; ++bit) {
         std::string corrupted = *payload;
@@ -204,6 +268,28 @@ TEST_P(WireAdversaryTest, EveryBitFlippedDeltaIsRejected) {
   }
 }
 
+TEST_P(WireAdversaryTest, EveryBitFlippedFleetStateIsRejected) {
+  // The FRW kind-9 fleet blob carries the memoized randomizer state and
+  // ends in the same FNV-1a trailer as the other snapshots: every
+  // single-bit flip must be rejected (the checksum, or for trailer flips
+  // the payload comparison), and a failed restore must leave the target
+  // fleet usable — all-or-nothing.
+  const ValidPayloads payloads = MakePayloads(GetParam());
+  for (size_t byte = 0; byte < payloads.fleet_long_state.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::string corrupted = payloads.fleet_long_state;
+      corrupted[byte] ^= static_cast<char>(1 << bit);
+      core::ClientFleet fleet = MakeColdFleet(GetParam() + 5);
+      EXPECT_FALSE(fleet.RestoreLongitudinalState(corrupted).ok())
+          << "byte " << byte << " bit " << bit;
+      // The pristine blob still restores into the untouched fleet.
+      EXPECT_TRUE(
+          fleet.RestoreLongitudinalState(payloads.fleet_long_state).ok())
+          << "byte " << byte << " bit " << bit;
+    }
+  }
+}
+
 TEST_P(WireAdversaryTest, EveryBitFlippedV2BatchIsRejected) {
   // v2 transport batches carry the same FNV-1a trailer as snapshots, so
   // the same exhaustive guarantee applies: every single-bit flip at every
@@ -233,7 +319,7 @@ TEST_P(WireAdversaryTest, OverlongVarintsAreRejected) {
   // implausible rather than allocating.
   Rng rng(GetParam() * 7 + 3);
   for (const char kind :
-       {char{1}, char{2}, char{3}, char{4}, char{5}, char{8}}) {
+       {char{1}, char{2}, char{3}, char{4}, char{5}, char{8}, char{9}}) {
     std::string overlong = {'F', 'R', 'W', 1, kind};
     for (int i = 0; i < 10; ++i) {
       overlong.push_back(static_cast<char>(0x80 | (rng.NextUint64() & 0x7f)));
@@ -245,6 +331,8 @@ TEST_P(WireAdversaryTest, OverlongVarintsAreRejected) {
     EXPECT_FALSE(DecodeServerState(overlong).ok());
     EXPECT_FALSE(DecodeAggregatorState(overlong).ok());
     EXPECT_FALSE(DecodeAggregatorDelta(overlong).ok());
+    core::ClientFleet fleet = MakeColdFleet();
+    EXPECT_FALSE(fleet.RestoreLongitudinalState(overlong).ok());
 
     std::string huge_count = {'F', 'R', 'W', 1, kind};
     for (int i = 0; i < 9; ++i) {
@@ -255,6 +343,7 @@ TEST_P(WireAdversaryTest, OverlongVarintsAreRejected) {
     DecodeEverything(huge_count);
     EXPECT_FALSE(DecodeRegistrationBatch(huge_count).ok());
     EXPECT_FALSE(DecodeReportBatch(huge_count).ok());
+    EXPECT_FALSE(fleet.RestoreLongitudinalState(huge_count).ok());
   }
 }
 
@@ -267,10 +356,12 @@ TEST_P(WireAdversaryTest, RandomMutationsNeverCrashTheDecoders) {
                                   &payloads.reports_v2,
                                   &payloads.server_state,
                                   &payloads.server_state_sketch,
+                                  &payloads.server_state_direct,
                                   &payloads.aggregator_state,
-                                  &payloads.aggregator_delta};
+                                  &payloads.aggregator_delta,
+                                  &payloads.fleet_long_state};
   for (int64_t round = 0; round < rounds; ++round) {
-    std::string mutated = *sources[rng.NextInt(8)];
+    std::string mutated = *sources[rng.NextInt(10)];
     const uint64_t mutations = 1 + rng.NextInt(8);
     for (uint64_t m = 0; m < mutations; ++m) {
       switch (rng.NextInt(4)) {
@@ -305,7 +396,8 @@ TEST_P(WireAdversaryTest, RandomMutationsNeverCrashTheDecoders) {
           << "mutated v2 framing accepted";
     }
     if (mutated != payloads.server_state &&
-        mutated != payloads.server_state_sketch) {
+        mutated != payloads.server_state_sketch &&
+        mutated != payloads.server_state_direct) {
       EXPECT_FALSE(DecodeServerState(mutated).ok());
     }
     if (mutated != payloads.aggregator_state) {
@@ -313,6 +405,10 @@ TEST_P(WireAdversaryTest, RandomMutationsNeverCrashTheDecoders) {
     }
     if (mutated != payloads.aggregator_delta) {
       EXPECT_FALSE(DecodeAggregatorDelta(mutated).ok());
+    }
+    if (mutated != payloads.fleet_long_state) {
+      core::ClientFleet fleet = MakeColdFleet();
+      EXPECT_FALSE(fleet.RestoreLongitudinalState(mutated).ok());
     }
   }
 }

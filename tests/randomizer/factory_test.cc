@@ -19,9 +19,9 @@ TEST(FactoryTest, KindNamesAreStable) {
 }
 
 TEST(FactoryTest, AllRandomizerKindsCoversTheEnum) {
-  // kAdaptive is the last enumerator; appending a kind forces the shared
+  // kLoloha is the last enumerator; appending a kind forces the shared
   // kAllRandomizerKinds array (randomizer.h) to be extended.
-  EXPECT_EQ(static_cast<size_t>(RandomizerKind::kAdaptive) + 1,
+  EXPECT_EQ(static_cast<size_t>(RandomizerKind::kLoloha) + 1,
             AllRandomizerKinds().size());
 }
 

@@ -6,11 +6,14 @@
 // and must fail here.
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
 
 #include "futurerand/common/threadpool.h"
+#include "futurerand/core/fleet.h"
+#include "futurerand/randomizer/randomizer.h"
 #include "futurerand/sim/runner.h"
 #include "futurerand/sim/workload.h"
 
@@ -210,6 +213,55 @@ TEST(SketchDeterminismTest, SketchDiffersFromDenseInTheSketchedRegime) {
           .ValueOrDie();
   EXPECT_NE(dense.estimates, sketched.estimates);
 }
+
+// ---------------------------------------------------------------------------
+// Longitudinal fleet-state determinism: the memoized randomizer state is
+// the only client-side state the FRW kind-9 codec persists, so a capture +
+// cold-restore cycle mid-run must be invisible — the restored fleet's
+// remaining ticks bit-identical to the uninterrupted one's. (The protocol
+// kinds themselves are already covered by the parameterized suite above,
+// which runs over every entry of kAllProtocolKinds.)
+
+class LongitudinalDeterminismTest
+    : public ::testing::TestWithParam<ProtocolKind> {};
+
+TEST_P(LongitudinalDeterminismTest, FleetStateRestoreCycleIsInvisible) {
+  core::ProtocolConfig config = TestConfig();
+  config.randomizer = GetParam() == ProtocolKind::kLGrr
+                          ? rand::RandomizerKind::kLGrr
+                      : GetParam() == ProtocolKind::kLOlh
+                          ? rand::RandomizerKind::kLOlh
+                          : rand::RandomizerKind::kLoloha;
+  const Workload workload = TestWorkload(61);
+  const int64_t n = workload.num_users();
+  auto plain = core::ClientFleet::Create(config, n, 62).ValueOrDie();
+  auto cycled = core::ClientFleet::Create(config, n, 62).ValueOrDie();
+  std::vector<int8_t> states(static_cast<size_t>(n));
+  for (int64_t t = 1; t <= config.num_periods; ++t) {
+    for (int64_t u = 0; u < n; ++u) {
+      states[static_cast<size_t>(u)] = workload.trace(u).StateAt(t);
+    }
+    EXPECT_EQ(plain.AdvanceTickEncoded(states).ValueOrDie(),
+              cycled.AdvanceTickEncoded(states).ValueOrDie())
+        << ProtocolKindToString(GetParam()) << " tick " << t;
+    if (t % 8 == 0) {
+      // Capture and restore into a cold fleet with a different base seed:
+      // the blob must carry everything the remaining ticks depend on.
+      const std::string blob =
+          cycled.EncodeLongitudinalState().ValueOrDie();
+      cycled = core::ClientFleet::Create(config, n, 63 + t).ValueOrDie();
+      ASSERT_TRUE(cycled.RestoreLongitudinalState(blob).ok());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    LongitudinalProtocols, LongitudinalDeterminismTest,
+    ::testing::Values(ProtocolKind::kLGrr, ProtocolKind::kLOlh,
+                      ProtocolKind::kLoloha),
+    [](const ::testing::TestParamInfo<ProtocolKind>& info) {
+      return ProtocolKindToString(info.param);
+    });
 
 TEST(DeterminismTest, RunRepeatedIsDeterministicForSameBaseSeed) {
   WorkloadConfig workload_config;

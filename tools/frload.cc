@@ -67,10 +67,16 @@ Result<rand::RandomizerKind> RandomizerFor(sim::ProtocolKind kind) {
       return rand::RandomizerKind::kBun;
     case sim::ProtocolKind::kAdaptive:
       return rand::RandomizerKind::kAdaptive;
+    case sim::ProtocolKind::kLGrr:
+      return rand::RandomizerKind::kLGrr;
+    case sim::ProtocolKind::kLOlh:
+      return rand::RandomizerKind::kLOlh;
+    case sim::ProtocolKind::kLoloha:
+      return rand::RandomizerKind::kLoloha;
     default:
       return Status::InvalidArgument(
           "frload drives the hierarchical pipelines only (future_rand | "
-          "independent | bun | adaptive)");
+          "independent | bun | adaptive | lgrr | lolh | loloha)");
   }
 }
 

@@ -39,6 +39,7 @@ int Run(int argc, char** argv) {
   int64_t d = 64;
   int64_t k = 4;
   double eps = 1.0;
+  double alpha = 0.5;
   std::string randomizer = "future_rand";
   int64_t shards = 0;
   int64_t workers = 2;
@@ -63,9 +64,12 @@ int Run(int argc, char** argv) {
   parser.AddInt64("d", &d, "time periods (power of two)");
   parser.AddInt64("k", &k, "per-user change budget");
   parser.AddDouble("eps", &eps, "privacy budget (0 < eps <= 1)");
+  parser.AddDouble("alpha", &alpha,
+                   "longitudinal eps_1/eps_perm split in (0, 1); only the "
+                   "lgrr | lolh | loloha randomizers read it");
   parser.AddString("randomizer", &randomizer,
-                   "future_rand | independent | bun | adaptive — must match "
-                   "the fleet that registers");
+                   "future_rand | independent | bun | adaptive | lgrr | "
+                   "lolh | loloha — must match the fleet that registers");
   parser.AddInt64("shards", &shards,
                   "aggregator shards (0 = one per worker)");
   parser.AddInt64("workers", &workers, "ingest worker threads");
@@ -116,17 +120,11 @@ int Run(int argc, char** argv) {
   config.protocol.num_periods = d;
   config.protocol.max_changes = k;
   config.protocol.epsilon = eps;
-  if (randomizer == "future_rand") {
-    config.protocol.randomizer = rand::RandomizerKind::kFutureRand;
-  } else if (randomizer == "independent") {
-    config.protocol.randomizer = rand::RandomizerKind::kIndependent;
-  } else if (randomizer == "bun") {
-    config.protocol.randomizer = rand::RandomizerKind::kBun;
-  } else if (randomizer == "adaptive") {
-    config.protocol.randomizer = rand::RandomizerKind::kAdaptive;
+  config.protocol.longitudinal_alpha = alpha;
+  if (const auto kind = rand::ParseRandomizerKind(randomizer); kind.ok()) {
+    config.protocol.randomizer = *kind;
   } else {
-    std::fprintf(stderr, "InvalidArgument: unknown --randomizer %s\n",
-                 randomizer.c_str());
+    std::fprintf(stderr, "%s\n", kind.status().ToString().c_str());
     return 2;
   }
   config.num_shards = static_cast<int>(shards);

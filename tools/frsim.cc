@@ -43,6 +43,7 @@ int Run(int argc, char** argv) {
   int64_t d = 256;
   int64_t k = 8;
   double eps = 1.0;
+  double alpha = 0.5;
   double workload_param = -1.0;
   int64_t reps = 3;
   int64_t seed = 1;
@@ -79,7 +80,8 @@ int Run(int argc, char** argv) {
   FlagParser parser;
   parser.AddString("protocol", &protocol_name,
                    "future_rand | independent | bun | adaptive | erlingsson "
-                   "| naive_rr | central_tree | non_private");
+                   "| naive_rr | central_tree | lgrr | lolh | loloha | "
+                   "non_private");
   parser.AddString("workload", &workload_name,
                    "uniform | bursty | periodic | trend | static | "
                    "adversarial");
@@ -87,6 +89,9 @@ int Run(int argc, char** argv) {
   parser.AddInt64("d", &d, "time periods (power of two)");
   parser.AddInt64("k", &k, "per-user change budget");
   parser.AddDouble("eps", &eps, "privacy budget (0 < eps <= 1)");
+  parser.AddDouble("alpha", &alpha,
+                   "longitudinal eps_1/eps_perm split in (0, 1); only the "
+                   "lgrr | lolh | loloha protocols read it");
   parser.AddDouble("workload_param", &workload_param,
                    "shape knob of the workload generator (see workload.h)");
   parser.AddInt64("reps", &reps, "independent repetitions");
@@ -199,6 +204,7 @@ int Run(int argc, char** argv) {
   config.num_periods = d;
   config.max_changes = k;
   config.epsilon = eps;
+  config.longitudinal_alpha = alpha;
   config.adapt_support_per_level = adapt_support;
   const auto store_kind = core::ParseStoreKind(store_name);
   if (!store_kind.ok()) {
