@@ -29,6 +29,7 @@
 #include "futurerand/core/aggregator.h"
 #include "futurerand/core/fleet.h"
 #include "futurerand/randomizer/randomizer.h"
+#include "futurerand/sim/workload_flags.h"
 
 namespace {
 
@@ -73,21 +74,18 @@ struct Measured {
 };
 
 Result<Measured> RunOnce(sim::ProtocolKind protocol,
-                         const core::ProtocolConfig& base, int64_t n,
+                         const core::ProtocolConfig& base,
+                         const sim::WorkloadConfig& workload_config,
                          int reps, uint64_t seed) {
   core::ProtocolConfig config = base;
   config.randomizer = RandomizerFor(protocol);
   FR_RETURN_NOT_OK(config.Validate());
+  const int64_t n = workload_config.num_users;
   Measured total;
   for (int r = 0; r < reps; ++r) {
     // The RunRepeated seed convention, so errors here match the harness.
     const uint64_t workload_seed = seed + static_cast<uint64_t>(2 * r + 1);
     const uint64_t protocol_seed = seed + static_cast<uint64_t>(2 * r + 2);
-    sim::WorkloadConfig workload_config;
-    workload_config.kind = sim::WorkloadKind::kUniformChanges;
-    workload_config.num_users = n;
-    workload_config.num_periods = config.num_periods;
-    workload_config.max_changes = config.max_changes;
     FR_ASSIGN_OR_RETURN(const sim::Workload workload,
                         sim::Workload::Generate(workload_config,
                                                 workload_seed));
@@ -156,8 +154,10 @@ int Run(int argc, char** argv) {
   int64_t seed = 1;
   bool json = false;
   bool help = false;
+  sim::WorkloadFlags workload_flags;
 
   FlagParser parser;
+  workload_flags.Register(&parser);
   parser.AddInt64("n", &n, "base number of users (n sweep: n/4, n, 4n)");
   parser.AddInt64("d", &d, "base time periods (d sweep: d/2, d, 2d)");
   parser.AddInt64("k", &k, "per-user change budget");
@@ -180,34 +180,49 @@ int Run(int argc, char** argv) {
     return 0;
   }
 
+  // A replay series pins (n, d) — a recorded run has a fixed horizon and
+  // population — so only the eps sweep applies there; every generated
+  // workload takes the full three-axis grid.
+  const bool replay = workload_flags.workload ==
+                      sim::WorkloadKindToString(sim::WorkloadKind::kReplay);
+
   // One-axis-at-a-time sweeps around the base point; the base point itself
   // appears once per axis so each sweep is self-contained.
   std::vector<GridPoint> grid;
   for (const double e : {eps / 4.0, eps / 2.0, eps}) {
     grid.push_back(GridPoint{"eps", n, d, e});
   }
-  for (const int64_t periods : {d / 2, d, d * 2}) {
-    grid.push_back(GridPoint{"d", n, periods, eps});
-  }
-  for (const int64_t users : {n / 4, n, n * 4}) {
-    grid.push_back(GridPoint{"n", users, d, eps});
+  if (!replay) {
+    for (const int64_t periods : {d / 2, d, d * 2}) {
+      grid.push_back(GridPoint{"d", n, periods, eps});
+    }
+    for (const int64_t users : {n / 4, n, n * 4}) {
+      grid.push_back(GridPoint{"n", users, d, eps});
+    }
   }
 
   if (!json) {
     std::printf(
         "shootout: error + bytes/report + CPU/report per protocol\n"
-        "(base n=%lld d=%lld k=%lld eps=%.3g alpha=%.3g, uniform workload, "
+        "(base n=%lld d=%lld k=%lld eps=%.3g alpha=%.3g, %s workload, "
         "%lld reps)\n\n",
         static_cast<long long>(n), static_cast<long long>(d),
-        static_cast<long long>(k), eps, alpha, static_cast<long long>(reps));
+        static_cast<long long>(k), eps, alpha,
+        workload_flags.workload.c_str(), static_cast<long long>(reps));
   }
   for (const GridPoint& point : grid) {
+    const auto workload_config = workload_flags.ToConfig(point.n, point.d, k);
+    if (!workload_config.ok()) {
+      std::fprintf(stderr, "%s\n",
+                   workload_config.status().ToString().c_str());
+      return 2;
+    }
     for (const sim::ProtocolKind protocol : kShootoutProtocols) {
       core::ProtocolConfig config =
           bench::MakeConfig(point.d, k, point.eps);
       config.longitudinal_alpha = alpha;
       const auto measured =
-          RunOnce(protocol, config, point.n, static_cast<int>(reps),
+          RunOnce(protocol, config, *workload_config, static_cast<int>(reps),
                   static_cast<uint64_t>(seed));
       if (!measured.ok()) {
         std::fprintf(stderr, "%s @ %s: %s\n",
@@ -221,6 +236,7 @@ int Run(int argc, char** argv) {
       JsonLine line;
       line.Add("bench", "shootout")
           .Add("axis", point.axis)
+          .Add("workload", workload_flags.workload)
           .Add("protocol", sim::ProtocolKindToString(protocol))
           .Add("n", point.n)
           .Add("d", point.d)

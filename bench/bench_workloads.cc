@@ -1,56 +1,131 @@
 // E10 — robustness of the sqrt(k) win across data shapes: the protocol's
 // guarantees are worst-case over any k-change workload, so the comparison
 // should hold whether changes are uniform, bursty, periodic, trending,
-// static or adversarially synchronized.
+// static, adversarially synchronized — or non-stationary (churning,
+// drifting, shocked, Zipf-skewed; see workload.h). Every generatable
+// WorkloadKind gets a row (replay joins when --replay points at a recorded
+// series); --json emits one machine-readable line per (workload, protocol)
+// so CI's bench-smoke artifact tracks per-regime accuracy over time:
+//
+//   {"bench":"workloads","workload":"shock","protocol":"future_rand",
+//    "n":...,"d":...,"k":...,"eps":...,"reps":...,"mean_max_error":...}
 
 #include <cstdio>
 #include <iostream>
+#include <string>
+#include <vector>
 
 #include "bench_common.h"
+#include "futurerand/common/flags.h"
 #include "futurerand/common/table_printer.h"
 #include "futurerand/common/threadpool.h"
+#include "futurerand/sim/workload_flags.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace futurerand;
   using namespace futurerand::bench;
 
-  const int64_t n = 10000;
-  const int64_t d = 128;
-  const int64_t k = 32;
-  const double eps = 1.0;
-  const int reps = 3;
+  int64_t n = 10000;
+  int64_t d = 128;
+  int64_t k = 32;
+  double eps = 1.0;
+  int64_t reps = 3;
+  int64_t seed = 17;
+  std::string replay_path;
+  bool json = false;
+  bool help = false;
+
+  FlagParser parser;
+  parser.AddInt64("n", &n, "number of users");
+  parser.AddInt64("d", &d, "time periods (power of two)");
+  parser.AddInt64("k", &k, "per-user change budget");
+  parser.AddDouble("eps", &eps, "privacy budget");
+  parser.AddInt64("reps", &reps, "repetitions per (workload, protocol)");
+  parser.AddInt64("seed", &seed, "base seed (deterministic)");
+  parser.AddString("replay", &replay_path,
+                   "optional recorded t,truth series; adds the replay "
+                   "workload row (must have exactly d rows)");
+  parser.AddBool("json", &json,
+                 "emit one JSON line per (workload, protocol)");
+  parser.AddBool("help", &help, "print usage");
+  if (const Status status = parser.Parse(argc, argv); !status.ok()) {
+    std::fprintf(stderr, "%s\n%s", status.ToString().c_str(),
+                 parser.Usage("bench_workloads").c_str());
+    return 2;
+  }
+  if (help) {
+    std::fputs(parser.Usage("bench_workloads").c_str(), stdout);
+    return 0;
+  }
+
   ThreadPool pool(ThreadPool::DefaultThreadCount());
 
-  std::printf(
-      "E10: workload ablation   (n=%lld, d=%lld, k=%lld, eps=%.2f, %d "
-      "reps)\n\n",
-      static_cast<long long>(n), static_cast<long long>(d),
-      static_cast<long long>(k), eps, reps);
+  if (!json) {
+    std::printf(
+        "E10: workload ablation   (n=%lld, d=%lld, k=%lld, eps=%.2f, %lld "
+        "reps)\n\n",
+        static_cast<long long>(n), static_cast<long long>(d),
+        static_cast<long long>(k), eps, static_cast<long long>(reps));
+  }
 
   TablePrinter table({"workload", "future_rand", "erlingsson", "independent",
-                      "erl/ours"});
-  for (sim::WorkloadKind kind :
-       {sim::WorkloadKind::kUniformChanges, sim::WorkloadKind::kBursty,
-        sim::WorkloadKind::kPeriodic, sim::WorkloadKind::kTrend,
-        sim::WorkloadKind::kStatic, sim::WorkloadKind::kAdversarial}) {
+                      "lgrr", "erl/ours"});
+  for (sim::WorkloadKind kind : sim::AllWorkloadKinds()) {
+    sim::WorkloadConfig workload = MakeWorkload(kind, n, d, k);
+    if (kind == sim::WorkloadKind::kReplay) {
+      if (replay_path.empty()) {
+        continue;  // a replay row needs a recorded series to replay
+      }
+      workload.replay_path = replay_path;
+    }
     const auto config = MakeConfig(d, k, eps);
-    const auto workload = MakeWorkload(kind, n, d, k);
     const double ours = MeanMaxError(sim::ProtocolKind::kFutureRand, config,
-                                     workload, reps, 17, &pool);
-    const double erlingsson = MeanMaxError(sim::ProtocolKind::kErlingsson,
-                                           config, workload, reps, 18, &pool);
-    const double independent =
-        MeanMaxError(sim::ProtocolKind::kIndependent, config, workload, reps,
-                     19, &pool);
-    table.AddRow({sim::WorkloadKindToString(kind),
-                  TablePrinter::FormatDouble(ours),
-                  TablePrinter::FormatDouble(erlingsson),
-                  TablePrinter::FormatDouble(independent),
-                  TablePrinter::FormatDouble(erlingsson / ours, 3)});
+                                     workload, static_cast<int>(reps),
+                                     static_cast<uint64_t>(seed), &pool);
+    const double erlingsson = MeanMaxError(
+        sim::ProtocolKind::kErlingsson, config, workload,
+        static_cast<int>(reps), static_cast<uint64_t>(seed + 1), &pool);
+    const double independent = MeanMaxError(
+        sim::ProtocolKind::kIndependent, config, workload,
+        static_cast<int>(reps), static_cast<uint64_t>(seed + 2), &pool);
+    const double lgrr = MeanMaxError(
+        sim::ProtocolKind::kLGrr, config, workload, static_cast<int>(reps),
+        static_cast<uint64_t>(seed + 3), &pool);
+    if (json) {
+      const struct {
+        const char* protocol;
+        double error;
+      } rows[] = {{"future_rand", ours},
+                  {"erlingsson", erlingsson},
+                  {"independent", independent},
+                  {"lgrr", lgrr}};
+      for (const auto& row : rows) {
+        JsonLine line;
+        line.Add("bench", "workloads")
+            .Add("workload", sim::WorkloadKindToString(kind))
+            .Add("protocol", row.protocol)
+            .Add("n", n)
+            .Add("d", d)
+            .Add("k", k)
+            .Add("eps", eps)
+            .Add("reps", reps)
+            .Add("mean_max_error", row.error);
+        std::printf("%s\n", line.Str().c_str());
+      }
+    } else {
+      table.AddRow({sim::WorkloadKindToString(kind),
+                    TablePrinter::FormatDouble(ours),
+                    TablePrinter::FormatDouble(erlingsson),
+                    TablePrinter::FormatDouble(independent),
+                    TablePrinter::FormatDouble(lgrr),
+                    TablePrinter::FormatDouble(erlingsson / ours, 3)});
+    }
   }
-  table.Print(std::cout);
-  std::printf(
-      "\nExpected shape: ours wins on every row — the noise floor depends\n"
-      "on (n, d, k, eps), not on where the changes fall.\n");
+  if (!json) {
+    table.Print(std::cout);
+    std::printf(
+        "\nExpected shape: ours wins on every row — the noise floor "
+        "depends\non (n, d, k, eps), not on where the changes fall.\n");
+  }
   return 0;
 }

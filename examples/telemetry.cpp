@@ -12,9 +12,10 @@
 #include "futurerand/common/macros.h"
 #include "futurerand/core/accountant.h"
 #include "futurerand/sim/runner.h"
+#include "futurerand/sim/trace.h"
 #include "futurerand/sim/workload.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace futurerand;
 
   sim::WorkloadConfig population;
@@ -70,5 +71,15 @@ int main() {
       "introduction warns about.\n",
       hours_until_exhausted,
       static_cast<long long>(population.num_periods));
+
+  // Optional trace export: `telemetry /tmp/flags.csv` records the run in
+  // the t,truth,estimate,abs_error shape, which doubles as a replay
+  // workload — `frsim --workload=replay --replay=/tmp/flags.csv`
+  // reproduces this rollout's exact hourly counts under any protocol.
+  if (argc > 1) {
+    FR_CHECK_OK(sim::WriteRunCsv(argv[1], adaptive, workload));
+    std::printf("\ntrace written to %s (replay it with frsim "
+                "--workload=replay --replay=%s)\n", argv[1], argv[1]);
+  }
   return 0;
 }

@@ -13,6 +13,7 @@
 #include "futurerand/common/threadpool.h"
 #include "futurerand/sim/metrics.h"
 #include "futurerand/sim/runner.h"
+#include "futurerand/sim/trace.h"
 #include "futurerand/sim/workload.h"
 
 namespace {
@@ -32,7 +33,7 @@ void PrintSeries(const char* label, const std::vector<double>& series,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace futurerand;
 
   // 256 days, 200k users; the URL enters/leaves "frequent" lists at most 6
@@ -84,5 +85,15 @@ int main() {
       baseline.metrics.max_abs / ours.metrics.max_abs,
       static_cast<long long>(population.max_changes));
   FR_CHECK(ours.metrics.max_abs > 0.0);
+
+  // Optional trace export: `url_tracking /tmp/urls.csv` records the run in
+  // the t,truth,estimate,abs_error shape, which doubles as a replay
+  // workload — `frsim --workload=replay --replay=/tmp/urls.csv` reproduces
+  // this population's exact daily counts under any protocol.
+  if (argc > 1) {
+    FR_CHECK_OK(sim::WriteRunCsv(argv[1], ours, workload));
+    std::printf("\ntrace written to %s (replay it with frsim "
+                "--workload=replay --replay=%s)\n", argv[1], argv[1]);
+  }
   return 0;
 }

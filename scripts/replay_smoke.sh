@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Trace-replay smoke: record a run's t,truth,estimate,abs_error CSV with
+# frsim --csv, then feed the same file back through --workload=replay. The
+# replay decomposition reproduces the recorded ground truth exactly, so the
+# second run must come up with a workload whose truth column round-trips —
+# frsim exiting 0 on the replayed file is the contract under test (the
+# exact-count round-trip itself is pinned by tests/sim/trace_test.cc).
+#
+# The binary comes from $FRSIM (set by the workload_smoke.replay CTest
+# entry) or defaults to the build tree.
+set -euo pipefail
+
+FRSIM="${FRSIM:-build/tools/frsim}"
+
+workdir="$(mktemp -d)"
+cleanup() { rm -rf "$workdir"; }
+trap cleanup EXIT
+
+csv="$workdir/recorded.csv"
+
+"$FRSIM" --workload=shock --shock-fraction=0.5 --n=1500 --d=32 --k=4 \
+  --eps=1.0 --reps=1 --seed=11 --csv="$csv" >"$workdir/record.out"
+grep -q "trace written" "$workdir/record.out"
+
+# 1 header row + d data rows.
+[[ "$(wc -l <"$csv")" -eq 33 ]]
+
+"$FRSIM" --workload=replay --replay="$csv" --n=1500 --d=32 --k=4 \
+  --eps=1.0 --reps=1 --seed=12 >"$workdir/replay.out"
+grep -q "future_rand over replay" "$workdir/replay.out"
+echo "replay smoke OK"

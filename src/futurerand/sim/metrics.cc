@@ -16,15 +16,15 @@ std::string ErrorMetrics::ToString() const {
 }
 
 std::string DeliveryMetrics::ToString() const {
-  // Worst case: ~240 chars of fixed text + nineteen 20-digit int64 fields.
-  char buffer[640];
+  // Worst case: ~260 chars of fixed text + twenty 20-digit int64 fields.
+  char buffer[704];
   std::snprintf(
       buffer, sizeof(buffer),
       "DeliveryMetrics{sent=%lld dropped=%lld outage_dropped=%lld "
       "dup=%lld delayed=%lld delivered=%lld applied=%lld deduped=%lld "
       "stale=%lld reordered=%lld corrupted=%lld burst_batches=%lld "
       "outages=%lld nack=%lld retx=%lld ckpt=%lld ckpt_bytes=%lld "
-      "delta_ckpt=%lld delta_bytes=%lld}",
+      "delta_ckpt=%lld delta_bytes=%lld rereg=%lld}",
       static_cast<long long>(records_sent),
       static_cast<long long>(records_dropped),
       static_cast<long long>(records_outage_dropped),
@@ -43,7 +43,8 @@ std::string DeliveryMetrics::ToString() const {
       static_cast<long long>(checkpoints_taken),
       static_cast<long long>(checkpoint_bytes),
       static_cast<long long>(delta_checkpoints_taken),
-      static_cast<long long>(delta_checkpoint_bytes));
+      static_cast<long long>(delta_checkpoint_bytes),
+      static_cast<long long>(registrations_replayed));
   return buffer;
 }
 

@@ -52,6 +52,8 @@ struct DeliveryMetrics {
   int64_t checkpoint_bytes = 0;       // total checkpoint blob size
   int64_t delta_checkpoints_taken = 0;  // of checkpoints_taken, deltas
   int64_t delta_checkpoint_bytes = 0;   // of checkpoint_bytes, delta blobs
+  int64_t registrations_replayed = 0;   // mid-stream joiner re-registrations
+                                        // shipped over the wire (churn runs)
 
   std::string ToString() const;
 };

@@ -15,6 +15,7 @@
 #include "futurerand/core/fleet.h"
 #include "futurerand/core/naive_rr.h"
 #include "futurerand/core/reference.h"
+#include "futurerand/core/wire.h"
 
 namespace futurerand::sim {
 
@@ -78,6 +79,29 @@ Result<RunResult> RunHierarchical(const core::ProtocolConfig& config,
 
   RunResult result;
 
+  // Churn workloads carry per-user presence windows: a joiner (join > 1)
+  // re-registers over the wire at its join tick, exactly as a device coming
+  // online mid-collection would. The duplicate registration is absorbed by
+  // kIdempotent dedup (under kStrict it would be an ingest error, so the
+  // replay only runs there), and it rides the v-versioned registration
+  // framing but NOT the lossy channel — registration is control-plane
+  // traffic with its own reliable path, and keeping it off the channel
+  // leaves the channel's RNG stream untouched, which is what makes a churn
+  // run bit-identical to its truncated-trace twin.
+  std::vector<std::vector<int64_t>> joiners_by_tick;
+  const bool replay_joins = workload.has_presence() &&
+                            faults.dedup == core::DedupPolicy::kIdempotent;
+  if (replay_joins) {
+    joiners_by_tick.resize(static_cast<size_t>(config.num_periods) + 1);
+    const std::vector<PresenceWindow>& presence = workload.presence();
+    for (int64_t u = 0; u < n; ++u) {
+      const int64_t join = presence[static_cast<size_t>(u)].join;
+      if (join > 1) {
+        joiners_by_tick[static_cast<size_t>(join)].push_back(u);
+      }
+    }
+  }
+
   // Ships one delivered batch over the real wire encoding through the
   // shared NACK retransmission loop (DeliverEncodedWithRetransmission).
   auto deliver = [&](const core::ReportBatch& delivered) -> Status {
@@ -117,6 +141,20 @@ Result<RunResult> RunHierarchical(const core::ProtocolConfig& config,
       pool->ParallelFor(n, update_states);
     } else {
       update_states(0, n);
+    }
+    if (replay_joins && !joiners_by_tick[static_cast<size_t>(t)].empty()) {
+      // This tick's joiners announce themselves before their first report.
+      std::vector<core::RegistrationMessage> reregistrations;
+      for (const int64_t u : joiners_by_tick[static_cast<size_t>(t)]) {
+        reregistrations.push_back(
+            fleet.registrations()[static_cast<size_t>(u)]);
+      }
+      const std::string encoded =
+          core::EncodeRegistrationBatch(reregistrations, faults.wire_version);
+      core::IngestOutcome outcome;
+      FR_RETURN_NOT_OK(aggregator.IngestEncoded(encoded, pool, &outcome));
+      result.delivery.registrations_replayed +=
+          static_cast<int64_t>(reregistrations.size());
     }
     FR_RETURN_NOT_OK(fleet.AdvanceTick(states, &batch));
     reports += static_cast<int64_t>(batch.size());

@@ -1,6 +1,12 @@
 #include "futurerand/sim/workload.h"
 
 #include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <functional>
+#include <queue>
+#include <sstream>
 #include <utility>
 
 #include "futurerand/common/macros.h"
@@ -42,8 +48,35 @@ const char* WorkloadKindToString(WorkloadKind kind) {
       return "static";
     case WorkloadKind::kAdversarial:
       return "adversarial";
+    case WorkloadKind::kChurn:
+      return "churn";
+    case WorkloadKind::kDrift:
+      return "drift";
+    case WorkloadKind::kShock:
+      return "shock";
+    case WorkloadKind::kZipf:
+      return "zipf";
+    case WorkloadKind::kReplay:
+      return "replay";
   }
   return "unknown";
+}
+
+Result<WorkloadKind> ParseWorkloadKind(const std::string& name) {
+  for (WorkloadKind kind : AllWorkloadKinds()) {
+    if (name == WorkloadKindToString(kind)) {
+      return kind;
+    }
+  }
+  std::string known;
+  for (WorkloadKind kind : AllWorkloadKinds()) {
+    if (!known.empty()) {
+      known += "|";
+    }
+    known += WorkloadKindToString(kind);
+  }
+  return Status::InvalidArgument("unknown workload: " + name + " (expected " +
+                                 known + ")");
 }
 
 Status WorkloadConfig::Validate() const {
@@ -56,7 +89,139 @@ Status WorkloadConfig::Validate() const {
   if (max_changes < 1 || max_changes > num_periods) {
     return Status::InvalidArgument("require 1 <= max_changes <= num_periods");
   }
+  // `param` is read only by the three legacy shapes below; everywhere else a
+  // set value is a caller mixing up knobs, not a no-op — reject it loudly.
+  const bool reads_param = kind == WorkloadKind::kBursty ||
+                           kind == WorkloadKind::kTrend ||
+                           kind == WorkloadKind::kStatic;
+  if (reads_param) {
+    if (param != -1.0 && !(param > 0.0 && param <= 1.0)) {
+      return Status::InvalidArgument(
+          std::string("param for the ") + WorkloadKindToString(kind) +
+          " workload must be in (0, 1] or unset (-1)");
+    }
+  } else if (param != -1.0) {
+    return Status::InvalidArgument(
+        std::string("the ") + WorkloadKindToString(kind) +
+        " workload does not read param (only bursty/trend/static do); use "
+        "its named shape knobs and leave param unset (-1)");
+  }
+  switch (kind) {
+    case WorkloadKind::kChurn:
+      if (!(churn_join_fraction >= 0.0 && churn_join_fraction <= 1.0)) {
+        return Status::InvalidArgument(
+            "churn_join_fraction must be in [0, 1]");
+      }
+      if (!(churn_leave_fraction >= 0.0 && churn_leave_fraction <= 1.0)) {
+        return Status::InvalidArgument(
+            "churn_leave_fraction must be in [0, 1]");
+      }
+      break;
+    case WorkloadKind::kDrift:
+      if (!(drift_ramp > 0.0) || !std::isfinite(drift_ramp)) {
+        return Status::InvalidArgument(
+            "drift_ramp must be finite and > 0 (it is the end/start "
+            "change-intensity ratio)");
+      }
+      break;
+    case WorkloadKind::kShock:
+      if (shock_time < 0 || shock_time > num_periods) {
+        return Status::InvalidArgument(
+            "shock_time must be in [0, num_periods] (0 picks d/2)");
+      }
+      if (!(shock_fraction >= 0.0 && shock_fraction <= 1.0)) {
+        return Status::InvalidArgument("shock_fraction must be in [0, 1]");
+      }
+      if (shock_width < 0 || shock_width > num_periods) {
+        return Status::InvalidArgument(
+            "shock_width must be in [0, num_periods] (0 picks max(1, d/16))");
+      }
+      break;
+    case WorkloadKind::kZipf:
+      if (zipf_items < 1) {
+        return Status::InvalidArgument("zipf_items must be >= 1");
+      }
+      if (!(zipf_exponent > 0.0) || !std::isfinite(zipf_exponent)) {
+        return Status::InvalidArgument(
+            "zipf_exponent must be finite and > 0");
+      }
+      if (zipf_track_rank < 1 || zipf_track_rank > zipf_items) {
+        return Status::InvalidArgument(
+            "zipf_track_rank must be in [1, zipf_items]");
+      }
+      break;
+    default:
+      break;
+  }
   return Status::OK();
+}
+
+Result<std::vector<int64_t>> ReadReplayTruthCsv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.is_open()) {
+    return Status::NotFound("cannot open replay file: " + path);
+  }
+  std::vector<int64_t> truth;
+  std::string line;
+  int64_t row = 0;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') {
+      line.pop_back();
+    }
+    if (line.empty()) {
+      continue;
+    }
+    // Split off the first two comma fields (t, truth); trailing columns —
+    // the estimate/abs_error WriteRunCsv appends — are ignored.
+    const size_t c1 = line.find(',');
+    if (c1 == std::string::npos) {
+      return Status::InvalidArgument(
+          "replay file " + path + ": expected at least two comma-separated "
+          "columns (t, truth), got: " + line);
+    }
+    const size_t c2 = line.find(',', c1 + 1);
+    const std::string t_field = line.substr(0, c1);
+    const std::string truth_field =
+        line.substr(c1 + 1, c2 == std::string::npos ? std::string::npos
+                                                    : c2 - c1 - 1);
+    char* end = nullptr;
+    const double t_value = std::strtod(t_field.c_str(), &end);
+    if (end == t_field.c_str() || *end != '\0') {
+      if (row == 0 && truth.empty()) {
+        // A non-numeric first row is the header WriteRunCsv emits.
+        ++row;
+        continue;
+      }
+      return Status::InvalidArgument("replay file " + path +
+                                     ": non-numeric t field: " + t_field);
+    }
+    end = nullptr;
+    const double truth_value = std::strtod(truth_field.c_str(), &end);
+    if (end == truth_field.c_str() || *end != '\0') {
+      return Status::InvalidArgument(
+          "replay file " + path + ": non-numeric truth field: " + truth_field);
+    }
+    const auto expected_t = static_cast<double>(truth.size() + 1);
+    if (t_value != expected_t) {
+      return Status::InvalidArgument(
+          "replay file " + path + ": rows must be consecutive from t=1 (got "
+          "t=" + t_field + " where t=" + std::to_string(truth.size() + 1) +
+          " was expected)");
+    }
+    const double rounded = std::nearbyint(truth_value);
+    if (std::abs(truth_value - rounded) > 1e-6) {
+      return Status::InvalidArgument("replay file " + path +
+                                     ": truth must be integer-valued, got: " +
+                                     truth_field);
+    }
+    truth.push_back(static_cast<int64_t>(rounded));
+    ++row;
+  }
+  if (truth.empty()) {
+    return Status::InvalidArgument("replay file " + path +
+                                   ": no data rows");
+  }
+  return truth;
 }
 
 namespace {
@@ -154,10 +319,229 @@ UserTrace GenerateAdversarial(const std::vector<int64_t>& shared_times) {
   return trace;
 }
 
+// A churning client: joins at `window->join` (1 = present from the start,
+// otherwise uniform in [2..d] for a churn_join_fraction of users), leaves at
+// `window->leave` (d = stays to the end, otherwise uniform in [join..d-1]
+// for a churn_leave_fraction). The value-domain convention: state is 0
+// before the join tick, changes happen strictly inside [join..leave-1], and
+// a leaver whose state would still be 1 gets a forced change at the leave
+// tick returning it to 0 — so absent users contribute nothing to a[t].
+UserTrace GenerateChurn(const WorkloadConfig& config, Rng* rng,
+                        PresenceWindow* window) {
+  const int64_t d = config.num_periods;
+  int64_t join = 1;
+  if (d >= 2 && rng->NextBernoulli(config.churn_join_fraction)) {
+    join = 2 + static_cast<int64_t>(rng->NextInt(static_cast<uint64_t>(d - 1)));
+  }
+  int64_t leave = d;
+  if (join <= d - 1 && rng->NextBernoulli(config.churn_leave_fraction)) {
+    leave =
+        join + static_cast<int64_t>(rng->NextInt(static_cast<uint64_t>(d - join)));
+  }
+  window->join = join;
+  window->leave = leave;
+
+  // Interior changes live in [join..leave-1] when the user leaves early
+  // (one change is reserved for the forced return to 0), in [join..d] for a
+  // user that stays.
+  const bool leaves_early = leave < d;
+  const int64_t hi = leaves_early ? leave - 1 : d;
+  const int64_t span = hi - join + 1;
+  const int64_t budget = leaves_early ? config.max_changes - 1
+                                      : config.max_changes;
+  const int64_t limit = std::max<int64_t>(0, std::min(budget, span));
+  const auto count =
+      static_cast<int64_t>(rng->NextInt(static_cast<uint64_t>(limit) + 1));
+  UserTrace trace;
+  if (count > 0) {
+    std::vector<uint64_t> raw(static_cast<size_t>(count));
+    rng->SampleWithoutReplacement(static_cast<uint64_t>(span),
+                                  static_cast<uint64_t>(count), raw.data());
+    trace.change_times.resize(raw.size());
+    for (size_t i = 0; i < raw.size(); ++i) {
+      trace.change_times[i] = join + static_cast<int64_t>(raw[i]);
+    }
+    std::sort(trace.change_times.begin(), trace.change_times.end());
+  }
+  if (leaves_early && (trace.NumChanges() & 1)) {
+    trace.change_times.push_back(leave);  // forced return to 0 on departure
+  }
+  return trace;
+}
+
+// Cumulative weights of the drifting change intensity: W[t] sums
+// w(s) = 1 + (ramp - 1) * (s - 1) / (d - 1) for s = 1..t, so inverse-CDF
+// sampling on W places a change in period t with probability w(t) / W[d].
+std::vector<double> DriftCumulativeWeights(const WorkloadConfig& config) {
+  const int64_t d = config.num_periods;
+  std::vector<double> cumulative(static_cast<size_t>(d) + 1, 0.0);
+  for (int64_t t = 1; t <= d; ++t) {
+    const double position =
+        d > 1 ? static_cast<double>(t - 1) / static_cast<double>(d - 1) : 0.0;
+    const double weight = 1.0 + (config.drift_ramp - 1.0) * position;
+    cumulative[static_cast<size_t>(t)] =
+        cumulative[static_cast<size_t>(t - 1)] + weight;
+  }
+  return cumulative;
+}
+
+UserTrace GenerateDrift(const WorkloadConfig& config,
+                        const std::vector<double>& cumulative, Rng* rng) {
+  const int64_t d = config.num_periods;
+  const int64_t limit = std::min(config.max_changes, d);
+  const auto count =
+      static_cast<int64_t>(rng->NextInt(static_cast<uint64_t>(limit) + 1));
+  const double total = cumulative[static_cast<size_t>(d)];
+  std::vector<bool> used(static_cast<size_t>(d) + 1, false);
+  UserTrace trace;
+  for (int64_t c = 0; c < count; ++c) {
+    int64_t t = 0;
+    // Inverse-CDF draw with rejection on collisions; after a bounded number
+    // of rejected draws fall forward deterministically to the next free
+    // period (count <= d guarantees one exists).
+    for (int attempt = 0; attempt < 64; ++attempt) {
+      const double u = rng->NextDouble() * total;
+      const auto it =
+          std::upper_bound(cumulative.begin() + 1, cumulative.end(), u);
+      t = std::min<int64_t>(d, it - cumulative.begin());
+      if (!used[static_cast<size_t>(t)]) {
+        break;
+      }
+      t = 0;
+    }
+    if (t == 0) {
+      for (int64_t s = 1; s <= d; ++s) {
+        if (!used[static_cast<size_t>(s)]) {
+          t = s;
+          break;
+        }
+      }
+    }
+    used[static_cast<size_t>(t)] = true;
+    trace.change_times.push_back(t);
+  }
+  std::sort(trace.change_times.begin(), trace.change_times.end());
+  return trace;
+}
+
+// The flash crowd: a shock_fraction of users flips to 1 in unison at the
+// shock tick and flips back at a uniform offset in [1..width] after it (if
+// the revert still fits the horizon and the budget allows a second change);
+// everyone else is ordinary uniform background traffic.
+UserTrace GenerateShock(const WorkloadConfig& config, int64_t shock_t,
+                        int64_t width, Rng* rng) {
+  if (!rng->NextBernoulli(config.shock_fraction)) {
+    return GenerateUniform(config, rng);
+  }
+  UserTrace trace;
+  trace.change_times.push_back(shock_t);
+  const int64_t revert =
+      shock_t + 1 + static_cast<int64_t>(rng->NextInt(
+                        static_cast<uint64_t>(width)));
+  if (config.max_changes >= 2 && revert <= config.num_periods) {
+    trace.change_times.push_back(revert);
+  }
+  return trace;
+}
+
+// Zipf cumulative pmf over ranks 1..V with exponent s: p(i) proportional to
+// i^-s.
+std::vector<double> ZipfCumulative(const WorkloadConfig& config) {
+  std::vector<double> cumulative(static_cast<size_t>(config.zipf_items) + 1,
+                                 0.0);
+  for (int64_t i = 1; i <= config.zipf_items; ++i) {
+    cumulative[static_cast<size_t>(i)] =
+        cumulative[static_cast<size_t>(i - 1)] +
+        std::pow(static_cast<double>(i), -config.zipf_exponent);
+  }
+  return cumulative;
+}
+
+int64_t SampleZipf(const std::vector<double>& cumulative, Rng* rng) {
+  const double u = rng->NextDouble() * cumulative.back();
+  const auto it =
+      std::upper_bound(cumulative.begin() + 1, cumulative.end(), u);
+  return std::min<int64_t>(static_cast<int64_t>(cumulative.size()) - 1,
+                           it - cumulative.begin());
+}
+
+// Each user holds one item drawn from the Zipf popularity distribution and
+// re-draws it at uniformly placed switch times in [2..d]. The tracked
+// Boolean is "currently holding the rank-`zipf_track_rank` item": a switch
+// flips the trace only when it crosses the tracked item, so the change
+// count is bounded by 1 (the possible t=1 adoption) + the switch budget.
+UserTrace GenerateZipf(const WorkloadConfig& config,
+                       const std::vector<double>& cumulative, Rng* rng) {
+  const int64_t d = config.num_periods;
+  const int64_t track = config.zipf_track_rank;
+  int64_t item = SampleZipf(cumulative, rng);
+  UserTrace trace;
+  if (item == track) {
+    trace.change_times.push_back(1);
+  }
+  // Budget: one change is reserved above, so at most k-1 switches can flip
+  // the tracked indicator — and since only every other crossing flips state
+  // back, k-1 switches can never exceed the budget.
+  const int64_t switch_limit =
+      std::min<int64_t>(config.max_changes - 1, d - 1);
+  if (switch_limit <= 0) {
+    return trace;
+  }
+  const auto switches = static_cast<int64_t>(
+      rng->NextInt(static_cast<uint64_t>(switch_limit) + 1));
+  if (switches == 0) {
+    return trace;
+  }
+  std::vector<uint64_t> raw(static_cast<size_t>(switches));
+  rng->SampleWithoutReplacement(static_cast<uint64_t>(d - 1),
+                                static_cast<uint64_t>(switches), raw.data());
+  std::vector<int64_t> switch_times(raw.size());
+  for (size_t i = 0; i < raw.size(); ++i) {
+    switch_times[i] = static_cast<int64_t>(raw[i]) + 2;  // in [2..d]
+  }
+  std::sort(switch_times.begin(), switch_times.end());
+  for (int64_t t : switch_times) {
+    const int64_t next = SampleZipf(cumulative, rng);
+    if ((item == track) != (next == track)) {
+      trace.change_times.push_back(t);
+    }
+    item = next;
+  }
+  return trace;
+}
+
+Status ValidateTrace(const UserTrace& trace, const WorkloadConfig& config,
+                     int64_t user) {
+  if (trace.NumChanges() > config.max_changes) {
+    return Status::InvalidArgument(
+        "trace for user " + std::to_string(user) + " has " +
+        std::to_string(trace.NumChanges()) + " changes, budget is " +
+        std::to_string(config.max_changes));
+  }
+  int64_t previous = 0;
+  for (int64_t t : trace.change_times) {
+    if (t < 1 || t > config.num_periods) {
+      return Status::InvalidArgument(
+          "trace for user " + std::to_string(user) +
+          " has a change time outside [1, num_periods]");
+    }
+    if (t <= previous) {
+      return Status::InvalidArgument(
+          "trace for user " + std::to_string(user) +
+          " has non-increasing change times");
+    }
+    previous = t;
+  }
+  return Status::OK();
+}
+
 }  // namespace
 
-Workload::Workload(WorkloadConfig config, std::vector<UserTrace> traces)
-    : config_(config), traces_(std::move(traces)) {
+Workload::Workload(WorkloadConfig config, std::vector<UserTrace> traces,
+                   std::vector<PresenceWindow> presence)
+    : config_(std::move(config)),
+      traces_(std::move(traces)),
+      presence_(std::move(presence)) {
   // Ground truth by sweeping the derivative: the i-th change of any user
   // contributes +1 (odd i) or -1 (even i) to a[t] for all t >= change time.
   std::vector<int64_t> delta(static_cast<size_t>(config_.num_periods) + 1, 0);
@@ -178,19 +562,57 @@ Workload::Workload(WorkloadConfig config, std::vector<UserTrace> traces)
 Result<Workload> Workload::Generate(const WorkloadConfig& config,
                                     uint64_t seed) {
   FR_RETURN_NOT_OK(config.Validate());
+
+  if (config.kind == WorkloadKind::kReplay) {
+    if (config.replay_path.empty()) {
+      return Status::InvalidArgument(
+          "the replay workload needs replay_path (the CSV WriteRunCsv "
+          "emits, or any t,truth file)");
+    }
+    FR_ASSIGN_OR_RETURN(const std::vector<int64_t> truth,
+                        ReadReplayTruthCsv(config.replay_path));
+    if (static_cast<int64_t>(truth.size()) != config.num_periods) {
+      return Status::InvalidArgument(
+          "replay file " + config.replay_path + " has " +
+          std::to_string(truth.size()) + " periods but num_periods is " +
+          std::to_string(config.num_periods));
+    }
+    return FromGroundTruth(config, truth);
+  }
+
   Rng base(seed);
 
-  // Population-level randomness (shared event times) uses stream 0;
-  // user u uses stream u+1.
+  // Population-level randomness (shared event times, shared shape tables)
+  // uses stream 0; user u uses stream u+1.
   Rng population_rng = base.Fork(0);
   std::vector<int64_t> shared_times;
   if (config.kind == WorkloadKind::kTrend ||
       config.kind == WorkloadKind::kAdversarial) {
     shared_times = TrendEventTimes(config, &population_rng);
   }
+  std::vector<double> cumulative;
+  if (config.kind == WorkloadKind::kDrift) {
+    cumulative = DriftCumulativeWeights(config);
+  } else if (config.kind == WorkloadKind::kZipf) {
+    cumulative = ZipfCumulative(config);
+  }
+  int64_t shock_t = 0;
+  int64_t shock_width = 0;
+  if (config.kind == WorkloadKind::kShock) {
+    shock_t = config.shock_time > 0 ? config.shock_time
+                                    : std::max<int64_t>(1,
+                                                        config.num_periods / 2);
+    shock_width = config.shock_width > 0
+                      ? config.shock_width
+                      : std::max<int64_t>(1, config.num_periods / 16);
+  }
 
   std::vector<UserTrace> traces;
   traces.reserve(static_cast<size_t>(config.num_users));
+  std::vector<PresenceWindow> presence;
+  if (config.kind == WorkloadKind::kChurn) {
+    presence.resize(static_cast<size_t>(config.num_users));
+  }
   for (int64_t u = 0; u < config.num_users; ++u) {
     Rng rng = base.Fork(static_cast<uint64_t>(u) + 1);
     switch (config.kind) {
@@ -212,11 +634,101 @@ Result<Workload> Workload::Generate(const WorkloadConfig& config,
       case WorkloadKind::kAdversarial:
         traces.push_back(GenerateAdversarial(shared_times));
         break;
+      case WorkloadKind::kChurn:
+        traces.push_back(
+            GenerateChurn(config, &rng, &presence[static_cast<size_t>(u)]));
+        break;
+      case WorkloadKind::kDrift:
+        traces.push_back(GenerateDrift(config, cumulative, &rng));
+        break;
+      case WorkloadKind::kShock:
+        traces.push_back(GenerateShock(config, shock_t, shock_width, &rng));
+        break;
+      case WorkloadKind::kZipf:
+        traces.push_back(GenerateZipf(config, cumulative, &rng));
+        break;
+      case WorkloadKind::kReplay:
+        FR_CHECK_MSG(false, "replay handled above");
+        break;
     }
     FR_CHECK_MSG(traces.back().NumChanges() <= config.max_changes,
                  "generator exceeded the change budget");
   }
+  return Workload(config, std::move(traces), std::move(presence));
+}
+
+Result<Workload> Workload::FromTraces(const WorkloadConfig& config,
+                                      std::vector<UserTrace> traces) {
+  FR_RETURN_NOT_OK(config.Validate());
+  if (static_cast<int64_t>(traces.size()) != config.num_users) {
+    return Status::InvalidArgument(
+        "FromTraces: got " + std::to_string(traces.size()) +
+        " traces for num_users=" + std::to_string(config.num_users));
+  }
+  for (size_t u = 0; u < traces.size(); ++u) {
+    FR_RETURN_NOT_OK(
+        ValidateTrace(traces[u], config, static_cast<int64_t>(u)));
+  }
   return Workload(config, std::move(traces));
+}
+
+Result<Workload> Workload::FromGroundTruth(const WorkloadConfig& config,
+                                           std::span<const int64_t> truth) {
+  FR_RETURN_NOT_OK(config.Validate());
+  if (static_cast<int64_t>(truth.size()) != config.num_periods) {
+    return Status::InvalidArgument(
+        "FromGroundTruth: series has " + std::to_string(truth.size()) +
+        " periods but num_periods is " + std::to_string(config.num_periods));
+  }
+  for (size_t t = 0; t < truth.size(); ++t) {
+    if (truth[t] < 0 || truth[t] > config.num_users) {
+      return Status::InvalidArgument(
+          "FromGroundTruth: truth[" + std::to_string(t + 1) + "] = " +
+          std::to_string(truth[t]) + " is outside [0, num_users]");
+    }
+  }
+
+  // Greedy exact decomposition: sweep t and realize each aggregate step
+  // delta = a[t] - a[t-1] by flipping the |delta| users on the source side
+  // (state 0 for upward steps, 1 for downward) that have spent the fewest
+  // changes so far — ties to the lowest user id, so the result is fully
+  // deterministic. Spreading flips across the least-used users first is
+  // exactly what maximizes the remaining budget, so if this greedy runs out
+  // of budget no decomposition exists.
+  using Entry = std::pair<int64_t, int64_t>;  // (changes_used, user_id)
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> zeros;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> ones;
+  for (int64_t u = 0; u < config.num_users; ++u) {
+    zeros.emplace(0, u);
+  }
+  std::vector<UserTrace> traces(static_cast<size_t>(config.num_users));
+  int64_t previous = 0;
+  for (int64_t t = 1; t <= config.num_periods; ++t) {
+    const int64_t current = truth[static_cast<size_t>(t - 1)];
+    int64_t delta = current - previous;
+    auto* from = delta > 0 ? &zeros : &ones;
+    auto* to = delta > 0 ? &ones : &zeros;
+    for (int64_t step = std::abs(delta); step > 0; --step) {
+      const auto [changes_used, user] = from->top();
+      from->pop();
+      if (changes_used >= config.max_changes) {
+        return Status::InvalidArgument(
+            "replay series infeasible under the change budget: realizing "
+            "the step at t=" + std::to_string(t) + " needs a user with a "
+            "free change, but every candidate has already spent " +
+            std::to_string(config.max_changes));
+      }
+      traces[static_cast<size_t>(user)].change_times.push_back(t);
+      to->emplace(changes_used + 1, user);
+    }
+    previous = current;
+  }
+  FR_ASSIGN_OR_RETURN(Workload workload,
+                      FromTraces(config, std::move(traces)));
+  FR_CHECK_MSG(std::equal(workload.ground_truth().begin(),
+                          workload.ground_truth().end(), truth.begin()),
+               "replay decomposition must reproduce the series exactly");
+  return workload;
 }
 
 int64_t Workload::MaxChangesUsed() const {

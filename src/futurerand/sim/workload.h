@@ -6,11 +6,39 @@
 // process, which each generator controls exactly. Every generated user
 // changes value at most `max_changes` times under the paper's convention
 // st_u[0] = 0 (so "starting at 1" costs one change at t = 1).
+//
+// Besides the stationary shapes, the generators cover the non-stationary
+// regimes a deployed collector actually sees (the regime the paper's
+// bounds are stated for — any change process within the budget k):
+//
+//   kChurn   clients join and leave mid-stream. Presence is modeled in the
+//            value domain (the ground-truth convention, see
+//            docs/ARCHITECTURE.md "Workloads & ground truth"): an absent
+//            user holds value 0, a leaver's trace is truncated back to 0
+//            at its leave tick, and the per-user presence window rides
+//            along so the runner can replay join-time re-registrations
+//            over the wire.
+//   kDrift   the population's change intensity ramps linearly across the
+//            horizon (drift_ramp = end/start intensity ratio), so late
+//            periods see a denser change process than early ones.
+//   kShock   a flash crowd: at shock_time a shock_fraction of users flips
+//            to 1 in unison and decays back over shock_width ticks, on top
+//            of a uniform background population.
+//   kZipf    each user holds one item from a Zipf(zipf_items,
+//            zipf_exponent) popularity distribution and re-draws it at
+//            uniformly placed switch times; the tracked Boolean is "user
+//            currently holds the rank-zipf_track_rank item", so the
+//            categorical/longitudinal protocols see head-heavy traffic.
+//   kReplay  reproduces a recorded aggregate series exactly: the CSV shape
+//            WriteRunCsv emits (or any t,truth file) is decomposed into
+//            per-user traces whose ground truth matches the series
+//            bit-for-bit, within the change budget.
 
 #ifndef FUTURERAND_SIM_WORKLOAD_H_
 #define FUTURERAND_SIM_WORKLOAD_H_
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -36,6 +64,18 @@ struct UserTrace {
   }
 };
 
+/// A user's presence interval in a churn workload, inclusive on both ends.
+/// Outside [join, leave] the user's value is 0 by construction (the churn
+/// ground-truth convention); join > 1 marks a mid-stream joiner the runner
+/// re-registers over the wire at its join tick.
+struct PresenceWindow {
+  int64_t join = 1;
+  int64_t leave = 0;  // d for users that never leave
+
+  friend bool operator==(const PresenceWindow&,
+                         const PresenceWindow&) = default;
+};
+
 /// The change-process shapes the generators produce.
 enum class WorkloadKind {
   kUniformChanges,  // change times uniform without replacement in [1..d]
@@ -44,9 +84,37 @@ enum class WorkloadKind {
   kTrend,           // k global "news events"; users adopt each with prob. q
   kStatic,          // a fraction of users sit at 1, the rest at 0, no churn
   kAdversarial,     // every user flips at the same k times (worst case)
+  kChurn,           // join/leave mid-stream; value 0 outside presence
+  kDrift,           // change intensity ramps linearly across the horizon
+  kShock,           // flash crowd at shock_time, decaying over shock_width
+  kZipf,            // Zipf-popular item held per user; Boolean = head item
+  kReplay,          // exact replay of a recorded aggregate series
 };
 
+/// Every WorkloadKind, in enum order — the single source of truth for code
+/// that enumerates workloads (flag parsing, sweeps, tests).
+inline constexpr WorkloadKind kAllWorkloadKinds[] = {
+    WorkloadKind::kUniformChanges, WorkloadKind::kBursty,
+    WorkloadKind::kPeriodic,       WorkloadKind::kTrend,
+    WorkloadKind::kStatic,         WorkloadKind::kAdversarial,
+    WorkloadKind::kChurn,          WorkloadKind::kDrift,
+    WorkloadKind::kShock,          WorkloadKind::kZipf,
+    WorkloadKind::kReplay,
+};
+static_assert(std::size(kAllWorkloadKinds) ==
+                  static_cast<size_t>(WorkloadKind::kReplay) + 1,
+              "extend kAllWorkloadKinds when adding a WorkloadKind");
+
+constexpr std::span<const WorkloadKind> AllWorkloadKinds() {
+  return kAllWorkloadKinds;
+}
+
 const char* WorkloadKindToString(WorkloadKind kind);
+
+/// Parses a display name (as produced by WorkloadKindToString) back to its
+/// kind by scanning AllWorkloadKinds() — the one parser every flag surface
+/// shares.
+Result<WorkloadKind> ParseWorkloadKind(const std::string& name);
 
 /// Parameters for workload generation.
 struct WorkloadConfig {
@@ -55,13 +123,51 @@ struct WorkloadConfig {
   int64_t num_periods = 0;  // d, power of two
   int64_t max_changes = 0;  // k
 
-  /// Shape knob, per kind: kBursty — window width as a fraction of d
-  /// (default 1/8); kTrend — per-event adoption probability (default 0.6);
-  /// kStatic — fraction of users at 1 (default 0.3). Ignored elsewhere.
+  /// Legacy shape knob, read only by: kBursty — window width as a fraction
+  /// of d (default 1/8); kTrend — per-event adoption probability (default
+  /// 0.6); kStatic — fraction of users at 1 (default 0.3). Must stay unset
+  /// (-1) for every other kind — the non-stationary kinds have named knobs
+  /// below instead of overloading this one.
   double param = -1.0;
+
+  // kChurn: fraction of users joining after t = 1 (join uniform in [2..d])
+  // and fraction of present users leaving before d (leave uniform in
+  // [join..d-1], the trace forced back to 0 at the leave tick). Both in
+  // [0, 1].
+  double churn_join_fraction = 0.25;
+  double churn_leave_fraction = 0.25;
+
+  // kDrift: end/start change-intensity ratio (> 0, finite). 1 degenerates
+  // to the uniform process; 8 means the last period draws changes at 8x
+  // the rate of the first; values < 1 model cooling traffic.
+  double drift_ramp = 8.0;
+
+  // kShock: the flash-crowd tick (0 = d/2), the population fraction hit
+  // (in [0, 1]) and the revert window (affected users flip back within
+  // 1..shock_width ticks after the shock; 0 = max(1, d/16)).
+  int64_t shock_time = 0;
+  double shock_fraction = 0.25;
+  int64_t shock_width = 0;
+
+  // kZipf: item-universe size (>= 1), skew exponent (> 0, finite) and the
+  // 1-based popularity rank of the tracked item (in [1..zipf_items]).
+  int64_t zipf_items = 64;
+  double zipf_exponent = 1.1;
+  int64_t zipf_track_rank = 1;
+
+  // kReplay: path of the recorded series — the CSV WriteRunCsv emits, or
+  // any header-optional file whose first two columns are t,truth. Only
+  // Generate reads it; FromGroundTruth takes the series directly.
+  std::string replay_path;
 
   Status Validate() const;
 };
+
+/// Parses a recorded aggregate series for kReplay: accepts the exact
+/// t,truth,estimate,abs_error shape WriteRunCsv emits, or any CSV whose
+/// first two columns are t,truth (header row optional). Rows must be
+/// consecutive from t = 1 and truth integer-valued.
+Result<std::vector<int64_t>> ReadReplayTruthCsv(const std::string& path);
 
 /// A generated population plus its exact ground truth.
 class Workload {
@@ -69,6 +175,21 @@ class Workload {
   /// Deterministically generates traces from `seed`.
   static Result<Workload> Generate(const WorkloadConfig& config,
                                    uint64_t seed);
+
+  /// Wraps explicit per-user traces (validated against `config`: count,
+  /// change budget, sorted distinct times in [1..d]) and computes their
+  /// ground truth. The workload carries no presence metadata — this is the
+  /// "truncated traces up front" twin of a churn run.
+  static Result<Workload> FromTraces(const WorkloadConfig& config,
+                                     std::vector<UserTrace> traces);
+
+  /// Decomposes an exact aggregate series a[1..d] (0 <= a[t] <= n) into
+  /// per-user traces whose ground truth equals `truth` bit-for-bit:
+  /// every upward step flips the idle users with the fewest changes spent,
+  /// every downward step likewise. Deterministic (no randomness). Errors
+  /// with InvalidArgument if no decomposition fits the change budget.
+  static Result<Workload> FromGroundTruth(const WorkloadConfig& config,
+                                          std::span<const int64_t> truth);
 
   const WorkloadConfig& config() const { return config_; }
   const std::vector<UserTrace>& traces() const { return traces_; }
@@ -80,15 +201,25 @@ class Workload {
   /// The exact counts a[t] = sum_u st_u[t] for t = 1..d (Equation 1).
   const std::vector<int64_t>& ground_truth() const { return ground_truth_; }
 
+  /// True iff this workload carries per-user presence windows (kChurn
+  /// generation); the runner replays join-time re-registrations from them.
+  bool has_presence() const { return !presence_.empty(); }
+
+  /// Per-user presence windows, indexed like traces(). Empty unless
+  /// has_presence().
+  const std::vector<PresenceWindow>& presence() const { return presence_; }
+
   /// Largest number of changes any generated user has.
   int64_t MaxChangesUsed() const;
 
  private:
-  Workload(WorkloadConfig config, std::vector<UserTrace> traces);
+  Workload(WorkloadConfig config, std::vector<UserTrace> traces,
+           std::vector<PresenceWindow> presence = {});
 
   WorkloadConfig config_;
   std::vector<UserTrace> traces_;
   std::vector<int64_t> ground_truth_;
+  std::vector<PresenceWindow> presence_;  // empty unless kChurn
 };
 
 }  // namespace futurerand::sim

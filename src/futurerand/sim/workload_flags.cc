@@ -1,0 +1,74 @@
+#include "futurerand/sim/workload_flags.h"
+
+#include "futurerand/common/macros.h"
+
+namespace futurerand::sim {
+
+void WorkloadFlags::Register(FlagParser* parser) {
+  std::string kinds;
+  for (WorkloadKind kind : AllWorkloadKinds()) {
+    if (!kinds.empty()) {
+      kinds += " | ";
+    }
+    kinds += WorkloadKindToString(kind);
+  }
+  parser->AddString("workload", &workload, kinds);
+  parser->AddDouble("workload_param", &workload_param,
+                    "legacy shape knob, bursty/trend/static only "
+                    "(see workload.h)");
+  parser->AddDouble("churn-join-fraction", &churn_join_fraction,
+                    "churn: fraction of users joining mid-stream, in [0, 1]");
+  parser->AddDouble("churn-leave-fraction", &churn_leave_fraction,
+                    "churn: fraction of present users leaving before the "
+                    "end, in [0, 1]");
+  parser->AddDouble("drift-ramp", &drift_ramp,
+                    "drift: end/start change-intensity ratio (> 0; 1 = "
+                    "uniform, > 1 = heating, < 1 = cooling)");
+  parser->AddInt64("shock-time", &shock_time,
+                   "shock: flash-crowd tick in [1, d] (0 picks d/2)");
+  parser->AddDouble("shock-fraction", &shock_fraction,
+                    "shock: population fraction hit by the flash crowd, "
+                    "in [0, 1]");
+  parser->AddInt64("shock-width", &shock_width,
+                   "shock: revert window in ticks (0 picks max(1, d/16))");
+  parser->AddInt64("zipf-items", &zipf_items,
+                   "zipf: item-universe size (>= 1)");
+  parser->AddDouble("zipf-exponent", &zipf_exponent,
+                    "zipf: skew exponent s (> 0; larger = heavier head)");
+  parser->AddInt64("zipf-track-rank", &zipf_track_rank,
+                   "zipf: 1-based popularity rank of the tracked item");
+  parser->AddString("replay", &replay_path,
+                    "replay: path of a recorded t,truth series (the CSV "
+                    "--csv / WriteRunCsv emits)");
+}
+
+Result<WorkloadConfig> WorkloadFlags::ToConfig(int64_t num_users,
+                                               int64_t num_periods,
+                                               int64_t max_changes) const {
+  FR_ASSIGN_OR_RETURN(const WorkloadKind kind, ParseWorkloadKind(workload));
+  WorkloadConfig config;
+  config.kind = kind;
+  config.num_users = num_users;
+  config.num_periods = num_periods;
+  config.max_changes = max_changes;
+  config.param = workload_param;
+  config.churn_join_fraction = churn_join_fraction;
+  config.churn_leave_fraction = churn_leave_fraction;
+  config.drift_ramp = drift_ramp;
+  config.shock_time = shock_time;
+  config.shock_fraction = shock_fraction;
+  config.shock_width = shock_width;
+  config.zipf_items = zipf_items;
+  config.zipf_exponent = zipf_exponent;
+  config.zipf_track_rank = zipf_track_rank;
+  config.replay_path = replay_path;
+  FR_RETURN_NOT_OK(config.Validate());
+  if (kind == WorkloadKind::kReplay && config.replay_path.empty()) {
+    return Status::InvalidArgument(
+        "--workload=replay needs --replay=<path to a recorded t,truth "
+        "series>");
+  }
+  return config;
+}
+
+}  // namespace futurerand::sim

@@ -90,5 +90,62 @@ TEST(TraceTest, RejectsBadPath) {
       WriteRunCsv("/nonexistent_dir_zzz/x.csv", result, workload).ok());
 }
 
+// ---------------------------------------------------------------------------
+// Record/replay round trip: a run's WriteRunCsv output, re-ingested as a
+// kReplay workload, must reproduce the original ground-truth counts exactly
+// — for every generatable workload shape, including the non-stationary
+// ones. This is the property the replay converter (examples + frsim --csv)
+// rests on: a recorded trace is a faithful workload, not an approximation.
+
+class ReplayRoundTripTest : public ::testing::TestWithParam<WorkloadKind> {};
+
+TEST_P(ReplayRoundTripTest, WriteRunCsvReplaysToIdenticalGroundTruth) {
+  WorkloadConfig workload_config;
+  workload_config.kind = GetParam();
+  workload_config.num_users = 400;
+  workload_config.num_periods = 32;
+  workload_config.max_changes = 4;
+  const Workload original =
+      Workload::Generate(workload_config, 7).ValueOrDie();
+
+  // Any run result will do — the CSV's truth column comes from the
+  // workload; a noisy estimate column must not perturb the round trip.
+  core::ProtocolConfig config;
+  config.num_periods = 32;
+  config.max_changes = 4;
+  config.epsilon = 1.0;
+  const RunResult result =
+      RunProtocol(ProtocolKind::kFutureRand, config, original, 8)
+          .ValueOrDie();
+
+  const std::string path = ::testing::TempDir() + "/replay_round_trip_" +
+                           WorkloadKindToString(GetParam()) + ".csv";
+  ASSERT_TRUE(WriteRunCsv(path, result, original).ok());
+
+  WorkloadConfig replay_config = workload_config;
+  replay_config.kind = WorkloadKind::kReplay;
+  replay_config.replay_path = path;
+  // The greedy decomposition balances changes across users, so the
+  // original budget k suffices for any series a k-budget population can
+  // produce only up to redistribution slack; d is always enough.
+  replay_config.max_changes = 32;
+  const Workload replayed =
+      Workload::Generate(replay_config, 9).ValueOrDie();
+  EXPECT_EQ(replayed.ground_truth(), original.ground_truth())
+      << WorkloadKindToString(GetParam());
+  std::remove(path.c_str());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllGeneratableKinds, ReplayRoundTripTest,
+    ::testing::Values(WorkloadKind::kUniformChanges, WorkloadKind::kBursty,
+                      WorkloadKind::kPeriodic, WorkloadKind::kTrend,
+                      WorkloadKind::kStatic, WorkloadKind::kAdversarial,
+                      WorkloadKind::kChurn, WorkloadKind::kDrift,
+                      WorkloadKind::kShock, WorkloadKind::kZipf),
+    [](const ::testing::TestParamInfo<WorkloadKind>& info) {
+      return WorkloadKindToString(info.param);
+    });
+
 }  // namespace
 }  // namespace futurerand::sim

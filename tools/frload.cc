@@ -37,22 +37,11 @@
 #include "futurerand/sim/channel.h"
 #include "futurerand/sim/runner.h"
 #include "futurerand/sim/workload.h"
+#include "futurerand/sim/workload_flags.h"
 
 namespace {
 
 using namespace futurerand;
-
-Result<sim::WorkloadKind> ParseWorkload(const std::string& name) {
-  for (sim::WorkloadKind kind :
-       {sim::WorkloadKind::kUniformChanges, sim::WorkloadKind::kBursty,
-        sim::WorkloadKind::kPeriodic, sim::WorkloadKind::kTrend,
-        sim::WorkloadKind::kStatic, sim::WorkloadKind::kAdversarial}) {
-    if (name == sim::WorkloadKindToString(kind)) {
-      return kind;
-    }
-  }
-  return Status::InvalidArgument("unknown workload: " + name);
-}
 
 // The hierarchical pipelines are the only ones with a batch transport to
 // load-test; maps each to the randomizer RunProtocol would select, so the
@@ -108,8 +97,7 @@ int Run(int argc, char** argv) {
   int64_t port = -1;
   int64_t connections = 2;
   std::string protocol_name = "future_rand";
-  std::string workload_name = "uniform";
-  double workload_param = -1.0;
+  sim::WorkloadFlags workload_flags;
   int64_t n = 2000;
   int64_t d = 32;
   int64_t k = 2;
@@ -149,11 +137,7 @@ int Run(int argc, char** argv) {
                   "connection-count independent)");
   parser.AddString("protocol", &protocol_name,
                    "future_rand | independent | bun | adaptive");
-  parser.AddString("workload", &workload_name,
-                   "uniform | bursty | periodic | trend | static | "
-                   "adversarial");
-  parser.AddDouble("workload_param", &workload_param,
-                   "shape knob of the workload generator");
+  workload_flags.Register(&parser);
   parser.AddInt64("n", &n, "number of users");
   parser.AddInt64("d", &d, "time periods (power of two; must match frserve)");
   parser.AddInt64("k", &k, "per-user change budget (must match frserve)");
@@ -248,10 +232,8 @@ int Run(int argc, char** argv) {
   }
 
   const auto protocol = sim::ParseProtocolKind(protocol_name);
-  const auto workload_kind = ParseWorkload(workload_name);
-  if (!protocol.ok() || !workload_kind.ok()) {
-    std::fprintf(stderr, "%s\n%s\n", protocol.status().ToString().c_str(),
-                 workload_kind.status().ToString().c_str());
+  if (!protocol.ok()) {
+    std::fprintf(stderr, "%s\n", protocol.status().ToString().c_str());
     return 2;
   }
   const auto randomizer = RandomizerFor(*protocol);
@@ -296,14 +278,14 @@ int Run(int argc, char** argv) {
   FRLOAD_REQUIRE_OK(faults.Validate());
   FRLOAD_REQUIRE_OK(config.Validate());
 
-  sim::WorkloadConfig workload_config;
-  workload_config.kind = *workload_kind;
-  workload_config.num_users = n;
-  workload_config.num_periods = d;
-  workload_config.max_changes = k;
-  workload_config.param = workload_param;
+  const auto workload_config = workload_flags.ToConfig(n, d, k);
+  if (!workload_config.ok()) {
+    std::fprintf(stderr, "%s\n%s", workload_config.status().ToString().c_str(),
+                 parser.Usage("frload").c_str());
+    return 2;
+  }
   const auto workload = sim::Workload::Generate(
-      workload_config, static_cast<uint64_t>(workload_seed));
+      *workload_config, static_cast<uint64_t>(workload_seed));
   if (!workload.ok()) {
     std::fprintf(stderr, "%s\n", workload.status().ToString().c_str());
     return 1;
@@ -358,6 +340,23 @@ int Run(int argc, char** argv) {
   }
   sim::DeliveryMetrics delivery;
 
+  // Churn workloads: joiners re-register at their join tick, exactly as
+  // RunHierarchical replays them — pristine (no channel traversal, so the
+  // fault sequence stays identical) and only under idempotent ingest,
+  // where the server absorbs the duplicate registration.
+  std::vector<std::vector<int64_t>> joiners_by_tick;
+  const bool replay_joins = workload->has_presence() &&
+                            faults.dedup == core::DedupPolicy::kIdempotent;
+  if (replay_joins) {
+    joiners_by_tick.resize(static_cast<size_t>(d) + 1);
+    for (int64_t u = 0; u < n; ++u) {
+      const int64_t join = workload->presence()[static_cast<size_t>(u)].join;
+      if (join > 1) {
+        joiners_by_tick[static_cast<size_t>(join)].push_back(u);
+      }
+    }
+  }
+
   auto deliver = [&](const core::ReportBatch& batch,
                      int64_t tick) -> Status {
     FR_ASSIGN_OR_RETURN(const std::string pristine,
@@ -393,6 +392,30 @@ int Run(int argc, char** argv) {
       pool.ParallelFor(n, update_states);
     } else {
       update_states(0, n);
+    }
+    if (replay_joins && !joiners_by_tick[static_cast<size_t>(t)].empty()) {
+      std::vector<core::RegistrationMessage> reregistrations;
+      for (const int64_t u : joiners_by_tick[static_cast<size_t>(t)]) {
+        reregistrations.push_back(
+            fleet->registrations()[static_cast<size_t>(u)]);
+      }
+      const std::string encoded = core::EncodeRegistrationBatch(
+          reregistrations, faults.wire_version);
+      const auto reply = clients[0].Call(encoded);
+      if (!reply.ok()) {
+        std::fprintf(stderr, "%s\n", reply.status().ToString().c_str());
+        return 1;
+      }
+      if (reply->verdict != net::Verdict::kAck) {
+        std::fprintf(stderr,
+                     "re-registration at t=%lld rejected by server (%s) — "
+                     "is frserve running with --dedup?\n",
+                     static_cast<long long>(t),
+                     StatusCodeToString(reply->status));
+        return 1;
+      }
+      delivery.registrations_replayed +=
+          static_cast<int64_t>(reregistrations.size());
     }
     FRLOAD_REQUIRE_OK(fleet->AdvanceTick(states, &batch));
     reports += static_cast<int64_t>(batch.size());
@@ -504,6 +527,8 @@ int Run(int argc, char** argv) {
                  rhs.batches_checksum_rejected, &all_ok);
     CheckCounter("batches_retransmitted", lhs.batches_retransmitted,
                  rhs.batches_retransmitted, &all_ok);
+    CheckCounter("registrations_replayed", lhs.registrations_replayed,
+                 rhs.registrations_replayed, &all_ok);
     verify_result = all_ok ? 1 : 0;
   }
 
@@ -511,7 +536,7 @@ int Run(int argc, char** argv) {
     JsonLine line;
     line.Add("bench", "frload")
         .Add("protocol", protocol_name)
-        .Add("workload", workload_name)
+        .Add("workload", workload_flags.workload)
         .Add("n", n)
         .Add("d", d)
         .Add("k", k)

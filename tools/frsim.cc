@@ -19,32 +19,20 @@
 #include "futurerand/sim/runner.h"
 #include "futurerand/sim/trace.h"
 #include "futurerand/sim/workload.h"
+#include "futurerand/sim/workload_flags.h"
 
 namespace {
 
 using namespace futurerand;
 
-Result<sim::WorkloadKind> ParseWorkload(const std::string& name) {
-  for (sim::WorkloadKind kind :
-       {sim::WorkloadKind::kUniformChanges, sim::WorkloadKind::kBursty,
-        sim::WorkloadKind::kPeriodic, sim::WorkloadKind::kTrend,
-        sim::WorkloadKind::kStatic, sim::WorkloadKind::kAdversarial}) {
-    if (name == sim::WorkloadKindToString(kind)) {
-      return kind;
-    }
-  }
-  return Status::InvalidArgument("unknown workload: " + name);
-}
-
 int Run(int argc, char** argv) {
   std::string protocol_name = "future_rand";
-  std::string workload_name = "uniform";
+  sim::WorkloadFlags workload_flags;
   int64_t n = 20000;
   int64_t d = 256;
   int64_t k = 8;
   double eps = 1.0;
   double alpha = 0.5;
-  double workload_param = -1.0;
   int64_t reps = 3;
   int64_t seed = 1;
   int64_t threads = ThreadPool::DefaultThreadCount();
@@ -82,9 +70,7 @@ int Run(int argc, char** argv) {
                    "future_rand | independent | bun | adaptive | erlingsson "
                    "| naive_rr | central_tree | lgrr | lolh | loloha | "
                    "non_private");
-  parser.AddString("workload", &workload_name,
-                   "uniform | bursty | periodic | trend | static | "
-                   "adversarial");
+  workload_flags.Register(&parser);
   parser.AddInt64("n", &n, "number of users");
   parser.AddInt64("d", &d, "time periods (power of two)");
   parser.AddInt64("k", &k, "per-user change budget");
@@ -92,8 +78,6 @@ int Run(int argc, char** argv) {
   parser.AddDouble("alpha", &alpha,
                    "longitudinal eps_1/eps_perm split in (0, 1); only the "
                    "lgrr | lolh | loloha protocols read it");
-  parser.AddDouble("workload_param", &workload_param,
-                   "shape knob of the workload generator (see workload.h)");
   parser.AddInt64("reps", &reps, "independent repetitions");
   parser.AddInt64("seed", &seed, "base seed (deterministic)");
   parser.AddInt64("threads", &threads, "worker threads");
@@ -193,10 +177,14 @@ int Run(int argc, char** argv) {
     return 2;
   }
   const auto protocol = sim::ParseProtocolKind(protocol_name);
-  const auto workload_kind = ParseWorkload(workload_name);
-  if (!protocol.ok() || !workload_kind.ok()) {
-    std::fprintf(stderr, "%s\n%s\n", protocol.status().ToString().c_str(),
-                 workload_kind.status().ToString().c_str());
+  if (!protocol.ok()) {
+    std::fprintf(stderr, "%s\n", protocol.status().ToString().c_str());
+    return 2;
+  }
+  const auto workload_config = workload_flags.ToConfig(n, d, k);
+  if (!workload_config.ok()) {
+    std::fprintf(stderr, "%s\n%s", workload_config.status().ToString().c_str(),
+                 parser.Usage("frsim").c_str());
     return 2;
   }
 
@@ -269,13 +257,6 @@ int Run(int argc, char** argv) {
     return 2;
   }
 
-  sim::WorkloadConfig workload_config;
-  workload_config.kind = *workload_kind;
-  workload_config.num_users = n;
-  workload_config.num_periods = d;
-  workload_config.max_changes = k;
-  workload_config.param = workload_param;
-
   ThreadPool pool(static_cast<int>(threads));
   TablePrinter table({"rep", "max_error", "mean_error", "rmse", "argmax_t",
                       "reports", "seconds"});
@@ -283,7 +264,7 @@ int Run(int argc, char** argv) {
     const uint64_t workload_seed = static_cast<uint64_t>(seed + 2 * r + 1);
     const uint64_t protocol_seed = static_cast<uint64_t>(seed + 2 * r + 2);
     const auto workload =
-        sim::Workload::Generate(workload_config, workload_seed);
+        sim::Workload::Generate(*workload_config, workload_seed);
     if (!workload.ok()) {
       std::fprintf(stderr, "%s\n", workload.status().ToString().c_str());
       return 1;
@@ -316,7 +297,7 @@ int Run(int argc, char** argv) {
     }
   }
   std::printf("%s over %s: %s\n", protocol_name.c_str(),
-              workload_name.c_str(), config.ToString().c_str());
+              workload_flags.workload.c_str(), config.ToString().c_str());
   table.Print(std::cout);
   return 0;
 }
